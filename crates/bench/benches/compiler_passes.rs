@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the compiler: workload generation, lowering,
+//! profiling and the if-conversion pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppsim_compiler::ifconvert::{if_convert, IfConvertConfig};
+use ppsim_compiler::lower::lower;
+use ppsim_compiler::profile::profile_run;
+use ppsim_compiler::workloads::{build_module, spec2000_suite};
+
+fn benches(c: &mut Criterion) {
+    let spec = spec2000_suite().into_iter().find(|s| s.name == "gcc").unwrap();
+    c.bench_function("build_module/gcc", |b| b.iter(|| build_module(&spec)));
+
+    let module = build_module(&spec);
+    c.bench_function("lower+hoist/gcc", |b| b.iter(|| lower(&module, true).unwrap()));
+
+    let lowered = lower(&module, true).unwrap();
+    c.bench_function("profile_100k/gcc", |b| {
+        b.iter(|| profile_run(&lowered, 100_000).unwrap())
+    });
+
+    let profile = profile_run(&lowered, 100_000).unwrap();
+    c.bench_function("if_convert/gcc", |b| {
+        b.iter_batched(
+            || module.cfg.clone(),
+            |mut cfg| if_convert(&mut cfg, &profile, &IfConvertConfig::default()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(compiler_benches, benches);
+criterion_main!(compiler_benches);

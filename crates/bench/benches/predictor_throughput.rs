@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks: predictor lookup/train throughput for every
+//! prediction structure the paper evaluates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ppsim_predictors::{
+    BranchPredictor, Gshare, GshareConfig, PepPa, PepPaConfig, PerceptronConfig,
+    PerceptronPredictor, PredicateConfig, PredicatePredictor,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const N: u64 = 10_000;
+
+fn outcomes() -> Vec<(u64, bool)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    (0..N)
+        .map(|_| {
+            let pc = 0x4000_0000u64 + u64::from(rng.gen::<u16>()) * 16;
+            (pc, rng.gen_bool(0.6))
+        })
+        .collect()
+}
+
+fn bench_branch_predictor<P: BranchPredictor>(c: &mut Criterion, name: &str, mut p: P) {
+    let stream = outcomes();
+    let mut g = c.benchmark_group("predictors");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            for &(pc, taken) in &stream {
+                let pred = p.predict(black_box(pc), 1);
+                if pred.taken != taken {
+                    p.recover(&pred, taken);
+                }
+                p.train(&pred, taken);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_branch_predictor(c, "gshare-4kb", Gshare::new(GshareConfig::paper_4kb()));
+    bench_branch_predictor(
+        c,
+        "perceptron-148kb",
+        PerceptronPredictor::new(PerceptronConfig::paper_148kb()),
+    );
+    bench_branch_predictor(c, "pep-pa-144kb", PepPa::new(PepPaConfig::paper_144kb()));
+
+    let stream = outcomes();
+    let mut g = c.benchmark_group("predictors");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("predicate-148kb (two targets)", |b| {
+        let mut p = PredicatePredictor::new(PredicateConfig::paper_148kb());
+        b.iter(|| {
+            for &(pc, v) in &stream {
+                let cp = p.predict_compare(black_box(pc), true, true);
+                let pt = cp.pt.unwrap();
+                if pt.value != v {
+                    p.fix_history_bit(0, v);
+                }
+                p.train(&pt, v);
+                p.train(&cp.pf.unwrap(), !v);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(predictor_benches, benches);
+criterion_main!(predictor_benches);

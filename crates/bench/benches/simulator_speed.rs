@@ -1,0 +1,44 @@
+//! Criterion benchmark: end-to-end simulated instructions per second for
+//! each prediction scheme on one representative workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppsim_compiler::{compile, CompileOptions};
+use ppsim_pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
+
+const COMMITS: u64 = 50_000;
+
+fn benches(c: &mut Criterion) {
+    let spec = ppsim_compiler::spec2000_suite()
+        .into_iter()
+        .find(|s| s.name == "crafty")
+        .expect("crafty exists");
+    let plain = compile(&spec, &CompileOptions::no_ifconv()).unwrap();
+    let ifconv = compile(&spec, &CompileOptions::with_ifconv()).unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(COMMITS));
+    g.sample_size(10);
+    for scheme in [SchemeKind::Conventional, SchemeKind::PepPa, SchemeKind::Predicate] {
+        g.bench_function(format!("{}/plain", scheme.name()), |b| {
+            b.iter(|| {
+                Simulator::new(&plain.program, scheme, PredicationModel::Cmov, CoreConfig::paper())
+                    .run(COMMITS)
+            })
+        });
+    }
+    g.bench_function("predicate-selective/ifconv", |b| {
+        b.iter(|| {
+            Simulator::new(
+                &ifconv.program,
+                SchemeKind::Predicate,
+                PredicationModel::Selective,
+                CoreConfig::paper(),
+            )
+            .run(COMMITS)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(simulator_benches, benches);
+criterion_main!(simulator_benches);

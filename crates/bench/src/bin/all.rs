@@ -1,0 +1,7 @@
+//! Runs every experiment (Table 1, Figures 5/6a/6b, the IPC ablation) and
+//! prints the consolidated report.
+
+fn main() {
+    let cfg = ppsim_bench::setup("all");
+    println!("{}", ppsim_bench::run_all(&cfg));
+}

@@ -1,0 +1,61 @@
+//! Diagnostic dump: per-benchmark detailed statistics for each scheme.
+
+use ppsim_compiler::{compile, CompileOptions};
+use ppsim_pipeline::{PredicationModel, SchemeKind, Simulator};
+
+fn main() {
+    let cfg = ppsim_bench::setup("diag");
+    for spec in ppsim_compiler::spec2000_suite() {
+        if !cfg.selected(spec.name) {
+            continue;
+        }
+        let ifconv = std::env::args().any(|a| a == "--ifconv");
+        let opts = if ifconv { CompileOptions::with_ifconv() } else { CompileOptions::no_ifconv() };
+        let compiled = compile(&spec, &opts).unwrap();
+        println!("== {} (ifconv={ifconv}) static insns={} cond-br={} cmps={}",
+            spec.name,
+            compiled.program.len(),
+            compiled.program.count_insns(|i| i.is_cond_branch()),
+            compiled.program.count_insns(|i| i.is_cmp()));
+        if let Some(st) = &compiled.ifconvert {
+            println!("   ifconvert: {st:?}");
+        }
+        if std::env::args().any(|a| a == "--predication") {
+            for model in [PredicationModel::Cmov, PredicationModel::Selective] {
+                let mut sim = Simulator::new(&compiled.program, SchemeKind::Predicate, model, cfg.core);
+                let r = sim.run(cfg.commits);
+                let s = r.stats;
+                println!(
+                    "   {:?}: ipc={:.3} cancel={} unguard={} flushes={} nullified={} misp={:.2}%",
+                    model, s.ipc(), s.cancelled_at_rename, s.unguarded_at_rename,
+                    s.predication_flushes, s.nullified, s.misprediction_rate()*100.0
+                );
+            }
+            continue;
+        }
+        for scheme in [SchemeKind::Conventional, SchemeKind::Predicate] {
+            let mut sim = Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, cfg.core).with_shadow();
+            let r = sim.run(cfg.commits);
+            if std::env::var("PPSIM_HIST").is_ok() {
+                let mut hist: Vec<_> = sim.branch_histogram().iter().collect();
+                hist.sort();
+                for (slot, (e, m)) in hist {
+                    if *e > 200 {
+                        println!("      slot {slot}: execs={e} misp={m} ({:.1}%)", *m as f64 / *e as f64 * 100.0);
+                    }
+                }
+            }
+            let s = r.stats;
+            println!("   {:14} misp={:5.2}% er={:5.2}% er_saves={} pp_wrong={:5.2}% ({}p) ovr={} shadow={:5.2}% ipc={:.2}",
+                scheme.name(),
+                s.misprediction_rate()*100.0,
+                s.early_resolved_rate()*100.0,
+                s.early_resolved_saves,
+                s.predicate_misprediction_rate()*100.0,
+                s.predicate_predictions,
+                s.overrides,
+                s.shadow_mispredicts as f64 / s.cond_branches.max(1) as f64 * 100.0,
+                s.ipc());
+        }
+    }
+}

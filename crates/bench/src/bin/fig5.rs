@@ -1,0 +1,14 @@
+//! Regenerates Figure 5: conventional vs predicate predictor on
+//! non-if-converted binaries. Pass `--ideal` for the idealized variant.
+
+fn main() {
+    let ideal = std::env::args().any(|a| a == "--ideal");
+    let cfg = ppsim_bench::setup("fig5");
+    let r = ppsim_core::experiments::fig5(&cfg, ideal);
+    println!("{}", r.table());
+    println!(
+        "average accuracy gain (predicate over conventional): {:+.2} points (paper: {})",
+        r.accuracy_gain(0, 1),
+        if ideal { "+2.24 idealized" } else { "+1.86" }
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 6a: PEP-PA vs conventional vs predicate predictor
+//! on if-converted binaries.
+
+fn main() {
+    let cfg = ppsim_bench::setup("fig6a");
+    let r = ppsim_core::experiments::fig6a(&cfg);
+    println!("{}", r.table());
+    println!(
+        "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best other)",
+        r.accuracy_gain(1, 2)
+    );
+    println!(
+        "average accuracy gain (conventional over pep-pa):    {:+.2} points (paper: positive — PEP-PA degrades out of order)",
+        r.accuracy_gain(0, 1)
+    );
+}

@@ -1,0 +1,23 @@
+//! Sensitivity sweeps: predictor budget, history length and if-conversion
+//! threshold ablations (the design-space context around Table 1's
+//! operating point).
+
+use ppsim_core::sweep;
+
+fn main() {
+    let mut cfg = ppsim_bench::setup("sweeps");
+    if cfg.only.is_empty() {
+        // Sweeps multiply run counts by the number of points; default to a
+        // representative subset (override with PPSIM_ONLY).
+        cfg.only = ["gzip", "gcc", "crafty", "twolf", "swim", "art"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        eprintln!("[sweeps] defaulting to subset: {}", cfg.only.join(","));
+    }
+    println!("{}", sweep::size_sweep(&cfg, false).table());
+    println!("{}", sweep::size_sweep(&cfg, true).table());
+    println!("{}", sweep::history_sweep(&cfg, true).table());
+    println!("{}", sweep::threshold_table(&sweep::threshold_sweep(&cfg)));
+    println!("{}", sweep::repair_ablation(&cfg).table());
+}

@@ -1,0 +1,69 @@
+//! # ppsim-bench — the figure/table regeneration harness
+//!
+//! Binaries (run with `cargo run --release -p ppsim-bench --bin <name>`):
+//!
+//! * `table1` — prints the simulated machine parameters and predictor
+//!   storage budgets (Table 1),
+//! * `fig5` — conventional vs predicate predictor on non-if-converted
+//!   binaries; pass `--ideal` for the alias-free/perfect-history variant,
+//! * `fig6a` — PEP-PA vs conventional vs predicate predictor on
+//!   if-converted binaries,
+//! * `fig6b` — early-resolved vs correlation breakdown,
+//! * `ipc_ablation` — selective predicate prediction vs cmov predication,
+//! * `all` — everything above in one run, plus the paper-vs-measured
+//!   summary used by `EXPERIMENTS.md`.
+//!
+//! Environment knobs: `PPSIM_COMMITS` (committed instructions per run,
+//! default 500000), `PPSIM_ONLY` (comma-separated benchmark subset).
+//!
+//! Criterion micro-benchmarks (`cargo bench -p ppsim-bench`) cover
+//! predictor lookup/train throughput, end-to-end simulator speed, and the
+//! compiler passes.
+
+use ppsim_core::{experiments, ExperimentConfig};
+
+/// Shared entry point: builds the experiment config from the environment
+/// and echoes the run parameters.
+pub fn setup(name: &str) -> ExperimentConfig {
+    let cfg = ExperimentConfig::from_env();
+    eprintln!(
+        "[{name}] commits/run = {}, benchmarks = {}",
+        cfg.commits,
+        if cfg.only.is_empty() { "all 22".to_string() } else { cfg.only.join(",") }
+    );
+    cfg
+}
+
+/// Runs every experiment and prints the consolidated report (the `all`
+/// binary body; exposed for integration tests).
+pub fn run_all(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&experiments::table1(cfg));
+    out.push('\n');
+    let fig5 = experiments::fig5(cfg, false);
+    out.push_str(&fig5.table().to_string());
+    out.push_str(&format!(
+        "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.86)\n\n",
+        fig5.accuracy_gain(0, 1)
+    ));
+    let fig6a = experiments::fig6a(cfg);
+    out.push_str(&fig6a.table().to_string());
+    out.push_str(&format!(
+        "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n\n",
+        fig6a.accuracy_gain(1, 2)
+    ));
+    let fig6b = experiments::fig6b(cfg);
+    out.push_str(&fig6b.table().to_string());
+    out.push_str(&format!(
+        "averages: early {:+.2}, correlation {:+.2} (paper: +0.5 / +1.0)\n\n",
+        fig6b.average_early(),
+        fig6b.average_correlation()
+    ));
+    let ipc = experiments::ipc_ablation(cfg);
+    out.push_str(&ipc.table().to_string());
+    out.push_str(&format!(
+        "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)\n",
+        ipc.geomean_speedup()
+    ));
+    out
+}

@@ -1,0 +1,653 @@
+//! Profile-guided if-conversion (Allen et al.; applied as in the paper).
+//!
+//! Collapses hammocks (triangles) and diamonds whose branch is
+//! hard-to-predict into predicated straight-line code:
+//!
+//! * the branch condition becomes a [`MirOp::DefPred`] (`cmp.unc`),
+//! * the side blocks' operations are guarded with the new predicates
+//!   (already-guarded operations keep their guard — their own `DefPred`
+//!   is guarded instead, and `unc` semantics clear its targets when
+//!   disqualified, exactly the IA-64 nesting idiom),
+//! * side blocks ending in a further *exit* branch are supported: the exit
+//!   becomes a [`Terminator::PredBranch`] — the paper's Figure 1
+//!   "unconditional branch transformed into a conditional branch" that
+//!   still needs prediction,
+//! * straight-line jump chains are merged so that nested structures become
+//!   single blocks, enabling fixpoint conversion of regions.
+//!
+//! The pass never touches loop branches: back edges target blocks with
+//! multiple predecessors, which the single-predecessor side-block test
+//! rejects.
+
+use crate::ir::{BlockId, Cfg, GuardedOp, MirOp, PredId, Terminator};
+use crate::profile::ProfileData;
+
+/// If-conversion parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IfConvertConfig {
+    /// Convert a branch only if its profiled misprediction rate is at
+    /// least this.
+    pub misp_threshold: f64,
+    /// ... and it executed at least this many times during profiling.
+    pub min_execs: u64,
+    /// Maximum operations per side block.
+    pub max_ops: usize,
+    /// Ignore the profile and convert every structural candidate.
+    pub convert_all: bool,
+}
+
+impl Default for IfConvertConfig {
+    fn default() -> Self {
+        IfConvertConfig {
+            // The paper converts *hard-to-predict* branches (profile
+            // guided, after Chang et al. [4]); moderately predictable
+            // branches — in particular the correlated region branches the
+            // whole study revolves around — stay as branches.
+            misp_threshold: 0.15,
+            min_execs: 50,
+            max_ops: 24,
+            convert_all: false,
+        }
+    }
+}
+
+/// What the pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IfConvertStats {
+    /// Branches converted (hammock or diamond collapses).
+    pub converted: usize,
+    /// Structural candidates rejected by the profile gate.
+    pub rejected_by_profile: usize,
+    /// Structural candidates rejected by the size limit.
+    pub rejected_by_size: usize,
+    /// Straight-line jump chains merged.
+    pub merged_chains: usize,
+}
+
+/// A side block's terminator, normalized for absorption into the region:
+/// either it simply rejoins (`Jump`), or it leaves behind a *region branch*
+/// (`PredBranch`) plus possibly one extra guarded `DefPred` computing its
+/// predicate (the Figure-1 case of a conditional branch inside the region).
+struct SideExit {
+    /// Extra operation to append after the side's guarded ops.
+    extra: Option<GuardedOp>,
+    /// Normalized terminator.
+    term: Terminator,
+}
+
+/// Normalizes a side block's terminator for absorption under `guard`.
+fn normalize_side_term(cfg: &mut Cfg, guard: PredId, term: Terminator) -> SideExit {
+    match term {
+        Terminator::CondBranch { cond, then_bb, else_bb } => {
+            // The branch survives if-conversion as a guarded compare plus a
+            // predicate branch — the paper's "unconditional branch
+            // transformed into a conditional branch" when it was the exit
+            // of a region ((p3) br.ret in Figure 1b).
+            let p = cfg.new_pred();
+            SideExit {
+                extra: Some(GuardedOp::guarded(
+                    guard,
+                    MirOp::DefPred { pt: Some(p), pf: None, cond },
+                )),
+                term: Terminator::PredBranch { pred: p, then_bb, else_bb },
+            }
+        }
+        other => SideExit { extra: None, term: other },
+    }
+}
+
+/// Merges the normalized terminators of the two sides of a diamond.
+///
+/// A `PredBranch` can pair with a `Jump` to the same fallthrough because
+/// its predicate is defined under the *other* side's guard by an `unc`
+/// compare: when that guard is false the predicate reads zero and the
+/// region branch falls through.
+fn merge_terminators(t_term: Terminator, f_term: Terminator) -> Option<Terminator> {
+    match (t_term, f_term) {
+        (Terminator::Jump(a), Terminator::Jump(b)) if a == b => Some(Terminator::Jump(a)),
+        (Terminator::Jump(j), Terminator::PredBranch { pred, then_bb, else_bb })
+            if else_bb == j =>
+        {
+            Some(Terminator::PredBranch { pred, then_bb, else_bb })
+        }
+        (Terminator::PredBranch { pred, then_bb, else_bb }, Terminator::Jump(j))
+            if else_bb == j =>
+        {
+            Some(Terminator::PredBranch { pred, then_bb, else_bb })
+        }
+        (Terminator::Halt, Terminator::Halt) => Some(Terminator::Halt),
+        _ => None,
+    }
+}
+
+/// Whether a normalized side terminator is a valid exit toward `join`
+/// (triangle patterns).
+fn triangle_exit(term: Terminator, join: BlockId) -> Option<Terminator> {
+    match term {
+        Terminator::Jump(j) if j == join => Some(Terminator::Jump(join)),
+        Terminator::PredBranch { pred, then_bb, else_bb } if else_bb == join => {
+            Some(Terminator::PredBranch { pred, then_bb, else_bb })
+        }
+        _ => None,
+    }
+}
+
+/// Guards every operation of `ops` with `guard`, preserving existing guards
+/// (their defining `DefPred` is the one that gets guarded).
+fn guard_ops(ops: &[GuardedOp], guard: PredId) -> Vec<GuardedOp> {
+    ops.iter()
+        .map(|g| GuardedOp { guard: Some(g.guard.unwrap_or(guard)), op: g.op })
+        .collect()
+}
+
+fn profile_allows(
+    cfg_block: BlockId,
+    profile: &ProfileData,
+    config: &IfConvertConfig,
+) -> bool {
+    if config.convert_all {
+        return true;
+    }
+    match profile.branch(cfg_block) {
+        Some(p) => p.execs >= config.min_execs && p.misp_rate() >= config.misp_threshold,
+        None => false,
+    }
+}
+
+/// Runs if-conversion to a fixpoint on `cfg`, guided by `profile`.
+pub fn if_convert(cfg: &mut Cfg, profile: &ProfileData, config: &IfConvertConfig) -> IfConvertStats {
+    let mut stats = IfConvertStats::default();
+    // Chain merging moves a successor's terminator into its predecessor;
+    // profile data is keyed by the *original* block of each branch, so
+    // track where each block's current terminator came from.
+    let mut term_origin: Vec<BlockId> = cfg.block_ids().collect();
+    loop {
+        let mut changed = false;
+
+        // 1. Merge straight-line jump chains (enables nested conversion).
+        loop {
+            let preds = cfg.reachable_predecessor_counts();
+            let reachable = cfg.reachable();
+            let mut merged = false;
+            for a in cfg.block_ids().collect::<Vec<_>>() {
+                if !reachable.contains(&a) {
+                    continue;
+                }
+                let Terminator::Jump(b) = cfg.block(a).term else { continue };
+                if b == a || preds[b.0 as usize] != 1 {
+                    continue;
+                }
+                let b_block = cfg.block(b).clone();
+                let a_block = cfg.block_mut(a);
+                a_block.ops.extend(b_block.ops);
+                a_block.term = b_block.term;
+                term_origin[a.0 as usize] = term_origin[b.0 as usize];
+                stats.merged_chains += 1;
+                merged = true;
+                break; // predecessor counts are stale; recompute
+            }
+            if !merged {
+                break;
+            }
+        }
+
+        // 2. Convert one candidate, then restart (keeps predecessor counts
+        //    trivially correct). Rejection counters reflect the final pass.
+        stats.rejected_by_profile = 0;
+        stats.rejected_by_size = 0;
+        let preds = cfg.reachable_predecessor_counts();
+        let reachable = cfg.reachable();
+        let candidates: Vec<BlockId> = cfg
+            .block_ids()
+            .filter(|b| reachable.contains(b))
+            .collect();
+        for a in candidates {
+            let Terminator::CondBranch { cond, then_bb: t, else_bb: f } = cfg.block(a).term
+            else {
+                continue;
+            };
+            if t == f || t == a || f == a {
+                continue;
+            }
+            let t_single = preds[t.0 as usize] == 1;
+            let f_single = preds[f.0 as usize] == 1;
+            let t_len = cfg.block(t).ops.len();
+            let f_len = cfg.block(f).ops.len();
+
+            enum Shape {
+                Diamond,
+                TriangleThen,
+                TriangleElse,
+            }
+            // Structural pre-check (without allocating predicates):
+            // triangles need the absorbed side to rejoin at the other side;
+            // diamonds need mergeable exits. CondBranch exits normalize to
+            // PredBranch, so treat them as PredBranch for the check.
+            let as_norm = |term: Terminator| -> Terminator {
+                match term {
+                    Terminator::CondBranch { then_bb, else_bb, .. } => Terminator::PredBranch {
+                        pred: PredId(u32::MAX),
+                        then_bb,
+                        else_bb,
+                    },
+                    other => other,
+                }
+            };
+            let shape = if t_single
+                && f_single
+                && merge_terminators(as_norm(cfg.block(t).term), as_norm(cfg.block(f).term))
+                    .is_some()
+            {
+                Some(Shape::Diamond)
+            } else if t_single && triangle_exit(as_norm(cfg.block(t).term), f).is_some() {
+                Some(Shape::TriangleThen)
+            } else if f_single && triangle_exit(as_norm(cfg.block(f).term), t).is_some() {
+                Some(Shape::TriangleElse)
+            } else {
+                None
+            };
+            let Some(shape) = shape else { continue };
+
+            // Size gate.
+            let too_big = match shape {
+                Shape::Diamond => t_len > config.max_ops || f_len > config.max_ops,
+                Shape::TriangleThen => t_len > config.max_ops,
+                Shape::TriangleElse => f_len > config.max_ops,
+            };
+            if too_big {
+                stats.rejected_by_size += 1;
+                continue;
+            }
+
+            // Profile gate (on the block the terminator originally came
+            // from).
+            if !profile_allows(term_origin[a.0 as usize], profile, config) {
+                stats.rejected_by_profile += 1;
+                continue;
+            }
+
+            // Apply.
+            let pt = cfg.new_pred();
+            let pf = cfg.new_pred();
+            match shape {
+                Shape::Diamond => {
+                    let (tt, ft) = (cfg.block(t).term, cfg.block(f).term);
+                    let t_exit = normalize_side_term(cfg, pt, tt);
+                    let f_exit = normalize_side_term(cfg, pf, ft);
+                    let term = merge_terminators(t_exit.term, f_exit.term)
+                        .expect("pre-checked mergeable");
+                    let mut t_ops = guard_ops(&cfg.block(t).ops, pt);
+                    t_ops.extend(t_exit.extra);
+                    let mut f_ops = guard_ops(&cfg.block(f).ops, pf);
+                    f_ops.extend(f_exit.extra);
+                    let a_block = cfg.block_mut(a);
+                    a_block.ops.push(GuardedOp::new(MirOp::DefPred {
+                        pt: Some(pt),
+                        pf: Some(pf),
+                        cond,
+                    }));
+                    a_block.ops.extend(t_ops);
+                    a_block.ops.extend(f_ops);
+                    a_block.term = term;
+                }
+                Shape::TriangleThen => {
+                    let tt = cfg.block(t).term;
+                    let t_exit = normalize_side_term(cfg, pt, tt);
+                    let term = triangle_exit(t_exit.term, f).expect("pre-checked exit");
+                    let mut t_ops = guard_ops(&cfg.block(t).ops, pt);
+                    t_ops.extend(t_exit.extra);
+                    let a_block = cfg.block_mut(a);
+                    a_block.ops.push(GuardedOp::new(MirOp::DefPred {
+                        pt: Some(pt),
+                        pf: None,
+                        cond,
+                    }));
+                    a_block.ops.extend(t_ops);
+                    a_block.term = term;
+                }
+                Shape::TriangleElse => {
+                    let ft = cfg.block(f).term;
+                    let f_exit = normalize_side_term(cfg, pf, ft);
+                    let term = triangle_exit(f_exit.term, t).expect("pre-checked exit");
+                    let mut f_ops = guard_ops(&cfg.block(f).ops, pf);
+                    f_ops.extend(f_exit.extra);
+                    let a_block = cfg.block_mut(a);
+                    a_block.ops.push(GuardedOp::new(MirOp::DefPred {
+                        pt: None,
+                        pf: Some(pf),
+                        cond,
+                    }));
+                    a_block.ops.extend(f_ops);
+                    a_block.term = term;
+                }
+            }
+            stats.converted += 1;
+            changed = true;
+            break;
+        }
+
+        if !changed {
+            return stats;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Cond, Module};
+    use crate::lower::lower;
+    use crate::profile::profile_run;
+    use ppsim_isa::{AluKind, CmpRel, Gr, Machine, Operand};
+
+    fn g(i: u8) -> Gr {
+        Gr::new(i)
+    }
+
+    fn cond_lt(r: Gr, v: i64) -> Cond {
+        Cond::Int { rel: CmpRel::Lt, src1: r, src2: Operand::Imm(v) }
+    }
+
+    fn all() -> IfConvertConfig {
+        IfConvertConfig { convert_all: true, ..IfConvertConfig::default() }
+    }
+
+    fn movi(dst: Gr, imm: i64) -> GuardedOp {
+        GuardedOp::new(MirOp::Movi { dst, imm })
+    }
+
+    /// if (r1 < 10) r2 = 1 else r2 = 2; r3 = r2 + 1
+    fn diamond(taken: bool) -> Module {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let t = cfg.new_block();
+        let f = cfg.new_block();
+        let j = cfg.new_block();
+        cfg.block_mut(a).ops.push(movi(g(1), if taken { 5 } else { 50 }));
+        cfg.block_mut(a).term =
+            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: f };
+        cfg.block_mut(t).ops.push(movi(g(2), 1));
+        cfg.block_mut(t).term = Terminator::Jump(j);
+        cfg.block_mut(f).ops.push(movi(g(2), 2));
+        cfg.block_mut(f).term = Terminator::Jump(j);
+        cfg.block_mut(j).ops.push(GuardedOp::new(MirOp::Alu {
+            kind: AluKind::Add,
+            dst: g(3),
+            src1: g(2),
+            src2: Operand::Imm(1),
+        }));
+        Module { cfg, ..Module::default() }
+    }
+
+    fn run_regs(m: &Module, regs: &[u8]) -> Vec<i64> {
+        let out = lower(m, false).unwrap();
+        let mut machine = Machine::new(&out.program);
+        machine.run(10_000).unwrap();
+        regs.iter().map(|r| machine.gr(g(*r))).collect()
+    }
+
+    #[test]
+    fn diamond_is_converted_and_preserves_semantics() {
+        for taken in [true, false] {
+            let mut m = diamond(taken);
+            let before = run_regs(&m, &[1, 2, 3]);
+            let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
+            assert_eq!(stats.converted, 1);
+            m.cfg.validate().unwrap();
+            assert_eq!(m.cfg.cond_branch_count(), 0, "branch removed");
+            let after = run_regs(&m, &[1, 2, 3]);
+            assert_eq!(before, after, "taken={taken}");
+        }
+    }
+
+    #[test]
+    fn converted_diamond_has_multiple_defs_of_same_register() {
+        // The classic multiple-register-definition situation of §3.2:
+        // both guarded movs write r2.
+        let mut m = diamond(true);
+        if_convert(&mut m.cfg, &ProfileData::default(), &all());
+        let entry = m.cfg.block(BlockId(0));
+        let guarded_movs = entry
+            .ops
+            .iter()
+            .filter(|o| o.guard.is_some() && matches!(o.op, MirOp::Movi { dst, .. } if dst == g(2)))
+            .count();
+        assert_eq!(guarded_movs, 2);
+    }
+
+    #[test]
+    fn triangle_then_is_converted() {
+        // if (r1 < 10) r2 = 1; r3 = r2
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let t = cfg.new_block();
+        let j = cfg.new_block();
+        cfg.block_mut(a).ops.push(movi(g(1), 5));
+        cfg.block_mut(a).term =
+            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: j };
+        cfg.block_mut(t).ops.push(movi(g(2), 1));
+        cfg.block_mut(t).term = Terminator::Jump(j);
+        cfg.block_mut(j).ops.push(GuardedOp::new(MirOp::Alu {
+            kind: AluKind::Add,
+            dst: g(3),
+            src1: g(2),
+            src2: Operand::Imm(0),
+        }));
+        let mut m = Module { cfg, ..Module::default() };
+        let before = run_regs(&m, &[2, 3]);
+        let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
+        assert_eq!(stats.converted, 1);
+        assert_eq!(m.cfg.cond_branch_count(), 0);
+        assert_eq!(run_regs(&m, &[2, 3]), before);
+    }
+
+    /// The paper's Figure 1: a diamond on cond1 followed (on the join path)
+    /// by a triangle on cond2 whose then-side exits to `ret`.
+    fn figure1() -> Module {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block(); // cmp cond1; br
+        let x = cfg.new_block(); // mov r32 = 0
+        let y = cfg.new_block(); // mov r32 = 1; cmp cond2; br
+        let ret = cfg.new_block(); // mov r35 = 1; halt ("br.ret")
+        let cont = cfg.new_block(); // mov r33 = r32
+        // r40 = cond1 source, r41 = cond2 source
+        cfg.block_mut(a).term =
+            Terminator::CondBranch { cond: cond_lt(g(40), 10), then_bb: x, else_bb: y };
+        cfg.block_mut(x).ops.push(movi(g(32), 0));
+        cfg.block_mut(x).term = Terminator::Jump(cont);
+        cfg.block_mut(y).ops.push(movi(g(32), 1));
+        cfg.block_mut(y).term =
+            Terminator::CondBranch { cond: cond_lt(g(41), 10), then_bb: ret, else_bb: cont };
+        cfg.block_mut(ret).ops.push(movi(g(35), 1));
+        cfg.block_mut(ret).term = Terminator::Halt;
+        cfg.block_mut(cont).ops.push(GuardedOp::new(MirOp::Alu {
+            kind: AluKind::Add,
+            dst: g(33),
+            src1: g(32),
+            src2: Operand::Imm(0),
+        }));
+        Module { cfg, ..Module::default() }
+    }
+
+    #[test]
+    fn figure1_nested_structure_collapses_to_region_with_pred_branch() {
+        for (c1, c2) in [(5, 5), (5, 50), (50, 5), (50, 50)] {
+            let mut m = figure1();
+            m.cfg.block_mut(BlockId(0)).ops.insert(0, movi(g(40), c1));
+            m.cfg.block_mut(BlockId(0)).ops.insert(1, movi(g(41), c2));
+            let before = run_regs(&m, &[32, 33, 35]);
+            let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
+            m.cfg.validate().unwrap();
+            assert!(stats.converted >= 1, "the diamond (with its inner exit branch) converts");
+            // Exactly one conditional branch remains: the region branch
+            // (the paper's transformed br.ret).
+            assert_eq!(m.cfg.cond_branch_count(), 1);
+            let entry = m.cfg.block(BlockId(0));
+            assert!(
+                matches!(entry.term, Terminator::PredBranch { .. }),
+                "remaining branch is predicate-guarded"
+            );
+            // And the inner compare is itself guarded (nested predication,
+            // as in Figure 1(b): "(p2) cmp.unc p3, p0 = cond2").
+            let guarded_defpred = entry
+                .ops
+                .iter()
+                .any(|o| o.guard.is_some() && matches!(o.op, MirOp::DefPred { .. }));
+            assert!(guarded_defpred, "inner DefPred carries the region guard");
+            assert_eq!(run_regs(&m, &[32, 33, 35]), before, "c1={c1} c2={c2}");
+        }
+    }
+
+    #[test]
+    fn loop_latch_is_never_converted() {
+        // while (r1 < 100) { r1 += 1 }
+        let mut cfg = Cfg::new();
+        let entry = cfg.new_block();
+        let header = cfg.new_block();
+        let body = cfg.new_block();
+        let exit = cfg.new_block();
+        cfg.block_mut(entry).ops.push(movi(g(1), 0));
+        cfg.block_mut(entry).term = Terminator::Jump(header);
+        cfg.block_mut(header).term =
+            Terminator::CondBranch { cond: cond_lt(g(1), 100), then_bb: body, else_bb: exit };
+        cfg.block_mut(body).ops.push(GuardedOp::new(MirOp::Alu {
+            kind: AluKind::Add,
+            dst: g(1),
+            src1: g(1),
+            src2: Operand::Imm(1),
+        }));
+        cfg.block_mut(body).term = Terminator::Jump(header);
+        let mut m = Module { cfg, ..Module::default() };
+        let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
+        assert_eq!(stats.converted, 0, "back edges keep the header multi-pred");
+        assert_eq!(run_regs(&m, &[1]), vec![100]);
+    }
+
+    #[test]
+    fn profile_gate_spares_predictable_branches() {
+        // Profile the diamond; its branch is perfectly biased, so a
+        // realistic threshold rejects it.
+        let m = diamond(true);
+        let out = lower(&m, true).unwrap();
+        let profile = profile_run(&out, 10_000).unwrap();
+        let mut m2 = diamond(true);
+        let cfg = IfConvertConfig { min_execs: 0, ..IfConvertConfig::default() };
+        let stats = if_convert(&mut m2.cfg, &profile, &cfg);
+        assert_eq!(stats.converted, 0);
+        assert_eq!(stats.rejected_by_profile, 1);
+    }
+
+    #[test]
+    fn size_gate_rejects_fat_sides() {
+        let mut m = diamond(true);
+        for k in 0..30 {
+            m.cfg
+                .block_mut(BlockId(1))
+                .ops
+                .push(movi(g(60), k));
+        }
+        let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
+        assert_eq!(stats.converted, 0);
+        assert!(stats.rejected_by_size >= 1);
+    }
+
+    #[test]
+    fn halt_halt_diamond_merges() {
+        // Both sides end the program: mergeable (Halt, Halt).
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let t = cfg.new_block();
+        let f = cfg.new_block();
+        cfg.block_mut(a).ops.push(movi(g(1), 5));
+        cfg.block_mut(a).term =
+            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: f };
+        cfg.block_mut(t).ops.push(movi(g(2), 1));
+        cfg.block_mut(t).term = Terminator::Halt;
+        cfg.block_mut(f).ops.push(movi(g(2), 2));
+        cfg.block_mut(f).term = Terminator::Halt;
+        let mut m = Module { cfg, ..Module::default() };
+        let before = run_regs(&m, &[2]);
+        let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
+        assert_eq!(stats.converted, 1);
+        assert_eq!(m.cfg.cond_branch_count(), 0);
+        assert_eq!(run_regs(&m, &[2]), before);
+    }
+
+    #[test]
+    fn triangle_else_is_converted() {
+        // if (cond) join else { r2 = 9 }; — the else-side hangs off the
+        // fallthrough and rejoins at the then-target.
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let j = cfg.new_block();
+        let f = cfg.new_block();
+        cfg.block_mut(a).ops.push(movi(g(1), 50)); // cond false → else
+        cfg.block_mut(a).term =
+            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: j, else_bb: f };
+        cfg.block_mut(f).ops.push(movi(g(2), 9));
+        cfg.block_mut(f).term = Terminator::Jump(j);
+        cfg.block_mut(j).ops.push(movi(g(3), 3));
+        let mut m = Module { cfg, ..Module::default() };
+        let before = run_regs(&m, &[2, 3]);
+        let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
+        assert_eq!(stats.converted, 1);
+        assert_eq!(m.cfg.cond_branch_count(), 0);
+        assert_eq!(run_regs(&m, &[2, 3]), before);
+    }
+
+    #[test]
+    fn chain_merge_attributes_profile_to_moved_terminator() {
+        // A → (jump) → B where B ends in a hot branch; the profile gate
+        // must consult B's profile even after B's terminator is merged
+        // into A.
+        use crate::profile::BranchProfile;
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let b = cfg.new_block();
+        let t = cfg.new_block();
+        let j = cfg.new_block();
+        cfg.block_mut(a).ops.push(movi(g(1), 5));
+        cfg.block_mut(a).term = Terminator::Jump(b);
+        cfg.block_mut(b).ops.push(movi(g(2), 1));
+        cfg.block_mut(b).term =
+            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: j };
+        cfg.block_mut(t).ops.push(movi(g(3), 1));
+        cfg.block_mut(t).term = Terminator::Jump(j);
+        // Profile: B's branch is hard; nothing recorded for A.
+        let mut prof = ProfileData::default();
+        prof.by_block.insert(b, BranchProfile { execs: 1000, taken: 500, mispredicts: 400 });
+        let cfg_opts = IfConvertConfig { min_execs: 10, ..IfConvertConfig::default() };
+        let mut m = Module { cfg, ..Module::default() };
+        let stats = if_convert(&mut m.cfg, &prof, &cfg_opts);
+        assert!(stats.merged_chains >= 1, "A and B merged");
+        assert_eq!(stats.converted, 1, "B's hard branch converted via A's merged terminator");
+    }
+
+    #[test]
+    fn predicated_store_survives_conversion() {
+        // if (r1 < 10) mem[r4] = r5 — stores must be guarded, not hoisted.
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let t = cfg.new_block();
+        let j = cfg.new_block();
+        cfg.block_mut(a).ops.push(movi(g(1), 50)); // NOT taken
+        cfg.block_mut(a).ops.push(movi(g(4), 0x9000));
+        cfg.block_mut(a).ops.push(movi(g(5), 77));
+        cfg.block_mut(a).term =
+            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: j };
+        cfg.block_mut(t).ops.push(GuardedOp::new(MirOp::Store {
+            src: g(5),
+            base: g(4),
+            offset: 0,
+        }));
+        cfg.block_mut(t).term = Terminator::Jump(j);
+        cfg.block_mut(j).ops.push(GuardedOp::new(MirOp::Load {
+            dst: g(6),
+            base: g(4),
+            offset: 0,
+        }));
+        let mut m = Module { cfg, ..Module::default() };
+        if_convert(&mut m.cfg, &ProfileData::default(), &all());
+        assert_eq!(run_regs(&m, &[6]), vec![0], "nullified store left memory untouched");
+    }
+}

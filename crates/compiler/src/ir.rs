@@ -1,0 +1,585 @@
+//! A control-flow-graph IR with first-class predicates.
+//!
+//! The IR mirrors the compare-and-branch model of the target ISA: branch
+//! conditions are explicit [`Cond`] expressions until lowering (for
+//! [`Terminator::CondBranch`]), while if-converted code uses
+//! [`MirOp::DefPred`] definitions and [`Terminator::PredBranch`] region
+//! branches — the paper's Figure 1(b) shape.
+//!
+//! Virtual predicates ([`PredId`]) are block-local by construction: every
+//! use (guard or predicate branch) must be dominated by a [`MirOp::DefPred`]
+//! in the *same* block. [`Cfg::validate`] enforces this, which is what makes
+//! predicate register assignment during lowering trivially correct.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use ppsim_isa::{AluKind, CmpRel, Fr, FpuKind, Gr, Operand};
+
+/// A virtual predicate name (assigned a physical `Pr` at lowering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+/// A basic-block name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%p{}", self.0)
+    }
+}
+
+/// A branch/compare condition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cond {
+    /// Integer relation `src1 <rel> src2`.
+    Int {
+        /// Relation.
+        rel: CmpRel,
+        /// Left operand.
+        src1: Gr,
+        /// Right operand.
+        src2: Operand,
+    },
+    /// Floating-point relation `src1 <rel> src2`.
+    Fp {
+        /// Relation.
+        rel: CmpRel,
+        /// Left operand.
+        src1: Fr,
+        /// Right operand.
+        src2: Fr,
+    },
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Int { rel, src1, src2 } => write!(f, "{src1} {rel:?} {src2}"),
+            Cond::Fp { rel, src1, src2 } => write!(f, "{src1} {rel:?} {src2}"),
+        }
+    }
+}
+
+/// A straight-line mid-level operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MirOp {
+    /// Integer ALU.
+    Alu {
+        /// Operation kind.
+        kind: AluKind,
+        /// Destination.
+        dst: Gr,
+        /// First source.
+        src1: Gr,
+        /// Second source.
+        src2: Operand,
+    },
+    /// Load immediate.
+    Movi {
+        /// Destination.
+        dst: Gr,
+        /// Value.
+        imm: i64,
+    },
+    /// Floating-point arithmetic.
+    Fpu {
+        /// Operation kind.
+        kind: FpuKind,
+        /// Destination.
+        dst: Fr,
+        /// First source.
+        src1: Fr,
+        /// Second source.
+        src2: Fr,
+    },
+    /// Integer → float conversion.
+    Itof {
+        /// Destination.
+        dst: Fr,
+        /// Source.
+        src: Gr,
+    },
+    /// Float → integer conversion.
+    Ftoi {
+        /// Destination.
+        dst: Gr,
+        /// Source.
+        src: Fr,
+    },
+    /// Integer load.
+    Load {
+        /// Destination.
+        dst: Gr,
+        /// Base register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Integer store.
+    Store {
+        /// Source.
+        src: Gr,
+        /// Base register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Float load.
+    Loadf {
+        /// Destination.
+        dst: Fr,
+        /// Base register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Float store.
+    Storef {
+        /// Source.
+        src: Fr,
+        /// Base register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Unconditional-type predicate definition (`cmp.unc` semantics: when
+    /// the op's guard is false, both targets are cleared).
+    DefPred {
+        /// True target (receives the condition).
+        pt: Option<PredId>,
+        /// False target (receives the complement).
+        pf: Option<PredId>,
+        /// The condition.
+        cond: Cond,
+    },
+}
+
+impl MirOp {
+    /// Whether this operation defines the given predicate.
+    pub fn defines_pred(&self, p: PredId) -> bool {
+        matches!(self, MirOp::DefPred { pt, pf, .. } if *pt == Some(p) || *pf == Some(p))
+    }
+}
+
+/// An operation with an optional qualifying predicate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardedOp {
+    /// Guard: the op only takes architectural effect when this predicate is
+    /// true (`None` = always).
+    pub guard: Option<PredId>,
+    /// The operation.
+    pub op: MirOp,
+}
+
+impl GuardedOp {
+    /// An unguarded operation.
+    pub fn new(op: MirOp) -> Self {
+        GuardedOp { guard: None, op }
+    }
+
+    /// A guarded operation.
+    pub fn guarded(guard: PredId, op: MirOp) -> Self {
+        GuardedOp { guard: Some(guard), op }
+    }
+}
+
+/// Block terminators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on an explicit condition (pre-if-conversion form;
+    /// lowering synthesizes the compare and the predicate).
+    CondBranch {
+        /// The condition.
+        cond: Cond,
+        /// Successor when the condition holds.
+        then_bb: BlockId,
+        /// Successor otherwise.
+        else_bb: BlockId,
+    },
+    /// Two-way branch on an already-defined predicate (the *region branch*
+    /// left behind by if-conversion — the paper's `(p3) br.ret`).
+    PredBranch {
+        /// The guarding predicate.
+        pred: PredId,
+        /// Successor when the predicate is true.
+        then_bb: BlockId,
+        /// Successor otherwise.
+        else_bb: BlockId,
+    },
+    /// Program end.
+    Halt,
+}
+
+impl Terminator {
+    /// Successor blocks (0, 1 or 2).
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match *self {
+            Terminator::Jump(t) => (Some(t), None),
+            Terminator::CondBranch { then_bb, else_bb, .. }
+            | Terminator::PredBranch { then_bb, else_bb, .. } => (Some(then_bb), Some(else_bb)),
+            Terminator::Halt => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+/// A basic block: guarded straight-line ops plus a terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Operations in program order.
+    pub ops: Vec<GuardedOp>,
+    /// Control-flow exit.
+    pub term: Terminator,
+}
+
+/// IR validation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// A terminator names a block that does not exist.
+    BadTarget {
+        /// The block with the bad terminator.
+        block: u32,
+    },
+    /// A predicate is used before any definition in its block.
+    UseBeforeDef {
+        /// The offending block.
+        block: u32,
+        /// The undefined predicate.
+        pred: u32,
+    },
+    /// A `DefPred` names the same predicate for both targets.
+    DuplicateDefTargets {
+        /// The offending block.
+        block: u32,
+    },
+    /// The CFG has no blocks.
+    Empty,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::BadTarget { block } => write!(f, "bb{block} targets a nonexistent block"),
+            IrError::UseBeforeDef { block, pred } => {
+                write!(f, "bb{block} uses %p{pred} before any definition in the block")
+            }
+            IrError::DuplicateDefTargets { block } => {
+                write!(f, "bb{block} has a DefPred writing the same predicate twice")
+            }
+            IrError::Empty => write!(f, "CFG has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// A control-flow graph. Block 0 is the entry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Cfg {
+    /// The blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    next_pred: u32,
+}
+
+impl Cfg {
+    /// An empty CFG.
+    pub fn new() -> Self {
+        Cfg::default()
+    }
+
+    /// Appends an empty block ending in [`Terminator::Halt`].
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block { ops: Vec::new(), term: Terminator::Halt });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Allocates a fresh virtual predicate.
+    pub fn new_pred(&mut self) -> PredId {
+        self.next_pred += 1;
+        PredId(self.next_pred - 1)
+    }
+
+    /// Shared access to a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// All block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Predecessor counts for every block (index = block id).
+    pub fn predecessor_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.blocks.len()];
+        for b in &self.blocks {
+            for s in b.term.successors() {
+                counts[s.0 as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Predecessor counts considering only edges from blocks reachable
+    /// from the entry. Transformations that strand blocks (if-conversion,
+    /// chain merging) must use this, or stale edges from dead blocks
+    /// suppress later rewrites.
+    pub fn reachable_predecessor_counts(&self) -> Vec<u32> {
+        let reachable = self.reachable();
+        let mut counts = vec![0u32; self.blocks.len()];
+        for id in self.block_ids() {
+            if !reachable.contains(&id) {
+                continue;
+            }
+            for s in self.block(id).term.successors() {
+                counts[s.0 as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The set of blocks reachable from the entry.
+    pub fn reachable(&self) -> HashSet<BlockId> {
+        let mut seen = HashSet::new();
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![BlockId(0)];
+        while let Some(b) = stack.pop() {
+            if seen.insert(b) {
+                stack.extend(self.block(b).term.successors());
+            }
+        }
+        seen
+    }
+
+    /// Counts conditional branches (`CondBranch` + `PredBranch`) in
+    /// reachable blocks.
+    pub fn cond_branch_count(&self) -> usize {
+        self.reachable()
+            .iter()
+            .filter(|b| {
+                matches!(
+                    self.block(**b).term,
+                    Terminator::CondBranch { .. } | Terminator::PredBranch { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// See [`IrError`] for the conditions checked.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.blocks.is_empty() {
+            return Err(IrError::Empty);
+        }
+        let n = self.blocks.len() as u32;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let block = i as u32;
+            for s in b.term.successors() {
+                if s.0 >= n {
+                    return Err(IrError::BadTarget { block });
+                }
+            }
+            let mut defined: HashSet<PredId> = HashSet::new();
+            for g in &b.ops {
+                if let Some(p) = g.guard {
+                    if !defined.contains(&p) {
+                        return Err(IrError::UseBeforeDef { block, pred: p.0 });
+                    }
+                }
+                if let MirOp::DefPred { pt, pf, .. } = g.op {
+                    if pt.is_some() && pt == pf {
+                        return Err(IrError::DuplicateDefTargets { block });
+                    }
+                    defined.extend(pt);
+                    defined.extend(pf);
+                }
+            }
+            if let Terminator::PredBranch { pred, .. } = b.term {
+                if !defined.contains(&pred) {
+                    return Err(IrError::UseBeforeDef { block, pred: pred.0 });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for g in &b.ops {
+                match g.guard {
+                    Some(p) => writeln!(f, "    ({p}) {:?}", g.op)?,
+                    None => writeln!(f, "    {:?}", g.op)?,
+                }
+            }
+            match &b.term {
+                Terminator::Jump(t) => writeln!(f, "    jump {t}")?,
+                Terminator::CondBranch { cond, then_bb, else_bb } => {
+                    writeln!(f, "    if {cond} then {then_bb} else {else_bb}")?
+                }
+                Terminator::PredBranch { pred, then_bb, else_bb } => {
+                    writeln!(f, "    if {pred} then {then_bb} else {else_bb}")?
+                }
+                Terminator::Halt => writeln!(f, "    halt")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compilation unit: CFG plus initialized data and registers.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// The control-flow graph.
+    pub cfg: Cfg,
+    /// Initialized data memory.
+    pub data: Vec<ppsim_isa::DataSegment>,
+    /// Initial integer register values.
+    pub gr_init: Vec<i64>,
+    /// Initial floating-point register values.
+    pub fr_init: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u8) -> Gr {
+        Gr::new(i)
+    }
+
+    fn cond() -> Cond {
+        Cond::Int { rel: CmpRel::Lt, src1: g(1), src2: Operand::Imm(0) }
+    }
+
+    #[test]
+    fn builder_allocates_sequentially() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let b = cfg.new_block();
+        assert_eq!((a, b), (BlockId(0), BlockId(1)));
+        assert_eq!(cfg.new_pred(), PredId(0));
+        assert_eq!(cfg.new_pred(), PredId(1));
+    }
+
+    #[test]
+    fn successors_per_terminator() {
+        let t = Terminator::Jump(BlockId(3));
+        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
+        let t = Terminator::CondBranch { cond: cond(), then_bb: BlockId(1), else_bb: BlockId(2) };
+        assert_eq!(t.successors().count(), 2);
+        assert_eq!(Terminator::Halt.successors().count(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        cfg.block_mut(a).term = Terminator::Jump(BlockId(7));
+        assert_eq!(cfg.validate(), Err(IrError::BadTarget { block: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_guard_before_def() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let p = cfg.new_pred();
+        cfg.block_mut(a)
+            .ops
+            .push(GuardedOp::guarded(p, MirOp::Movi { dst: g(1), imm: 0 }));
+        assert_eq!(cfg.validate(), Err(IrError::UseBeforeDef { block: 0, pred: 0 }));
+    }
+
+    #[test]
+    fn validate_accepts_def_then_use() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let p = cfg.new_pred();
+        let q = cfg.new_pred();
+        let blk = cfg.block_mut(a);
+        blk.ops.push(GuardedOp::new(MirOp::DefPred { pt: Some(p), pf: Some(q), cond: cond() }));
+        blk.ops.push(GuardedOp::guarded(p, MirOp::Movi { dst: g(1), imm: 0 }));
+        blk.term = Terminator::PredBranch { pred: q, then_bb: a, else_bb: a };
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_pred_branch_without_def() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let p = cfg.new_pred();
+        cfg.block_mut(a).term = Terminator::PredBranch { pred: p, then_bb: a, else_bb: a };
+        assert_eq!(cfg.validate(), Err(IrError::UseBeforeDef { block: 0, pred: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_def_targets() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let p = cfg.new_pred();
+        cfg.block_mut(a)
+            .ops
+            .push(GuardedOp::new(MirOp::DefPred { pt: Some(p), pf: Some(p), cond: cond() }));
+        assert_eq!(cfg.validate(), Err(IrError::DuplicateDefTargets { block: 0 }));
+    }
+
+    #[test]
+    fn reachability_and_pred_counts() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        let b = cfg.new_block();
+        let c = cfg.new_block();
+        let dead = cfg.new_block();
+        cfg.block_mut(a).term =
+            Terminator::CondBranch { cond: cond(), then_bb: b, else_bb: c };
+        cfg.block_mut(b).term = Terminator::Jump(c);
+        // c halts; dead unreachable.
+        let r = cfg.reachable();
+        assert!(r.contains(&a) && r.contains(&b) && r.contains(&c));
+        assert!(!r.contains(&dead));
+        assert_eq!(cfg.predecessor_counts(), vec![0, 1, 2, 0]);
+        assert_eq!(cfg.cond_branch_count(), 1);
+    }
+
+    #[test]
+    fn display_renders_blocks() {
+        let mut cfg = Cfg::new();
+        let a = cfg.new_block();
+        cfg.block_mut(a).ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 7 }));
+        let s = cfg.to_string();
+        assert!(s.contains("bb0:"), "{s}");
+        assert!(s.contains("halt"), "{s}");
+    }
+}

@@ -1,0 +1,143 @@
+//! # ppsim-compiler — IR, if-conversion and the synthetic workload suite
+//!
+//! Stands in for the paper's compiler toolchain (Intel Electron v8.1 with
+//! profile feedback) and benchmark inputs (SPEC2000 + MinneSpec):
+//!
+//! * [`ir`] — a small control-flow-graph IR with first-class predicates,
+//! * [`profile`] — a profiling run that measures per-branch execution
+//!   counts and mispredictability under a small gshare (the stand-in for
+//!   the paper's profile feedback),
+//! * [`ifconvert`] — the **if-conversion** pass: profile-guided collapsing
+//!   of hammocks and diamonds into predicated straight-line code
+//!   (reproducing the paper's Figure 1 transformation, including region
+//!   branches that become conditional),
+//! * [`lower`] — linearization of the CFG to `ppsim-isa` programs with
+//!   predicate register assignment and *compare hoisting* (the scheduling
+//!   freedom behind the paper's early-resolved branches),
+//! * [`workloads`] — a deterministic generator for the 22 SPEC2000-named
+//!   synthetic benchmarks (11 integer + 11 floating point) whose branch
+//!   behaviour spans the regimes the paper's evaluation relies on:
+//!   biased, periodic, data-dependent-random, and *correlated* branch
+//!   families.
+//!
+//! # Example
+//!
+//! ```
+//! use ppsim_compiler::{compile, CompileOptions};
+//! use ppsim_compiler::workloads::spec2000_suite;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = &spec2000_suite()[0];
+//! let plain = compile(spec, &CompileOptions::no_ifconv())?;
+//! let ifconv = compile(spec, &CompileOptions::with_ifconv())?;
+//! assert!(ifconv.program.count_insns(|i| i.is_cond_branch())
+//!         <= plain.program.count_insns(|i| i.is_cond_branch()));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ifconvert;
+pub mod ir;
+pub mod lower;
+pub mod profile;
+pub mod workloads;
+
+use ppsim_isa::Program;
+
+pub use ifconvert::{IfConvertConfig, IfConvertStats};
+pub use ir::{BlockId, Cfg, Cond, GuardedOp, MirOp, Module, PredId, Terminator};
+pub use lower::{LowerError, LowerOutput};
+pub use profile::{BranchProfile, ProfileData};
+pub use workloads::{spec2000_suite, WorkloadClass, WorkloadSpec};
+
+/// End-to-end compilation options (mirrors the paper's two binary sets).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompileOptions {
+    /// Run profile-guided if-conversion.
+    pub if_convert: bool,
+    /// If-conversion pass parameters.
+    pub ifconvert: IfConvertConfig,
+    /// Hoist compares above independent work (early-resolution scheduling).
+    pub hoist_compares: bool,
+    /// Instruction budget for the profiling run.
+    pub profile_steps: u64,
+}
+
+impl CompileOptions {
+    /// The paper's first binary set: no predication, full optimization.
+    pub fn no_ifconv() -> Self {
+        CompileOptions {
+            if_convert: false,
+            ifconvert: IfConvertConfig::default(),
+            hoist_compares: true,
+            profile_steps: 200_000,
+        }
+    }
+
+    /// The paper's second binary set: if-conversion enabled.
+    pub fn with_ifconv() -> Self {
+        CompileOptions { if_convert: true, ..CompileOptions::no_ifconv() }
+    }
+}
+
+/// A compiled workload: the binary plus provenance metadata.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The executable program.
+    pub program: Program,
+    /// Per-branch profile gathered during compilation (present when
+    /// if-conversion ran).
+    pub profile: Option<ProfileData>,
+    /// If-conversion statistics (present when the pass ran).
+    pub ifconvert: Option<IfConvertStats>,
+}
+
+/// Errors surfaced by [`compile`].
+#[derive(Debug)]
+pub enum CompileError {
+    /// The CFG failed validation.
+    Ir(ir::IrError),
+    /// Lowering failed (e.g. predicate registers exhausted).
+    Lower(LowerError),
+    /// The profiling run aborted.
+    Profile(ppsim_isa::ExecError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Ir(e) => write!(f, "invalid IR: {e}"),
+            CompileError::Lower(e) => write!(f, "lowering failed: {e}"),
+            CompileError::Profile(e) => write!(f, "profiling run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a workload specification to an executable program.
+///
+/// With `if_convert` enabled this follows the paper's flow: build the CFG,
+/// lower it, run a profiling execution to find hard-to-predict branches,
+/// if-convert the CFG under profile guidance, and lower again.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the generated IR is malformed, lowering
+/// runs out of predicate registers, or the profiling run dies.
+pub fn compile(spec: &WorkloadSpec, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let mut module = workloads::build_module(spec);
+    module.cfg.validate().map_err(CompileError::Ir)?;
+
+    if !opts.if_convert {
+        let out = lower::lower(&module, opts.hoist_compares).map_err(CompileError::Lower)?;
+        return Ok(Compiled { program: out.program, profile: None, ifconvert: None });
+    }
+
+    let baseline = lower::lower(&module, opts.hoist_compares).map_err(CompileError::Lower)?;
+    let profile = profile::profile_run(&baseline, opts.profile_steps).map_err(CompileError::Profile)?;
+    let stats = ifconvert::if_convert(&mut module.cfg, &profile, &opts.ifconvert);
+    module.cfg.validate().map_err(CompileError::Ir)?;
+    let out = lower::lower(&module, opts.hoist_compares).map_err(CompileError::Lower)?;
+    Ok(Compiled { program: out.program, profile: Some(profile), ifconvert: Some(stats) })
+}

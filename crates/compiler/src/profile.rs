@@ -1,0 +1,203 @@
+//! Profiling run: the stand-in for the paper's profile feedback.
+//!
+//! The paper's benchmarks are compiled "using maximum optimization levels
+//! and profile information", and prior work (\[4\]) selects if-conversion
+//! candidates by profiling hard-to-predict branches. We do the same: run
+//! the non-if-converted binary under a small gshare and record, per branch
+//! site, the execution count, taken rate and misprediction rate.
+
+use std::collections::HashMap;
+
+use ppsim_isa::{ExecError, Machine, Program};
+use ppsim_predictors::{BranchPredictor, Gshare, GshareConfig};
+
+use crate::ir::BlockId;
+use crate::lower::LowerOutput;
+
+/// Per-branch-site profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// Dynamic executions.
+    pub execs: u64,
+    /// Times taken.
+    pub taken: u64,
+    /// Mispredictions under the profiling gshare.
+    pub mispredicts: u64,
+}
+
+impl BranchProfile {
+    /// Misprediction rate (0 when never executed).
+    pub fn misp_rate(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.execs as f64
+        }
+    }
+
+    /// Taken rate (0 when never executed).
+    pub fn taken_rate(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.execs as f64
+        }
+    }
+}
+
+/// Profile for a whole program, keyed by the source CFG block of each
+/// branch.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileData {
+    /// Block → profile of the branch that block's terminator produced.
+    pub by_block: HashMap<BlockId, BranchProfile>,
+    /// Dynamic instructions executed during profiling.
+    pub steps: u64,
+}
+
+impl ProfileData {
+    /// Profile of one block's branch, if it executed.
+    pub fn branch(&self, block: BlockId) -> Option<&BranchProfile> {
+        self.by_block.get(&block)
+    }
+}
+
+/// Runs the program for up to `max_steps` instructions, predicting every
+/// conditional branch with a small gshare, and aggregates per-site
+/// statistics.
+///
+/// The first quarter of the run warms the predictor without being
+/// counted, so borderline if-conversion decisions do not flip with the
+/// profiling budget.
+///
+/// # Errors
+///
+/// Propagates emulator failures ([`ExecError`]).
+pub fn profile_run(lowered: &LowerOutput, max_steps: u64) -> Result<ProfileData, ExecError> {
+    let site_map = lowered.site_map();
+    let mut gshare = Gshare::new(GshareConfig { ghr_bits: 12 });
+    // Pre-measure the dynamic length so the warm-up window scales with
+    // the run that will actually happen (short programs halt early).
+    let total = Machine::new(&lowered.program).run(max_steps)?.steps;
+    let warmup = total / 4;
+    let mut machine = Machine::new(&lowered.program);
+    let mut data = ProfileData::default();
+
+    let mut steps = 0u64;
+    while steps < max_steps {
+        let Some(rec) = machine.step()? else { break };
+        steps += 1;
+        if !rec.insn.is_cond_branch() {
+            continue;
+        }
+        let taken = rec.is_taken_branch();
+        let pc = Program::pc_of(rec.slot);
+        let pred = gshare.predict(pc, rec.insn.qp.index() as u8);
+        if pred.taken != taken {
+            gshare.recover(&pred, taken);
+        }
+        gshare.train(&pred, taken);
+        if steps <= warmup {
+            continue;
+        }
+        if let Some(block) = site_map.get(&rec.slot) {
+            let e = data.by_block.entry(*block).or_default();
+            e.execs += 1;
+            e.taken += u64::from(taken);
+            e.mispredicts += u64::from(pred.taken != taken);
+        }
+    }
+    data.steps = steps;
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Cfg, Cond, GuardedOp, MirOp, Module, Terminator};
+    use crate::lower::lower;
+    use ppsim_isa::{AluKind, CmpRel, Gr, Operand};
+
+    fn g(i: u8) -> Gr {
+        Gr::new(i)
+    }
+
+    /// A loop with a biased inner branch: `for i in 0..100 { if i % 4 != 0 {..} }`.
+    fn looped_module() -> Module {
+        let mut cfg = Cfg::new();
+        let entry = cfg.new_block();
+        let header = cfg.new_block();
+        let then = cfg.new_block();
+        let latch = cfg.new_block();
+        let exit = cfg.new_block();
+
+        cfg.block_mut(entry).ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 0 }));
+        cfg.block_mut(entry).term = Terminator::Jump(header);
+
+        let h = cfg.block_mut(header);
+        h.ops.push(GuardedOp::new(MirOp::Alu {
+            kind: AluKind::And,
+            dst: g(2),
+            src1: g(1),
+            src2: Operand::Imm(3),
+        }));
+        h.term = Terminator::CondBranch {
+            cond: Cond::Int { rel: CmpRel::Ne, src1: g(2), src2: Operand::Imm(0) },
+            then_bb: then,
+            else_bb: latch,
+        };
+
+        cfg.block_mut(then).ops.push(GuardedOp::new(MirOp::Alu {
+            kind: AluKind::Add,
+            dst: g(3),
+            src1: g(3),
+            src2: Operand::Imm(1),
+        }));
+        cfg.block_mut(then).term = Terminator::Jump(latch);
+
+        let l = cfg.block_mut(latch);
+        l.ops.push(GuardedOp::new(MirOp::Alu {
+            kind: AluKind::Add,
+            dst: g(1),
+            src1: g(1),
+            src2: Operand::Imm(1),
+        }));
+        l.term = Terminator::CondBranch {
+            cond: Cond::Int { rel: CmpRel::Lt, src1: g(1), src2: Operand::Imm(1000) },
+            then_bb: header,
+            else_bb: exit,
+        };
+        Module { cfg, ..Module::default() }
+    }
+
+    #[test]
+    fn profile_counts_both_branch_sites() {
+        let out = lower(&looped_module(), true).unwrap();
+        let data = profile_run(&out, 100_000).unwrap();
+        let inner = data.branch(crate::ir::BlockId(1)).unwrap();
+        let latch = data.branch(crate::ir::BlockId(3)).unwrap();
+        // The first quarter of the run warms the predictor uncounted, so
+        // 750 of the 1000 iterations are measured.
+        assert_eq!(inner.execs, 750);
+        // Lowering picked the fallthrough-then form, so the emitted branch
+        // is taken when the condition is false: i % 4 == 0, i.e. 25%.
+        assert!((0.24..0.26).contains(&inner.taken_rate()), "{}", inner.taken_rate());
+        assert_eq!(latch.execs, 750);
+        assert!(latch.taken_rate() > 0.99);
+        assert!(latch.misp_rate() < 0.05, "loop-back branch is easy");
+    }
+
+    #[test]
+    fn rates_handle_zero_execs() {
+        let p = BranchProfile::default();
+        assert_eq!(p.misp_rate(), 0.0);
+        assert_eq!(p.taken_rate(), 0.0);
+    }
+
+    #[test]
+    fn budget_truncates_profiling() {
+        let out = lower(&looped_module(), true).unwrap();
+        let data = profile_run(&out, 50).unwrap();
+        assert_eq!(data.steps, 50);
+    }
+}

@@ -1,0 +1,453 @@
+//! Per-figure experiment runners.
+//!
+//! Each function compiles the synthetic SPEC2000 suite the way the paper's
+//! corresponding experiment requires (with or without if-conversion), runs
+//! the simulator once per (benchmark, scheme) pair, and returns typed
+//! results with a [`Table`] rendering.
+
+use ppsim_compiler::{compile, CompileOptions, Compiled, WorkloadClass, WorkloadSpec};
+use ppsim_pipeline::{PredicationModel, SchemeKind, SimStats, Simulator};
+use ppsim_predictors::sizing;
+
+use crate::report::{f3, pct, Table};
+use crate::ExperimentConfig;
+
+/// One benchmark's results across the schemes of an experiment.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Integer or floating point.
+    pub class: WorkloadClass,
+    /// Per-scheme statistics, in the experiment's scheme order.
+    pub runs: Vec<SimStats>,
+}
+
+/// Results of a multi-scheme comparison (Figures 5 and 6a).
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Experiment title.
+    pub title: String,
+    /// Scheme labels, defining the column order.
+    pub schemes: Vec<String>,
+    /// One row per benchmark.
+    pub rows: Vec<BenchRow>,
+}
+
+impl Comparison {
+    /// Average misprediction rate of scheme column `i`.
+    pub fn average_rate(&self, i: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.runs[i].misprediction_rate()).sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Average accuracy difference (percentage points) of scheme `b` over
+    /// scheme `a` — the paper's "accuracy increase".
+    pub fn accuracy_gain(&self, a: usize, b: usize) -> f64 {
+        (self.average_rate(a) - self.average_rate(b)) * 100.0
+    }
+
+    /// Renders the comparison as a misprediction-rate table (the figures'
+    /// y-axis, in percent).
+    pub fn table(&self) -> Table {
+        let mut headers = vec!["benchmark".to_string(), "class".to_string()];
+        headers.extend(self.schemes.iter().map(|s| format!("{s} misp%")));
+        let mut t = Table::new(
+            self.title.clone(),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for row in &self.rows {
+            let mut cells = vec![
+                row.name.to_string(),
+                match row.class {
+                    WorkloadClass::Int => "int".to_string(),
+                    WorkloadClass::Fp => "fp".to_string(),
+                },
+            ];
+            cells.extend(row.runs.iter().map(|s| pct(s.misprediction_rate())));
+            t.row(cells);
+        }
+        let mut avg = vec!["average".to_string(), "-".to_string()];
+        avg.extend((0..self.schemes.len()).map(|i| pct(self.average_rate(i))));
+        t.row(avg);
+        t
+    }
+}
+
+fn suite(cfg: &ExperimentConfig) -> Vec<WorkloadSpec> {
+    ppsim_compiler::spec2000_suite()
+        .into_iter()
+        .filter(|s| cfg.selected(s.name))
+        .collect()
+}
+
+fn compile_for(cfg: &ExperimentConfig, spec: &WorkloadSpec, ifconv: bool) -> Compiled {
+    let mut opts = if ifconv {
+        CompileOptions::with_ifconv()
+    } else {
+        CompileOptions::no_ifconv()
+    };
+    opts.profile_steps = cfg.profile_steps;
+    compile(spec, &opts).expect("suite workloads always compile")
+}
+
+fn run_one(
+    cfg: &ExperimentConfig,
+    compiled: &Compiled,
+    scheme: SchemeKind,
+    predication: PredicationModel,
+    shadow: bool,
+) -> SimStats {
+    let mut sim = Simulator::new(&compiled.program, scheme, predication, cfg.core);
+    if shadow {
+        sim = sim.with_shadow();
+    }
+    sim.run(cfg.commits).stats
+}
+
+/// Figure 5: branch misprediction rates of the conventional predictor vs
+/// the predicate predictor on **non-if-converted** binaries. With
+/// `ideal`, runs the alias-free perfect-history variants instead (the
+/// "results not shown in the graph" study of §4.2).
+pub fn fig5(cfg: &ExperimentConfig, ideal: bool) -> Comparison {
+    let (sa, sb, title) = if ideal {
+        (
+            SchemeKind::IdealConventional,
+            SchemeKind::IdealPredicate,
+            "Figure 5 (idealized): no alias conflicts, perfect history, non-if-converted code",
+        )
+    } else {
+        (
+            SchemeKind::Conventional,
+            SchemeKind::Predicate,
+            "Figure 5: 148KB conventional vs 148KB predicate predictor, non-if-converted code",
+        )
+    };
+    let mut rows = Vec::new();
+    for spec in suite(cfg) {
+        let compiled = compile_for(cfg, &spec, false);
+        let a = run_one(cfg, &compiled, sa, PredicationModel::Cmov, false);
+        let b = run_one(cfg, &compiled, sb, PredicationModel::Cmov, false);
+        rows.push(BenchRow { name: spec.name, class: spec.class, runs: vec![a, b] });
+    }
+    Comparison {
+        title: title.to_string(),
+        schemes: vec!["conventional".into(), "predicate".into()],
+        rows,
+    }
+}
+
+/// Figure 6a: misprediction rates on **if-converted** binaries for the
+/// 144 KB PEP-PA, the 148 KB conventional predictor and the 148 KB
+/// predicate predictor.
+pub fn fig6a(cfg: &ExperimentConfig) -> Comparison {
+    let mut rows = Vec::new();
+    for spec in suite(cfg) {
+        let compiled = compile_for(cfg, &spec, true);
+        let peppa = run_one(cfg, &compiled, SchemeKind::PepPa, PredicationModel::Cmov, false);
+        let conv =
+            run_one(cfg, &compiled, SchemeKind::Conventional, PredicationModel::Cmov, false);
+        let pred =
+            run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Selective, false);
+        rows.push(BenchRow { name: spec.name, class: spec.class, runs: vec![peppa, conv, pred] });
+    }
+    Comparison {
+        title: "Figure 6a: PEP-PA vs conventional vs predicate predictor, if-converted code"
+            .to_string(),
+        schemes: vec!["pep-pa".into(), "conventional".into(), "predicate".into()],
+        rows,
+    }
+}
+
+/// One row of the Figure 6b breakdown.
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Accuracy difference (percentage points) of the predicate scheme
+    /// over the shadow conventional predictor.
+    pub total: f64,
+    /// Contribution of early-resolved branches (predicate was ready and
+    /// the conventional predictor would have mispredicted).
+    pub early: f64,
+    /// Remainder, attributed to correlation improvement (and including
+    /// the predicate predictor's negative effects, as in the paper).
+    pub correlation: f64,
+}
+
+/// Results of the Figure 6b attribution experiment.
+#[derive(Clone, Debug)]
+pub struct Breakdown {
+    /// One row per benchmark.
+    pub rows: Vec<BreakdownRow>,
+}
+
+impl Breakdown {
+    /// Average early-resolved contribution (percentage points).
+    pub fn average_early(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.early).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Average correlation contribution (percentage points).
+    pub fn average_correlation(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.correlation).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Renders the breakdown table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 6b: accuracy-gain breakdown (percentage points vs conventional)",
+            &["benchmark", "total", "early-resolved", "correlation"],
+        );
+        for r in &self.rows {
+            t.row(vec![r.name.to_string(), f3(r.total), f3(r.early), f3(r.correlation)]);
+        }
+        t.row(vec![
+            "average".to_string(),
+            f3(self.average_early() + self.average_correlation()),
+            f3(self.average_early()),
+            f3(self.average_correlation()),
+        ]);
+        t
+    }
+}
+
+/// Figure 6b: splits the accuracy difference between the predicate scheme
+/// and a conventional predictor into the early-resolved and correlation
+/// contributions, following the paper's method: count the times the
+/// predicate was ready while the conventional predictor would have
+/// mispredicted; attribute the remaining difference to correlation.
+pub fn fig6b(cfg: &ExperimentConfig) -> Breakdown {
+    let mut rows = Vec::new();
+    for spec in suite(cfg) {
+        let compiled = compile_for(cfg, &spec, true);
+        let s = run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Selective, true);
+        let n = s.cond_branches.max(1) as f64;
+        let shadow_rate = s.shadow_mispredicts as f64 / n;
+        let total = (shadow_rate - s.misprediction_rate()) * 100.0;
+        let early = (s.early_resolved_saves as f64 / n) * 100.0;
+        rows.push(BreakdownRow { name: spec.name, total, early, correlation: total - early });
+    }
+    Breakdown { rows }
+}
+
+/// One row of the predication-model IPC ablation.
+#[derive(Clone, Debug)]
+pub struct IpcRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// IPC with cmov-style predication.
+    pub ipc_cmov: f64,
+    /// IPC with selective predicate prediction.
+    pub ipc_selective: f64,
+}
+
+impl IpcRow {
+    /// Selective-over-cmov speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.ipc_cmov == 0.0 {
+            0.0
+        } else {
+            self.ipc_selective / self.ipc_cmov
+        }
+    }
+}
+
+/// Results of the IPC ablation.
+#[derive(Clone, Debug)]
+pub struct IpcAblation {
+    /// One row per benchmark.
+    pub rows: Vec<IpcRow>,
+}
+
+impl IpcAblation {
+    /// Geometric-mean speedup.
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.rows.iter().map(|r| r.speedup().ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Renders the ablation table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Selective predicate prediction vs cmov-style predication (if-converted code)",
+            &["benchmark", "IPC cmov", "IPC selective", "speedup"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.name.to_string(),
+                f3(r.ipc_cmov),
+                f3(r.ipc_selective),
+                f3(r.speedup()),
+            ]);
+        }
+        t.row(vec![
+            "geomean".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            f3(self.geomean_speedup()),
+        ]);
+        t
+    }
+}
+
+/// §3.2/§5 ablation: IPC of the predicate scheme on if-converted binaries
+/// with cmov-style predication vs selective predicate prediction (the
+/// paper cites an 11% IPC gain for the selective scheme in \[16\]).
+pub fn ipc_ablation(cfg: &ExperimentConfig) -> IpcAblation {
+    let mut rows = Vec::new();
+    for spec in suite(cfg) {
+        let compiled = compile_for(cfg, &spec, true);
+        let cmov = run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Cmov, false);
+        let sel =
+            run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Selective, false);
+        rows.push(IpcRow { name: spec.name, ipc_cmov: cmov.ipc(), ipc_selective: sel.ipc() });
+    }
+    IpcAblation { rows }
+}
+
+/// Table 1: renders the simulated machine's parameters plus the predictor
+/// storage budgets.
+pub fn table1(cfg: &ExperimentConfig) -> String {
+    let c = &cfg.core;
+    let mut out = String::new();
+    out.push_str("Table 1 — Main architectural parameters\n");
+    out.push_str(&format!(
+        "Fetch width               up to 2 bundles ({} instructions)\n",
+        c.fetch_width
+    ));
+    out.push_str(&format!(
+        "Issue queues              int {} / fp {} / branch {}\n",
+        c.iq_int, c.iq_fp, c.iq_branch
+    ));
+    out.push_str(&format!(
+        "Load-store queues         2 separate queues of {} entries each\n",
+        c.lq_entries
+    ));
+    out.push_str(&format!("Reorder buffer            {} entries\n", c.rob_entries));
+    out.push_str("L1D                       64KB 4-way 64B, 2-cycle, 12+4 misses, 16 WB\n");
+    out.push_str("L1I                       32KB 4-way 64B, 1-cycle\n");
+    out.push_str("L2 unified                1MB 16-way 128B, 8-cycle, 12 misses, 8 WB\n");
+    out.push_str("D/I TLB                   512 entries, 10-cycle miss penalty\n");
+    out.push_str("Main memory               120 cycles\n");
+    out.push_str(&format!(
+        "Misprediction recovery    {} cycles\n",
+        c.mispredict_penalty
+    ));
+    out.push_str("\nPredictor storage budgets\n");
+    out.push_str(&sizing::paper_report());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            commits: 40_000,
+            profile_steps: 60_000,
+            only: vec!["gzip".into()],
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn fig5_produces_rates_for_selected_benchmarks() {
+        let r = fig5(&tiny_cfg(), false);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].name, "gzip");
+        assert_eq!(r.schemes.len(), 2);
+        for s in &r.rows[0].runs {
+            assert!(s.cond_branches > 100, "enough branches to measure");
+            let rate = s.misprediction_rate();
+            assert!((0.0..=1.0).contains(&rate));
+        }
+        let t = r.table().to_string();
+        assert!(t.contains("gzip") && t.contains("average"), "{t}");
+    }
+
+    #[test]
+    fn fig6a_runs_three_schemes() {
+        let r = fig6a(&tiny_cfg());
+        assert_eq!(r.rows[0].runs.len(), 3);
+        let t = r.table().to_string();
+        assert!(t.contains("pep-pa"), "{t}");
+    }
+
+    #[test]
+    fn fig6b_breakdown_sums() {
+        let r = fig6b(&tiny_cfg());
+        let row = &r.rows[0];
+        assert!((row.early + row.correlation - row.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_ablation_produces_positive_ipcs() {
+        let r = ipc_ablation(&tiny_cfg());
+        let row = &r.rows[0];
+        assert!(row.ipc_cmov > 0.1);
+        assert!(row.ipc_selective > 0.1);
+        assert!(r.geomean_speedup() > 0.5);
+    }
+
+    #[test]
+    fn comparison_math() {
+        use ppsim_pipeline::SimStats;
+        let mk = |m: u64| SimStats { cond_branches: 100, mispredicts: m, ..SimStats::default() };
+        let c = Comparison {
+            title: "t".into(),
+            schemes: vec!["a".into(), "b".into()],
+            rows: vec![
+                BenchRow { name: "x", class: WorkloadClass::Int, runs: vec![mk(10), mk(5)] },
+                BenchRow { name: "y", class: WorkloadClass::Fp, runs: vec![mk(20), mk(15)] },
+            ],
+        };
+        assert!((c.average_rate(0) - 0.15).abs() < 1e-12);
+        assert!((c.average_rate(1) - 0.10).abs() < 1e-12);
+        assert!((c.accuracy_gain(0, 1) - 5.0).abs() < 1e-9, "{}", c.accuracy_gain(0, 1));
+        let t = c.table().to_string();
+        assert!(t.contains("x") && t.contains("15.00") && t.contains("average"), "{t}");
+    }
+
+    #[test]
+    fn breakdown_and_ipc_math() {
+        let b = Breakdown {
+            rows: vec![
+                BreakdownRow { name: "x", total: 2.0, early: 0.5, correlation: 1.5 },
+                BreakdownRow { name: "y", total: 1.0, early: 1.0, correlation: 0.0 },
+            ],
+        };
+        assert!((b.average_early() - 0.75).abs() < 1e-12);
+        assert!((b.average_correlation() - 0.75).abs() < 1e-12);
+        let ipc = IpcAblation {
+            rows: vec![
+                IpcRow { name: "x", ipc_cmov: 2.0, ipc_selective: 2.2 },
+                IpcRow { name: "y", ipc_cmov: 1.0, ipc_selective: 1.0 },
+            ],
+        };
+        let g = ipc.geomean_speedup();
+        assert!((g - (1.1f64).sqrt()).abs() < 1e-9, "{g}");
+        assert!(ipc.table().to_string().contains("geomean"));
+    }
+
+    #[test]
+    fn table1_mentions_all_structures() {
+        let t = table1(&ExperimentConfig::default());
+        for s in ["Reorder buffer", "256", "120 cycles", "perceptron", "PEP-PA"] {
+            assert!(t.contains(s), "missing {s} in:\n{t}");
+        }
+    }
+}

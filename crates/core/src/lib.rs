@@ -1,0 +1,103 @@
+//! # ppsim-core — the experiment harness
+//!
+//! Wires the compiler, predictors, memory hierarchy and pipeline together
+//! and regenerates every table and figure of the paper's evaluation:
+//!
+//! | artefact | function | what it reproduces |
+//! |----------|----------|--------------------|
+//! | Table 1 | [`experiments::table1`] | the architectural parameters report |
+//! | Figure 5 | [`experiments::fig5`] | conventional vs predicate predictor on **non-if-converted** binaries (+ idealized variant) |
+//! | Figure 6a | [`experiments::fig6a`] | PEP-PA vs conventional vs predicate predictor on **if-converted** binaries |
+//! | Figure 6b | [`experiments::fig6b`] | early-resolved vs correlation breakdown of the gain |
+//! | §3.2/§5 claim | [`experiments::ipc_ablation`] | selective predicate prediction vs cmov-style predication (IPC) |
+//!
+//! Runs default to 500k committed instructions per (benchmark, scheme)
+//! pair — the paper uses 100M; rates on these kernels stabilize far
+//! earlier. Override with [`ExperimentConfig::commits`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ppsim_core::{experiments, ExperimentConfig};
+//!
+//! let cfg = ExperimentConfig { commits: 200_000, ..ExperimentConfig::default() };
+//! let fig5 = experiments::fig5(&cfg, false);
+//! println!("{}", fig5.table());
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod sweep;
+
+use ppsim_pipeline::CoreConfig;
+
+pub use report::Table;
+
+/// Configuration shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Committed instructions simulated per run (paper: 100M).
+    pub commits: u64,
+    /// Functional-emulator steps for the compiler's profiling run.
+    pub profile_steps: u64,
+    /// The machine (defaults to Table 1).
+    pub core: CoreConfig,
+    /// Restrict to benchmarks whose name appears here (empty = all 22).
+    pub only: Vec<String>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            commits: 500_000,
+            profile_steps: 200_000,
+            core: CoreConfig::paper(),
+            only: Vec::new(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Reads overrides from the environment: `PPSIM_COMMITS` (u64) and
+    /// `PPSIM_ONLY` (comma-separated benchmark names).
+    pub fn from_env() -> Self {
+        let mut cfg = ExperimentConfig::default();
+        if let Ok(v) = std::env::var("PPSIM_COMMITS") {
+            if let Ok(n) = v.parse() {
+                cfg.commits = n;
+            }
+        }
+        if let Ok(v) = std::env::var("PPSIM_ONLY") {
+            cfg.only = v.split(',').map(|s| s.trim().to_string()).collect();
+        }
+        cfg
+    }
+
+    /// Whether a benchmark is selected by the `only` filter.
+    pub fn selected(&self, name: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|n| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_selects_everything() {
+        let cfg = ExperimentConfig::default();
+        assert!(cfg.selected("gzip"));
+        assert!(cfg.selected("anything"));
+    }
+
+    #[test]
+    fn only_filter_restricts() {
+        let cfg = ExperimentConfig {
+            only: vec!["gzip".into(), "twolf".into()],
+            ..ExperimentConfig::default()
+        };
+        assert!(cfg.selected("gzip"));
+        assert!(cfg.selected("twolf"));
+        assert!(!cfg.selected("swim"));
+    }
+}

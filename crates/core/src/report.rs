@@ -1,0 +1,123 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should match the header count).
+    pub rows: Vec<Vec<String>>,
+    /// Optional title printed above the table.
+    pub title: String,
+}
+
+impl Table {
+    /// Creates a table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as comma-separated values (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        if !self.title.is_empty() {
+            writeln!(f, "{}", self.title)?;
+        }
+        let line = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for w in &widths {
+                write!(f, "+{}", "-".repeat(w + 2))?;
+            }
+            writeln!(f, "+")
+        };
+        line(f)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "| {:<width$} ", h, width = widths[i])?;
+        }
+        writeln!(f, "|")?;
+        line(f)?;
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                write!(f, "| {:<width$} ", c, width = widths[i])?;
+            }
+            writeln!(f, "|")?;
+        }
+        line(f)
+    }
+}
+
+/// Formats a rate as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_everything() {
+        let mut t = Table::new("Demo", &["name", "rate"]);
+        t.row(vec!["gzip".into(), pct(0.0423)]);
+        t.row(vec!["swim".into(), pct(0.001)]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("gzip"));
+        assert!(s.contains("4.23"));
+        assert!(s.contains("0.10"));
+        assert!(s.lines().all(|l| l.is_empty() || l.starts_with('+') || l.starts_with('|') || l == "Demo"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.5), "50.00");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

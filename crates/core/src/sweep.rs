@@ -1,0 +1,323 @@
+//! Sensitivity sweeps: the ablation studies behind the paper's design
+//! choices.
+//!
+//! The paper fixes one operating point (148 KB perceptron, 30+10-bit
+//! history, profile-guided if-conversion). These sweeps vary one axis at a
+//! time so the *reasons* for that operating point are reproducible:
+//!
+//! * [`size_sweep`] — accuracy vs predictor storage budget (both the
+//!   conventional and the predicate predictor), the classic
+//!   accuracy-per-kilobyte curve,
+//! * [`history_sweep`] — accuracy vs global-history length,
+//! * [`threshold_sweep`] — how the if-conversion aggressiveness threshold
+//!   moves branch population and final accuracy.
+
+use ppsim_compiler::ifconvert::IfConvertConfig;
+use ppsim_compiler::{compile, CompileOptions};
+use ppsim_pipeline::{PredicationModel, SchemeKind, Simulator};
+use ppsim_predictors::{PerceptronConfig, PredicateConfig};
+
+use crate::report::{pct, Table};
+use crate::ExperimentConfig;
+
+/// One point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Axis label (e.g. "37 KB" or "16 bits").
+    pub label: String,
+    /// Average misprediction rate of the conventional predictor.
+    pub conventional: f64,
+    /// Average misprediction rate of the predicate predictor.
+    pub predicate: f64,
+}
+
+/// A completed sweep.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Sweep title.
+    pub title: String,
+    /// Axis name.
+    pub axis: String,
+    /// The measured points.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Renders the sweep as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            self.title.clone(),
+            &[self.axis.as_str(), "conventional misp%", "predicate misp%"],
+        );
+        for p in &self.points {
+            t.row(vec![p.label.clone(), pct(p.conventional), pct(p.predicate)]);
+        }
+        t
+    }
+}
+
+/// Average misprediction rate over the selected benchmarks for one pair of
+/// predictor configurations.
+fn measure_pair(
+    cfg: &ExperimentConfig,
+    perceptron: PerceptronConfig,
+    ifconv: bool,
+) -> (f64, f64) {
+    let suite: Vec<_> = ppsim_compiler::spec2000_suite()
+        .into_iter()
+        .filter(|s| cfg.selected(s.name))
+        .collect();
+    let opts = if ifconv {
+        CompileOptions::with_ifconv()
+    } else {
+        CompileOptions::no_ifconv()
+    };
+    let mut conv_sum = 0.0;
+    let mut pred_sum = 0.0;
+    for spec in &suite {
+        let compiled = compile(spec, &opts).expect("suite compiles");
+        let mut conv = Simulator::new(
+            &compiled.program,
+            SchemeKind::Conventional,
+            PredicationModel::Cmov,
+            cfg.core,
+        )
+        .with_perceptron_config(perceptron);
+        conv_sum += conv.run(cfg.commits).stats.misprediction_rate();
+        let mut pred = Simulator::new(
+            &compiled.program,
+            SchemeKind::Predicate,
+            PredicationModel::Cmov,
+            cfg.core,
+        )
+        .with_predicate_config(PredicateConfig { perceptron, conf_bits: 3 });
+        pred_sum += pred.run(cfg.commits).stats.misprediction_rate();
+    }
+    let n = suite.len().max(1) as f64;
+    (conv_sum / n, pred_sum / n)
+}
+
+/// Accuracy vs predictor storage budget (row count scaled; geometry
+/// fixed at the paper's 30+10-bit histories).
+pub fn size_sweep(cfg: &ExperimentConfig, ifconv: bool) -> Sweep {
+    let mut points = Vec::new();
+    for rows in [462usize, 924, 1848, 3696, 7392] {
+        let perceptron = PerceptronConfig { rows, ..PerceptronConfig::paper_148kb() };
+        let kb = perceptron.table_bytes() as f64 / 1024.0;
+        let (c, p) = measure_pair(cfg, perceptron, ifconv);
+        points.push(SweepPoint {
+            label: format!("{kb:.0} KB"),
+            conventional: c,
+            predicate: p,
+        });
+    }
+    Sweep {
+        title: format!(
+            "Accuracy vs predictor budget ({} binaries)",
+            if ifconv { "if-converted" } else { "plain" }
+        ),
+        axis: "budget".to_string(),
+        points,
+    }
+}
+
+/// Accuracy vs global-history length (rows rebalanced to keep the budget
+/// roughly constant).
+pub fn history_sweep(cfg: &ExperimentConfig, ifconv: bool) -> Sweep {
+    let base = PerceptronConfig::paper_148kb();
+    let budget = base.table_bytes();
+    let mut points = Vec::new();
+    for ghr_bits in [8u32, 16, 24, 30, 40] {
+        let mut perceptron = PerceptronConfig { ghr_bits, ..base };
+        perceptron.rows = budget / perceptron.weights_per_row();
+        let (c, p) = measure_pair(cfg, perceptron, ifconv);
+        points.push(SweepPoint {
+            label: format!("{ghr_bits} bits"),
+            conventional: c,
+            predicate: p,
+        });
+    }
+    Sweep {
+        title: format!(
+            "Accuracy vs global-history length at fixed budget ({} binaries)",
+            if ifconv { "if-converted" } else { "plain" }
+        ),
+        axis: "GHR".to_string(),
+        points,
+    }
+}
+
+/// One point of the if-conversion-threshold sweep.
+#[derive(Clone, Debug)]
+pub struct ThresholdPoint {
+    /// The profile-misprediction threshold used.
+    pub threshold: f64,
+    /// Static conditional branches remaining after conversion (averaged).
+    pub branches_left: f64,
+    /// Conventional-predictor misprediction rate.
+    pub conventional: f64,
+    /// Predicate-predictor misprediction rate.
+    pub predicate: f64,
+}
+
+/// Sweeps the if-conversion aggressiveness threshold.
+pub fn threshold_sweep(cfg: &ExperimentConfig) -> Vec<ThresholdPoint> {
+    let suite: Vec<_> = ppsim_compiler::spec2000_suite()
+        .into_iter()
+        .filter(|s| cfg.selected(s.name))
+        .collect();
+    let mut out = Vec::new();
+    for threshold in [0.02f64, 0.08, 0.15, 0.30, 0.60] {
+        let mut branches = 0usize;
+        let mut conv_sum = 0.0;
+        let mut pred_sum = 0.0;
+        for spec in &suite {
+            let mut opts = CompileOptions::with_ifconv();
+            opts.ifconvert = IfConvertConfig { misp_threshold: threshold, ..opts.ifconvert };
+            let compiled = compile(spec, &opts).expect("suite compiles");
+            branches += compiled.program.count_insns(|i| i.is_cond_branch());
+            let run = |scheme| {
+                Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, cfg.core)
+                    .run(cfg.commits)
+                    .stats
+                    .misprediction_rate()
+            };
+            conv_sum += run(SchemeKind::Conventional);
+            pred_sum += run(SchemeKind::Predicate);
+        }
+        let n = suite.len().max(1) as f64;
+        out.push(ThresholdPoint {
+            threshold,
+            branches_left: branches as f64 / n,
+            conventional: conv_sum / n,
+            predicate: pred_sum / n,
+        });
+    }
+    out
+}
+
+/// Renders the threshold sweep.
+pub fn threshold_table(points: &[ThresholdPoint]) -> Table {
+    let mut t = Table::new(
+        "If-conversion aggressiveness sweep",
+        &["threshold", "static cond branches", "conventional misp%", "predicate misp%"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{:.2}", p.threshold),
+            format!("{:.1}", p.branches_left),
+            pct(p.conventional),
+            pct(p.predicate),
+        ]);
+    }
+    t
+}
+
+/// Measures the value of §3.3's history repair: the predicate predictor
+/// with and without writeback-time bit correction, on if-converted
+/// binaries (where correlation through compare history is the main
+/// effect).
+pub fn repair_ablation(cfg: &ExperimentConfig) -> Sweep {
+    let suite: Vec<_> = ppsim_compiler::spec2000_suite()
+        .into_iter()
+        .filter(|s| cfg.selected(s.name))
+        .collect();
+    let mut points = Vec::new();
+    for (label, repair) in [("with repair", true), ("no repair", false)] {
+        let mut conv_sum = 0.0;
+        let mut pred_sum = 0.0;
+        for spec in &suite {
+            let compiled = compile(spec, &CompileOptions::with_ifconv()).expect("suite compiles");
+            let mut core = cfg.core;
+            core.history_repair = repair;
+            let run = |scheme| {
+                Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, core)
+                    .run(cfg.commits)
+                    .stats
+                    .misprediction_rate()
+            };
+            conv_sum += run(SchemeKind::Conventional);
+            pred_sum += run(SchemeKind::Predicate);
+        }
+        let n = suite.len().max(1) as f64;
+        points.push(SweepPoint {
+            label: label.to_string(),
+            conventional: conv_sum / n,
+            predicate: pred_sum / n,
+        });
+    }
+    Sweep {
+        title: "History-repair ablation (if-converted binaries)".to_string(),
+        axis: "repair".to_string(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            commits: 25_000,
+            profile_steps: 50_000,
+            only: vec!["gzip".into()],
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn size_sweep_produces_monotone_labels() {
+        let s = size_sweep(&tiny(), false);
+        assert_eq!(s.points.len(), 5);
+        for p in &s.points {
+            assert!((0.0..=1.0).contains(&p.conventional));
+            assert!((0.0..=1.0).contains(&p.predicate));
+        }
+        let t = s.table().to_string();
+        assert!(t.contains("KB"), "{t}");
+    }
+
+    #[test]
+    fn history_sweep_keeps_budget() {
+        let base = PerceptronConfig::paper_148kb();
+        for ghr_bits in [8u32, 40] {
+            let mut p = PerceptronConfig { ghr_bits, ..base };
+            p.rows = base.table_bytes() / p.weights_per_row();
+            let kb = p.table_bytes() as f64 / 1024.0;
+            assert!((140.0..149.0).contains(&kb), "{ghr_bits} bits → {kb} KB");
+        }
+    }
+
+    #[test]
+    fn repair_ablation_shows_corruption_cost() {
+        let cfg = ExperimentConfig {
+            commits: 60_000,
+            profile_steps: 60_000,
+            only: vec!["gcc".into()],
+            ..ExperimentConfig::default()
+        };
+        let s = repair_ablation(&cfg);
+        assert_eq!(s.points.len(), 2);
+        let with = s.points[0].predicate;
+        let without = s.points[1].predicate;
+        assert!(
+            without > with,
+            "permanent corruption must hurt the predicate predictor: {with} vs {without}"
+        );
+        // The conventional predictor never repairs compare history, so it
+        // is unaffected.
+        assert!((s.points[0].conventional - s.points[1].conventional).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_sweep_trades_branches_for_conversion() {
+        let points = threshold_sweep(&tiny());
+        assert_eq!(points.len(), 5);
+        // A more aggressive threshold (lower) leaves at most as many
+        // branches as a conservative one.
+        assert!(points.first().unwrap().branches_left <= points.last().unwrap().branches_left);
+        let t = threshold_table(&points).to_string();
+        assert!(t.contains("threshold"), "{t}");
+    }
+}

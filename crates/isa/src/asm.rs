@@ -1,0 +1,404 @@
+//! An assembler-style [`Program`] builder with forward-reference labels.
+
+use std::fmt;
+
+use crate::insn::{AluKind, CmpRel, CmpType, FpuKind, Insn, Op, Operand};
+use crate::program::{DataSegment, Program, ProgramError};
+use crate::reg::{Fr, Gr, Pr};
+
+/// A branch-target label handed out by [`Asm::new_label`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced by a branch but never [`Asm::bind`]-ed.
+    UnboundLabel(Label),
+    /// The finished program failed [`Program::validate`].
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} was never bound", l),
+            AsmError::Invalid(e) => write!(f, "assembled program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Invalid(e) => Some(e),
+            AsmError::UnboundLabel(_) => None,
+        }
+    }
+}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> Self {
+        AsmError::Invalid(e)
+    }
+}
+
+/// Incremental program builder.
+///
+/// Emission methods append one instruction each and return `&mut self` for
+/// chaining. A guard for the *next* emitted instruction is set with
+/// [`Asm::pred`]:
+///
+/// ```
+/// use ppsim_isa::{Asm, Gr, Pr};
+/// let mut a = Asm::new();
+/// a.pred(Pr::new(1)).movi(Gr::new(32), 0); // (p1) movl r32 = 0
+/// a.movi(Gr::new(33), 1);                  //      movl r33 = 1
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    /// `(slot, label)` pairs awaiting target resolution.
+    patches: Vec<(u32, Label)>,
+    labels: Vec<Option<u32>>,
+    data: Vec<DataSegment>,
+    gr_init: Vec<i64>,
+    fr_init: Vec<f64>,
+    pending_qp: Option<Pr>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Index of the next slot to be emitted.
+    pub fn here(&self) -> u32 {
+        self.insns.len() as u32
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (labels bind exactly once).
+    pub fn bind(&mut self, label: Label) {
+        let slot = self.here();
+        let entry = &mut self.labels[label.0 as usize];
+        assert!(entry.is_none(), "label {label:?} bound twice");
+        *entry = Some(slot);
+    }
+
+    /// Sets the qualifying predicate for the next emitted instruction.
+    pub fn pred(&mut self, qp: Pr) -> &mut Self {
+        self.pending_qp = Some(qp);
+        self
+    }
+
+    /// Appends a raw instruction (consuming any pending guard).
+    pub fn emit(&mut self, op: Op) -> &mut Self {
+        let qp = self.pending_qp.take().unwrap_or(Pr::ZERO);
+        self.insns.push(Insn::guarded(qp, op));
+        self
+    }
+
+    /// Appends an initialized data segment.
+    pub fn data(&mut self, segment: DataSegment) -> &mut Self {
+        self.data.push(segment);
+        self
+    }
+
+    /// Sets the initial value of an integer register.
+    pub fn init_gr(&mut self, r: Gr, value: i64) -> &mut Self {
+        if self.gr_init.len() <= r.index() {
+            self.gr_init.resize(r.index() + 1, 0);
+        }
+        self.gr_init[r.index()] = value;
+        self
+    }
+
+    /// Sets the initial value of a floating-point register.
+    pub fn init_fr(&mut self, r: Fr, value: f64) -> &mut Self {
+        if self.fr_init.len() <= r.index() {
+            self.fr_init.resize(r.index() + 1, 0.0);
+        }
+        self.fr_init[r.index()] = value;
+        self
+    }
+
+    // ---- integer ALU ----
+
+    /// `dst = src1 <kind> src2`.
+    pub fn alu(&mut self, kind: AluKind, dst: Gr, src1: Gr, src2: impl Into<Operand>) -> &mut Self {
+        self.emit(Op::Alu { kind, dst, src1, src2: src2.into() })
+    }
+
+    /// `dst = src1 + src2` (register form).
+    pub fn add(&mut self, dst: Gr, src1: Gr, src2: Gr) -> &mut Self {
+        self.alu(AluKind::Add, dst, src1, src2)
+    }
+
+    /// `dst = src + imm`.
+    pub fn addi(&mut self, dst: Gr, src: Gr, imm: i64) -> &mut Self {
+        self.alu(AluKind::Add, dst, src, imm)
+    }
+
+    /// `dst = src1 - src2`.
+    pub fn sub(&mut self, dst: Gr, src1: Gr, src2: Gr) -> &mut Self {
+        self.alu(AluKind::Sub, dst, src1, src2)
+    }
+
+    /// `dst = src1 * src2`.
+    pub fn mul(&mut self, dst: Gr, src1: Gr, src2: Gr) -> &mut Self {
+        self.alu(AluKind::Mul, dst, src1, src2)
+    }
+
+    /// Register move (`dst = src`), encoded as `add dst = src, 0`.
+    pub fn mov(&mut self, dst: Gr, src: Gr) -> &mut Self {
+        self.alu(AluKind::Add, dst, src, 0i64)
+    }
+
+    /// `dst = imm`.
+    pub fn movi(&mut self, dst: Gr, imm: i64) -> &mut Self {
+        self.emit(Op::Movi { dst, imm })
+    }
+
+    // ---- compares ----
+
+    /// Integer compare producing two predicates.
+    pub fn cmp(
+        &mut self,
+        ctype: CmpType,
+        rel: CmpRel,
+        pt: Pr,
+        pf: Pr,
+        src1: Gr,
+        src2: impl Into<Operand>,
+    ) -> &mut Self {
+        self.emit(Op::Cmp { ctype, rel, pt, pf, src1, src2: src2.into() })
+    }
+
+    /// Floating-point compare producing two predicates.
+    pub fn fcmp(
+        &mut self,
+        ctype: CmpType,
+        rel: CmpRel,
+        pt: Pr,
+        pf: Pr,
+        src1: Fr,
+        src2: Fr,
+    ) -> &mut Self {
+        self.emit(Op::Fcmp { ctype, rel, pt, pf, src1, src2 })
+    }
+
+    // ---- floating point ----
+
+    /// `dst = src1 <kind> src2` on floats.
+    pub fn fpu(&mut self, kind: FpuKind, dst: Fr, src1: Fr, src2: Fr) -> &mut Self {
+        self.emit(Op::Fpu { kind, dst, src1, src2 })
+    }
+
+    /// Float addition.
+    pub fn fadd(&mut self, dst: Fr, src1: Fr, src2: Fr) -> &mut Self {
+        self.fpu(FpuKind::Fadd, dst, src1, src2)
+    }
+
+    /// Float multiplication.
+    pub fn fmul(&mut self, dst: Fr, src1: Fr, src2: Fr) -> &mut Self {
+        self.fpu(FpuKind::Fmul, dst, src1, src2)
+    }
+
+    /// Integer → float conversion.
+    pub fn itof(&mut self, dst: Fr, src: Gr) -> &mut Self {
+        self.emit(Op::Itof { dst, src })
+    }
+
+    /// Float → integer conversion (truncating).
+    pub fn ftoi(&mut self, dst: Gr, src: Fr) -> &mut Self {
+        self.emit(Op::Ftoi { dst, src })
+    }
+
+    // ---- memory ----
+
+    /// 8-byte integer load.
+    pub fn ld(&mut self, dst: Gr, base: Gr, offset: i64) -> &mut Self {
+        self.emit(Op::Load { dst, base, offset })
+    }
+
+    /// 8-byte integer store.
+    pub fn st(&mut self, src: Gr, base: Gr, offset: i64) -> &mut Self {
+        self.emit(Op::Store { src, base, offset })
+    }
+
+    /// 8-byte float load.
+    pub fn ldf(&mut self, dst: Fr, base: Gr, offset: i64) -> &mut Self {
+        self.emit(Op::Loadf { dst, base, offset })
+    }
+
+    /// 8-byte float store.
+    pub fn stf(&mut self, src: Fr, base: Gr, offset: i64) -> &mut Self {
+        self.emit(Op::Storef { src, base, offset })
+    }
+
+    // ---- control ----
+
+    /// Branch to `label`; conditional when guarded with [`Asm::pred`].
+    pub fn br(&mut self, label: Label) -> &mut Self {
+        let slot = self.here();
+        self.patches.push((slot, label));
+        self.emit(Op::Br { target: u32::MAX })
+    }
+
+    /// Branch to an already-known slot index.
+    pub fn br_slot(&mut self, target: u32) -> &mut Self {
+        self.emit(Op::Br { target })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Op::Nop)
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Op::Halt)
+    }
+
+    /// Resolves labels and validates the finished program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if a referenced label was never
+    /// bound, or [`AsmError::Invalid`] if the program fails validation.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        for &(slot, label) in &self.patches {
+            let target = self.labels[label.0 as usize].ok_or(AsmError::UnboundLabel(label))?;
+            match &mut self.insns[slot as usize].op {
+                Op::Br { target: t } => *t = target,
+                other => unreachable!("patch slot {slot} holds non-branch {other:?}"),
+            }
+        }
+        let program = Program {
+            insns: self.insns,
+            data: self.data,
+            gr_init: self.gr_init,
+            fr_init: self.fr_init,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u8) -> Gr {
+        Gr::new(i)
+    }
+    fn p(i: u8) -> Pr {
+        Pr::new(i)
+    }
+
+    #[test]
+    fn forward_label_is_patched() {
+        let mut a = Asm::new();
+        let end = a.new_label();
+        a.pred(p(1)).br(end);
+        a.nop();
+        a.bind(end);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        assert_eq!(prog.insns[0].branch_target(), Some(2));
+    }
+
+    #[test]
+    fn backward_label_is_patched() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.nop();
+        a.pred(p(1)).br(top);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        assert_eq!(prog.insns[1].branch_target(), Some(0));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.br(l);
+        a.halt();
+        assert_eq!(a.assemble().unwrap_err(), AsmError::UnboundLabel(l));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.nop();
+        a.bind(l);
+    }
+
+    #[test]
+    fn pred_applies_to_next_instruction_only() {
+        let mut a = Asm::new();
+        a.pred(p(4)).movi(g(1), 1);
+        a.movi(g(2), 2);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        assert_eq!(prog.insns[0].qp, p(4));
+        assert_eq!(prog.insns[1].qp, Pr::ZERO);
+    }
+
+    #[test]
+    fn init_registers_resize_sparsely() {
+        let mut a = Asm::new();
+        a.init_gr(g(10), 77);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        assert_eq!(prog.gr_init.len(), 11);
+        assert_eq!(prog.gr_init[10], 77);
+        assert_eq!(prog.gr_init[3], 0);
+    }
+
+    #[test]
+    fn mov_is_add_zero_imm() {
+        let mut a = Asm::new();
+        a.mov(g(2), g(1));
+        a.halt();
+        let prog = a.assemble().unwrap();
+        assert_eq!(
+            prog.insns[0].op,
+            Op::Alu { kind: AluKind::Add, dst: g(2), src1: g(1), src2: Operand::Imm(0) }
+        );
+    }
+
+    #[test]
+    fn assemble_runs_validation() {
+        let mut a = Asm::new();
+        a.br_slot(99);
+        a.halt();
+        assert!(matches!(a.assemble(), Err(AsmError::Invalid(_))));
+    }
+}

@@ -1,0 +1,658 @@
+//! Instruction definitions.
+//!
+//! Every instruction is an [`Op`] guarded by a qualifying predicate
+//! ([`Insn::qp`]). The operand-extraction helpers on [`Insn`] expose the
+//! read/write sets per register class; the rename stage of the pipeline is
+//! built on them.
+
+use std::fmt;
+
+use crate::reg::{Fr, Gr, Pr};
+
+/// Integer ALU operation kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// Addition (wrapping).
+    Add,
+    /// Subtraction (wrapping).
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Shl,
+    /// Arithmetic shift right (shift amount masked to 6 bits).
+    Shr,
+    /// Multiplication (wrapping). Longer latency in the timing model.
+    Mul,
+}
+
+/// Floating-point operation kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpuKind {
+    /// Addition.
+    Fadd,
+    /// Subtraction.
+    Fsub,
+    /// Multiplication.
+    Fmul,
+    /// Division. Longest latency in the timing model.
+    Fdiv,
+}
+
+/// Compare *types*, following the IA-64 parallel-compare taxonomy.
+///
+/// The type controls how the two predicate targets are written as a function
+/// of the qualifying predicate `qp` and the computed condition `c`:
+///
+/// | type   | qp = 1                    | qp = 0            |
+/// |--------|---------------------------|-------------------|
+/// | `None` | `pt ← c`, `pf ← !c`       | no write          |
+/// | `Unc`  | `pt ← c`, `pf ← !c`       | `pt ← 0`, `pf ← 0`|
+/// | `And`  | if `!c`: `pt ← 0, pf ← 0` | no write          |
+/// | `Or`   | if `c`: `pt ← 1, pf ← 1`  | no write          |
+///
+/// `Unc` ("unconditional") is the workhorse of if-conversion: it always
+/// defines both targets, so consumers have an unambiguous producer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpType {
+    /// Normal compare: writes both targets only when qualified.
+    None,
+    /// Unconditional compare: clears both targets when disqualified.
+    Unc,
+    /// And-type parallel compare.
+    And,
+    /// Or-type parallel compare.
+    Or,
+}
+
+impl CmpType {
+    /// Resolves the architectural effect of a compare of this type.
+    ///
+    /// Returns `(pt_write, pf_write)` where each entry is `Some(value)` when
+    /// the corresponding target predicate is written.
+    #[inline]
+    pub fn resolve(self, qp: bool, cond: bool) -> (Option<bool>, Option<bool>) {
+        match (self, qp, cond) {
+            (CmpType::None, true, c) => (Some(c), Some(!c)),
+            (CmpType::None, false, _) => (None, None),
+            (CmpType::Unc, true, c) => (Some(c), Some(!c)),
+            (CmpType::Unc, false, _) => (Some(false), Some(false)),
+            (CmpType::And, true, false) => (Some(false), Some(false)),
+            (CmpType::And, _, _) => (None, None),
+            (CmpType::Or, true, true) => (Some(true), Some(true)),
+            (CmpType::Or, _, _) => (None, None),
+        }
+    }
+
+    fn mnemonic_suffix(self) -> &'static str {
+        match self {
+            CmpType::None => "",
+            CmpType::Unc => ".unc",
+            CmpType::And => ".and",
+            CmpType::Or => ".or",
+        }
+    }
+}
+
+/// Compare relations on integer values (signed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpRel {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpRel {
+    /// Evaluates the relation on two signed integers.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpRel::Eq => a == b,
+            CmpRel::Ne => a != b,
+            CmpRel::Lt => a < b,
+            CmpRel::Le => a <= b,
+            CmpRel::Gt => a > b,
+            CmpRel::Ge => a >= b,
+        }
+    }
+
+    /// Evaluates the relation on two floats (IEEE ordered comparison).
+    #[inline]
+    pub fn eval_f(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpRel::Eq => a == b,
+            CmpRel::Ne => a != b,
+            CmpRel::Lt => a < b,
+            CmpRel::Le => a <= b,
+            CmpRel::Gt => a > b,
+            CmpRel::Ge => a >= b,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            CmpRel::Eq => "eq",
+            CmpRel::Ne => "ne",
+            CmpRel::Lt => "lt",
+            CmpRel::Le => "le",
+            CmpRel::Gt => "gt",
+            CmpRel::Ge => "ge",
+        }
+    }
+}
+
+/// The second source of an integer ALU or compare instruction: a register or
+/// a (sign-extended) immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Gr),
+    /// Immediate operand.
+    Imm(i64),
+}
+
+impl Operand {
+    /// Shorthand immediate constructor.
+    #[inline]
+    pub fn imm(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+
+    /// Shorthand register constructor.
+    #[inline]
+    pub fn reg(r: Gr) -> Self {
+        Operand::Reg(r)
+    }
+
+    /// The register read by this operand, if any.
+    #[inline]
+    pub fn as_reg(self) -> Option<Gr> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Gr> for Operand {
+    fn from(r: Gr) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An operation (the part of an instruction below the qualifying predicate).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Integer ALU: `dst = src1 <kind> src2`.
+    Alu {
+        /// Operation kind.
+        kind: AluKind,
+        /// Destination register.
+        dst: Gr,
+        /// First source register.
+        src1: Gr,
+        /// Second source (register or immediate).
+        src2: Operand,
+    },
+    /// Load immediate: `dst = imm` (IA-64 `movl`).
+    Movi {
+        /// Destination register.
+        dst: Gr,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Integer compare: `pt, pf = src1 <rel> src2` under compare type
+    /// `ctype`.
+    Cmp {
+        /// Compare type (write discipline of the two targets).
+        ctype: CmpType,
+        /// Compare relation.
+        rel: CmpRel,
+        /// First (true) predicate target.
+        pt: Pr,
+        /// Second (false) predicate target.
+        pf: Pr,
+        /// First source register.
+        src1: Gr,
+        /// Second source (register or immediate).
+        src2: Operand,
+    },
+    /// Floating-point compare, same discipline as [`Op::Cmp`].
+    Fcmp {
+        /// Compare type.
+        ctype: CmpType,
+        /// Compare relation.
+        rel: CmpRel,
+        /// First (true) predicate target.
+        pt: Pr,
+        /// Second (false) predicate target.
+        pf: Pr,
+        /// First source register.
+        src1: Fr,
+        /// Second source register.
+        src2: Fr,
+    },
+    /// Floating-point arithmetic: `dst = src1 <kind> src2`.
+    Fpu {
+        /// Operation kind.
+        kind: FpuKind,
+        /// Destination register.
+        dst: Fr,
+        /// First source register.
+        src1: Fr,
+        /// Second source register.
+        src2: Fr,
+    },
+    /// Integer → float conversion (`setf` + `fcvt`): `dst = src as f64`.
+    Itof {
+        /// Destination float register.
+        dst: Fr,
+        /// Source integer register.
+        src: Gr,
+    },
+    /// Float → integer conversion (truncating): `dst = src as i64`.
+    Ftoi {
+        /// Destination integer register.
+        dst: Gr,
+        /// Source float register.
+        src: Fr,
+    },
+    /// Integer load: `dst = mem[base + offset]` (8 bytes).
+    Load {
+        /// Destination register.
+        dst: Gr,
+        /// Base address register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Integer store: `mem[base + offset] = src` (8 bytes).
+    Store {
+        /// Source register.
+        src: Gr,
+        /// Base address register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Float load: `dst = mem[base + offset]` (8 bytes, f64 bits).
+    Loadf {
+        /// Destination float register.
+        dst: Fr,
+        /// Base address register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Float store: `mem[base + offset] = src` (8 bytes, f64 bits).
+    Storef {
+        /// Source float register.
+        src: Fr,
+        /// Base address register.
+        base: Gr,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Branch to `target` (an instruction slot index). Taken iff the
+    /// qualifying predicate is true — with `qp = p0` this is an
+    /// unconditional branch.
+    Br {
+        /// Target slot index.
+        target: u32,
+    },
+    /// No operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+}
+
+/// A full instruction: a qualifying predicate plus an operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Insn {
+    /// Qualifying predicate (guard). `p0` means "always execute".
+    pub qp: Pr,
+    /// The guarded operation.
+    pub op: Op,
+}
+
+impl Insn {
+    /// An unguarded instruction (`qp = p0`).
+    #[inline]
+    pub fn new(op: Op) -> Self {
+        Insn { qp: Pr::ZERO, op }
+    }
+
+    /// A guarded instruction.
+    #[inline]
+    pub fn guarded(qp: Pr, op: Op) -> Self {
+        Insn { qp, op }
+    }
+
+    /// Whether the instruction carries a real (non-`p0`) guard.
+    #[inline]
+    pub fn is_predicated(&self) -> bool {
+        !self.qp.is_zero()
+    }
+
+    /// Whether this is a compare (integer or floating-point).
+    #[inline]
+    pub fn is_cmp(&self) -> bool {
+        matches!(self.op, Op::Cmp { .. } | Op::Fcmp { .. })
+    }
+
+    /// Whether this is a branch.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self.op, Op::Br { .. })
+    }
+
+    /// Whether this is a conditional branch (guarded by a non-`p0`
+    /// predicate). Unconditional branches (`qp = p0`) need no prediction.
+    #[inline]
+    pub fn is_cond_branch(&self) -> bool {
+        self.is_branch() && self.is_predicated()
+    }
+
+    /// Whether this is a memory access.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Load { .. } | Op::Store { .. } | Op::Loadf { .. } | Op::Storef { .. }
+        )
+    }
+
+    /// Whether this is a load.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self.op, Op::Load { .. } | Op::Loadf { .. })
+    }
+
+    /// Whether this is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self.op, Op::Store { .. } | Op::Storef { .. })
+    }
+
+    /// Integer registers read by the operation (excluding the guard).
+    ///
+    /// Reads of the hardwired `r0` are included; renaming maps them to a
+    /// constant-zero physical register.
+    pub fn gr_srcs(&self) -> [Option<Gr>; 2] {
+        match self.op {
+            Op::Alu { src1, src2, .. } | Op::Cmp { src1, src2, .. } => [Some(src1), src2.as_reg()],
+            Op::Itof { src, .. } => [Some(src), None],
+            Op::Load { base, .. } | Op::Loadf { base, .. } => [Some(base), None],
+            Op::Store { src, base, .. } => [Some(base), Some(src)],
+            Op::Storef { base, .. } => [Some(base), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Integer register written by the operation, if any.
+    ///
+    /// A write to the hardwired `r0` is reported as `None` (it is
+    /// architecturally discarded).
+    pub fn gr_dst(&self) -> Option<Gr> {
+        let d = match self.op {
+            Op::Alu { dst, .. } | Op::Movi { dst, .. } | Op::Ftoi { dst, .. } => Some(dst),
+            Op::Load { dst, .. } => Some(dst),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// Floating-point registers read by the operation.
+    pub fn fr_srcs(&self) -> [Option<Fr>; 2] {
+        match self.op {
+            Op::Fpu { src1, src2, .. } | Op::Fcmp { src1, src2, .. } => [Some(src1), Some(src2)],
+            Op::Ftoi { src, .. } => [Some(src), None],
+            Op::Storef { src, .. } => [Some(src), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Floating-point register written by the operation, if any (writes to
+    /// `f0` are discarded).
+    pub fn fr_dst(&self) -> Option<Fr> {
+        let d = match self.op {
+            Op::Fpu { dst, .. } | Op::Itof { dst, .. } | Op::Loadf { dst, .. } => Some(dst),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// Predicate targets written by the operation (compares only).
+    ///
+    /// Writes to the hardwired `p0` are reported as `None` — the paper's
+    /// predictor generates a single prediction for such compares (§3.3).
+    pub fn pr_dsts(&self) -> [Option<Pr>; 2] {
+        match self.op {
+            Op::Cmp { pt, pf, .. } | Op::Fcmp { pt, pf, .. } => [
+                Some(pt).filter(|p| !p.is_zero()),
+                Some(pf).filter(|p| !p.is_zero()),
+            ],
+            _ => [None, None],
+        }
+    }
+
+    /// Compare type, for compares.
+    pub fn cmp_type(&self) -> Option<CmpType> {
+        match self.op {
+            Op::Cmp { ctype, .. } | Op::Fcmp { ctype, .. } => Some(ctype),
+            _ => None,
+        }
+    }
+
+    /// Branch target slot, for branches.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self.op {
+            Op::Br { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_predicated() {
+            write!(f, "({}) ", self.qp)?;
+        }
+        match self.op {
+            Op::Alu { kind, dst, src1, src2 } => {
+                let m = match kind {
+                    AluKind::Add => "add",
+                    AluKind::Sub => "sub",
+                    AluKind::And => "and",
+                    AluKind::Or => "or",
+                    AluKind::Xor => "xor",
+                    AluKind::Shl => "shl",
+                    AluKind::Shr => "shr",
+                    AluKind::Mul => "mul",
+                };
+                write!(f, "{m} {dst} = {src1}, {src2}")
+            }
+            Op::Movi { dst, imm } => write!(f, "movl {dst} = {imm}"),
+            Op::Cmp { ctype, rel, pt, pf, src1, src2 } => write!(
+                f,
+                "cmp{}.{} {pt}, {pf} = {src1}, {src2}",
+                ctype.mnemonic_suffix(),
+                rel.mnemonic()
+            ),
+            Op::Fcmp { ctype, rel, pt, pf, src1, src2 } => write!(
+                f,
+                "fcmp{}.{} {pt}, {pf} = {src1}, {src2}",
+                ctype.mnemonic_suffix(),
+                rel.mnemonic()
+            ),
+            Op::Fpu { kind, dst, src1, src2 } => {
+                let m = match kind {
+                    FpuKind::Fadd => "fadd",
+                    FpuKind::Fsub => "fsub",
+                    FpuKind::Fmul => "fmul",
+                    FpuKind::Fdiv => "fdiv",
+                };
+                write!(f, "{m} {dst} = {src1}, {src2}")
+            }
+            Op::Itof { dst, src } => write!(f, "setf {dst} = {src}"),
+            Op::Ftoi { dst, src } => write!(f, "getf {dst} = {src}"),
+            Op::Load { dst, base, offset } => write!(f, "ld8 {dst} = [{base}+{offset}]"),
+            Op::Store { src, base, offset } => write!(f, "st8 [{base}+{offset}] = {src}"),
+            Op::Loadf { dst, base, offset } => write!(f, "ldf {dst} = [{base}+{offset}]"),
+            Op::Storef { src, base, offset } => write!(f, "stf [{base}+{offset}] = {src}"),
+            Op::Br { target } => write!(f, "br.cond .L{target}"),
+            Op::Nop => write!(f, "nop"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u8) -> Gr {
+        Gr::new(i)
+    }
+    fn p(i: u8) -> Pr {
+        Pr::new(i)
+    }
+
+    #[test]
+    fn cmp_type_truth_table_none() {
+        assert_eq!(CmpType::None.resolve(true, true), (Some(true), Some(false)));
+        assert_eq!(CmpType::None.resolve(true, false), (Some(false), Some(true)));
+        assert_eq!(CmpType::None.resolve(false, true), (None, None));
+        assert_eq!(CmpType::None.resolve(false, false), (None, None));
+    }
+
+    #[test]
+    fn cmp_type_truth_table_unc() {
+        assert_eq!(CmpType::Unc.resolve(true, true), (Some(true), Some(false)));
+        assert_eq!(CmpType::Unc.resolve(true, false), (Some(false), Some(true)));
+        // Disqualified unconditional compares clear both targets.
+        assert_eq!(CmpType::Unc.resolve(false, true), (Some(false), Some(false)));
+        assert_eq!(CmpType::Unc.resolve(false, false), (Some(false), Some(false)));
+    }
+
+    #[test]
+    fn cmp_type_truth_table_and_or() {
+        assert_eq!(CmpType::And.resolve(true, false), (Some(false), Some(false)));
+        assert_eq!(CmpType::And.resolve(true, true), (None, None));
+        assert_eq!(CmpType::And.resolve(false, false), (None, None));
+        assert_eq!(CmpType::Or.resolve(true, true), (Some(true), Some(true)));
+        assert_eq!(CmpType::Or.resolve(true, false), (None, None));
+        assert_eq!(CmpType::Or.resolve(false, true), (None, None));
+    }
+
+    #[test]
+    fn rel_eval_covers_all_relations() {
+        assert!(CmpRel::Eq.eval(3, 3));
+        assert!(CmpRel::Ne.eval(3, 4));
+        assert!(CmpRel::Lt.eval(-1, 0));
+        assert!(CmpRel::Le.eval(0, 0));
+        assert!(CmpRel::Gt.eval(5, -5));
+        assert!(CmpRel::Ge.eval(5, 5));
+        assert!(!CmpRel::Lt.eval(1, 0));
+        assert!(CmpRel::Lt.eval_f(1.0, 2.0));
+        assert!(!CmpRel::Eq.eval_f(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn gr_srcs_and_dst_extraction() {
+        let i = Insn::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: g(3),
+            src1: g(1),
+            src2: Operand::reg(g(2)),
+        });
+        assert_eq!(i.gr_srcs(), [Some(g(1)), Some(g(2))]);
+        assert_eq!(i.gr_dst(), Some(g(3)));
+
+        let i = Insn::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Gr::ZERO,
+            src1: g(1),
+            src2: Operand::imm(4),
+        });
+        assert_eq!(i.gr_srcs(), [Some(g(1)), None]);
+        assert_eq!(i.gr_dst(), None, "writes to r0 are discarded");
+    }
+
+    #[test]
+    fn store_reads_base_and_data() {
+        let i = Insn::new(Op::Store { src: g(7), base: g(8), offset: 16 });
+        assert_eq!(i.gr_srcs(), [Some(g(8)), Some(g(7))]);
+        assert_eq!(i.gr_dst(), None);
+        assert!(i.is_store() && i.is_mem() && !i.is_load());
+    }
+
+    #[test]
+    fn pr_dsts_filter_p0() {
+        let i = Insn::new(Op::Cmp {
+            ctype: CmpType::Unc,
+            rel: CmpRel::Lt,
+            pt: p(1),
+            pf: Pr::ZERO,
+            src1: g(1),
+            src2: Operand::imm(0),
+        });
+        assert_eq!(i.pr_dsts(), [Some(p(1)), None]);
+        assert!(i.is_cmp());
+    }
+
+    #[test]
+    fn branch_classification() {
+        let uncond = Insn::new(Op::Br { target: 5 });
+        let cond = Insn::guarded(p(3), Op::Br { target: 5 });
+        assert!(uncond.is_branch() && !uncond.is_cond_branch());
+        assert!(cond.is_cond_branch());
+        assert_eq!(cond.branch_target(), Some(5));
+    }
+
+    #[test]
+    fn display_matches_ia64_style() {
+        let i = Insn::guarded(
+            p(2),
+            Op::Cmp {
+                ctype: CmpType::Unc,
+                rel: CmpRel::Eq,
+                pt: p(3),
+                pf: Pr::ZERO,
+                src1: g(4),
+                src2: Operand::imm(0),
+            },
+        );
+        assert_eq!(i.to_string(), "(p2) cmp.unc.eq p3, p0 = r4, 0");
+        let b = Insn::guarded(p(3), Op::Br { target: 12 });
+        assert_eq!(b.to_string(), "(p3) br.cond .L12");
+    }
+}

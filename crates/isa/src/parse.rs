@@ -1,0 +1,382 @@
+//! Textual assembly parser: the inverse of [`crate::Program::listing`].
+//!
+//! Accepts the IA-64-flavoured syntax the disassembler prints, one
+//! instruction per line, with `.L<name>:` labels:
+//!
+//! ```text
+//!     movl r1 = 0
+//! .Ltop:
+//!     cmp.unc.lt p1, p2 = r1, 100
+//!     (p1) add r2 = r2, r1
+//!     (p1) br.cond .Ltop
+//!     halt
+//! ```
+//!
+//! Comments start with `//` or `#` and run to end of line.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::asm::Asm;
+use crate::insn::{AluKind, CmpRel, CmpType, FpuKind, Operand};
+use crate::program::Program;
+use crate::reg::{Fr, Gr, Pr};
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_gr(tok: &str, line: usize) -> Result<Gr, ParseError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Gr::try_new)
+        .ok_or_else(|| err(line, format!("expected integer register, got `{tok}`")))
+}
+
+fn parse_fr(tok: &str, line: usize) -> Result<Fr, ParseError> {
+    tok.strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Fr::try_new)
+        .ok_or_else(|| err(line, format!("expected float register, got `{tok}`")))
+}
+
+fn parse_pr(tok: &str, line: usize) -> Result<Pr, ParseError> {
+    tok.strip_prefix('p')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Pr::try_new)
+        .ok_or_else(|| err(line, format!("expected predicate register, got `{tok}`")))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if tok.starts_with('r') {
+        parse_gr(tok, line).map(Operand::Reg)
+    } else {
+        tok.parse::<i64>()
+            .map(Operand::Imm)
+            .map_err(|_| err(line, format!("expected register or immediate, got `{tok}`")))
+    }
+}
+
+fn parse_rel(tok: &str, line: usize) -> Result<CmpRel, ParseError> {
+    Ok(match tok {
+        "eq" => CmpRel::Eq,
+        "ne" => CmpRel::Ne,
+        "lt" => CmpRel::Lt,
+        "le" => CmpRel::Le,
+        "gt" => CmpRel::Gt,
+        "ge" => CmpRel::Ge,
+        other => return Err(err(line, format!("unknown compare relation `{other}`"))),
+    })
+}
+
+fn parse_ctype(tok: &str, line: usize) -> Result<CmpType, ParseError> {
+    Ok(match tok {
+        "" => CmpType::None,
+        "unc" => CmpType::Unc,
+        "and" => CmpType::And,
+        "or" => CmpType::Or,
+        other => return Err(err(line, format!("unknown compare type `{other}`"))),
+    })
+}
+
+/// `[rB+off]` → (base, offset).
+fn parse_mem(tok: &str, line: usize) -> Result<(Gr, i64), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [base+offset], got `{tok}`")))?;
+    let (base, off) = match inner.split_once('+') {
+        Some((b, o)) => (b, o.parse::<i64>().map_err(|_| err(line, "bad offset"))?),
+        None => match inner.split_once('-') {
+            Some((b, o)) => (b, -o.parse::<i64>().map_err(|_| err(line, "bad offset"))?),
+            None => (inner, 0),
+        },
+    };
+    Ok((parse_gr(base, line)?, off))
+}
+
+/// Parses a program in listing syntax.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered, or an assembly error
+/// (unknown label, invalid program) mapped to line 0.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let mut asm = Asm::new();
+    let mut labels: HashMap<String, crate::asm::Label> = HashMap::new();
+    let mut label_of = |asm: &mut Asm, name: &str| {
+        *labels.entry(name.to_string()).or_insert_with(|| asm.new_label())
+    };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw;
+        if let Some(p) = text.find("//") {
+            text = &text[..p];
+        }
+        if let Some(p) = text.find('#') {
+            text = &text[..p];
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        // Label?
+        if let Some(name) = text.strip_suffix(':') {
+            let l = label_of(&mut asm, name);
+            asm.bind(l);
+            continue;
+        }
+
+        // Optional guard: `(pN) ...`
+        let (guard, rest) = if let Some(r) = text.strip_prefix('(') {
+            let (g, rest) = r
+                .split_once(')')
+                .ok_or_else(|| err(line, "unterminated guard"))?;
+            (Some(parse_pr(g.trim(), line)?), rest.trim())
+        } else {
+            (None, text)
+        };
+        if let Some(g) = guard {
+            asm.pred(g);
+        }
+
+        // Tokenize: mnemonic, then operands split on spaces/commas/equals.
+        let (mnemonic, ops_text) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o.trim()),
+            None => (rest, ""),
+        };
+        let ops: Vec<&str> = ops_text
+            .split([',', '=', ' ', '\t'])
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        let need = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+            }
+        };
+
+        match mnemonic {
+            "nop" => {
+                asm.nop();
+            }
+            "halt" => {
+                asm.halt();
+            }
+            "movl" | "movi" => {
+                need(2)?;
+                let dst = parse_gr(ops[0], line)?;
+                let imm = ops[1].parse::<i64>().map_err(|_| err(line, "bad immediate"))?;
+                asm.movi(dst, imm);
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "mul" => {
+                need(3)?;
+                let kind = match mnemonic {
+                    "add" => AluKind::Add,
+                    "sub" => AluKind::Sub,
+                    "and" => AluKind::And,
+                    "or" => AluKind::Or,
+                    "xor" => AluKind::Xor,
+                    "shl" => AluKind::Shl,
+                    "shr" => AluKind::Shr,
+                    _ => AluKind::Mul,
+                };
+                asm.alu(kind, parse_gr(ops[0], line)?, parse_gr(ops[1], line)?, parse_operand(ops[2], line)?);
+            }
+            "fadd" | "fsub" | "fmul" | "fdiv" => {
+                need(3)?;
+                let kind = match mnemonic {
+                    "fadd" => FpuKind::Fadd,
+                    "fsub" => FpuKind::Fsub,
+                    "fmul" => FpuKind::Fmul,
+                    _ => FpuKind::Fdiv,
+                };
+                asm.fpu(kind, parse_fr(ops[0], line)?, parse_fr(ops[1], line)?, parse_fr(ops[2], line)?);
+            }
+            "setf" => {
+                need(2)?;
+                asm.itof(parse_fr(ops[0], line)?, parse_gr(ops[1], line)?);
+            }
+            "getf" => {
+                need(2)?;
+                asm.ftoi(parse_gr(ops[0], line)?, parse_fr(ops[1], line)?);
+            }
+            "ld8" => {
+                need(2)?;
+                let (b, o) = parse_mem(ops[1], line)?;
+                asm.ld(parse_gr(ops[0], line)?, b, o);
+            }
+            "st8" => {
+                need(2)?;
+                let (b, o) = parse_mem(ops[0], line)?;
+                asm.st(parse_gr(ops[1], line)?, b, o);
+            }
+            "ldf" => {
+                need(2)?;
+                let (b, o) = parse_mem(ops[1], line)?;
+                asm.ldf(parse_fr(ops[0], line)?, b, o);
+            }
+            "stf" => {
+                need(2)?;
+                let (b, o) = parse_mem(ops[0], line)?;
+                asm.stf(parse_fr(ops[1], line)?, b, o);
+            }
+            m if m == "br" || m.starts_with("br.") => {
+                need(1)?;
+                let name = ops[0].trim_start_matches('.');
+                let l = label_of(&mut asm, name);
+                asm.br(l);
+            }
+            m if m.starts_with("cmp") || m.starts_with("fcmp") => {
+                need(4)?;
+                let fp = m.starts_with("fcmp");
+                let suffix = m.trim_start_matches(if fp { "fcmp" } else { "cmp" });
+                let parts: Vec<&str> = suffix.split('.').filter(|s| !s.is_empty()).collect();
+                let (ctype, rel) = match parts.as_slice() {
+                    [rel] => (CmpType::None, parse_rel(rel, line)?),
+                    [ct, rel] => (parse_ctype(ct, line)?, parse_rel(rel, line)?),
+                    _ => return Err(err(line, format!("malformed compare mnemonic `{m}`"))),
+                };
+                let pt = parse_pr(ops[0], line)?;
+                let pf = parse_pr(ops[1], line)?;
+                if fp {
+                    asm.fcmp(ctype, rel, pt, pf, parse_fr(ops[2], line)?, parse_fr(ops[3], line)?);
+                } else {
+                    asm.cmp(ctype, rel, pt, pf, parse_gr(ops[2], line)?, parse_operand(ops[3], line)?);
+                }
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    asm.assemble().map_err(|e| err(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Machine, StopReason};
+
+    #[test]
+    fn parses_and_runs_a_loop() {
+        let src = r"
+            movl r1 = 0
+            movl r2 = 0
+        top:
+            add r2 = r2, r1
+            add r1 = r1, 1
+            cmp.unc.lt p1, p2 = r1, 10
+            (p1) br.cond .top
+            halt
+        ";
+        let prog = parse_program(src).unwrap();
+        let mut m = Machine::new(&prog);
+        let out = m.run(1000).unwrap();
+        assert_eq!(out.reason, StopReason::Halted);
+        assert_eq!(m.gr(Gr::new(2)), 45);
+    }
+
+    #[test]
+    fn round_trips_the_disassembler_output() {
+        let src = r"
+            movl r1 = 5
+            cmp.unc.lt p1, p2 = r1, 10
+            (p1) add r3 = r1, 2
+            (p2) sub r3 = r1, r1
+            st8 [r1+16] = r3
+            ld8 r4 = [r1+16]
+            setf f1 = r4
+            fmul f2 = f1, f1
+            getf r5 = f2
+            halt
+        ";
+        let prog = parse_program(src).unwrap();
+        let listing = prog.listing();
+        let reparsed = parse_program(&listing).unwrap();
+        assert_eq!(prog.insns, reparsed.insns, "listing → parse is a fixpoint");
+        let mut m = Machine::new(&prog);
+        m.run(100).unwrap();
+        assert_eq!(m.gr(Gr::new(3)), 7);
+        assert_eq!(m.gr(Gr::new(5)), 49);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "
+            // a comment
+            movl r1 = 1  # trailing
+            \t
+            halt
+        ";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "
+            br.cond .end
+            movl r1 = 9
+        end:
+            halt
+        ";
+        let prog = parse_program(src).unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(10).unwrap();
+        assert_eq!(m.gr(Gr::new(1)), 0, "mov was skipped");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("movl r1 = 1\nbogus r1\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"), "{e}");
+
+        let e = parse_program("movl r200 = 1").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse_program("add r1 = r2").unwrap_err();
+        assert!(e.message.contains("expects 3"), "{e}");
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let e = parse_program("br.cond .nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("never bound"), "{e}");
+    }
+
+    #[test]
+    fn negative_offsets_and_plain_brackets() {
+        let src = "
+            movl r1 = 4096
+            st8 [r1-8] = r1
+            ld8 r2 = [r1-8]
+            halt
+        ";
+        let prog = parse_program(src).unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(10).unwrap();
+        assert_eq!(m.gr(Gr::new(2)), 4096);
+    }
+}

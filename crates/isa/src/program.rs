@@ -1,0 +1,268 @@
+//! Program container: instruction slots plus initialized data segments.
+
+use std::fmt;
+
+use crate::insn::{Insn, Op};
+use crate::reg::{NUM_FR, NUM_GR};
+use crate::SLOT_BYTES;
+
+/// Base address assigned to instruction slot 0 when deriving synthetic
+/// instruction addresses.
+pub const CODE_BASE: u64 = 0x4000_0000;
+
+/// An initialized region of data memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataSegment {
+    /// Start byte address.
+    pub addr: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+impl DataSegment {
+    /// Builds a segment of packed little-endian `i64` words.
+    pub fn from_words(addr: u64, words: &[i64]) -> Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        DataSegment { addr, bytes }
+    }
+
+    /// Builds a segment of packed little-endian `f64` words.
+    pub fn from_f64s(addr: u64, words: &[f64]) -> Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        DataSegment { addr, bytes }
+    }
+
+    /// Exclusive end address of the segment.
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes.len() as u64
+    }
+}
+
+/// Errors detected by [`Program::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A branch targets a slot outside the program.
+    BranchOutOfRange {
+        /// Slot of the offending branch.
+        slot: u32,
+        /// Its target.
+        target: u32,
+    },
+    /// A compare names the same register for both predicate targets.
+    DuplicateCmpTargets {
+        /// Slot of the offending compare.
+        slot: u32,
+    },
+    /// The program is empty.
+    Empty,
+    /// Initial values vector has the wrong length.
+    BadInitLen {
+        /// What was being initialized.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::BranchOutOfRange { slot, target } => {
+                write!(f, "branch at slot {slot} targets out-of-range slot {target}")
+            }
+            ProgramError::DuplicateCmpTargets { slot } => {
+                write!(f, "compare at slot {slot} writes the same predicate twice")
+            }
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::BadInitLen { what } => {
+                write!(f, "initial {what} values have the wrong length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A fully assembled program: code, initialized data and initial register
+/// values.
+///
+/// Instruction "addresses" are synthetic: slot `i` lives at
+/// `CODE_BASE + i * SLOT_BYTES` (see [`Program::pc_of`]); predictors hash on
+/// these addresses.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Instruction slots.
+    pub insns: Vec<Insn>,
+    /// Initialized data memory.
+    pub data: Vec<DataSegment>,
+    /// Initial integer register values (`gr_init[i]` → `r<i>`); `r0` is
+    /// forced to zero regardless.
+    pub gr_init: Vec<i64>,
+    /// Initial floating-point register values.
+    pub fr_init: Vec<f64>,
+}
+
+impl Program {
+    /// Wraps a list of instructions with no data and zeroed registers.
+    pub fn from_insns(insns: Vec<Insn>) -> Self {
+        Program { insns, ..Program::default() }
+    }
+
+    /// Number of instruction slots.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Synthetic byte address of an instruction slot.
+    pub fn pc_of(slot: u32) -> u64 {
+        CODE_BASE + u64::from(slot) * SLOT_BYTES
+    }
+
+    /// Checks structural invariants; returns the first violation found.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`] for the conditions checked.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.insns.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if self.gr_init.len() > NUM_GR {
+            return Err(ProgramError::BadInitLen { what: "integer register" });
+        }
+        if self.fr_init.len() > NUM_FR {
+            return Err(ProgramError::BadInitLen { what: "float register" });
+        }
+        for (slot, insn) in self.insns.iter().enumerate() {
+            let slot = slot as u32;
+            if let Op::Br { target } = insn.op {
+                if target as usize >= self.insns.len() {
+                    return Err(ProgramError::BranchOutOfRange { slot, target });
+                }
+            }
+            if let Op::Cmp { pt, pf, .. } | Op::Fcmp { pt, pf, .. } = insn.op {
+                if pt == pf && !pt.is_zero() {
+                    return Err(ProgramError::DuplicateCmpTargets { slot });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts static instructions satisfying a predicate.
+    pub fn count_insns(&self, mut f: impl FnMut(&Insn) -> bool) -> usize {
+        self.insns.iter().filter(|i| f(i)).count()
+    }
+
+    /// Renders the program as an assembly listing with slot labels.
+    pub fn listing(&self) -> String {
+        use std::collections::BTreeSet;
+        let mut targets: BTreeSet<u32> = BTreeSet::new();
+        for insn in &self.insns {
+            if let Some(t) = insn.branch_target() {
+                targets.insert(t);
+            }
+        }
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            if targets.contains(&(i as u32)) {
+                out.push_str(&format!(".L{i}:\n"));
+            }
+            out.push_str(&format!("    {insn}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{CmpRel, CmpType, Operand};
+    use crate::reg::{Gr, Pr};
+
+    #[test]
+    fn data_segment_word_packing() {
+        let seg = DataSegment::from_words(0x1000, &[1, -1]);
+        assert_eq!(seg.bytes.len(), 16);
+        assert_eq!(&seg.bytes[0..8], &1i64.to_le_bytes());
+        assert_eq!(&seg.bytes[8..16], &(-1i64).to_le_bytes());
+        assert_eq!(seg.end(), 0x1010);
+    }
+
+    #[test]
+    fn data_segment_f64_packing() {
+        let seg = DataSegment::from_f64s(0, &[1.5]);
+        assert_eq!(seg.bytes, 1.5f64.to_bits().to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn pc_of_is_spaced_by_slot_bytes() {
+        assert_eq!(Program::pc_of(0), CODE_BASE);
+        assert_eq!(Program::pc_of(2) - Program::pc_of(1), crate::SLOT_BYTES);
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(Program::default().validate(), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_wild_branch() {
+        let p = Program::from_insns(vec![Insn::new(Op::Br { target: 9 })]);
+        assert_eq!(p.validate(), Err(ProgramError::BranchOutOfRange { slot: 0, target: 9 }));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_cmp_targets() {
+        let p = Program::from_insns(vec![
+            Insn::new(Op::Cmp {
+                ctype: CmpType::Unc,
+                rel: CmpRel::Eq,
+                pt: Pr::new(3),
+                pf: Pr::new(3),
+                src1: Gr::new(1),
+                src2: Operand::imm(0),
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(p.validate(), Err(ProgramError::DuplicateCmpTargets { slot: 0 }));
+    }
+
+    #[test]
+    fn validate_accepts_p0_p0_cmp() {
+        // Both targets p0 is pointless but architecturally legal (discarded).
+        let p = Program::from_insns(vec![
+            Insn::new(Op::Cmp {
+                ctype: CmpType::Unc,
+                rel: CmpRel::Eq,
+                pt: Pr::ZERO,
+                pf: Pr::ZERO,
+                src1: Gr::new(1),
+                src2: Operand::imm(0),
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn listing_emits_labels() {
+        let p = Program::from_insns(vec![
+            Insn::new(Op::Nop),
+            Insn::new(Op::Br { target: 0 }),
+            Insn::new(Op::Halt),
+        ]);
+        let l = p.listing();
+        assert!(l.contains(".L0:"), "{l}");
+        assert!(l.contains("br.cond .L0"), "{l}");
+    }
+}

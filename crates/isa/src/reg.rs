@@ -1,0 +1,145 @@
+//! Architectural register names.
+//!
+//! All three register files use cheap copyable newtypes so that integer,
+//! floating-point and predicate registers cannot be confused at compile
+//! time.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_GR: usize = 128;
+/// Number of architectural floating-point registers.
+pub const NUM_FR: usize = 128;
+/// Number of architectural predicate registers.
+pub const NUM_PR: usize = 64;
+
+/// An integer (general) register name, `r0..r127`.
+///
+/// `r0` reads as zero and writes to it are discarded.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gr(u8);
+
+/// A floating-point register name, `f0..f127`.
+///
+/// `f0` reads as `0.0` and writes to it are discarded.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fr(u8);
+
+/// A predicate register name, `p0..p63`.
+///
+/// `p0` reads as `true` and writes to it are discarded — compares that only
+/// need one useful output name `p0` as their second target, which the
+/// predicate predictor exploits to generate a single prediction
+/// (paper §3.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pr(u8);
+
+macro_rules! reg_impl {
+    ($ty:ident, $max:expr, $prefix:literal, $doc_zero:literal) => {
+        impl $ty {
+            /// The hardwired register (index 0).
+            #[doc = $doc_zero]
+            pub const ZERO: $ty = $ty(0);
+
+            /// Creates a register name.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` is out of range for this register file.
+            #[inline]
+            pub fn new(index: u8) -> Self {
+                assert!(
+                    (index as usize) < $max,
+                    concat!($prefix, "{} out of range (max {})"),
+                    index,
+                    $max - 1
+                );
+                $ty(index)
+            }
+
+            /// Creates a register name, returning `None` if out of range.
+            #[inline]
+            pub fn try_new(index: u8) -> Option<Self> {
+                if (index as usize) < $max {
+                    Some($ty(index))
+                } else {
+                    None
+                }
+            }
+
+            /// The register's index within its file.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Whether this is the hardwired register (index 0).
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}
+
+reg_impl!(Gr, NUM_GR, "r", "`r0` always reads as `0`.");
+reg_impl!(Fr, NUM_FR, "f", "`f0` always reads as `0.0`.");
+reg_impl!(Pr, NUM_PR, "p", "`p0` always reads as `true`.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_index_round_trip() {
+        for i in 0..NUM_GR as u8 {
+            assert_eq!(Gr::new(i).index(), i as usize);
+        }
+        for i in 0..NUM_PR as u8 {
+            assert_eq!(Pr::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn zero_registers_are_flagged() {
+        assert!(Gr::ZERO.is_zero());
+        assert!(Fr::ZERO.is_zero());
+        assert!(Pr::ZERO.is_zero());
+        assert!(!Gr::new(5).is_zero());
+    }
+
+    #[test]
+    fn try_new_range_checks() {
+        assert!(Pr::try_new(63).is_some());
+        assert!(Pr::try_new(64).is_none());
+        assert!(Gr::try_new(127).is_some());
+        assert!(Gr::try_new(128).is_none());
+        assert!(Fr::try_new(128).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Pr::new(64);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gr::new(32).to_string(), "r32");
+        assert_eq!(Fr::new(7).to_string(), "f7");
+        assert_eq!(Pr::new(1).to_string(), "p1");
+        assert_eq!(format!("{:?}", Pr::new(1)), "p1");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests for the ISA crate: emulator determinism, compare-type
+//! semantics, and the listing ⇄ parser round trip.
+
+use proptest::prelude::*;
+
+use ppsim_isa::{
+    parse_program, AluKind, Asm, CmpRel, CmpType, Gr, Insn, Machine, Op, Operand, Pr, Program,
+};
+
+fn arb_gr() -> impl Strategy<Value = Gr> {
+    (0u8..32).prop_map(Gr::new)
+}
+
+fn arb_pr() -> impl Strategy<Value = Pr> {
+    (0u8..16).prop_map(Pr::new)
+}
+
+fn arb_alu_kind() -> impl Strategy<Value = AluKind> {
+    prop_oneof![
+        Just(AluKind::Add),
+        Just(AluKind::Sub),
+        Just(AluKind::And),
+        Just(AluKind::Or),
+        Just(AluKind::Xor),
+        Just(AluKind::Shl),
+        Just(AluKind::Shr),
+        Just(AluKind::Mul),
+    ]
+}
+
+fn arb_rel() -> impl Strategy<Value = CmpRel> {
+    prop_oneof![
+        Just(CmpRel::Eq),
+        Just(CmpRel::Ne),
+        Just(CmpRel::Lt),
+        Just(CmpRel::Le),
+        Just(CmpRel::Gt),
+        Just(CmpRel::Ge),
+    ]
+}
+
+fn arb_ctype() -> impl Strategy<Value = CmpType> {
+    prop_oneof![
+        Just(CmpType::None),
+        Just(CmpType::Unc),
+        Just(CmpType::And),
+        Just(CmpType::Or),
+    ]
+}
+
+/// A straight-line instruction (no control flow).
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_alu_kind(), arb_gr(), arb_gr(), arb_gr())
+            .prop_map(|(kind, dst, src1, s2)| Op::Alu { kind, dst, src1, src2: Operand::Reg(s2) }),
+        (arb_alu_kind(), arb_gr(), arb_gr(), -100i64..100)
+            .prop_map(|(kind, dst, src1, v)| Op::Alu { kind, dst, src1, src2: Operand::Imm(v) }),
+        (arb_gr(), any::<i32>()).prop_map(|(dst, v)| Op::Movi { dst, imm: i64::from(v) }),
+        (arb_ctype(), arb_rel(), arb_pr(), arb_pr(), arb_gr(), -50i64..50).prop_map(
+            |(ctype, rel, pt, pf, src1, v)| {
+                // A compare may not name the same real register twice.
+                let pf = if pf == pt && !pt.is_zero() { Pr::ZERO } else { pf };
+                Op::Cmp { ctype, rel, pt, pf, src1, src2: Operand::Imm(v) }
+            }
+        ),
+    ]
+}
+
+fn program_of(ops: &[Op], guards: &[u8]) -> Program {
+    let mut a = Asm::new();
+    for (op, g) in ops.iter().zip(guards) {
+        a.pred(Pr::new(g % 16));
+        a.emit(*op);
+    }
+    a.halt();
+    a.assemble().expect("straight-line programs always assemble")
+}
+
+fn final_state(p: &Program) -> (Vec<i64>, Vec<bool>) {
+    let mut m = Machine::new(p);
+    m.run(10_000).unwrap();
+    (
+        (0..32).map(|i| m.gr(Gr::new(i))).collect(),
+        (0..16).map(|i| m.pr(Pr::new(i))).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The emulator is a pure function of the program.
+    #[test]
+    fn execution_is_deterministic(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        guards in prop::collection::vec(any::<u8>(), 40),
+    ) {
+        let p = program_of(&ops, &guards);
+        prop_assert_eq!(final_state(&p), final_state(&p));
+    }
+
+    /// Writes to hardwired registers never stick.
+    #[test]
+    fn hardwired_registers_stay_fixed(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        guards in prop::collection::vec(any::<u8>(), 40),
+    ) {
+        let p = program_of(&ops, &guards);
+        let (grs, prs) = final_state(&p);
+        prop_assert_eq!(grs[0], 0, "r0 is zero");
+        prop_assert!(prs[0], "p0 is true");
+    }
+
+    /// Disassembling and reparsing reproduces the exact instruction
+    /// sequence (the parser is a left inverse of the lister).
+    #[test]
+    fn listing_parse_round_trip(
+        ops in prop::collection::vec(arb_op(), 1..30),
+        guards in prop::collection::vec(any::<u8>(), 30),
+    ) {
+        let p = program_of(&ops, &guards);
+        let reparsed = parse_program(&p.listing()).unwrap();
+        prop_assert_eq!(p.insns, reparsed.insns);
+    }
+
+    /// A disqualified `unc` compare always clears both targets; a
+    /// disqualified normal compare never writes.
+    #[test]
+    fn compare_write_discipline(cond in any::<bool>(), qp in any::<bool>()) {
+        for ctype in [CmpType::None, CmpType::Unc, CmpType::And, CmpType::Or] {
+            let (pt, pf) = ctype.resolve(qp, cond);
+            if !qp {
+                match ctype {
+                    CmpType::Unc => {
+                        prop_assert_eq!(pt, Some(false));
+                        prop_assert_eq!(pf, Some(false));
+                    }
+                    _ => {
+                        prop_assert_eq!(pt, None);
+                        prop_assert_eq!(pf, None);
+                    }
+                }
+            } else if matches!(ctype, CmpType::None | CmpType::Unc) {
+                prop_assert_eq!(pt, Some(cond));
+                prop_assert_eq!(pf, Some(!cond));
+            }
+        }
+    }
+
+    /// Memory round-trips arbitrary u64s at arbitrary (possibly unaligned,
+    /// page-crossing) addresses.
+    #[test]
+    fn sparse_memory_round_trip(addr in 0u64..1 << 40, value in any::<u64>()) {
+        let mut m = ppsim_isa::SparseMem::new();
+        m.write_u64(addr, value);
+        prop_assert_eq!(m.read_u64(addr), value);
+    }
+}
+
+/// Guards select exactly the architectural effects the ISA promises.
+#[test]
+fn guard_isolates_effects() {
+    for guard_value in [true, false] {
+        let mut a = Asm::new();
+        a.movi(Gr::new(1), 10);
+        let rel = if guard_value { CmpRel::Eq } else { CmpRel::Ne };
+        a.cmp(CmpType::Unc, rel, Pr::new(1), Pr::new(2), Gr::new(1), Operand::imm(10));
+        a.pred(Pr::new(1)).movi(Gr::new(2), 77);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        assert_eq!(m.gr(Gr::new(2)), if guard_value { 77 } else { 0 });
+    }
+}
+
+/// An instruction never changes a register outside its declared write set.
+#[test]
+fn write_sets_are_sound() {
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    let strat = prop::collection::vec(arb_op(), 1..20);
+    for _ in 0..50 {
+        let ops = strat.new_tree(&mut runner).unwrap().current();
+        let p = program_of(&ops, &vec![0; ops.len()]);
+        let mut m = Machine::new(&p);
+        let mut prev: Vec<i64> = (0..64).map(|i| m.gr(Gr::new(i))).collect();
+        let mut prev_pr: Vec<bool> = (0..16).map(|i| m.pr(Pr::new(i))).collect();
+        while let Ok(Some(rec)) = m.step() {
+            let insn: Insn = rec.insn;
+            for i in 0..64u8 {
+                let now = m.gr(Gr::new(i));
+                if now != prev[i as usize] {
+                    assert_eq!(
+                        insn.gr_dst(),
+                        Some(Gr::new(i)),
+                        "{insn} changed r{i} outside its write set"
+                    );
+                }
+                prev[i as usize] = now;
+            }
+            for i in 0..16u8 {
+                let now = m.pr(Pr::new(i));
+                if now != prev_pr[i as usize] {
+                    assert!(
+                        insn.pr_dsts().iter().flatten().any(|p| *p == Pr::new(i)),
+                        "{insn} changed p{i} outside its write set"
+                    );
+                }
+                prev_pr[i as usize] = now;
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # ppsim-mem — the memory hierarchy of Table 1
+//!
+//! Timing-only models (the data itself lives in the functional emulator's
+//! memory): set-associative caches with true-LRU replacement, non-blocking
+//! miss handling through MSHRs with primary/secondary miss merging, write
+//! buffers, TLBs, and a fixed-latency main memory, composed into the
+//! paper's three-level [`Hierarchy`]:
+//!
+//! | structure | geometry | latency |
+//! |-----------|----------|---------|
+//! | L1I | 32 KB, 4-way, 64 B lines | 1 cycle |
+//! | L1D | 64 KB, 4-way, 64 B lines, 12 primary + 4 secondary misses, 16 write buffers | 2 cycles |
+//! | L2 (unified) | 1 MB, 16-way, 128 B lines, 12 primary misses, 8 write buffers | 8 cycles |
+//! | D/I TLB | 512 entries each | 10-cycle miss penalty |
+//! | memory | — | 120 cycles |
+//!
+//! # Example
+//!
+//! ```
+//! use ppsim_mem::{Hierarchy, HierarchyConfig};
+//!
+//! let mut h = Hierarchy::new(HierarchyConfig::paper());
+//! let done = h.data_access(0, 0x10000, false); // cold load
+//! assert!(done > 120, "cold miss goes to memory");
+//! let done2 = h.data_access(done, 0x10008, false); // same line: L1 hit
+//! assert_eq!(done2, done + 2);
+//! ```
+
+mod cache;
+mod hierarchy;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats};
+pub use tlb::{Tlb, TlbConfig};

@@ -1,0 +1,116 @@
+//! Translation lookaside buffer timing model.
+
+/// TLB geometry (fully associative, true LRU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes (a power of two).
+    pub page_bytes: usize,
+    /// Added latency on a miss.
+    pub miss_penalty: u64,
+}
+
+impl TlbConfig {
+    /// Table 1: 512 entries, 10-cycle miss penalty (4 KB pages, matching
+    /// the functional memory's page granularity).
+    pub fn paper_512() -> Self {
+        TlbConfig { entries: 512, page_bytes: 4096, miss_penalty: 10 }
+    }
+}
+
+/// A fully associative TLB with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<(u64, u64)>, // (page number, lru tick)
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    page_shift: u32,
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two or `entries` is zero.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(cfg.entries > 0, "TLB must have entries");
+        Tlb {
+            entries: Vec::with_capacity(cfg.entries),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// Looks up `addr`, returning the added latency (0 on a hit, the miss
+    /// penalty on a miss) and updating replacement state.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.tick += 1;
+        let page = addr >> self.page_shift;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            self.hits += 1;
+            return 0;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.cfg.entries {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.tick));
+        self.cfg.miss_penalty
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TlbConfig {
+        TlbConfig { entries: 2, page_bytes: 4096, miss_penalty: 10 }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(tiny());
+        assert_eq!(t.access(0x1000), 10);
+        assert_eq!(t.access(0x1ff8), 0, "same page hits");
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut t = Tlb::new(tiny());
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // touch page 0
+        t.access(0x2000); // evicts page 1
+        assert_eq!(t.access(0x0000), 0, "page 0 retained");
+        assert_eq!(t.access(0x1000), 10, "page 1 was evicted");
+    }
+
+    #[test]
+    fn paper_config() {
+        let cfg = TlbConfig::paper_512();
+        assert_eq!(cfg.entries, 512);
+        assert_eq!(cfg.miss_penalty, 10);
+    }
+}

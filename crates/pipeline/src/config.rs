@@ -1,0 +1,220 @@
+//! Core configuration (Table 1 of the paper).
+
+/// Functional-unit and operation latencies in cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latencies {
+    /// Simple integer ALU.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// FP add/sub/convert.
+    pub fp_alu: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// Branch resolution.
+    pub branch: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies { int_alu: 1, int_mul: 3, fp_alu: 4, fp_mul: 4, fp_div: 16, branch: 1 }
+    }
+}
+
+/// Which branch-prediction organization drives the front end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Two-level: 4 KB gshare at fetch, 148 KB perceptron override at
+    /// rename (the paper's conventional baseline).
+    Conventional,
+    /// 144 KB PEP-PA at fetch (August et al., as modelled in §4.1: the
+    /// logical predicate register file is updated at execute time, out of
+    /// program order).
+    PepPa,
+    /// The paper's scheme: 4 KB gshare at fetch, predictions generated per
+    /// *compare* and stored in the PPRF, consumed by branches at rename.
+    Predicate,
+    /// Conventional with unbounded tables and oracle history (the §4.2
+    /// idealized study).
+    IdealConventional,
+    /// Predicate predictor with unbounded tables and oracle history.
+    IdealPredicate,
+}
+
+impl SchemeKind {
+    /// Whether this scheme predicts at compares (predicate-predictor
+    /// family).
+    pub fn is_predicate(self) -> bool {
+        matches!(self, SchemeKind::Predicate | SchemeKind::IdealPredicate)
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Conventional => "conventional",
+            SchemeKind::PepPa => "pep-pa",
+            SchemeKind::Predicate => "predicate",
+            SchemeKind::IdealConventional => "ideal-conventional",
+            SchemeKind::IdealPredicate => "ideal-predicate",
+        }
+    }
+}
+
+/// How if-converted (predicated) instructions execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredicationModel {
+    /// Conditional-move style: every predicated instruction reads its
+    /// guard and the old value of its destination, always occupies an
+    /// issue-queue slot and a functional unit (the resource-hungry
+    /// baseline of §3.2).
+    Cmov,
+    /// Selective predicate prediction (§3.2 / ICS'06): confident
+    /// predictions cancel (predicted-false) or unguard (predicted-true)
+    /// instructions at rename; non-confident guards fall back to cmov
+    /// semantics; mispredictions flush from the first consumer.
+    Selective,
+}
+
+/// The machine configuration (defaults reproduce Table 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreConfig {
+    /// Fetch width: up to 2 bundles = 6 instructions.
+    pub fetch_width: usize,
+    /// Rename/dispatch width.
+    pub rename_width: usize,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Integer issue-queue entries.
+    pub iq_int: usize,
+    /// Floating-point issue-queue entries.
+    pub iq_fp: usize,
+    /// Branch issue-queue entries.
+    pub iq_branch: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Integer physical registers.
+    pub phys_int: usize,
+    /// FP physical registers.
+    pub phys_fp: usize,
+    /// Predicate physical registers (PPRF entries).
+    pub phys_pred: usize,
+    /// Integer ALUs.
+    pub int_units: usize,
+    /// FP units.
+    pub fp_units: usize,
+    /// Memory ports.
+    pub mem_ports: usize,
+    /// Branch units.
+    pub branch_units: usize,
+    /// Front-end depth in cycles from fetch to rename (the 8-stage
+    /// pipeline spends 4 cycles before rename: F1 F2 D1 D2).
+    pub front_stages: u64,
+    /// Cycles from a branch misprediction resolution to useful fetch
+    /// (Table 1: 10).
+    pub mispredict_penalty: u64,
+    /// Front-end bubble when the second-level prediction overrides the
+    /// first at rename (two-level scheme re-steer).
+    pub override_bubble: u64,
+    /// Operation latencies.
+    pub latencies: Latencies,
+    /// Repair wrong speculative history bits when the producing compare
+    /// executes (§3.3 recovery). Disable to measure the cost of permanent
+    /// global-history corruption (an ablation; the paper's design repairs).
+    pub history_repair: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            fetch_width: 6,
+            rename_width: 6,
+            commit_width: 6,
+            rob_entries: 256,
+            iq_int: 80,
+            iq_fp: 80,
+            iq_branch: 32,
+            lq_entries: 64,
+            sq_entries: 64,
+            phys_int: 256,
+            phys_fp: 256,
+            phys_pred: 128,
+            int_units: 4,
+            fp_units: 2,
+            mem_ports: 2,
+            branch_units: 2,
+            front_stages: 4,
+            mispredict_penalty: 10,
+            override_bubble: 3,
+            latencies: Latencies::default(),
+            history_repair: true,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The paper's Table 1 machine (same as `Default`).
+    pub fn paper() -> Self {
+        CoreConfig::default()
+    }
+
+    /// A narrow machine for stress tests (tiny queues expose resource
+    /// stalls quickly).
+    pub fn tiny() -> Self {
+        CoreConfig {
+            fetch_width: 2,
+            rename_width: 2,
+            commit_width: 2,
+            rob_entries: 8,
+            iq_int: 4,
+            iq_fp: 4,
+            iq_branch: 4,
+            lq_entries: 4,
+            sq_entries: 4,
+            phys_int: 160,
+            phys_fp: 160,
+            phys_pred: 80,
+            int_units: 1,
+            fp_units: 1,
+            mem_ports: 1,
+            branch_units: 1,
+            ..CoreConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = CoreConfig::paper();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.rob_entries, 256);
+        assert_eq!(c.iq_int, 80);
+        assert_eq!(c.iq_fp, 80);
+        assert_eq!(c.iq_branch, 32);
+        assert_eq!(c.lq_entries, 64);
+        assert_eq!(c.sq_entries, 64);
+        assert_eq!(c.mispredict_penalty, 10);
+    }
+
+    #[test]
+    fn scheme_names_are_distinct() {
+        use SchemeKind::*;
+        let names: std::collections::HashSet<_> =
+            [Conventional, PepPa, Predicate, IdealConventional, IdealPredicate]
+                .iter()
+                .map(|s| s.name())
+                .collect();
+        assert_eq!(names.len(), 5);
+        assert!(Predicate.is_predicate() && IdealPredicate.is_predicate());
+        assert!(!Conventional.is_predicate());
+    }
+}

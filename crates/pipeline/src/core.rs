@@ -1,0 +1,1270 @@
+//! The execution-driven out-of-order core timing model.
+//!
+//! # Modelling approach
+//!
+//! The functional emulator supplies the committed-path instruction stream
+//! (oracle values included); the simulator propagates per-instruction
+//! *stage timestamps* — fetch, rename, issue, execute, commit — through
+//! bounded resource models (Table 1 widths, queues, physical registers,
+//! functional units, the cache hierarchy). Mispredicted branches stall
+//! fetch until resolution plus the 10-cycle recovery (the classic
+//! stall-on-mispredict approximation: no wrong-path fetch; speculative
+//! predictor state is checkpoint-repaired exactly).
+//!
+//! # The predicate-prediction lifecycle (paper §3)
+//!
+//! * a fetched compare starts a predicate prediction keyed by the
+//!   *compare* PC; at the compare's rename the predictions land in the
+//!   predicate physical register file (PPRF) with the speculative bit set,
+//! * a consumer (conditional branch, or predicated instruction under the
+//!   selective model) renames its guard and reads the PPRF: if the compare
+//!   has already executed it reads the *computed* value — an
+//!   **early-resolved** branch, always correct; otherwise it uses the
+//!   prediction,
+//! * when the compare executes, the PPRF is updated; a mismatch against a
+//!   used prediction flushes from the first consumer (the ROB pointer of
+//!   Figure 3) with the 10-cycle recovery, and the global history bit the
+//!   compare inserted is repaired in place — compares fetched in between
+//!   keep their corrupted-history predictions (§3.3).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use ppsim_isa::{AluKind, ExecInfo, ExecRecord, FpuKind, Machine, Op, Program};
+use ppsim_mem::{Hierarchy, HierarchyConfig};
+use ppsim_predictors::{
+    BranchPredictor, Gshare, GshareConfig, IdealPerceptron, IdealPredicatePredictor, PepPa,
+    PepPaConfig, PerceptronConfig, PerceptronPredictor, PredicateConfig, PredicatePredictor,
+    Prediction,
+};
+
+use crate::config::{CoreConfig, PredicationModel, SchemeKind};
+use crate::resources::{Pool, UnitSet, WidthLimiter};
+use crate::stats::SimStats;
+use crate::trace::{PipeTrace, TraceEvent};
+
+/// Number of architectural predicate registers tracked.
+const NUM_PR: usize = 64;
+/// I-cache line size for fetch-break modelling.
+const ILINE: u64 = 64;
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Collected statistics.
+    pub stats: SimStats,
+    /// Whether the program halted (vs. exhausting the commit budget).
+    pub halted: bool,
+}
+
+/// Rename-time view of one architectural predicate register.
+#[derive(Clone, Copy, Debug)]
+struct PredEntry {
+    /// Cycle the computed value becomes available (producer execute).
+    done: u64,
+    /// The computed value (oracle, from the trace).
+    value: bool,
+    /// Stored prediction, if the producer generated one: (value,
+    /// confident).
+    pred: Option<(bool, bool)>,
+    /// Cycle the prediction lands in the PPRF (producer rename).
+    pred_avail: u64,
+    /// Predictor tag for history repair (realistic predicate scheme).
+    tag: Option<ppsim_predictors::PredicatePrediction>,
+    /// Global-history push counter right after the producer's push.
+    push_index: u64,
+    /// Computed value of the *primary* target (the bit the producer pushed
+    /// into the global history); used for history repair.
+    primary_actual: bool,
+    /// Set once a wrong use of this prediction has flushed (only the first
+    /// consumer flushes).
+    flushed: bool,
+}
+
+impl PredEntry {
+    fn constant(value: bool) -> Self {
+        PredEntry {
+            done: 0,
+            value,
+            pred: None,
+            pred_avail: 0,
+            tag: None,
+            push_index: 0,
+            primary_actual: value,
+            flushed: false,
+        }
+    }
+}
+
+enum Predictors {
+    Conventional {
+        l1: Gshare,
+        l2: PerceptronPredictor,
+    },
+    PepPa {
+        p: PepPa,
+        /// (execute cycle, predicate register, value) — applied in time
+        /// order before each prediction, modelling the out-of-order
+        /// predicate-register writes that mislead PEP-PA on an OoO core.
+        events: BinaryHeap<Reverse<(u64, u8, bool)>>,
+    },
+    Predicate {
+        l1: Gshare,
+        pp: PredicatePredictor,
+    },
+    IdealConventional {
+        p: IdealPerceptron,
+    },
+    IdealPredicate {
+        l1: Gshare,
+        pp: IdealPredicatePredictor,
+    },
+}
+
+/// The simulator: functional machine + timing model + predictors.
+pub struct Simulator {
+    machine: Machine,
+    hierarchy: Hierarchy,
+    cfg: CoreConfig,
+    scheme: SchemeKind,
+    predication: PredicationModel,
+    predictors: Predictors,
+    shadow: Option<PerceptronPredictor>,
+
+    // Bandwidth limiters.
+    fetch: WidthLimiter,
+    rename: WidthLimiter,
+    commit: WidthLimiter,
+    // Bounded structures.
+    rob: Pool,
+    iq_int: Pool,
+    iq_fp: Pool,
+    iq_br: Pool,
+    lq: Pool,
+    sq: Pool,
+    phys_int: Pool,
+    phys_fp: Pool,
+    phys_pred: Pool,
+    // Functional units.
+    int_units: UnitSet,
+    fp_units: UnitSet,
+    mem_units: UnitSet,
+    br_units: UnitSet,
+
+    // Scoreboard: cycle each architectural register's latest value is
+    // available (program-order processing makes this the rename-time view).
+    gr_done: [u64; 128],
+    fr_done: [u64; 128],
+    preds: [PredEntry; NUM_PR],
+    // Store forwarding: 8-byte-aligned address → (data-ready cycle, commit
+    // cycle).
+    stores: HashMap<u64, (u64, u64)>,
+    // Global-history push counter (predicate schemes).
+    ghr_pushes: u64,
+    // Deferred history repairs: a mispredicted compare corrects the bit it
+    // pushed when it *executes* (writeback). Compares fetched before that
+    // cycle keep predicting with the corrupted bit — the §3.3 corruption
+    // window. Entries: (repair cycle, primary prediction tag, computed
+    // primary value, push index at prediction).
+    pending_repairs: Vec<(u64, ppsim_predictors::PredicatePrediction, bool, u64)>,
+
+    last_iline: u64,
+    last_commit: u64,
+    stats: SimStats,
+    branch_hist: HashMap<u32, (u64, u64)>,
+    trace: Option<PipeTrace>,
+}
+
+impl Simulator {
+    /// Builds a simulator for `program` with the paper's memory system.
+    pub fn new(
+        program: &Program,
+        scheme: SchemeKind,
+        predication: PredicationModel,
+        cfg: CoreConfig,
+    ) -> Self {
+        let predictors = match scheme {
+            SchemeKind::Conventional => Predictors::Conventional {
+                l1: Gshare::new(GshareConfig::paper_4kb()),
+                l2: PerceptronPredictor::new(PerceptronConfig::paper_148kb()),
+            },
+            SchemeKind::PepPa => Predictors::PepPa {
+                p: PepPa::new(PepPaConfig::paper_144kb()),
+                events: BinaryHeap::new(),
+            },
+            SchemeKind::Predicate => Predictors::Predicate {
+                l1: Gshare::new(GshareConfig::paper_4kb()),
+                pp: PredicatePredictor::new(PredicateConfig::paper_148kb()),
+            },
+            SchemeKind::IdealConventional => Predictors::IdealConventional {
+                p: IdealPerceptron::new(PerceptronConfig::paper_148kb()),
+            },
+            SchemeKind::IdealPredicate => Predictors::IdealPredicate {
+                l1: Gshare::new(GshareConfig::paper_4kb()),
+                pp: IdealPredicatePredictor::new(PerceptronConfig::paper_148kb()),
+            },
+        };
+        let mut preds = [PredEntry::constant(false); NUM_PR];
+        preds[0] = PredEntry::constant(true);
+        Simulator {
+            machine: Machine::new(program),
+            hierarchy: Hierarchy::new(HierarchyConfig::paper()),
+            scheme,
+            predication,
+            predictors,
+            shadow: None,
+            fetch: WidthLimiter::new(cfg.fetch_width),
+            rename: WidthLimiter::new(cfg.rename_width),
+            commit: WidthLimiter::new(cfg.commit_width),
+            rob: Pool::new(cfg.rob_entries),
+            iq_int: Pool::new(cfg.iq_int),
+            iq_fp: Pool::new(cfg.iq_fp),
+            iq_br: Pool::new(cfg.iq_branch),
+            lq: Pool::new(cfg.lq_entries),
+            sq: Pool::new(cfg.sq_entries),
+            phys_int: Pool::new(cfg.phys_int),
+            phys_fp: Pool::new(cfg.phys_fp),
+            phys_pred: Pool::new(cfg.phys_pred),
+            int_units: UnitSet::new(cfg.int_units),
+            fp_units: UnitSet::new(cfg.fp_units),
+            mem_units: UnitSet::new(cfg.mem_ports),
+            br_units: UnitSet::new(cfg.branch_units),
+            gr_done: [0; 128],
+            fr_done: [0; 128],
+            preds,
+            stores: HashMap::new(),
+            ghr_pushes: 0,
+            pending_repairs: Vec::new(),
+            last_iline: u64::MAX,
+            last_commit: 0,
+            stats: SimStats::default(),
+            branch_hist: HashMap::new(),
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Per-static-branch (slot → (executions, mispredictions)) histogram,
+    /// for diagnostics and tests.
+    pub fn branch_histogram(&self) -> &HashMap<u32, (u64, u64)> {
+        &self.branch_hist
+    }
+
+    /// Records the first `capacity` instructions' stage timestamps
+    /// (pipeview-style; see [`PipeTrace`]).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(PipeTrace::new(capacity));
+        self
+    }
+
+    /// The recorded pipeline trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&PipeTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Enables the shadow conventional predictor used to attribute gains
+    /// between early resolution and correlation (Figure 6b).
+    pub fn with_shadow(mut self) -> Self {
+        self.shadow = Some(PerceptronPredictor::new(PerceptronConfig::paper_148kb()));
+        self
+    }
+
+    /// Replaces the second-level conventional predictor's geometry
+    /// (sensitivity sweeps). Only meaningful for
+    /// [`SchemeKind::Conventional`].
+    pub fn with_perceptron_config(mut self, cfg: PerceptronConfig) -> Self {
+        if let Predictors::Conventional { l2, .. } = &mut self.predictors {
+            *l2 = PerceptronPredictor::new(cfg);
+        }
+        self
+    }
+
+    /// Replaces the predicate predictor's geometry (sensitivity sweeps).
+    /// Only meaningful for [`SchemeKind::Predicate`].
+    pub fn with_predicate_config(mut self, cfg: PredicateConfig) -> Self {
+        if let Predictors::Predicate { pp, .. } = &mut self.predictors {
+            *pp = PredicatePredictor::new(cfg);
+        }
+        self
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Runs until the program halts or `max_commits` instructions commit.
+    pub fn run(&mut self, max_commits: u64) -> RunResult {
+        let mut halted = false;
+        while self.stats.committed < max_commits {
+            match self.machine.step() {
+                Ok(Some(rec)) => self.process(&rec),
+                Ok(None) => {
+                    halted = true;
+                    break;
+                }
+                Err(e) => panic!("functional machine died: {e}"),
+            }
+        }
+        self.stats.mem = self.hierarchy.stats();
+        RunResult { stats: self.stats.clone(), halted }
+    }
+
+    fn latency_of(&self, rec: &ExecRecord) -> u64 {
+        let l = &self.cfg.latencies;
+        match rec.insn.op {
+            Op::Alu { kind: AluKind::Mul, .. } => l.int_mul,
+            Op::Alu { .. } | Op::Movi { .. } | Op::Cmp { .. } => l.int_alu,
+            Op::Fpu { kind: FpuKind::Fdiv, .. } => l.fp_div,
+            Op::Fpu { kind: FpuKind::Fmul, .. } => l.fp_mul,
+            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => l.fp_alu,
+            Op::Br { .. } => l.branch,
+            _ => l.int_alu,
+        }
+    }
+
+    /// First-level (fetch-time) direction prediction for a conditional
+    /// branch; `None` when the scheme has no first level (ideal
+    /// conventional).
+    fn l1_predict(&mut self, pc: u64, guard: u8, fetch: u64) -> Option<Prediction> {
+        match &mut self.predictors {
+            Predictors::Conventional { l1, .. }
+            | Predictors::Predicate { l1, .. }
+            | Predictors::IdealPredicate { l1, .. } => Some(l1.predict(pc, guard)),
+            Predictors::PepPa { p, events } => {
+                // Apply predicate-register writes that have executed by now
+                // (out of program order).
+                while let Some(Reverse((t, preg, v))) = events.peek().copied() {
+                    if t <= fetch {
+                        events.pop();
+                        p.note_predicate_write(preg, v);
+                    } else {
+                        break;
+                    }
+                }
+                Some(p.predict(pc, guard))
+            }
+            Predictors::IdealConventional { .. } => None,
+        }
+    }
+
+    fn process(&mut self, rec: &ExecRecord) {
+        let pc = Program::pc_of(rec.slot);
+        let insn = rec.insn;
+
+        // ---- Fetch ----
+        let mut f = self.fetch.book(0);
+        let iline = pc / ILINE;
+        if iline != self.last_iline {
+            let done = self.hierarchy.inst_fetch(f, pc);
+            if done > f + 1 {
+                self.fetch.redirect(done);
+                f = self.fetch.book(0);
+            }
+            self.last_iline = iline;
+        }
+
+        // Fetch-time prediction state for branches.
+        let is_cond_branch = insn.is_cond_branch();
+        let l1_pred = if is_cond_branch {
+            self.l1_predict(pc, insn.qp.index() as u8, f)
+        } else {
+            None
+        };
+
+        // Predicate predictions are generated at compare fetch (realistic
+        // scheme) or oracle-computed (ideal scheme); they are written to
+        // the PPRF at the compare's rename, handled below once the rename
+        // cycle is known.
+
+        // ---- Rename ----
+        let mut r = self.rename.book(f + self.cfg.front_stages);
+        // Structural resources that gate rename.
+        let mut gate = r;
+        gate = gate.max(self.rob.earliest(r));
+        let iq = match insn.op {
+            Op::Br { .. } => &mut self.iq_br,
+            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => {
+                &mut self.iq_fp
+            }
+            _ => &mut self.iq_int,
+        };
+        gate = gate.max(iq.earliest(r));
+        if insn.is_load() {
+            gate = gate.max(self.lq.earliest(r));
+        }
+        if insn.is_store() {
+            gate = gate.max(self.sq.earliest(r));
+        }
+        if insn.gr_dst().is_some() {
+            gate = gate.max(self.phys_int.earliest(r));
+        }
+        if insn.fr_dst().is_some() {
+            gate = gate.max(self.phys_fp.earliest(r));
+        }
+        let pr_dsts = insn.pr_dsts();
+        for _ in pr_dsts.iter().flatten() {
+            gate = gate.max(self.phys_pred.earliest(r));
+        }
+        if gate > r {
+            self.rename.redirect(gate);
+            r = self.rename.book(0);
+        }
+
+        // ---- Compare: generate predictions into the PPRF ----
+        if insn.is_cmp() {
+            self.stats.compares += 1;
+            // The paper's prediction is pipelined from fetch to rename
+            // ("a multicycle prediction can be performed"); the history is
+            // read at the end of that window, so repairs that land by the
+            // rename cycle are visible.
+            self.apply_pending_repairs(r);
+            self.compare_predict(rec, pc, r);
+        }
+
+        // ---- Consumer behaviour at rename ----
+        let guard_idx = insn.qp.index();
+        let guard = self.preds[guard_idx];
+        let guard_known_at_rename = guard.done <= r;
+
+        // Selective predication decisions (non-branch predicated
+        // instructions under the predicate scheme).
+        #[derive(PartialEq)]
+        enum Disposition {
+            Normal,
+            Cmov,
+            Cancelled { wrong: bool },
+            Unguarded { wrong: bool },
+        }
+        let mut disposition = Disposition::Normal;
+        if insn.is_predicated() && !insn.is_branch() && !insn.is_cmp() {
+            disposition = match self.predication {
+                PredicationModel::Cmov => Disposition::Cmov,
+                PredicationModel::Selective if !self.scheme.is_predicate() => Disposition::Cmov,
+                PredicationModel::Selective => {
+                    if guard_known_at_rename {
+                        if guard.value {
+                            Disposition::Unguarded { wrong: false }
+                        } else {
+                            Disposition::Cancelled { wrong: false }
+                        }
+                    } else {
+                        match guard.pred {
+                            Some((pv, true)) if guard.pred_avail <= r => {
+                                if pv {
+                                    self.stats.unguarded_at_rename += 1;
+                                    Disposition::Unguarded { wrong: !rec.qp }
+                                } else {
+                                    self.stats.cancelled_at_rename += 1;
+                                    Disposition::Cancelled { wrong: rec.qp }
+                                }
+                            }
+                            _ => Disposition::Cmov,
+                        }
+                    }
+                }
+            };
+        }
+
+        // ---- Branch final prediction at rename ----
+        let mut branch_final: Option<bool> = None;
+        let mut branch_early_resolved = false;
+        let mut branch_used_pprf_pred = false;
+        let mut l2_tag: Option<Prediction> = None;
+        if is_cond_branch {
+            let actual = rec.qp; // a branch is taken iff its guard is true
+            let (final_dir, early, used_pred) = match &mut self.predictors {
+                Predictors::Conventional { l2, .. } => {
+                    let p = l2.predict(pc, guard_idx as u8);
+                    let d = p.taken;
+                    l2_tag = Some(p);
+                    (d, false, false)
+                }
+                Predictors::PepPa { .. } => {
+                    (l1_pred.as_ref().map(|p| p.taken).unwrap_or(false), false, false)
+                }
+                Predictors::Predicate { .. } | Predictors::IdealPredicate { .. } => {
+                    if guard_known_at_rename {
+                        (guard.value, true, false)
+                    } else if let Some((pv, _conf)) = guard.pred {
+                        if guard.pred_avail <= r {
+                            (pv, false, true)
+                        } else {
+                            // Prediction not yet in the PPRF (back-to-back
+                            // compare/branch): fall back to the first level.
+                            (l1_pred.as_ref().map(|p| p.taken).unwrap_or(false), false, false)
+                        }
+                    } else {
+                        (l1_pred.as_ref().map(|p| p.taken).unwrap_or(false), false, false)
+                    }
+                }
+                Predictors::IdealConventional { p } => (p.predict_and_train(pc, actual), false, false),
+            };
+            branch_final = Some(final_dir);
+            branch_early_resolved = early;
+            branch_used_pprf_pred = used_pred;
+            if early {
+                self.stats.early_resolved += 1;
+            }
+            // Second-level override re-steer.
+            if let Some(l1p) = l1_pred.as_ref() {
+                if l1p.taken != final_dir {
+                    self.stats.overrides += 1;
+                    self.fetch.redirect(r + self.cfg.override_bubble);
+                    // Repair the first-level history to the overriding
+                    // direction.
+                    match &mut self.predictors {
+                        Predictors::Conventional { l1, .. }
+                        | Predictors::Predicate { l1, .. }
+                        | Predictors::IdealPredicate { l1, .. } => l1.recover(l1p, final_dir),
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // ---- Dependencies ----
+        let mut ready = r + 1;
+        for src in insn.gr_srcs().iter().flatten() {
+            ready = ready.max(self.gr_done[src.index()]);
+        }
+        for src in insn.fr_srcs().iter().flatten() {
+            ready = ready.max(self.fr_done[src.index()]);
+        }
+        // Guard as a data dependence: branches verify against the computed
+        // predicate; compares read their qualifying predicate; cmov-style
+        // predicated instructions read guard and old destination.
+        let needs_guard = insn.is_predicated()
+            && (insn.is_branch()
+                || insn.is_cmp()
+                || disposition == Disposition::Cmov
+                || disposition == Disposition::Normal);
+        if needs_guard {
+            ready = ready.max(guard.done);
+        }
+        if disposition == Disposition::Cmov {
+            if let Some(d) = insn.gr_dst() {
+                ready = ready.max(self.gr_done[d.index()]);
+            }
+            if let Some(d) = insn.fr_dst() {
+                ready = ready.max(self.fr_done[d.index()]);
+            }
+        }
+
+        // ---- Issue & execute ----
+        let cancelled = matches!(disposition, Disposition::Cancelled { .. });
+        let mut exec_done;
+        let mut issue = r; // for IQ release bookkeeping
+        if cancelled {
+            // Removed from the pipeline at rename: no IQ wait, no FU.
+            exec_done = r + 1;
+        } else {
+            let unit = match insn.op {
+                Op::Br { .. } => &mut self.br_units,
+                Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => {
+                    &mut self.fp_units
+                }
+                Op::Load { .. } | Op::Store { .. } | Op::Loadf { .. } | Op::Storef { .. } => {
+                    &mut self.mem_units
+                }
+                _ => &mut self.int_units,
+            };
+            issue = unit.issue(ready);
+            let lat = self.latency_of(rec);
+            exec_done = issue + lat;
+            if insn.is_load() && rec.qp {
+                if let ExecInfo::Mem { addr } = rec.info {
+                    let a8 = addr & !7;
+                    if let Some(&(data_ready, st_commit)) = self.stores.get(&a8) {
+                        if st_commit > issue {
+                            // Store-to-load forwarding from the store queue.
+                            exec_done = issue.max(data_ready) + 1;
+                        } else {
+                            exec_done = self.hierarchy.data_access(issue, addr, false);
+                        }
+                    } else {
+                        exec_done = self.hierarchy.data_access(issue, addr, false);
+                    }
+                }
+            }
+        }
+
+        // ---- Predicate-speculation verification (consumer flush) ----
+        // A consumer that used a wrong stored prediction is flushed when
+        // the producer executes; it refetches and completes with the
+        // computed value.
+        let penalty = self.cfg.mispredict_penalty;
+        let mut flush_refetch: Option<u64> = None;
+        match disposition {
+            Disposition::Cancelled { wrong: true } | Disposition::Unguarded { wrong: true } => {
+                if !self.preds[guard_idx].flushed {
+                    self.preds[guard_idx].flushed = true;
+                    self.stats.predication_flushes += 1;
+                    if self.cfg.history_repair {
+                        self.repair_predicate_history(guard_idx);
+                    }
+                }
+                flush_refetch = Some(guard.done + penalty);
+            }
+            _ => {}
+        }
+
+        let mut branch_mispredicted = false;
+        if let Some(final_dir) = branch_final {
+            let actual = rec.qp;
+            let h = self.branch_hist.entry(rec.slot).or_insert((0, 0));
+            h.0 += 1;
+            if final_dir != actual {
+                h.1 += 1;
+                branch_mispredicted = true;
+                self.stats.mispredicts += 1;
+                if branch_used_pprf_pred {
+                    // Detected when the producing compare executes: flush
+                    // from this branch (the recorded ROB pointer).
+                    if !self.preds[guard_idx].flushed {
+                        self.preds[guard_idx].flushed = true;
+                        if self.cfg.history_repair {
+                            self.repair_predicate_history(guard_idx);
+                        }
+                    }
+                    flush_refetch = Some(guard.done + penalty);
+                } else {
+                    // Detected at branch execution.
+                    self.fetch.redirect(exec_done + penalty);
+                    self.fetch.break_group();
+                }
+                // First-level repair with the actual outcome.
+                if let Some(l1p) = l1_pred.as_ref() {
+                    match &mut self.predictors {
+                        Predictors::Conventional { l1, .. }
+                        | Predictors::Predicate { l1, .. }
+                        | Predictors::IdealPredicate { l1, .. } => l1.recover(l1p, actual),
+                        Predictors::PepPa { p, .. } => p.recover(l1p, actual),
+                        Predictors::IdealConventional { .. } => {}
+                    }
+                }
+                if let Some(tag) = l2_tag.as_ref() {
+                    if let Predictors::Conventional { l2, .. } = &mut self.predictors {
+                        l2.recover(tag, actual);
+                    }
+                }
+            }
+            // Train the branch-PC predictors with the outcome.
+            match &mut self.predictors {
+                Predictors::Conventional { l1, l2 } => {
+                    if let Some(tag) = l2_tag.as_ref() {
+                        l2.train(tag, actual);
+                    }
+                    if let Some(l1p) = l1_pred.as_ref() {
+                        l1.train(l1p, actual);
+                    }
+                }
+                Predictors::PepPa { p, .. } => {
+                    if let Some(l1p) = l1_pred.as_ref() {
+                        p.train(l1p, actual);
+                    }
+                }
+                Predictors::Predicate { l1, .. } | Predictors::IdealPredicate { l1, .. } => {
+                    if let Some(l1p) = l1_pred.as_ref() {
+                        l1.train(l1p, actual);
+                    }
+                }
+                Predictors::IdealConventional { .. } => {}
+            }
+            // Shadow conventional predictor (Figure 6b attribution).
+            if let Some(shadow) = self.shadow.as_mut() {
+                let sp = shadow.predict(pc, guard_idx as u8);
+                if sp.taken != actual {
+                    self.stats.shadow_mispredicts += 1;
+                    if branch_early_resolved {
+                        self.stats.early_resolved_saves += 1;
+                    }
+                    shadow.recover(&sp, actual);
+                }
+                shadow.train(&sp, actual);
+            }
+        }
+
+        // A consumer flush restarts this instruction after the producer
+        // resolves; post-flush it reads the computed predicate.
+        if let Some(f2) = flush_refetch {
+            self.fetch.redirect(f2);
+            self.fetch.break_group();
+            let r2 = f2 + self.cfg.front_stages;
+            let lat = self.latency_of(rec);
+            exec_done = (r2 + 1).max(ready) + lat;
+            issue = issue.max(r2 + 1);
+        }
+
+        // ---- Writeback: scoreboard and PPRF updates ----
+        if rec.qp || matches!(disposition, Disposition::Cmov) {
+            if let Some(d) = insn.gr_dst() {
+                self.gr_done[d.index()] = exec_done;
+            }
+            if let Some(d) = insn.fr_dst() {
+                self.fr_done[d.index()] = exec_done;
+            }
+        }
+        if let ExecInfo::Cmp { pt_write, pf_write, .. } = rec.info {
+            let [pt, pf] = insn.pr_dsts();
+            // The primary target is the one whose predicted bit fed the
+            // global history: pt when it names a real register, else pf.
+            let primary_actual = if pt.is_some() {
+                pt_write.unwrap_or(false)
+            } else {
+                pf_write.unwrap_or(false)
+            };
+            let pairs = [(pt, pt_write), (pf, pf_write)];
+            for (target, write) in pairs {
+                let (Some(target), Some(value)) = (target, write) else { continue };
+                let e = &mut self.preds[target.index()];
+                e.done = exec_done;
+                e.value = value;
+                e.primary_actual = primary_actual;
+                e.flushed = false;
+                // pred/tag/pred_avail were installed by compare_predict.
+                if let Predictors::PepPa { events, .. } = &mut self.predictors {
+                    events.push(Reverse((exec_done, target.index() as u8, value)));
+                }
+            }
+            // Writeback-time history repair (realistic predicate scheme):
+            // if the bit this compare pushed was wrong, schedule its
+            // correction for the writeback cycle.
+            if self.cfg.history_repair && matches!(self.predictors, Predictors::Predicate { .. }) {
+                let primary = pt.or(pf);
+                if let Some(primary) = primary {
+                    let e = &self.preds[primary.index()];
+                    if let (Some((pv, _)), Some(tag)) = (e.pred, e.tag.as_ref()) {
+                        if pv != e.primary_actual {
+                            self.pending_repairs.push((
+                                exec_done,
+                                *tag,
+                                e.primary_actual,
+                                e.push_index,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Commit (in order) ----
+        let c = self.commit.book((exec_done + 1).max(self.last_commit));
+        self.last_commit = c;
+        if insn.is_store() && rec.qp {
+            if let ExecInfo::Mem { addr } = rec.info {
+                self.hierarchy.data_access(c, addr, true);
+                self.stores.insert(addr & !7, (exec_done, c));
+            }
+        }
+
+        // Register resource holds now that all timestamps are known.
+        self.rob.acquire(r, c);
+        let iq = match insn.op {
+            Op::Br { .. } => &mut self.iq_br,
+            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => {
+                &mut self.iq_fp
+            }
+            _ => &mut self.iq_int,
+        };
+        if !cancelled {
+            iq.acquire(r, issue + 1);
+        }
+        if insn.is_load() {
+            self.lq.acquire(r, c);
+        }
+        if insn.is_store() {
+            self.sq.acquire(r, c);
+        }
+        if insn.gr_dst().is_some() {
+            self.phys_int.acquire(r, c);
+        }
+        if insn.fr_dst().is_some() {
+            self.phys_fp.acquire(r, c);
+        }
+        for _ in pr_dsts.iter().flatten() {
+            self.phys_pred.acquire(r, c);
+        }
+
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent {
+                seq: rec.seq,
+                slot: rec.slot,
+                insn,
+                fetch: f,
+                rename: r,
+                issue,
+                exec: exec_done,
+                commit: c,
+                early_resolved: branch_early_resolved,
+                mispredicted: branch_mispredicted,
+                rename_disposed: matches!(
+                    disposition,
+                    Disposition::Cancelled { .. } | Disposition::Unguarded { .. }
+                ),
+            });
+        }
+
+        // ---- Statistics ----
+        self.stats.committed += 1;
+        self.stats.cycles = c;
+        if insn.is_branch() {
+            if is_cond_branch {
+                self.stats.cond_branches += 1;
+            } else {
+                self.stats.uncond_branches += 1;
+            }
+        }
+        if insn.is_predicated() && !rec.qp {
+            self.stats.nullified += 1;
+        }
+        let _ = branch_mispredicted;
+        if rec.is_taken_branch() {
+            self.fetch.break_group();
+        }
+    }
+
+    /// Generates the predicate predictions for a fetched compare and
+    /// installs them in the PPRF view (available from the compare's rename
+    /// cycle `r`).
+    fn compare_predict(&mut self, rec: &ExecRecord, pc: u64, r: u64) {
+        let [pt, pf] = rec.insn.pr_dsts();
+        let (need_pt, need_pf) = (pt.is_some(), pf.is_some());
+        if !need_pt && !need_pf {
+            return;
+        }
+        // Oracle values the compare will write (None for unwritten
+        // targets, e.g. disqualified normal-type compares).
+        let (apt, apf) = match rec.info {
+            ExecInfo::Cmp { pt_write, pf_write, .. } => (pt_write, pf_write),
+            _ => (None, None),
+        };
+
+        match &mut self.predictors {
+            Predictors::Predicate { pp, .. } => {
+                let cp = pp.predict_compare(pc, need_pt, need_pf);
+                if cp.ghr_pushed {
+                    self.ghr_pushes += 1;
+                }
+                let pairs = [(pt, cp.pt, apt), (pf, cp.pf, apf)];
+                for (target, prediction, actual) in pairs {
+                    let (Some(target), Some(prediction)) = (target, prediction) else {
+                        continue;
+                    };
+                    self.stats.predicate_predictions += 1;
+                    let e = &mut self.preds[target.index()];
+                    e.pred = Some((prediction.value, prediction.confident));
+                    e.pred_avail = r;
+                    e.tag = Some(prediction);
+                    e.push_index = self.ghr_pushes;
+                    e.flushed = false;
+                    // Train with the computed value (processing order is
+                    // program order = commit order).
+                    if let Some(actual) = actual {
+                        if prediction.value != actual {
+                            self.stats.predicate_mispredictions += 1;
+                        }
+                        pp.train(&prediction, actual);
+                    }
+                }
+            }
+            Predictors::IdealPredicate { pp, .. } => {
+                let (ppt, ppf) = pp.predict_compare_and_train(pc, apt, apf);
+                self.ghr_pushes += 1;
+                let pairs = [(pt, ppt, apt), (pf, ppf, apf)];
+                for (target, prediction, actual) in pairs {
+                    let (Some(target), Some(prediction)) = (target, prediction) else {
+                        continue;
+                    };
+                    self.stats.predicate_predictions += 1;
+                    if actual.is_some() && prediction != actual.unwrap_or(false) {
+                        self.stats.predicate_mispredictions += 1;
+                    }
+                    let e = &mut self.preds[target.index()];
+                    e.pred = Some((prediction, true));
+                    e.pred_avail = r;
+                    e.tag = None;
+                    e.push_index = self.ghr_pushes;
+                    e.flushed = false;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies all deferred writeback-time history repairs whose compare
+    /// has executed by cycle `now`. Ages are computed against the current
+    /// push counter, so compares fetched inside the corruption window have
+    /// already predicted with the wrong bit.
+    fn apply_pending_repairs(&mut self, now: u64) {
+        if self.pending_repairs.is_empty() {
+            return;
+        }
+        let pushes = self.ghr_pushes;
+        if let Predictors::Predicate { pp, .. } = &mut self.predictors {
+            self.pending_repairs.retain(|(cycle, tag, actual, push_index)| {
+                if *cycle <= now {
+                    let age = (pushes - push_index) as u32;
+                    pp.repair_history(tag, *actual, age);
+                    false
+                } else {
+                    true
+                }
+            });
+        } else {
+            self.pending_repairs.clear();
+        }
+    }
+
+    /// §3.3 recovery: fix the global-history bit the mispredicted
+    /// producer inserted, leaving younger compares' (possibly corrupted)
+    /// predictions in place. The bit pushed was the *primary* target's
+    /// predicted value, so the repair writes the primary target's computed
+    /// value — which is the complement of the consumer-visible value when
+    /// the consumer guards on the second target of an `unc` compare.
+    fn repair_predicate_history(&mut self, guard_idx: usize) {
+        let entry = self.preds[guard_idx];
+        if let Predictors::Predicate { pp, .. } = &mut self.predictors {
+            if let Some(tag) = entry.tag.as_ref() {
+                let age = (self.ghr_pushes - entry.push_index) as u32;
+                pp.repair_history(tag, entry.primary_actual, age);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, PredicationModel, SchemeKind};
+    use ppsim_isa::{Asm, CmpRel, CmpType, Gr, Operand, Pr};
+
+    fn g(i: u8) -> Gr {
+        Gr::new(i)
+    }
+    fn p(i: u8) -> Pr {
+        Pr::new(i)
+    }
+
+    fn sim(program: &ppsim_isa::Program, scheme: SchemeKind) -> Simulator {
+        Simulator::new(program, scheme, PredicationModel::Cmov, CoreConfig::paper())
+    }
+
+    /// A counted loop with a data-dependent branch inside. `dist` filler
+    /// ops separate the compare from its branch (after hoisting-like
+    /// hand-placement).
+    fn loop_with_branch(iters: i64, rnd: bool, dist: usize) -> ppsim_isa::Program {
+        let mut a = Asm::new();
+        // data array of pseudo-random words at 0x10000
+        // 4096 words of well-mixed pseudo-random data: long enough that a
+        // linear predictor cannot memorize the bit sequence.
+        let words: Vec<i64> = (0..4096u64)
+            .map(|i| {
+                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678);
+                x ^= x >> 29;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 32;
+                (x & 0xff) as i64
+            })
+            .collect();
+        a.data(ppsim_isa::DataSegment::from_words(0x10000, &words));
+        a.init_gr(g(2), 0x10000);
+        let top = a.new_label();
+        a.movi(g(1), 0);
+        a.bind(top);
+        // idx = (i & 255) * 8; d = mem[base + idx]
+        a.alu(ppsim_isa::AluKind::And, g(3), g(1), Operand::imm(4095));
+        a.alu(ppsim_isa::AluKind::Shl, g(3), g(3), Operand::imm(3));
+        a.add(g(4), g(2), g(3));
+        a.ld(g(5), g(4), 0);
+        if rnd {
+            a.alu(ppsim_isa::AluKind::And, g(5), g(5), Operand::imm(1));
+            a.cmp(CmpType::Unc, CmpRel::Ne, p(1), p(2), g(5), Operand::imm(0));
+        } else {
+            a.cmp(CmpType::Unc, CmpRel::Ge, p(1), p(2), g(5), Operand::imm(0)); // always true
+        }
+        for k in 0..dist {
+            a.addi(g(10), g(10), k as i64 + 1);
+        }
+        let skip = a.new_label();
+        a.pred(p(2)).br(skip);
+        a.addi(g(11), g(11), 1);
+        a.bind(skip);
+        a.addi(g(1), g(1), 1);
+        a.cmp(CmpType::Unc, CmpRel::Lt, p(3), p(4), g(1), Operand::imm(iters));
+        a.pred(p(3)).br(top);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn independent_loop_ipc_approaches_width() {
+        // A loop of independent movs: the I-cache stays warm after the
+        // first iteration, so throughput is bounded by machine width, not
+        // cold misses.
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.movi(g(1), 0);
+        a.bind(top);
+        for i in 0..48u32 {
+            a.movi(g((10 + (i % 50)) as u8), i as i64);
+        }
+        a.addi(g(1), g(1), 1);
+        a.cmp(CmpType::Unc, CmpRel::Lt, p(1), p(2), g(1), Operand::imm(500));
+        a.pred(p(1)).br(top);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let r = sim(&prog, SchemeKind::Conventional).run(1_000_000);
+        assert!(r.halted);
+        let ipc = r.stats.ipc();
+        assert!(ipc > 2.5, "independent movs should flow wide, ipc={ipc}");
+        assert!(ipc <= 6.01, "cannot beat the machine width, ipc={ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_is_serial() {
+        let mut a = Asm::new();
+        for _ in 0..500 {
+            a.addi(g(1), g(1), 1);
+        }
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let r = sim(&prog, SchemeKind::Conventional).run(1_000_000);
+        let ipc = r.stats.ipc();
+        assert!(ipc < 1.3, "a serial add chain runs ~1 IPC, got {ipc}");
+    }
+
+    #[test]
+    fn biased_branch_is_learned_by_all_schemes() {
+        for scheme in [SchemeKind::Conventional, SchemeKind::PepPa, SchemeKind::Predicate] {
+            let prog = loop_with_branch(2000, false, 0);
+            let r = sim(&prog, scheme).run(1_000_000);
+            assert!(r.halted, "{scheme:?}");
+            let rate = r.stats.misprediction_rate();
+            assert!(rate < 0.05, "{scheme:?}: biased branch rate={rate}");
+        }
+    }
+
+    #[test]
+    fn random_branch_hurts_conventional() {
+        let prog = loop_with_branch(2000, true, 0);
+        let r = sim(&prog, SchemeKind::Conventional).run(1_000_000);
+        let rate = r.stats.misprediction_rate();
+        // The data has period 256, so a big predictor eventually learns
+        // some of it, but early on it's hard; expect a clearly nonzero
+        // rate.
+        assert!(rate > 0.05, "random branch should mispredict, rate={rate}");
+    }
+
+    #[test]
+    fn distant_compare_early_resolves_in_predicate_scheme() {
+        let prog = loop_with_branch(2000, true, 120);
+        let r = sim(&prog, SchemeKind::Predicate).run(2_000_000);
+        assert!(r.halted);
+        let s = &r.stats;
+        // Half the dynamic branches are the loop latch (compare adjacent,
+        // never early-resolved); nearly all inner branches early-resolve.
+        assert!(
+            s.early_resolved_rate() > 0.4,
+            "120 filler ops give the compare time to execute: {:?} / {:?}",
+            s.early_resolved,
+            s.cond_branches
+        );
+        // Early-resolved branches are never mispredicted; with most
+        // branches early-resolved the rate collapses well below the
+        // conventional predictor's on the same program.
+        let conv = sim(&loop_with_branch(2000, true, 120), SchemeKind::Conventional)
+            .run(2_000_000);
+        assert!(
+            s.misprediction_rate() < conv.stats.misprediction_rate(),
+            "predicate {} vs conventional {}",
+            s.misprediction_rate(),
+            conv.stats.misprediction_rate()
+        );
+    }
+
+    #[test]
+    fn early_resolved_branches_never_mispredict() {
+        let prog = loop_with_branch(1000, true, 120);
+        let r = sim(&prog, SchemeKind::Predicate).run(2_000_000);
+        let s = &r.stats;
+        // Every mispredict must come from a non-early-resolved branch.
+        assert!(s.mispredicts <= s.cond_branches - s.early_resolved);
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        let biased = sim(&loop_with_branch(2000, false, 0), SchemeKind::Conventional)
+            .run(1_000_000);
+        let random = sim(&loop_with_branch(2000, true, 0), SchemeKind::Conventional)
+            .run(1_000_000);
+        assert!(
+            random.stats.cycles > biased.stats.cycles + 1000,
+            "mispredictions must show up in cycle counts: {} vs {}",
+            random.stats.cycles,
+            biased.stats.cycles
+        );
+    }
+
+    #[test]
+    fn selective_predication_cancels_confidently_false_guards() {
+        // Loop where p1 is almost always false: the guarded add should be
+        // cancelled at rename once confidence saturates.
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.movi(g(1), 0);
+        a.bind(top);
+        a.cmp(CmpType::Unc, CmpRel::Lt, p(1), p(2), g(1), Operand::imm(0)); // p1=false
+        a.pred(p(1)).addi(g(11), g(11), 1);
+        a.pred(p(1)).addi(g(12), g(12), 1);
+        a.addi(g(1), g(1), 1);
+        a.cmp(CmpType::Unc, CmpRel::Lt, p(3), p(4), g(1), Operand::imm(2000));
+        a.pred(p(3)).br(top);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut s = Simulator::new(
+            &prog,
+            SchemeKind::Predicate,
+            PredicationModel::Selective,
+            CoreConfig::paper(),
+        );
+        let r = s.run(1_000_000);
+        assert!(r.halted);
+        assert!(
+            r.stats.cancelled_at_rename > 1000,
+            "steady false guard cancels at rename: {}",
+            r.stats.cancelled_at_rename
+        );
+        assert_eq!(r.stats.predication_flushes, 0, "never wrong, never flushes");
+    }
+
+    #[test]
+    fn wrong_confident_cancel_flushes() {
+        // Guard is false for a long warm-up (confidence saturates on
+        // "false"), then flips occasionally: flushes must occur.
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.movi(g(1), 0);
+        a.bind(top);
+        a.alu(ppsim_isa::AluKind::And, g(5), g(1), Operand::imm(1023));
+        // p1 true only when (i & 1023) == 1023.
+        a.cmp(CmpType::Unc, CmpRel::Eq, p(1), p(2), g(5), Operand::imm(1023));
+        a.pred(p(1)).addi(g(11), g(11), 1);
+        a.addi(g(1), g(1), 1);
+        a.cmp(CmpType::Unc, CmpRel::Lt, p(3), p(4), g(1), Operand::imm(5000));
+        a.pred(p(3)).br(top);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut s = Simulator::new(
+            &prog,
+            SchemeKind::Predicate,
+            PredicationModel::Selective,
+            CoreConfig::paper(),
+        );
+        let r = s.run(2_000_000);
+        assert!(r.halted);
+        assert!(r.stats.predication_flushes > 0, "rare true guard must flush");
+        assert!(
+            r.stats.predication_flushes <= 6,
+            "only ~4 surprises exist: {}",
+            r.stats.predication_flushes
+        );
+    }
+
+    #[test]
+    fn shadow_classification_counts_early_saves() {
+        let prog = loop_with_branch(2000, true, 120);
+        let mut s = Simulator::new(
+            &prog,
+            SchemeKind::Predicate,
+            PredicationModel::Cmov,
+            CoreConfig::paper(),
+        )
+        .with_shadow();
+        let r = s.run(2_000_000);
+        assert!(r.stats.shadow_mispredicts > 0);
+        assert!(r.stats.early_resolved_saves <= r.stats.shadow_mispredicts);
+        assert!(r.stats.early_resolved_saves > 0, "early resolution must save some");
+    }
+
+    #[test]
+    fn tiny_machine_is_slower_than_paper_machine() {
+        let prog = loop_with_branch(1000, false, 8);
+        let big = Simulator::new(
+            &prog,
+            SchemeKind::Conventional,
+            PredicationModel::Cmov,
+            CoreConfig::paper(),
+        )
+        .run(1_000_000);
+        let small = Simulator::new(
+            &prog,
+            SchemeKind::Conventional,
+            PredicationModel::Cmov,
+            CoreConfig::tiny(),
+        )
+        .run(1_000_000);
+        assert!(small.stats.cycles > big.stats.cycles, "narrow queues cost cycles");
+    }
+
+    #[test]
+    fn ideal_schemes_beat_realistic_ones() {
+        let prog = loop_with_branch(3000, true, 0);
+        let real = sim(&prog, SchemeKind::Conventional).run(2_000_000);
+        let ideal = sim(&prog, SchemeKind::IdealConventional).run(2_000_000);
+        assert!(
+            ideal.stats.misprediction_rate() <= real.stats.misprediction_rate() + 0.02,
+            "ideal {} vs real {}",
+            ideal.stats.misprediction_rate(),
+            real.stats.misprediction_rate()
+        );
+    }
+
+    #[test]
+    fn commit_budget_stops_run() {
+        let prog = loop_with_branch(1_000_000, false, 0);
+        let r = sim(&prog, SchemeKind::Conventional).run(5_000);
+        assert!(!r.halted);
+        assert!(r.stats.committed >= 5_000);
+    }
+
+    #[test]
+    fn trace_records_stage_progression() {
+        let prog = loop_with_branch(50, false, 4);
+        let mut s = Simulator::new(
+            &prog,
+            SchemeKind::Predicate,
+            PredicationModel::Cmov,
+            CoreConfig::paper(),
+        )
+        .with_trace(64);
+        s.run(100_000);
+        let t = s.trace().unwrap();
+        assert_eq!(t.events().len(), 64);
+        assert!(t.dropped() > 0);
+        for e in t.events() {
+            assert!(e.fetch <= e.rename, "fetch before rename: {e:?}");
+            assert!(e.rename < e.exec, "rename before execute: {e:?}");
+            assert!(e.exec < e.commit, "execute before commit: {e:?}");
+        }
+        // Commits are in order.
+        let commits: Vec<u64> = t.events().iter().map(|e| e.commit).collect();
+        assert!(commits.windows(2).all(|w| w[0] <= w[1]));
+        let rendered = t.to_string();
+        assert!(rendered.contains("commit"), "{rendered}");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let prog = loop_with_branch(500, true, 4);
+        let r = sim(&prog, SchemeKind::Predicate).run(1_000_000);
+        let s = &r.stats;
+        assert!(s.cond_branches > 0);
+        assert!(s.mispredicts <= s.cond_branches);
+        assert!(s.early_resolved <= s.cond_branches);
+        assert!(s.compares > 0);
+        assert!(s.cycles > 0);
+        assert!(s.committed > 0);
+        assert!(s.mem.l1d.accesses > 0, "loads hit the cache model");
+    }
+}

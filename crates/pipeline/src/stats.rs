@@ -1,0 +1,125 @@
+//! Simulation statistics.
+
+use ppsim_mem::HierarchyStats;
+
+/// Counters collected by one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total cycles (cycle of the last commit).
+    pub cycles: u64,
+    /// Committed instructions (including nullified ones, as in the paper's
+    /// "100 million committed instructions").
+    pub committed: u64,
+    /// Committed *conditional* branches (the prediction-rate denominator).
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches (used prediction ≠ outcome).
+    pub mispredicts: u64,
+    /// Committed unconditional branches.
+    pub uncond_branches: u64,
+    /// Committed compare instructions.
+    pub compares: u64,
+    /// Branches that consumed an already-computed predicate at rename
+    /// (early-resolved; predicate schemes only).
+    pub early_resolved: u64,
+    /// Early-resolved branches on which the *shadow conventional predictor*
+    /// would have mispredicted (Figure 6b attribution).
+    pub early_resolved_saves: u64,
+    /// Branches where the shadow conventional predictor was wrong.
+    pub shadow_mispredicts: u64,
+    /// Second-level/PPRF prediction overrode the first-level direction at
+    /// rename (front-end re-steer events).
+    pub overrides: u64,
+    /// Predicate predictions generated (predicate schemes).
+    pub predicate_predictions: u64,
+    /// Predicate predictions that were wrong (whether or not consumed).
+    pub predicate_mispredictions: u64,
+    /// Predicated instructions cancelled at rename (selective model,
+    /// confident-false).
+    pub cancelled_at_rename: u64,
+    /// Predicated instructions unguarded at rename (selective model,
+    /// confident-true).
+    pub unguarded_at_rename: u64,
+    /// Flushes triggered by wrong predicate speculation on if-converted
+    /// instructions.
+    pub predication_flushes: u64,
+    /// Instructions committed with a false guard (nullified).
+    pub nullified: u64,
+    /// Memory-hierarchy counters.
+    pub mem: HierarchyStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate (Figures 5/6 y-axis).
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Prediction accuracy = 1 − misprediction rate.
+    pub fn accuracy(&self) -> f64 {
+        1.0 - self.misprediction_rate()
+    }
+
+    /// Fraction of conditional branches resolved early.
+    pub fn early_resolved_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.early_resolved as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Predicate-prediction misprediction rate.
+    pub fn predicate_misprediction_rate(&self) -> f64 {
+        if self.predicate_predictions == 0 {
+            0.0
+        } else {
+            self.predicate_mispredictions as f64 / self.predicate_predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            cond_branches: 50,
+            mispredicts: 5,
+            early_resolved: 10,
+            predicate_predictions: 40,
+            predicate_mispredictions: 4,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.misprediction_rate() - 0.1).abs() < 1e-12);
+        assert!((s.accuracy() - 0.9).abs() < 1e-12);
+        assert!((s.early_resolved_rate() - 0.2).abs() < 1e-12);
+        assert!((s.predicate_misprediction_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.misprediction_rate(), 0.0);
+        assert_eq!(s.early_resolved_rate(), 0.0);
+        assert_eq!(s.predicate_misprediction_rate(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Confidence estimation for selective predicate prediction (paper §3.2).
+//!
+//! "Each predicate predictor entry is extended with a saturated counter,
+//! that is incremented with every correct prediction and zeroed if a
+//! misprediction occurs. The prediction is considered confident if its
+//! associated counter is saturated."
+
+/// A table of resetting saturating confidence counters, one per predictor
+/// row.
+#[derive(Clone, Debug)]
+pub struct ConfidenceTable {
+    counters: Vec<u8>,
+    max: u8,
+}
+
+impl ConfidenceTable {
+    /// Creates a table of `entries` counters saturating at `2^bits - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 8, or `entries` is zero.
+    pub fn new(entries: usize, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "confidence counter width {bits} out of range");
+        assert!(entries > 0, "confidence table must have entries");
+        ConfidenceTable {
+            counters: vec![0; entries],
+            max: ((1u16 << bits) - 1) as u8,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table has no counters (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Whether the counter for `row` is saturated.
+    pub fn is_confident(&self, row: usize) -> bool {
+        self.counters[row] == self.max
+    }
+
+    /// Records a prediction outcome: increment (saturating) when correct,
+    /// reset to zero when wrong.
+    pub fn record(&mut self, row: usize, correct: bool) {
+        let c = &mut self.counters[row];
+        *c = if correct { (*c + 1).min(self.max) } else { 0 };
+    }
+
+    /// Storage budget in bytes, assuming bit-packed counters.
+    pub fn size_bytes(&self) -> usize {
+        let bits = 8 - self.max.leading_zeros() as usize;
+        (self.counters.len() * bits).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_then_confident() {
+        let mut t = ConfidenceTable::new(4, 3);
+        assert!(!t.is_confident(0));
+        for _ in 0..7 {
+            t.record(0, true);
+        }
+        assert!(t.is_confident(0));
+        t.record(0, true);
+        assert!(t.is_confident(0), "stays saturated");
+    }
+
+    #[test]
+    fn misprediction_zeroes() {
+        let mut t = ConfidenceTable::new(4, 3);
+        for _ in 0..7 {
+            t.record(1, true);
+        }
+        t.record(1, false);
+        assert!(!t.is_confident(1));
+        // Needs a full re-run of correct predictions to regain confidence.
+        for i in 0..7 {
+            assert!(!t.is_confident(1), "not confident after {i} corrects");
+            t.record(1, true);
+        }
+        assert!(t.is_confident(1));
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let mut t = ConfidenceTable::new(2, 2);
+        for _ in 0..3 {
+            t.record(0, true);
+        }
+        assert!(t.is_confident(0));
+        assert!(!t.is_confident(1));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let t = ConfidenceTable::new(3696, 3);
+        assert_eq!(t.size_bytes(), (3696usize * 3).div_ceil(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bits_panics() {
+        let _ = ConfidenceTable::new(4, 0);
+    }
+}

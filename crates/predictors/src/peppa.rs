@@ -1,0 +1,275 @@
+//! PEP-PA: the Predicate Enhanced Prediction local-history baseline
+//! (August, Connors, Gyllenhaal & Hwu, HPCA 1997; configuration per Wang et
+//! al., HPCA 2001, as modelled by the paper: 144 KB, 14-bit local history).
+//!
+//! The scheme improves a PAs (per-address local history) predictor by
+//! correlating with the *previous definition* of the branch's guarding
+//! predicate register: the last architecturally computed value of that
+//! logical predicate register selects one of **two** local histories, both
+//! for making and for updating the prediction.
+//!
+//! The paper's §4.3 observation — PEP-PA performing *worse* than a
+//! conventional predictor on an out-of-order machine — stems from the
+//! out-of-order writing of predicate registers: the value observed at fetch
+//! may be a younger definition than the one program order would provide.
+//! This model reproduces that: [`BranchPredictor::note_predicate_write`] is
+//! called by the pipeline at *execute* time (out of program order), and the
+//! selector reads whatever value happens to be there at prediction time.
+
+use crate::history::GlobalHistory;
+use crate::{BranchPredictor, Prediction, Tag};
+
+const NUM_PREDICATE_REGS: usize = 64;
+
+/// PEP-PA configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PepPaConfig {
+    /// Entries in the branch history table (each holding two local
+    /// histories), rounded up to a power of two.
+    pub bht_entries: usize,
+    /// Local history bits.
+    pub lh_bits: u32,
+    /// log2 of the pattern history table entries (2-bit counters).
+    pub pht_bits: u32,
+}
+
+impl PepPaConfig {
+    /// The paper's 144 KB configuration: 32 Ki BHT entries × 2 × 14-bit
+    /// local histories (112 KB) + 2^17 2-bit counters (32 KB) = 144 KB.
+    pub fn paper_144kb() -> Self {
+        PepPaConfig { bht_entries: 32 * 1024, lh_bits: 14, pht_bits: 17 }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        PepPaConfig { bht_entries: 64, lh_bits: 6, pht_bits: 10 }
+    }
+
+    /// Hardware budget in bytes.
+    pub fn table_bytes(&self) -> usize {
+        let bht_bits = self.bht_entries.next_power_of_two() * 2 * self.lh_bits as usize;
+        let pht_bits = (1usize << self.pht_bits) * 2;
+        (bht_bits + pht_bits) / 8
+    }
+}
+
+/// The PEP-PA predictor.
+#[derive(Clone, Debug)]
+pub struct PepPa {
+    /// Two local histories per entry, selected by the guard's last value.
+    bht: Vec<[u32; 2]>,
+    /// 2-bit saturating counters.
+    pht: Vec<u8>,
+    /// Last *computed* value of each logical predicate register, updated by
+    /// the pipeline at execute time — out of program order on an
+    /// out-of-order machine, which is exactly the hazard the paper
+    /// describes.
+    pred_regs: [bool; NUM_PREDICATE_REGS],
+    /// 14-bit speculative path history mixed into the PHT index to reduce
+    /// aliasing between the two histories of hot branches.
+    ghr: GlobalHistory,
+    bht_mask: usize,
+    pht_mask: usize,
+    cfg: PepPaConfig,
+}
+
+impl PepPa {
+    /// Builds the predictor; counters initialize to weakly-not-taken.
+    pub fn new(cfg: PepPaConfig) -> Self {
+        let bht_n = cfg.bht_entries.next_power_of_two();
+        let pht_n = 1usize << cfg.pht_bits;
+        PepPa {
+            bht: vec![[0, 0]; bht_n],
+            pht: vec![1; pht_n],
+            pred_regs: [false; NUM_PREDICATE_REGS],
+            ghr: GlobalHistory::new(cfg.lh_bits),
+            bht_mask: bht_n - 1,
+            pht_mask: pht_n - 1,
+            cfg,
+        }
+    }
+
+    /// The last observed computed value of a predicate register
+    /// (diagnostics).
+    pub fn predicate_reg(&self, preg: u8) -> bool {
+        self.pred_regs[preg as usize & (NUM_PREDICATE_REGS - 1)]
+    }
+
+    fn bht_index(&self, pc: u64) -> usize {
+        ((pc >> 4) as usize) & self.bht_mask
+    }
+
+    fn pht_index(&self, pc: u64, lh: u32) -> usize {
+        ((lh as usize) ^ ((pc >> 4) as usize).wrapping_mul(0x9E37) ) & self.pht_mask
+    }
+}
+
+impl BranchPredictor for PepPa {
+    fn predict(&mut self, pc: u64, guard: u8) -> Prediction {
+        let sel = usize::from(self.predicate_reg(guard));
+        let bi = self.bht_index(pc);
+        let lh = self.bht[bi][sel];
+        let pi = self.pht_index(pc, lh);
+        let counter = self.pht[pi];
+        let taken = counter >= 2;
+        // Speculative local-history update of the *selected* history.
+        self.bht[bi][sel] = ((lh << 1) | u32::from(taken))
+            & ((1u32 << self.cfg.lh_bits) - 1);
+        let ghr_before = self.ghr.value();
+        self.ghr.push(taken);
+        Prediction {
+            taken,
+            tag: Tag {
+                ghr_before,
+                lhr_before: lh,
+                lhr_idx: bi as u32,
+                row: pi as u32,
+                row2: u32::MAX,
+                sum: i32::from(counter),
+                alt: sel as u64,
+            },
+        }
+    }
+
+    fn train(&mut self, prediction: &Prediction, taken: bool) {
+        let c = &mut self.pht[prediction.tag.row as usize];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn undo(&mut self, prediction: &Prediction) {
+        let t = &prediction.tag;
+        self.bht[t.lhr_idx as usize][t.alt as usize] = t.lhr_before;
+        self.ghr.set(t.ghr_before);
+    }
+
+    fn recover(&mut self, prediction: &Prediction, taken: bool) {
+        let t = &prediction.tag;
+        let lh_mask = (1u32 << self.cfg.lh_bits) - 1;
+        self.bht[t.lhr_idx as usize][t.alt as usize] =
+            ((t.lhr_before << 1) | u32::from(taken)) & lh_mask;
+        self.ghr.set(t.ghr_before);
+        self.ghr.push(taken);
+    }
+
+    fn note_predicate_write(&mut self, preg: u8, value: bool) {
+        self.pred_regs[preg as usize & (NUM_PREDICATE_REGS - 1)] = value;
+    }
+
+    fn name(&self) -> &'static str {
+        "pep-pa"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.cfg.table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_144kb() {
+        assert_eq!(PepPaConfig::paper_144kb().table_bytes(), 144 * 1024);
+    }
+
+    #[test]
+    fn selector_splits_histories() {
+        let mut p = PepPa::new(PepPaConfig::tiny());
+        let pc = 0x4000u64;
+        // With guard value 0, train taken; with guard value 1, train
+        // not-taken. After warm-up the two contexts predict differently.
+        for _ in 0..64 {
+            p.note_predicate_write(3, false);
+            let pr = p.predict(pc, 3);
+            if pr.taken != true {
+                p.recover(&pr, true);
+            }
+            p.train(&pr, true);
+            p.note_predicate_write(3, true);
+            let pr = p.predict(pc, 3);
+            if pr.taken != false {
+                p.recover(&pr, false);
+            }
+            p.train(&pr, false);
+        }
+        p.note_predicate_write(3, false);
+        let a = p.predict(pc, 3);
+        p.undo(&a);
+        p.note_predicate_write(3, true);
+        let b = p.predict(pc, 3);
+        p.undo(&b);
+        assert!(a.taken, "guard=0 context learned taken");
+        assert!(!b.taken, "guard=1 context learned not-taken");
+    }
+
+    #[test]
+    fn stale_predicate_value_misleads_selection() {
+        // The out-of-order hazard: if the selector register is NOT updated
+        // (stale), the wrong local history is chosen and the prediction
+        // follows the wrong context.
+        let mut p = PepPa::new(PepPaConfig::tiny());
+        let pc = 0x4000u64;
+        for _ in 0..64 {
+            p.note_predicate_write(3, false);
+            let pr = p.predict(pc, 3);
+            p.recover(&pr, true);
+            p.train(&pr, true);
+            p.note_predicate_write(3, true);
+            let pr = p.predict(pc, 3);
+            p.recover(&pr, false);
+            p.train(&pr, false);
+        }
+        // True context is guard=1 (expect not-taken), but a stale write
+        // left guard=0 visible.
+        p.note_predicate_write(3, false);
+        let stale = p.predict(pc, 3);
+        assert!(stale.taken, "stale selector picks the taken-context history");
+    }
+
+    #[test]
+    fn undo_restores_selected_history() {
+        let mut p = PepPa::new(PepPaConfig::tiny());
+        p.note_predicate_write(7, true);
+        let before = p.bht[p.bht_index(0x4000)][1];
+        let pr = p.predict(0x4000, 7);
+        assert_ne!(
+            p.bht[p.bht_index(0x4000)][1],
+            before | 0xdead_0000,
+            "sanity: speculative update happened"
+        );
+        p.undo(&pr);
+        assert_eq!(p.bht[p.bht_index(0x4000)][1], before);
+    }
+
+    #[test]
+    fn saturated_counters_follow_computed_predicate() {
+        // Paper §2: "For branches whose predicate is available, the PHT
+        // counters quickly saturate, and then prediction becomes equal to
+        // the computed predicate."
+        let mut p = PepPa::new(PepPaConfig::tiny());
+        let pc = 0x4800u64;
+        for v in [true, false, true, true, false, true, false, false].repeat(32) {
+            p.note_predicate_write(5, v);
+            let pr = p.predict(pc, 5);
+            if pr.taken != v {
+                p.recover(&pr, v);
+            } else {
+                // keep speculative state
+            }
+            p.train(&pr, v);
+        }
+        // After training, prediction tracks the guard value.
+        p.note_predicate_write(5, true);
+        let a = p.predict(pc, 5);
+        p.undo(&a);
+        p.note_predicate_write(5, false);
+        let b = p.predict(pc, 5);
+        p.undo(&b);
+        assert!(a.taken && !b.taken, "prediction equals the computed predicate");
+    }
+}

@@ -1,0 +1,429 @@
+//! Perceptron predictor (Jiménez & Lin, HPCA 2001), shared by the
+//! conventional second-level branch predictor and the paper's predicate
+//! predictor.
+
+use crate::history::{GlobalHistory, LocalHistoryTable};
+use crate::{BranchPredictor, Prediction, Tag};
+
+/// Configuration of a perceptron predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerceptronConfig {
+    /// Number of perceptron rows in the vector table.
+    pub rows: usize,
+    /// Global-history weights per row.
+    pub ghr_bits: u32,
+    /// Local-history weights per row.
+    pub lhr_bits: u32,
+    /// Entries in the local history table.
+    pub lht_entries: usize,
+    /// Training threshold; `None` selects the Jiménez & Lin rule
+    /// `⌊1.93·h + 14⌋` for `h` total history bits.
+    pub theta: Option<i32>,
+}
+
+impl PerceptronConfig {
+    /// The paper's 148 KB configuration (Table 1): 30-bit GHR, 10-bit LHR.
+    ///
+    /// 41 signed 8-bit weights per row (1 bias + 30 global + 10 local);
+    /// 3696 rows × 41 B = 148 KB of weight storage.
+    pub fn paper_148kb() -> Self {
+        PerceptronConfig {
+            rows: 3696,
+            ghr_bits: 30,
+            lhr_bits: 10,
+            lht_entries: 4096,
+            theta: None,
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        PerceptronConfig { rows: 64, ghr_bits: 8, lhr_bits: 4, lht_entries: 64, theta: None }
+    }
+
+    /// Weights per row (bias + global + local).
+    pub fn weights_per_row(&self) -> usize {
+        1 + self.ghr_bits as usize + self.lhr_bits as usize
+    }
+
+    /// Resolved training threshold.
+    pub fn resolved_theta(&self) -> i32 {
+        self.theta.unwrap_or_else(|| {
+            let h = (self.ghr_bits + self.lhr_bits) as f64;
+            (1.93 * h + 14.0).floor() as i32
+        })
+    }
+
+    /// Weight-table budget in bytes (8-bit weights).
+    pub fn table_bytes(&self) -> usize {
+        self.rows * self.weights_per_row()
+    }
+}
+
+/// The raw perceptron weight table: prediction and training arithmetic.
+///
+/// Kept separate from the [`PerceptronPredictor`] wrapper so the predicate
+/// predictor can reuse it with its own indexing (two hash functions) and
+/// history discipline.
+#[derive(Clone, Debug)]
+pub struct PerceptronTable {
+    weights: Vec<i8>,
+    cfg: PerceptronConfig,
+    theta: i32,
+}
+
+impl PerceptronTable {
+    /// Allocates an all-zero table.
+    pub fn new(cfg: PerceptronConfig) -> Self {
+        assert!(cfg.rows > 0, "perceptron table must have rows");
+        PerceptronTable {
+            weights: vec![0; cfg.rows * cfg.weights_per_row()],
+            theta: cfg.resolved_theta(),
+            cfg,
+        }
+    }
+
+    /// The configuration this table was built with.
+    pub fn config(&self) -> &PerceptronConfig {
+        &self.cfg
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.cfg.rows
+    }
+
+    /// Training threshold in use.
+    pub fn theta(&self) -> i32 {
+        self.theta
+    }
+
+    /// Maps an instruction address to a row index (hash function *f1*).
+    pub fn row_of(&self, pc: u64) -> usize {
+        // Fibonacci hashing over the slot address; slots are 16 bytes apart.
+        let h = (pc >> 4).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 16) % self.cfg.rows as u64) as usize
+    }
+
+    /// The paper's second hash function *f2*: "inverts the most significant
+    /// bit of the first hash function", generalized to non-power-of-two row
+    /// counts as an offset by half the table.
+    pub fn row2_of(&self, pc: u64) -> usize {
+        (self.row_of(pc) + self.cfg.rows / 2) % self.cfg.rows
+    }
+
+    /// Computes the perceptron output for `row` given history values.
+    ///
+    /// History bits enter as ±1; the sign of the sum is the prediction.
+    pub fn dot(&self, row: usize, ghr: u64, lhr: u32) -> i32 {
+        let w = self.row_weights(row);
+        let mut sum = i32::from(w[0]); // bias
+        for i in 0..self.cfg.ghr_bits as usize {
+            let x = if (ghr >> i) & 1 == 1 { 1 } else { -1 };
+            sum += i32::from(w[1 + i]) * x;
+        }
+        let base = 1 + self.cfg.ghr_bits as usize;
+        for i in 0..self.cfg.lhr_bits as usize {
+            let x = if (lhr >> i) & 1 == 1 { 1 } else { -1 };
+            sum += i32::from(w[base + i]) * x;
+        }
+        sum
+    }
+
+    /// Perceptron learning rule: updates `row` if the prediction was wrong
+    /// or the output magnitude was below the threshold.
+    pub fn train(&mut self, row: usize, ghr: u64, lhr: u32, sum: i32, taken: bool) {
+        let predicted = sum >= 0;
+        if predicted == taken && sum.abs() > self.theta {
+            return;
+        }
+        let t: i32 = if taken { 1 } else { -1 };
+        let ghr_bits = self.cfg.ghr_bits as usize;
+        let lhr_bits = self.cfg.lhr_bits as usize;
+        let w = self.row_weights_mut(row);
+        w[0] = sat_add(w[0], t);
+        for i in 0..ghr_bits {
+            let x = if (ghr >> i) & 1 == 1 { 1 } else { -1 };
+            w[1 + i] = sat_add(w[1 + i], t * x);
+        }
+        let base = 1 + ghr_bits;
+        for i in 0..lhr_bits {
+            let x = if (lhr >> i) & 1 == 1 { 1 } else { -1 };
+            w[base + i] = sat_add(w[base + i], t * x);
+        }
+    }
+
+    /// Weight-table budget in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn row_weights(&self, row: usize) -> &[i8] {
+        let n = self.cfg.weights_per_row();
+        &self.weights[row * n..(row + 1) * n]
+    }
+
+    fn row_weights_mut(&mut self, row: usize) -> &mut [i8] {
+        let n = self.cfg.weights_per_row();
+        &mut self.weights[row * n..(row + 1) * n]
+    }
+}
+
+#[inline]
+fn sat_add(w: i8, d: i32) -> i8 {
+    (i32::from(w) + d).clamp(i8::MIN as i32, i8::MAX as i32) as i8
+}
+
+/// The conventional perceptron *branch* predictor: one prediction per
+/// conditional branch, keyed by the branch PC (the paper's 148 KB baseline).
+#[derive(Clone, Debug)]
+pub struct PerceptronPredictor {
+    table: PerceptronTable,
+    ghr: GlobalHistory,
+    lht: LocalHistoryTable,
+}
+
+impl PerceptronPredictor {
+    /// Builds the predictor from a configuration.
+    pub fn new(cfg: PerceptronConfig) -> Self {
+        PerceptronPredictor {
+            ghr: GlobalHistory::new(cfg.ghr_bits.max(1)),
+            lht: LocalHistoryTable::new(cfg.lht_entries, cfg.lhr_bits.max(1)),
+            table: PerceptronTable::new(cfg),
+        }
+    }
+
+    /// Current global history value (diagnostics).
+    pub fn ghr_value(&self) -> u64 {
+        self.ghr.value()
+    }
+
+    /// The underlying weight table (diagnostics).
+    pub fn table(&self) -> &PerceptronTable {
+        &self.table
+    }
+}
+
+impl BranchPredictor for PerceptronPredictor {
+    fn predict(&mut self, pc: u64, _guard: u8) -> Prediction {
+        let row = self.table.row_of(pc);
+        let ghr_before = self.ghr.value();
+        let lhr_before = self.lht.read(pc);
+        let sum = self.table.dot(row, ghr_before, lhr_before);
+        let taken = sum >= 0;
+        self.ghr.push(taken);
+        let (lhr_idx, _) = self.lht.push(pc, taken);
+        Prediction {
+            taken,
+            tag: Tag {
+                ghr_before,
+                lhr_before,
+                lhr_idx: lhr_idx as u32,
+                row: row as u32,
+                row2: u32::MAX,
+                sum,
+                alt: 0,
+            },
+        }
+    }
+
+    fn train(&mut self, prediction: &Prediction, taken: bool) {
+        let t = &prediction.tag;
+        self.table
+            .train(t.row as usize, t.ghr_before, t.lhr_before, t.sum, taken);
+    }
+
+    fn undo(&mut self, prediction: &Prediction) {
+        let t = &prediction.tag;
+        self.ghr.set(t.ghr_before);
+        self.lht.restore(t.lhr_idx as usize, t.lhr_before);
+    }
+
+    fn recover(&mut self, prediction: &Prediction, taken: bool) {
+        self.undo(prediction);
+        self.ghr.push(taken);
+        self.lht.push_at(prediction.tag.lhr_idx as usize, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "perceptron"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.table.size_bytes() + self.lht.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn learn(p: &mut PerceptronPredictor, pc: u64, pattern: &[bool], reps: usize) -> f64 {
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        for _ in 0..reps {
+            for &outcome in pattern {
+                let pred = p.predict(pc, 0);
+                if pred.taken != outcome {
+                    wrong += 1;
+                    p.recover(&pred, outcome);
+                }
+                p.train(&pred, outcome);
+                total += 1;
+            }
+        }
+        wrong as f64 / total as f64
+    }
+
+    #[test]
+    fn theta_rule_matches_jimenez_lin() {
+        let cfg = PerceptronConfig::paper_148kb();
+        assert_eq!(cfg.resolved_theta(), (1.93f64 * 40.0 + 14.0).floor() as i32);
+        let cfg = PerceptronConfig { theta: Some(10), ..cfg };
+        assert_eq!(cfg.resolved_theta(), 10);
+    }
+
+    #[test]
+    fn paper_config_is_148kb() {
+        let cfg = PerceptronConfig::paper_148kb();
+        assert_eq!(cfg.weights_per_row(), 41);
+        assert_eq!(cfg.table_bytes(), 3696 * 41);
+        // 151,536 B = 147.98 KB — the paper's "148 KB".
+        assert!((147.0..149.0).contains(&(cfg.table_bytes() as f64 / 1024.0)));
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
+        let rate = learn(&mut p, 0x4000, &[true], 200);
+        assert!(rate < 0.05, "always-taken should be learned, rate={rate}");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
+        let rate = learn(&mut p, 0x4000, &[true, false], 400);
+        assert!(rate < 0.1, "T/N/T/N is linearly separable on history, rate={rate}");
+    }
+
+    #[test]
+    fn learns_period_four_pattern() {
+        let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
+        let rate = learn(&mut p, 0x4000, &[true, true, false, false], 400);
+        assert!(rate < 0.15, "period-4 pattern should be learned, rate={rate}");
+    }
+
+    #[test]
+    fn correlated_branches_are_learned() {
+        // Branch B's outcome equals branch A's previous outcome: only
+        // global history can capture this.
+        let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
+        let pc_a = 0x4000u64;
+        let pc_b = 0x4100u64;
+        let mut a_outcome;
+        let mut wrong_b = 0;
+        let mut total_b = 0;
+        let mut i = 0u32;
+        for _ in 0..600 {
+            // A: pseudo-random-ish but deterministic pattern.
+            i = i.wrapping_mul(1664525).wrapping_add(1013904223);
+            a_outcome = (i >> 16) & 1 == 1;
+            let pa = p.predict(pc_a, 0);
+            if pa.taken != a_outcome {
+                p.recover(&pa, a_outcome);
+            }
+            p.train(&pa, a_outcome);
+            // B repeats A's outcome.
+            let pb = p.predict(pc_b, 0);
+            if pb.taken != a_outcome {
+                wrong_b += 1;
+                p.recover(&pb, a_outcome);
+            }
+            p.train(&pb, a_outcome);
+            total_b += 1;
+        }
+        let rate = wrong_b as f64 / total_b as f64;
+        assert!(rate < 0.15, "B is perfectly correlated with A, rate={rate}");
+    }
+
+    #[test]
+    fn undo_restores_history_exactly() {
+        let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
+        let before_ghr = p.ghr_value();
+        let before_lhr = p.lht.read(0x4000);
+        let pred = p.predict(0x4000, 0);
+        assert_ne!(p.ghr_value(), before_ghr | 0 | u64::MAX, "sanity");
+        p.undo(&pred);
+        assert_eq!(p.ghr_value(), before_ghr);
+        assert_eq!(p.lht.read(0x4000), before_lhr);
+    }
+
+    #[test]
+    fn recover_inserts_actual_outcome() {
+        let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
+        let pred = p.predict(0x4000, 0);
+        p.recover(&pred, true);
+        assert_eq!(p.ghr_value() & 1, 1);
+        let pred2 = p.predict(0x4000, 0);
+        p.recover(&pred2, false);
+        assert_eq!(p.ghr_value() & 1, 0);
+    }
+
+    #[test]
+    fn nested_undo_youngest_first_restores_everything() {
+        let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
+        let g0 = p.ghr_value();
+        let p1 = p.predict(0x4000, 0);
+        let p2 = p.predict(0x4010, 0);
+        let p3 = p.predict(0x4020, 0);
+        p.undo(&p3);
+        p.undo(&p2);
+        p.undo(&p1);
+        assert_eq!(p.ghr_value(), g0);
+        assert_eq!(p.lht.read(0x4000), 0);
+        assert_eq!(p.lht.read(0x4010), 0);
+        assert_eq!(p.lht.read(0x4020), 0);
+    }
+
+    #[test]
+    fn weights_saturate_at_i8_bounds() {
+        let mut t = PerceptronTable::new(PerceptronConfig {
+            theta: Some(i32::MAX), // always train
+            ..PerceptronConfig::tiny()
+        });
+        for _ in 0..500 {
+            let sum = t.dot(0, 0, 0);
+            t.train(0, 0, 0, sum, true);
+        }
+        let sum = t.dot(0, 0, 0);
+        // 13 weights bounded by i8 range: |sum| ≤ 13 × 128.
+        assert!(sum <= 13 * 128);
+        for _ in 0..2000 {
+            let s = t.dot(0, 0, 0);
+            t.train(0, 0, 0, s, false);
+        }
+        assert!(t.dot(0, 0, 0) >= -(13 * 128));
+    }
+
+    #[test]
+    fn f2_differs_from_f1_and_stays_in_range() {
+        let t = PerceptronTable::new(PerceptronConfig::paper_148kb());
+        for pc in (0x4000u64..0x8000).step_by(16) {
+            let r1 = t.row_of(pc);
+            let r2 = t.row2_of(pc);
+            assert!(r1 < t.rows());
+            assert!(r2 < t.rows());
+            assert_ne!(r1, r2, "f1 and f2 must map to different rows");
+        }
+    }
+
+    #[test]
+    fn rows_spread_across_table() {
+        let t = PerceptronTable::new(PerceptronConfig::paper_148kb());
+        let mut seen = std::collections::HashSet::new();
+        for pc in (0x4000u64..0x4000 + 16 * 4096).step_by(16) {
+            seen.insert(t.row_of(pc));
+        }
+        assert!(seen.len() > t.rows() / 2, "hash should spread: {} rows hit", seen.len());
+    }
+}

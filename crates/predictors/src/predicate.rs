@@ -1,0 +1,480 @@
+//! The paper's contribution: a perceptron **predicate** predictor
+//! (§3.1/§3.3).
+//!
+//! Instead of predicting a conditional branch at its own fetch, the scheme
+//! predicts the *output of the compare instruction* that produces the
+//! branch's guarding predicate:
+//!
+//! * prediction is initiated at the **compare's** fetch, keyed by the
+//!   compare PC — branches take no part in prediction generation,
+//! * compares can produce **two** predicates, so a single perceptron vector
+//!   table (PVT) is accessed through two hash functions: `f1` indexes the
+//!   whole table; `f2` "inverts the most significant bit" of `f1`. When one
+//!   of the targets is the read-only `p0`, only one prediction is generated
+//!   (through `f1`), reducing aliasing pressure,
+//! * the global history shifts **once per fetched compare** — not once per
+//!   branch — so if-conversion cannot erase correlation information: the
+//!   compares stay in the code even when their branches are removed,
+//! * each PVT row carries a resetting saturating **confidence counter**
+//!   used by selective predicate prediction (§3.2).
+//!
+//! The predictions themselves are *stored in the predicate physical
+//! register file* and consumed by branches or predicated instructions at
+//! rename; that plumbing lives in `ppsim-pipeline`. This module only models
+//! the prediction structures.
+
+use crate::confidence::ConfidenceTable;
+use crate::history::{GlobalHistory, LocalHistoryTable};
+use crate::perceptron::{PerceptronConfig, PerceptronTable};
+use crate::Tag;
+
+/// Configuration of the predicate predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredicateConfig {
+    /// The underlying perceptron geometry (identical to the conventional
+    /// predictor's in the paper: "same size and latency and analogous
+    /// configurations").
+    pub perceptron: PerceptronConfig,
+    /// Width of the per-row confidence counters (bits).
+    pub conf_bits: u32,
+}
+
+impl PredicateConfig {
+    /// The paper's 148 KB configuration plus 3-bit resetting confidence
+    /// counters (conservative selective prediction: cancel only guards the
+    /// predictor has been right about seven times in a row, keeping
+    /// wrong-cancel flushes rare).
+    pub fn paper_148kb() -> Self {
+        PredicateConfig { perceptron: PerceptronConfig::paper_148kb(), conf_bits: 3 }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        PredicateConfig { perceptron: PerceptronConfig::tiny(), conf_bits: 3 }
+    }
+}
+
+/// One predicted predicate value with its confidence and recovery tag.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PredicatePrediction {
+    /// Predicted predicate value.
+    pub value: bool,
+    /// Whether the row's confidence counter is saturated.
+    pub confident: bool,
+    /// Training/recovery snapshot.
+    pub tag: Tag,
+}
+
+/// The (up to two) predictions generated when a compare is fetched.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CmpPrediction {
+    /// Prediction for the first (true) target, if it is a real register.
+    pub pt: Option<PredicatePrediction>,
+    /// Prediction for the second (false) target, if it is a real register.
+    pub pf: Option<PredicatePrediction>,
+    /// Whether this compare shifted the global history (true iff at least
+    /// one prediction was generated).
+    pub ghr_pushed: bool,
+}
+
+impl CmpPrediction {
+    /// Convenience: the prediction that fed the history, if any.
+    pub fn primary(&self) -> Option<&PredicatePrediction> {
+        self.pt.as_ref().or(self.pf.as_ref())
+    }
+}
+
+/// The predicate perceptron predictor (Figure 4 of the paper).
+#[derive(Clone, Debug)]
+pub struct PredicatePredictor {
+    pvt: PerceptronTable,
+    confidence: ConfidenceTable,
+    ghr: GlobalHistory,
+    lht: LocalHistoryTable,
+    /// Pushes per local-history entry, for exact repair of the bit a
+    /// mispredicted compare inserted (tags record the count at push time
+    /// in [`Tag::alt`]).
+    lht_counts: Vec<u64>,
+}
+
+impl PredicatePredictor {
+    /// Builds the predictor from a configuration.
+    pub fn new(cfg: PredicateConfig) -> Self {
+        let p = cfg.perceptron;
+        PredicatePredictor {
+            ghr: GlobalHistory::new(p.ghr_bits.max(1)),
+            lht: LocalHistoryTable::new(p.lht_entries, p.lhr_bits.max(1)),
+            confidence: ConfidenceTable::new(p.rows, cfg.conf_bits),
+            lht_counts: vec![0; p.lht_entries.next_power_of_two()],
+            pvt: PerceptronTable::new(p),
+        }
+    }
+
+    /// Current global history value (diagnostics).
+    pub fn ghr_value(&self) -> u64 {
+        self.ghr.value()
+    }
+
+    /// The underlying perceptron table (diagnostics).
+    pub fn table(&self) -> &PerceptronTable {
+        &self.pvt
+    }
+
+    /// Generates predictions for a fetched compare at `pc`.
+    ///
+    /// `need_pt`/`need_pf` say which targets name real (non-`p0`)
+    /// registers. With both set, `pt` uses hash `f1` and `pf` uses `f2`;
+    /// with one set, the single prediction uses `f1` (paper §3.3). The
+    /// global and local histories shift once, with the primary predicted
+    /// bit.
+    pub fn predict_compare(&mut self, pc: u64, need_pt: bool, need_pf: bool) -> CmpPrediction {
+        let ghr_before = self.ghr.value();
+        let lhr_before = self.lht.read(pc);
+        let lhr_idx = self.lht.index_of(pc) as u32;
+
+        let mk = |row: usize, this: &Self| -> PredicatePrediction {
+            let sum = this.pvt.dot(row, ghr_before, lhr_before);
+            PredicatePrediction {
+                value: sum >= 0,
+                confident: this.confidence.is_confident(row),
+                tag: Tag {
+                    ghr_before,
+                    lhr_before,
+                    lhr_idx,
+                    row: row as u32,
+                    row2: u32::MAX,
+                    sum,
+                    alt: 0,
+                },
+            }
+        };
+
+        let (pt, pf) = match (need_pt, need_pf) {
+            (true, true) => {
+                let a = mk(self.pvt.row_of(pc), self);
+                let b = mk(self.pvt.row2_of(pc), self);
+                (Some(a), Some(b))
+            }
+            (true, false) => (Some(mk(self.pvt.row_of(pc), self)), None),
+            (false, true) => (None, Some(mk(self.pvt.row_of(pc), self))),
+            (false, false) => (None, None),
+        };
+
+        let mut pt = pt;
+        let mut pf = pf;
+        let pushed = if let Some(primary) = pt.as_ref().or(pf.as_ref()) {
+            self.ghr.push(primary.value);
+            self.lht.push(pc, primary.value);
+            self.lht_counts[lhr_idx as usize] += 1;
+            let count = self.lht_counts[lhr_idx as usize];
+            if let Some(p) = pt.as_mut() {
+                p.tag.alt = count;
+            }
+            if let Some(p) = pf.as_mut() {
+                p.tag.alt = count;
+            }
+            true
+        } else {
+            false
+        };
+
+        CmpPrediction { pt, pf, ghr_pushed: pushed }
+    }
+
+    /// Trains one prediction with the computed predicate value and updates
+    /// its confidence counter. Called when the compare's value commits.
+    pub fn train(&mut self, prediction: &PredicatePrediction, actual: bool) {
+        let t = &prediction.tag;
+        self.pvt
+            .train(t.row as usize, t.ghr_before, t.lhr_before, t.sum, actual);
+        self.confidence
+            .record(t.row as usize, prediction.value == actual);
+    }
+
+    /// Reverts the speculative history update of a squashed compare.
+    /// Must be applied youngest-first when unwinding several compares.
+    pub fn undo_compare(&mut self, prediction: &CmpPrediction) {
+        if !prediction.ghr_pushed {
+            return;
+        }
+        if let Some(primary) = prediction.primary() {
+            let t = &primary.tag;
+            self.ghr.set(t.ghr_before);
+            self.lht.restore(t.lhr_idx as usize, t.lhr_before);
+        }
+    }
+
+    /// Repairs the history bit a mispredicted compare inserted `age` pushes
+    /// ago (0 = most recent surviving push).
+    ///
+    /// This is the §3.3 recovery: the flush point is the *consumer*, so
+    /// compares between producer and consumer survive with predictions made
+    /// on corrupted history; only the history register itself is corrected.
+    pub fn fix_history_bit(&mut self, age: u32, actual: bool) {
+        self.ghr.fix_recent_bit(age, actual);
+    }
+
+    /// Repairs the *local* history of the producer compare analogously.
+    pub fn fix_local_history_bit(&mut self, lhr_idx: u32, age: u32, actual: bool) {
+        if age >= self.lht.width() {
+            return;
+        }
+        let cur = self.lht.read_at(lhr_idx as usize);
+        let bit = 1u32 << age;
+        let fixed = if actual { cur | bit } else { cur & !bit };
+        self.lht.restore(lhr_idx as usize, fixed);
+    }
+
+    /// Full §3.3 history repair for a detected compare misprediction:
+    /// corrects the global-history bit (`ghr_age` pushes old) and the
+    /// producer's local-history bit (located via the push count recorded
+    /// in the prediction tag) with the primary target's computed value.
+    pub fn repair_history(
+        &mut self,
+        prediction: &PredicatePrediction,
+        primary_actual: bool,
+        ghr_age: u32,
+    ) {
+        self.fix_history_bit(ghr_age, primary_actual);
+        let idx = prediction.tag.lhr_idx;
+        if idx != u32::MAX && prediction.tag.alt > 0 {
+            let pushes_since = self.lht_counts[idx as usize] - prediction.tag.alt;
+            if pushes_since <= u64::from(u32::MAX) {
+                self.fix_local_history_bit(idx, pushes_since as u32, primary_actual);
+            }
+        }
+    }
+
+    /// Whether a row's confidence counter is currently saturated.
+    pub fn is_confident_row(&self, row: u32) -> bool {
+        self.confidence.is_confident(row as usize)
+    }
+
+    /// Hardware budget in bytes (PVT + local histories + confidence).
+    pub fn size_bytes(&self) -> usize {
+        self.pvt.size_bytes() + self.lht.size_bytes() + self.confidence.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut PredicatePredictor, pc: u64, outcomes: &[bool]) -> f64 {
+        let mut wrong = 0usize;
+        for &o in outcomes {
+            let cp = p.predict_compare(pc, true, false);
+            let pt = cp.pt.unwrap();
+            if pt.value != o {
+                wrong += 1;
+                // Correct the history bit this compare pushed (age 0: it is
+                // the most recent push).
+                p.fix_history_bit(0, o);
+                p.fix_local_history_bit(pt.tag.lhr_idx, 0, o);
+            }
+            p.train(&pt, o);
+        }
+        wrong as f64 / outcomes.len() as f64
+    }
+
+    #[test]
+    fn learns_biased_predicate() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let rate = drive(&mut p, 0x4000, &[true].repeat(300));
+        assert!(rate < 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn learns_alternating_predicate() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let rate = drive(&mut p, 0x4000, &[true, false].repeat(400));
+        assert!(rate < 0.1, "rate={rate}");
+    }
+
+    #[test]
+    fn correlation_across_compares_is_captured() {
+        // Compare B's predicate equals compare A's: the single GHR shared
+        // by all compares carries the correlation.
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let mut wrong_b = 0usize;
+        let mut total = 0usize;
+        let mut x = 12345u32;
+        for _ in 0..800 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let v = (x >> 16) & 1 == 1;
+            let ca = p.predict_compare(0x4000, true, false);
+            let a = ca.pt.unwrap();
+            if a.value != v {
+                p.fix_history_bit(0, v);
+                p.fix_local_history_bit(a.tag.lhr_idx, 0, v);
+            }
+            p.train(&a, v);
+            let cb = p.predict_compare(0x4200, true, false);
+            let b = cb.pt.unwrap();
+            if b.value != v {
+                wrong_b += 1;
+                p.fix_history_bit(0, v);
+                p.fix_local_history_bit(b.tag.lhr_idx, 0, v);
+            }
+            p.train(&b, v);
+            total += 1;
+        }
+        let rate = wrong_b as f64 / total as f64;
+        assert!(rate < 0.15, "perfect correlation should be learned, rate={rate}");
+    }
+
+    #[test]
+    fn two_targets_use_distinct_rows() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let cp = p.predict_compare(0x4000, true, true);
+        let (pt, pf) = (cp.pt.unwrap(), cp.pf.unwrap());
+        assert_ne!(pt.tag.row, pf.tag.row, "f1 and f2 rows differ");
+        assert!(cp.ghr_pushed);
+    }
+
+    #[test]
+    fn single_target_uses_f1_row() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let f1 = p.table().row_of(0x4000) as u32;
+        let cp = p.predict_compare(0x4000, false, true);
+        assert_eq!(cp.pf.unwrap().tag.row, f1);
+        assert!(cp.pt.is_none());
+    }
+
+    #[test]
+    fn ghr_shifts_once_per_compare() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let g0 = p.ghr_value();
+        let cp = p.predict_compare(0x4000, true, true);
+        let expected = ((g0 << 1) | u64::from(cp.pt.unwrap().value)) & 0xff;
+        assert_eq!(p.ghr_value(), expected, "one shift even with two predictions");
+    }
+
+    #[test]
+    fn p0_only_compare_makes_no_prediction() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let g0 = p.ghr_value();
+        let cp = p.predict_compare(0x4000, false, false);
+        assert!(cp.pt.is_none() && cp.pf.is_none() && !cp.ghr_pushed);
+        assert_eq!(p.ghr_value(), g0);
+        p.undo_compare(&cp); // must be a no-op
+        assert_eq!(p.ghr_value(), g0);
+    }
+
+    #[test]
+    fn undo_compare_restores_histories() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let g0 = p.ghr_value();
+        let a = p.predict_compare(0x4000, true, false);
+        let b = p.predict_compare(0x4010, true, true);
+        p.undo_compare(&b);
+        p.undo_compare(&a);
+        assert_eq!(p.ghr_value(), g0);
+    }
+
+    #[test]
+    fn fix_history_bit_corrects_producer_bit_only() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let a = p.predict_compare(0x4000, true, false); // producer
+        let _b = p.predict_compare(0x4010, true, false); // intermediate
+        let _c = p.predict_compare(0x4020, true, false); // intermediate
+        let before = p.ghr_value();
+        let a_val = a.pt.unwrap().value;
+        // Producer's bit is now age 2 (two compares fetched after it).
+        p.fix_history_bit(2, !a_val);
+        let after = p.ghr_value();
+        assert_eq!(before ^ after, 0b100, "only the age-2 bit changed");
+    }
+
+    #[test]
+    fn confidence_tracks_per_row_accuracy() {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        let mut last = None;
+        for _ in 0..64 {
+            let cp = p.predict_compare(0x4000, true, false);
+            let pt = cp.pt.unwrap();
+            if pt.value != true {
+                p.fix_history_bit(0, true);
+            }
+            p.train(&pt, true);
+            last = Some(pt);
+        }
+        let row = last.unwrap().tag.row;
+        assert!(p.is_confident_row(row), "steady predicate gains confidence");
+        // One misprediction resets it.
+        let cp = p.predict_compare(0x4000, true, false);
+        let pt = cp.pt.unwrap();
+        assert!(pt.confident);
+        p.train(&pt, !pt.value);
+        assert!(!p.is_confident_row(row), "misprediction zeroes confidence");
+    }
+
+    #[test]
+    fn paper_sizing_is_reported() {
+        let p = PredicatePredictor::new(PredicateConfig::paper_148kb());
+        let kb = p.size_bytes() as f64 / 1024.0;
+        assert!(
+            (148.0..156.0).contains(&kb),
+            "PVT ≈148 KB + LHT + confidence, got {kb} KB"
+        );
+    }
+}
+
+#[cfg(test)]
+mod correlation_tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// The paper's headline scenario: two hard-to-predict feeder compares
+    /// whose (repaired) history bits determine a region compare's outcome.
+    #[test]
+    fn region_compare_is_learned_from_feeder_history() {
+        let mut p = PredicatePredictor::new(PredicateConfig::paper_148kb());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (pc_f1, pc_f2, pc_r) = (0x4000u64, 0x4040u64, 0x4400u64);
+        let mut wrong = 0u32;
+        let mut total = 0u32;
+        for i in 0..4000u32 {
+            let b0 = rng.gen_bool(0.5);
+            let b1 = rng.gen_bool(0.5);
+            // Feeder 1 (two targets, like cmp.unc pt,pf).
+            let c1 = p.predict_compare(pc_f1, true, true);
+            let pt1 = c1.pt.unwrap();
+            if pt1.value != b0 {
+                // Repaired immediately after the prediction: age 0.
+                p.repair_history(&pt1, b0, 0);
+            }
+            p.train(&pt1, b0);
+            p.train(&c1.pf.unwrap(), !b0);
+            // Feeder 2.
+            let c2 = p.predict_compare(pc_f2, true, true);
+            let pt2 = c2.pt.unwrap();
+            if pt2.value != b1 {
+                p.repair_history(&pt2, b1, 0);
+            }
+            p.train(&pt2, b1);
+            p.train(&c2.pf.unwrap(), !b1);
+            // Region: outcome = AND of the feeders.
+            let region = b0 && b1;
+            let cr = p.predict_compare(pc_r, true, true);
+            let ptr = cr.pt.unwrap();
+            if i > 1000 {
+                total += 1;
+                if ptr.value != region {
+                    wrong += 1;
+                }
+            }
+            if ptr.value != region {
+                p.repair_history(&ptr, region, 0);
+            }
+            p.train(&ptr, region);
+            p.train(&cr.pf.unwrap(), !region);
+        }
+        let rate = f64::from(wrong) / f64::from(total);
+        assert!(
+            rate < 0.08,
+            "region must be learned from repaired feeder bits, rate={rate}"
+        );
+    }
+}

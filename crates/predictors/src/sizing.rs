@@ -1,0 +1,135 @@
+//! Hardware-budget accounting for the Table-1 predictor configurations.
+//!
+//! The paper compares predictors at matched storage budgets ("both having a
+//! 148 KB size and analogous configurations"); this module centralizes the
+//! byte arithmetic and provides a human-readable report used by the
+//! `table1` harness binary.
+
+use crate::gshare::GshareConfig;
+use crate::peppa::PepPaConfig;
+use crate::perceptron::PerceptronConfig;
+use crate::predicate::PredicateConfig;
+
+/// Budget summary of one predictor structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Budget {
+    /// Structure name.
+    pub name: &'static str,
+    /// Component → bytes breakdown.
+    pub components: Vec<(&'static str, usize)>,
+}
+
+impl Budget {
+    /// Total bytes across components.
+    pub fn total_bytes(&self) -> usize {
+        self.components.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total in KiB.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+}
+
+/// Budget of the first-level gshare predictor.
+pub fn gshare_budget(cfg: &GshareConfig) -> Budget {
+    Budget {
+        name: "gshare (L1)",
+        components: vec![("2-bit counters", cfg.table_bytes())],
+    }
+}
+
+/// Budget of the conventional perceptron predictor.
+pub fn perceptron_budget(cfg: &PerceptronConfig) -> Budget {
+    Budget {
+        name: "perceptron (L2, conventional)",
+        components: vec![
+            ("weight table (8-bit weights)", cfg.table_bytes()),
+            (
+                "local history table",
+                (cfg.lht_entries.next_power_of_two() * cfg.lhr_bits as usize).div_ceil(8),
+            ),
+        ],
+    }
+}
+
+/// Budget of the PEP-PA baseline.
+pub fn peppa_budget(cfg: &PepPaConfig) -> Budget {
+    let bht = (cfg.bht_entries.next_power_of_two() * 2 * cfg.lh_bits as usize) / 8;
+    let pht = (1usize << cfg.pht_bits) * 2 / 8;
+    Budget {
+        name: "PEP-PA",
+        components: vec![("dual local histories", bht), ("2-bit PHT", pht)],
+    }
+}
+
+/// Budget of the predicate predictor (PVT + LHT + confidence).
+pub fn predicate_budget(cfg: &PredicateConfig) -> Budget {
+    let p = &cfg.perceptron;
+    Budget {
+        name: "predicate predictor",
+        components: vec![
+            ("perceptron vector table", p.table_bytes()),
+            (
+                "local history table",
+                (p.lht_entries.next_power_of_two() * p.lhr_bits as usize).div_ceil(8),
+            ),
+            (
+                "confidence counters",
+                (p.rows * cfg.conf_bits as usize).div_ceil(8),
+            ),
+        ],
+    }
+}
+
+/// Formats a budget table for all paper configurations.
+pub fn paper_report() -> String {
+    let budgets = [
+        gshare_budget(&GshareConfig::paper_4kb()),
+        perceptron_budget(&PerceptronConfig::paper_148kb()),
+        peppa_budget(&PepPaConfig::paper_144kb()),
+        predicate_budget(&PredicateConfig::paper_148kb()),
+    ];
+    let mut out = String::new();
+    for b in &budgets {
+        out.push_str(&format!("{:<32} {:>9.1} KiB\n", b.name, b.total_kib()));
+        for (c, bytes) in &b.components {
+            out.push_str(&format!("    {:<28} {:>9} B\n", c, bytes));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budgets_match_the_paper() {
+        assert_eq!(gshare_budget(&GshareConfig::paper_4kb()).total_bytes(), 4096);
+        let perc = perceptron_budget(&PerceptronConfig::paper_148kb());
+        // 3696 rows × 41 weights = 151,536 B ≈ 148 KB of weight storage.
+        assert_eq!(perc.components[0].1, 151_536);
+        assert_eq!(peppa_budget(&PepPaConfig::paper_144kb()).total_bytes(), 144 * 1024);
+        let pp = predicate_budget(&PredicateConfig::paper_148kb());
+        assert_eq!(pp.components[0].1, 151_536, "same PVT budget as the conventional");
+        // Confidence adds ~1.4 KB — the paper's "minimal extra hardware".
+        assert!(pp.components[2].1 < 2 * 1024);
+    }
+
+    #[test]
+    fn conventional_and_predicate_have_matched_core_budgets() {
+        let a = perceptron_budget(&PerceptronConfig::paper_148kb());
+        let b = predicate_budget(&PredicateConfig::paper_148kb());
+        assert_eq!(a.components[0].1, b.components[0].1);
+        assert_eq!(a.components[1].1, b.components[1].1);
+    }
+
+    #[test]
+    fn report_mentions_every_structure() {
+        let r = paper_report();
+        for s in ["gshare", "perceptron", "PEP-PA", "predicate predictor"] {
+            assert!(r.contains(s), "missing {s} in:\n{r}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the predictors: exact speculative-state recovery and
+//! structural invariants under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use ppsim_predictors::{
+    BranchPredictor, Gshare, GshareConfig, PepPa, PepPaConfig, PerceptronConfig,
+    PerceptronPredictor, PredicateConfig, PredicatePredictor,
+};
+
+fn pcs() -> impl Strategy<Value = Vec<(u16, bool)>> {
+    prop::collection::vec((any::<u16>(), any::<bool>()), 1..120)
+}
+
+/// predict → undo (youngest first) restores every predictor's history
+/// state exactly.
+fn undo_round_trip<P: BranchPredictor>(mut p: P, stream: &[(u16, bool)], snapshot: impl Fn(&P) -> u64) {
+    // Warm up with trained state so we are not just testing the zero state.
+    for &(pc, taken) in stream.iter().take(stream.len() / 2) {
+        let pred = p.predict(0x4000 + u64::from(pc) * 16, (pc % 64) as u8, );
+        p.recover(&pred, taken);
+        p.train(&pred, taken);
+    }
+    let before = snapshot(&p);
+    let mut preds = Vec::new();
+    for &(pc, _) in stream.iter().skip(stream.len() / 2) {
+        preds.push(p.predict(0x4000 + u64::from(pc) * 16, (pc % 64) as u8));
+    }
+    for pred in preds.iter().rev() {
+        p.undo(pred);
+    }
+    assert_eq!(snapshot(&p), before, "undo stack must restore history");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gshare_undo_round_trip(stream in pcs()) {
+        undo_round_trip(
+            Gshare::new(GshareConfig { ghr_bits: 10 }),
+            &stream,
+            |p| p.ghr_value(),
+        );
+    }
+
+    #[test]
+    fn perceptron_undo_round_trip(stream in pcs()) {
+        undo_round_trip(
+            PerceptronPredictor::new(PerceptronConfig::tiny()),
+            &stream,
+            |p| p.ghr_value(),
+        );
+    }
+
+    #[test]
+    fn predicate_predictor_undo_round_trip(stream in pcs()) {
+        let mut p = PredicatePredictor::new(PredicateConfig::tiny());
+        for &(pc, v) in stream.iter().take(stream.len() / 2) {
+            let cp = p.predict_compare(0x4000 + u64::from(pc) * 16, true, pc % 3 == 0);
+            if let Some(pt) = cp.pt {
+                p.train(&pt, v);
+            }
+        }
+        let before = p.ghr_value();
+        let mut cps = Vec::new();
+        for &(pc, _) in stream.iter().skip(stream.len() / 2) {
+            cps.push(p.predict_compare(0x4000 + u64::from(pc) * 16, true, true));
+        }
+        for cp in cps.iter().rev() {
+            p.undo_compare(cp);
+        }
+        prop_assert_eq!(p.ghr_value(), before);
+    }
+
+    /// Training with the tag snapshot never panics and predictions stay
+    /// boolean-coherent regardless of the interleaving.
+    #[test]
+    fn peppa_is_robust_to_any_interleaving(
+        stream in pcs(),
+        writes in prop::collection::vec((0u8..64, any::<bool>()), 1..60),
+    ) {
+        let mut p = PepPa::new(PepPaConfig::tiny());
+        let mut w = writes.iter().cycle();
+        for &(pc, taken) in &stream {
+            // Out-of-order predicate writes interleave with predictions.
+            let (preg, v) = w.next().copied().unwrap();
+            p.note_predicate_write(preg, v);
+            let pred = p.predict(0x4000 + u64::from(pc) * 16, preg);
+            if pred.taken != taken {
+                p.recover(&pred, taken);
+            }
+            p.train(&pred, taken);
+        }
+        // Reachable without panic and still functional:
+        let pred = p.predict(0x4000, 1);
+        prop_assert!(pred.taken || !pred.taken);
+    }
+
+    /// The two hash functions always address distinct, in-range rows.
+    #[test]
+    fn predicate_two_hashes_disjoint(pc in any::<u32>()) {
+        let p = PredicatePredictor::new(PredicateConfig::paper_148kb());
+        let pc = 0x4000_0000u64 + u64::from(pc) * 16;
+        let r1 = p.table().row_of(pc);
+        let r2 = p.table().row2_of(pc);
+        prop_assert!(r1 < p.table().rows());
+        prop_assert!(r2 < p.table().rows());
+        prop_assert_ne!(r1, r2);
+    }
+
+    /// fix → fix with the original value is the identity on the history.
+    #[test]
+    fn history_fix_is_invertible(bits in prop::collection::vec(any::<bool>(), 1..30), age in 0u32..29) {
+        let mut h = ppsim_predictors::GlobalHistory::new(30);
+        for b in &bits {
+            h.push(*b);
+        }
+        let before = h.value();
+        let original = h.recent_bit(age);
+        h.fix_recent_bit(age, !original);
+        h.fix_recent_bit(age, original);
+        prop_assert_eq!(h.value(), before);
+    }
+}

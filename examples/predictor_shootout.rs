@@ -1,0 +1,56 @@
+//! Runs every prediction scheme on one benchmark (both binary sets) and
+//! prints a side-by-side comparison.
+//!
+//! Run with: `cargo run --release --example predictor_shootout [benchmark]`
+
+use ppsim::compiler::{compile, CompileOptions};
+use ppsim::core::Table;
+use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".to_string());
+    let spec = ppsim::compiler::spec2000_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+
+    let plain = compile(&spec, &CompileOptions::no_ifconv()).unwrap();
+    let ifconv = compile(&spec, &CompileOptions::with_ifconv()).unwrap();
+
+    let schemes = [
+        SchemeKind::PepPa,
+        SchemeKind::Conventional,
+        SchemeKind::Predicate,
+        SchemeKind::IdealConventional,
+        SchemeKind::IdealPredicate,
+    ];
+
+    let mut t = Table::new(
+        format!("Predictor shootout on '{name}' (500k committed instructions)"),
+        &["scheme", "binary", "misp%", "early-resolved%", "IPC"],
+    );
+    for (label, program) in [("plain", &plain.program), ("if-conv", &ifconv.program)] {
+        for scheme in schemes {
+            let model = if scheme.is_predicate() {
+                PredicationModel::Selective
+            } else {
+                PredicationModel::Cmov
+            };
+            let mut sim = Simulator::new(program, scheme, model, CoreConfig::paper());
+            let s = sim.run(500_000).stats;
+            t.row(vec![
+                scheme.name().to_string(),
+                label.to_string(),
+                format!("{:.2}", s.misprediction_rate() * 100.0),
+                format!("{:.2}", s.early_resolved_rate() * 100.0),
+                format!("{:.2}", s.ipc()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("Things to look for (the paper's story):");
+    println!("  * predicate ≤ conventional on both binaries; the gap widens after if-conversion,");
+    println!("  * PEP-PA trails both on an out-of-order core (stale predicate selectors),");
+    println!("  * early-resolved% is nonzero only for the predicate schemes,");
+    println!("  * the ideal variants bound how much aliasing and history corruption cost.");
+}

@@ -1,0 +1,22 @@
+//! # ppsim — umbrella crate
+//!
+//! Re-exports the whole workspace behind one dependency. See the individual
+//! crates for details:
+//!
+//! * [`isa`] — the predicated compare-and-branch instruction set and
+//!   functional emulator,
+//! * [`compiler`] — CFG IR, if-conversion and the synthetic SPEC2000-like
+//!   workload suite,
+//! * [`predictors`] — gshare / perceptron / PEP-PA baselines and the
+//!   paper's predicate perceptron predictor,
+//! * [`mem`] — the cache/TLB/memory hierarchy of Table 1,
+//! * [`pipeline`] — the 8-stage out-of-order core,
+//! * [`core`] — configuration, statistics and the experiment harness that
+//!   regenerates every table and figure of the paper.
+
+pub use ppsim_compiler as compiler;
+pub use ppsim_core as core;
+pub use ppsim_isa as isa;
+pub use ppsim_mem as mem;
+pub use ppsim_pipeline as pipeline;
+pub use ppsim_predictors as predictors;

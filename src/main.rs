@@ -1,0 +1,211 @@
+//! `ppsim` — command-line front end for the simulator.
+//!
+//! ```text
+//! ppsim run <file.s> [--scheme S] [--commits N] [--trace N] [--tiny]
+//! ppsim compile <benchmark> [--ifconv] [--listing]
+//! ppsim bench <benchmark> [--ifconv] [--commits N]
+//! ppsim suite
+//! ```
+//!
+//! `run` executes a hand-written assembly file (the syntax printed by the
+//! disassembler; see `ppsim::isa::parse_program`), `compile` builds one of
+//! the 22 synthetic benchmarks and prints its listing or statistics, and
+//! `bench` simulates one benchmark under every prediction scheme.
+
+use std::process::ExitCode;
+
+use ppsim::compiler::{compile, CompileOptions};
+use ppsim::core::Table;
+use ppsim::isa::{parse_program, Program};
+use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ppsim run <file.s> [--scheme conventional|pep-pa|predicate] [--commits N] [--trace N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_scheme(name: &str) -> Option<SchemeKind> {
+    Some(match name {
+        "conventional" => SchemeKind::Conventional,
+        "pep-pa" | "peppa" => SchemeKind::PepPa,
+        "predicate" => SchemeKind::Predicate,
+        "ideal-conventional" => SchemeKind::IdealConventional,
+        "ideal-predicate" => SchemeKind::IdealPredicate,
+        _ => return None,
+    })
+}
+
+struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    fn value_of(&self, flag: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+}
+
+fn simulate(program: &Program, scheme: SchemeKind, commits: u64, trace: usize, tiny: bool) {
+    let core = if tiny { CoreConfig::tiny() } else { CoreConfig::paper() };
+    let mut sim = Simulator::new(program, scheme, PredicationModel::Selective, core);
+    if trace > 0 {
+        sim = sim.with_trace(trace);
+    }
+    let r = sim.run(commits);
+    let s = &r.stats;
+    if let Some(t) = sim.trace() {
+        println!("{t}");
+    }
+    println!(
+        "{}: {} committed in {} cycles (IPC {:.3}){}",
+        scheme.name(),
+        s.committed,
+        s.cycles,
+        s.ipc(),
+        if r.halted { ", halted" } else { "" }
+    );
+    println!(
+        "  branches: {} conditional, {} mispredicted ({:.2}%), {:.2}% early-resolved",
+        s.cond_branches,
+        s.mispredicts,
+        s.misprediction_rate() * 100.0,
+        s.early_resolved_rate() * 100.0
+    );
+    println!(
+        "  predication: {} nullified, {} cancelled, {} unguarded, {} flushes",
+        s.nullified, s.cancelled_at_rename, s.unguarded_at_rename, s.predication_flushes
+    );
+    println!(
+        "  memory: L1D {:.1}% miss, L2 {:.1}% miss, {} ITLB misses",
+        s.mem.l1d.miss_ratio() * 100.0,
+        s.mem.l2.miss_ratio() * 100.0,
+        s.mem.itlb.1
+    );
+}
+
+fn find_benchmark(name: &str) -> Option<ppsim::compiler::WorkloadSpec> {
+    ppsim::compiler::spec2000_suite().into_iter().find(|s| s.name == name)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { return usage() };
+    let flags = Flags { args: args[1..].to_vec() };
+    let commits: u64 = flags
+        .value_of("--commits")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500_000);
+
+    match cmd.as_str() {
+        "run" => {
+            let Some(path) = flags.args.first().filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match parse_program(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let scheme = match flags.value_of("--scheme") {
+                None => SchemeKind::Predicate,
+                Some(s) => match parse_scheme(s) {
+                    Some(k) => k,
+                    None => {
+                        eprintln!("unknown scheme `{s}`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let trace = flags
+                .value_of("--trace")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            simulate(&program, scheme, commits, trace, flags.has("--tiny"));
+            ExitCode::SUCCESS
+        }
+        "compile" => {
+            let Some(name) = flags.args.first().filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let Some(spec) = find_benchmark(name) else {
+                eprintln!("unknown benchmark `{name}` (try `ppsim suite`)");
+                return ExitCode::FAILURE;
+            };
+            let opts = if flags.has("--ifconv") {
+                CompileOptions::with_ifconv()
+            } else {
+                CompileOptions::no_ifconv()
+            };
+            let compiled = compile(&spec, &opts).expect("suite benchmarks compile");
+            if flags.has("--listing") {
+                print!("{}", compiled.program.listing());
+            }
+            eprintln!(
+                "{name}: {} instructions, {} conditional branches, {} compares{}",
+                compiled.program.len(),
+                compiled.program.count_insns(|i| i.is_cond_branch()),
+                compiled.program.count_insns(|i| i.is_cmp()),
+                compiled
+                    .ifconvert
+                    .map(|s| format!(", {} branches if-converted", s.converted))
+                    .unwrap_or_default()
+            );
+            ExitCode::SUCCESS
+        }
+        "bench" => {
+            let Some(name) = flags.args.first().filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let Some(spec) = find_benchmark(name) else {
+                eprintln!("unknown benchmark `{name}`");
+                return ExitCode::FAILURE;
+            };
+            let opts = if flags.has("--ifconv") {
+                CompileOptions::with_ifconv()
+            } else {
+                CompileOptions::no_ifconv()
+            };
+            let compiled = compile(&spec, &opts).expect("suite benchmarks compile");
+            for scheme in [SchemeKind::PepPa, SchemeKind::Conventional, SchemeKind::Predicate] {
+                simulate(&compiled.program, scheme, commits, 0, false);
+            }
+            ExitCode::SUCCESS
+        }
+        "suite" => {
+            let mut t = Table::new(
+                "The 22 synthetic SPEC2000-like benchmarks",
+                &["name", "class", "kernels", "array words"],
+            );
+            for s in ppsim::compiler::spec2000_suite() {
+                t.row(vec![
+                    s.name.to_string(),
+                    format!("{:?}", s.class),
+                    s.kernels.len().to_string(),
+                    s.array_words.to_string(),
+                ]);
+            }
+            println!("{t}");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
