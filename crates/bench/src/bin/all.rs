@@ -1,7 +1,13 @@
 //! Runs every experiment (Table 1, Figures 5/6a/6b, the IPC ablation) and
-//! prints the consolidated report.
+//! prints the consolidated report. Pass `--json PATH` for a
+//! machine-readable artifact covering all figures.
+
+use ppsim_core::experiments;
 
 fn main() {
-    let cfg = ppsim_bench::setup("all");
-    println!("{}", ppsim_bench::run_all(&cfg));
+    let s = ppsim_bench::setup("all");
+    println!("{}", experiments::full_report(&s.runner, &s.cfg));
+    // Figure data comes from the cache the report run just populated, so
+    // the artifact costs no extra simulation (modulo --no-cache).
+    s.finish(experiments::full_report_json(&s.runner, &s.cfg));
 }

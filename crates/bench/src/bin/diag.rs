@@ -4,44 +4,62 @@ use ppsim_compiler::{compile, CompileOptions};
 use ppsim_pipeline::{PredicationModel, SchemeKind, Simulator};
 
 fn main() {
-    let cfg = ppsim_bench::setup("diag");
+    let session = ppsim_bench::setup("diag");
+    let cfg = &session.cfg;
     for spec in ppsim_compiler::spec2000_suite() {
         if !cfg.selected(spec.name) {
             continue;
         }
-        let ifconv = std::env::args().any(|a| a == "--ifconv");
-        let opts = if ifconv { CompileOptions::with_ifconv() } else { CompileOptions::no_ifconv() };
+        let ifconv = session.has_flag("--ifconv");
+        let opts = if ifconv {
+            CompileOptions::with_ifconv()
+        } else {
+            CompileOptions::no_ifconv()
+        };
         let compiled = compile(&spec, &opts).unwrap();
-        println!("== {} (ifconv={ifconv}) static insns={} cond-br={} cmps={}",
+        println!(
+            "== {} (ifconv={ifconv}) static insns={} cond-br={} cmps={}",
             spec.name,
             compiled.program.len(),
             compiled.program.count_insns(|i| i.is_cond_branch()),
-            compiled.program.count_insns(|i| i.is_cmp()));
+            compiled.program.count_insns(|i| i.is_cmp())
+        );
         if let Some(st) = &compiled.ifconvert {
             println!("   ifconvert: {st:?}");
         }
-        if std::env::args().any(|a| a == "--predication") {
+        if session.has_flag("--predication") {
             for model in [PredicationModel::Cmov, PredicationModel::Selective] {
-                let mut sim = Simulator::new(&compiled.program, SchemeKind::Predicate, model, cfg.core);
+                let mut sim =
+                    Simulator::new(&compiled.program, SchemeKind::Predicate, model, cfg.core);
                 let r = sim.run(cfg.commits);
                 let s = r.stats;
                 println!(
                     "   {:?}: ipc={:.3} cancel={} unguard={} flushes={} nullified={} misp={:.2}%",
-                    model, s.ipc(), s.cancelled_at_rename, s.unguarded_at_rename,
-                    s.predication_flushes, s.nullified, s.misprediction_rate()*100.0
+                    model,
+                    s.ipc(),
+                    s.cancelled_at_rename,
+                    s.unguarded_at_rename,
+                    s.predication_flushes,
+                    s.nullified,
+                    s.misprediction_rate() * 100.0
                 );
             }
             continue;
         }
         for scheme in [SchemeKind::Conventional, SchemeKind::Predicate] {
-            let mut sim = Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, cfg.core).with_shadow();
+            let mut sim =
+                Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, cfg.core)
+                    .with_shadow();
             let r = sim.run(cfg.commits);
             if std::env::var("PPSIM_HIST").is_ok() {
                 let mut hist: Vec<_> = sim.branch_histogram().iter().collect();
                 hist.sort();
                 for (slot, (e, m)) in hist {
                     if *e > 200 {
-                        println!("      slot {slot}: execs={e} misp={m} ({:.1}%)", *m as f64 / *e as f64 * 100.0);
+                        println!(
+                            "      slot {slot}: execs={e} misp={m} ({:.1}%)",
+                            *m as f64 / *e as f64 * 100.0
+                        );
                     }
                 }
             }

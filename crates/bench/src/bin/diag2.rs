@@ -8,27 +8,47 @@ use ppsim_compiler::workloads::{build_module, spec2000_suite};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".into());
-    let spec = spec2000_suite().into_iter().find(|s| s.name == name).unwrap();
+    let spec = spec2000_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap();
     let mut module = build_module(&spec);
     let lowered = lower(&module, true).unwrap();
     let prof = profile_run(&lowered, 400_000).unwrap();
     if std::env::args().any(|a| a == "--listing") {
         println!("{}", lowered.program.listing());
     }
-    println!("pre-ifconv: {} blocks, {} cond branches", module.cfg.len(), module.cfg.cond_branch_count());
+    println!(
+        "pre-ifconv: {} blocks, {} cond branches",
+        module.cfg.len(),
+        module.cfg.cond_branch_count()
+    );
     let mut sites: Vec<_> = prof.by_block.iter().collect();
     sites.sort_by_key(|(b, _)| **b);
     for (b, p) in &sites {
-        println!("  {b:?}: execs={} taken={:.2} misp={:.3}", p.execs, p.taken_rate(), p.misp_rate());
+        println!(
+            "  {b:?}: execs={} taken={:.2} misp={:.3}",
+            p.execs,
+            p.taken_rate(),
+            p.misp_rate()
+        );
     }
     let stats = if_convert(&mut module.cfg, &prof, &IfConvertConfig::default());
     println!("ifconvert: {stats:?}");
     let lowered2 = lower(&module, true).unwrap();
-    println!("post: {} cond branches at slots:", lowered2.program.count_insns(|i| i.is_cond_branch()));
+    println!(
+        "post: {} cond branches at slots:",
+        lowered2.program.count_insns(|i| i.is_cond_branch())
+    );
     let prof2 = profile_run(&lowered2, 400_000).unwrap();
     let mut sites2: Vec<_> = prof2.by_block.iter().collect();
     sites2.sort_by_key(|(b, _)| **b);
     for (b, p) in &sites2 {
-        println!("  {b:?}: execs={} taken={:.2} misp={:.3}", p.execs, p.taken_rate(), p.misp_rate());
+        println!(
+            "  {b:?}: execs={} taken={:.2} misp={:.3}",
+            p.execs,
+            p.taken_rate(),
+            p.misp_rate()
+        );
     }
 }

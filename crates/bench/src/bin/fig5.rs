@@ -1,14 +1,16 @@
 //! Regenerates Figure 5: conventional vs predicate predictor on
-//! non-if-converted binaries. Pass `--ideal` for the idealized variant.
+//! non-if-converted binaries. Pass `--ideal` for the idealized variant,
+//! `--json PATH` for a machine-readable artifact.
 
 fn main() {
-    let ideal = std::env::args().any(|a| a == "--ideal");
-    let cfg = ppsim_bench::setup("fig5");
-    let r = ppsim_core::experiments::fig5(&cfg, ideal);
+    let s = ppsim_bench::setup("fig5");
+    let ideal = s.has_flag("--ideal");
+    let r = ppsim_core::experiments::fig5(&s.runner, &s.cfg, ideal);
     println!("{}", r.table());
     println!(
         "average accuracy gain (predicate over conventional): {:+.2} points (paper: {})",
         r.accuracy_gain(0, 1),
         if ideal { "+2.24 idealized" } else { "+1.86" }
     );
+    s.finish(r.to_json());
 }

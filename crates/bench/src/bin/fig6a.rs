@@ -1,9 +1,10 @@
 //! Regenerates Figure 6a: PEP-PA vs conventional vs predicate predictor
-//! on if-converted binaries.
+//! on if-converted binaries. Pass `--json PATH` for a machine-readable
+//! artifact.
 
 fn main() {
-    let cfg = ppsim_bench::setup("fig6a");
-    let r = ppsim_core::experiments::fig6a(&cfg);
+    let s = ppsim_bench::setup("fig6a");
+    let r = ppsim_core::experiments::fig6a(&s.runner, &s.cfg);
     println!("{}", r.table());
     println!(
         "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best other)",
@@ -13,4 +14,5 @@ fn main() {
         "average accuracy gain (conventional over pep-pa):    {:+.2} points (paper: positive — PEP-PA degrades out of order)",
         r.accuracy_gain(0, 1)
     );
+    s.finish(r.to_json());
 }

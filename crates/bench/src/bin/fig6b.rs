@@ -1,13 +1,15 @@
 //! Regenerates Figure 6b: the early-resolved vs correlation breakdown of
 //! the predicate predictor's accuracy gain on if-converted binaries.
+//! Pass `--json PATH` for a machine-readable artifact.
 
 fn main() {
-    let cfg = ppsim_bench::setup("fig6b");
-    let r = ppsim_core::experiments::fig6b(&cfg);
+    let s = ppsim_bench::setup("fig6b");
+    let r = ppsim_core::experiments::fig6b(&s.runner, &s.cfg);
     println!("{}", r.table());
     println!(
         "averages: early-resolved {:+.2} points, correlation {:+.2} points (paper: +0.5 / +1.0)",
         r.average_early(),
         r.average_correlation()
     );
+    s.finish(r.to_json());
 }

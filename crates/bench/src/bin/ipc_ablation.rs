@@ -1,12 +1,14 @@
 //! Selective predicate prediction vs cmov-style predication: the IPC
-//! ablation behind the paper's §3.2/§5 claims.
+//! ablation behind the paper's §3.2/§5 claims. Pass `--json PATH` for a
+//! machine-readable artifact.
 
 fn main() {
-    let cfg = ppsim_bench::setup("ipc_ablation");
-    let r = ppsim_core::experiments::ipc_ablation(&cfg);
+    let s = ppsim_bench::setup("ipc_ablation");
+    let r = ppsim_core::experiments::ipc_ablation(&s.runner, &s.cfg);
     println!("{}", r.table());
     println!(
         "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)",
         r.geomean_speedup()
     );
+    s.finish(r.to_json());
 }

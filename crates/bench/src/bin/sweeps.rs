@@ -1,23 +1,37 @@
 //! Sensitivity sweeps: predictor budget, history length and if-conversion
 //! threshold ablations (the design-space context around Table 1's
-//! operating point).
+//! operating point). Pass `--json PATH` for a machine-readable artifact.
 
 use ppsim_core::sweep;
+use ppsim_core::Json;
 
 fn main() {
-    let mut cfg = ppsim_bench::setup("sweeps");
-    if cfg.only.is_empty() {
+    let mut s = ppsim_bench::setup("sweeps");
+    if s.cfg.only.is_empty() {
         // Sweeps multiply run counts by the number of points; default to a
         // representative subset (override with PPSIM_ONLY).
-        cfg.only = ["gzip", "gcc", "crafty", "twolf", "swim", "art"]
+        s.cfg.only = ["gzip", "gcc", "crafty", "twolf", "swim", "art"]
             .iter()
-            .map(|s| s.to_string())
+            .map(|x| x.to_string())
             .collect();
-        eprintln!("[sweeps] defaulting to subset: {}", cfg.only.join(","));
+        eprintln!("[sweeps] defaulting to subset: {}", s.cfg.only.join(","));
     }
-    println!("{}", sweep::size_sweep(&cfg, false).table());
-    println!("{}", sweep::size_sweep(&cfg, true).table());
-    println!("{}", sweep::history_sweep(&cfg, true).table());
-    println!("{}", sweep::threshold_table(&sweep::threshold_sweep(&cfg)));
-    println!("{}", sweep::repair_ablation(&cfg).table());
+    let size_plain = sweep::size_sweep(&s.runner, &s.cfg, false);
+    let size_ifconv = sweep::size_sweep(&s.runner, &s.cfg, true);
+    let history = sweep::history_sweep(&s.runner, &s.cfg, true);
+    let threshold = sweep::threshold_sweep(&s.runner, &s.cfg);
+    let repair = sweep::repair_ablation(&s.runner, &s.cfg);
+    println!("{}", size_plain.table());
+    println!("{}", size_ifconv.table());
+    println!("{}", history.table());
+    println!("{}", sweep::threshold_table(&threshold));
+    println!("{}", repair.table());
+    s.finish(
+        Json::obj()
+            .field("size_plain", size_plain.to_json())
+            .field("size_ifconv", size_ifconv.to_json())
+            .field("history", history.to_json())
+            .field("threshold", sweep::threshold_json(&threshold))
+            .field("repair", repair.to_json()),
+    );
 }

@@ -1,6 +1,6 @@
 //! Prints Table 1: the simulated machine parameters and predictor budgets.
 
 fn main() {
-    let cfg = ppsim_bench::setup("table1");
-    println!("{}", ppsim_core::experiments::table1(&cfg));
+    let s = ppsim_bench::setup("table1");
+    println!("{}", ppsim_core::experiments::table1(&s.cfg));
 }

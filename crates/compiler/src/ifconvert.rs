@@ -78,7 +78,11 @@ struct SideExit {
 /// Normalizes a side block's terminator for absorption under `guard`.
 fn normalize_side_term(cfg: &mut Cfg, guard: PredId, term: Terminator) -> SideExit {
     match term {
-        Terminator::CondBranch { cond, then_bb, else_bb } => {
+        Terminator::CondBranch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             // The branch survives if-conversion as a guarded compare plus a
             // predicate branch — the paper's "unconditional branch
             // transformed into a conditional branch" when it was the exit
@@ -87,12 +91,23 @@ fn normalize_side_term(cfg: &mut Cfg, guard: PredId, term: Terminator) -> SideEx
             SideExit {
                 extra: Some(GuardedOp::guarded(
                     guard,
-                    MirOp::DefPred { pt: Some(p), pf: None, cond },
+                    MirOp::DefPred {
+                        pt: Some(p),
+                        pf: None,
+                        cond,
+                    },
                 )),
-                term: Terminator::PredBranch { pred: p, then_bb, else_bb },
+                term: Terminator::PredBranch {
+                    pred: p,
+                    then_bb,
+                    else_bb,
+                },
             }
         }
-        other => SideExit { extra: None, term: other },
+        other => SideExit {
+            extra: None,
+            term: other,
+        },
     }
 }
 
@@ -105,16 +120,30 @@ fn normalize_side_term(cfg: &mut Cfg, guard: PredId, term: Terminator) -> SideEx
 fn merge_terminators(t_term: Terminator, f_term: Terminator) -> Option<Terminator> {
     match (t_term, f_term) {
         (Terminator::Jump(a), Terminator::Jump(b)) if a == b => Some(Terminator::Jump(a)),
-        (Terminator::Jump(j), Terminator::PredBranch { pred, then_bb, else_bb })
-            if else_bb == j =>
-        {
-            Some(Terminator::PredBranch { pred, then_bb, else_bb })
-        }
-        (Terminator::PredBranch { pred, then_bb, else_bb }, Terminator::Jump(j))
-            if else_bb == j =>
-        {
-            Some(Terminator::PredBranch { pred, then_bb, else_bb })
-        }
+        (
+            Terminator::Jump(j),
+            Terminator::PredBranch {
+                pred,
+                then_bb,
+                else_bb,
+            },
+        ) if else_bb == j => Some(Terminator::PredBranch {
+            pred,
+            then_bb,
+            else_bb,
+        }),
+        (
+            Terminator::PredBranch {
+                pred,
+                then_bb,
+                else_bb,
+            },
+            Terminator::Jump(j),
+        ) if else_bb == j => Some(Terminator::PredBranch {
+            pred,
+            then_bb,
+            else_bb,
+        }),
         (Terminator::Halt, Terminator::Halt) => Some(Terminator::Halt),
         _ => None,
     }
@@ -125,9 +154,15 @@ fn merge_terminators(t_term: Terminator, f_term: Terminator) -> Option<Terminato
 fn triangle_exit(term: Terminator, join: BlockId) -> Option<Terminator> {
     match term {
         Terminator::Jump(j) if j == join => Some(Terminator::Jump(join)),
-        Terminator::PredBranch { pred, then_bb, else_bb } if else_bb == join => {
-            Some(Terminator::PredBranch { pred, then_bb, else_bb })
-        }
+        Terminator::PredBranch {
+            pred,
+            then_bb,
+            else_bb,
+        } if else_bb == join => Some(Terminator::PredBranch {
+            pred,
+            then_bb,
+            else_bb,
+        }),
         _ => None,
     }
 }
@@ -136,15 +171,14 @@ fn triangle_exit(term: Terminator, join: BlockId) -> Option<Terminator> {
 /// (their defining `DefPred` is the one that gets guarded).
 fn guard_ops(ops: &[GuardedOp], guard: PredId) -> Vec<GuardedOp> {
     ops.iter()
-        .map(|g| GuardedOp { guard: Some(g.guard.unwrap_or(guard)), op: g.op })
+        .map(|g| GuardedOp {
+            guard: Some(g.guard.unwrap_or(guard)),
+            op: g.op,
+        })
         .collect()
 }
 
-fn profile_allows(
-    cfg_block: BlockId,
-    profile: &ProfileData,
-    config: &IfConvertConfig,
-) -> bool {
+fn profile_allows(cfg_block: BlockId, profile: &ProfileData, config: &IfConvertConfig) -> bool {
     if config.convert_all {
         return true;
     }
@@ -155,7 +189,11 @@ fn profile_allows(
 }
 
 /// Runs if-conversion to a fixpoint on `cfg`, guided by `profile`.
-pub fn if_convert(cfg: &mut Cfg, profile: &ProfileData, config: &IfConvertConfig) -> IfConvertStats {
+pub fn if_convert(
+    cfg: &mut Cfg,
+    profile: &ProfileData,
+    config: &IfConvertConfig,
+) -> IfConvertStats {
     let mut stats = IfConvertStats::default();
     // Chain merging moves a successor's terminator into its predecessor;
     // profile data is keyed by the *original* block of each branch, so
@@ -173,7 +211,9 @@ pub fn if_convert(cfg: &mut Cfg, profile: &ProfileData, config: &IfConvertConfig
                 if !reachable.contains(&a) {
                     continue;
                 }
-                let Terminator::Jump(b) = cfg.block(a).term else { continue };
+                let Terminator::Jump(b) = cfg.block(a).term else {
+                    continue;
+                };
                 if b == a || preds[b.0 as usize] != 1 {
                     continue;
                 }
@@ -197,12 +237,13 @@ pub fn if_convert(cfg: &mut Cfg, profile: &ProfileData, config: &IfConvertConfig
         stats.rejected_by_size = 0;
         let preds = cfg.reachable_predecessor_counts();
         let reachable = cfg.reachable();
-        let candidates: Vec<BlockId> = cfg
-            .block_ids()
-            .filter(|b| reachable.contains(b))
-            .collect();
+        let candidates: Vec<BlockId> = cfg.block_ids().filter(|b| reachable.contains(b)).collect();
         for a in candidates {
-            let Terminator::CondBranch { cond, then_bb: t, else_bb: f } = cfg.block(a).term
+            let Terminator::CondBranch {
+                cond,
+                then_bb: t,
+                else_bb: f,
+            } = cfg.block(a).term
             else {
                 continue;
             };
@@ -225,7 +266,9 @@ pub fn if_convert(cfg: &mut Cfg, profile: &ProfileData, config: &IfConvertConfig
             // PredBranch, so treat them as PredBranch for the check.
             let as_norm = |term: Terminator| -> Terminator {
                 match term {
-                    Terminator::CondBranch { then_bb, else_bb, .. } => Terminator::PredBranch {
+                    Terminator::CondBranch {
+                        then_bb, else_bb, ..
+                    } => Terminator::PredBranch {
                         pred: PredId(u32::MAX),
                         then_bb,
                         else_bb,
@@ -274,8 +317,8 @@ pub fn if_convert(cfg: &mut Cfg, profile: &ProfileData, config: &IfConvertConfig
                     let (tt, ft) = (cfg.block(t).term, cfg.block(f).term);
                     let t_exit = normalize_side_term(cfg, pt, tt);
                     let f_exit = normalize_side_term(cfg, pf, ft);
-                    let term = merge_terminators(t_exit.term, f_exit.term)
-                        .expect("pre-checked mergeable");
+                    let term =
+                        merge_terminators(t_exit.term, f_exit.term).expect("pre-checked mergeable");
                     let mut t_ops = guard_ops(&cfg.block(t).ops, pt);
                     t_ops.extend(t_exit.extra);
                     let mut f_ops = guard_ops(&cfg.block(f).ops, pf);
@@ -345,11 +388,18 @@ mod tests {
     }
 
     fn cond_lt(r: Gr, v: i64) -> Cond {
-        Cond::Int { rel: CmpRel::Lt, src1: r, src2: Operand::Imm(v) }
+        Cond::Int {
+            rel: CmpRel::Lt,
+            src1: r,
+            src2: Operand::Imm(v),
+        }
     }
 
     fn all() -> IfConvertConfig {
-        IfConvertConfig { convert_all: true, ..IfConvertConfig::default() }
+        IfConvertConfig {
+            convert_all: true,
+            ..IfConvertConfig::default()
+        }
     }
 
     fn movi(dst: Gr, imm: i64) -> GuardedOp {
@@ -363,9 +413,14 @@ mod tests {
         let t = cfg.new_block();
         let f = cfg.new_block();
         let j = cfg.new_block();
-        cfg.block_mut(a).ops.push(movi(g(1), if taken { 5 } else { 50 }));
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: f };
+        cfg.block_mut(a)
+            .ops
+            .push(movi(g(1), if taken { 5 } else { 50 }));
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: cond_lt(g(1), 10),
+            then_bb: t,
+            else_bb: f,
+        };
         cfg.block_mut(t).ops.push(movi(g(2), 1));
         cfg.block_mut(t).term = Terminator::Jump(j);
         cfg.block_mut(f).ops.push(movi(g(2), 2));
@@ -376,7 +431,10 @@ mod tests {
             src1: g(2),
             src2: Operand::Imm(1),
         }));
-        Module { cfg, ..Module::default() }
+        Module {
+            cfg,
+            ..Module::default()
+        }
     }
 
     fn run_regs(m: &Module, regs: &[u8]) -> Vec<i64> {
@@ -423,8 +481,11 @@ mod tests {
         let t = cfg.new_block();
         let j = cfg.new_block();
         cfg.block_mut(a).ops.push(movi(g(1), 5));
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: j };
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: cond_lt(g(1), 10),
+            then_bb: t,
+            else_bb: j,
+        };
         cfg.block_mut(t).ops.push(movi(g(2), 1));
         cfg.block_mut(t).term = Terminator::Jump(j);
         cfg.block_mut(j).ops.push(GuardedOp::new(MirOp::Alu {
@@ -433,7 +494,10 @@ mod tests {
             src1: g(2),
             src2: Operand::Imm(0),
         }));
-        let mut m = Module { cfg, ..Module::default() };
+        let mut m = Module {
+            cfg,
+            ..Module::default()
+        };
         let before = run_regs(&m, &[2, 3]);
         let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
         assert_eq!(stats.converted, 1);
@@ -450,14 +514,20 @@ mod tests {
         let y = cfg.new_block(); // mov r32 = 1; cmp cond2; br
         let ret = cfg.new_block(); // mov r35 = 1; halt ("br.ret")
         let cont = cfg.new_block(); // mov r33 = r32
-        // r40 = cond1 source, r41 = cond2 source
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: cond_lt(g(40), 10), then_bb: x, else_bb: y };
+                                    // r40 = cond1 source, r41 = cond2 source
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: cond_lt(g(40), 10),
+            then_bb: x,
+            else_bb: y,
+        };
         cfg.block_mut(x).ops.push(movi(g(32), 0));
         cfg.block_mut(x).term = Terminator::Jump(cont);
         cfg.block_mut(y).ops.push(movi(g(32), 1));
-        cfg.block_mut(y).term =
-            Terminator::CondBranch { cond: cond_lt(g(41), 10), then_bb: ret, else_bb: cont };
+        cfg.block_mut(y).term = Terminator::CondBranch {
+            cond: cond_lt(g(41), 10),
+            then_bb: ret,
+            else_bb: cont,
+        };
         cfg.block_mut(ret).ops.push(movi(g(35), 1));
         cfg.block_mut(ret).term = Terminator::Halt;
         cfg.block_mut(cont).ops.push(GuardedOp::new(MirOp::Alu {
@@ -466,7 +536,10 @@ mod tests {
             src1: g(32),
             src2: Operand::Imm(0),
         }));
-        Module { cfg, ..Module::default() }
+        Module {
+            cfg,
+            ..Module::default()
+        }
     }
 
     #[test]
@@ -478,7 +551,10 @@ mod tests {
             let before = run_regs(&m, &[32, 33, 35]);
             let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
             m.cfg.validate().unwrap();
-            assert!(stats.converted >= 1, "the diamond (with its inner exit branch) converts");
+            assert!(
+                stats.converted >= 1,
+                "the diamond (with its inner exit branch) converts"
+            );
             // Exactly one conditional branch remains: the region branch
             // (the paper's transformed br.ret).
             assert_eq!(m.cfg.cond_branch_count(), 1);
@@ -508,8 +584,11 @@ mod tests {
         let exit = cfg.new_block();
         cfg.block_mut(entry).ops.push(movi(g(1), 0));
         cfg.block_mut(entry).term = Terminator::Jump(header);
-        cfg.block_mut(header).term =
-            Terminator::CondBranch { cond: cond_lt(g(1), 100), then_bb: body, else_bb: exit };
+        cfg.block_mut(header).term = Terminator::CondBranch {
+            cond: cond_lt(g(1), 100),
+            then_bb: body,
+            else_bb: exit,
+        };
         cfg.block_mut(body).ops.push(GuardedOp::new(MirOp::Alu {
             kind: AluKind::Add,
             dst: g(1),
@@ -517,7 +596,10 @@ mod tests {
             src2: Operand::Imm(1),
         }));
         cfg.block_mut(body).term = Terminator::Jump(header);
-        let mut m = Module { cfg, ..Module::default() };
+        let mut m = Module {
+            cfg,
+            ..Module::default()
+        };
         let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
         assert_eq!(stats.converted, 0, "back edges keep the header multi-pred");
         assert_eq!(run_regs(&m, &[1]), vec![100]);
@@ -531,7 +613,10 @@ mod tests {
         let out = lower(&m, true).unwrap();
         let profile = profile_run(&out, 10_000).unwrap();
         let mut m2 = diamond(true);
-        let cfg = IfConvertConfig { min_execs: 0, ..IfConvertConfig::default() };
+        let cfg = IfConvertConfig {
+            min_execs: 0,
+            ..IfConvertConfig::default()
+        };
         let stats = if_convert(&mut m2.cfg, &profile, &cfg);
         assert_eq!(stats.converted, 0);
         assert_eq!(stats.rejected_by_profile, 1);
@@ -541,10 +626,7 @@ mod tests {
     fn size_gate_rejects_fat_sides() {
         let mut m = diamond(true);
         for k in 0..30 {
-            m.cfg
-                .block_mut(BlockId(1))
-                .ops
-                .push(movi(g(60), k));
+            m.cfg.block_mut(BlockId(1)).ops.push(movi(g(60), k));
         }
         let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
         assert_eq!(stats.converted, 0);
@@ -559,13 +641,19 @@ mod tests {
         let t = cfg.new_block();
         let f = cfg.new_block();
         cfg.block_mut(a).ops.push(movi(g(1), 5));
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: f };
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: cond_lt(g(1), 10),
+            then_bb: t,
+            else_bb: f,
+        };
         cfg.block_mut(t).ops.push(movi(g(2), 1));
         cfg.block_mut(t).term = Terminator::Halt;
         cfg.block_mut(f).ops.push(movi(g(2), 2));
         cfg.block_mut(f).term = Terminator::Halt;
-        let mut m = Module { cfg, ..Module::default() };
+        let mut m = Module {
+            cfg,
+            ..Module::default()
+        };
         let before = run_regs(&m, &[2]);
         let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
         assert_eq!(stats.converted, 1);
@@ -582,12 +670,18 @@ mod tests {
         let j = cfg.new_block();
         let f = cfg.new_block();
         cfg.block_mut(a).ops.push(movi(g(1), 50)); // cond false → else
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: j, else_bb: f };
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: cond_lt(g(1), 10),
+            then_bb: j,
+            else_bb: f,
+        };
         cfg.block_mut(f).ops.push(movi(g(2), 9));
         cfg.block_mut(f).term = Terminator::Jump(j);
         cfg.block_mut(j).ops.push(movi(g(3), 3));
-        let mut m = Module { cfg, ..Module::default() };
+        let mut m = Module {
+            cfg,
+            ..Module::default()
+        };
         let before = run_regs(&m, &[2, 3]);
         let stats = if_convert(&mut m.cfg, &ProfileData::default(), &all());
         assert_eq!(stats.converted, 1);
@@ -609,18 +703,37 @@ mod tests {
         cfg.block_mut(a).ops.push(movi(g(1), 5));
         cfg.block_mut(a).term = Terminator::Jump(b);
         cfg.block_mut(b).ops.push(movi(g(2), 1));
-        cfg.block_mut(b).term =
-            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: j };
+        cfg.block_mut(b).term = Terminator::CondBranch {
+            cond: cond_lt(g(1), 10),
+            then_bb: t,
+            else_bb: j,
+        };
         cfg.block_mut(t).ops.push(movi(g(3), 1));
         cfg.block_mut(t).term = Terminator::Jump(j);
         // Profile: B's branch is hard; nothing recorded for A.
         let mut prof = ProfileData::default();
-        prof.by_block.insert(b, BranchProfile { execs: 1000, taken: 500, mispredicts: 400 });
-        let cfg_opts = IfConvertConfig { min_execs: 10, ..IfConvertConfig::default() };
-        let mut m = Module { cfg, ..Module::default() };
+        prof.by_block.insert(
+            b,
+            BranchProfile {
+                execs: 1000,
+                taken: 500,
+                mispredicts: 400,
+            },
+        );
+        let cfg_opts = IfConvertConfig {
+            min_execs: 10,
+            ..IfConvertConfig::default()
+        };
+        let mut m = Module {
+            cfg,
+            ..Module::default()
+        };
         let stats = if_convert(&mut m.cfg, &prof, &cfg_opts);
         assert!(stats.merged_chains >= 1, "A and B merged");
-        assert_eq!(stats.converted, 1, "B's hard branch converted via A's merged terminator");
+        assert_eq!(
+            stats.converted, 1,
+            "B's hard branch converted via A's merged terminator"
+        );
     }
 
     #[test]
@@ -633,8 +746,11 @@ mod tests {
         cfg.block_mut(a).ops.push(movi(g(1), 50)); // NOT taken
         cfg.block_mut(a).ops.push(movi(g(4), 0x9000));
         cfg.block_mut(a).ops.push(movi(g(5), 77));
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: cond_lt(g(1), 10), then_bb: t, else_bb: j };
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: cond_lt(g(1), 10),
+            then_bb: t,
+            else_bb: j,
+        };
         cfg.block_mut(t).ops.push(GuardedOp::new(MirOp::Store {
             src: g(5),
             base: g(4),
@@ -646,8 +762,15 @@ mod tests {
             base: g(4),
             offset: 0,
         }));
-        let mut m = Module { cfg, ..Module::default() };
+        let mut m = Module {
+            cfg,
+            ..Module::default()
+        };
         if_convert(&mut m.cfg, &ProfileData::default(), &all());
-        assert_eq!(run_regs(&m, &[6]), vec![0], "nullified store left memory untouched");
+        assert_eq!(
+            run_regs(&m, &[6]),
+            vec![0],
+            "nullified store left memory untouched"
+        );
     }
 }

@@ -14,7 +14,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use ppsim_isa::{AluKind, CmpRel, Fr, FpuKind, Gr, Operand};
+use ppsim_isa::{AluKind, CmpRel, FpuKind, Fr, Gr, Operand};
 
 /// A virtual predicate name (assigned a physical `Pr` at lowering).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -187,7 +187,10 @@ impl GuardedOp {
 
     /// A guarded operation.
     pub fn guarded(guard: PredId, op: MirOp) -> Self {
-        GuardedOp { guard: Some(guard), op }
+        GuardedOp {
+            guard: Some(guard),
+            op,
+        }
     }
 }
 
@@ -225,8 +228,12 @@ impl Terminator {
     pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (a, b) = match *self {
             Terminator::Jump(t) => (Some(t), None),
-            Terminator::CondBranch { then_bb, else_bb, .. }
-            | Terminator::PredBranch { then_bb, else_bb, .. } => (Some(then_bb), Some(else_bb)),
+            Terminator::CondBranch {
+                then_bb, else_bb, ..
+            }
+            | Terminator::PredBranch {
+                then_bb, else_bb, ..
+            } => (Some(then_bb), Some(else_bb)),
             Terminator::Halt => (None, None),
         };
         a.into_iter().chain(b)
@@ -271,10 +278,16 @@ impl fmt::Display for IrError {
         match self {
             IrError::BadTarget { block } => write!(f, "bb{block} targets a nonexistent block"),
             IrError::UseBeforeDef { block, pred } => {
-                write!(f, "bb{block} uses %p{pred} before any definition in the block")
+                write!(
+                    f,
+                    "bb{block} uses %p{pred} before any definition in the block"
+                )
             }
             IrError::DuplicateDefTargets { block } => {
-                write!(f, "bb{block} has a DefPred writing the same predicate twice")
+                write!(
+                    f,
+                    "bb{block} has a DefPred writing the same predicate twice"
+                )
             }
             IrError::Empty => write!(f, "CFG has no blocks"),
         }
@@ -299,7 +312,10 @@ impl Cfg {
 
     /// Appends an empty block ending in [`Terminator::Halt`].
     pub fn new_block(&mut self) -> BlockId {
-        self.blocks.push(Block { ops: Vec::new(), term: Terminator::Halt });
+        self.blocks.push(Block {
+            ops: Vec::new(),
+            term: Terminator::Halt,
+        });
         BlockId(self.blocks.len() as u32 - 1)
     }
 
@@ -426,7 +442,10 @@ impl Cfg {
             }
             if let Terminator::PredBranch { pred, .. } = b.term {
                 if !defined.contains(&pred) {
-                    return Err(IrError::UseBeforeDef { block, pred: pred.0 });
+                    return Err(IrError::UseBeforeDef {
+                        block,
+                        pred: pred.0,
+                    });
                 }
             }
         }
@@ -446,12 +465,16 @@ impl fmt::Display for Cfg {
             }
             match &b.term {
                 Terminator::Jump(t) => writeln!(f, "    jump {t}")?,
-                Terminator::CondBranch { cond, then_bb, else_bb } => {
-                    writeln!(f, "    if {cond} then {then_bb} else {else_bb}")?
-                }
-                Terminator::PredBranch { pred, then_bb, else_bb } => {
-                    writeln!(f, "    if {pred} then {then_bb} else {else_bb}")?
-                }
+                Terminator::CondBranch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => writeln!(f, "    if {cond} then {then_bb} else {else_bb}")?,
+                Terminator::PredBranch {
+                    pred,
+                    then_bb,
+                    else_bb,
+                } => writeln!(f, "    if {pred} then {then_bb} else {else_bb}")?,
                 Terminator::Halt => writeln!(f, "    halt")?,
             }
         }
@@ -481,7 +504,11 @@ mod tests {
     }
 
     fn cond() -> Cond {
-        Cond::Int { rel: CmpRel::Lt, src1: g(1), src2: Operand::Imm(0) }
+        Cond::Int {
+            rel: CmpRel::Lt,
+            src1: g(1),
+            src2: Operand::Imm(0),
+        }
     }
 
     #[test]
@@ -498,7 +525,11 @@ mod tests {
     fn successors_per_terminator() {
         let t = Terminator::Jump(BlockId(3));
         assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
-        let t = Terminator::CondBranch { cond: cond(), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let t = Terminator::CondBranch {
+            cond: cond(),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(t.successors().count(), 2);
         assert_eq!(Terminator::Halt.successors().count(), 0);
     }
@@ -519,7 +550,10 @@ mod tests {
         cfg.block_mut(a)
             .ops
             .push(GuardedOp::guarded(p, MirOp::Movi { dst: g(1), imm: 0 }));
-        assert_eq!(cfg.validate(), Err(IrError::UseBeforeDef { block: 0, pred: 0 }));
+        assert_eq!(
+            cfg.validate(),
+            Err(IrError::UseBeforeDef { block: 0, pred: 0 })
+        );
     }
 
     #[test]
@@ -529,9 +563,18 @@ mod tests {
         let p = cfg.new_pred();
         let q = cfg.new_pred();
         let blk = cfg.block_mut(a);
-        blk.ops.push(GuardedOp::new(MirOp::DefPred { pt: Some(p), pf: Some(q), cond: cond() }));
-        blk.ops.push(GuardedOp::guarded(p, MirOp::Movi { dst: g(1), imm: 0 }));
-        blk.term = Terminator::PredBranch { pred: q, then_bb: a, else_bb: a };
+        blk.ops.push(GuardedOp::new(MirOp::DefPred {
+            pt: Some(p),
+            pf: Some(q),
+            cond: cond(),
+        }));
+        blk.ops
+            .push(GuardedOp::guarded(p, MirOp::Movi { dst: g(1), imm: 0 }));
+        blk.term = Terminator::PredBranch {
+            pred: q,
+            then_bb: a,
+            else_bb: a,
+        };
         assert_eq!(cfg.validate(), Ok(()));
     }
 
@@ -540,8 +583,15 @@ mod tests {
         let mut cfg = Cfg::new();
         let a = cfg.new_block();
         let p = cfg.new_pred();
-        cfg.block_mut(a).term = Terminator::PredBranch { pred: p, then_bb: a, else_bb: a };
-        assert_eq!(cfg.validate(), Err(IrError::UseBeforeDef { block: 0, pred: 0 }));
+        cfg.block_mut(a).term = Terminator::PredBranch {
+            pred: p,
+            then_bb: a,
+            else_bb: a,
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(IrError::UseBeforeDef { block: 0, pred: 0 })
+        );
     }
 
     #[test]
@@ -549,10 +599,15 @@ mod tests {
         let mut cfg = Cfg::new();
         let a = cfg.new_block();
         let p = cfg.new_pred();
-        cfg.block_mut(a)
-            .ops
-            .push(GuardedOp::new(MirOp::DefPred { pt: Some(p), pf: Some(p), cond: cond() }));
-        assert_eq!(cfg.validate(), Err(IrError::DuplicateDefTargets { block: 0 }));
+        cfg.block_mut(a).ops.push(GuardedOp::new(MirOp::DefPred {
+            pt: Some(p),
+            pf: Some(p),
+            cond: cond(),
+        }));
+        assert_eq!(
+            cfg.validate(),
+            Err(IrError::DuplicateDefTargets { block: 0 })
+        );
     }
 
     #[test]
@@ -562,8 +617,11 @@ mod tests {
         let b = cfg.new_block();
         let c = cfg.new_block();
         let dead = cfg.new_block();
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: cond(), then_bb: b, else_bb: c };
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: cond(),
+            then_bb: b,
+            else_bb: c,
+        };
         cfg.block_mut(b).term = Terminator::Jump(c);
         // c halts; dead unreachable.
         let r = cfg.reachable();
@@ -577,7 +635,9 @@ mod tests {
     fn display_renders_blocks() {
         let mut cfg = Cfg::new();
         let a = cfg.new_block();
-        cfg.block_mut(a).ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 7 }));
+        cfg.block_mut(a)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 7 }));
         let s = cfg.to_string();
         assert!(s.contains("bb0:"), "{s}");
         assert!(s.contains("halt"), "{s}");

@@ -40,6 +40,7 @@ pub mod ifconvert;
 pub mod ir;
 pub mod lower;
 pub mod profile;
+pub mod rng;
 pub mod workloads;
 
 use ppsim_isa::Program;
@@ -76,7 +77,10 @@ impl CompileOptions {
 
     /// The paper's second binary set: if-conversion enabled.
     pub fn with_ifconv() -> Self {
-        CompileOptions { if_convert: true, ..CompileOptions::no_ifconv() }
+        CompileOptions {
+            if_convert: true,
+            ..CompileOptions::no_ifconv()
+        }
     }
 }
 
@@ -131,13 +135,22 @@ pub fn compile(spec: &WorkloadSpec, opts: &CompileOptions) -> Result<Compiled, C
 
     if !opts.if_convert {
         let out = lower::lower(&module, opts.hoist_compares).map_err(CompileError::Lower)?;
-        return Ok(Compiled { program: out.program, profile: None, ifconvert: None });
+        return Ok(Compiled {
+            program: out.program,
+            profile: None,
+            ifconvert: None,
+        });
     }
 
     let baseline = lower::lower(&module, opts.hoist_compares).map_err(CompileError::Lower)?;
-    let profile = profile::profile_run(&baseline, opts.profile_steps).map_err(CompileError::Profile)?;
+    let profile =
+        profile::profile_run(&baseline, opts.profile_steps).map_err(CompileError::Profile)?;
     let stats = ifconvert::if_convert(&mut module.cfg, &profile, &opts.ifconvert);
     module.cfg.validate().map_err(CompileError::Ir)?;
     let out = lower::lower(&module, opts.hoist_compares).map_err(CompileError::Lower)?;
-    Ok(Compiled { program: out.program, profile: Some(profile), ifconvert: Some(stats) })
+    Ok(Compiled {
+        program: out.program,
+        profile: Some(profile),
+        ifconvert: Some(stats),
+    })
 }

@@ -37,7 +37,10 @@ impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LowerError::PredRegsExhausted { block } => {
-                write!(f, "bb{block} exhausted the 63 assignable predicate registers")
+                write!(
+                    f,
+                    "bb{block} exhausted the 63 assignable predicate registers"
+                )
             }
             LowerError::BadProgram(e) => write!(f, "lowered program invalid: {e}"),
         }
@@ -76,7 +79,11 @@ struct BlockCtx {
 
 impl BlockCtx {
     fn new(block: u32) -> Self {
-        BlockCtx { map: HashMap::new(), start: 1 + (block * 11 % 62) as u8, count: 0 }
+        BlockCtx {
+            map: HashMap::new(),
+            start: 1 + (block * 11 % 62) as u8,
+            count: 0,
+        }
     }
 
     fn next_reg(&mut self, block: u32) -> Result<Pr, LowerError> {
@@ -109,20 +116,50 @@ impl BlockCtx {
 
 fn lower_cond(cond: Cond, pt: Pr, pf: Pr) -> Op {
     match cond {
-        Cond::Int { rel, src1, src2 } => {
-            Op::Cmp { ctype: CmpType::Unc, rel, pt, pf, src1, src2 }
-        }
-        Cond::Fp { rel, src1, src2 } => {
-            Op::Fcmp { ctype: CmpType::Unc, rel, pt, pf, src1, src2 }
-        }
+        Cond::Int { rel, src1, src2 } => Op::Cmp {
+            ctype: CmpType::Unc,
+            rel,
+            pt,
+            pf,
+            src1,
+            src2,
+        },
+        Cond::Fp { rel, src1, src2 } => Op::Fcmp {
+            ctype: CmpType::Unc,
+            rel,
+            pt,
+            pf,
+            src1,
+            src2,
+        },
     }
 }
 
 fn lower_op(op: MirOp, ctx: &mut BlockCtx, block: u32) -> Result<Op, LowerError> {
     Ok(match op {
-        MirOp::Alu { kind, dst, src1, src2 } => Op::Alu { kind, dst, src1, src2 },
+        MirOp::Alu {
+            kind,
+            dst,
+            src1,
+            src2,
+        } => Op::Alu {
+            kind,
+            dst,
+            src1,
+            src2,
+        },
         MirOp::Movi { dst, imm } => Op::Movi { dst, imm },
-        MirOp::Fpu { kind, dst, src1, src2 } => Op::Fpu { kind, dst, src1, src2 },
+        MirOp::Fpu {
+            kind,
+            dst,
+            src1,
+            src2,
+        } => Op::Fpu {
+            kind,
+            dst,
+            src1,
+            src2,
+        },
         MirOp::Itof { dst, src } => Op::Itof { dst, src },
         MirOp::Ftoi { dst, src } => Op::Ftoi { dst, src },
         MirOp::Load { dst, base, offset } => Op::Load { dst, base, offset },
@@ -194,7 +231,11 @@ pub fn lower(module: &Module, hoist_compares: bool) -> Result<LowerOutput, Lower
                     insns.push(Insn::new(Op::Br { target: 0 }));
                 }
             }
-            Terminator::CondBranch { cond, then_bb, else_bb } => {
+            Terminator::CondBranch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let pt = ctx.fresh(bid.0)?;
                 let pf = ctx.fresh(bid.0)?;
                 insns.push(Insn::new(lower_cond(cond, pt, pf)));
@@ -214,7 +255,11 @@ pub fn lower(module: &Module, hoist_compares: bool) -> Result<LowerOutput, Lower
                     insns.push(Insn::new(Op::Br { target: 0 }));
                 }
             }
-            Terminator::PredBranch { pred, then_bb, else_bb } => {
+            Terminator::PredBranch {
+                pred,
+                then_bb,
+                else_bb,
+            } => {
                 let qp = ctx.lookup(pred);
                 branch_sites.push((insns.len() as u32, bid));
                 pending.push((insns.len(), then_bb));
@@ -258,7 +303,10 @@ pub fn lower(module: &Module, hoist_compares: bool) -> Result<LowerOutput, Lower
     program
         .validate()
         .map_err(|e| LowerError::BadProgram(e.to_string()))?;
-    Ok(LowerOutput { program, branch_sites })
+    Ok(LowerOutput {
+        program,
+        branch_sites,
+    })
 }
 
 /// Whether `above` must stay above `cmp` (dependence check for hoisting).
@@ -331,7 +379,11 @@ mod tests {
     }
 
     fn int_cond(r: Gr, v: i64) -> Cond {
-        Cond::Int { rel: CmpRel::Lt, src1: r, src2: Operand::Imm(v) }
+        Cond::Int {
+            rel: CmpRel::Lt,
+            src1: r,
+            src2: Operand::Imm(v),
+        }
     }
 
     /// entry: r1=5; if (r1<10) { r2=1 } else { r2=2 }; r3=r2+1; halt
@@ -341,12 +393,21 @@ mod tests {
         let t = cfg.new_block();
         let f = cfg.new_block();
         let j = cfg.new_block();
-        cfg.block_mut(a).ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 5 }));
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: int_cond(g(1), 10), then_bb: t, else_bb: f };
-        cfg.block_mut(t).ops.push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 1 }));
+        cfg.block_mut(a)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 5 }));
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: int_cond(g(1), 10),
+            then_bb: t,
+            else_bb: f,
+        };
+        cfg.block_mut(t)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 1 }));
         cfg.block_mut(t).term = Terminator::Jump(j);
-        cfg.block_mut(f).ops.push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 2 }));
+        cfg.block_mut(f)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 2 }));
         cfg.block_mut(f).term = Terminator::Jump(j);
         cfg.block_mut(j).ops.push(GuardedOp::new(MirOp::Alu {
             kind: AluKind::Add,
@@ -354,7 +415,10 @@ mod tests {
             src1: g(2),
             src2: Operand::Imm(1),
         }));
-        Module { cfg, ..Module::default() }
+        Module {
+            cfg,
+            ..Module::default()
+        }
     }
 
     #[test]
@@ -386,7 +450,8 @@ mod tests {
         let a = cfg.new_block();
         let b = cfg.new_block();
         let blk = cfg.block_mut(a);
-        blk.ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 5 }));
+        blk.ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 5 }));
         // Independent filler the compare can rise above.
         for k in 0..4 {
             blk.ops.push(GuardedOp::new(MirOp::Alu {
@@ -396,14 +461,29 @@ mod tests {
                 src2: Operand::Imm(1),
             }));
         }
-        blk.term = Terminator::CondBranch { cond: int_cond(g(1), 10), then_bb: b, else_bb: b };
-        let m = Module { cfg, ..Module::default() };
+        blk.term = Terminator::CondBranch {
+            cond: int_cond(g(1), 10),
+            then_bb: b,
+            else_bb: b,
+        };
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
 
         let unhoisted = lower(&m, false).unwrap();
         let hoisted = lower(&m, true).unwrap();
         let cmp_pos = |p: &Program| p.insns.iter().position(|i| i.is_cmp()).unwrap();
-        assert_eq!(cmp_pos(&unhoisted.program), 5, "compare sits just before the branch");
-        assert_eq!(cmp_pos(&hoisted.program), 1, "compare rises above independent filler");
+        assert_eq!(
+            cmp_pos(&unhoisted.program),
+            5,
+            "compare sits just before the branch"
+        );
+        assert_eq!(
+            cmp_pos(&hoisted.program),
+            1,
+            "compare rises above independent filler"
+        );
 
         // Semantics unchanged.
         let mut m1 = Machine::new(&unhoisted.program);
@@ -421,7 +501,8 @@ mod tests {
         let a = cfg.new_block();
         let b = cfg.new_block();
         let blk = cfg.block_mut(a);
-        blk.ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 1 }));
+        blk.ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 1 }));
         blk.ops.push(GuardedOp::new(MirOp::Alu {
             kind: AluKind::Add,
             dst: g(2),
@@ -429,8 +510,15 @@ mod tests {
             src2: Operand::Imm(1),
         }));
         // Compare reads r2 — must stay below its producer.
-        blk.term = Terminator::CondBranch { cond: int_cond(g(2), 10), then_bb: b, else_bb: b };
-        let m = Module { cfg, ..Module::default() };
+        blk.term = Terminator::CondBranch {
+            cond: int_cond(g(2), 10),
+            then_bb: b,
+            else_bb: b,
+        };
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
         let out = lower(&m, true).unwrap();
         let cmp_pos = out.program.insns.iter().position(|i| i.is_cmp()).unwrap();
         assert_eq!(cmp_pos, 2, "compare cannot pass the producer of r2");
@@ -444,17 +532,29 @@ mod tests {
         let e = cfg.new_block();
         let p = cfg.new_pred();
         let blk = cfg.block_mut(a);
-        blk.ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 0 }));
+        blk.ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 0 }));
         blk.ops.push(GuardedOp::new(MirOp::DefPred {
             pt: Some(p),
             pf: None,
             cond: int_cond(g(1), 10),
         }));
-        blk.term = Terminator::PredBranch { pred: p, then_bb: t, else_bb: e };
-        cfg.block_mut(t).ops.push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 1 }));
+        blk.term = Terminator::PredBranch {
+            pred: p,
+            then_bb: t,
+            else_bb: e,
+        };
+        cfg.block_mut(t)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 1 }));
         cfg.block_mut(t).term = Terminator::Halt;
-        cfg.block_mut(e).ops.push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 2 }));
-        let m = Module { cfg, ..Module::default() };
+        cfg.block_mut(e)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 2 }));
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
         let out = lower(&m, false).unwrap();
         // Exactly one compare: the DefPred. The branch reuses its register.
         assert_eq!(out.program.count_insns(|i| i.is_cmp()), 1);
@@ -467,7 +567,10 @@ mod tests {
     fn unreachable_blocks_are_dropped() {
         let mut m = diamond_module();
         let dead = m.cfg.new_block();
-        m.cfg.block_mut(dead).ops.push(GuardedOp::new(MirOp::Movi { dst: g(9), imm: 9 }));
+        m.cfg
+            .block_mut(dead)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(9), imm: 9 }));
         let out = lower(&m, false).unwrap();
         let with_dead = out.program.len();
         let out2 = lower(&diamond_module(), false).unwrap();
@@ -490,7 +593,10 @@ mod tests {
                 cond: int_cond(g(1), 0),
             }));
         }
-        let m = Module { cfg, ..Module::default() };
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
         assert_eq!(
             lower(&m, false).unwrap_err(),
             LowerError::PredRegsExhausted { block: 0 }
@@ -506,18 +612,34 @@ mod tests {
         let filler = cfg.new_block(); // placed between a and the targets
         let t = cfg.new_block();
         let f = cfg.new_block();
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: int_cond(g(1), 10), then_bb: t, else_bb: f };
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: int_cond(g(1), 10),
+            then_bb: t,
+            else_bb: f,
+        };
         // filler must be reachable to be emitted: route it from t.
-        cfg.block_mut(t).ops.push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 1 }));
+        cfg.block_mut(t)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 1 }));
         cfg.block_mut(t).term = Terminator::Jump(filler);
-        cfg.block_mut(filler).ops.push(GuardedOp::new(MirOp::Movi { dst: g(3), imm: 1 }));
+        cfg.block_mut(filler)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(3), imm: 1 }));
         cfg.block_mut(filler).term = Terminator::Halt;
-        cfg.block_mut(f).ops.push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 2 }));
-        let m = Module { cfg, ..Module::default() };
+        cfg.block_mut(f)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(2), imm: 2 }));
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
         let out = lower(&m, false).unwrap();
         let branches = out.program.count_insns(|i| i.is_branch());
-        assert!(branches >= 2, "cond + unconditional:\n{}", out.program.listing());
+        assert!(
+            branches >= 2,
+            "cond + unconditional:\n{}",
+            out.program.listing()
+        );
         // Semantics: 0 < 10 → then-path.
         let mut machine = Machine::new(&out.program);
         machine.run(100).unwrap();
@@ -538,13 +660,20 @@ mod tests {
             pf: None,
             cond: int_cond(g(1), 10),
         }));
-        blk.term = Terminator::PredBranch { pred: p, then_bb: t, else_bb: e };
+        blk.term = Terminator::PredBranch {
+            pred: p,
+            then_bb: t,
+            else_bb: e,
+        };
         cfg.block_mut(t).term = Terminator::Halt;
         // Layout order: a, t, e → else is NOT the fallthrough; then is.
         // The lowering always emits `(p) br then` and adds `br else` only
         // when else is not next; here next is t so one extra br for e.
         cfg.block_mut(e).term = Terminator::Halt;
-        let m = Module { cfg, ..Module::default() };
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
         let out = lower(&m, false).unwrap();
         let cond = out.program.count_insns(|i| i.is_cond_branch());
         assert_eq!(cond, 1, "{}", out.program.listing());
@@ -576,11 +705,20 @@ mod tests {
         let a = cfg.new_block();
         let j1 = cfg.new_block();
         let j2 = cfg.new_block();
-        cfg.block_mut(a).term =
-            Terminator::CondBranch { cond: int_cond(g(1), 10), then_bb: j1, else_bb: j1 };
-        cfg.block_mut(j1).term =
-            Terminator::CondBranch { cond: int_cond(g(2), 10), then_bb: j2, else_bb: j2 };
-        let m = Module { cfg, ..Module::default() };
+        cfg.block_mut(a).term = Terminator::CondBranch {
+            cond: int_cond(g(1), 10),
+            then_bb: j1,
+            else_bb: j1,
+        };
+        cfg.block_mut(j1).term = Terminator::CondBranch {
+            cond: int_cond(g(2), 10),
+            then_bb: j2,
+            else_bb: j2,
+        };
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
         let out = lower(&m, false).unwrap();
         let cmp_targets: Vec<_> = out
             .program
@@ -590,7 +728,10 @@ mod tests {
             .map(|i| i.pr_dsts())
             .collect();
         assert_eq!(cmp_targets.len(), 2);
-        assert_ne!(cmp_targets[0], cmp_targets[1], "blocks use distinct predicate registers");
+        assert_ne!(
+            cmp_targets[0], cmp_targets[1],
+            "blocks use distinct predicate registers"
+        );
     }
 
     #[test]
@@ -604,10 +745,19 @@ mod tests {
             pf: None,
             cond: int_cond(g(1), 10),
         }));
-        blk.ops.push(GuardedOp::guarded(p, MirOp::Movi { dst: g(2), imm: 7 }));
-        let m = Module { cfg, ..Module::default() };
+        blk.ops
+            .push(GuardedOp::guarded(p, MirOp::Movi { dst: g(2), imm: 7 }));
+        let m = Module {
+            cfg,
+            ..Module::default()
+        };
         let out = lower(&m, false).unwrap();
-        let mov = out.program.insns.iter().find(|i| matches!(i.op, Op::Movi { .. })).unwrap();
+        let mov = out
+            .program
+            .insns
+            .iter()
+            .find(|i| matches!(i.op, Op::Movi { .. }))
+            .unwrap();
         assert!(!mov.qp.is_zero(), "guard was mapped to a real register");
         let mut machine = Machine::new(&out.program);
         machine.run(10).unwrap();

@@ -131,7 +131,9 @@ mod tests {
         let latch = cfg.new_block();
         let exit = cfg.new_block();
 
-        cfg.block_mut(entry).ops.push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 0 }));
+        cfg.block_mut(entry)
+            .ops
+            .push(GuardedOp::new(MirOp::Movi { dst: g(1), imm: 0 }));
         cfg.block_mut(entry).term = Terminator::Jump(header);
 
         let h = cfg.block_mut(header);
@@ -142,7 +144,11 @@ mod tests {
             src2: Operand::Imm(3),
         }));
         h.term = Terminator::CondBranch {
-            cond: Cond::Int { rel: CmpRel::Ne, src1: g(2), src2: Operand::Imm(0) },
+            cond: Cond::Int {
+                rel: CmpRel::Ne,
+                src1: g(2),
+                src2: Operand::Imm(0),
+            },
             then_bb: then,
             else_bb: latch,
         };
@@ -163,11 +169,18 @@ mod tests {
             src2: Operand::Imm(1),
         }));
         l.term = Terminator::CondBranch {
-            cond: Cond::Int { rel: CmpRel::Lt, src1: g(1), src2: Operand::Imm(1000) },
+            cond: Cond::Int {
+                rel: CmpRel::Lt,
+                src1: g(1),
+                src2: Operand::Imm(1000),
+            },
             then_bb: header,
             else_bb: exit,
         };
-        Module { cfg, ..Module::default() }
+        Module {
+            cfg,
+            ..Module::default()
+        }
     }
 
     #[test]
@@ -181,7 +194,11 @@ mod tests {
         assert_eq!(inner.execs, 750);
         // Lowering picked the fallthrough-then form, so the emitted branch
         // is taken when the condition is false: i % 4 == 0, i.e. 25%.
-        assert!((0.24..0.26).contains(&inner.taken_rate()), "{}", inner.taken_rate());
+        assert!(
+            (0.24..0.26).contains(&inner.taken_rate()),
+            "{}",
+            inner.taken_rate()
+        );
         assert_eq!(latch.execs, 750);
         assert!(latch.taken_rate() > 0.99);
         assert!(latch.misp_rate() < 0.05, "loop-back branch is easy");

@@ -19,13 +19,12 @@
 //!   the low-misprediction FP profile of Figure 5).
 //!
 //! Every workload is a single outer loop whose body chains kernel
-//! instances; data arrays are filled from a per-benchmark seeded ChaCha
-//! stream, so everything is reproducible.
+//! instances; data arrays are filled from a per-benchmark seeded
+//! [`SmallRng`] stream, so everything is reproducible.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::SmallRng;
 
-use ppsim_isa::{AluKind, CmpRel, DataSegment, Fr, FpuKind, Gr, Operand};
+use ppsim_isa::{AluKind, CmpRel, DataSegment, FpuKind, Fr, Gr, Operand};
 
 use crate::ir::{BlockId, Cfg, Cond, GuardedOp, MirOp, Module, Terminator};
 
@@ -144,7 +143,7 @@ fn F_ACC() -> Fr {
 struct Gen {
     cfg: Cfg,
     data: Vec<DataSegment>,
-    rng: ChaCha8Rng,
+    rng: SmallRng,
     cur: BlockId,
     next_addr: u64,
     tmp_base: u8,
@@ -160,7 +159,7 @@ impl Gen {
         Gen {
             cfg,
             data: Vec::new(),
-            rng: ChaCha8Rng::seed_from_u64(spec.seed),
+            rng: SmallRng::seed_from_u64(spec.seed),
             cur: entry,
             next_addr: DATA_BASE,
             tmp_base: 8,
@@ -172,7 +171,11 @@ impl Gen {
 
     /// Rotates to a fresh window of temporaries (per kernel instance).
     fn fresh_window(&mut self) {
-        self.tmp_base = if self.tmp_base + 16 > 96 { 8 } else { self.tmp_base + 8 };
+        self.tmp_base = if self.tmp_base + 16 > 96 {
+            8
+        } else {
+            self.tmp_base + 8
+        };
         self.tmp_next = self.tmp_base;
     }
 
@@ -188,7 +191,10 @@ impl Gen {
     fn t(&mut self) -> Gr {
         let r = Gr::new(self.tmp_next);
         self.tmp_next += 1;
-        assert!(self.tmp_next <= self.tmp_base + 8, "kernel needs too many temps");
+        assert!(
+            self.tmp_next <= self.tmp_base + 8,
+            "kernel needs too many temps"
+        );
         r
     }
 
@@ -197,11 +203,16 @@ impl Gen {
     }
 
     fn alu(&mut self, kind: AluKind, dst: Gr, src1: Gr, src2: impl Into<Operand>) {
-        self.op(MirOp::Alu { kind, dst, src1, src2: src2.into() });
+        self.op(MirOp::Alu {
+            kind,
+            dst,
+            src1,
+            src2: src2.into(),
+        });
     }
 
     /// Reserves an integer array initialized by `f(index, rng)`.
-    fn array_i64(&mut self, mut f: impl FnMut(usize, &mut ChaCha8Rng) -> i64) -> u64 {
+    fn array_i64(&mut self, mut f: impl FnMut(usize, &mut SmallRng) -> i64) -> u64 {
         let addr = self.next_addr;
         let words: Vec<i64> = (0..self.array_words).map(|i| f(i, &mut self.rng)).collect();
         self.data.push(DataSegment::from_words(addr, &words));
@@ -210,7 +221,7 @@ impl Gen {
     }
 
     /// Reserves a float array.
-    fn array_f64(&mut self, mut f: impl FnMut(usize, &mut ChaCha8Rng) -> f64) -> u64 {
+    fn array_f64(&mut self, mut f: impl FnMut(usize, &mut SmallRng) -> f64) -> u64 {
         let addr = self.next_addr;
         let words: Vec<f64> = (0..self.array_words).map(|i| f(i, &mut self.rng)).collect();
         self.data.push(DataSegment::from_f64s(addr, &words));
@@ -225,9 +236,16 @@ impl Gen {
         self.alu(AluKind::Add, idx, R_ITER(), phase);
         self.alu(AluKind::And, idx, idx, (self.array_words - 1) as i64);
         self.alu(AluKind::Shl, idx, idx, 3i64);
-        self.op(MirOp::Movi { dst: base, imm: array as i64 });
+        self.op(MirOp::Movi {
+            dst: base,
+            imm: array as i64,
+        });
         self.alu(AluKind::Add, base, base, Operand::Reg(idx));
-        self.op(MirOp::Load { dst, base, offset: 0 });
+        self.op(MirOp::Load {
+            dst,
+            base,
+            offset: 0,
+        });
     }
 
     /// Emits `filler` single-cycle ops spread over four scratch
@@ -246,8 +264,11 @@ impl Gen {
         let t = self.cfg.new_block();
         let f = self.cfg.new_block();
         let j = self.cfg.new_block();
-        self.cfg.block_mut(self.cur).term =
-            Terminator::CondBranch { cond, then_bb: t, else_bb: f };
+        self.cfg.block_mut(self.cur).term = Terminator::CondBranch {
+            cond,
+            then_bb: t,
+            else_bb: f,
+        };
         let tb = self.cfg.block_mut(t);
         tb.ops.extend(then_ops.into_iter().map(GuardedOp::new));
         tb.term = Terminator::Jump(j);
@@ -261,8 +282,11 @@ impl Gen {
     fn triangle(&mut self, cond: Cond, then_ops: Vec<MirOp>) {
         let t = self.cfg.new_block();
         let j = self.cfg.new_block();
-        self.cfg.block_mut(self.cur).term =
-            Terminator::CondBranch { cond, then_bb: t, else_bb: j };
+        self.cfg.block_mut(self.cur).term = Terminator::CondBranch {
+            cond,
+            then_bb: t,
+            else_bb: j,
+        };
         let tb = self.cfg.block_mut(t);
         tb.ops.extend(then_ops.into_iter().map(GuardedOp::new));
         tb.term = Terminator::Jump(j);
@@ -273,7 +297,7 @@ impl Gen {
         self.fresh_window();
         match k.kind {
             KernelKind::Biased { pct } => {
-                let arr = self.array_i64(|_, rng| rng.gen_range(0..100));
+                let arr = self.array_i64(|_, rng| rng.range_i64(0, 100));
                 let d = self.t();
                 let r = self.t();
                 let x = self.t();
@@ -284,27 +308,71 @@ impl Gen {
                 // work that selective predicate prediction can cancel.
                 let then_ops = vec![
                     MirOp::Movi { dst: r, imm: 1 },
-                    MirOp::Alu { kind: AluKind::Add, dst: x, src1: d, src2: Operand::Imm(3) },
-                    MirOp::Alu { kind: AluKind::Shl, dst: x, src1: x, src2: Operand::Imm(2) },
-                    MirOp::Alu { kind: AluKind::Add, dst: y, src1: d, src2: Operand::Imm(7) },
-                    MirOp::Alu { kind: AluKind::Xor, dst: y, src1: y, src2: Operand::Reg(x) },
-                    MirOp::Alu { kind: AluKind::Add, dst: R_ACC(), src1: R_ACC(), src2: Operand::Reg(y) },
+                    MirOp::Alu {
+                        kind: AluKind::Add,
+                        dst: x,
+                        src1: d,
+                        src2: Operand::Imm(3),
+                    },
+                    MirOp::Alu {
+                        kind: AluKind::Shl,
+                        dst: x,
+                        src1: x,
+                        src2: Operand::Imm(2),
+                    },
+                    MirOp::Alu {
+                        kind: AluKind::Add,
+                        dst: y,
+                        src1: d,
+                        src2: Operand::Imm(7),
+                    },
+                    MirOp::Alu {
+                        kind: AluKind::Xor,
+                        dst: y,
+                        src1: y,
+                        src2: Operand::Reg(x),
+                    },
+                    MirOp::Alu {
+                        kind: AluKind::Add,
+                        dst: R_ACC(),
+                        src1: R_ACC(),
+                        src2: Operand::Reg(y),
+                    },
                 ];
                 let else_ops = vec![
                     MirOp::Movi { dst: r, imm: 3 },
-                    MirOp::Alu { kind: AluKind::Sub, dst: x, src1: d, src2: Operand::Imm(11) },
-                    MirOp::Alu { kind: AluKind::Shr, dst: x, src1: x, src2: Operand::Imm(1) },
-                    MirOp::Alu { kind: AluKind::Xor, dst: R_ACC(), src1: R_ACC(), src2: Operand::Reg(x) },
+                    MirOp::Alu {
+                        kind: AluKind::Sub,
+                        dst: x,
+                        src1: d,
+                        src2: Operand::Imm(11),
+                    },
+                    MirOp::Alu {
+                        kind: AluKind::Shr,
+                        dst: x,
+                        src1: x,
+                        src2: Operand::Imm(1),
+                    },
+                    MirOp::Alu {
+                        kind: AluKind::Xor,
+                        dst: R_ACC(),
+                        src1: R_ACC(),
+                        src2: Operand::Reg(x),
+                    },
                 ];
                 self.diamond(
-                    Cond::Int { rel: CmpRel::Lt, src1: d, src2: Operand::Imm(i64::from(pct)) },
+                    Cond::Int {
+                        rel: CmpRel::Lt,
+                        src1: d,
+                        src2: Operand::Imm(i64::from(pct)),
+                    },
                     then_ops,
                     else_ops,
                 );
                 self.alu(AluKind::Add, R_ACC(), R_ACC(), Operand::Reg(r));
             }
             KernelKind::Random { carried } => {
-                let arr = self.array_i64(|_, rng| rng.gen::<i64>() & 0x7fff_ffff);
+                let arr = self.array_i64(|_, rng| rng.gen_i64() & 0x7fff_ffff);
                 let b = self.t();
                 let r = self.t();
                 let d = if carried {
@@ -319,14 +387,28 @@ impl Gen {
                 self.alu(AluKind::And, b, d, 1i64);
                 self.filler(k.filler);
                 self.diamond(
-                    Cond::Int { rel: CmpRel::Ne, src1: b, src2: Operand::Imm(0) },
+                    Cond::Int {
+                        rel: CmpRel::Ne,
+                        src1: b,
+                        src2: Operand::Imm(0),
+                    },
                     vec![
                         MirOp::Movi { dst: r, imm: 0 },
-                        MirOp::Alu { kind: AluKind::Add, dst: R_ACC(), src1: R_ACC(), src2: Operand::Imm(5) },
+                        MirOp::Alu {
+                            kind: AluKind::Add,
+                            dst: R_ACC(),
+                            src1: R_ACC(),
+                            src2: Operand::Imm(5),
+                        },
                     ],
                     vec![
                         MirOp::Movi { dst: r, imm: 1 },
-                        MirOp::Alu { kind: AluKind::Sub, dst: R_ACC(), src1: R_ACC(), src2: Operand::Imm(3) },
+                        MirOp::Alu {
+                            kind: AluKind::Sub,
+                            dst: R_ACC(),
+                            src1: R_ACC(),
+                            src2: Operand::Imm(3),
+                        },
                     ],
                 );
                 // Keep `r` live so the multiple-definition case matters.
@@ -341,7 +423,7 @@ impl Gen {
                 // both feeder compares execute right after rename; their
                 // (frequently wrong) history bits are repaired at
                 // writeback, before the region compare fetches.
-                let arr = self.array_i64(|_, rng| rng.gen::<i64>() & 0x7fff_ffff);
+                let arr = self.array_i64(|_, rng| rng.gen_i64() & 0x7fff_ffff);
                 let d = self.persistent();
                 let b0 = self.t();
                 let b1 = self.t();
@@ -351,12 +433,20 @@ impl Gen {
                 self.alu(AluKind::And, b0, d, 1i64);
                 self.alu(AluKind::And, b1, d, 2i64);
                 self.diamond(
-                    Cond::Int { rel: CmpRel::Ne, src1: b0, src2: Operand::Imm(0) },
+                    Cond::Int {
+                        rel: CmpRel::Ne,
+                        src1: b0,
+                        src2: Operand::Imm(0),
+                    },
                     vec![MirOp::Movi { dst: r, imm: 1 }],
                     vec![MirOp::Movi { dst: r, imm: 0 }],
                 );
                 self.diamond(
-                    Cond::Int { rel: CmpRel::Ne, src1: b1, src2: Operand::Imm(0) },
+                    Cond::Int {
+                        rel: CmpRel::Ne,
+                        src1: b1,
+                        src2: Operand::Imm(0),
+                    },
                     vec![MirOp::Movi { dst: s, imm: 1 }],
                     vec![MirOp::Movi { dst: s, imm: 0 }],
                 );
@@ -370,7 +460,11 @@ impl Gen {
                 // The region branch: outcome = AND of the two feeder
                 // conditions — linearly separable on their history bits.
                 self.triangle(
-                    Cond::Int { rel: CmpRel::Ge, src1: u, src2: Operand::Imm(2) },
+                    Cond::Int {
+                        rel: CmpRel::Ge,
+                        src1: u,
+                        src2: Operand::Imm(2),
+                    },
                     vec![MirOp::Alu {
                         kind: AluKind::Add,
                         dst: R_ACC(),
@@ -399,7 +493,11 @@ impl Gen {
                 self.filler(k.filler);
                 let _ = q;
                 self.triangle(
-                    Cond::Int { rel: CmpRel::Eq, src1: m, src2: Operand::Imm(0) },
+                    Cond::Int {
+                        rel: CmpRel::Eq,
+                        src1: m,
+                        src2: Operand::Imm(0),
+                    },
                     vec![MirOp::Alu {
                         kind: AluKind::Add,
                         dst: R_ACC(),
@@ -439,7 +537,7 @@ impl Gen {
                 self.cur = exit;
             }
             KernelKind::HardRegion => {
-                let arr = self.array_i64(|_, rng| rng.gen::<i64>() & 0x7fff_ffff);
+                let arr = self.array_i64(|_, rng| rng.gen_i64() & 0x7fff_ffff);
                 let d = self.persistent();
                 let b = self.t();
                 self.alu(AluKind::And, b, d, 1i64);
@@ -460,15 +558,19 @@ impl Gen {
                     });
                 }
                 self.triangle(
-                    Cond::Int { rel: CmpRel::Ne, src1: b, src2: Operand::Imm(0) },
+                    Cond::Int {
+                        rel: CmpRel::Ne,
+                        src1: b,
+                        src2: Operand::Imm(0),
+                    },
                     then_ops,
                 );
                 self.load_indexed(arr, 1, d);
             }
             KernelKind::FpStream { pct } => {
-                let arr_a = self.array_f64(|_, rng| rng.gen_range(0.5..1.5));
-                let arr_b = self.array_f64(|_, rng| rng.gen_range(0.5..1.5));
-                let thresh = self.array_i64(|_, rng| rng.gen_range(0..100));
+                let arr_a = self.array_f64(|_, rng| rng.range_f64(0.5, 1.5));
+                let arr_b = self.array_f64(|_, rng| rng.range_f64(0.5, 1.5));
+                let thresh = self.array_i64(|_, rng| rng.range_i64(0, 100));
                 let ta = self.t();
                 let tb = self.t();
                 let d = self.t();
@@ -476,20 +578,57 @@ impl Gen {
                 self.load_indexed(thresh, 0, d);
                 self.alu(AluKind::Shl, ta, R_ITER(), 3i64);
                 self.alu(AluKind::And, ta, ta, ((self.array_words - 1) * 8) as i64);
-                self.op(MirOp::Movi { dst: tb, imm: arr_a as i64 });
+                self.op(MirOp::Movi {
+                    dst: tb,
+                    imm: arr_a as i64,
+                });
                 self.alu(AluKind::Add, tb, tb, Operand::Reg(ta));
-                self.op(MirOp::Loadf { dst: fa, base: tb, offset: 0 });
-                self.op(MirOp::Movi { dst: tb, imm: arr_b as i64 });
+                self.op(MirOp::Loadf {
+                    dst: fa,
+                    base: tb,
+                    offset: 0,
+                });
+                self.op(MirOp::Movi {
+                    dst: tb,
+                    imm: arr_b as i64,
+                });
                 self.alu(AluKind::Add, tb, tb, Operand::Reg(ta));
-                self.op(MirOp::Loadf { dst: fb, base: tb, offset: 0 });
-                self.op(MirOp::Fpu { kind: FpuKind::Fmul, dst: fc, src1: fa, src2: fb });
-                self.op(MirOp::Fpu { kind: FpuKind::Fadd, dst: F_ACC(), src1: F_ACC(), src2: fc });
+                self.op(MirOp::Loadf {
+                    dst: fb,
+                    base: tb,
+                    offset: 0,
+                });
+                self.op(MirOp::Fpu {
+                    kind: FpuKind::Fmul,
+                    dst: fc,
+                    src1: fa,
+                    src2: fb,
+                });
+                self.op(MirOp::Fpu {
+                    kind: FpuKind::Fadd,
+                    dst: F_ACC(),
+                    src1: F_ACC(),
+                    src2: fc,
+                });
                 self.filler(k.filler);
                 self.triangle(
-                    Cond::Int { rel: CmpRel::Lt, src1: d, src2: Operand::Imm(i64::from(pct)) },
-                    vec![MirOp::Fpu { kind: FpuKind::Fadd, dst: F_ACC(), src1: F_ACC(), src2: fa }],
+                    Cond::Int {
+                        rel: CmpRel::Lt,
+                        src1: d,
+                        src2: Operand::Imm(i64::from(pct)),
+                    },
+                    vec![MirOp::Fpu {
+                        kind: FpuKind::Fadd,
+                        dst: F_ACC(),
+                        src1: F_ACC(),
+                        src2: fa,
+                    }],
                 );
-                self.op(MirOp::Storef { src: F_ACC(), base: tb, offset: 0 });
+                self.op(MirOp::Storef {
+                    src: F_ACC(),
+                    base: tb,
+                    offset: 0,
+                });
             }
         }
     }
@@ -501,9 +640,18 @@ pub fn build_module(spec: &WorkloadSpec) -> Module {
 
     // Entry: zero the counter and accumulators, set up the output buffer.
     let out_buf = g.array_i64(|_, _| 0);
-    g.op(MirOp::Movi { dst: R_ITER(), imm: 0 });
-    g.op(MirOp::Movi { dst: R_ACC(), imm: 0 });
-    g.op(MirOp::Movi { dst: R_OUT(), imm: out_buf as i64 });
+    g.op(MirOp::Movi {
+        dst: R_ITER(),
+        imm: 0,
+    });
+    g.op(MirOp::Movi {
+        dst: R_ACC(),
+        imm: 0,
+    });
+    g.op(MirOp::Movi {
+        dst: R_OUT(),
+        imm: out_buf as i64,
+    });
     let header = g.cfg.new_block();
     g.cfg.block_mut(g.cur).term = Terminator::Jump(header);
     g.cur = header;
@@ -518,17 +666,30 @@ pub fn build_module(spec: &WorkloadSpec) -> Module {
     g.alu(AluKind::And, slot, R_ITER(), (g.array_words - 1) as i64);
     g.alu(AluKind::Shl, slot, slot, 3i64);
     g.alu(AluKind::Add, slot, slot, Operand::Reg(R_OUT()));
-    g.op(MirOp::Store { src: R_ACC(), base: slot, offset: 0 });
+    g.op(MirOp::Store {
+        src: R_ACC(),
+        base: slot,
+        offset: 0,
+    });
     g.alu(AluKind::Add, R_ITER(), R_ITER(), 1i64);
     let exit = g.cfg.new_block();
     g.cfg.block_mut(g.cur).term = Terminator::CondBranch {
-        cond: Cond::Int { rel: CmpRel::Lt, src1: R_ITER(), src2: Operand::Imm(spec.trips) },
+        cond: Cond::Int {
+            rel: CmpRel::Lt,
+            src1: R_ITER(),
+            src2: Operand::Imm(spec.trips),
+        },
         then_bb: header,
         else_bb: exit,
     };
     // exit: halt (the default terminator).
 
-    Module { cfg: g.cfg, data: g.data, gr_init: Vec::new(), fr_init: Vec::new() }
+    Module {
+        cfg: g.cfg,
+        data: g.data,
+        gr_init: Vec::new(),
+        fr_init: Vec::new(),
+    }
 }
 
 fn k(kind: KernelKind, filler: u8) -> KernelSpec {
@@ -549,169 +710,293 @@ fn k(kind: KernelKind, filler: u8) -> KernelSpec {
 pub fn spec2000_suite() -> Vec<WorkloadSpec> {
     use KernelKind::*;
     let int = |name: &'static str, seed: u64, array_words: usize, kernels: Vec<KernelSpec>| {
-        WorkloadSpec { name, class: WorkloadClass::Int, seed, trips: i64::MAX / 2, array_words, kernels }
+        WorkloadSpec {
+            name,
+            class: WorkloadClass::Int,
+            seed,
+            trips: i64::MAX / 2,
+            array_words,
+            kernels,
+        }
     };
     let fp = |name: &'static str, seed: u64, array_words: usize, kernels: Vec<KernelSpec>| {
-        WorkloadSpec { name, class: WorkloadClass::Fp, seed, trips: i64::MAX / 2, array_words, kernels }
+        WorkloadSpec {
+            name,
+            class: WorkloadClass::Fp,
+            seed,
+            trips: i64::MAX / 2,
+            array_words,
+            kernels,
+        }
     };
     vec![
         // ---- integer ----
-        int("gzip", 0x67a1, 1024, vec![
-            k(Biased { pct: 85 }, 6),
-            k(Random { carried: true }, 48),
-            k(Periodic { period: 4 }, 4),
-            k(Correlated, 8),
-            k(InnerLoop { trips: 8 }, 0),
-        ]),
-        int("vpr", 0x76b2, 2048, vec![
-            k(Biased { pct: 70 }, 4),
-            k(Correlated, 10),
-            k(Random { carried: false }, 8),
-            k(Biased { pct: 92 }, 6),
-            k(Periodic { period: 3 }, 4),
-            k(InnerLoop { trips: 6 }, 0),
-        ]),
-        int("gcc", 0x6cc3, 1024, vec![
-            k(Biased { pct: 60 }, 3),
-            k(Biased { pct: 88 }, 5),
-            k(Correlated, 6),
-            k(Correlated, 8),
-            k(Random { carried: true }, 36),
-            k(Periodic { period: 8 }, 3),
-            k(InnerLoop { trips: 4 }, 0),
-        ]),
-        int("mcf", 0x3cf4, 65536, vec![
-            k(Random { carried: false }, 14),
-            k(Biased { pct: 75 }, 8),
-            k(Correlated, 10),
-            k(HardRegion, 60),
-            k(InnerLoop { trips: 4 }, 0),
-        ]),
-        int("crafty", 0xc4a5, 2048, vec![
-            k(Correlated, 8),
-            k(Correlated, 6),
-            k(Biased { pct: 80 }, 5),
-            k(HardRegion, 48),
-            k(Periodic { period: 2 }, 3),
-            k(InnerLoop { trips: 8 }, 0),
-        ]),
-        int("parser", 0x9a56, 1024, vec![
-            k(Biased { pct: 65 }, 4),
-            k(Correlated, 8),
-            k(Random { carried: false }, 10),
-            k(Periodic { period: 5 }, 4),
-            k(Biased { pct: 95 }, 3),
-            k(InnerLoop { trips: 5 }, 0),
-        ]),
-        int("perlbmk", 0x9e67, 1024, vec![
-            k(Correlated, 6),
-            k(Biased { pct: 72 }, 5),
-            k(HardRegion, 40),
-            k(InnerLoop { trips: 5 }, 0),
-            k(Periodic { period: 4 }, 5),
-            k(Biased { pct: 90 }, 4),
-        ]),
-        int("gap", 0x6a78, 4096, vec![
-            k(Biased { pct: 82 }, 6),
-            k(Correlated, 10),
-            k(Random { carried: false }, 10),
-            k(InnerLoop { trips: 10 }, 0),
-        ]),
-        int("vortex", 0x50f9, 2048, vec![
-            k(Biased { pct: 93 }, 4),
-            k(Biased { pct: 88 }, 4),
-            k(Correlated, 6),
-            k(Periodic { period: 8 }, 4),
-            k(HardRegion, 44),
-            k(InnerLoop { trips: 3 }, 0),
-        ]),
-        int("bzip2", 0xb21a, 8192, vec![
-            k(Random { carried: false }, 12),
-            k(Biased { pct: 78 }, 6),
-            k(Correlated, 8),
-            k(Periodic { period: 2 }, 4),
-            k(InnerLoop { trips: 4 }, 0),
-        ]),
+        int(
+            "gzip",
+            0x67a1,
+            1024,
+            vec![
+                k(Biased { pct: 85 }, 6),
+                k(Random { carried: true }, 48),
+                k(Periodic { period: 4 }, 4),
+                k(Correlated, 8),
+                k(InnerLoop { trips: 8 }, 0),
+            ],
+        ),
+        int(
+            "vpr",
+            0x76b2,
+            2048,
+            vec![
+                k(Biased { pct: 70 }, 4),
+                k(Correlated, 10),
+                k(Random { carried: false }, 8),
+                k(Biased { pct: 92 }, 6),
+                k(Periodic { period: 3 }, 4),
+                k(InnerLoop { trips: 6 }, 0),
+            ],
+        ),
+        int(
+            "gcc",
+            0x6cc3,
+            1024,
+            vec![
+                k(Biased { pct: 60 }, 3),
+                k(Biased { pct: 88 }, 5),
+                k(Correlated, 6),
+                k(Correlated, 8),
+                k(Random { carried: true }, 36),
+                k(Periodic { period: 8 }, 3),
+                k(InnerLoop { trips: 4 }, 0),
+            ],
+        ),
+        int(
+            "mcf",
+            0x3cf4,
+            65536,
+            vec![
+                k(Random { carried: false }, 14),
+                k(Biased { pct: 75 }, 8),
+                k(Correlated, 10),
+                k(HardRegion, 60),
+                k(InnerLoop { trips: 4 }, 0),
+            ],
+        ),
+        int(
+            "crafty",
+            0xc4a5,
+            2048,
+            vec![
+                k(Correlated, 8),
+                k(Correlated, 6),
+                k(Biased { pct: 80 }, 5),
+                k(HardRegion, 48),
+                k(Periodic { period: 2 }, 3),
+                k(InnerLoop { trips: 8 }, 0),
+            ],
+        ),
+        int(
+            "parser",
+            0x9a56,
+            1024,
+            vec![
+                k(Biased { pct: 65 }, 4),
+                k(Correlated, 8),
+                k(Random { carried: false }, 10),
+                k(Periodic { period: 5 }, 4),
+                k(Biased { pct: 95 }, 3),
+                k(InnerLoop { trips: 5 }, 0),
+            ],
+        ),
+        int(
+            "perlbmk",
+            0x9e67,
+            1024,
+            vec![
+                k(Correlated, 6),
+                k(Biased { pct: 72 }, 5),
+                k(HardRegion, 40),
+                k(InnerLoop { trips: 5 }, 0),
+                k(Periodic { period: 4 }, 5),
+                k(Biased { pct: 90 }, 4),
+            ],
+        ),
+        int(
+            "gap",
+            0x6a78,
+            4096,
+            vec![
+                k(Biased { pct: 82 }, 6),
+                k(Correlated, 10),
+                k(Random { carried: false }, 10),
+                k(InnerLoop { trips: 10 }, 0),
+            ],
+        ),
+        int(
+            "vortex",
+            0x50f9,
+            2048,
+            vec![
+                k(Biased { pct: 93 }, 4),
+                k(Biased { pct: 88 }, 4),
+                k(Correlated, 6),
+                k(Periodic { period: 8 }, 4),
+                k(HardRegion, 44),
+                k(InnerLoop { trips: 3 }, 0),
+            ],
+        ),
+        int(
+            "bzip2",
+            0xb21a,
+            8192,
+            vec![
+                k(Random { carried: false }, 12),
+                k(Biased { pct: 78 }, 6),
+                k(Correlated, 8),
+                k(Periodic { period: 2 }, 4),
+                k(InnerLoop { trips: 4 }, 0),
+            ],
+        ),
         // Many marginal sites, no loop-carried conditions, no correlation:
         // the configuration most exposed to the predicate predictor's
         // negative effects (two-hash aliasing + corruption window) —
         // mirroring twolf's role as the paper's exception in Figure 6.
-        int("twolf", 0x70ff, 1024, vec![
-            k(Random { carried: false }, 2),
-            k(Biased { pct: 55 }, 2),
-            k(Random { carried: false }, 2),
-            k(Biased { pct: 62 }, 2),
-            k(InnerLoop { trips: 5 }, 0),
-            k(Random { carried: false }, 2),
-            k(Biased { pct: 58 }, 2),
-            k(Biased { pct: 66 }, 2),
-            k(InnerLoop { trips: 5 }, 0),
-            k(Biased { pct: 60 }, 2),
-            k(Periodic { period: 3 }, 2),
-        ]),
+        int(
+            "twolf",
+            0x70ff,
+            1024,
+            vec![
+                k(Random { carried: false }, 2),
+                k(Biased { pct: 55 }, 2),
+                k(Random { carried: false }, 2),
+                k(Biased { pct: 62 }, 2),
+                k(InnerLoop { trips: 5 }, 0),
+                k(Random { carried: false }, 2),
+                k(Biased { pct: 58 }, 2),
+                k(Biased { pct: 66 }, 2),
+                k(InnerLoop { trips: 5 }, 0),
+                k(Biased { pct: 60 }, 2),
+                k(Periodic { period: 3 }, 2),
+            ],
+        ),
         // ---- floating point ----
-        fp("wupwise", 0x10b1, 4096, vec![
-            k(FpStream { pct: 96 }, 4),
-            k(FpStream { pct: 92 }, 4),
-            k(InnerLoop { trips: 8 }, 0),
-            k(Biased { pct: 90 }, 4),
-        ]),
-        fp("swim", 0x20b2, 16384, vec![
-            k(FpStream { pct: 97 }, 3),
-            k(FpStream { pct: 95 }, 3),
-            k(InnerLoop { trips: 12 }, 0),
-        ]),
-        fp("mgrid", 0x30b3, 8192, vec![
-            k(FpStream { pct: 98 }, 2),
-            k(InnerLoop { trips: 16 }, 0),
-            k(FpStream { pct: 94 }, 4),
-        ]),
-        fp("applu", 0x40b4, 8192, vec![
-            k(FpStream { pct: 93 }, 4),
-            k(FpStream { pct: 96 }, 4),
-            k(Periodic { period: 4 }, 3),
-            k(InnerLoop { trips: 6 }, 0),
-        ]),
-        fp("mesa", 0x50b5, 2048, vec![
-            k(FpStream { pct: 88 }, 5),
-            k(Biased { pct: 85 }, 5),
-            k(Correlated, 6),
-            k(InnerLoop { trips: 4 }, 0),
-        ]),
-        fp("art", 0x60b6, 65536, vec![
-            k(FpStream { pct: 90 }, 6),
-            k(HardRegion, 36),
-            k(FpStream { pct: 94 }, 4),
-            k(InnerLoop { trips: 5 }, 0),
-        ]),
-        fp("equake", 0x70b7, 16384, vec![
-            k(FpStream { pct: 95 }, 4),
-            k(Biased { pct: 87 }, 5),
-            k(InnerLoop { trips: 8 }, 0),
-        ]),
-        fp("facerec", 0x80b8, 8192, vec![
-            k(FpStream { pct: 91 }, 5),
-            k(Correlated, 8),
-            k(InnerLoop { trips: 6 }, 0),
-            k(FpStream { pct: 97 }, 3),
-        ]),
-        fp("ammp", 0x90b9, 4096, vec![
-            k(FpStream { pct: 89 }, 5),
-            k(Biased { pct: 75 }, 6),
-            k(HardRegion, 40),
-            k(InnerLoop { trips: 5 }, 0),
-        ]),
-        fp("lucas", 0xa0ba, 8192, vec![
-            k(FpStream { pct: 98 }, 2),
-            k(InnerLoop { trips: 20 }, 0),
-            k(Periodic { period: 16 }, 3),
-        ]),
-        fp("apsi", 0xb0bb, 4096, vec![
-            k(FpStream { pct: 94 }, 4),
-            k(Periodic { period: 6 }, 4),
-            k(Biased { pct: 91 }, 4),
-            k(InnerLoop { trips: 7 }, 0),
-        ]),
+        fp(
+            "wupwise",
+            0x10b1,
+            4096,
+            vec![
+                k(FpStream { pct: 96 }, 4),
+                k(FpStream { pct: 92 }, 4),
+                k(InnerLoop { trips: 8 }, 0),
+                k(Biased { pct: 90 }, 4),
+            ],
+        ),
+        fp(
+            "swim",
+            0x20b2,
+            16384,
+            vec![
+                k(FpStream { pct: 97 }, 3),
+                k(FpStream { pct: 95 }, 3),
+                k(InnerLoop { trips: 12 }, 0),
+            ],
+        ),
+        fp(
+            "mgrid",
+            0x30b3,
+            8192,
+            vec![
+                k(FpStream { pct: 98 }, 2),
+                k(InnerLoop { trips: 16 }, 0),
+                k(FpStream { pct: 94 }, 4),
+            ],
+        ),
+        fp(
+            "applu",
+            0x40b4,
+            8192,
+            vec![
+                k(FpStream { pct: 93 }, 4),
+                k(FpStream { pct: 96 }, 4),
+                k(Periodic { period: 4 }, 3),
+                k(InnerLoop { trips: 6 }, 0),
+            ],
+        ),
+        fp(
+            "mesa",
+            0x50b5,
+            2048,
+            vec![
+                k(FpStream { pct: 88 }, 5),
+                k(Biased { pct: 85 }, 5),
+                k(Correlated, 6),
+                k(InnerLoop { trips: 4 }, 0),
+            ],
+        ),
+        fp(
+            "art",
+            0x60b6,
+            65536,
+            vec![
+                k(FpStream { pct: 90 }, 6),
+                k(HardRegion, 36),
+                k(FpStream { pct: 94 }, 4),
+                k(InnerLoop { trips: 5 }, 0),
+            ],
+        ),
+        fp(
+            "equake",
+            0x70b7,
+            16384,
+            vec![
+                k(FpStream { pct: 95 }, 4),
+                k(Biased { pct: 87 }, 5),
+                k(InnerLoop { trips: 8 }, 0),
+            ],
+        ),
+        fp(
+            "facerec",
+            0x80b8,
+            8192,
+            vec![
+                k(FpStream { pct: 91 }, 5),
+                k(Correlated, 8),
+                k(InnerLoop { trips: 6 }, 0),
+                k(FpStream { pct: 97 }, 3),
+            ],
+        ),
+        fp(
+            "ammp",
+            0x90b9,
+            4096,
+            vec![
+                k(FpStream { pct: 89 }, 5),
+                k(Biased { pct: 75 }, 6),
+                k(HardRegion, 40),
+                k(InnerLoop { trips: 5 }, 0),
+            ],
+        ),
+        fp(
+            "lucas",
+            0xa0ba,
+            8192,
+            vec![
+                k(FpStream { pct: 98 }, 2),
+                k(InnerLoop { trips: 20 }, 0),
+                k(Periodic { period: 16 }, 3),
+            ],
+        ),
+        fp(
+            "apsi",
+            0xb0bb,
+            4096,
+            vec![
+                k(FpStream { pct: 94 }, 4),
+                k(Periodic { period: 6 }, 4),
+                k(Biased { pct: 91 }, 4),
+                k(InnerLoop { trips: 7 }, 0),
+            ],
+        ),
     ]
 }
 
@@ -748,8 +1033,20 @@ mod tests {
     fn suite_has_22_named_benchmarks() {
         let suite = spec2000_suite();
         assert_eq!(suite.len(), 22);
-        assert_eq!(suite.iter().filter(|s| s.class == WorkloadClass::Int).count(), 11);
-        assert_eq!(suite.iter().filter(|s| s.class == WorkloadClass::Fp).count(), 11);
+        assert_eq!(
+            suite
+                .iter()
+                .filter(|s| s.class == WorkloadClass::Int)
+                .count(),
+            11
+        );
+        assert_eq!(
+            suite
+                .iter()
+                .filter(|s| s.class == WorkloadClass::Fp)
+                .count(),
+            11
+        );
         let names: std::collections::HashSet<_> = suite.iter().map(|s| s.name).collect();
         assert_eq!(names.len(), 22, "names are unique");
         assert!(names.contains("twolf") && names.contains("swim"));
@@ -780,11 +1077,18 @@ mod tests {
     fn every_suite_member_lowers_and_starts() {
         for spec in spec2000_suite() {
             let m = build_module(&spec);
-            m.cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            m.cfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             let out = lower(&m, true).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             let mut machine = Machine::new(&out.program);
             let r = machine.run(20_000).unwrap();
-            assert_eq!(r.reason, StopReason::BudgetExhausted, "{} runs long", spec.name);
+            assert_eq!(
+                r.reason,
+                StopReason::BudgetExhausted,
+                "{} runs long",
+                spec.name
+            );
             assert!(
                 out.program.count_insns(|i| i.is_cond_branch()) >= 4,
                 "{} has a branch population",
@@ -818,13 +1122,20 @@ mod tests {
                 && ((0.2..0.3).contains(&r) || (0.7..0.8).contains(&r))
                 && b.misp_rate() < 0.1
         });
-        assert!(found, "region branch with ~25% taken rate exists: {:?}", prof.by_block);
+        assert!(
+            found,
+            "region branch with ~25% taken rate exists: {:?}",
+            prof.by_block
+        );
     }
 
     #[test]
     fn big_arrays_expand_footprint() {
         let small = build_module(&test_workload(1, 4));
-        let big = build_module(&WorkloadSpec { array_words: 4096, ..test_workload(1, 4) });
+        let big = build_module(&WorkloadSpec {
+            array_words: 4096,
+            ..test_workload(1, 4)
+        });
         let size = |m: &Module| m.data.iter().map(|d| d.bytes.len()).sum::<usize>();
         assert!(size(&big) > 16 * size(&small));
     }

@@ -1,13 +1,17 @@
 //! Per-figure experiment runners.
 //!
-//! Each function compiles the synthetic SPEC2000 suite the way the paper's
-//! corresponding experiment requires (with or without if-conversion), runs
-//! the simulator once per (benchmark, scheme) pair, and returns typed
-//! results with a [`Table`] rendering.
+//! Each function builds the grid of simulation cells ([`Job`]s) the
+//! paper's corresponding experiment requires, hands the grid to a
+//! [`Runner`] (which parallelizes, caches and memoizes compilation), and
+//! assembles typed results with [`Table`] and JSON renderings. Grids are
+//! always constructed in a canonical order — suite order × scheme order —
+//! so reports are byte-identical regardless of worker count or cache
+//! state.
 
-use ppsim_compiler::{compile, CompileOptions, Compiled, WorkloadClass, WorkloadSpec};
-use ppsim_pipeline::{PredicationModel, SchemeKind, SimStats, Simulator};
+use ppsim_compiler::{WorkloadClass, WorkloadSpec};
+use ppsim_pipeline::{PredicationModel, SchemeKind, SimStats};
 use ppsim_predictors::sizing;
+use ppsim_runner::{Job, Json, Runner};
 
 use crate::report::{f3, pct, Table};
 use crate::ExperimentConfig;
@@ -40,7 +44,10 @@ impl Comparison {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| r.runs[i].misprediction_rate()).sum::<f64>()
+        self.rows
+            .iter()
+            .map(|r| r.runs[i].misprediction_rate())
+            .sum::<f64>()
             / self.rows.len() as f64
     }
 
@@ -75,6 +82,61 @@ impl Comparison {
         t.row(avg);
         t
     }
+
+    /// Renders the comparison as a JSON object (for `--json` artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("title", self.title.as_str())
+            .field(
+                "schemes",
+                Json::Arr(
+                    self.schemes
+                        .iter()
+                        .map(|s| Json::from(s.as_str()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("benchmark", r.name)
+                                .field(
+                                    "class",
+                                    match r.class {
+                                        WorkloadClass::Int => "int",
+                                        WorkloadClass::Fp => "fp",
+                                    },
+                                )
+                                .field(
+                                    "misprediction_rates",
+                                    Json::Arr(
+                                        r.runs
+                                            .iter()
+                                            .map(|s| Json::Num(s.misprediction_rate()))
+                                            .collect(),
+                                    ),
+                                )
+                                .field(
+                                    "ipc",
+                                    Json::Arr(r.runs.iter().map(|s| Json::Num(s.ipc())).collect()),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+            .field(
+                "average_rates",
+                Json::Arr(
+                    (0..self.schemes.len())
+                        .map(|i| Json::Num(self.average_rate(i)))
+                        .collect(),
+                ),
+            )
+    }
 }
 
 fn suite(cfg: &ExperimentConfig) -> Vec<WorkloadSpec> {
@@ -84,35 +146,60 @@ fn suite(cfg: &ExperimentConfig) -> Vec<WorkloadSpec> {
         .collect()
 }
 
-fn compile_for(cfg: &ExperimentConfig, spec: &WorkloadSpec, ifconv: bool) -> Compiled {
-    let mut opts = if ifconv {
-        CompileOptions::with_ifconv()
-    } else {
-        CompileOptions::no_ifconv()
-    };
-    opts.profile_steps = cfg.profile_steps;
-    compile(spec, &opts).expect("suite workloads always compile")
-}
-
-fn run_one(
+/// A job for one cell of this config's grid (no overrides).
+fn cell(
     cfg: &ExperimentConfig,
-    compiled: &Compiled,
+    bench: &str,
+    ifconv: bool,
     scheme: SchemeKind,
     predication: PredicationModel,
-    shadow: bool,
-) -> SimStats {
-    let mut sim = Simulator::new(&compiled.program, scheme, predication, cfg.core);
-    if shadow {
-        sim = sim.with_shadow();
-    }
-    sim.run(cfg.commits).stats
+) -> Job {
+    Job::new(
+        bench,
+        ifconv,
+        scheme,
+        predication,
+        cfg.commits,
+        cfg.profile_steps,
+        cfg.core,
+    )
+}
+
+/// Runs a (suite × schemes) grid and returns per-benchmark stats rows in
+/// suite order. `schemes` gives (scheme, predication, shadow) per column.
+fn scheme_grid(
+    runner: &Runner,
+    cfg: &ExperimentConfig,
+    ifconv: bool,
+    schemes: &[(SchemeKind, PredicationModel, bool)],
+) -> Vec<BenchRow> {
+    let specs = suite(cfg);
+    let jobs: Vec<Job> = specs
+        .iter()
+        .flat_map(|spec| {
+            schemes.iter().map(|&(scheme, predication, shadow)| Job {
+                shadow,
+                ..cell(cfg, spec.name, ifconv, scheme, predication)
+            })
+        })
+        .collect();
+    let results = runner.run_grid(&jobs);
+    specs
+        .iter()
+        .zip(results.chunks(schemes.len()))
+        .map(|(spec, chunk)| BenchRow {
+            name: spec.name,
+            class: spec.class,
+            runs: chunk.iter().map(|r| r.stats.clone()).collect(),
+        })
+        .collect()
 }
 
 /// Figure 5: branch misprediction rates of the conventional predictor vs
 /// the predicate predictor on **non-if-converted** binaries. With
 /// `ideal`, runs the alias-free perfect-history variants instead (the
 /// "results not shown in the graph" study of §4.2).
-pub fn fig5(cfg: &ExperimentConfig, ideal: bool) -> Comparison {
+pub fn fig5(runner: &Runner, cfg: &ExperimentConfig, ideal: bool) -> Comparison {
     let (sa, sb, title) = if ideal {
         (
             SchemeKind::IdealConventional,
@@ -126,13 +213,15 @@ pub fn fig5(cfg: &ExperimentConfig, ideal: bool) -> Comparison {
             "Figure 5: 148KB conventional vs 148KB predicate predictor, non-if-converted code",
         )
     };
-    let mut rows = Vec::new();
-    for spec in suite(cfg) {
-        let compiled = compile_for(cfg, &spec, false);
-        let a = run_one(cfg, &compiled, sa, PredicationModel::Cmov, false);
-        let b = run_one(cfg, &compiled, sb, PredicationModel::Cmov, false);
-        rows.push(BenchRow { name: spec.name, class: spec.class, runs: vec![a, b] });
-    }
+    let rows = scheme_grid(
+        runner,
+        cfg,
+        false,
+        &[
+            (sa, PredicationModel::Cmov, false),
+            (sb, PredicationModel::Cmov, false),
+        ],
+    );
     Comparison {
         title: title.to_string(),
         schemes: vec!["conventional".into(), "predicate".into()],
@@ -143,17 +232,17 @@ pub fn fig5(cfg: &ExperimentConfig, ideal: bool) -> Comparison {
 /// Figure 6a: misprediction rates on **if-converted** binaries for the
 /// 144 KB PEP-PA, the 148 KB conventional predictor and the 148 KB
 /// predicate predictor.
-pub fn fig6a(cfg: &ExperimentConfig) -> Comparison {
-    let mut rows = Vec::new();
-    for spec in suite(cfg) {
-        let compiled = compile_for(cfg, &spec, true);
-        let peppa = run_one(cfg, &compiled, SchemeKind::PepPa, PredicationModel::Cmov, false);
-        let conv =
-            run_one(cfg, &compiled, SchemeKind::Conventional, PredicationModel::Cmov, false);
-        let pred =
-            run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Selective, false);
-        rows.push(BenchRow { name: spec.name, class: spec.class, runs: vec![peppa, conv, pred] });
-    }
+pub fn fig6a(runner: &Runner, cfg: &ExperimentConfig) -> Comparison {
+    let rows = scheme_grid(
+        runner,
+        cfg,
+        true,
+        &[
+            (SchemeKind::PepPa, PredicationModel::Cmov, false),
+            (SchemeKind::Conventional, PredicationModel::Cmov, false),
+            (SchemeKind::Predicate, PredicationModel::Selective, false),
+        ],
+    );
     Comparison {
         title: "Figure 6a: PEP-PA vs conventional vs predicate predictor, if-converted code"
             .to_string(),
@@ -209,7 +298,12 @@ impl Breakdown {
             &["benchmark", "total", "early-resolved", "correlation"],
         );
         for r in &self.rows {
-            t.row(vec![r.name.to_string(), f3(r.total), f3(r.early), f3(r.correlation)]);
+            t.row(vec![
+                r.name.to_string(),
+                f3(r.total),
+                f3(r.early),
+                f3(r.correlation),
+            ]);
         }
         t.row(vec![
             "average".to_string(),
@@ -219,6 +313,28 @@ impl Breakdown {
         ]);
         t
     }
+
+    /// Renders the breakdown as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("benchmark", r.name)
+                                .field("total", r.total)
+                                .field("early", r.early)
+                                .field("correlation", r.correlation)
+                        })
+                        .collect(),
+                ),
+            )
+            .field("average_early", self.average_early())
+            .field("average_correlation", self.average_correlation())
+    }
 }
 
 /// Figure 6b: splits the accuracy difference between the predicate scheme
@@ -226,17 +342,29 @@ impl Breakdown {
 /// contributions, following the paper's method: count the times the
 /// predicate was ready while the conventional predictor would have
 /// mispredicted; attribute the remaining difference to correlation.
-pub fn fig6b(cfg: &ExperimentConfig) -> Breakdown {
-    let mut rows = Vec::new();
-    for spec in suite(cfg) {
-        let compiled = compile_for(cfg, &spec, true);
-        let s = run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Selective, true);
-        let n = s.cond_branches.max(1) as f64;
-        let shadow_rate = s.shadow_mispredicts as f64 / n;
-        let total = (shadow_rate - s.misprediction_rate()) * 100.0;
-        let early = (s.early_resolved_saves as f64 / n) * 100.0;
-        rows.push(BreakdownRow { name: spec.name, total, early, correlation: total - early });
-    }
+pub fn fig6b(runner: &Runner, cfg: &ExperimentConfig) -> Breakdown {
+    let rows = scheme_grid(
+        runner,
+        cfg,
+        true,
+        &[(SchemeKind::Predicate, PredicationModel::Selective, true)],
+    );
+    let rows = rows
+        .into_iter()
+        .map(|row| {
+            let s = &row.runs[0];
+            let n = s.cond_branches.max(1) as f64;
+            let shadow_rate = s.shadow_mispredicts as f64 / n;
+            let total = (shadow_rate - s.misprediction_rate()) * 100.0;
+            let early = (s.early_resolved_saves as f64 / n) * 100.0;
+            BreakdownRow {
+                name: row.name,
+                total,
+                early,
+                correlation: total - early,
+            }
+        })
+        .collect();
     Breakdown { rows }
 }
 
@@ -301,20 +429,50 @@ impl IpcAblation {
         ]);
         t
     }
+
+    /// Renders the ablation as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("benchmark", r.name)
+                                .field("ipc_cmov", r.ipc_cmov)
+                                .field("ipc_selective", r.ipc_selective)
+                                .field("speedup", r.speedup())
+                        })
+                        .collect(),
+                ),
+            )
+            .field("geomean_speedup", self.geomean_speedup())
+    }
 }
 
 /// §3.2/§5 ablation: IPC of the predicate scheme on if-converted binaries
 /// with cmov-style predication vs selective predicate prediction (the
 /// paper cites an 11% IPC gain for the selective scheme in \[16\]).
-pub fn ipc_ablation(cfg: &ExperimentConfig) -> IpcAblation {
-    let mut rows = Vec::new();
-    for spec in suite(cfg) {
-        let compiled = compile_for(cfg, &spec, true);
-        let cmov = run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Cmov, false);
-        let sel =
-            run_one(cfg, &compiled, SchemeKind::Predicate, PredicationModel::Selective, false);
-        rows.push(IpcRow { name: spec.name, ipc_cmov: cmov.ipc(), ipc_selective: sel.ipc() });
-    }
+pub fn ipc_ablation(runner: &Runner, cfg: &ExperimentConfig) -> IpcAblation {
+    let rows = scheme_grid(
+        runner,
+        cfg,
+        true,
+        &[
+            (SchemeKind::Predicate, PredicationModel::Cmov, false),
+            (SchemeKind::Predicate, PredicationModel::Selective, false),
+        ],
+    );
+    let rows = rows
+        .into_iter()
+        .map(|row| IpcRow {
+            name: row.name,
+            ipc_cmov: row.runs[0].ipc(),
+            ipc_selective: row.runs[1].ipc(),
+        })
+        .collect();
     IpcAblation { rows }
 }
 
@@ -336,7 +494,10 @@ pub fn table1(cfg: &ExperimentConfig) -> String {
         "Load-store queues         2 separate queues of {} entries each\n",
         c.lq_entries
     ));
-    out.push_str(&format!("Reorder buffer            {} entries\n", c.rob_entries));
+    out.push_str(&format!(
+        "Reorder buffer            {} entries\n",
+        c.rob_entries
+    ));
     out.push_str("L1D                       64KB 4-way 64B, 2-cycle, 12+4 misses, 16 WB\n");
     out.push_str("L1I                       32KB 4-way 64B, 1-cycle\n");
     out.push_str("L2 unified                1MB 16-way 128B, 8-cycle, 12 misses, 8 WB\n");
@@ -349,6 +510,58 @@ pub fn table1(cfg: &ExperimentConfig) -> String {
     out.push_str("\nPredictor storage budgets\n");
     out.push_str(&sizing::paper_report());
     out
+}
+
+/// Runs every experiment and renders the consolidated report (the body of
+/// `ppsim suite` and the `all` binary; exposed for integration tests).
+/// The returned string is deterministic: byte-identical for any worker
+/// count and cache state.
+pub fn full_report(runner: &Runner, cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&table1(cfg));
+    out.push('\n');
+    let fig5 = fig5(runner, cfg, false);
+    out.push_str(&fig5.table().to_string());
+    out.push_str(&format!(
+        "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.86)\n\n",
+        fig5.accuracy_gain(0, 1)
+    ));
+    let fig6a = fig6a(runner, cfg);
+    out.push_str(&fig6a.table().to_string());
+    out.push_str(&format!(
+        "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n\n",
+        fig6a.accuracy_gain(1, 2)
+    ));
+    let fig6b = fig6b(runner, cfg);
+    out.push_str(&fig6b.table().to_string());
+    out.push_str(&format!(
+        "averages: early {:+.2}, correlation {:+.2} (paper: +0.5 / +1.0)\n\n",
+        fig6b.average_early(),
+        fig6b.average_correlation()
+    ));
+    let ipc = ipc_ablation(runner, cfg);
+    out.push_str(&ipc.table().to_string());
+    out.push_str(&format!(
+        "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)\n",
+        ipc.geomean_speedup()
+    ));
+    out
+}
+
+/// The consolidated report as one JSON artifact: every figure's data plus
+/// the runner's execution telemetry.
+pub fn full_report_json(runner: &Runner, cfg: &ExperimentConfig) -> Json {
+    let fig5 = fig5(runner, cfg, false);
+    let fig6a = fig6a(runner, cfg);
+    let fig6b = fig6b(runner, cfg);
+    let ipc = ipc_ablation(runner, cfg);
+    Json::obj()
+        .field("commits", cfg.commits)
+        .field("fig5", fig5.to_json())
+        .field("fig6a", fig6a.to_json())
+        .field("fig6b", fig6b.to_json())
+        .field("ipc_ablation", ipc.to_json())
+        .field("telemetry", runner.telemetry().to_json())
 }
 
 #[cfg(test)]
@@ -366,7 +579,8 @@ mod tests {
 
     #[test]
     fn fig5_produces_rates_for_selected_benchmarks() {
-        let r = fig5(&tiny_cfg(), false);
+        let runner = Runner::serial_no_cache();
+        let r = fig5(&runner, &tiny_cfg(), false);
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].name, "gzip");
         assert_eq!(r.schemes.len(), 2);
@@ -377,11 +591,16 @@ mod tests {
         }
         let t = r.table().to_string();
         assert!(t.contains("gzip") && t.contains("average"), "{t}");
+        // The JSON rendering carries the same rates and parses back.
+        let j = r.to_json().to_string();
+        let parsed = Json::parse(&j).unwrap();
+        assert_eq!(parsed.get("schemes").unwrap().as_arr().unwrap().len(), 2);
     }
 
     #[test]
     fn fig6a_runs_three_schemes() {
-        let r = fig6a(&tiny_cfg());
+        let runner = Runner::serial_no_cache();
+        let r = fig6a(&runner, &tiny_cfg());
         assert_eq!(r.rows[0].runs.len(), 3);
         let t = r.table().to_string();
         assert!(t.contains("pep-pa"), "{t}");
@@ -389,14 +608,16 @@ mod tests {
 
     #[test]
     fn fig6b_breakdown_sums() {
-        let r = fig6b(&tiny_cfg());
+        let runner = Runner::serial_no_cache();
+        let r = fig6b(&runner, &tiny_cfg());
         let row = &r.rows[0];
         assert!((row.early + row.correlation - row.total).abs() < 1e-9);
     }
 
     #[test]
     fn ipc_ablation_produces_positive_ipcs() {
-        let r = ipc_ablation(&tiny_cfg());
+        let runner = Runner::serial_no_cache();
+        let r = ipc_ablation(&runner, &tiny_cfg());
         let row = &r.rows[0];
         assert!(row.ipc_cmov > 0.1);
         assert!(row.ipc_selective > 0.1);
@@ -406,36 +627,73 @@ mod tests {
     #[test]
     fn comparison_math() {
         use ppsim_pipeline::SimStats;
-        let mk = |m: u64| SimStats { cond_branches: 100, mispredicts: m, ..SimStats::default() };
+        let mk = |m: u64| SimStats {
+            cond_branches: 100,
+            mispredicts: m,
+            ..SimStats::default()
+        };
         let c = Comparison {
             title: "t".into(),
             schemes: vec!["a".into(), "b".into()],
             rows: vec![
-                BenchRow { name: "x", class: WorkloadClass::Int, runs: vec![mk(10), mk(5)] },
-                BenchRow { name: "y", class: WorkloadClass::Fp, runs: vec![mk(20), mk(15)] },
+                BenchRow {
+                    name: "x",
+                    class: WorkloadClass::Int,
+                    runs: vec![mk(10), mk(5)],
+                },
+                BenchRow {
+                    name: "y",
+                    class: WorkloadClass::Fp,
+                    runs: vec![mk(20), mk(15)],
+                },
             ],
         };
         assert!((c.average_rate(0) - 0.15).abs() < 1e-12);
         assert!((c.average_rate(1) - 0.10).abs() < 1e-12);
-        assert!((c.accuracy_gain(0, 1) - 5.0).abs() < 1e-9, "{}", c.accuracy_gain(0, 1));
+        assert!(
+            (c.accuracy_gain(0, 1) - 5.0).abs() < 1e-9,
+            "{}",
+            c.accuracy_gain(0, 1)
+        );
         let t = c.table().to_string();
-        assert!(t.contains("x") && t.contains("15.00") && t.contains("average"), "{t}");
+        assert!(
+            t.contains("x") && t.contains("15.00") && t.contains("average"),
+            "{t}"
+        );
     }
 
     #[test]
     fn breakdown_and_ipc_math() {
         let b = Breakdown {
             rows: vec![
-                BreakdownRow { name: "x", total: 2.0, early: 0.5, correlation: 1.5 },
-                BreakdownRow { name: "y", total: 1.0, early: 1.0, correlation: 0.0 },
+                BreakdownRow {
+                    name: "x",
+                    total: 2.0,
+                    early: 0.5,
+                    correlation: 1.5,
+                },
+                BreakdownRow {
+                    name: "y",
+                    total: 1.0,
+                    early: 1.0,
+                    correlation: 0.0,
+                },
             ],
         };
         assert!((b.average_early() - 0.75).abs() < 1e-12);
         assert!((b.average_correlation() - 0.75).abs() < 1e-12);
         let ipc = IpcAblation {
             rows: vec![
-                IpcRow { name: "x", ipc_cmov: 2.0, ipc_selective: 2.2 },
-                IpcRow { name: "y", ipc_cmov: 1.0, ipc_selective: 1.0 },
+                IpcRow {
+                    name: "x",
+                    ipc_cmov: 2.0,
+                    ipc_selective: 2.2,
+                },
+                IpcRow {
+                    name: "y",
+                    ipc_cmov: 1.0,
+                    ipc_selective: 1.0,
+                },
             ],
         };
         let g = ipc.geomean_speedup();
@@ -446,7 +704,13 @@ mod tests {
     #[test]
     fn table1_mentions_all_structures() {
         let t = table1(&ExperimentConfig::default());
-        for s in ["Reorder buffer", "256", "120 cycles", "perceptron", "PEP-PA"] {
+        for s in [
+            "Reorder buffer",
+            "256",
+            "120 cycles",
+            "perceptron",
+            "PEP-PA",
+        ] {
             assert!(t.contains(s), "missing {s} in:\n{t}");
         }
     }

@@ -15,14 +15,21 @@
 //! pair — the paper uses 100M; rates on these kernels stabilize far
 //! earlier. Override with [`ExperimentConfig::commits`].
 //!
+//! Execution goes through [`ppsim_runner::Runner`]: experiments build
+//! grids of simulation cells which the runner fans across worker threads
+//! and serves from an on-disk result cache where possible. Reports are
+//! byte-identical for any worker count and cache state.
+//!
 //! # Example
 //!
 //! ```no_run
-//! use ppsim_core::{experiments, ExperimentConfig};
+//! use ppsim_core::{experiments, ExperimentConfig, Runner, RunnerOptions};
 //!
+//! let runner = Runner::new(RunnerOptions::default());
 //! let cfg = ExperimentConfig { commits: 200_000, ..ExperimentConfig::default() };
-//! let fig5 = experiments::fig5(&cfg, false);
+//! let fig5 = experiments::fig5(&runner, &cfg, false);
 //! println!("{}", fig5.table());
+//! eprintln!("{}", runner.telemetry().summary());
 //! ```
 
 pub mod experiments;
@@ -31,6 +38,7 @@ pub mod sweep;
 
 use ppsim_pipeline::CoreConfig;
 
+pub use ppsim_runner::{DiskCache, Job, JobResult, Json, Runner, RunnerOptions, Telemetry};
 pub use report::Table;
 
 /// Configuration shared by all experiments.

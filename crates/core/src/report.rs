@@ -44,9 +44,10 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let cols = self.headers.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -105,7 +106,9 @@ mod tests {
         assert!(s.contains("gzip"));
         assert!(s.contains("4.23"));
         assert!(s.contains("0.10"));
-        assert!(s.lines().all(|l| l.is_empty() || l.starts_with('+') || l.starts_with('|') || l == "Demo"));
+        assert!(s
+            .lines()
+            .all(|l| l.is_empty() || l.starts_with('+') || l.starts_with('|') || l == "Demo"));
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! * [`history_sweep`] — accuracy vs global-history length,
 //! * [`threshold_sweep`] — how the if-conversion aggressiveness threshold
 //!   moves branch population and final accuracy.
+//!
+//! All sweeps execute through the [`Runner`], so points share compiled
+//! binaries where possible and land in the on-disk result cache.
 
-use ppsim_compiler::ifconvert::IfConvertConfig;
-use ppsim_compiler::{compile, CompileOptions};
-use ppsim_pipeline::{PredicationModel, SchemeKind, Simulator};
+use ppsim_pipeline::{PredicationModel, SchemeKind};
 use ppsim_predictors::{PerceptronConfig, PredicateConfig};
+use ppsim_runner::{Job, Json, Runner};
 
 use crate::report::{pct, Table};
 use crate::ExperimentConfig;
@@ -54,57 +56,104 @@ impl Sweep {
         }
         t
     }
+
+    /// Renders the sweep as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("title", self.title.as_str())
+            .field("axis", self.axis.as_str())
+            .field(
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj()
+                                .field("label", p.label.as_str())
+                                .field("conventional", p.conventional)
+                                .field("predicate", p.predicate)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// The selected benchmark names, in suite order.
+fn names(cfg: &ExperimentConfig) -> Vec<&'static str> {
+    ppsim_compiler::spec2000_suite()
+        .iter()
+        .filter(|s| cfg.selected(s.name))
+        .map(|s| s.name)
+        .collect()
+}
+
+fn base_job(cfg: &ExperimentConfig, bench: &str, ifconv: bool, scheme: SchemeKind) -> Job {
+    Job::new(
+        bench,
+        ifconv,
+        scheme,
+        PredicationModel::Cmov,
+        cfg.commits,
+        cfg.profile_steps,
+        cfg.core,
+    )
 }
 
 /// Average misprediction rate over the selected benchmarks for one pair of
-/// predictor configurations.
+/// predictor configurations. Builds one (benchmark × 2 schemes) grid.
 fn measure_pair(
+    runner: &Runner,
     cfg: &ExperimentConfig,
     perceptron: PerceptronConfig,
     ifconv: bool,
 ) -> (f64, f64) {
-    let suite: Vec<_> = ppsim_compiler::spec2000_suite()
-        .into_iter()
-        .filter(|s| cfg.selected(s.name))
+    let names = names(cfg);
+    let jobs: Vec<Job> = names
+        .iter()
+        .flat_map(|&name| {
+            [
+                Job {
+                    perceptron: Some(perceptron),
+                    ..base_job(cfg, name, ifconv, SchemeKind::Conventional)
+                },
+                Job {
+                    predicate: Some(PredicateConfig {
+                        perceptron,
+                        conf_bits: 3,
+                    }),
+                    ..base_job(cfg, name, ifconv, SchemeKind::Predicate)
+                },
+            ]
+        })
         .collect();
-    let opts = if ifconv {
-        CompileOptions::with_ifconv()
-    } else {
-        CompileOptions::no_ifconv()
-    };
-    let mut conv_sum = 0.0;
-    let mut pred_sum = 0.0;
-    for spec in &suite {
-        let compiled = compile(spec, &opts).expect("suite compiles");
-        let mut conv = Simulator::new(
-            &compiled.program,
-            SchemeKind::Conventional,
-            PredicationModel::Cmov,
-            cfg.core,
-        )
-        .with_perceptron_config(perceptron);
-        conv_sum += conv.run(cfg.commits).stats.misprediction_rate();
-        let mut pred = Simulator::new(
-            &compiled.program,
-            SchemeKind::Predicate,
-            PredicationModel::Cmov,
-            cfg.core,
-        )
-        .with_predicate_config(PredicateConfig { perceptron, conf_bits: 3 });
-        pred_sum += pred.run(cfg.commits).stats.misprediction_rate();
-    }
-    let n = suite.len().max(1) as f64;
+    let results = runner.run_grid(&jobs);
+    let n = names.len().max(1) as f64;
+    let conv_sum: f64 = results
+        .iter()
+        .step_by(2)
+        .map(|r| r.stats.misprediction_rate())
+        .sum();
+    let pred_sum: f64 = results
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .map(|r| r.stats.misprediction_rate())
+        .sum();
     (conv_sum / n, pred_sum / n)
 }
 
 /// Accuracy vs predictor storage budget (row count scaled; geometry
 /// fixed at the paper's 30+10-bit histories).
-pub fn size_sweep(cfg: &ExperimentConfig, ifconv: bool) -> Sweep {
+pub fn size_sweep(runner: &Runner, cfg: &ExperimentConfig, ifconv: bool) -> Sweep {
     let mut points = Vec::new();
     for rows in [462usize, 924, 1848, 3696, 7392] {
-        let perceptron = PerceptronConfig { rows, ..PerceptronConfig::paper_148kb() };
+        let perceptron = PerceptronConfig {
+            rows,
+            ..PerceptronConfig::paper_148kb()
+        };
         let kb = perceptron.table_bytes() as f64 / 1024.0;
-        let (c, p) = measure_pair(cfg, perceptron, ifconv);
+        let (c, p) = measure_pair(runner, cfg, perceptron, ifconv);
         points.push(SweepPoint {
             label: format!("{kb:.0} KB"),
             conventional: c,
@@ -123,14 +172,14 @@ pub fn size_sweep(cfg: &ExperimentConfig, ifconv: bool) -> Sweep {
 
 /// Accuracy vs global-history length (rows rebalanced to keep the budget
 /// roughly constant).
-pub fn history_sweep(cfg: &ExperimentConfig, ifconv: bool) -> Sweep {
+pub fn history_sweep(runner: &Runner, cfg: &ExperimentConfig, ifconv: bool) -> Sweep {
     let base = PerceptronConfig::paper_148kb();
     let budget = base.table_bytes();
     let mut points = Vec::new();
     for ghr_bits in [8u32, 16, 24, 30, 40] {
         let mut perceptron = PerceptronConfig { ghr_bits, ..base };
         perceptron.rows = budget / perceptron.weights_per_row();
-        let (c, p) = measure_pair(cfg, perceptron, ifconv);
+        let (c, p) = measure_pair(runner, cfg, perceptron, ifconv);
         points.push(SweepPoint {
             label: format!("{ghr_bits} bits"),
             conventional: c,
@@ -160,32 +209,41 @@ pub struct ThresholdPoint {
     pub predicate: f64,
 }
 
-/// Sweeps the if-conversion aggressiveness threshold.
-pub fn threshold_sweep(cfg: &ExperimentConfig) -> Vec<ThresholdPoint> {
-    let suite: Vec<_> = ppsim_compiler::spec2000_suite()
-        .into_iter()
-        .filter(|s| cfg.selected(s.name))
-        .collect();
+/// Sweeps the if-conversion aggressiveness threshold. The per-binary
+/// static branch counts come back with each job result (they are cached
+/// alongside the statistics, so warm-cache sweeps recompile nothing).
+pub fn threshold_sweep(runner: &Runner, cfg: &ExperimentConfig) -> Vec<ThresholdPoint> {
+    let names = names(cfg);
     let mut out = Vec::new();
     for threshold in [0.02f64, 0.08, 0.15, 0.30, 0.60] {
-        let mut branches = 0usize;
-        let mut conv_sum = 0.0;
-        let mut pred_sum = 0.0;
-        for spec in &suite {
-            let mut opts = CompileOptions::with_ifconv();
-            opts.ifconvert = IfConvertConfig { misp_threshold: threshold, ..opts.ifconvert };
-            let compiled = compile(spec, &opts).expect("suite compiles");
-            branches += compiled.program.count_insns(|i| i.is_cond_branch());
-            let run = |scheme| {
-                Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, cfg.core)
-                    .run(cfg.commits)
-                    .stats
-                    .misprediction_rate()
-            };
-            conv_sum += run(SchemeKind::Conventional);
-            pred_sum += run(SchemeKind::Predicate);
-        }
-        let n = suite.len().max(1) as f64;
+        let jobs: Vec<Job> = names
+            .iter()
+            .flat_map(|&name| {
+                [SchemeKind::Conventional, SchemeKind::Predicate].map(|scheme| Job {
+                    ifconv_threshold: Some(threshold),
+                    ..base_job(cfg, name, true, scheme)
+                })
+            })
+            .collect();
+        let results = runner.run_grid(&jobs);
+        let n = names.len().max(1) as f64;
+        // Both schemes share a binary; count statics once per benchmark.
+        let branches: u64 = results
+            .iter()
+            .step_by(2)
+            .map(|r| r.static_cond_branches)
+            .sum();
+        let conv_sum: f64 = results
+            .iter()
+            .step_by(2)
+            .map(|r| r.stats.misprediction_rate())
+            .sum();
+        let pred_sum: f64 = results
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|r| r.stats.misprediction_rate())
+            .sum();
         out.push(ThresholdPoint {
             threshold,
             branches_left: branches as f64 / n,
@@ -200,7 +258,12 @@ pub fn threshold_sweep(cfg: &ExperimentConfig) -> Vec<ThresholdPoint> {
 pub fn threshold_table(points: &[ThresholdPoint]) -> Table {
     let mut t = Table::new(
         "If-conversion aggressiveness sweep",
-        &["threshold", "static cond branches", "conventional misp%", "predicate misp%"],
+        &[
+            "threshold",
+            "static cond branches",
+            "conventional misp%",
+            "predicate misp%",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -213,33 +276,54 @@ pub fn threshold_table(points: &[ThresholdPoint]) -> Table {
     t
 }
 
+/// Renders the threshold sweep as a JSON array.
+pub fn threshold_json(points: &[ThresholdPoint]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("threshold", p.threshold)
+                    .field("branches_left", p.branches_left)
+                    .field("conventional", p.conventional)
+                    .field("predicate", p.predicate)
+            })
+            .collect(),
+    )
+}
+
 /// Measures the value of §3.3's history repair: the predicate predictor
 /// with and without writeback-time bit correction, on if-converted
 /// binaries (where correlation through compare history is the main
 /// effect).
-pub fn repair_ablation(cfg: &ExperimentConfig) -> Sweep {
-    let suite: Vec<_> = ppsim_compiler::spec2000_suite()
-        .into_iter()
-        .filter(|s| cfg.selected(s.name))
-        .collect();
+pub fn repair_ablation(runner: &Runner, cfg: &ExperimentConfig) -> Sweep {
+    let names = names(cfg);
     let mut points = Vec::new();
     for (label, repair) in [("with repair", true), ("no repair", false)] {
-        let mut conv_sum = 0.0;
-        let mut pred_sum = 0.0;
-        for spec in &suite {
-            let compiled = compile(spec, &CompileOptions::with_ifconv()).expect("suite compiles");
-            let mut core = cfg.core;
-            core.history_repair = repair;
-            let run = |scheme| {
-                Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, core)
-                    .run(cfg.commits)
-                    .stats
-                    .misprediction_rate()
-            };
-            conv_sum += run(SchemeKind::Conventional);
-            pred_sum += run(SchemeKind::Predicate);
-        }
-        let n = suite.len().max(1) as f64;
+        let mut core = cfg.core;
+        core.history_repair = repair;
+        let jobs: Vec<Job> = names
+            .iter()
+            .flat_map(|&name| {
+                [SchemeKind::Conventional, SchemeKind::Predicate].map(|scheme| Job {
+                    core,
+                    ..base_job(cfg, name, true, scheme)
+                })
+            })
+            .collect();
+        let results = runner.run_grid(&jobs);
+        let n = names.len().max(1) as f64;
+        let conv_sum: f64 = results
+            .iter()
+            .step_by(2)
+            .map(|r| r.stats.misprediction_rate())
+            .sum();
+        let pred_sum: f64 = results
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|r| r.stats.misprediction_rate())
+            .sum();
         points.push(SweepPoint {
             label: label.to_string(),
             conventional: conv_sum / n,
@@ -268,7 +352,8 @@ mod tests {
 
     #[test]
     fn size_sweep_produces_monotone_labels() {
-        let s = size_sweep(&tiny(), false);
+        let runner = Runner::serial_no_cache();
+        let s = size_sweep(&runner, &tiny(), false);
         assert_eq!(s.points.len(), 5);
         for p in &s.points {
             assert!((0.0..=1.0).contains(&p.conventional));
@@ -276,6 +361,17 @@ mod tests {
         }
         let t = s.table().to_string();
         assert!(t.contains("KB"), "{t}");
+        let j = s.to_json().to_string();
+        assert_eq!(
+            Json::parse(&j)
+                .unwrap()
+                .get("points")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            5
+        );
     }
 
     #[test]
@@ -291,13 +387,14 @@ mod tests {
 
     #[test]
     fn repair_ablation_shows_corruption_cost() {
+        let runner = Runner::serial_no_cache();
         let cfg = ExperimentConfig {
             commits: 60_000,
             profile_steps: 60_000,
             only: vec!["gcc".into()],
             ..ExperimentConfig::default()
         };
-        let s = repair_ablation(&cfg);
+        let s = repair_ablation(&runner, &cfg);
         assert_eq!(s.points.len(), 2);
         let with = s.points[0].predicate;
         let without = s.points[1].predicate;
@@ -312,7 +409,8 @@ mod tests {
 
     #[test]
     fn threshold_sweep_trades_branches_for_conversion() {
-        let points = threshold_sweep(&tiny());
+        let runner = Runner::serial_no_cache();
+        let points = threshold_sweep(&runner, &tiny());
         assert_eq!(points.len(), 5);
         // A more aggressive threshold (lower) leaves at most as many
         // branches as a conservative one.

@@ -147,7 +147,12 @@ impl Asm {
 
     /// `dst = src1 <kind> src2`.
     pub fn alu(&mut self, kind: AluKind, dst: Gr, src1: Gr, src2: impl Into<Operand>) -> &mut Self {
-        self.emit(Op::Alu { kind, dst, src1, src2: src2.into() })
+        self.emit(Op::Alu {
+            kind,
+            dst,
+            src1,
+            src2: src2.into(),
+        })
     }
 
     /// `dst = src1 + src2` (register form).
@@ -192,7 +197,14 @@ impl Asm {
         src1: Gr,
         src2: impl Into<Operand>,
     ) -> &mut Self {
-        self.emit(Op::Cmp { ctype, rel, pt, pf, src1, src2: src2.into() })
+        self.emit(Op::Cmp {
+            ctype,
+            rel,
+            pt,
+            pf,
+            src1,
+            src2: src2.into(),
+        })
     }
 
     /// Floating-point compare producing two predicates.
@@ -205,14 +217,26 @@ impl Asm {
         src1: Fr,
         src2: Fr,
     ) -> &mut Self {
-        self.emit(Op::Fcmp { ctype, rel, pt, pf, src1, src2 })
+        self.emit(Op::Fcmp {
+            ctype,
+            rel,
+            pt,
+            pf,
+            src1,
+            src2,
+        })
     }
 
     // ---- floating point ----
 
     /// `dst = src1 <kind> src2` on floats.
     pub fn fpu(&mut self, kind: FpuKind, dst: Fr, src1: Fr, src2: Fr) -> &mut Self {
-        self.emit(Op::Fpu { kind, dst, src1, src2 })
+        self.emit(Op::Fpu {
+            kind,
+            dst,
+            src1,
+            src2,
+        })
     }
 
     /// Float addition.
@@ -390,7 +414,12 @@ mod tests {
         let prog = a.assemble().unwrap();
         assert_eq!(
             prog.insns[0].op,
-            Op::Alu { kind: AluKind::Add, dst: g(2), src1: g(1), src2: Operand::Imm(0) }
+            Op::Alu {
+                kind: AluKind::Add,
+                dst: g(2),
+                src1: g(1),
+                src2: Operand::Imm(0)
+            }
         );
     }
 

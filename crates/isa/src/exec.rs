@@ -142,7 +142,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::FellOffEnd { slot } => {
-                write!(f, "control flow reached slot {slot}, past the end of the program")
+                write!(
+                    f,
+                    "control flow reached slot {slot}, past the end of the program"
+                )
             }
         }
     }
@@ -309,7 +312,12 @@ impl Machine {
         let mut info = ExecInfo::None;
 
         match insn.op {
-            Op::Alu { kind, dst, src1, src2 } => {
+            Op::Alu {
+                kind,
+                dst,
+                src1,
+                src2,
+            } => {
                 if qp {
                     let a = self.gr(src1);
                     let b = self.operand(src2);
@@ -331,7 +339,14 @@ impl Machine {
                     self.write_gr(dst, imm);
                 }
             }
-            Op::Cmp { ctype, rel, pt, pf, src1, src2 } => {
+            Op::Cmp {
+                ctype,
+                rel,
+                pt,
+                pf,
+                src1,
+                src2,
+            } => {
                 let cond = rel.eval(self.gr(src1), self.operand(src2));
                 let (ptw, pfw) = ctype.resolve(qp, cond);
                 if let Some(v) = ptw {
@@ -340,9 +355,20 @@ impl Machine {
                 if let Some(v) = pfw {
                     self.write_pr(pf, v);
                 }
-                info = ExecInfo::Cmp { cond, pt_write: ptw, pf_write: pfw };
+                info = ExecInfo::Cmp {
+                    cond,
+                    pt_write: ptw,
+                    pf_write: pfw,
+                };
             }
-            Op::Fcmp { ctype, rel, pt, pf, src1, src2 } => {
+            Op::Fcmp {
+                ctype,
+                rel,
+                pt,
+                pf,
+                src1,
+                src2,
+            } => {
                 let cond = rel.eval_f(self.fr(src1), self.fr(src2));
                 let (ptw, pfw) = ctype.resolve(qp, cond);
                 if let Some(v) = ptw {
@@ -351,9 +377,18 @@ impl Machine {
                 if let Some(v) = pfw {
                     self.write_pr(pf, v);
                 }
-                info = ExecInfo::Cmp { cond, pt_write: ptw, pf_write: pfw };
+                info = ExecInfo::Cmp {
+                    cond,
+                    pt_write: ptw,
+                    pf_write: pfw,
+                };
             }
-            Op::Fpu { kind, dst, src1, src2 } => {
+            Op::Fpu {
+                kind,
+                dst,
+                src1,
+                src2,
+            } => {
                 if qp {
                     let a = self.fr(src1);
                     let b = self.fr(src2);
@@ -422,7 +457,14 @@ impl Machine {
             }
         }
 
-        let record = ExecRecord { seq: self.seq, slot, insn, qp, info, next_slot };
+        let record = ExecRecord {
+            seq: self.seq,
+            slot,
+            insn,
+            qp,
+            info,
+            next_slot,
+        };
         self.seq += 1;
         self.pc = next_slot;
         Ok(Some(record))
@@ -437,10 +479,16 @@ impl Machine {
         let start = self.seq;
         while self.seq - start < max_steps {
             if self.step()?.is_none() {
-                return Ok(RunOutcome { steps: self.seq - start, reason: StopReason::Halted });
+                return Ok(RunOutcome {
+                    steps: self.seq - start,
+                    reason: StopReason::Halted,
+                });
             }
         }
-        Ok(RunOutcome { steps: self.seq - start, reason: StopReason::BudgetExhausted })
+        Ok(RunOutcome {
+            steps: self.seq - start,
+            reason: StopReason::BudgetExhausted,
+        })
     }
 }
 
@@ -534,7 +582,8 @@ mod tests {
         a.movi(g(1), 5);
         // make p1=true first so we can seed p4,p5 true via another compare
         a.cmp(CmpType::Unc, CmpRel::Eq, p(4), p(5), g(1), 5i64); // p4=1,p5=0
-        a.pred(p(5)).cmp(CmpType::Unc, CmpRel::Eq, p(6), p(7), g(1), 5i64);
+        a.pred(p(5))
+            .cmp(CmpType::Unc, CmpRel::Eq, p(6), p(7), g(1), 5i64);
         a.halt();
         let prog = a.assemble().unwrap();
         let mut m = Machine::new(&prog);
@@ -552,7 +601,7 @@ mod tests {
         a.movi(g(1), 1);
         // seed p1 = true via or-init idiom: normal compare
         a.cmp(CmpType::Unc, CmpRel::Eq, p(1), p(0), g(1), 1i64); // p1 = 1
-        // and-chain: p1 &= (r1 == 2)  → false clears it
+                                                                 // and-chain: p1 &= (r1 == 2)  → false clears it
         a.cmp(CmpType::And, CmpRel::Eq, p(1), p(0), g(1), 2i64);
         // or-chain into p2 (initially false)
         a.cmp(CmpType::Or, CmpRel::Eq, p(2), p(0), g(1), 1i64); // sets p2
@@ -560,8 +609,14 @@ mod tests {
         let prog = a.assemble().unwrap();
         let mut m = Machine::new(&prog);
         m.run(10).unwrap();
-        assert!(!m.pr(p(1)), "and-type compare with false condition clears target");
-        assert!(m.pr(p(2)), "or-type compare with true condition sets target");
+        assert!(
+            !m.pr(p(1)),
+            "and-type compare with false condition clears target"
+        );
+        assert!(
+            m.pr(p(2)),
+            "or-type compare with true condition sets target"
+        );
     }
 
     #[test]
@@ -733,7 +788,10 @@ mod tests {
         let out = m.run(100).unwrap();
         assert_eq!(out.reason, StopReason::Halted);
         assert_eq!(out.steps, 1);
-        assert!(m.step().unwrap().is_none(), "stepping after halt yields None");
+        assert!(
+            m.step().unwrap().is_none(),
+            "stepping after halt yields None"
+        );
     }
 
     #[test]

@@ -487,7 +487,12 @@ impl fmt::Display for Insn {
             write!(f, "({}) ", self.qp)?;
         }
         match self.op {
-            Op::Alu { kind, dst, src1, src2 } => {
+            Op::Alu {
+                kind,
+                dst,
+                src1,
+                src2,
+            } => {
                 let m = match kind {
                     AluKind::Add => "add",
                     AluKind::Sub => "sub",
@@ -501,19 +506,38 @@ impl fmt::Display for Insn {
                 write!(f, "{m} {dst} = {src1}, {src2}")
             }
             Op::Movi { dst, imm } => write!(f, "movl {dst} = {imm}"),
-            Op::Cmp { ctype, rel, pt, pf, src1, src2 } => write!(
+            Op::Cmp {
+                ctype,
+                rel,
+                pt,
+                pf,
+                src1,
+                src2,
+            } => write!(
                 f,
                 "cmp{}.{} {pt}, {pf} = {src1}, {src2}",
                 ctype.mnemonic_suffix(),
                 rel.mnemonic()
             ),
-            Op::Fcmp { ctype, rel, pt, pf, src1, src2 } => write!(
+            Op::Fcmp {
+                ctype,
+                rel,
+                pt,
+                pf,
+                src1,
+                src2,
+            } => write!(
                 f,
                 "fcmp{}.{} {pt}, {pf} = {src1}, {src2}",
                 ctype.mnemonic_suffix(),
                 rel.mnemonic()
             ),
-            Op::Fpu { kind, dst, src1, src2 } => {
+            Op::Fpu {
+                kind,
+                dst,
+                src1,
+                src2,
+            } => {
                 let m = match kind {
                     FpuKind::Fadd => "fadd",
                     FpuKind::Fsub => "fsub",
@@ -549,7 +573,10 @@ mod tests {
     #[test]
     fn cmp_type_truth_table_none() {
         assert_eq!(CmpType::None.resolve(true, true), (Some(true), Some(false)));
-        assert_eq!(CmpType::None.resolve(true, false), (Some(false), Some(true)));
+        assert_eq!(
+            CmpType::None.resolve(true, false),
+            (Some(false), Some(true))
+        );
         assert_eq!(CmpType::None.resolve(false, true), (None, None));
         assert_eq!(CmpType::None.resolve(false, false), (None, None));
     }
@@ -559,13 +586,22 @@ mod tests {
         assert_eq!(CmpType::Unc.resolve(true, true), (Some(true), Some(false)));
         assert_eq!(CmpType::Unc.resolve(true, false), (Some(false), Some(true)));
         // Disqualified unconditional compares clear both targets.
-        assert_eq!(CmpType::Unc.resolve(false, true), (Some(false), Some(false)));
-        assert_eq!(CmpType::Unc.resolve(false, false), (Some(false), Some(false)));
+        assert_eq!(
+            CmpType::Unc.resolve(false, true),
+            (Some(false), Some(false))
+        );
+        assert_eq!(
+            CmpType::Unc.resolve(false, false),
+            (Some(false), Some(false))
+        );
     }
 
     #[test]
     fn cmp_type_truth_table_and_or() {
-        assert_eq!(CmpType::And.resolve(true, false), (Some(false), Some(false)));
+        assert_eq!(
+            CmpType::And.resolve(true, false),
+            (Some(false), Some(false))
+        );
         assert_eq!(CmpType::And.resolve(true, true), (None, None));
         assert_eq!(CmpType::And.resolve(false, false), (None, None));
         assert_eq!(CmpType::Or.resolve(true, true), (Some(true), Some(true)));
@@ -609,7 +645,11 @@ mod tests {
 
     #[test]
     fn store_reads_base_and_data() {
-        let i = Insn::new(Op::Store { src: g(7), base: g(8), offset: 16 });
+        let i = Insn::new(Op::Store {
+            src: g(7),
+            base: g(8),
+            offset: 16,
+        });
         assert_eq!(i.gr_srcs(), [Some(g(8)), Some(g(7))]);
         assert_eq!(i.gr_dst(), None);
         assert!(i.is_store() && i.is_mem() && !i.is_load());

@@ -54,9 +54,9 @@ mod program;
 mod reg;
 
 pub use asm::{Asm, AsmError, Label};
-pub use parse::{parse_program, ParseError};
 pub use exec::{ExecError, ExecInfo, ExecRecord, Machine, RunOutcome, SparseMem, StopReason};
 pub use insn::{AluKind, CmpRel, CmpType, FpuKind, Insn, Op, Operand};
+pub use parse::{parse_program, ParseError};
 pub use program::{DataSegment, Program, ProgramError};
 pub use reg::{Fr, Gr, Pr};
 

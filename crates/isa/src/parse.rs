@@ -40,7 +40,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_gr(tok: &str, line: usize) -> Result<Gr, ParseError> {
@@ -122,7 +125,9 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     let mut asm = Asm::new();
     let mut labels: HashMap<String, crate::asm::Label> = HashMap::new();
     let mut label_of = |asm: &mut Asm, name: &str| {
-        *labels.entry(name.to_string()).or_insert_with(|| asm.new_label())
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| asm.new_label())
     };
 
     for (idx, raw) in source.lines().enumerate() {
@@ -173,7 +178,10 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
             }
         };
 
@@ -187,7 +195,9 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             "movl" | "movi" => {
                 need(2)?;
                 let dst = parse_gr(ops[0], line)?;
-                let imm = ops[1].parse::<i64>().map_err(|_| err(line, "bad immediate"))?;
+                let imm = ops[1]
+                    .parse::<i64>()
+                    .map_err(|_| err(line, "bad immediate"))?;
                 asm.movi(dst, imm);
             }
             "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "mul" => {
@@ -202,7 +212,12 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
                     "shr" => AluKind::Shr,
                     _ => AluKind::Mul,
                 };
-                asm.alu(kind, parse_gr(ops[0], line)?, parse_gr(ops[1], line)?, parse_operand(ops[2], line)?);
+                asm.alu(
+                    kind,
+                    parse_gr(ops[0], line)?,
+                    parse_gr(ops[1], line)?,
+                    parse_operand(ops[2], line)?,
+                );
             }
             "fadd" | "fsub" | "fmul" | "fdiv" => {
                 need(3)?;
@@ -212,7 +227,12 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
                     "fmul" => FpuKind::Fmul,
                     _ => FpuKind::Fdiv,
                 };
-                asm.fpu(kind, parse_fr(ops[0], line)?, parse_fr(ops[1], line)?, parse_fr(ops[2], line)?);
+                asm.fpu(
+                    kind,
+                    parse_fr(ops[0], line)?,
+                    parse_fr(ops[1], line)?,
+                    parse_fr(ops[2], line)?,
+                );
             }
             "setf" => {
                 need(2)?;
@@ -261,9 +281,23 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
                 let pt = parse_pr(ops[0], line)?;
                 let pf = parse_pr(ops[1], line)?;
                 if fp {
-                    asm.fcmp(ctype, rel, pt, pf, parse_fr(ops[2], line)?, parse_fr(ops[3], line)?);
+                    asm.fcmp(
+                        ctype,
+                        rel,
+                        pt,
+                        pf,
+                        parse_fr(ops[2], line)?,
+                        parse_fr(ops[3], line)?,
+                    );
                 } else {
-                    asm.cmp(ctype, rel, pt, pf, parse_gr(ops[2], line)?, parse_operand(ops[3], line)?);
+                    asm.cmp(
+                        ctype,
+                        rel,
+                        pt,
+                        pf,
+                        parse_gr(ops[2], line)?,
+                        parse_operand(ops[3], line)?,
+                    );
                 }
             }
             other => return Err(err(line, format!("unknown mnemonic `{other}`"))),

@@ -72,7 +72,10 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::BranchOutOfRange { slot, target } => {
-                write!(f, "branch at slot {slot} targets out-of-range slot {target}")
+                write!(
+                    f,
+                    "branch at slot {slot} targets out-of-range slot {target}"
+                )
             }
             ProgramError::DuplicateCmpTargets { slot } => {
                 write!(f, "compare at slot {slot} writes the same predicate twice")
@@ -109,7 +112,10 @@ pub struct Program {
 impl Program {
     /// Wraps a list of instructions with no data and zeroed registers.
     pub fn from_insns(insns: Vec<Insn>) -> Self {
-        Program { insns, ..Program::default() }
+        Program {
+            insns,
+            ..Program::default()
+        }
     }
 
     /// Number of instruction slots.
@@ -137,10 +143,14 @@ impl Program {
             return Err(ProgramError::Empty);
         }
         if self.gr_init.len() > NUM_GR {
-            return Err(ProgramError::BadInitLen { what: "integer register" });
+            return Err(ProgramError::BadInitLen {
+                what: "integer register",
+            });
         }
         if self.fr_init.len() > NUM_FR {
-            return Err(ProgramError::BadInitLen { what: "float register" });
+            return Err(ProgramError::BadInitLen {
+                what: "float register",
+            });
         }
         for (slot, insn) in self.insns.iter().enumerate() {
             let slot = slot as u32;
@@ -218,7 +228,10 @@ mod tests {
     #[test]
     fn validate_rejects_wild_branch() {
         let p = Program::from_insns(vec![Insn::new(Op::Br { target: 9 })]);
-        assert_eq!(p.validate(), Err(ProgramError::BranchOutOfRange { slot: 0, target: 9 }));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::BranchOutOfRange { slot: 0, target: 9 })
+        );
     }
 
     #[test]
@@ -234,7 +247,10 @@ mod tests {
             }),
             Insn::new(Op::Halt),
         ]);
-        assert_eq!(p.validate(), Err(ProgramError::DuplicateCmpTargets { slot: 0 }));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::DuplicateCmpTargets { slot: 0 })
+        );
     }
 
     #[test]

@@ -1,69 +1,116 @@
 //! Property tests for the ISA crate: emulator determinism, compare-type
 //! semantics, and the listing ⇄ parser round trip.
-
-use proptest::prelude::*;
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! `proptest` these run hand-rolled property loops over a seeded
+//! splitmix64 stream: every case is deterministic and a failure message
+//! includes the case index for replay.
 
 use ppsim_isa::{
     parse_program, AluKind, Asm, CmpRel, CmpType, Gr, Insn, Machine, Op, Operand, Pr, Program,
 };
 
-fn arb_gr() -> impl Strategy<Value = Gr> {
-    (0u8..32).prop_map(Gr::new)
+/// Minimal deterministic PRNG (splitmix64) for the property loops.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
 }
 
-fn arb_pr() -> impl Strategy<Value = Pr> {
-    (0u8..16).prop_map(Pr::new)
+fn arb_gr(rng: &mut Rng) -> Gr {
+    Gr::new(rng.below(32) as u8)
 }
 
-fn arb_alu_kind() -> impl Strategy<Value = AluKind> {
-    prop_oneof![
-        Just(AluKind::Add),
-        Just(AluKind::Sub),
-        Just(AluKind::And),
-        Just(AluKind::Or),
-        Just(AluKind::Xor),
-        Just(AluKind::Shl),
-        Just(AluKind::Shr),
-        Just(AluKind::Mul),
-    ]
+fn arb_pr(rng: &mut Rng) -> Pr {
+    Pr::new(rng.below(16) as u8)
 }
 
-fn arb_rel() -> impl Strategy<Value = CmpRel> {
-    prop_oneof![
-        Just(CmpRel::Eq),
-        Just(CmpRel::Ne),
-        Just(CmpRel::Lt),
-        Just(CmpRel::Le),
-        Just(CmpRel::Gt),
-        Just(CmpRel::Ge),
-    ]
+fn arb_alu_kind(rng: &mut Rng) -> AluKind {
+    const KINDS: [AluKind; 8] = [
+        AluKind::Add,
+        AluKind::Sub,
+        AluKind::And,
+        AluKind::Or,
+        AluKind::Xor,
+        AluKind::Shl,
+        AluKind::Shr,
+        AluKind::Mul,
+    ];
+    KINDS[rng.below(8) as usize]
 }
 
-fn arb_ctype() -> impl Strategy<Value = CmpType> {
-    prop_oneof![
-        Just(CmpType::None),
-        Just(CmpType::Unc),
-        Just(CmpType::And),
-        Just(CmpType::Or),
-    ]
+fn arb_rel(rng: &mut Rng) -> CmpRel {
+    const RELS: [CmpRel; 6] = [
+        CmpRel::Eq,
+        CmpRel::Ne,
+        CmpRel::Lt,
+        CmpRel::Le,
+        CmpRel::Gt,
+        CmpRel::Ge,
+    ];
+    RELS[rng.below(6) as usize]
+}
+
+fn arb_ctype(rng: &mut Rng) -> CmpType {
+    const TYPES: [CmpType; 4] = [CmpType::None, CmpType::Unc, CmpType::And, CmpType::Or];
+    TYPES[rng.below(4) as usize]
 }
 
 /// A straight-line instruction (no control flow).
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_alu_kind(), arb_gr(), arb_gr(), arb_gr())
-            .prop_map(|(kind, dst, src1, s2)| Op::Alu { kind, dst, src1, src2: Operand::Reg(s2) }),
-        (arb_alu_kind(), arb_gr(), arb_gr(), -100i64..100)
-            .prop_map(|(kind, dst, src1, v)| Op::Alu { kind, dst, src1, src2: Operand::Imm(v) }),
-        (arb_gr(), any::<i32>()).prop_map(|(dst, v)| Op::Movi { dst, imm: i64::from(v) }),
-        (arb_ctype(), arb_rel(), arb_pr(), arb_pr(), arb_gr(), -50i64..50).prop_map(
-            |(ctype, rel, pt, pf, src1, v)| {
-                // A compare may not name the same real register twice.
-                let pf = if pf == pt && !pt.is_zero() { Pr::ZERO } else { pf };
-                Op::Cmp { ctype, rel, pt, pf, src1, src2: Operand::Imm(v) }
+fn arb_op(rng: &mut Rng) -> Op {
+    match rng.below(4) {
+        0 => Op::Alu {
+            kind: arb_alu_kind(rng),
+            dst: arb_gr(rng),
+            src1: arb_gr(rng),
+            src2: Operand::Reg(arb_gr(rng)),
+        },
+        1 => Op::Alu {
+            kind: arb_alu_kind(rng),
+            dst: arb_gr(rng),
+            src1: arb_gr(rng),
+            src2: Operand::Imm(rng.i64_in(-100, 100)),
+        },
+        2 => Op::Movi {
+            dst: arb_gr(rng),
+            imm: rng.next() as u32 as i32 as i64,
+        },
+        _ => {
+            let pt = arb_pr(rng);
+            let mut pf = arb_pr(rng);
+            // A compare may not name the same real register twice.
+            if pf == pt && !pt.is_zero() {
+                pf = Pr::ZERO;
             }
-        ),
-    ]
+            Op::Cmp {
+                ctype: arb_ctype(rng),
+                rel: arb_rel(rng),
+                pt,
+                pf,
+                src1: arb_gr(rng),
+                src2: Operand::Imm(rng.i64_in(-50, 50)),
+            }
+        }
+    }
+}
+
+fn arb_ops(rng: &mut Rng, max: u64) -> Vec<Op> {
+    let n = 1 + rng.below(max - 1) as usize;
+    (0..n).map(|_| arb_op(rng)).collect()
 }
 
 fn program_of(ops: &[Op], guards: &[u8]) -> Program {
@@ -73,7 +120,14 @@ fn program_of(ops: &[Op], guards: &[u8]) -> Program {
         a.emit(*op);
     }
     a.halt();
-    a.assemble().expect("straight-line programs always assemble")
+    a.assemble()
+        .expect("straight-line programs always assemble")
+}
+
+fn arb_program(rng: &mut Rng, max_ops: u64) -> Program {
+    let ops = arb_ops(rng, max_ops);
+    let guards: Vec<u8> = (0..ops.len()).map(|_| rng.below(256) as u8).collect();
+    program_of(&ops, &guards)
 }
 
 fn final_state(p: &Program) -> (Vec<i64>, Vec<bool>) {
@@ -85,74 +139,79 @@ fn final_state(p: &Program) -> (Vec<i64>, Vec<bool>) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The emulator is a pure function of the program.
-    #[test]
-    fn execution_is_deterministic(
-        ops in prop::collection::vec(arb_op(), 1..40),
-        guards in prop::collection::vec(any::<u8>(), 40),
-    ) {
-        let p = program_of(&ops, &guards);
-        prop_assert_eq!(final_state(&p), final_state(&p));
+/// The emulator is a pure function of the program.
+#[test]
+fn execution_is_deterministic() {
+    let mut rng = Rng(0x5eed_0001);
+    for case in 0..64 {
+        let p = arb_program(&mut rng, 40);
+        assert_eq!(final_state(&p), final_state(&p), "case {case}");
     }
+}
 
-    /// Writes to hardwired registers never stick.
-    #[test]
-    fn hardwired_registers_stay_fixed(
-        ops in prop::collection::vec(arb_op(), 1..40),
-        guards in prop::collection::vec(any::<u8>(), 40),
-    ) {
-        let p = program_of(&ops, &guards);
+/// Writes to hardwired registers never stick.
+#[test]
+fn hardwired_registers_stay_fixed() {
+    let mut rng = Rng(0x5eed_0002);
+    for case in 0..64 {
+        let p = arb_program(&mut rng, 40);
         let (grs, prs) = final_state(&p);
-        prop_assert_eq!(grs[0], 0, "r0 is zero");
-        prop_assert!(prs[0], "p0 is true");
+        assert_eq!(grs[0], 0, "case {case}: r0 is zero");
+        assert!(prs[0], "case {case}: p0 is true");
     }
+}
 
-    /// Disassembling and reparsing reproduces the exact instruction
-    /// sequence (the parser is a left inverse of the lister).
-    #[test]
-    fn listing_parse_round_trip(
-        ops in prop::collection::vec(arb_op(), 1..30),
-        guards in prop::collection::vec(any::<u8>(), 30),
-    ) {
-        let p = program_of(&ops, &guards);
+/// Disassembling and reparsing reproduces the exact instruction sequence
+/// (the parser is a left inverse of the lister).
+#[test]
+fn listing_parse_round_trip() {
+    let mut rng = Rng(0x5eed_0003);
+    for case in 0..64 {
+        let p = arb_program(&mut rng, 30);
         let reparsed = parse_program(&p.listing()).unwrap();
-        prop_assert_eq!(p.insns, reparsed.insns);
+        assert_eq!(p.insns, reparsed.insns, "case {case}");
     }
+}
 
-    /// A disqualified `unc` compare always clears both targets; a
-    /// disqualified normal compare never writes.
-    #[test]
-    fn compare_write_discipline(cond in any::<bool>(), qp in any::<bool>()) {
-        for ctype in [CmpType::None, CmpType::Unc, CmpType::And, CmpType::Or] {
-            let (pt, pf) = ctype.resolve(qp, cond);
-            if !qp {
-                match ctype {
-                    CmpType::Unc => {
-                        prop_assert_eq!(pt, Some(false));
-                        prop_assert_eq!(pf, Some(false));
+/// A disqualified `unc` compare always clears both targets; a disqualified
+/// normal compare never writes.
+#[test]
+fn compare_write_discipline() {
+    for cond in [false, true] {
+        for qp in [false, true] {
+            for ctype in [CmpType::None, CmpType::Unc, CmpType::And, CmpType::Or] {
+                let (pt, pf) = ctype.resolve(qp, cond);
+                if !qp {
+                    match ctype {
+                        CmpType::Unc => {
+                            assert_eq!(pt, Some(false));
+                            assert_eq!(pf, Some(false));
+                        }
+                        _ => {
+                            assert_eq!(pt, None);
+                            assert_eq!(pf, None);
+                        }
                     }
-                    _ => {
-                        prop_assert_eq!(pt, None);
-                        prop_assert_eq!(pf, None);
-                    }
+                } else if matches!(ctype, CmpType::None | CmpType::Unc) {
+                    assert_eq!(pt, Some(cond));
+                    assert_eq!(pf, Some(!cond));
                 }
-            } else if matches!(ctype, CmpType::None | CmpType::Unc) {
-                prop_assert_eq!(pt, Some(cond));
-                prop_assert_eq!(pf, Some(!cond));
             }
         }
     }
+}
 
-    /// Memory round-trips arbitrary u64s at arbitrary (possibly unaligned,
-    /// page-crossing) addresses.
-    #[test]
-    fn sparse_memory_round_trip(addr in 0u64..1 << 40, value in any::<u64>()) {
+/// Memory round-trips arbitrary u64s at arbitrary (possibly unaligned,
+/// page-crossing) addresses.
+#[test]
+fn sparse_memory_round_trip() {
+    let mut rng = Rng(0x5eed_0004);
+    for case in 0..128 {
+        let addr = rng.below(1 << 40);
+        let value = rng.next();
         let mut m = ppsim_isa::SparseMem::new();
         m.write_u64(addr, value);
-        prop_assert_eq!(m.read_u64(addr), value);
+        assert_eq!(m.read_u64(addr), value, "case {case} addr {addr:#x}");
     }
 }
 
@@ -163,7 +222,14 @@ fn guard_isolates_effects() {
         let mut a = Asm::new();
         a.movi(Gr::new(1), 10);
         let rel = if guard_value { CmpRel::Eq } else { CmpRel::Ne };
-        a.cmp(CmpType::Unc, rel, Pr::new(1), Pr::new(2), Gr::new(1), Operand::imm(10));
+        a.cmp(
+            CmpType::Unc,
+            rel,
+            Pr::new(1),
+            Pr::new(2),
+            Gr::new(1),
+            Operand::imm(10),
+        );
         a.pred(Pr::new(1)).movi(Gr::new(2), 77);
         a.halt();
         let p = a.assemble().unwrap();
@@ -176,12 +242,9 @@ fn guard_isolates_effects() {
 /// An instruction never changes a register outside its declared write set.
 #[test]
 fn write_sets_are_sound() {
-    use proptest::strategy::{Strategy, ValueTree};
-    use proptest::test_runner::TestRunner;
-    let mut runner = TestRunner::deterministic();
-    let strat = prop::collection::vec(arb_op(), 1..20);
+    let mut rng = Rng(0x5eed_0005);
     for _ in 0..50 {
-        let ops = strat.new_tree(&mut runner).unwrap().current();
+        let ops = arb_ops(&mut rng, 20);
         let p = program_of(&ops, &vec![0; ops.len()]);
         let mut m = Machine::new(&p);
         let mut prev: Vec<i64> = (0..64).map(|i| m.gr(Gr::new(i))).collect();

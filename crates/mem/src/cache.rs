@@ -152,7 +152,10 @@ impl Cache {
     /// Panics if the geometry is inconsistent (non-power-of-two line size,
     /// zero ways, or capacity not divisible by `ways × line_bytes`).
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways > 0, "cache must have ways");
         assert_eq!(
             cfg.size_bytes % (cfg.ways * cfg.line_bytes),
@@ -162,7 +165,15 @@ impl Cache {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            lines: vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; sets * cfg.ways],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
+                sets * cfg.ways
+            ],
             mshrs: Vec::with_capacity(cfg.mshrs),
             write_buffer: Vec::with_capacity(cfg.write_buffer_entries),
             stats: CacheStats::default(),
@@ -199,7 +210,8 @@ impl Cache {
     /// Test/benchmark helper: performs an access against a fixed 100-cycle
     /// next level and returns the completion cycle.
     pub fn access_for_test(&mut self, now: u64, addr: u64, is_write: bool) -> u64 {
-        self.access(now, addr, is_write, |issue| issue + 100).done_at
+        self.access(now, addr, is_write, |issue| issue + 100)
+            .done_at
     }
 
     /// Probes whether `addr` currently hits (no state change).
@@ -242,13 +254,23 @@ impl Cache {
                 m.secondaries += 1;
                 self.stats.secondary_misses += 1;
                 let done = m.ready_at;
-                return Lookup { done_at: done, hit: true, fetch_from_next: false, issue_next_at: now };
+                return Lookup {
+                    done_at: done,
+                    hit: true,
+                    fetch_from_next: false,
+                    issue_next_at: now,
+                };
             }
             // Secondary slots exhausted: wait for the fill, then re-issue
             // as a (free) hit.
             self.stats.mshr_stall_cycles += m.ready_at.saturating_sub(now);
             let done = m.ready_at + self.cfg.hit_latency;
-            return Lookup { done_at: done, hit: true, fetch_from_next: false, issue_next_at: now };
+            return Lookup {
+                done_at: done,
+                hit: true,
+                fetch_from_next: false,
+                issue_next_at: now,
+            };
         }
 
         // Tag match with no in-flight fill → plain hit.
@@ -317,8 +339,17 @@ impl Cache {
         }
 
         let fill_at = fill_done_at(issue_at + self.cfg.hit_latency);
-        self.mshrs.push(Mshr { line_addr: la, ready_at: fill_at, secondaries: 0 });
-        Lookup { done_at: fill_at, hit: false, fetch_from_next: true, issue_next_at: issue_at }
+        self.mshrs.push(Mshr {
+            line_addr: la,
+            ready_at: fill_at,
+            secondaries: 0,
+        });
+        Lookup {
+            done_at: fill_at,
+            hit: false,
+            fetch_from_next: true,
+            issue_next_at: issue_at,
+        }
     }
 }
 
@@ -437,7 +468,7 @@ mod tests {
         assert!(!c.probe(0x1000));
         c.access(0, 0x1000, false, mem100);
         let before = *c.stats();
-        assert!(c.probe(0x1000) || true);
+        let _ = c.probe(0x1000);
         assert_eq!(*c.stats(), before);
     }
 

@@ -127,7 +127,10 @@ mod tests {
         let done = h.data_access(0, 0x40000, false);
         // TLB miss 10 + L1D 2 + L2 8 + memory 120, give or take issue
         // alignment.
-        assert!(done >= 130, "cold access must include memory latency, got {done}");
+        assert!(
+            done >= 130,
+            "cold access must include memory latency, got {done}"
+        );
         let s = h.stats();
         assert_eq!(s.l1d.primary_misses, 1);
         assert_eq!(s.l2.primary_misses, 1);

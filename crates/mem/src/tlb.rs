@@ -15,7 +15,11 @@ impl TlbConfig {
     /// Table 1: 512 entries, 10-cycle miss penalty (4 KB pages, matching
     /// the functional memory's page granularity).
     pub fn paper_512() -> Self {
-        TlbConfig { entries: 512, page_bytes: 4096, miss_penalty: 10 }
+        TlbConfig {
+            entries: 512,
+            page_bytes: 4096,
+            miss_penalty: 10,
+        }
     }
 }
 
@@ -37,7 +41,10 @@ impl Tlb {
     ///
     /// Panics if `page_bytes` is not a power of two or `entries` is zero.
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            cfg.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(cfg.entries > 0, "TLB must have entries");
         Tlb {
             entries: Vec::with_capacity(cfg.entries),
@@ -85,7 +92,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> TlbConfig {
-        TlbConfig { entries: 2, page_bytes: 4096, miss_penalty: 10 }
+        TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_penalty: 10,
+        }
     }
 
     #[test]

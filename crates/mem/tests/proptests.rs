@@ -1,9 +1,33 @@
 //! Property tests for the memory hierarchy: consistency of the counters,
 //! LRU behaviour against a reference model, and latency monotonicity.
-
-use proptest::prelude::*;
+//!
+//! Hand-rolled property loops over a seeded splitmix64 stream (the
+//! workspace builds offline with no external crates); every case is
+//! deterministic and failures name the case index.
 
 use ppsim_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig, Tlb, TlbConfig};
+
+/// Minimal deterministic PRNG (splitmix64) for the property loops.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn vec_below(&mut self, bound: u64, min_len: u64, max_len: u64) -> Vec<u64> {
+        let n = min_len + self.below(max_len - min_len);
+        (0..n).map(|_| self.below(bound)).collect()
+    }
+}
 
 fn small_cache() -> CacheConfig {
     CacheConfig {
@@ -17,47 +41,62 @@ fn small_cache() -> CacheConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// accesses = hits + primary + secondary misses + (stalled re-uses of
-    /// full MSHRs, which are counted as hits here) — i.e. the counters
-    /// never lose an access.
-    #[test]
-    fn hierarchy_counters_are_consistent(addrs in prop::collection::vec(0u64..1 << 16, 1..200)) {
+/// accesses = hits + primary + secondary misses + (stalled re-uses of full
+/// MSHRs, which are counted as hits here) — i.e. the counters never lose
+/// an access.
+#[test]
+fn hierarchy_counters_are_consistent() {
+    let mut rng = Rng(0x3e3_0001);
+    for case in 0..48 {
+        let addrs = rng.vec_below(1 << 16, 1, 200);
         let mut h = Hierarchy::new(HierarchyConfig::paper());
         let mut now = 0;
         for (i, a) in addrs.iter().enumerate() {
             now = h.data_access(now, *a, i % 3 == 0);
         }
         let s = h.stats();
-        prop_assert_eq!(s.l1d.accesses as usize, addrs.len());
-        prop_assert!(s.l1d.hits + s.l1d.primary_misses + s.l1d.secondary_misses <= s.l1d.accesses + s.l1d.secondary_misses);
-        prop_assert!(s.l2.accesses <= s.l1d.primary_misses, "L2 sees only L1 primary misses");
-        prop_assert!(s.dtlb.0 + s.dtlb.1 == s.l1d.accesses);
+        assert_eq!(s.l1d.accesses as usize, addrs.len(), "case {case}");
+        assert!(
+            s.l1d.hits + s.l1d.primary_misses + s.l1d.secondary_misses
+                <= s.l1d.accesses + s.l1d.secondary_misses,
+            "case {case}"
+        );
+        assert!(
+            s.l2.accesses <= s.l1d.primary_misses,
+            "case {case}: L2 sees only L1 primary misses"
+        );
+        assert!(s.dtlb.0 + s.dtlb.1 == s.l1d.accesses, "case {case}");
     }
+}
 
-    /// Completion times never precede the request.
-    #[test]
-    fn latency_is_causal(addrs in prop::collection::vec(0u64..1 << 20, 1..100)) {
+/// Completion times never precede the request.
+#[test]
+fn latency_is_causal() {
+    let mut rng = Rng(0x3e3_0002);
+    for case in 0..48 {
+        let addrs = rng.vec_below(1 << 20, 1, 100);
         let mut h = Hierarchy::new(HierarchyConfig::paper());
         let mut now = 0;
         for a in &addrs {
             let done = h.data_access(now, *a, false);
-            prop_assert!(done > now, "completion strictly after issue");
+            assert!(done > now, "case {case}: completion strictly after issue");
             now = done;
         }
     }
+}
 
-    /// Repeated access to one line, with fewer distinct lines than ways in
-    /// its set in between, always hits (LRU guarantee).
-    #[test]
-    fn lru_keeps_recently_used_lines(noise in prop::collection::vec(0u64..4, 1..20)) {
+/// Repeated access to one line, with fewer distinct lines than ways in its
+/// set in between, always hits (LRU guarantee).
+#[test]
+fn lru_keeps_recently_used_lines() {
+    let mut rng = Rng(0x3e3_0003);
+    for case in 0..48 {
+        let noise = rng.vec_below(4, 1, 20);
         let cfg = small_cache(); // 2 ways, 16 sets
         let mut c = Cache::new(cfg);
         let target = 0x10_000u64; // some line
         let mut now = 1_000_000; // far from any pending fill
-        // Fill the target line.
+                                 // Fill the target line.
         now += 300;
         let r = c.access_for_test(now, target, false);
         now = r + 300;
@@ -69,31 +108,55 @@ proptest! {
             now = c.access_for_test(now, conflict, false) + 300;
             let before = c.stats().hits;
             now = c.access_for_test(now, target, false) + 300;
-            prop_assert_eq!(c.stats().hits, before + 1, "target stayed resident");
+            assert_eq!(
+                c.stats().hits,
+                before + 1,
+                "case {case}: target stayed resident"
+            );
         }
     }
+}
 
-    /// The TLB hit/miss counters and replacement behave like a bounded set.
-    #[test]
-    fn tlb_counters_consistent(pages in prop::collection::vec(0u64..64, 1..300)) {
-        let mut t = Tlb::new(TlbConfig { entries: 8, page_bytes: 4096, miss_penalty: 10 });
+/// The TLB hit/miss counters and replacement behave like a bounded set.
+#[test]
+fn tlb_counters_consistent() {
+    let mut rng = Rng(0x3e3_0004);
+    for case in 0..48 {
+        let pages = rng.vec_below(64, 1, 300);
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            page_bytes: 4096,
+            miss_penalty: 10,
+        });
         for p in &pages {
             let lat = t.access(p * 4096);
-            prop_assert!(lat == 0 || lat == 10);
+            assert!(lat == 0 || lat == 10, "case {case}");
         }
         let (h, m) = t.stats();
-        prop_assert_eq!(h + m, pages.len() as u64);
+        assert_eq!(h + m, pages.len() as u64, "case {case}");
     }
+}
 
-    /// A single repeatedly-touched page never misses after the first
-    /// access, regardless of up to 7 other pages in between (8 entries).
-    #[test]
-    fn tlb_lru_guarantee(others in prop::collection::vec(1u64..8, 1..50)) {
-        let mut t = Tlb::new(TlbConfig { entries: 8, page_bytes: 4096, miss_penalty: 10 });
+/// A single repeatedly-touched page never misses after the first access,
+/// regardless of up to 7 other pages in between (8 entries).
+#[test]
+fn tlb_lru_guarantee() {
+    let mut rng = Rng(0x3e3_0005);
+    for case in 0..48 {
+        let others: Vec<u64> = rng.vec_below(7, 1, 50).iter().map(|o| o + 1).collect();
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            page_bytes: 4096,
+            miss_penalty: 10,
+        });
         t.access(0);
         for &o in &others {
             t.access(o * 4096);
-            prop_assert_eq!(t.access(0), 0, "working set fits: page 0 resident");
+            assert_eq!(
+                t.access(0),
+                0,
+                "case {case}: working set fits: page 0 resident"
+            );
         }
     }
 }

@@ -19,7 +19,14 @@ pub struct Latencies {
 
 impl Default for Latencies {
     fn default() -> Self {
-        Latencies { int_alu: 1, int_mul: 3, fp_alu: 4, fp_mul: 4, fp_div: 16, branch: 1 }
+        Latencies {
+            int_alu: 1,
+            int_mul: 3,
+            fp_alu: 4,
+            fp_mul: 4,
+            fp_div: 16,
+            branch: 1,
+        }
     }
 }
 
@@ -208,11 +215,16 @@ mod tests {
     #[test]
     fn scheme_names_are_distinct() {
         use SchemeKind::*;
-        let names: std::collections::HashSet<_> =
-            [Conventional, PepPa, Predicate, IdealConventional, IdealPredicate]
-                .iter()
-                .map(|s| s.name())
-                .collect();
+        let names: std::collections::HashSet<_> = [
+            Conventional,
+            PepPa,
+            Predicate,
+            IdealConventional,
+            IdealPredicate,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
         assert_eq!(names.len(), 5);
         assert!(Predicate.is_predicate() && IdealPredicate.is_predicate());
         assert!(!Conventional.is_predicate());

@@ -307,16 +307,27 @@ impl Simulator {
             }
         }
         self.stats.mem = self.hierarchy.stats();
-        RunResult { stats: self.stats.clone(), halted }
+        RunResult {
+            stats: self.stats.clone(),
+            halted,
+        }
     }
 
     fn latency_of(&self, rec: &ExecRecord) -> u64 {
         let l = &self.cfg.latencies;
         match rec.insn.op {
-            Op::Alu { kind: AluKind::Mul, .. } => l.int_mul,
+            Op::Alu {
+                kind: AluKind::Mul, ..
+            } => l.int_mul,
             Op::Alu { .. } | Op::Movi { .. } | Op::Cmp { .. } => l.int_alu,
-            Op::Fpu { kind: FpuKind::Fdiv, .. } => l.fp_div,
-            Op::Fpu { kind: FpuKind::Fmul, .. } => l.fp_mul,
+            Op::Fpu {
+                kind: FpuKind::Fdiv,
+                ..
+            } => l.fp_div,
+            Op::Fpu {
+                kind: FpuKind::Fmul,
+                ..
+            } => l.fp_mul,
             Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => l.fp_alu,
             Op::Br { .. } => l.branch,
             _ => l.int_alu,
@@ -384,9 +395,7 @@ impl Simulator {
         gate = gate.max(self.rob.earliest(r));
         let iq = match insn.op {
             Op::Br { .. } => &mut self.iq_br,
-            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => {
-                &mut self.iq_fp
-            }
+            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => &mut self.iq_fp,
             _ => &mut self.iq_int,
         };
         gate = gate.max(iq.earliest(r));
@@ -480,9 +489,11 @@ impl Simulator {
                     l2_tag = Some(p);
                     (d, false, false)
                 }
-                Predictors::PepPa { .. } => {
-                    (l1_pred.as_ref().map(|p| p.taken).unwrap_or(false), false, false)
-                }
+                Predictors::PepPa { .. } => (
+                    l1_pred.as_ref().map(|p| p.taken).unwrap_or(false),
+                    false,
+                    false,
+                ),
                 Predictors::Predicate { .. } | Predictors::IdealPredicate { .. } => {
                     if guard_known_at_rename {
                         (guard.value, true, false)
@@ -492,13 +503,23 @@ impl Simulator {
                         } else {
                             // Prediction not yet in the PPRF (back-to-back
                             // compare/branch): fall back to the first level.
-                            (l1_pred.as_ref().map(|p| p.taken).unwrap_or(false), false, false)
+                            (
+                                l1_pred.as_ref().map(|p| p.taken).unwrap_or(false),
+                                false,
+                                false,
+                            )
                         }
                     } else {
-                        (l1_pred.as_ref().map(|p| p.taken).unwrap_or(false), false, false)
+                        (
+                            l1_pred.as_ref().map(|p| p.taken).unwrap_or(false),
+                            false,
+                            false,
+                        )
                     }
                 }
-                Predictors::IdealConventional { p } => (p.predict_and_train(pc, actual), false, false),
+                Predictors::IdealConventional { p } => {
+                    (p.predict_and_train(pc, actual), false, false)
+                }
             };
             branch_final = Some(final_dir);
             branch_early_resolved = early;
@@ -705,7 +726,10 @@ impl Simulator {
                 self.fr_done[d.index()] = exec_done;
             }
         }
-        if let ExecInfo::Cmp { pt_write, pf_write, .. } = rec.info {
+        if let ExecInfo::Cmp {
+            pt_write, pf_write, ..
+        } = rec.info
+        {
             let [pt, pf] = insn.pr_dsts();
             // The primary target is the one whose predicted bit fed the
             // global history: pt when it names a real register, else pf.
@@ -716,7 +740,9 @@ impl Simulator {
             };
             let pairs = [(pt, pt_write), (pf, pf_write)];
             for (target, write) in pairs {
-                let (Some(target), Some(value)) = (target, write) else { continue };
+                let (Some(target), Some(value)) = (target, write) else {
+                    continue;
+                };
                 let e = &mut self.preds[target.index()];
                 e.done = exec_done;
                 e.value = value;
@@ -762,9 +788,7 @@ impl Simulator {
         self.rob.acquire(r, c);
         let iq = match insn.op {
             Op::Br { .. } => &mut self.iq_br,
-            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => {
-                &mut self.iq_fp
-            }
+            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => &mut self.iq_fp,
             _ => &mut self.iq_int,
         };
         if !cancelled {
@@ -836,7 +860,9 @@ impl Simulator {
         // Oracle values the compare will write (None for unwritten
         // targets, e.g. disqualified normal-type compares).
         let (apt, apf) = match rec.info {
-            ExecInfo::Cmp { pt_write, pf_write, .. } => (pt_write, pf_write),
+            ExecInfo::Cmp {
+                pt_write, pf_write, ..
+            } => (pt_write, pf_write),
             _ => (None, None),
         };
 
@@ -902,15 +928,16 @@ impl Simulator {
         }
         let pushes = self.ghr_pushes;
         if let Predictors::Predicate { pp, .. } = &mut self.predictors {
-            self.pending_repairs.retain(|(cycle, tag, actual, push_index)| {
-                if *cycle <= now {
-                    let age = (pushes - push_index) as u32;
-                    pp.repair_history(tag, *actual, age);
-                    false
-                } else {
-                    true
-                }
-            });
+            self.pending_repairs
+                .retain(|(cycle, tag, actual, push_index)| {
+                    if *cycle <= now {
+                        let age = (pushes - push_index) as u32;
+                        pp.repair_history(tag, *actual, age);
+                        false
+                    } else {
+                        true
+                    }
+                });
         } else {
             self.pending_repairs.clear();
         }
@@ -960,7 +987,9 @@ mod tests {
         // linear predictor cannot memorize the bit sequence.
         let words: Vec<i64> = (0..4096u64)
             .map(|i| {
-                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678);
+                let mut x = i
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x1234_5678);
                 x ^= x >> 29;
                 x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 x ^= x >> 32;
@@ -991,7 +1020,14 @@ mod tests {
         a.addi(g(11), g(11), 1);
         a.bind(skip);
         a.addi(g(1), g(1), 1);
-        a.cmp(CmpType::Unc, CmpRel::Lt, p(3), p(4), g(1), Operand::imm(iters));
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Lt,
+            p(3),
+            p(4),
+            g(1),
+            Operand::imm(iters),
+        );
         a.pred(p(3)).br(top);
         a.halt();
         a.assemble().unwrap()
@@ -1010,7 +1046,14 @@ mod tests {
             a.movi(g((10 + (i % 50)) as u8), i as i64);
         }
         a.addi(g(1), g(1), 1);
-        a.cmp(CmpType::Unc, CmpRel::Lt, p(1), p(2), g(1), Operand::imm(500));
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Lt,
+            p(1),
+            p(2),
+            g(1),
+            Operand::imm(500),
+        );
         a.pred(p(1)).br(top);
         a.halt();
         let prog = a.assemble().unwrap();
@@ -1036,7 +1079,11 @@ mod tests {
 
     #[test]
     fn biased_branch_is_learned_by_all_schemes() {
-        for scheme in [SchemeKind::Conventional, SchemeKind::PepPa, SchemeKind::Predicate] {
+        for scheme in [
+            SchemeKind::Conventional,
+            SchemeKind::PepPa,
+            SchemeKind::Predicate,
+        ] {
             let prog = loop_with_branch(2000, false, 0);
             let r = sim(&prog, scheme).run(1_000_000);
             assert!(r.halted, "{scheme:?}");
@@ -1073,8 +1120,7 @@ mod tests {
         // Early-resolved branches are never mispredicted; with most
         // branches early-resolved the rate collapses well below the
         // conventional predictor's on the same program.
-        let conv = sim(&loop_with_branch(2000, true, 120), SchemeKind::Conventional)
-            .run(2_000_000);
+        let conv = sim(&loop_with_branch(2000, true, 120), SchemeKind::Conventional).run(2_000_000);
         assert!(
             s.misprediction_rate() < conv.stats.misprediction_rate(),
             "predicate {} vs conventional {}",
@@ -1094,10 +1140,9 @@ mod tests {
 
     #[test]
     fn mispredicts_cost_cycles() {
-        let biased = sim(&loop_with_branch(2000, false, 0), SchemeKind::Conventional)
-            .run(1_000_000);
-        let random = sim(&loop_with_branch(2000, true, 0), SchemeKind::Conventional)
-            .run(1_000_000);
+        let biased =
+            sim(&loop_with_branch(2000, false, 0), SchemeKind::Conventional).run(1_000_000);
+        let random = sim(&loop_with_branch(2000, true, 0), SchemeKind::Conventional).run(1_000_000);
         assert!(
             random.stats.cycles > biased.stats.cycles + 1000,
             "mispredictions must show up in cycle counts: {} vs {}",
@@ -1118,7 +1163,14 @@ mod tests {
         a.pred(p(1)).addi(g(11), g(11), 1);
         a.pred(p(1)).addi(g(12), g(12), 1);
         a.addi(g(1), g(1), 1);
-        a.cmp(CmpType::Unc, CmpRel::Lt, p(3), p(4), g(1), Operand::imm(2000));
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Lt,
+            p(3),
+            p(4),
+            g(1),
+            Operand::imm(2000),
+        );
         a.pred(p(3)).br(top);
         a.halt();
         let prog = a.assemble().unwrap();
@@ -1148,10 +1200,24 @@ mod tests {
         a.bind(top);
         a.alu(ppsim_isa::AluKind::And, g(5), g(1), Operand::imm(1023));
         // p1 true only when (i & 1023) == 1023.
-        a.cmp(CmpType::Unc, CmpRel::Eq, p(1), p(2), g(5), Operand::imm(1023));
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Eq,
+            p(1),
+            p(2),
+            g(5),
+            Operand::imm(1023),
+        );
         a.pred(p(1)).addi(g(11), g(11), 1);
         a.addi(g(1), g(1), 1);
-        a.cmp(CmpType::Unc, CmpRel::Lt, p(3), p(4), g(1), Operand::imm(5000));
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Lt,
+            p(3),
+            p(4),
+            g(1),
+            Operand::imm(5000),
+        );
         a.pred(p(3)).br(top);
         a.halt();
         let prog = a.assemble().unwrap();
@@ -1163,7 +1229,10 @@ mod tests {
         );
         let r = s.run(2_000_000);
         assert!(r.halted);
-        assert!(r.stats.predication_flushes > 0, "rare true guard must flush");
+        assert!(
+            r.stats.predication_flushes > 0,
+            "rare true guard must flush"
+        );
         assert!(
             r.stats.predication_flushes <= 6,
             "only ~4 surprises exist: {}",
@@ -1184,7 +1253,10 @@ mod tests {
         let r = s.run(2_000_000);
         assert!(r.stats.shadow_mispredicts > 0);
         assert!(r.stats.early_resolved_saves <= r.stats.shadow_mispredicts);
-        assert!(r.stats.early_resolved_saves > 0, "early resolution must save some");
+        assert!(
+            r.stats.early_resolved_saves > 0,
+            "early resolution must save some"
+        );
     }
 
     #[test]
@@ -1204,7 +1276,10 @@ mod tests {
             CoreConfig::tiny(),
         )
         .run(1_000_000);
-        assert!(small.stats.cycles > big.stats.cycles, "narrow queues cost cycles");
+        assert!(
+            small.stats.cycles > big.stats.cycles,
+            "narrow queues cost cycles"
+        );
     }
 
     #[test]

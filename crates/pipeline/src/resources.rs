@@ -6,7 +6,7 @@
 //! release at arbitrary (already-computed) times.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A structure with `capacity` entries, each held from acquisition until a
 /// caller-supplied release cycle (ROB, issue queues, LSQ, physical register
@@ -25,7 +25,10 @@ impl Pool {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "pool must have capacity");
-        Pool { releases: BinaryHeap::with_capacity(capacity + 1), capacity }
+        Pool {
+            releases: BinaryHeap::with_capacity(capacity + 1),
+            capacity,
+        }
     }
 
     /// Earliest cycle ≥ `now` at which an entry can be acquired, without
@@ -82,7 +85,11 @@ impl UnitSet {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "unit set must have units");
-        UnitSet { n: n as u32, booked: BTreeMap::new(), calls: 0 }
+        UnitSet {
+            n: n as u32,
+            booked: BTreeMap::new(),
+            calls: 0,
+        }
     }
 
     /// Issues an operation at the earliest cycle ≥ `ready` with a free
@@ -122,7 +129,11 @@ impl WidthLimiter {
     /// Panics if `width` is zero.
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "width must be positive");
-        WidthLimiter { width, cycle: 0, used: 0 }
+        WidthLimiter {
+            width,
+            cycle: 0,
+            used: 0,
+        }
     }
 
     /// Books one slot at the earliest cycle ≥ `now`; returns that cycle.

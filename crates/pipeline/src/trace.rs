@@ -46,7 +46,11 @@ impl PipeTrace {
     /// *not* implemented — recording simply stops; traces are for the
     /// beginning of a region of interest).
     pub fn new(capacity: usize) -> Self {
-        PipeTrace { events: Vec::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+        PipeTrace {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records one event (drops it when full).
@@ -141,7 +145,10 @@ mod tests {
     fn render_contains_stages_and_flags() {
         let mut t = PipeTrace::new(4);
         t.record(ev(0));
-        t.record(TraceEvent { mispredicted: true, ..ev(1) });
+        t.record(TraceEvent {
+            mispredicted: true,
+            ..ev(1)
+        });
         let s = t.to_string();
         assert!(s.contains("fetch"), "{s}");
         assert!(s.contains("nop"), "{s}");

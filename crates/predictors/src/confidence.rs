@@ -20,7 +20,10 @@ impl ConfidenceTable {
     ///
     /// Panics if `bits` is zero or greater than 8, or `entries` is zero.
     pub fn new(entries: usize, bits: u32) -> Self {
-        assert!((1..=8).contains(&bits), "confidence counter width {bits} out of range");
+        assert!(
+            (1..=8).contains(&bits),
+            "confidence counter width {bits} out of range"
+        );
         assert!(entries > 0, "confidence table must have entries");
         ConfidenceTable {
             counters: vec![0; entries],

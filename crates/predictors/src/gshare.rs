@@ -118,7 +118,7 @@ mod tests {
         let mut late_wrong = 0;
         for i in 0..100 {
             let p = g.predict(0x4000, 0);
-            if p.taken != true {
+            if !p.taken {
                 wrong += 1;
                 if i >= 50 {
                     late_wrong += 1;
@@ -129,7 +129,10 @@ mod tests {
         }
         // Warm-up mispredictions while the GHR converges are expected (each
         // new history value indexes a fresh weakly-not-taken counter).
-        assert!(wrong <= 12, "bias learned after history warm-up, wrong={wrong}");
+        assert!(
+            wrong <= 12,
+            "bias learned after history warm-up, wrong={wrong}"
+        );
         assert_eq!(late_wrong, 0, "steady state is perfect on a bias");
     }
 

@@ -24,7 +24,10 @@ impl GlobalHistory {
     ///
     /// Panics if `width` is zero or greater than 64.
     pub fn new(width: u32) -> Self {
-        assert!((1..=64).contains(&width), "history width {width} out of range");
+        assert!(
+            (1..=64).contains(&width),
+            "history width {width} out of range"
+        );
         GlobalHistory { bits: 0, width }
     }
 
@@ -106,9 +109,16 @@ impl LocalHistoryTable {
     /// Panics if `entries` is zero or `width` is zero or greater than 32.
     pub fn new(entries: usize, width: u32) -> Self {
         assert!(entries > 0, "local history table must have entries");
-        assert!((1..=32).contains(&width), "local history width {width} out of range");
+        assert!(
+            (1..=32).contains(&width),
+            "local history width {width} out of range"
+        );
         let n = entries.next_power_of_two();
-        LocalHistoryTable { entries: vec![0; n], width, index_mask: n - 1 }
+        LocalHistoryTable {
+            entries: vec![0; n],
+            width,
+            index_mask: n - 1,
+        }
     }
 
     /// Number of entries (a power of two).
@@ -142,7 +152,11 @@ impl LocalHistoryTable {
     pub fn push(&mut self, pc: u64, outcome: bool) -> (usize, u32) {
         let idx = self.index_of(pc);
         let prev = self.entries[idx];
-        let mask = if self.width == 32 { u32::MAX } else { (1u32 << self.width) - 1 };
+        let mask = if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        };
         self.entries[idx] = ((prev << 1) | u32::from(outcome)) & mask;
         (idx, prev)
     }
@@ -154,7 +168,11 @@ impl LocalHistoryTable {
 
     /// Shifts an outcome into a known entry index (recovery path).
     pub fn push_at(&mut self, index: usize, outcome: bool) {
-        let mask = if self.width == 32 { u32::MAX } else { (1u32 << self.width) - 1 };
+        let mask = if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        };
         let prev = self.entries[index];
         self.entries[index] = ((prev << 1) | u32::from(outcome)) & mask;
     }

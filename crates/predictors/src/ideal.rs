@@ -48,10 +48,10 @@ impl IdealCore {
     fn predict_train(&mut self, key: u64, actual: bool) -> bool {
         let ghr = self.ghr.value();
         let n = self.cfg.weights_per_row();
-        let row = self
-            .rows
-            .entry(key)
-            .or_insert_with(|| PrivateRow { weights: vec![0; n], lhr: 0 });
+        let row = self.rows.entry(key).or_insert_with(|| PrivateRow {
+            weights: vec![0; n],
+            lhr: 0,
+        });
 
         let mut sum = i32::from(row.weights[0]);
         for i in 0..self.cfg.ghr_bits as usize {
@@ -103,7 +103,9 @@ impl IdealPerceptron {
     /// widths and θ are honoured; row count is ignored — storage is
     /// unbounded).
     pub fn new(cfg: PerceptronConfig) -> Self {
-        IdealPerceptron { core: IdealCore::new(cfg) }
+        IdealPerceptron {
+            core: IdealCore::new(cfg),
+        }
     }
 
     /// Predicts the branch at `pc`, then immediately trains with and
@@ -129,7 +131,9 @@ pub struct IdealPredicatePredictor {
 impl IdealPredicatePredictor {
     /// Builds the idealized predicate predictor.
     pub fn new(cfg: PerceptronConfig) -> Self {
-        IdealPredicatePredictor { core: IdealCore::new(cfg) }
+        IdealPredicatePredictor {
+            core: IdealCore::new(cfg),
+        }
     }
 
     /// Predicts (and oracle-trains) the outputs of the compare at `pc`.
@@ -192,7 +196,10 @@ mod tests {
             }
         }
         let rate = wrong as f64 / (300.0 * pattern.len() as f64);
-        assert!(rate < 0.08, "ideal predictor on periodic pattern, rate={rate}");
+        assert!(
+            rate < 0.08,
+            "ideal predictor on periodic pattern, rate={rate}"
+        );
     }
 
     #[test]
@@ -230,7 +237,7 @@ mod tests {
                 if pt.unwrap() != v {
                     wrong += 1;
                 }
-                if pf.unwrap() != !v {
+                if pf.unwrap() == v {
                     wrong += 1;
                 }
             }

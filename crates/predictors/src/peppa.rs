@@ -37,12 +37,20 @@ impl PepPaConfig {
     /// The paper's 144 KB configuration: 32 Ki BHT entries × 2 × 14-bit
     /// local histories (112 KB) + 2^17 2-bit counters (32 KB) = 144 KB.
     pub fn paper_144kb() -> Self {
-        PepPaConfig { bht_entries: 32 * 1024, lh_bits: 14, pht_bits: 17 }
+        PepPaConfig {
+            bht_entries: 32 * 1024,
+            lh_bits: 14,
+            pht_bits: 17,
+        }
     }
 
     /// A small configuration for fast unit tests.
     pub fn tiny() -> Self {
-        PepPaConfig { bht_entries: 64, lh_bits: 6, pht_bits: 10 }
+        PepPaConfig {
+            bht_entries: 64,
+            lh_bits: 6,
+            pht_bits: 10,
+        }
     }
 
     /// Hardware budget in bytes.
@@ -100,7 +108,7 @@ impl PepPa {
     }
 
     fn pht_index(&self, pc: u64, lh: u32) -> usize {
-        ((lh as usize) ^ ((pc >> 4) as usize).wrapping_mul(0x9E37) ) & self.pht_mask
+        ((lh as usize) ^ ((pc >> 4) as usize).wrapping_mul(0x9E37)) & self.pht_mask
     }
 }
 
@@ -113,8 +121,7 @@ impl BranchPredictor for PepPa {
         let counter = self.pht[pi];
         let taken = counter >= 2;
         // Speculative local-history update of the *selected* history.
-        self.bht[bi][sel] = ((lh << 1) | u32::from(taken))
-            & ((1u32 << self.cfg.lh_bits) - 1);
+        self.bht[bi][sel] = ((lh << 1) | u32::from(taken)) & ((1u32 << self.cfg.lh_bits) - 1);
         let ghr_before = self.ghr.value();
         self.ghr.push(taken);
         Prediction {
@@ -186,13 +193,13 @@ mod tests {
         for _ in 0..64 {
             p.note_predicate_write(3, false);
             let pr = p.predict(pc, 3);
-            if pr.taken != true {
+            if !pr.taken {
                 p.recover(&pr, true);
             }
             p.train(&pr, true);
             p.note_predicate_write(3, true);
             let pr = p.predict(pc, 3);
-            if pr.taken != false {
+            if pr.taken {
                 p.recover(&pr, false);
             }
             p.train(&pr, false);
@@ -228,7 +235,10 @@ mod tests {
         // left guard=0 visible.
         p.note_predicate_write(3, false);
         let stale = p.predict(pc, 3);
-        assert!(stale.taken, "stale selector picks the taken-context history");
+        assert!(
+            stale.taken,
+            "stale selector picks the taken-context history"
+        );
     }
 
     #[test]
@@ -270,6 +280,9 @@ mod tests {
         p.note_predicate_write(5, false);
         let b = p.predict(pc, 5);
         p.undo(&b);
-        assert!(a.taken && !b.taken, "prediction equals the computed predicate");
+        assert!(
+            a.taken && !b.taken,
+            "prediction equals the computed predicate"
+        );
     }
 }

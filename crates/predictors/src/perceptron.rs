@@ -38,7 +38,13 @@ impl PerceptronConfig {
 
     /// A small configuration for fast unit tests.
     pub fn tiny() -> Self {
-        PerceptronConfig { rows: 64, ghr_bits: 8, lhr_bits: 4, lht_entries: 64, theta: None }
+        PerceptronConfig {
+            rows: 64,
+            ghr_bits: 8,
+            lhr_bits: 4,
+            lht_entries: 64,
+            theta: None,
+        }
     }
 
     /// Weights per row (bias + global + local).
@@ -279,7 +285,10 @@ mod tests {
     fn theta_rule_matches_jimenez_lin() {
         let cfg = PerceptronConfig::paper_148kb();
         assert_eq!(cfg.resolved_theta(), (1.93f64 * 40.0 + 14.0).floor() as i32);
-        let cfg = PerceptronConfig { theta: Some(10), ..cfg };
+        let cfg = PerceptronConfig {
+            theta: Some(10),
+            ..cfg
+        };
         assert_eq!(cfg.resolved_theta(), 10);
     }
 
@@ -303,14 +312,20 @@ mod tests {
     fn learns_alternating_pattern_via_history() {
         let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
         let rate = learn(&mut p, 0x4000, &[true, false], 400);
-        assert!(rate < 0.1, "T/N/T/N is linearly separable on history, rate={rate}");
+        assert!(
+            rate < 0.1,
+            "T/N/T/N is linearly separable on history, rate={rate}"
+        );
     }
 
     #[test]
     fn learns_period_four_pattern() {
         let mut p = PerceptronPredictor::new(PerceptronConfig::tiny());
         let rate = learn(&mut p, 0x4000, &[true, true, false, false], 400);
-        assert!(rate < 0.15, "period-4 pattern should be learned, rate={rate}");
+        assert!(
+            rate < 0.15,
+            "period-4 pattern should be learned, rate={rate}"
+        );
     }
 
     #[test]
@@ -352,7 +367,7 @@ mod tests {
         let before_ghr = p.ghr_value();
         let before_lhr = p.lht.read(0x4000);
         let pred = p.predict(0x4000, 0);
-        assert_ne!(p.ghr_value(), before_ghr | 0 | u64::MAX, "sanity");
+        assert_ne!(p.ghr_value(), u64::MAX, "sanity");
         p.undo(&pred);
         assert_eq!(p.ghr_value(), before_ghr);
         assert_eq!(p.lht.read(0x4000), before_lhr);
@@ -424,6 +439,10 @@ mod tests {
         for pc in (0x4000u64..0x4000 + 16 * 4096).step_by(16) {
             seen.insert(t.row_of(pc));
         }
-        assert!(seen.len() > t.rows() / 2, "hash should spread: {} rows hit", seen.len());
+        assert!(
+            seen.len() > t.rows() / 2,
+            "hash should spread: {} rows hit",
+            seen.len()
+        );
     }
 }

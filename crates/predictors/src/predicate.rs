@@ -45,12 +45,18 @@ impl PredicateConfig {
     /// predictor has been right about seven times in a row, keeping
     /// wrong-cancel flushes rare).
     pub fn paper_148kb() -> Self {
-        PredicateConfig { perceptron: PerceptronConfig::paper_148kb(), conf_bits: 3 }
+        PredicateConfig {
+            perceptron: PerceptronConfig::paper_148kb(),
+            conf_bits: 3,
+        }
     }
 
     /// A small configuration for fast unit tests.
     pub fn tiny() -> Self {
-        PredicateConfig { perceptron: PerceptronConfig::tiny(), conf_bits: 3 }
+        PredicateConfig {
+            perceptron: PerceptronConfig::tiny(),
+            conf_bits: 3,
+        }
     }
 }
 
@@ -178,7 +184,11 @@ impl PredicatePredictor {
             false
         };
 
-        CmpPrediction { pt, pf, ghr_pushed: pushed }
+        CmpPrediction {
+            pt,
+            pf,
+            ghr_pushed: pushed,
+        }
     }
 
     /// Trains one prediction with the computed predicate value and updates
@@ -320,7 +330,10 @@ mod tests {
             total += 1;
         }
         let rate = wrong_b as f64 / total as f64;
-        assert!(rate < 0.15, "perfect correlation should be learned, rate={rate}");
+        assert!(
+            rate < 0.15,
+            "perfect correlation should be learned, rate={rate}"
+        );
     }
 
     #[test]
@@ -347,7 +360,11 @@ mod tests {
         let g0 = p.ghr_value();
         let cp = p.predict_compare(0x4000, true, true);
         let expected = ((g0 << 1) | u64::from(cp.pt.unwrap().value)) & 0xff;
-        assert_eq!(p.ghr_value(), expected, "one shift even with two predictions");
+        assert_eq!(
+            p.ghr_value(),
+            expected,
+            "one shift even with two predictions"
+        );
     }
 
     #[test]
@@ -393,7 +410,7 @@ mod tests {
         for _ in 0..64 {
             let cp = p.predict_compare(0x4000, true, false);
             let pt = cp.pt.unwrap();
-            if pt.value != true {
+            if !pt.value {
                 p.fix_history_bit(0, true);
             }
             p.train(&pt, true);
@@ -423,21 +440,32 @@ mod tests {
 #[cfg(test)]
 mod correlation_tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+
+    /// Deterministic coin-flip source (splitmix64; no external crates).
+    struct Rng(u64);
+
+    impl Rng {
+        fn flag(&mut self) -> bool {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) & 1 == 1
+        }
+    }
 
     /// The paper's headline scenario: two hard-to-predict feeder compares
     /// whose (repaired) history bits determine a region compare's outcome.
     #[test]
     fn region_compare_is_learned_from_feeder_history() {
         let mut p = PredicatePredictor::new(PredicateConfig::paper_148kb());
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng(3);
         let (pc_f1, pc_f2, pc_r) = (0x4000u64, 0x4040u64, 0x4400u64);
         let mut wrong = 0u32;
         let mut total = 0u32;
         for i in 0..4000u32 {
-            let b0 = rng.gen_bool(0.5);
-            let b1 = rng.gen_bool(0.5);
+            let b0 = rng.flag();
+            let b1 = rng.flag();
             // Feeder 1 (two targets, like cmp.unc pt,pf).
             let c1 = p.predict_compare(pc_f1, true, true);
             let pt1 = c1.pt.unwrap();

@@ -106,13 +106,22 @@ mod tests {
 
     #[test]
     fn paper_budgets_match_the_paper() {
-        assert_eq!(gshare_budget(&GshareConfig::paper_4kb()).total_bytes(), 4096);
+        assert_eq!(
+            gshare_budget(&GshareConfig::paper_4kb()).total_bytes(),
+            4096
+        );
         let perc = perceptron_budget(&PerceptronConfig::paper_148kb());
         // 3696 rows × 41 weights = 151,536 B ≈ 148 KB of weight storage.
         assert_eq!(perc.components[0].1, 151_536);
-        assert_eq!(peppa_budget(&PepPaConfig::paper_144kb()).total_bytes(), 144 * 1024);
+        assert_eq!(
+            peppa_budget(&PepPaConfig::paper_144kb()).total_bytes(),
+            144 * 1024
+        );
         let pp = predicate_budget(&PredicateConfig::paper_148kb());
-        assert_eq!(pp.components[0].1, 151_536, "same PVT budget as the conventional");
+        assert_eq!(
+            pp.components[0].1, 151_536,
+            "same PVT budget as the conventional"
+        );
         // Confidence adds ~1.4 KB — the paper's "minimal extra hardware".
         assert!(pp.components[2].1 < 2 * 1024);
     }

@@ -1,23 +1,52 @@
 //! Property tests for the predictors: exact speculative-state recovery and
 //! structural invariants under arbitrary operation sequences.
-
-use proptest::prelude::*;
+//!
+//! Hand-rolled property loops over a seeded splitmix64 stream (the
+//! workspace builds offline with no external crates); every case is
+//! deterministic and failures name the case index.
 
 use ppsim_predictors::{
     BranchPredictor, Gshare, GshareConfig, PepPa, PepPaConfig, PerceptronConfig,
     PerceptronPredictor, PredicateConfig, PredicatePredictor,
 };
 
-fn pcs() -> impl Strategy<Value = Vec<(u16, bool)>> {
-    prop::collection::vec((any::<u16>(), any::<bool>()), 1..120)
+/// Minimal deterministic PRNG (splitmix64) for the property loops.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// A random branch stream: 1..120 (pc, outcome) pairs.
+    fn pcs(&mut self) -> Vec<(u16, bool)> {
+        let n = 1 + self.below(119);
+        (0..n).map(|_| (self.next() as u16, self.flag())).collect()
+    }
 }
 
 /// predict → undo (youngest first) restores every predictor's history
 /// state exactly.
-fn undo_round_trip<P: BranchPredictor>(mut p: P, stream: &[(u16, bool)], snapshot: impl Fn(&P) -> u64) {
+fn undo_round_trip<P: BranchPredictor>(
+    mut p: P,
+    stream: &[(u16, bool)],
+    snapshot: impl Fn(&P) -> u64,
+) {
     // Warm up with trained state so we are not just testing the zero state.
     for &(pc, taken) in stream.iter().take(stream.len() / 2) {
-        let pred = p.predict(0x4000 + u64::from(pc) * 16, (pc % 64) as u8, );
+        let pred = p.predict(0x4000 + u64::from(pc) * 16, (pc % 64) as u8);
         p.recover(&pred, taken);
         p.train(&pred, taken);
     }
@@ -32,29 +61,35 @@ fn undo_round_trip<P: BranchPredictor>(mut p: P, stream: &[(u16, bool)], snapsho
     assert_eq!(snapshot(&p), before, "undo stack must restore history");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn gshare_undo_round_trip(stream in pcs()) {
-        undo_round_trip(
-            Gshare::new(GshareConfig { ghr_bits: 10 }),
-            &stream,
-            |p| p.ghr_value(),
-        );
+#[test]
+fn gshare_undo_round_trip() {
+    let mut rng = Rng(0x9ed_0001);
+    for _ in 0..32 {
+        let stream = rng.pcs();
+        undo_round_trip(Gshare::new(GshareConfig { ghr_bits: 10 }), &stream, |p| {
+            p.ghr_value()
+        });
     }
+}
 
-    #[test]
-    fn perceptron_undo_round_trip(stream in pcs()) {
+#[test]
+fn perceptron_undo_round_trip() {
+    let mut rng = Rng(0x9ed_0002);
+    for _ in 0..32 {
+        let stream = rng.pcs();
         undo_round_trip(
             PerceptronPredictor::new(PerceptronConfig::tiny()),
             &stream,
             |p| p.ghr_value(),
         );
     }
+}
 
-    #[test]
-    fn predicate_predictor_undo_round_trip(stream in pcs()) {
+#[test]
+fn predicate_predictor_undo_round_trip() {
+    let mut rng = Rng(0x9ed_0003);
+    for case in 0..32 {
+        let stream = rng.pcs();
         let mut p = PredicatePredictor::new(PredicateConfig::tiny());
         for &(pc, v) in stream.iter().take(stream.len() / 2) {
             let cp = p.predict_compare(0x4000 + u64::from(pc) * 16, true, pc % 3 == 0);
@@ -70,16 +105,19 @@ proptest! {
         for cp in cps.iter().rev() {
             p.undo_compare(cp);
         }
-        prop_assert_eq!(p.ghr_value(), before);
+        assert_eq!(p.ghr_value(), before, "case {case}");
     }
+}
 
-    /// Training with the tag snapshot never panics and predictions stay
-    /// boolean-coherent regardless of the interleaving.
-    #[test]
-    fn peppa_is_robust_to_any_interleaving(
-        stream in pcs(),
-        writes in prop::collection::vec((0u8..64, any::<bool>()), 1..60),
-    ) {
+/// Training with the tag snapshot never panics and predictions stay
+/// boolean-coherent regardless of the interleaving.
+#[test]
+fn peppa_is_robust_to_any_interleaving() {
+    let mut rng = Rng(0x9ed_0004);
+    for _ in 0..32 {
+        let stream = rng.pcs();
+        let n = 1 + rng.below(59);
+        let writes: Vec<(u8, bool)> = (0..n).map(|_| (rng.below(64) as u8, rng.flag())).collect();
         let mut p = PepPa::new(PepPaConfig::tiny());
         let mut w = writes.iter().cycle();
         for &(pc, taken) in &stream {
@@ -93,25 +131,33 @@ proptest! {
             p.train(&pred, taken);
         }
         // Reachable without panic and still functional:
-        let pred = p.predict(0x4000, 1);
-        prop_assert!(pred.taken || !pred.taken);
+        let _pred = p.predict(0x4000, 1);
     }
+}
 
-    /// The two hash functions always address distinct, in-range rows.
-    #[test]
-    fn predicate_two_hashes_disjoint(pc in any::<u32>()) {
-        let p = PredicatePredictor::new(PredicateConfig::paper_148kb());
-        let pc = 0x4000_0000u64 + u64::from(pc) * 16;
+/// The two hash functions always address distinct, in-range rows.
+#[test]
+fn predicate_two_hashes_disjoint() {
+    let mut rng = Rng(0x9ed_0005);
+    let p = PredicatePredictor::new(PredicateConfig::paper_148kb());
+    for case in 0..256 {
+        let pc = 0x4000_0000u64 + rng.below(1 << 32) * 16;
         let r1 = p.table().row_of(pc);
         let r2 = p.table().row2_of(pc);
-        prop_assert!(r1 < p.table().rows());
-        prop_assert!(r2 < p.table().rows());
-        prop_assert_ne!(r1, r2);
+        assert!(r1 < p.table().rows(), "case {case}");
+        assert!(r2 < p.table().rows(), "case {case}");
+        assert_ne!(r1, r2, "case {case} pc {pc:#x}");
     }
+}
 
-    /// fix → fix with the original value is the identity on the history.
-    #[test]
-    fn history_fix_is_invertible(bits in prop::collection::vec(any::<bool>(), 1..30), age in 0u32..29) {
+/// fix → fix with the original value is the identity on the history.
+#[test]
+fn history_fix_is_invertible() {
+    let mut rng = Rng(0x9ed_0006);
+    for case in 0..64 {
+        let nbits = 1 + rng.below(29);
+        let bits: Vec<bool> = (0..nbits).map(|_| rng.flag()).collect();
+        let age = rng.below(29) as u32;
         let mut h = ppsim_predictors::GlobalHistory::new(30);
         for b in &bits {
             h.push(*b);
@@ -120,6 +166,6 @@ proptest! {
         let original = h.recent_bit(age);
         h.fix_recent_bit(age, !original);
         h.fix_recent_bit(age, original);
-        prop_assert_eq!(h.value(), before);
+        assert_eq!(h.value(), before, "case {case}");
     }
 }

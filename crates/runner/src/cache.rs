@@ -1,0 +1,441 @@
+//! The on-disk result cache.
+//!
+//! One file per job under the cache directory, named by the job's content
+//! hash (`<hash16>.result`). The format is a hand-rolled line-oriented
+//! text format (the workspace bans serde):
+//!
+//! ```text
+//! ppsim-cache v1
+//! job.bench=gzip
+//! job.ifconv=0
+//! ...                      # every line of Job::canon, prefixed "job."
+//! stat.cycles=123456
+//! stat.committed=500000
+//! ...                      # every SimStats counter, fixed order
+//! static.insns=871
+//! static.cond_branches=42
+//! end
+//! ```
+//!
+//! Loads verify three things: the version header, the *full* canonical
+//! job encoding (so a hash collision or a semantics change in any input
+//! axis reads as a miss, never as a wrong result), and the `end` sentinel
+//! (so a truncated write from a killed process reads as a miss). Stores
+//! write to a `.tmp` sibling and rename into place, which is atomic on
+//! POSIX — concurrent runs never observe half-written entries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ppsim_mem::CacheStats;
+use ppsim_pipeline::SimStats;
+
+use crate::job::{Job, JobResult};
+
+/// Magic first line; bump the version to invalidate every entry.
+const HEADER: &str = "ppsim-cache v1";
+/// Last line; its absence marks a truncated entry.
+const FOOTER: &str = "end";
+
+/// A directory of cached job results.
+#[derive(Clone, Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (and creates if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir })
+    }
+
+    /// The default cache location: `$PPSIM_CACHE_DIR`, else
+    /// `target/ppsim-cache` under the current directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("PPSIM_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("ppsim-cache"))
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, job: &Job) -> PathBuf {
+        self.dir.join(format!("{}.result", job.hash_hex()))
+    }
+
+    /// Loads the result for `job`, or `None` on any kind of miss
+    /// (absent, truncated, stale canon, unparseable). Corrupt entries
+    /// are treated as misses, not errors — the runner recomputes and
+    /// overwrites them.
+    pub fn load(&self, job: &Job) -> Option<JobResult> {
+        let text = fs::read_to_string(self.entry_path(job)).ok()?;
+        parse_entry(&text, job)
+    }
+
+    /// Stores the result for `job` atomically (`.tmp` + rename).
+    pub fn store(&self, job: &Job, result: &JobResult) -> std::io::Result<()> {
+        let path = self.entry_path(job);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(render_entry(job, result).as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+}
+
+fn render_entry(job: &Job, result: &JobResult) -> String {
+    let mut s = String::with_capacity(2048);
+    s.push_str(HEADER);
+    s.push('\n');
+    for line in job.canon().lines() {
+        s.push_str("job.");
+        s.push_str(line);
+        s.push('\n');
+    }
+    for (key, value) in stat_fields(&result.stats) {
+        s.push_str("stat.");
+        s.push_str(key);
+        s.push('=');
+        s.push_str(&value.to_string());
+        s.push('\n');
+    }
+    s.push_str(&format!("static.insns={}\n", result.static_insns));
+    s.push_str(&format!(
+        "static.cond_branches={}\n",
+        result.static_cond_branches
+    ));
+    s.push_str(FOOTER);
+    s.push('\n');
+    s
+}
+
+fn parse_entry(text: &str, job: &Job) -> Option<JobResult> {
+    let mut lines = text.lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    // Verify the stored canon matches this job's, line for line. A
+    // mismatch means the hash collided or an input axis changed meaning;
+    // either way the entry is stale.
+    let canon = job.canon();
+    let mut canon_lines = canon.lines();
+    let mut rest = lines.peekable();
+    while let Some(line) = rest.peek() {
+        match line.strip_prefix("job.") {
+            Some(stored) => {
+                if canon_lines.next() != Some(stored) {
+                    return None;
+                }
+                rest.next();
+            }
+            None => break,
+        }
+    }
+    if canon_lines.next().is_some() {
+        return None; // stored canon is a strict prefix — stale
+    }
+
+    let mut stats = SimStats::default();
+    let mut static_insns = None;
+    let mut static_cond_branches = None;
+    let mut saw_footer = false;
+    for line in rest {
+        if line == FOOTER {
+            saw_footer = true;
+            break;
+        }
+        let (key, value) = line.split_once('=')?;
+        let value: u64 = value.parse().ok()?;
+        if let Some(stat) = key.strip_prefix("stat.") {
+            set_stat_field(&mut stats, stat, value)?;
+        } else if key == "static.insns" {
+            static_insns = Some(value);
+        } else if key == "static.cond_branches" {
+            static_cond_branches = Some(value);
+        } else {
+            return None;
+        }
+    }
+    if !saw_footer {
+        return None; // truncated write
+    }
+    Some(JobResult {
+        stats,
+        static_insns: static_insns?,
+        static_cond_branches: static_cond_branches?,
+        from_cache: true,
+        wall_micros: 0,
+    })
+}
+
+/// Every SimStats counter as (key, value), in the fixed serialization
+/// order. Adding a field to SimStats without extending this list is
+/// caught by the round-trip test below.
+fn stat_fields(s: &SimStats) -> Vec<(&'static str, u64)> {
+    let mut out = vec![
+        ("cycles", s.cycles),
+        ("committed", s.committed),
+        ("cond_branches", s.cond_branches),
+        ("mispredicts", s.mispredicts),
+        ("uncond_branches", s.uncond_branches),
+        ("compares", s.compares),
+        ("early_resolved", s.early_resolved),
+        ("early_resolved_saves", s.early_resolved_saves),
+        ("shadow_mispredicts", s.shadow_mispredicts),
+        ("overrides", s.overrides),
+        ("predicate_predictions", s.predicate_predictions),
+        ("predicate_mispredictions", s.predicate_mispredictions),
+        ("cancelled_at_rename", s.cancelled_at_rename),
+        ("unguarded_at_rename", s.unguarded_at_rename),
+        ("predication_flushes", s.predication_flushes),
+        ("nullified", s.nullified),
+    ];
+    for (level, c) in [("l1i", &s.mem.l1i), ("l1d", &s.mem.l1d), ("l2", &s.mem.l2)] {
+        out.push((cache_key(level, "accesses"), c.accesses));
+        out.push((cache_key(level, "hits"), c.hits));
+        out.push((cache_key(level, "primary_misses"), c.primary_misses));
+        out.push((cache_key(level, "secondary_misses"), c.secondary_misses));
+        out.push((cache_key(level, "mshr_stall_cycles"), c.mshr_stall_cycles));
+        out.push((cache_key(level, "writebacks"), c.writebacks));
+        out.push((
+            cache_key(level, "write_buffer_stall_cycles"),
+            c.write_buffer_stall_cycles,
+        ));
+    }
+    out.push(("itlb.hits", s.mem.itlb.0));
+    out.push(("itlb.misses", s.mem.itlb.1));
+    out.push(("dtlb.hits", s.mem.dtlb.0));
+    out.push(("dtlb.misses", s.mem.dtlb.1));
+    out
+}
+
+/// Static key strings for the three cache levels × seven counters.
+fn cache_key(level: &str, field: &str) -> &'static str {
+    // A match table keeps the keys `&'static str` without allocation.
+    macro_rules! table {
+        ($($lvl:literal, $fld:literal => $key:literal;)*) => {
+            match (level, field) {
+                $(($lvl, $fld) => $key,)*
+                _ => unreachable!("unknown cache stat {level}.{field}"),
+            }
+        };
+    }
+    table! {
+        "l1i", "accesses" => "l1i.accesses";
+        "l1i", "hits" => "l1i.hits";
+        "l1i", "primary_misses" => "l1i.primary_misses";
+        "l1i", "secondary_misses" => "l1i.secondary_misses";
+        "l1i", "mshr_stall_cycles" => "l1i.mshr_stall_cycles";
+        "l1i", "writebacks" => "l1i.writebacks";
+        "l1i", "write_buffer_stall_cycles" => "l1i.write_buffer_stall_cycles";
+        "l1d", "accesses" => "l1d.accesses";
+        "l1d", "hits" => "l1d.hits";
+        "l1d", "primary_misses" => "l1d.primary_misses";
+        "l1d", "secondary_misses" => "l1d.secondary_misses";
+        "l1d", "mshr_stall_cycles" => "l1d.mshr_stall_cycles";
+        "l1d", "writebacks" => "l1d.writebacks";
+        "l1d", "write_buffer_stall_cycles" => "l1d.write_buffer_stall_cycles";
+        "l2", "accesses" => "l2.accesses";
+        "l2", "hits" => "l2.hits";
+        "l2", "primary_misses" => "l2.primary_misses";
+        "l2", "secondary_misses" => "l2.secondary_misses";
+        "l2", "mshr_stall_cycles" => "l2.mshr_stall_cycles";
+        "l2", "writebacks" => "l2.writebacks";
+        "l2", "write_buffer_stall_cycles" => "l2.write_buffer_stall_cycles";
+    }
+}
+
+fn set_stat_field(s: &mut SimStats, key: &str, v: u64) -> Option<()> {
+    let cache_field = |c: &mut CacheStats, field: &str, v: u64| -> Option<()> {
+        match field {
+            "accesses" => c.accesses = v,
+            "hits" => c.hits = v,
+            "primary_misses" => c.primary_misses = v,
+            "secondary_misses" => c.secondary_misses = v,
+            "mshr_stall_cycles" => c.mshr_stall_cycles = v,
+            "writebacks" => c.writebacks = v,
+            "write_buffer_stall_cycles" => c.write_buffer_stall_cycles = v,
+            _ => return None,
+        }
+        Some(())
+    };
+    if let Some((level, field)) = key.split_once('.') {
+        return match level {
+            "l1i" => cache_field(&mut s.mem.l1i, field, v),
+            "l1d" => cache_field(&mut s.mem.l1d, field, v),
+            "l2" => cache_field(&mut s.mem.l2, field, v),
+            "itlb" | "dtlb" => {
+                let tlb = if level == "itlb" {
+                    &mut s.mem.itlb
+                } else {
+                    &mut s.mem.dtlb
+                };
+                match field {
+                    "hits" => tlb.0 = v,
+                    "misses" => tlb.1 = v,
+                    _ => return None,
+                }
+                Some(())
+            }
+            _ => None,
+        };
+    }
+    match key {
+        "cycles" => s.cycles = v,
+        "committed" => s.committed = v,
+        "cond_branches" => s.cond_branches = v,
+        "mispredicts" => s.mispredicts = v,
+        "uncond_branches" => s.uncond_branches = v,
+        "compares" => s.compares = v,
+        "early_resolved" => s.early_resolved = v,
+        "early_resolved_saves" => s.early_resolved_saves = v,
+        "shadow_mispredicts" => s.shadow_mispredicts = v,
+        "overrides" => s.overrides = v,
+        "predicate_predictions" => s.predicate_predictions = v,
+        "predicate_mispredictions" => s.predicate_mispredictions = v,
+        "cancelled_at_rename" => s.cancelled_at_rename = v,
+        "unguarded_at_rename" => s.unguarded_at_rename = v,
+        "predication_flushes" => s.predication_flushes = v,
+        "nullified" => s.nullified = v,
+        _ => return None,
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim_pipeline::{CoreConfig, PredicationModel, SchemeKind};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ppsim-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn job() -> Job {
+        Job::new(
+            "gzip",
+            true,
+            SchemeKind::PepPa,
+            PredicationModel::Selective,
+            40_000,
+            60_000,
+            CoreConfig::paper(),
+        )
+    }
+
+    fn result() -> JobResult {
+        let mut r = JobResult {
+            static_insns: 871,
+            static_cond_branches: 42,
+            ..JobResult::default()
+        };
+        // Fill every counter with a distinct value so a swapped or
+        // dropped field breaks the round trip.
+        r.stats.cycles = 101;
+        r.stats.committed = 102;
+        r.stats.cond_branches = 103;
+        r.stats.mispredicts = 104;
+        r.stats.uncond_branches = 105;
+        r.stats.compares = 106;
+        r.stats.early_resolved = 107;
+        r.stats.early_resolved_saves = 108;
+        r.stats.shadow_mispredicts = 109;
+        r.stats.overrides = 110;
+        r.stats.predicate_predictions = 111;
+        r.stats.predicate_mispredictions = 112;
+        r.stats.cancelled_at_rename = 113;
+        r.stats.unguarded_at_rename = 114;
+        r.stats.predication_flushes = 115;
+        r.stats.nullified = 116;
+        r.stats.mem.l1i.accesses = 201;
+        r.stats.mem.l1i.hits = 202;
+        r.stats.mem.l1d.primary_misses = 203;
+        r.stats.mem.l1d.writebacks = 204;
+        r.stats.mem.l2.secondary_misses = 205;
+        r.stats.mem.l2.mshr_stall_cycles = 206;
+        r.stats.mem.l2.write_buffer_stall_cycles = 207;
+        r.stats.mem.itlb = (301, 302);
+        r.stats.mem.dtlb = (303, 304);
+        r
+    }
+
+    #[test]
+    fn round_trip_preserves_every_counter() {
+        let dir = temp_dir("roundtrip");
+        let cache = DiskCache::open(&dir).unwrap();
+        let j = job();
+        let r = result();
+        assert!(cache.load(&j).is_none(), "cold cache must miss");
+        cache.store(&j, &r).unwrap();
+        let loaded = cache.load(&j).expect("warm cache must hit");
+        assert!(loaded.from_cache);
+        assert_eq!(stat_fields(&loaded.stats), stat_fields(&r.stats));
+        assert_eq!(loaded.static_insns, r.static_insns);
+        assert_eq!(loaded.static_cond_branches, r.static_cond_branches);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_job_misses() {
+        let dir = temp_dir("miss");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(&job(), &result()).unwrap();
+        let other = Job {
+            commits: 99,
+            ..job()
+        };
+        assert!(cache.load(&other).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_canon_under_same_name_misses() {
+        // Simulate a hash collision / semantics change: an entry whose
+        // file name matches but whose stored canon differs must miss.
+        let dir = temp_dir("stale");
+        let cache = DiskCache::open(&dir).unwrap();
+        let j = job();
+        let mut text = render_entry(&j, &result());
+        text = text.replace("job.bench=gzip", "job.bench=vortex");
+        fs::write(cache.dir().join(format!("{}.result", j.hash_hex())), text).unwrap();
+        assert!(cache.load(&j).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_misses() {
+        let dir = temp_dir("trunc");
+        let cache = DiskCache::open(&dir).unwrap();
+        let j = job();
+        let full = render_entry(&j, &result());
+        let cut = &full[..full.len() - 20];
+        fs::write(cache.dir().join(format!("{}.result", j.hash_hex())), cut).unwrap();
+        assert!(cache.load(&j).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_entry_misses() {
+        let dir = temp_dir("garbage");
+        let cache = DiskCache::open(&dir).unwrap();
+        let j = job();
+        fs::write(
+            cache.dir().join(format!("{}.result", j.hash_hex())),
+            "not a cache file",
+        )
+        .unwrap();
+        assert!(cache.load(&j).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

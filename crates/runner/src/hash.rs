@@ -1,0 +1,51 @@
+//! Content hashing for job identities.
+//!
+//! FNV-1a (64-bit) over the job's canonical text encoding. The hash keys
+//! the on-disk result cache, so it must be stable across runs, platforms
+//! and compiler versions — which a hand-rolled FNV is (unlike
+//! `DefaultHasher`, whose algorithm is explicitly unspecified).
+
+/// 64-bit FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte string with 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Formats a hash the way cache file names and reports spell it.
+pub fn hex64(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a64(b"bench=gzip"), fnv1a64(b"bench=gcc"));
+        assert_ne!(fnv1a64(b"commits=1"), fnv1a64(b"commits=10"));
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex64(0xab).len(), 16);
+        assert_eq!(hex64(0xab), "00000000000000ab");
+    }
+}

@@ -1,0 +1,343 @@
+//! The job model: one simulation cell of an experiment grid.
+//!
+//! A [`Job`] captures *every* input that can influence a simulation's
+//! statistics — benchmark, compile options, prediction scheme, predication
+//! model, predictor geometry overrides, machine configuration and commit
+//! budget. Its [`Job::canon`] encoding is a canonical line-oriented text
+//! rendering of all of those inputs; the FNV-1a hash of that text is the
+//! job's identity, used to key the on-disk result cache and to detect
+//! stale entries. Two jobs with equal hashes but different canonical
+//! encodings are treated as distinct (the cache compares the full
+//! encoding, not just the hash).
+
+use ppsim_pipeline::{CoreConfig, PredicationModel, SchemeKind, SimStats};
+use ppsim_predictors::{PerceptronConfig, PredicateConfig};
+
+use crate::hash::{fnv1a64, hex64};
+
+/// One simulation cell: (benchmark, compile flags, scheme, predication
+/// model, machine, budget) plus optional predictor-geometry overrides.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// Benchmark name from `ppsim_compiler::spec2000_suite()`.
+    pub benchmark: String,
+    /// Compile with profile-guided if-conversion.
+    pub ifconv: bool,
+    /// Override of the if-converter's profiled-misprediction threshold
+    /// (`None` = the compiler default).
+    pub ifconv_threshold: Option<f64>,
+    /// Functional-emulator steps for the compiler's profiling run.
+    pub profile_steps: u64,
+    /// Branch-prediction organization.
+    pub scheme: SchemeKind,
+    /// How if-converted instructions execute.
+    pub predication: PredicationModel,
+    /// Attach the shadow conventional predictor (Figure 6b attribution).
+    pub shadow: bool,
+    /// Committed instructions to simulate.
+    pub commits: u64,
+    /// The machine.
+    pub core: CoreConfig,
+    /// Perceptron geometry override for the conventional/two-level
+    /// predictor (`None` = paper 148 KB).
+    pub perceptron: Option<PerceptronConfig>,
+    /// Predicate-predictor configuration override (`None` = paper 148 KB,
+    /// 3-bit confidence).
+    pub predicate: Option<PredicateConfig>,
+}
+
+impl Job {
+    /// A job with no overrides, on the given machine.
+    pub fn new(
+        benchmark: impl Into<String>,
+        ifconv: bool,
+        scheme: SchemeKind,
+        predication: PredicationModel,
+        commits: u64,
+        profile_steps: u64,
+        core: CoreConfig,
+    ) -> Self {
+        Job {
+            benchmark: benchmark.into(),
+            ifconv,
+            ifconv_threshold: None,
+            profile_steps,
+            scheme,
+            predication,
+            shadow: false,
+            commits,
+            core,
+            perceptron: None,
+            predicate: None,
+        }
+    }
+
+    /// Canonical text encoding of every input. Line-oriented `key=value`
+    /// pairs in a fixed order; this exact string (not the struct) defines
+    /// the job's identity.
+    pub fn canon(&self) -> String {
+        let mut s = String::with_capacity(640);
+        let kv = |s: &mut String, k: &str, v: &str| {
+            s.push_str(k);
+            s.push('=');
+            s.push_str(v);
+            s.push('\n');
+        };
+        kv(&mut s, "bench", &self.benchmark);
+        kv(&mut s, "ifconv", if self.ifconv { "1" } else { "0" });
+        kv(
+            &mut s,
+            "ifconv_threshold",
+            &self
+                .ifconv_threshold
+                .map_or("-".to_string(), |t| hex64(t.to_bits())),
+        );
+        kv(&mut s, "profile_steps", &self.profile_steps.to_string());
+        kv(&mut s, "scheme", self.scheme.name());
+        kv(
+            &mut s,
+            "predication",
+            match self.predication {
+                PredicationModel::Cmov => "cmov",
+                PredicationModel::Selective => "selective",
+            },
+        );
+        kv(&mut s, "shadow", if self.shadow { "1" } else { "0" });
+        kv(&mut s, "commits", &self.commits.to_string());
+        let c = &self.core;
+        kv(
+            &mut s,
+            "core",
+            &format!(
+                "fw:{} rw:{} cw:{} rob:{} iqi:{} iqf:{} iqb:{} lq:{} sq:{} pi:{} pf:{} pp:{} \
+                 iu:{} fu:{} mp:{} bu:{} fs:{} pen:{} ob:{} repair:{}",
+                c.fetch_width,
+                c.rename_width,
+                c.commit_width,
+                c.rob_entries,
+                c.iq_int,
+                c.iq_fp,
+                c.iq_branch,
+                c.lq_entries,
+                c.sq_entries,
+                c.phys_int,
+                c.phys_fp,
+                c.phys_pred,
+                c.int_units,
+                c.fp_units,
+                c.mem_ports,
+                c.branch_units,
+                c.front_stages,
+                c.mispredict_penalty,
+                c.override_bubble,
+                u8::from(c.history_repair),
+            ),
+        );
+        let l = &self.core.latencies;
+        kv(
+            &mut s,
+            "latencies",
+            &format!(
+                "alu:{} mul:{} falu:{} fmul:{} fdiv:{} br:{}",
+                l.int_alu, l.int_mul, l.fp_alu, l.fp_mul, l.fp_div, l.branch
+            ),
+        );
+        kv(
+            &mut s,
+            "perceptron",
+            &Self::canon_perceptron(self.perceptron.as_ref()),
+        );
+        kv(
+            &mut s,
+            "predicate",
+            &self.predicate.as_ref().map_or("-".to_string(), |p| {
+                format!(
+                    "{} conf:{}",
+                    Self::canon_perceptron(Some(&p.perceptron)),
+                    p.conf_bits
+                )
+            }),
+        );
+        s
+    }
+
+    fn canon_perceptron(p: Option<&PerceptronConfig>) -> String {
+        p.map_or("-".to_string(), |p| {
+            format!(
+                "rows:{} ghr:{} lhr:{} lht:{} theta:{}",
+                p.rows,
+                p.ghr_bits,
+                p.lhr_bits,
+                p.lht_entries,
+                p.theta.map_or("-".to_string(), |t| t.to_string()),
+            )
+        })
+    }
+
+    /// The job's content hash (FNV-1a over [`Job::canon`]).
+    pub fn hash(&self) -> u64 {
+        fnv1a64(self.canon().as_bytes())
+    }
+
+    /// The hash as the 16-digit hex string used in cache file names.
+    pub fn hash_hex(&self) -> String {
+        hex64(self.hash())
+    }
+
+    /// A short human-readable label for telemetry and progress output.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}{}{}",
+            self.benchmark,
+            self.scheme.name(),
+            if self.ifconv { "/ifconv" } else { "" },
+            if self.shadow { "/shadow" } else { "" },
+        )
+    }
+}
+
+/// The outcome of one job: simulation statistics plus the static-code
+/// counters the sweeps need, and execution telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct JobResult {
+    /// Simulation counters.
+    pub stats: SimStats,
+    /// Static instructions in the compiled binary.
+    pub static_insns: u64,
+    /// Static conditional branches in the compiled binary (the
+    /// if-conversion-threshold sweep's x-axis).
+    pub static_cond_branches: u64,
+    /// Whether the result was served from the on-disk cache.
+    pub from_cache: bool,
+    /// Wall time spent producing the result (0 for cache hits).
+    pub wall_micros: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Job {
+        Job::new(
+            "gzip",
+            false,
+            SchemeKind::Predicate,
+            PredicationModel::Cmov,
+            500_000,
+            200_000,
+            CoreConfig::paper(),
+        )
+    }
+
+    #[test]
+    fn canon_is_stable_and_complete() {
+        let c = base().canon();
+        for key in [
+            "bench=gzip",
+            "ifconv=0",
+            "scheme=predicate",
+            "predication=cmov",
+            "commits=500000",
+            "rob:256",
+            "repair:1",
+            "perceptron=-",
+        ] {
+            assert!(c.contains(key), "missing {key} in:\n{c}");
+        }
+        assert_eq!(c, base().canon(), "canonical encoding is deterministic");
+    }
+
+    #[test]
+    fn every_axis_changes_the_hash() {
+        let b = base();
+        let h = b.hash();
+        let variants = [
+            Job {
+                benchmark: "gcc".into(),
+                ..b.clone()
+            },
+            Job {
+                ifconv: true,
+                ..b.clone()
+            },
+            Job {
+                ifconv_threshold: Some(0.3),
+                ..b.clone()
+            },
+            Job {
+                profile_steps: 1,
+                ..b.clone()
+            },
+            Job {
+                scheme: SchemeKind::Conventional,
+                ..b.clone()
+            },
+            Job {
+                predication: PredicationModel::Selective,
+                ..b.clone()
+            },
+            Job {
+                shadow: true,
+                ..b.clone()
+            },
+            Job {
+                commits: 1,
+                ..b.clone()
+            },
+            Job {
+                core: CoreConfig {
+                    rob_entries: 8,
+                    ..CoreConfig::paper()
+                },
+                ..b.clone()
+            },
+            Job {
+                core: CoreConfig {
+                    history_repair: false,
+                    ..CoreConfig::paper()
+                },
+                ..b.clone()
+            },
+            Job {
+                perceptron: Some(PerceptronConfig::paper_148kb()),
+                ..b.clone()
+            },
+            Job {
+                predicate: Some(PredicateConfig::paper_148kb()),
+                ..b.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.hash(), h, "axis not hashed: {v:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_encoding_distinguishes_close_values() {
+        let a = Job {
+            ifconv_threshold: Some(0.15),
+            ..base()
+        };
+        let b = Job {
+            ifconv_threshold: Some(0.150000001),
+            ..base()
+        };
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn hash_hex_matches_hash() {
+        let b = base();
+        assert_eq!(b.hash_hex(), format!("{:016x}", b.hash()));
+    }
+
+    #[test]
+    fn label_mentions_scheme_and_flags() {
+        let j = Job {
+            ifconv: true,
+            shadow: true,
+            ..base()
+        };
+        assert_eq!(j.label(), "gzip/predicate/ifconv/shadow");
+    }
+}

@@ -1,0 +1,403 @@
+//! `ppsim-runner` — parallel, cache-aware experiment execution.
+//!
+//! The runner owns the path from "a grid of experiment cells" to "a vector
+//! of results": it probes the on-disk cache, memoizes compilation per
+//! (benchmark, compile-flags), fans cache misses across a deterministic
+//! work-stealing thread pool, stores fresh results back, and assembles
+//! everything in canonical grid order. Reports built from a grid are
+//! byte-identical for any `--jobs N` and for cold vs. warm caches; only
+//! the telemetry (wall times, hit counts) differs, and that never enters
+//! the deterministic report stream.
+//!
+//! ```text
+//! Vec<Job> ──cache probe──▶ misses ──pool──▶ simulate ──store──▶
+//!          ──────────────── hits ─────────────────────▶ assemble (grid order)
+//! ```
+
+pub mod cache;
+pub mod hash;
+pub mod job;
+pub mod json;
+pub mod pool;
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use ppsim_compiler::{compile, spec2000_suite, CompileOptions, Compiled, WorkloadSpec};
+use ppsim_pipeline::Simulator;
+
+pub use cache::DiskCache;
+pub use job::{Job, JobResult};
+pub use json::Json;
+
+/// How a [`Runner`] executes grids.
+#[derive(Clone, Debug)]
+pub struct RunnerOptions {
+    /// Worker threads; `0` means "one per available CPU".
+    pub jobs: usize,
+    /// Consult and populate the on-disk result cache.
+    pub cache: bool,
+    /// Cache directory override (`None` = [`DiskCache::default_dir`]).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            jobs: 0,
+            cache: true,
+            cache_dir: None,
+        }
+    }
+}
+
+impl RunnerOptions {
+    /// Parses `--jobs N`, `--no-cache` and `--cache-dir P` from a raw
+    /// argument list, returning the options and the unconsumed arguments.
+    pub fn from_args(args: &[String]) -> Result<(RunnerOptions, Vec<String>), String> {
+        let mut opts = RunnerOptions::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--jobs" | "-j" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    opts.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                }
+                "--no-cache" => opts.cache = false,
+                "--cache-dir" => {
+                    let v = it.next().ok_or("--cache-dir needs a value")?;
+                    opts.cache_dir = Some(PathBuf::from(v));
+                }
+                _ => rest.push(a.clone()),
+            }
+        }
+        Ok((opts, rest))
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Execution telemetry for one grid (and cumulatively for a runner's
+/// lifetime). Telemetry is *observational*: it never feeds back into
+/// results or report bytes.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Jobs requested.
+    pub jobs_total: u64,
+    /// Jobs actually simulated (cache misses).
+    pub jobs_run: u64,
+    /// Jobs served from the on-disk cache.
+    pub cache_hits: u64,
+    /// Wall time of simulated jobs, summed (µs).
+    pub wall_micros_total: u64,
+    /// (label, wall µs) per simulated job, in grid order.
+    pub per_job: Vec<(String, u64)>,
+}
+
+impl Telemetry {
+    fn absorb(&mut self, jobs: &[Job], results: &[JobResult]) {
+        self.jobs_total += jobs.len() as u64;
+        for (job, r) in jobs.iter().zip(results) {
+            if r.from_cache {
+                self.cache_hits += 1;
+            } else {
+                self.jobs_run += 1;
+                self.wall_micros_total += r.wall_micros;
+                self.per_job.push((job.label(), r.wall_micros));
+            }
+        }
+    }
+
+    /// Renders the telemetry as a JSON object (for `--json` artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("jobs_total", self.jobs_total)
+            .field("jobs_run", self.jobs_run)
+            .field("cache_hits", self.cache_hits)
+            .field("wall_micros_total", self.wall_micros_total)
+            .field(
+                "per_job",
+                Json::Arr(
+                    self.per_job
+                        .iter()
+                        .map(|(label, us)| {
+                            Json::obj()
+                                .field("job", label.as_str())
+                                .field("wall_micros", *us)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// One-line human summary (stderr-friendly).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs: {} simulated, {} from cache, {:.2}s simulation time",
+            self.jobs_total,
+            self.jobs_run,
+            self.cache_hits,
+            self.wall_micros_total as f64 / 1e6,
+        )
+    }
+}
+
+/// Compilation memo key: everything that affects the compiled binary.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CompileKey {
+    benchmark: String,
+    ifconv: bool,
+    /// `f64::to_bits` of the threshold override (`u64::MAX` = none).
+    threshold_bits: u64,
+    profile_steps: u64,
+}
+
+impl CompileKey {
+    fn of(job: &Job) -> CompileKey {
+        CompileKey {
+            benchmark: job.benchmark.clone(),
+            ifconv: job.ifconv,
+            threshold_bits: job.ifconv_threshold.map_or(u64::MAX, f64::to_bits),
+            profile_steps: job.profile_steps,
+        }
+    }
+}
+
+/// The experiment execution engine.
+pub struct Runner {
+    opts: RunnerOptions,
+    cache: Option<DiskCache>,
+    suite: Vec<WorkloadSpec>,
+    /// Per-key compile memo. The `Arc<OnceLock>` two-step keeps the map
+    /// lock held only for the lookup, so two workers needing *different*
+    /// benchmarks compile concurrently while two needing the *same* one
+    /// compile once.
+    compiled: Mutex<HashMap<CompileKey, Arc<OnceLock<Arc<Compiled>>>>>,
+    telemetry: Mutex<Telemetry>,
+}
+
+impl Runner {
+    /// A runner with the given options. Cache-open failures degrade to
+    /// running without a cache rather than erroring.
+    pub fn new(opts: RunnerOptions) -> Runner {
+        let cache = if opts.cache {
+            let dir = opts
+                .cache_dir
+                .clone()
+                .unwrap_or_else(DiskCache::default_dir);
+            DiskCache::open(dir).ok()
+        } else {
+            None
+        };
+        Runner {
+            opts,
+            cache,
+            suite: spec2000_suite(),
+            compiled: Mutex::new(HashMap::new()),
+            telemetry: Mutex::new(Telemetry::default()),
+        }
+    }
+
+    /// A serial, cache-less runner (unit tests; guaranteed hermetic).
+    pub fn serial_no_cache() -> Runner {
+        Runner::new(RunnerOptions {
+            jobs: 1,
+            cache: false,
+            cache_dir: None,
+        })
+    }
+
+    /// Cumulative telemetry since construction.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.lock().unwrap().clone()
+    }
+
+    /// Runs a grid of jobs and returns results in grid order.
+    ///
+    /// Cache hits are resolved serially up front (file reads — not worth
+    /// threading); misses fan out over the pool. Results are assembled by
+    /// grid index, so the output order — and any report rendered from it —
+    /// is independent of worker count and scheduling.
+    pub fn run_grid(&self, jobs: &[Job]) -> Vec<JobResult> {
+        // 1. Serial cache probe.
+        let mut slots: Vec<Option<JobResult>> = match &self.cache {
+            Some(cache) => jobs.iter().map(|j| cache.load(j)).collect(),
+            None => vec![None; jobs.len()],
+        };
+
+        // 2. Fan the misses over the pool.
+        let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+        let fresh = pool::run_indexed(miss_idx.len(), self.opts.effective_jobs(), |k| {
+            self.execute(&jobs[miss_idx[k]])
+        });
+
+        // 3. Store fresh results and fill their slots.
+        for (k, result) in fresh.into_iter().enumerate() {
+            let i = miss_idx[k];
+            if let Some(cache) = &self.cache {
+                // A failed store is not fatal — the result is still good,
+                // the next run just recomputes.
+                let _ = cache.store(&jobs[i], &result);
+            }
+            slots[i] = Some(result);
+        }
+
+        let results: Vec<JobResult> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+        self.telemetry.lock().unwrap().absorb(jobs, &results);
+        results
+    }
+
+    /// Runs a single job (grid of one).
+    pub fn run_job(&self, job: &Job) -> JobResult {
+        self.run_grid(std::slice::from_ref(job)).pop().unwrap()
+    }
+
+    /// Compiles (or returns the memoized binary for) a job's benchmark.
+    fn compiled_for(&self, job: &Job) -> Arc<Compiled> {
+        let key = CompileKey::of(job);
+        let cell = {
+            let mut map = self.compiled.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        cell.get_or_init(|| {
+            let spec = self
+                .suite
+                .iter()
+                .find(|s| s.name == job.benchmark)
+                .unwrap_or_else(|| panic!("unknown benchmark `{}`", job.benchmark));
+            let mut opts = if job.ifconv {
+                CompileOptions::with_ifconv()
+            } else {
+                CompileOptions::no_ifconv()
+            };
+            opts.profile_steps = job.profile_steps;
+            if let Some(t) = job.ifconv_threshold {
+                opts.ifconvert.misp_threshold = t;
+            }
+            Arc::new(compile(spec, &opts).expect("suite benchmarks compile"))
+        })
+        .clone()
+    }
+
+    /// Compiles and simulates one job (a cache miss).
+    fn execute(&self, job: &Job) -> JobResult {
+        let started = Instant::now();
+        let compiled = self.compiled_for(job);
+        let mut sim = Simulator::new(&compiled.program, job.scheme, job.predication, job.core);
+        if job.shadow {
+            sim = sim.with_shadow();
+        }
+        if let Some(p) = job.perceptron {
+            sim = sim.with_perceptron_config(p);
+        }
+        if let Some(p) = job.predicate {
+            sim = sim.with_predicate_config(p);
+        }
+        let run = sim.run(job.commits);
+        JobResult {
+            stats: run.stats,
+            static_insns: compiled.program.count_insns(|_| true) as u64,
+            static_cond_branches: compiled.program.count_insns(|i| i.is_cond_branch()) as u64,
+            from_cache: false,
+            wall_micros: started.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim_pipeline::{CoreConfig, PredicationModel, SchemeKind};
+
+    fn tiny(scheme: SchemeKind) -> Job {
+        Job::new(
+            "gzip",
+            false,
+            scheme,
+            PredicationModel::Cmov,
+            5_000,
+            20_000,
+            CoreConfig::paper(),
+        )
+    }
+
+    #[test]
+    fn serial_runner_produces_nonempty_stats() {
+        let r = Runner::serial_no_cache();
+        let out = r.run_job(&tiny(SchemeKind::Conventional));
+        assert!(out.stats.committed >= 5_000);
+        assert!(out.stats.cond_branches > 0);
+        assert!(out.static_insns > 0);
+        assert!(out.static_cond_branches > 0);
+        assert!(!out.from_cache);
+    }
+
+    #[test]
+    fn compile_memo_shares_across_jobs() {
+        let r = Runner::serial_no_cache();
+        let grid = vec![tiny(SchemeKind::Conventional), tiny(SchemeKind::Predicate)];
+        let out = r.run_grid(&grid);
+        assert_eq!(out.len(), 2);
+        // Same binary → same static counts.
+        assert_eq!(out[0].static_insns, out[1].static_insns);
+        assert_eq!(
+            r.compiled.lock().unwrap().len(),
+            1,
+            "one compile for two jobs"
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_runs() {
+        let r = Runner::serial_no_cache();
+        r.run_grid(&[tiny(SchemeKind::Conventional)]);
+        let t = r.telemetry();
+        assert_eq!(t.jobs_total, 1);
+        assert_eq!(t.jobs_run, 1);
+        assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.per_job.len(), 1);
+        assert_eq!(t.per_job[0].0, "gzip/conventional");
+    }
+
+    #[test]
+    fn options_parse_runner_flags() {
+        let args: Vec<String> = [
+            "--json",
+            "out.json",
+            "--jobs",
+            "4",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/c",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (opts, rest) = RunnerOptions::from_args(&args).unwrap();
+        assert_eq!(opts.jobs, 4);
+        assert!(!opts.cache);
+        assert_eq!(
+            opts.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+        assert_eq!(rest, vec!["--json".to_string(), "out.json".to_string()]);
+    }
+
+    #[test]
+    fn bad_jobs_value_is_an_error() {
+        let args = vec!["--jobs".to_string(), "many".to_string()];
+        assert!(RunnerOptions::from_args(&args).is_err());
+    }
+}

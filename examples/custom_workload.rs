@@ -13,7 +13,11 @@ fn k(kind: KernelKind, filler: u8) -> KernelSpec {
 }
 
 fn measure(spec: &WorkloadSpec, ifconv: bool, scheme: SchemeKind) -> (f64, f64, f64) {
-    let opts = if ifconv { CompileOptions::with_ifconv() } else { CompileOptions::no_ifconv() };
+    let opts = if ifconv {
+        CompileOptions::with_ifconv()
+    } else {
+        CompileOptions::no_ifconv()
+    };
     let compiled = compile(spec, &opts).unwrap();
     let mut sim = Simulator::new(
         &compiled.program,
@@ -22,7 +26,11 @@ fn measure(spec: &WorkloadSpec, ifconv: bool, scheme: SchemeKind) -> (f64, f64, 
         CoreConfig::paper(),
     );
     let s = sim.run(300_000).stats;
-    (s.misprediction_rate() * 100.0, s.early_resolved_rate() * 100.0, s.ipc())
+    (
+        s.misprediction_rate() * 100.0,
+        s.early_resolved_rate() * 100.0,
+        s.ipc(),
+    )
 }
 
 fn main() {
@@ -70,7 +78,14 @@ fn main() {
 
     let mut t = Table::new(
         "Custom workloads: conventional vs predicate predictor",
-        &["workload", "binary", "conv misp%", "pred misp%", "pred early%", "pred IPC"],
+        &[
+            "workload",
+            "binary",
+            "conv misp%",
+            "pred misp%",
+            "pred early%",
+            "pred IPC",
+        ],
     );
     for (label, spec) in &workloads {
         for ifconv in [false, true] {

@@ -7,7 +7,9 @@
 use ppsim::compiler::ifconvert::{if_convert, IfConvertConfig};
 use ppsim::compiler::lower::lower;
 use ppsim::compiler::profile::profile_run;
-use ppsim::compiler::workloads::{build_module, KernelKind, KernelSpec, WorkloadClass, WorkloadSpec};
+use ppsim::compiler::workloads::{
+    build_module, KernelKind, KernelSpec, WorkloadClass, WorkloadSpec,
+};
 use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
 
 fn main() {
@@ -19,12 +21,18 @@ fn main() {
         seed: 2007,
         trips: i64::MAX / 2,
         array_words: 4096,
-        kernels: vec![KernelSpec { kind: KernelKind::Correlated, filler: 12 }],
+        kernels: vec![KernelSpec {
+            kind: KernelKind::Correlated,
+            filler: 12,
+        }],
     };
 
     let mut module = build_module(&spec);
     let plain = lower(&module, true).unwrap();
-    println!("=== original code: {} conditional branches ===", module.cfg.cond_branch_count());
+    println!(
+        "=== original code: {} conditional branches ===",
+        module.cfg.cond_branch_count()
+    );
 
     let profile = profile_run(&plain, 200_000).unwrap();
     let stats = if_convert(&mut module.cfg, &profile, &IfConvertConfig::default());
@@ -39,10 +47,17 @@ fn main() {
     println!("The feeder branches are gone, but their compares remain — and only a");
     println!("predictor that observes *compare* outcomes can still predict the region branch:\n");
 
-    for (label, program) in [("original", &plain.program), ("if-converted", &converted.program)] {
+    for (label, program) in [
+        ("original", &plain.program),
+        ("if-converted", &converted.program),
+    ] {
         for scheme in [SchemeKind::Conventional, SchemeKind::Predicate] {
-            let mut sim =
-                Simulator::new(program, scheme, PredicationModel::Selective, CoreConfig::paper());
+            let mut sim = Simulator::new(
+                program,
+                scheme,
+                PredicationModel::Selective,
+                CoreConfig::paper(),
+            );
             let s = sim.run(400_000).stats;
             println!(
                 "  {label:13} + {:13}: misprediction rate {:5.2}%  (IPC {:.2})",

@@ -8,7 +8,9 @@ use ppsim::core::Table;
 use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crafty".to_string());
     let spec = ppsim::compiler::spec2000_suite()
         .into_iter()
         .find(|s| s.name == name)

@@ -20,16 +20,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     a.movi(Gr::new(1), 0); // i
     a.movi(Gr::new(10), 0); // sum
     a.bind(top);
-    a.alu(ppsim::isa::AluKind::Shl, Gr::new(3), Gr::new(1), Operand::imm(3));
+    a.alu(
+        ppsim::isa::AluKind::Shl,
+        Gr::new(3),
+        Gr::new(1),
+        Operand::imm(3),
+    );
     a.add(Gr::new(4), Gr::new(2), Gr::new(3));
     a.ld(Gr::new(5), Gr::new(4), 0);
     // p1 = element > 0, p2 = !p1 — a compare produces two predicates.
-    a.cmp(CmpType::Unc, CmpRel::Gt, Pr::new(1), Pr::new(2), Gr::new(5), Operand::imm(0));
+    a.cmp(
+        CmpType::Unc,
+        CmpRel::Gt,
+        Pr::new(1),
+        Pr::new(2),
+        Gr::new(5),
+        Operand::imm(0),
+    );
     a.pred(Pr::new(2)).br(skip); // skip the add when not positive
     a.add(Gr::new(10), Gr::new(10), Gr::new(5));
     a.bind(skip);
     a.addi(Gr::new(1), Gr::new(1), 1);
-    a.cmp(CmpType::Unc, CmpRel::Lt, Pr::new(3), Pr::new(4), Gr::new(1), Operand::imm(n));
+    a.cmp(
+        CmpType::Unc,
+        CmpRel::Lt,
+        Pr::new(3),
+        Pr::new(4),
+        Gr::new(1),
+        Operand::imm(n),
+    );
     a.pred(Pr::new(3)).br(top);
     a.halt();
     let program = a.assemble()?;
@@ -38,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = Machine::new(&program);
     m.run(1_000_000)?;
     let expected: i64 = data.iter().filter(|&&x| x > 0).sum();
-    println!("functional result: sum = {} (expected {})", m.gr(Gr::new(10)), expected);
+    println!(
+        "functional result: sum = {} (expected {})",
+        m.gr(Gr::new(10)),
+        expected
+    );
     assert_eq!(m.gr(Gr::new(10)), expected);
 
     // 2. Timing simulation with the paper's predicate predictor.
@@ -50,7 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let r = sim.run(1_000_000);
     let s = &r.stats;
-    println!("simulated: {} instructions in {} cycles (IPC {:.2})", s.committed, s.cycles, s.ipc());
+    println!(
+        "simulated: {} instructions in {} cycles (IPC {:.2})",
+        s.committed,
+        s.cycles,
+        s.ipc()
+    );
     println!(
         "branches: {} conditional, {:.2}% mispredicted, {:.1}% early-resolved",
         s.cond_branches,

@@ -11,6 +11,7 @@
 //!   paper's predicate perceptron predictor,
 //! * [`mem`] — the cache/TLB/memory hierarchy of Table 1,
 //! * [`pipeline`] — the 8-stage out-of-order core,
+//! * [`runner`] — the parallel, cache-aware experiment execution engine,
 //! * [`core`] — configuration, statistics and the experiment harness that
 //!   regenerates every table and figure of the paper.
 
@@ -20,3 +21,4 @@ pub use ppsim_isa as isa;
 pub use ppsim_mem as mem;
 pub use ppsim_pipeline as pipeline;
 pub use ppsim_predictors as predictors;
+pub use ppsim_runner as runner;

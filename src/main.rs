@@ -4,24 +4,29 @@
 //! ppsim run <file.s> [--scheme S] [--commits N] [--trace N] [--tiny]
 //! ppsim compile <benchmark> [--ifconv] [--listing]
 //! ppsim bench <benchmark> [--ifconv] [--commits N]
-//! ppsim suite
+//! ppsim suite [--jobs N] [--no-cache] [--cache-dir P] [--json P] [--commits N] [--only a,b]
+//! ppsim list
 //! ```
 //!
 //! `run` executes a hand-written assembly file (the syntax printed by the
 //! disassembler; see `ppsim::isa::parse_program`), `compile` builds one of
-//! the 22 synthetic benchmarks and prints its listing or statistics, and
-//! `bench` simulates one benchmark under every prediction scheme.
+//! the 22 synthetic benchmarks and prints its listing or statistics,
+//! `bench` simulates one benchmark under every prediction scheme, `suite`
+//! regenerates the paper's full evaluation through the parallel runner,
+//! and `list` prints the benchmark suite.
 
 use std::process::ExitCode;
 
 use ppsim::compiler::{compile, CompileOptions};
-use ppsim::core::Table;
+use ppsim::core::{experiments, ExperimentConfig, Json, Runner, RunnerOptions, Table};
 use ppsim::isa::{parse_program, Program};
 use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
 
+const SCHEMES: &str = "conventional|pep-pa|predicate|ideal-conventional|ideal-predicate";
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme conventional|pep-pa|predicate] [--commits N] [--trace N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite"
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite [--jobs N] [--no-cache] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim list"
     );
     ExitCode::FAILURE
 }
@@ -56,7 +61,11 @@ impl Flags {
 }
 
 fn simulate(program: &Program, scheme: SchemeKind, commits: u64, trace: usize, tiny: bool) {
-    let core = if tiny { CoreConfig::tiny() } else { CoreConfig::paper() };
+    let core = if tiny {
+        CoreConfig::tiny()
+    } else {
+        CoreConfig::paper()
+    };
     let mut sim = Simulator::new(program, scheme, PredicationModel::Selective, core);
     if trace > 0 {
         sim = sim.with_trace(trace);
@@ -94,13 +103,19 @@ fn simulate(program: &Program, scheme: SchemeKind, commits: u64, trace: usize, t
 }
 
 fn find_benchmark(name: &str) -> Option<ppsim::compiler::WorkloadSpec> {
-    ppsim::compiler::spec2000_suite().into_iter().find(|s| s.name == name)
+    ppsim::compiler::spec2000_suite()
+        .into_iter()
+        .find(|s| s.name == name)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().cloned() else { return usage() };
-    let flags = Flags { args: args[1..].to_vec() };
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    let flags = Flags {
+        args: args[1..].to_vec(),
+    };
     let commits: u64 = flags
         .value_of("--commits")
         .and_then(|v| v.parse().ok())
@@ -185,12 +200,58 @@ fn main() -> ExitCode {
                 CompileOptions::no_ifconv()
             };
             let compiled = compile(&spec, &opts).expect("suite benchmarks compile");
-            for scheme in [SchemeKind::PepPa, SchemeKind::Conventional, SchemeKind::Predicate] {
+            for scheme in [
+                SchemeKind::PepPa,
+                SchemeKind::Conventional,
+                SchemeKind::Predicate,
+            ] {
                 simulate(&compiled.program, scheme, commits, 0, false);
             }
             ExitCode::SUCCESS
         }
         "suite" => {
+            // Full paper evaluation through the parallel, cache-aware
+            // runner. The stdout report is deterministic — identical for
+            // any --jobs value and cache state; telemetry goes to stderr
+            // and the optional --json artifact.
+            let (opts, rest) = match RunnerOptions::from_args(&flags.args) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("suite: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rest_flags = Flags { args: rest };
+            let mut cfg = ExperimentConfig::from_env();
+            if let Some(v) = rest_flags.value_of("--commits") {
+                match v.parse() {
+                    Ok(n) => cfg.commits = n,
+                    Err(_) => {
+                        eprintln!("suite: bad --commits value `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(v) = rest_flags.value_of("--only") {
+                cfg.only = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            let runner = Runner::new(opts);
+            print!("{}", experiments::full_report(&runner, &cfg));
+            if let Some(path) = rest_flags.value_of("--json") {
+                let doc = Json::obj()
+                    .field("experiment", "suite")
+                    .field("commits", cfg.commits)
+                    .field("data", experiments::full_report_json(&runner, &cfg));
+                if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                    eprintln!("suite: failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("suite: wrote {path}");
+            }
+            eprintln!("suite: {}", runner.telemetry().summary());
+            ExitCode::SUCCESS
+        }
+        "list" => {
             let mut t = Table::new(
                 "The 22 synthetic SPEC2000-like benchmarks",
                 &["name", "class", "kernels", "array words"],

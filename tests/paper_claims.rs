@@ -6,7 +6,7 @@
 //! direction and rough magnitude of each effect, not exact numbers.
 
 use ppsim::compiler::{compile, CompileOptions};
-use ppsim::core::{experiments, ExperimentConfig};
+use ppsim::core::{experiments, ExperimentConfig, Runner};
 use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
 
 fn cfg(names: &[&str], commits: u64) -> ExperimentConfig {
@@ -23,7 +23,11 @@ fn cfg(names: &[&str], commits: u64) -> ExperimentConfig {
 /// with early-resolvable branches.
 #[test]
 fn fig5_direction_holds() {
-    let r = experiments::fig5(&cfg(&["gzip", "crafty", "mcf"], 120_000), false);
+    let r = experiments::fig5(
+        &Runner::serial_no_cache(),
+        &cfg(&["gzip", "crafty", "mcf"], 120_000),
+        false,
+    );
     let conv = r.average_rate(0);
     let pred = r.average_rate(1);
     assert!(
@@ -37,7 +41,10 @@ fn fig5_direction_holds() {
 /// the worst of the three.
 #[test]
 fn fig6a_ordering_holds() {
-    let r = experiments::fig6a(&cfg(&["gcc", "crafty", "vpr"], 120_000));
+    let r = experiments::fig6a(
+        &Runner::serial_no_cache(),
+        &cfg(&["gcc", "crafty", "vpr"], 120_000),
+    );
     let pep = r.average_rate(0);
     let conv = r.average_rate(1);
     let pred = r.average_rate(2);
@@ -49,7 +56,10 @@ fn fig6a_ordering_holds() {
 /// correlation-rich benchmarks, and early + correlation = total exactly.
 #[test]
 fn fig6b_breakdown_attributes_correlation() {
-    let r = experiments::fig6b(&cfg(&["gcc", "crafty"], 120_000));
+    let r = experiments::fig6b(
+        &Runner::serial_no_cache(),
+        &cfg(&["gcc", "crafty"], 120_000),
+    );
     for row in &r.rows {
         assert!((row.early + row.correlation - row.total).abs() < 1e-9);
     }
@@ -64,7 +74,10 @@ fn fig6b_breakdown_attributes_correlation() {
 /// survive if-conversion (HardRegion kernels).
 #[test]
 fn fig6b_early_component_exists() {
-    let r = experiments::fig6b(&cfg(&["mcf", "crafty", "vortex"], 150_000));
+    let r = experiments::fig6b(
+        &Runner::serial_no_cache(),
+        &cfg(&["mcf", "crafty", "vortex"], 150_000),
+    );
     assert!(
         r.average_early() > 0.05,
         "surviving hard branches early-resolve: {}",
@@ -77,7 +90,7 @@ fn fig6b_early_component_exists() {
 /// conventional predictor stays small (the paper: < 0.40 points average).
 #[test]
 fn negative_effects_are_bounded() {
-    let r = experiments::fig5(&cfg(&["twolf"], 150_000), false);
+    let r = experiments::fig5(&Runner::serial_no_cache(), &cfg(&["twolf"], 150_000), false);
     let conv = r.average_rate(0);
     let pred = r.average_rate(1);
     assert!(
@@ -98,9 +111,14 @@ fn ifconversion_improves_ipc_on_hard_code() {
     let plain = compile(&spec, &CompileOptions::no_ifconv()).unwrap();
     let conv = compile(&spec, &CompileOptions::with_ifconv()).unwrap();
     let run = |p| {
-        Simulator::new(p, SchemeKind::Predicate, PredicationModel::Selective, CoreConfig::paper())
-            .run(150_000)
-            .stats
+        Simulator::new(
+            p,
+            SchemeKind::Predicate,
+            PredicationModel::Selective,
+            CoreConfig::paper(),
+        )
+        .run(150_000)
+        .stats
     };
     let before = run(&plain.program);
     let after = run(&conv.program);

@@ -1,0 +1,153 @@
+//! End-to-end properties of the experiment runner (the acceptance
+//! criteria of the parallel-execution subsystem):
+//!
+//! 1. **Determinism** — the consolidated suite report is byte-identical
+//!    for any worker count.
+//! 2. **Caching** — a warm-cache rerun executes zero simulations (every
+//!    job is a cache hit) and reproduces the exact same report.
+//! 3. **Artifacts** — the JSON report round-trips through the hand-rolled
+//!    parser and carries the figure data and telemetry.
+
+use std::path::PathBuf;
+
+use ppsim::core::{experiments, ExperimentConfig, Json, Runner, RunnerOptions};
+
+/// A fast configuration: one benchmark, small budgets. Big enough to
+/// exercise every scheme, compile mode and the shadow predictor.
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        commits: 25_000,
+        profile_steps: 50_000,
+        only: vec!["gzip".into()],
+        ..ExperimentConfig::default()
+    }
+}
+
+/// A per-test cache directory under the target dir (never the user's
+/// real cache; removed at the start so reruns of the test start cold).
+fn fresh_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppsim-runner-suite-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn runner(jobs: usize, cache_dir: Option<PathBuf>) -> Runner {
+    Runner::new(RunnerOptions {
+        jobs,
+        cache: cache_dir.is_some(),
+        cache_dir,
+    })
+}
+
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    let cfg = tiny_cfg();
+    let serial = experiments::full_report(&runner(1, None), &cfg);
+    let parallel = experiments::full_report(&runner(8, None), &cfg);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "--jobs must never change report bytes");
+}
+
+#[test]
+fn warm_cache_rerun_executes_zero_simulations() {
+    let cfg = tiny_cfg();
+    let dir = fresh_cache_dir("warm");
+
+    // Cold run. Figures share cells (e.g. fig6a's selective-predication
+    // job reappears in the IPC ablation), so even a cold run hits the
+    // cache for repeats — but most jobs must actually simulate.
+    let cold = runner(8, Some(dir.clone()));
+    let cold_report = experiments::full_report(&cold, &cfg);
+    let t = cold.telemetry();
+    assert!(t.jobs_total > 0);
+    assert!(t.jobs_run > 0, "cold cache must simulate");
+    assert_eq!(t.jobs_run + t.cache_hits, t.jobs_total);
+
+    // Warm run: same grid, fresh runner — 100% cache hits, zero
+    // simulations, identical bytes.
+    let warm = runner(8, Some(dir.clone()));
+    let warm_report = experiments::full_report(&warm, &cfg);
+    let t = warm.telemetry();
+    assert_eq!(t.jobs_run, 0, "warm cache must execute zero simulations");
+    assert_eq!(t.cache_hits, t.jobs_total, "every job served from cache");
+    assert_eq!(
+        cold_report, warm_report,
+        "cache state must never change report bytes"
+    );
+
+    // And caching itself must not change the result vs. no cache at all.
+    let uncached = experiments::full_report(&runner(1, None), &cfg);
+    assert_eq!(uncached, warm_report);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changing_an_input_axis_misses_the_cache() {
+    let cfg = tiny_cfg();
+    let dir = fresh_cache_dir("axis");
+
+    let first = runner(2, Some(dir.clone()));
+    experiments::fig5(&first, &cfg, false);
+    let baseline = first.telemetry().jobs_run;
+    assert!(baseline > 0);
+
+    // Different commit budget → different job hashes → all misses.
+    let bumped = ExperimentConfig {
+        commits: cfg.commits + 1,
+        ..cfg.clone()
+    };
+    let second = runner(2, Some(dir.clone()));
+    experiments::fig5(&second, &bumped, false);
+    let t = second.telemetry();
+    assert_eq!(t.cache_hits, 0, "changed commit budget must invalidate");
+    assert_eq!(t.jobs_run, t.jobs_total);
+
+    // The original config still hits.
+    let third = runner(2, Some(dir.clone()));
+    experiments::fig5(&third, &cfg, false);
+    let t = third.telemetry();
+    assert_eq!(t.jobs_run, 0);
+    assert_eq!(t.cache_hits, t.jobs_total);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_report_round_trips_and_carries_telemetry() {
+    let cfg = tiny_cfg();
+    let r = runner(4, None);
+    let doc = experiments::full_report_json(&r, &cfg);
+    let text = doc.to_string();
+    let parsed = Json::parse(&text).expect("emitted JSON parses");
+    assert_eq!(parsed, doc, "round trip is lossless");
+
+    for figure in ["fig5", "fig6a", "fig6b", "ipc_ablation"] {
+        assert!(parsed.get(figure).is_some(), "missing {figure}");
+    }
+    let fig5_rows = parsed
+        .get("fig5")
+        .and_then(|f| f.get("rows"))
+        .and_then(Json::as_arr)
+        .expect("fig5.rows is an array");
+    assert_eq!(fig5_rows.len(), 1, "one selected benchmark");
+    assert_eq!(
+        fig5_rows[0].get("benchmark").and_then(Json::as_str),
+        Some("gzip")
+    );
+    let rates = fig5_rows[0]
+        .get("misprediction_rates")
+        .and_then(Json::as_arr)
+        .expect("rates array");
+    for rate in rates {
+        let v = rate.as_f64().expect("numeric rate");
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    let telemetry = parsed.get("telemetry").expect("telemetry present");
+    let total = telemetry.get("jobs_total").and_then(Json::as_i64).unwrap();
+    let run = telemetry.get("jobs_run").and_then(Json::as_i64).unwrap();
+    let hits = telemetry.get("cache_hits").and_then(Json::as_i64).unwrap();
+    assert!(total > 0);
+    assert_eq!(run + hits, total);
+}
