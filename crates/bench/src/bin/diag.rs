@@ -1,7 +1,7 @@
 //! Diagnostic dump: per-benchmark detailed statistics for each scheme.
 
 use ppsim_compiler::{compile, CompileOptions};
-use ppsim_pipeline::{PredicationModel, SchemeKind, Simulator};
+use ppsim_pipeline::{PredicationModel, SchemeKind, SimOptions};
 
 fn main() {
     let session = ppsim_bench::setup("diag");
@@ -29,8 +29,10 @@ fn main() {
         }
         if session.has_flag("--predication") {
             for model in [PredicationModel::Cmov, PredicationModel::Selective] {
-                let mut sim =
-                    Simulator::new(&compiled.program, SchemeKind::Predicate, model, cfg.core);
+                let mut sim = SimOptions::new(SchemeKind::Predicate, model)
+                    .core(cfg.core)
+                    .build(&compiled.program)
+                    .unwrap();
                 let r = sim.run(cfg.commits);
                 let s = r.stats;
                 println!(
@@ -47,23 +49,24 @@ fn main() {
             continue;
         }
         for scheme in [SchemeKind::Conventional, SchemeKind::Predicate] {
-            let mut sim =
-                Simulator::new(&compiled.program, scheme, PredicationModel::Cmov, cfg.core)
-                    .with_shadow();
+            let mut sim = SimOptions::new(scheme, PredicationModel::Cmov)
+                .core(cfg.core)
+                .shadow(true)
+                .build(&compiled.program)
+                .unwrap();
             let r = sim.run(cfg.commits);
+            let s = r.stats;
             if std::env::var("PPSIM_HIST").is_ok() {
-                let mut hist: Vec<_> = sim.branch_histogram().iter().collect();
-                hist.sort();
-                for (slot, (e, m)) in hist {
-                    if *e > 200 {
+                // branch_pcs is already sorted by slot.
+                for &(slot, e, m) in &s.branch_pcs {
+                    if e > 200 {
                         println!(
                             "      slot {slot}: execs={e} misp={m} ({:.1}%)",
-                            *m as f64 / *e as f64 * 100.0
+                            m as f64 / e as f64 * 100.0
                         );
                     }
                 }
             }
-            let s = r.stats;
             println!("   {:14} misp={:5.2}% er={:5.2}% er_saves={} pp_wrong={:5.2}% ({}p) ovr={} shadow={:5.2}% ipc={:.2}",
                 scheme.name(),
                 s.misprediction_rate()*100.0,

@@ -20,106 +20,9 @@
 //! telemetry as a JSON artifact). Environment knobs: `PPSIM_COMMITS`
 //! (committed instructions per run, default 500000), `PPSIM_ONLY`
 //! (comma-separated benchmark subset), `PPSIM_CACHE_DIR`.
+//!
+//! The session plumbing itself lives in [`ppsim_core::session`] so
+//! downstream tools can reuse it; this crate re-exports it for the
+//! binaries.
 
-use std::path::PathBuf;
-
-use ppsim_core::{ExperimentConfig, Json, Runner, RunnerOptions};
-
-/// A figure binary's execution context: the runner, the experiment
-/// config, and the artifact/flag plumbing shared by every binary.
-pub struct Session {
-    /// The (parallel, cache-aware) execution engine.
-    pub runner: Runner,
-    /// Commit budget, benchmark subset, machine.
-    pub cfg: ExperimentConfig,
-    /// Where to write the JSON artifact (`--json PATH`).
-    pub json_path: Option<PathBuf>,
-    /// Binary name (for logging and the artifact's `experiment` field).
-    name: String,
-    /// Arguments not consumed by the shared flags.
-    rest: Vec<String>,
-}
-
-/// Shared entry point: parses the runner flags and `--json` from the
-/// command line, builds the experiment config from the environment, and
-/// echoes the run parameters to stderr.
-pub fn setup(name: &str) -> Session {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (opts, rest) = match RunnerOptions::from_args(&args) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("[{name}] {e}");
-            std::process::exit(2);
-        }
-    };
-    let mut json_path = None;
-    let mut remaining = Vec::new();
-    let mut it = rest.into_iter();
-    while let Some(a) = it.next() {
-        if a == "--json" {
-            match it.next() {
-                Some(p) => json_path = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("[{name}] --json needs a path");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            remaining.push(a);
-        }
-    }
-    let cfg = ExperimentConfig::from_env();
-    eprintln!(
-        "[{name}] commits/run = {}, benchmarks = {}",
-        cfg.commits,
-        if cfg.only.is_empty() {
-            "all 22".to_string()
-        } else {
-            cfg.only.join(",")
-        }
-    );
-    Session {
-        runner: Runner::new(opts),
-        cfg,
-        json_path,
-        name: name.to_string(),
-        rest: remaining,
-    }
-}
-
-impl Session {
-    /// Whether an unconsumed flag (e.g. `--ideal`) was passed.
-    pub fn has_flag(&self, flag: &str) -> bool {
-        self.rest.iter().any(|a| a == flag)
-    }
-
-    /// First unconsumed positional argument, if any.
-    pub fn positional(&self) -> Option<&str> {
-        self.rest
-            .iter()
-            .find(|a| !a.starts_with("--"))
-            .map(|s| s.as_str())
-    }
-
-    /// Finishes the run: writes the JSON artifact when `--json` was given
-    /// (experiment data + execution telemetry) and prints the telemetry
-    /// summary to stderr. Stdout stays purely deterministic.
-    pub fn finish(&self, data: Json) {
-        let telemetry = self.runner.telemetry();
-        if let Some(path) = &self.json_path {
-            let doc = Json::obj()
-                .field("experiment", self.name.as_str())
-                .field("commits", self.cfg.commits)
-                .field("data", data)
-                .field("telemetry", telemetry.to_json());
-            match std::fs::write(path, format!("{doc}\n")) {
-                Ok(()) => eprintln!("[{}] wrote {}", self.name, path.display()),
-                Err(e) => {
-                    eprintln!("[{}] failed to write {}: {e}", self.name, path.display());
-                    std::process::exit(1);
-                }
-            }
-        }
-        eprintln!("[{}] {}", self.name, telemetry.summary());
-    }
-}
+pub use ppsim_core::{setup, Session};

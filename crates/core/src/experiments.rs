@@ -83,6 +83,31 @@ impl Comparison {
         t
     }
 
+    /// Renders scheme column `col` as a stall-attribution table: every
+    /// benchmark's cycles split across the six [`ppsim_pipeline::StallBucket`]s
+    /// (percent of total; rows sum to 100 by the pipeline's invariant).
+    pub fn stall_table(&self, col: usize) -> Table {
+        use ppsim_pipeline::StallBucket;
+        let mut headers = vec!["benchmark".to_string()];
+        headers.extend(StallBucket::ALL.iter().map(|b| format!("{}%", b.name())));
+        let mut t = Table::new(
+            format!("Stall attribution — {} scheme", self.schemes[col]),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for row in &self.rows {
+            let s = &row.runs[col];
+            let total = s.stall.total().max(1) as f64;
+            let mut cells = vec![row.name.to_string()];
+            cells.extend(
+                StallBucket::ALL
+                    .iter()
+                    .map(|&b| pct(s.stall.get(b) as f64 / total)),
+            );
+            t.row(cells);
+        }
+        t
+    }
+
     /// Renders the comparison as a JSON object (for `--json` artifacts).
     pub fn to_json(&self) -> Json {
         Json::obj()
@@ -123,6 +148,12 @@ impl Comparison {
                                 .field(
                                     "ipc",
                                     Json::Arr(r.runs.iter().map(|s| Json::Num(s.ipc())).collect()),
+                                )
+                                .field(
+                                    "metrics",
+                                    Json::Arr(
+                                        r.runs.iter().map(|s| s.metrics().to_json()).collect(),
+                                    ),
                                 )
                         })
                         .collect(),
@@ -542,14 +573,18 @@ pub fn full_report(runner: &Runner, cfg: &ExperimentConfig) -> String {
     let ipc = ipc_ablation(runner, cfg);
     out.push_str(&ipc.table().to_string());
     out.push_str(&format!(
-        "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)\n",
+        "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)\n\n",
         ipc.geomean_speedup()
     ));
+    out.push_str(&fig6a.stall_table(2).to_string());
     out
 }
 
-/// The consolidated report as one JSON artifact: every figure's data plus
-/// the runner's execution telemetry.
+/// The consolidated report as one JSON artifact: every figure's data with
+/// its full per-run metric blocks. Deterministic — byte-identical for any
+/// worker count and cache state. Execution telemetry (wall times, hit
+/// counts) deliberately lives *outside* this object; callers that want it
+/// attach [`Runner::telemetry`] as a sibling.
 pub fn full_report_json(runner: &Runner, cfg: &ExperimentConfig) -> Json {
     let fig5 = fig5(runner, cfg, false);
     let fig6a = fig6a(runner, cfg);
@@ -561,7 +596,6 @@ pub fn full_report_json(runner: &Runner, cfg: &ExperimentConfig) -> Json {
         .field("fig6a", fig6a.to_json())
         .field("fig6b", fig6b.to_json())
         .field("ipc_ablation", ipc.to_json())
-        .field("telemetry", runner.telemetry().to_json())
 }
 
 #[cfg(test)]
@@ -604,6 +638,20 @@ mod tests {
         assert_eq!(r.rows[0].runs.len(), 3);
         let t = r.table().to_string();
         assert!(t.contains("pep-pa"), "{t}");
+    }
+
+    #[test]
+    fn stall_table_covers_every_bucket() {
+        use ppsim_pipeline::StallBucket;
+        let runner = Runner::serial_no_cache();
+        let r = fig5(&runner, &tiny_cfg(), false);
+        let t = r.stall_table(0).to_string();
+        for b in StallBucket::ALL {
+            assert!(t.contains(b.name()), "missing {} in:\n{t}", b.name());
+        }
+        // The pipeline invariant carries through: shares sum to ~100%.
+        let s = &r.rows[0].runs[0];
+        assert_eq!(s.stall.total(), s.cycles);
     }
 
     #[test]

@@ -34,12 +34,16 @@
 
 pub mod experiments;
 pub mod report;
+pub mod session;
 pub mod sweep;
 
 use ppsim_pipeline::CoreConfig;
 
-pub use ppsim_runner::{DiskCache, Job, JobResult, Json, Runner, RunnerOptions, Telemetry};
+pub use ppsim_runner::{
+    DiskCache, Job, JobResult, JobTiming, Json, Runner, RunnerOptions, Telemetry,
+};
 pub use report::Table;
+pub use session::{setup, Session};
 
 /// Configuration shared by all experiments.
 #[derive(Clone, Debug)]

@@ -1,0 +1,148 @@
+//! Shared command-line session plumbing for experiment binaries.
+//!
+//! Every figure binary (and any downstream tool driving the harness) goes
+//! through one [`Session`]: parse the runner flags and `--json`, build the
+//! [`ExperimentConfig`] from the environment, run, then [`Session::finish`]
+//! writes the artifact. The artifact's `data` field is deterministic
+//! experiment output; execution telemetry is attached as a *sibling*
+//! field, so stripping it yields byte-identical documents across cache
+//! states and worker counts.
+
+use std::path::PathBuf;
+
+use ppsim_runner::{Json, Runner, RunnerOptions};
+
+use crate::ExperimentConfig;
+
+/// A figure binary's execution context: the runner, the experiment
+/// config, and the artifact/flag plumbing shared by every binary.
+pub struct Session {
+    /// The (parallel, cache-aware) execution engine.
+    pub runner: Runner,
+    /// Commit budget, benchmark subset, machine.
+    pub cfg: ExperimentConfig,
+    /// Where to write the JSON artifact (`--json PATH`).
+    pub json_path: Option<PathBuf>,
+    /// Binary name (for logging and the artifact's `experiment` field).
+    name: String,
+    /// Arguments not consumed by the shared flags.
+    rest: Vec<String>,
+}
+
+/// Shared entry point: parses the runner flags and `--json` from the
+/// command line, builds the experiment config from the environment, and
+/// echoes the run parameters to stderr.
+pub fn setup(name: &str) -> Session {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    Session::from_args(name, &args).unwrap_or_else(|e| {
+        eprintln!("[{name}] {e}");
+        std::process::exit(2);
+    })
+}
+
+impl Session {
+    /// Builds a session from an explicit argument list (what [`setup`]
+    /// does with `std::env::args`, minus the process exit — testable).
+    pub fn from_args(name: &str, args: &[String]) -> Result<Session, String> {
+        let (opts, rest) = RunnerOptions::from_args(args)?;
+        let mut json_path = None;
+        let mut remaining = Vec::new();
+        let mut it = rest.into_iter();
+        while let Some(a) = it.next() {
+            if a == "--json" {
+                match it.next() {
+                    Some(p) => json_path = Some(PathBuf::from(p)),
+                    None => return Err("--json needs a path".to_string()),
+                }
+            } else {
+                remaining.push(a);
+            }
+        }
+        let cfg = ExperimentConfig::from_env();
+        eprintln!(
+            "[{name}] commits/run = {}, benchmarks = {}",
+            cfg.commits,
+            if cfg.only.is_empty() {
+                "all 22".to_string()
+            } else {
+                cfg.only.join(",")
+            }
+        );
+        Ok(Session {
+            runner: Runner::new(opts),
+            cfg,
+            json_path,
+            name: name.to_string(),
+            rest: remaining,
+        })
+    }
+
+    /// Whether an unconsumed flag (e.g. `--ideal`) was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// First unconsumed positional argument, if any.
+    pub fn positional(&self) -> Option<&str> {
+        self.rest
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .map(|s| s.as_str())
+    }
+
+    /// Finishes the run: writes the JSON artifact when `--json` was given
+    /// (deterministic experiment data + execution telemetry as a sibling)
+    /// and prints the telemetry summary to stderr. Stdout stays purely
+    /// deterministic.
+    pub fn finish(&self, data: Json) {
+        let telemetry = self.runner.telemetry();
+        if let Some(path) = &self.json_path {
+            let doc = Json::obj()
+                .field("experiment", self.name.as_str())
+                .field("commits", self.cfg.commits)
+                .field("data", data)
+                .field("telemetry", telemetry.to_json());
+            match std::fs::write(path, format!("{doc}\n")) {
+                Ok(()) => eprintln!("[{}] wrote {}", self.name, path.display()),
+                Err(e) => {
+                    eprintln!("[{}] failed to write {}: {e}", self.name, path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("[{}] {}", self.name, telemetry.summary());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_args_parses_shared_flags() {
+        let args: Vec<String> = [
+            "--jobs",
+            "1",
+            "--no-cache",
+            "--json",
+            "/tmp/x.json",
+            "--ideal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let s = Session::from_args("test", &args).unwrap();
+        assert_eq!(
+            s.json_path.as_deref(),
+            Some(std::path::Path::new("/tmp/x.json"))
+        );
+        assert!(s.has_flag("--ideal"));
+        assert_eq!(s.positional(), None);
+    }
+
+    #[test]
+    fn json_without_path_is_an_error() {
+        let args = vec!["--json".to_string()];
+        assert!(Session::from_args("test", &args).is_err());
+    }
+}

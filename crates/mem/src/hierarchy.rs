@@ -2,6 +2,7 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::tlb::{Tlb, TlbConfig};
+use ppsim_obs::MetricSet;
 
 /// Full-hierarchy configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +48,41 @@ pub struct HierarchyStats {
     pub itlb: (u64, u64),
     /// Data TLB (hits, misses).
     pub dtlb: (u64, u64),
+}
+
+impl HierarchyStats {
+    /// Exports every counter onto a metric registry under stable names
+    /// (`l1i.accesses`, `l2.miss_ratio`, `dtlb.misses`, ...). Intended to
+    /// be absorbed into a simulation-wide [`MetricSet`] under a `mem.`
+    /// prefix.
+    pub fn metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        for (level, s) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            m.counter(&format!("{level}.accesses"), s.accesses);
+            m.counter(&format!("{level}.hits"), s.hits);
+            m.counter(&format!("{level}.primary_misses"), s.primary_misses);
+            m.counter(&format!("{level}.secondary_misses"), s.secondary_misses);
+            m.counter(&format!("{level}.mshr_stall_cycles"), s.mshr_stall_cycles);
+            m.counter(&format!("{level}.writebacks"), s.writebacks);
+            m.counter(
+                &format!("{level}.write_buffer_stall_cycles"),
+                s.write_buffer_stall_cycles,
+            );
+            // Saturate so synthetic stats (tests, hand-edited entries)
+            // with hits > accesses can't panic the exporter.
+            m.ratio(
+                &format!("{level}.miss_ratio"),
+                s.accesses.saturating_sub(s.hits),
+                s.accesses,
+            );
+        }
+        for (tlb, (hits, misses)) in [("itlb", self.itlb), ("dtlb", self.dtlb)] {
+            m.counter(&format!("{tlb}.hits"), hits);
+            m.counter(&format!("{tlb}.misses"), misses);
+            m.ratio(&format!("{tlb}.miss_ratio"), misses, hits + misses);
+        }
+        m
+    }
 }
 
 /// The three-level memory hierarchy timing model.

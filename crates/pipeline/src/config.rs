@@ -30,45 +30,6 @@ impl Default for Latencies {
     }
 }
 
-/// Which branch-prediction organization drives the front end.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchemeKind {
-    /// Two-level: 4 KB gshare at fetch, 148 KB perceptron override at
-    /// rename (the paper's conventional baseline).
-    Conventional,
-    /// 144 KB PEP-PA at fetch (August et al., as modelled in §4.1: the
-    /// logical predicate register file is updated at execute time, out of
-    /// program order).
-    PepPa,
-    /// The paper's scheme: 4 KB gshare at fetch, predictions generated per
-    /// *compare* and stored in the PPRF, consumed by branches at rename.
-    Predicate,
-    /// Conventional with unbounded tables and oracle history (the §4.2
-    /// idealized study).
-    IdealConventional,
-    /// Predicate predictor with unbounded tables and oracle history.
-    IdealPredicate,
-}
-
-impl SchemeKind {
-    /// Whether this scheme predicts at compares (predicate-predictor
-    /// family).
-    pub fn is_predicate(self) -> bool {
-        matches!(self, SchemeKind::Predicate | SchemeKind::IdealPredicate)
-    }
-
-    /// Display name used in reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            SchemeKind::Conventional => "conventional",
-            SchemeKind::PepPa => "pep-pa",
-            SchemeKind::Predicate => "predicate",
-            SchemeKind::IdealConventional => "ideal-conventional",
-            SchemeKind::IdealPredicate => "ideal-predicate",
-        }
-    }
-}
-
 /// How if-converted (predicated) instructions execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PredicationModel {
@@ -210,23 +171,5 @@ mod tests {
         assert_eq!(c.lq_entries, 64);
         assert_eq!(c.sq_entries, 64);
         assert_eq!(c.mispredict_penalty, 10);
-    }
-
-    #[test]
-    fn scheme_names_are_distinct() {
-        use SchemeKind::*;
-        let names: std::collections::HashSet<_> = [
-            Conventional,
-            PepPa,
-            Predicate,
-            IdealConventional,
-            IdealPredicate,
-        ]
-        .iter()
-        .map(|s| s.name())
-        .collect();
-        assert_eq!(names.len(), 5);
-        assert!(Predicate.is_predicate() && IdealPredicate.is_predicate());
-        assert!(!Conventional.is_predicate());
     }
 }

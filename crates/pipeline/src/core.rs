@@ -32,16 +32,16 @@ use std::collections::{BinaryHeap, HashMap};
 
 use ppsim_isa::{AluKind, ExecInfo, ExecRecord, FpuKind, Machine, Op, Program};
 use ppsim_mem::{Hierarchy, HierarchyConfig};
+use ppsim_obs::{EventKind, EventRing, StallBucket, TraceEvent};
 use ppsim_predictors::{
-    BranchPredictor, Gshare, GshareConfig, IdealPerceptron, IdealPredicatePredictor, PepPa,
-    PepPaConfig, PerceptronConfig, PerceptronPredictor, PredicateConfig, PredicatePredictor,
-    Prediction,
+    BranchPredictor, Gshare, IdealPerceptron, IdealPredicatePredictor, PepPa, PerceptronConfig,
+    PerceptronPredictor, PredicateConfig, PredicatePredictor, Prediction, PredictorSet, SchemeSpec,
 };
 
-use crate::config::{CoreConfig, PredicationModel, SchemeKind};
+use crate::config::{CoreConfig, PredicationModel};
+use crate::options::SimOptions;
 use crate::resources::{Pool, UnitSet, WidthLimiter};
 use crate::stats::SimStats;
-use crate::trace::{PipeTrace, TraceEvent};
 
 /// Number of architectural predicate registers tracked.
 const NUM_PR: usize = 64;
@@ -121,12 +121,30 @@ enum Predictors {
     },
 }
 
+impl Predictors {
+    /// Wraps the factory-built predictor structures with the timing-model
+    /// bookkeeping the pipeline keeps alongside them (PEP-PA's
+    /// out-of-order predicate-write replay queue).
+    fn from_set(set: PredictorSet) -> Self {
+        match set {
+            PredictorSet::Conventional { l1, l2 } => Predictors::Conventional { l1, l2 },
+            PredictorSet::PepPa { p } => Predictors::PepPa {
+                p,
+                events: BinaryHeap::new(),
+            },
+            PredictorSet::Predicate { l1, pp } => Predictors::Predicate { l1, pp },
+            PredictorSet::IdealConventional { p } => Predictors::IdealConventional { p },
+            PredictorSet::IdealPredicate { l1, pp } => Predictors::IdealPredicate { l1, pp },
+        }
+    }
+}
+
 /// The simulator: functional machine + timing model + predictors.
 pub struct Simulator {
     machine: Machine,
     hierarchy: Hierarchy,
     cfg: CoreConfig,
-    scheme: SchemeKind,
+    scheme: SchemeSpec,
     predication: PredicationModel,
     predictors: Predictors,
     shadow: Option<PerceptronPredictor>,
@@ -170,49 +188,45 @@ pub struct Simulator {
 
     last_iline: u64,
     last_commit: u64,
+    // Stall bucket the most recent front-end redirect (mispredict, flush
+    // or override re-steer) charges the next fetched instruction to.
+    pending_redirect: Option<StallBucket>,
     stats: SimStats,
     branch_hist: HashMap<u32, (u64, u64)>,
-    trace: Option<PipeTrace>,
+    events: Option<EventRing>,
 }
 
 impl Simulator {
     /// Builds a simulator for `program` with the paper's memory system.
+    ///
+    /// Shorthand for [`SimOptions::new`] + `build` with no overrides; use
+    /// the builder for instrumentation (event tracing, the shadow
+    /// predictor) or predictor-geometry overrides.
     pub fn new(
         program: &Program,
-        scheme: SchemeKind,
+        scheme: SchemeSpec,
         predication: PredicationModel,
         cfg: CoreConfig,
     ) -> Self {
-        let predictors = match scheme {
-            SchemeKind::Conventional => Predictors::Conventional {
-                l1: Gshare::new(GshareConfig::paper_4kb()),
-                l2: PerceptronPredictor::new(PerceptronConfig::paper_148kb()),
-            },
-            SchemeKind::PepPa => Predictors::PepPa {
-                p: PepPa::new(PepPaConfig::paper_144kb()),
-                events: BinaryHeap::new(),
-            },
-            SchemeKind::Predicate => Predictors::Predicate {
-                l1: Gshare::new(GshareConfig::paper_4kb()),
-                pp: PredicatePredictor::new(PredicateConfig::paper_148kb()),
-            },
-            SchemeKind::IdealConventional => Predictors::IdealConventional {
-                p: IdealPerceptron::new(PerceptronConfig::paper_148kb()),
-            },
-            SchemeKind::IdealPredicate => Predictors::IdealPredicate {
-                l1: Gshare::new(GshareConfig::paper_4kb()),
-                pp: IdealPredicatePredictor::new(PerceptronConfig::paper_148kb()),
-            },
-        };
+        Simulator::from_options(program, SimOptions::new(scheme, predication).core(cfg))
+    }
+
+    /// Builds from pre-validated options ([`SimOptions::build`] is the
+    /// public entry point).
+    pub(crate) fn from_options(program: &Program, opts: SimOptions) -> Self {
+        let cfg = opts.core;
+        let predictors = Predictors::from_set(opts.scheme.build(opts.perceptron, opts.predicate));
         let mut preds = [PredEntry::constant(false); NUM_PR];
         preds[0] = PredEntry::constant(true);
         Simulator {
             machine: Machine::new(program),
             hierarchy: Hierarchy::new(HierarchyConfig::paper()),
-            scheme,
-            predication,
+            scheme: opts.scheme,
+            predication: opts.predication,
             predictors,
-            shadow: None,
+            shadow: opts
+                .shadow
+                .then(|| PerceptronPredictor::new(PerceptronConfig::paper_148kb())),
             fetch: WidthLimiter::new(cfg.fetch_width),
             rename: WidthLimiter::new(cfg.rename_width),
             commit: WidthLimiter::new(cfg.commit_width),
@@ -237,41 +251,55 @@ impl Simulator {
             pending_repairs: Vec::new(),
             last_iline: u64::MAX,
             last_commit: 0,
+            pending_redirect: None,
             stats: SimStats::default(),
             branch_hist: HashMap::new(),
-            trace: None,
+            events: (opts.trace_events > 0).then(|| EventRing::new(opts.trace_events)),
             cfg,
         }
     }
 
-    /// Per-static-branch (slot → (executions, mispredictions)) histogram,
-    /// for diagnostics and tests.
-    pub fn branch_histogram(&self) -> &HashMap<u32, (u64, u64)> {
-        &self.branch_hist
+    /// Per-static-branch rows `(slot, executions, mispredictions)`, sorted
+    /// by slot for deterministic reporting.
+    pub fn branch_histogram(&self) -> Vec<(u32, u64, u64)> {
+        let mut rows: Vec<(u32, u64, u64)> = self
+            .branch_hist
+            .iter()
+            .map(|(&slot, &(execs, miss))| (slot, execs, miss))
+            .collect();
+        rows.sort_unstable_by_key(|&(slot, _, _)| slot);
+        rows
     }
 
-    /// Records the first `capacity` instructions' stage timestamps
-    /// (pipeview-style; see [`PipeTrace`]).
+    /// The recorded event trace, if tracing was enabled.
+    pub fn events(&self) -> Option<&EventRing> {
+        self.events.as_ref()
+    }
+
+    /// Enables the bounded event trace.
+    #[deprecated(note = "use SimOptions::trace_events")]
     pub fn with_trace(mut self, capacity: usize) -> Self {
-        self.trace = Some(PipeTrace::new(capacity));
+        self.events = (capacity > 0).then(|| EventRing::new(capacity));
         self
     }
 
-    /// The recorded pipeline trace, if tracing was enabled.
-    pub fn trace(&self) -> Option<&PipeTrace> {
-        self.trace.as_ref()
+    /// The recorded event trace, if tracing was enabled.
+    #[deprecated(note = "use Simulator::events")]
+    pub fn trace(&self) -> Option<&EventRing> {
+        self.events.as_ref()
     }
 
     /// Enables the shadow conventional predictor used to attribute gains
     /// between early resolution and correlation (Figure 6b).
+    #[deprecated(note = "use SimOptions::shadow")]
     pub fn with_shadow(mut self) -> Self {
         self.shadow = Some(PerceptronPredictor::new(PerceptronConfig::paper_148kb()));
         self
     }
 
     /// Replaces the second-level conventional predictor's geometry
-    /// (sensitivity sweeps). Only meaningful for
-    /// [`SchemeKind::Conventional`].
+    /// (sensitivity sweeps). Silently ignored on other schemes.
+    #[deprecated(note = "use SimOptions::perceptron, which rejects inapplicable overrides")]
     pub fn with_perceptron_config(mut self, cfg: PerceptronConfig) -> Self {
         if let Predictors::Conventional { l2, .. } = &mut self.predictors {
             *l2 = PerceptronPredictor::new(cfg);
@@ -280,7 +308,8 @@ impl Simulator {
     }
 
     /// Replaces the predicate predictor's geometry (sensitivity sweeps).
-    /// Only meaningful for [`SchemeKind::Predicate`].
+    /// Silently ignored on other schemes.
+    #[deprecated(note = "use SimOptions::predicate, which rejects inapplicable overrides")]
     pub fn with_predicate_config(mut self, cfg: PredicateConfig) -> Self {
         if let Predictors::Predicate { pp, .. } = &mut self.predictors {
             *pp = PredicatePredictor::new(cfg);
@@ -307,6 +336,7 @@ impl Simulator {
             }
         }
         self.stats.mem = self.hierarchy.stats();
+        self.stats.branch_pcs = self.branch_histogram();
         RunResult {
             stats: self.stats.clone(),
             halted,
@@ -362,13 +392,24 @@ impl Simulator {
     fn process(&mut self, rec: &ExecRecord) {
         let pc = Program::pc_of(rec.slot);
         let insn = rec.insn;
+        let tracing = self.events.is_some();
+        // Event staging area: (cycle, kind) pairs flushed to the ring once
+        // every timestamp is known (the ring cannot be borrowed while the
+        // predictors are).
+        let mut evs: Vec<(u64, EventKind)> = Vec::new();
+
+        // The first instruction fetched after a redirect inherits its
+        // cause for stall attribution.
+        let redirect_bucket = self.pending_redirect.take();
 
         // ---- Fetch ----
         let mut f = self.fetch.book(0);
+        let mut fetch_delayed = false;
         let iline = pc / ILINE;
         if iline != self.last_iline {
             let done = self.hierarchy.inst_fetch(f, pc);
             if done > f + 1 {
+                fetch_delayed = true;
                 self.fetch.redirect(done);
                 f = self.fetch.book(0);
             }
@@ -415,7 +456,8 @@ impl Simulator {
         for _ in pr_dsts.iter().flatten() {
             gate = gate.max(self.phys_pred.earliest(r));
         }
-        if gate > r {
+        let rename_gated = gate > r;
+        if rename_gated {
             self.rename.redirect(gate);
             r = self.rename.book(0);
         }
@@ -462,9 +504,18 @@ impl Simulator {
                             Some((pv, true)) if guard.pred_avail <= r => {
                                 if pv {
                                     self.stats.unguarded_at_rename += 1;
+                                    if tracing {
+                                        evs.push((
+                                            r,
+                                            EventKind::UnguardAtRename { wrong: !rec.qp },
+                                        ));
+                                    }
                                     Disposition::Unguarded { wrong: !rec.qp }
                                 } else {
                                     self.stats.cancelled_at_rename += 1;
+                                    if tracing {
+                                        evs.push((r, EventKind::CancelAtRename { wrong: rec.qp }));
+                                    }
                                     Disposition::Cancelled { wrong: rec.qp }
                                 }
                             }
@@ -527,10 +578,33 @@ impl Simulator {
             if early {
                 self.stats.early_resolved += 1;
             }
+            if tracing {
+                if early {
+                    evs.push((r, EventKind::EarlyResolve { taken: final_dir }));
+                } else {
+                    evs.push((
+                        r,
+                        EventKind::PredictionMade {
+                            taken: final_dir,
+                            from_predicate: used_pred,
+                        },
+                    ));
+                }
+            }
             // Second-level override re-steer.
             if let Some(l1p) = l1_pred.as_ref() {
                 if l1p.taken != final_dir {
                     self.stats.overrides += 1;
+                    if tracing {
+                        evs.push((
+                            r,
+                            EventKind::PredictionOverridden {
+                                from: l1p.taken,
+                                to: final_dir,
+                            },
+                        ));
+                    }
+                    self.pending_redirect = Some(StallBucket::FlushRecovery);
                     self.fetch.redirect(r + self.cfg.override_bubble);
                     // Repair the first-level history to the overriding
                     // direction.
@@ -574,6 +648,7 @@ impl Simulator {
 
         // ---- Issue & execute ----
         let cancelled = matches!(disposition, Disposition::Cancelled { .. });
+        let lat = self.latency_of(rec);
         let mut exec_done;
         let mut issue = r; // for IQ release bookkeeping
         if cancelled {
@@ -591,7 +666,6 @@ impl Simulator {
                 _ => &mut self.int_units,
             };
             issue = unit.issue(ready);
-            let lat = self.latency_of(rec);
             exec_done = issue + lat;
             if insn.is_load() && rec.qp {
                 if let ExecInfo::Mem { addr } = rec.info {
@@ -616,16 +690,26 @@ impl Simulator {
         // computed value.
         let penalty = self.cfg.mispredict_penalty;
         let mut flush_refetch: Option<u64> = None;
+        // Which stall bucket this instruction's own flush-refetch (and the
+        // refetch of everything behind it) is charged to.
+        let mut flush_bucket: Option<StallBucket> = None;
         match disposition {
             Disposition::Cancelled { wrong: true } | Disposition::Unguarded { wrong: true } => {
                 if !self.preds[guard_idx].flushed {
                     self.preds[guard_idx].flushed = true;
                     self.stats.predication_flushes += 1;
+                    if tracing {
+                        evs.push((guard.done, EventKind::PredicationFlush));
+                    }
                     if self.cfg.history_repair {
                         self.repair_predicate_history(guard_idx);
+                        if tracing {
+                            evs.push((guard.done, EventKind::PredictionUndone));
+                        }
                     }
                 }
                 flush_refetch = Some(guard.done + penalty);
+                flush_bucket = Some(StallBucket::PredicationFlush);
             }
             _ => {}
         }
@@ -646,13 +730,24 @@ impl Simulator {
                         self.preds[guard_idx].flushed = true;
                         if self.cfg.history_repair {
                             self.repair_predicate_history(guard_idx);
+                            if tracing {
+                                evs.push((guard.done, EventKind::PredictionUndone));
+                            }
                         }
                     }
                     flush_refetch = Some(guard.done + penalty);
+                    flush_bucket = Some(StallBucket::FlushRecovery);
+                    if tracing {
+                        evs.push((guard.done, EventKind::BranchFlush));
+                    }
                 } else {
                     // Detected at branch execution.
                     self.fetch.redirect(exec_done + penalty);
                     self.fetch.break_group();
+                    self.pending_redirect = Some(StallBucket::FlushRecovery);
+                    if tracing {
+                        evs.push((exec_done, EventKind::BranchFlush));
+                    }
                 }
                 // First-level repair with the actual outcome.
                 if let Some(l1p) = l1_pred.as_ref() {
@@ -711,8 +806,8 @@ impl Simulator {
         if let Some(f2) = flush_refetch {
             self.fetch.redirect(f2);
             self.fetch.break_group();
+            self.pending_redirect = flush_bucket;
             let r2 = f2 + self.cfg.front_stages;
-            let lat = self.latency_of(rec);
             exec_done = (r2 + 1).max(ready) + lat;
             issue = issue.max(r2 + 1);
         }
@@ -775,8 +870,41 @@ impl Simulator {
         }
 
         // ---- Commit (in order) ----
+        let prev_commit = self.last_commit;
         let c = self.commit.book((exec_done + 1).max(self.last_commit));
         self.last_commit = c;
+
+        // ---- Stall attribution ----
+        // The commit frontier advanced by `delta` cycles because of this
+        // instruction; charge the whole advance to the single dominant
+        // cause along its path. Charging commit-deltas makes the invariant
+        // `cycles == Σ buckets` hold by construction: the frontier starts
+        // at 0, is monotone, and ends at `stats.cycles`.
+        let delta = c - prev_commit;
+        if delta > 0 {
+            let bucket = if let Some(b) = flush_bucket {
+                // This instruction itself was flush-refetched.
+                b
+            } else if c > exec_done + 1 {
+                // Ready before the frontier reached it: commit bandwidth.
+                StallBucket::CommitBound
+            } else if !cancelled && (ready > r + 1 || issue > ready || exec_done > issue + lat) {
+                // Operand wait, functional-unit contention, or extended
+                // execution (data-cache access).
+                StallBucket::IssueWait
+            } else if rename_gated {
+                StallBucket::RenameStall
+            } else if let Some(b) = redirect_bucket {
+                // First fetch after a mispredict/flush/override redirect.
+                b
+            } else if fetch_delayed {
+                StallBucket::FetchMiss
+            } else {
+                // Flowing at machine width: the useful-work baseline.
+                StallBucket::CommitBound
+            };
+            self.stats.stall.charge(bucket, delta);
+        }
         if insn.is_store() && rec.qp {
             if let ExecInfo::Mem { addr } = rec.info {
                 self.hierarchy.data_access(c, addr, true);
@@ -810,23 +938,25 @@ impl Simulator {
             self.phys_pred.acquire(r, c);
         }
 
-        if let Some(trace) = self.trace.as_mut() {
-            trace.record(TraceEvent {
-                seq: rec.seq,
-                slot: rec.slot,
-                insn,
-                fetch: f,
-                rename: r,
-                issue,
-                exec: exec_done,
-                commit: c,
-                early_resolved: branch_early_resolved,
-                mispredicted: branch_mispredicted,
-                rename_disposed: matches!(
-                    disposition,
-                    Disposition::Cancelled { .. } | Disposition::Unguarded { .. }
-                ),
-            });
+        if let Some(ring) = self.events.as_mut() {
+            evs.push((
+                c,
+                EventKind::Retire {
+                    fetch: f,
+                    rename: r,
+                    issue,
+                    exec: exec_done,
+                    commit: c,
+                },
+            ));
+            for (cycle, kind) in evs {
+                ring.push(TraceEvent {
+                    seq: rec.seq,
+                    pc,
+                    cycle,
+                    kind,
+                });
+            }
         }
 
         // ---- Statistics ----
@@ -963,8 +1093,9 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CoreConfig, PredicationModel, SchemeKind};
+    use crate::config::{CoreConfig, PredicationModel};
     use ppsim_isa::{Asm, CmpRel, CmpType, Gr, Operand, Pr};
+    use ppsim_predictors::SchemeSpec;
 
     fn g(i: u8) -> Gr {
         Gr::new(i)
@@ -973,7 +1104,7 @@ mod tests {
         Pr::new(i)
     }
 
-    fn sim(program: &ppsim_isa::Program, scheme: SchemeKind) -> Simulator {
+    fn sim(program: &ppsim_isa::Program, scheme: SchemeSpec) -> Simulator {
         Simulator::new(program, scheme, PredicationModel::Cmov, CoreConfig::paper())
     }
 
@@ -1057,7 +1188,7 @@ mod tests {
         a.pred(p(1)).br(top);
         a.halt();
         let prog = a.assemble().unwrap();
-        let r = sim(&prog, SchemeKind::Conventional).run(1_000_000);
+        let r = sim(&prog, SchemeSpec::Conventional).run(1_000_000);
         assert!(r.halted);
         let ipc = r.stats.ipc();
         assert!(ipc > 2.5, "independent movs should flow wide, ipc={ipc}");
@@ -1072,7 +1203,7 @@ mod tests {
         }
         a.halt();
         let prog = a.assemble().unwrap();
-        let r = sim(&prog, SchemeKind::Conventional).run(1_000_000);
+        let r = sim(&prog, SchemeSpec::Conventional).run(1_000_000);
         let ipc = r.stats.ipc();
         assert!(ipc < 1.3, "a serial add chain runs ~1 IPC, got {ipc}");
     }
@@ -1080,9 +1211,9 @@ mod tests {
     #[test]
     fn biased_branch_is_learned_by_all_schemes() {
         for scheme in [
-            SchemeKind::Conventional,
-            SchemeKind::PepPa,
-            SchemeKind::Predicate,
+            SchemeSpec::Conventional,
+            SchemeSpec::PepPa,
+            SchemeSpec::Predicate,
         ] {
             let prog = loop_with_branch(2000, false, 0);
             let r = sim(&prog, scheme).run(1_000_000);
@@ -1095,7 +1226,7 @@ mod tests {
     #[test]
     fn random_branch_hurts_conventional() {
         let prog = loop_with_branch(2000, true, 0);
-        let r = sim(&prog, SchemeKind::Conventional).run(1_000_000);
+        let r = sim(&prog, SchemeSpec::Conventional).run(1_000_000);
         let rate = r.stats.misprediction_rate();
         // The data has period 256, so a big predictor eventually learns
         // some of it, but early on it's hard; expect a clearly nonzero
@@ -1106,7 +1237,7 @@ mod tests {
     #[test]
     fn distant_compare_early_resolves_in_predicate_scheme() {
         let prog = loop_with_branch(2000, true, 120);
-        let r = sim(&prog, SchemeKind::Predicate).run(2_000_000);
+        let r = sim(&prog, SchemeSpec::Predicate).run(2_000_000);
         assert!(r.halted);
         let s = &r.stats;
         // Half the dynamic branches are the loop latch (compare adjacent,
@@ -1120,7 +1251,7 @@ mod tests {
         // Early-resolved branches are never mispredicted; with most
         // branches early-resolved the rate collapses well below the
         // conventional predictor's on the same program.
-        let conv = sim(&loop_with_branch(2000, true, 120), SchemeKind::Conventional).run(2_000_000);
+        let conv = sim(&loop_with_branch(2000, true, 120), SchemeSpec::Conventional).run(2_000_000);
         assert!(
             s.misprediction_rate() < conv.stats.misprediction_rate(),
             "predicate {} vs conventional {}",
@@ -1132,7 +1263,7 @@ mod tests {
     #[test]
     fn early_resolved_branches_never_mispredict() {
         let prog = loop_with_branch(1000, true, 120);
-        let r = sim(&prog, SchemeKind::Predicate).run(2_000_000);
+        let r = sim(&prog, SchemeSpec::Predicate).run(2_000_000);
         let s = &r.stats;
         // Every mispredict must come from a non-early-resolved branch.
         assert!(s.mispredicts <= s.cond_branches - s.early_resolved);
@@ -1141,8 +1272,8 @@ mod tests {
     #[test]
     fn mispredicts_cost_cycles() {
         let biased =
-            sim(&loop_with_branch(2000, false, 0), SchemeKind::Conventional).run(1_000_000);
-        let random = sim(&loop_with_branch(2000, true, 0), SchemeKind::Conventional).run(1_000_000);
+            sim(&loop_with_branch(2000, false, 0), SchemeSpec::Conventional).run(1_000_000);
+        let random = sim(&loop_with_branch(2000, true, 0), SchemeSpec::Conventional).run(1_000_000);
         assert!(
             random.stats.cycles > biased.stats.cycles + 1000,
             "mispredictions must show up in cycle counts: {} vs {}",
@@ -1176,7 +1307,7 @@ mod tests {
         let prog = a.assemble().unwrap();
         let mut s = Simulator::new(
             &prog,
-            SchemeKind::Predicate,
+            SchemeSpec::Predicate,
             PredicationModel::Selective,
             CoreConfig::paper(),
         );
@@ -1223,7 +1354,7 @@ mod tests {
         let prog = a.assemble().unwrap();
         let mut s = Simulator::new(
             &prog,
-            SchemeKind::Predicate,
+            SchemeSpec::Predicate,
             PredicationModel::Selective,
             CoreConfig::paper(),
         );
@@ -1243,13 +1374,10 @@ mod tests {
     #[test]
     fn shadow_classification_counts_early_saves() {
         let prog = loop_with_branch(2000, true, 120);
-        let mut s = Simulator::new(
-            &prog,
-            SchemeKind::Predicate,
-            PredicationModel::Cmov,
-            CoreConfig::paper(),
-        )
-        .with_shadow();
+        let mut s = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Cmov)
+            .shadow(true)
+            .build(&prog)
+            .unwrap();
         let r = s.run(2_000_000);
         assert!(r.stats.shadow_mispredicts > 0);
         assert!(r.stats.early_resolved_saves <= r.stats.shadow_mispredicts);
@@ -1264,14 +1392,14 @@ mod tests {
         let prog = loop_with_branch(1000, false, 8);
         let big = Simulator::new(
             &prog,
-            SchemeKind::Conventional,
+            SchemeSpec::Conventional,
             PredicationModel::Cmov,
             CoreConfig::paper(),
         )
         .run(1_000_000);
         let small = Simulator::new(
             &prog,
-            SchemeKind::Conventional,
+            SchemeSpec::Conventional,
             PredicationModel::Cmov,
             CoreConfig::tiny(),
         )
@@ -1285,8 +1413,8 @@ mod tests {
     #[test]
     fn ideal_schemes_beat_realistic_ones() {
         let prog = loop_with_branch(3000, true, 0);
-        let real = sim(&prog, SchemeKind::Conventional).run(2_000_000);
-        let ideal = sim(&prog, SchemeKind::IdealConventional).run(2_000_000);
+        let real = sim(&prog, SchemeSpec::Conventional).run(2_000_000);
+        let ideal = sim(&prog, SchemeSpec::IdealConventional).run(2_000_000);
         assert!(
             ideal.stats.misprediction_rate() <= real.stats.misprediction_rate() + 0.02,
             "ideal {} vs real {}",
@@ -1298,41 +1426,77 @@ mod tests {
     #[test]
     fn commit_budget_stops_run() {
         let prog = loop_with_branch(1_000_000, false, 0);
-        let r = sim(&prog, SchemeKind::Conventional).run(5_000);
+        let r = sim(&prog, SchemeSpec::Conventional).run(5_000);
         assert!(!r.halted);
         assert!(r.stats.committed >= 5_000);
     }
 
     #[test]
-    fn trace_records_stage_progression() {
+    fn event_ring_records_stage_progression() {
         let prog = loop_with_branch(50, false, 4);
-        let mut s = Simulator::new(
-            &prog,
-            SchemeKind::Predicate,
-            PredicationModel::Cmov,
-            CoreConfig::paper(),
-        )
-        .with_trace(64);
+        let mut s = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Cmov)
+            .trace_events(64)
+            .build(&prog)
+            .unwrap();
         s.run(100_000);
-        let t = s.trace().unwrap();
-        assert_eq!(t.events().len(), 64);
-        assert!(t.dropped() > 0);
-        for e in t.events() {
-            assert!(e.fetch <= e.rename, "fetch before rename: {e:?}");
-            assert!(e.rename < e.exec, "rename before execute: {e:?}");
-            assert!(e.exec < e.commit, "execute before commit: {e:?}");
+        let ring = s.events().unwrap();
+        assert_eq!(ring.len(), 64);
+        assert!(ring.dropped() > 0, "a 50-iteration loop overflows 64 slots");
+        let retires: Vec<_> = ring
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::Retire {
+                    fetch,
+                    rename,
+                    exec,
+                    commit,
+                    ..
+                } => Some((fetch, rename, exec, commit)),
+                _ => None,
+            })
+            .collect();
+        assert!(!retires.is_empty());
+        for (fetch, rename, exec, commit) in &retires {
+            assert!(fetch <= rename, "fetch before rename");
+            assert!(rename < exec, "rename before execute");
+            assert!(exec < commit, "execute before commit");
         }
         // Commits are in order.
-        let commits: Vec<u64> = t.events().iter().map(|e| e.commit).collect();
+        let commits: Vec<u64> = retires.iter().map(|r| r.3).collect();
         assert!(commits.windows(2).all(|w| w[0] <= w[1]));
-        let rendered = t.to_string();
-        assert!(rendered.contains("commit"), "{rendered}");
+        // Prediction events interleave with retires and render compactly.
+        assert!(ring
+            .events()
+            .any(|e| matches!(e.kind, EventKind::PredictionMade { .. })));
+        let rendered = ring.events().next().unwrap().to_string();
+        assert!(rendered.contains("seq"), "{rendered}");
+    }
+
+    #[test]
+    fn stall_buckets_sum_to_cycles() {
+        use ppsim_obs::StallBucket;
+        for scheme in SchemeSpec::ALL {
+            for model in [PredicationModel::Cmov, PredicationModel::Selective] {
+                let prog = loop_with_branch(400, true, 8);
+                let mut s = SimOptions::new(scheme, model).build(&prog).unwrap();
+                let r = s.run(1_000_000);
+                assert_eq!(
+                    r.stats.stall.total(),
+                    r.stats.cycles,
+                    "{scheme:?}/{model:?}: every cycle must land in exactly one bucket"
+                );
+                assert!(
+                    r.stats.stall.get(StallBucket::CommitBound) > 0,
+                    "{scheme:?}/{model:?}: some cycles are plain throughput"
+                );
+            }
+        }
     }
 
     #[test]
     fn stats_are_consistent() {
         let prog = loop_with_branch(500, true, 4);
-        let r = sim(&prog, SchemeKind::Predicate).run(1_000_000);
+        let r = sim(&prog, SchemeSpec::Predicate).run(1_000_000);
         let s = &r.stats;
         assert!(s.cond_branches > 0);
         assert!(s.mispredicts <= s.cond_branches);

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use ppsim_isa::{Asm, CmpRel, CmpType, Gr, Operand, Pr};
-//! use ppsim_pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
+//! use ppsim_pipeline::{PredicationModel, SchemeKind, SimOptions};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut a = Asm::new();
@@ -32,27 +32,29 @@
 //! a.halt();
 //! let program = a.assemble()?;
 //!
-//! let mut sim = Simulator::new(
-//!     &program,
-//!     SchemeKind::Predicate,
-//!     PredicationModel::Selective,
-//!     CoreConfig::paper(),
-//! );
+//! let mut sim = SimOptions::new(SchemeKind::Predicate, PredicationModel::Selective)
+//!     .build(&program)?;
 //! let result = sim.run(100_000);
 //! assert!(result.halted);
 //! assert!(result.stats.ipc() > 0.5);
+//! assert_eq!(result.stats.stall.total(), result.stats.cycles);
 //! # Ok(())
 //! # }
 //! ```
 
 mod config;
 mod core;
+mod options;
 mod resources;
 mod stats;
-mod trace;
 
 pub use crate::core::{RunResult, Simulator};
-pub use config::{CoreConfig, Latencies, PredicationModel, SchemeKind};
+pub use config::{CoreConfig, Latencies, PredicationModel};
+pub use options::{SimOptions, SimOptionsError};
+pub use ppsim_obs::{EventKind, EventRing, StallBreakdown, StallBucket, TraceEvent};
+pub use ppsim_predictors::SchemeSpec;
+/// Backwards-compatible alias for [`SchemeSpec`] (the enum moved to
+/// `ppsim-predictors` so every layer shares one scheme authority).
+pub use ppsim_predictors::SchemeSpec as SchemeKind;
 pub use resources::{Pool, UnitSet, WidthLimiter};
 pub use stats::SimStats;
-pub use trace::{PipeTrace, TraceEvent};

@@ -1,0 +1,207 @@
+//! Typed, validated simulator construction.
+//!
+//! [`SimOptions`] replaces the old `Simulator::with_*` method chain: every
+//! knob is set on the builder and checked once at [`SimOptions::build`], so
+//! an inapplicable override (a perceptron geometry on a PEP-PA job, say) is
+//! a loud [`SimOptionsError`] instead of a silently ignored call.
+
+use std::fmt;
+
+use ppsim_isa::Program;
+use ppsim_predictors::{PerceptronConfig, PredicateConfig, SchemeSpec};
+
+use crate::config::{CoreConfig, PredicationModel};
+use crate::core::Simulator;
+
+/// Builder for a [`Simulator`]: scheme, predication model, machine
+/// configuration and the optional instrumentation/override knobs.
+///
+/// ```
+/// use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions};
+/// # use ppsim_isa::Asm;
+/// # let mut a = Asm::new();
+/// # a.halt();
+/// # let program = a.assemble().unwrap();
+/// let mut sim = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
+///     .trace_events(256)
+///     .build(&program)
+///     .unwrap();
+/// let result = sim.run(10_000);
+/// assert!(result.halted);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    pub(crate) scheme: SchemeSpec,
+    pub(crate) predication: PredicationModel,
+    pub(crate) core: CoreConfig,
+    pub(crate) shadow: bool,
+    pub(crate) trace_events: usize,
+    pub(crate) perceptron: Option<PerceptronConfig>,
+    pub(crate) predicate: Option<PredicateConfig>,
+}
+
+impl SimOptions {
+    /// Options for `scheme` under `predication`, on the paper's Table-1
+    /// machine, with no instrumentation.
+    pub fn new(scheme: SchemeSpec, predication: PredicationModel) -> Self {
+        SimOptions {
+            scheme,
+            predication,
+            core: CoreConfig::paper(),
+            shadow: false,
+            trace_events: 0,
+            perceptron: None,
+            predicate: None,
+        }
+    }
+
+    /// Replaces the machine configuration (default: [`CoreConfig::paper`]).
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Enables the shadow conventional predictor used to attribute gains
+    /// between early resolution and correlation (Figure 6b).
+    pub fn shadow(mut self, on: bool) -> Self {
+        self.shadow = on;
+        self
+    }
+
+    /// Records the last `capacity` pipeline events in a ring buffer
+    /// (`0` disables tracing; see [`ppsim_obs::EventRing`]).
+    pub fn trace_events(mut self, capacity: usize) -> Self {
+        self.trace_events = capacity;
+        self
+    }
+
+    /// Overrides the second-level conventional predictor's geometry.
+    /// Only valid for [`SchemeSpec::Conventional`]; rejected at `build()`.
+    pub fn perceptron(mut self, cfg: PerceptronConfig) -> Self {
+        self.perceptron = Some(cfg);
+        self
+    }
+
+    /// Overrides the predicate predictor's geometry. Only valid for
+    /// [`SchemeSpec::Predicate`]; rejected at `build()`.
+    pub fn predicate(mut self, cfg: PredicateConfig) -> Self {
+        self.predicate = Some(cfg);
+        self
+    }
+
+    /// Checks option consistency without building.
+    pub fn validate(&self) -> Result<(), SimOptionsError> {
+        if self.perceptron.is_some() && self.scheme != SchemeSpec::Conventional {
+            return Err(SimOptionsError::PerceptronOverride {
+                scheme: self.scheme,
+            });
+        }
+        if self.predicate.is_some() && self.scheme != SchemeSpec::Predicate {
+            return Err(SimOptionsError::PredicateOverride {
+                scheme: self.scheme,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the options and builds the simulator for `program`.
+    pub fn build(self, program: &Program) -> Result<Simulator, SimOptionsError> {
+        self.validate()?;
+        Ok(Simulator::from_options(program, self))
+    }
+}
+
+/// An inconsistent [`SimOptions`] combination, reported by
+/// [`SimOptions::build`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimOptionsError {
+    /// A perceptron geometry override was supplied for a scheme without a
+    /// second-level perceptron.
+    PerceptronOverride {
+        /// The offending scheme.
+        scheme: SchemeSpec,
+    },
+    /// A predicate-predictor geometry override was supplied for a scheme
+    /// without a realistic predicate predictor.
+    PredicateOverride {
+        /// The offending scheme.
+        scheme: SchemeSpec,
+    },
+}
+
+impl fmt::Display for SimOptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimOptionsError::PerceptronOverride { scheme } => write!(
+                f,
+                "perceptron geometry override only applies to the conventional scheme, not `{}`",
+                scheme.name()
+            ),
+            SimOptionsError::PredicateOverride { scheme } => write!(
+                f,
+                "predicate predictor override only applies to the predicate scheme, not `{}`",
+                scheme.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimOptionsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim_isa::Asm;
+
+    fn halt_program() -> Program {
+        let mut a = Asm::new();
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn plain_options_build() {
+        for scheme in SchemeSpec::ALL {
+            let sim = SimOptions::new(scheme, PredicationModel::Cmov).build(&halt_program());
+            assert!(sim.is_ok(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn inapplicable_overrides_are_rejected() {
+        let err = SimOptions::new(SchemeSpec::PepPa, PredicationModel::Cmov)
+            .perceptron(PerceptronConfig::paper_148kb())
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SimOptionsError::PerceptronOverride { .. }));
+        assert!(err.to_string().contains("pep-pa"), "{err}");
+        assert!(SimOptions::new(SchemeSpec::PepPa, PredicationModel::Cmov)
+            .perceptron(PerceptronConfig::paper_148kb())
+            .build(&halt_program())
+            .is_err());
+
+        let err = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov)
+            .predicate(PredicateConfig::paper_148kb())
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SimOptionsError::PredicateOverride { .. }));
+    }
+
+    #[test]
+    fn applicable_overrides_pass() {
+        assert!(
+            SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov)
+                .perceptron(PerceptronConfig::paper_148kb())
+                .validate()
+                .is_ok()
+        );
+        assert!(
+            SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
+                .predicate(PredicateConfig::paper_148kb())
+                .shadow(true)
+                .trace_events(128)
+                .validate()
+                .is_ok()
+        );
+    }
+}

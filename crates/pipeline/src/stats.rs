@@ -1,6 +1,7 @@
 //! Simulation statistics.
 
 use ppsim_mem::HierarchyStats;
+use ppsim_obs::{MetricSet, PcEntry, PcHistogram, StallBreakdown};
 
 /// Counters collected by one simulation run.
 #[derive(Clone, Debug, Default)]
@@ -44,6 +45,12 @@ pub struct SimStats {
     pub predication_flushes: u64,
     /// Instructions committed with a false guard (nullified).
     pub nullified: u64,
+    /// Per-stage stall attribution: every cycle charged to exactly one
+    /// bucket, so `stall.total() == cycles` holds by construction.
+    pub stall: StallBreakdown,
+    /// Per-static-branch rows `(slot, executions, mispredictions)`, sorted
+    /// by slot for deterministic export.
+    pub branch_pcs: Vec<(u32, u64, u64)>,
     /// Memory-hierarchy counters.
     pub mem: HierarchyStats,
 }
@@ -89,6 +96,57 @@ impl SimStats {
             self.predicate_mispredictions as f64 / self.predicate_predictions as f64
         }
     }
+
+    /// Exports every counter, derived rate, stall bucket and the per-PC
+    /// branch histogram onto one typed registry with stable names — the
+    /// canonical metric block carried by reports and `--json` artifacts.
+    pub fn metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.counter("cycles", self.cycles);
+        m.counter("committed", self.committed);
+        m.counter("cond_branches", self.cond_branches);
+        m.counter("mispredicts", self.mispredicts);
+        m.counter("uncond_branches", self.uncond_branches);
+        m.counter("compares", self.compares);
+        m.counter("early_resolved", self.early_resolved);
+        m.counter("early_resolved_saves", self.early_resolved_saves);
+        m.counter("shadow_mispredicts", self.shadow_mispredicts);
+        m.counter("overrides", self.overrides);
+        m.counter("predicate_predictions", self.predicate_predictions);
+        m.counter("predicate_mispredictions", self.predicate_mispredictions);
+        m.counter("cancelled_at_rename", self.cancelled_at_rename);
+        m.counter("unguarded_at_rename", self.unguarded_at_rename);
+        m.counter("predication_flushes", self.predication_flushes);
+        m.counter("nullified", self.nullified);
+        m.ratio("ipc", self.committed, self.cycles);
+        m.ratio("misprediction_rate", self.mispredicts, self.cond_branches);
+        m.ratio(
+            "early_resolved_rate",
+            self.early_resolved,
+            self.cond_branches,
+        );
+        m.ratio(
+            "predicate_misprediction_rate",
+            self.predicate_mispredictions,
+            self.predicate_predictions,
+        );
+        self.stall.register(&mut m, "stall");
+        m.histogram(
+            "branch_sites",
+            PcHistogram::from_rows(
+                self.branch_pcs
+                    .iter()
+                    .map(|&(slot, execs, events)| PcEntry {
+                        pc: slot as u64,
+                        execs,
+                        events,
+                    })
+                    .collect(),
+            ),
+        );
+        m.absorb("mem", &self.mem.metrics());
+        m
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +170,26 @@ mod tests {
         assert!((s.accuracy() - 0.9).abs() < 1e-12);
         assert!((s.early_resolved_rate() - 0.2).abs() < 1e-12);
         assert!((s.predicate_misprediction_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_cover_counters_stalls_and_sites() {
+        use ppsim_obs::StallBucket;
+        let mut s = SimStats {
+            cycles: 100,
+            committed: 250,
+            cond_branches: 50,
+            mispredicts: 5,
+            ..SimStats::default()
+        };
+        s.stall.charge(StallBucket::CommitBound, 100);
+        s.branch_pcs = vec![(4, 10, 1), (9, 5, 0)];
+        let m = s.metrics();
+        assert_eq!(m.counter_value("cycles"), Some(100));
+        assert_eq!(m.counter_value("stall.commit_bound"), Some(100));
+        assert_eq!(m.get("ipc").unwrap().value(), 2.5);
+        assert_eq!(m.histogram_for("branch_sites").unwrap().len(), 2);
+        assert_eq!(m.counter_value("mem.l1d.accesses"), Some(0));
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod ideal;
 mod peppa;
 mod perceptron;
 mod predicate;
+mod scheme;
 pub mod sizing;
 
 pub use confidence::ConfidenceTable;
@@ -56,6 +57,7 @@ pub use ideal::{IdealPerceptron, IdealPredicatePredictor};
 pub use peppa::{PepPa, PepPaConfig};
 pub use perceptron::{PerceptronConfig, PerceptronPredictor, PerceptronTable};
 pub use predicate::{CmpPrediction, PredicateConfig, PredicatePrediction, PredicatePredictor};
+pub use scheme::{PredictorSet, SchemeSpec};
 
 /// A direction prediction together with the recovery/training tag.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -1,0 +1,195 @@
+//! Scheme specification and predictor factory.
+//!
+//! [`SchemeSpec`] is the single authority on which prediction organizations
+//! exist: their names, their CLI spellings, and — through [`SchemeSpec::build`]
+//! — the concrete predictor structures each one instantiates. The pipeline,
+//! the figure binaries and the CLI all consume this enum instead of
+//! re-spelling the scheme→predictor match arms.
+
+use crate::{
+    Gshare, GshareConfig, IdealPerceptron, IdealPredicatePredictor, PepPa, PepPaConfig,
+    PerceptronConfig, PerceptronPredictor, PredicateConfig, PredicatePredictor,
+};
+
+/// Which branch-prediction organization drives the front end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeSpec {
+    /// Two-level: 4 KB gshare at fetch, 148 KB perceptron override at
+    /// rename (the paper's conventional baseline).
+    Conventional,
+    /// 144 KB PEP-PA at fetch (August et al., as modelled in §4.1: the
+    /// logical predicate register file is updated at execute time, out of
+    /// program order).
+    PepPa,
+    /// The paper's scheme: 4 KB gshare at fetch, predictions generated per
+    /// *compare* and stored in the PPRF, consumed by branches at rename.
+    Predicate,
+    /// Conventional with unbounded tables and oracle history (the §4.2
+    /// idealized study).
+    IdealConventional,
+    /// Predicate predictor with unbounded tables and oracle history.
+    IdealPredicate,
+}
+
+/// The predictor structures a [`SchemeSpec`] instantiates.
+///
+/// This is pure predictor state; timing-model bookkeeping (e.g. PEP-PA's
+/// out-of-order predicate-write replay queue) stays in the pipeline.
+#[allow(missing_docs)] // variant fields mirror the scheme definitions above
+pub enum PredictorSet {
+    /// First-level gshare with a perceptron override at rename.
+    Conventional { l1: Gshare, l2: PerceptronPredictor },
+    /// Single-level PEP-PA at fetch.
+    PepPa { p: PepPa },
+    /// First-level gshare plus the compare-PC predicate predictor.
+    Predicate { l1: Gshare, pp: PredicatePredictor },
+    /// Idealized perceptron (no first level; oracle-trained).
+    IdealConventional { p: IdealPerceptron },
+    /// First-level gshare plus the idealized predicate predictor.
+    IdealPredicate {
+        l1: Gshare,
+        pp: IdealPredicatePredictor,
+    },
+}
+
+impl SchemeSpec {
+    /// Every scheme, in the paper's presentation order.
+    pub const ALL: [SchemeSpec; 5] = [
+        SchemeSpec::Conventional,
+        SchemeSpec::PepPa,
+        SchemeSpec::Predicate,
+        SchemeSpec::IdealConventional,
+        SchemeSpec::IdealPredicate,
+    ];
+
+    /// Whether this scheme predicts at compares (predicate-predictor
+    /// family).
+    pub fn is_predicate(self) -> bool {
+        matches!(self, SchemeSpec::Predicate | SchemeSpec::IdealPredicate)
+    }
+
+    /// Display name used in reports, job descriptions and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeSpec::Conventional => "conventional",
+            SchemeSpec::PepPa => "pep-pa",
+            SchemeSpec::Predicate => "predicate",
+            SchemeSpec::IdealConventional => "ideal-conventional",
+            SchemeSpec::IdealPredicate => "ideal-predicate",
+        }
+    }
+
+    /// Parses a scheme name as spelled on the CLI. Accepts the canonical
+    /// [`SchemeSpec::name`] plus the historical aliases (`conv`, `peppa`,
+    /// `pred`, `ideal-conv`, `ideal-pred`).
+    pub fn parse(s: &str) -> Option<SchemeSpec> {
+        match s {
+            "conventional" | "conv" => Some(SchemeSpec::Conventional),
+            "pep-pa" | "peppa" => Some(SchemeSpec::PepPa),
+            "predicate" | "pred" => Some(SchemeSpec::Predicate),
+            "ideal-conventional" | "ideal-conv" => Some(SchemeSpec::IdealConventional),
+            "ideal-predicate" | "ideal-pred" => Some(SchemeSpec::IdealPredicate),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the predictor structures for this scheme at the
+    /// paper's Table-1 budgets, with optional geometry overrides for the
+    /// sensitivity sweeps.
+    ///
+    /// `perceptron` only applies to [`SchemeSpec::Conventional`] (its
+    /// second level) and `predicate` only to [`SchemeSpec::Predicate`];
+    /// callers that pass an inapplicable override should reject it before
+    /// building (see `SimOptions` in the pipeline crate).
+    pub fn build(
+        self,
+        perceptron: Option<PerceptronConfig>,
+        predicate: Option<PredicateConfig>,
+    ) -> PredictorSet {
+        match self {
+            SchemeSpec::Conventional => PredictorSet::Conventional {
+                l1: Gshare::new(GshareConfig::paper_4kb()),
+                l2: PerceptronPredictor::new(
+                    perceptron.unwrap_or_else(PerceptronConfig::paper_148kb),
+                ),
+            },
+            SchemeSpec::PepPa => PredictorSet::PepPa {
+                p: PepPa::new(PepPaConfig::paper_144kb()),
+            },
+            SchemeSpec::Predicate => PredictorSet::Predicate {
+                l1: Gshare::new(GshareConfig::paper_4kb()),
+                pp: PredicatePredictor::new(predicate.unwrap_or_else(PredicateConfig::paper_148kb)),
+            },
+            SchemeSpec::IdealConventional => PredictorSet::IdealConventional {
+                p: IdealPerceptron::new(PerceptronConfig::paper_148kb()),
+            },
+            SchemeSpec::IdealPredicate => PredictorSet::IdealPredicate {
+                l1: Gshare::new(GshareConfig::paper_4kb()),
+                pp: IdealPredicatePredictor::new(PerceptronConfig::paper_148kb()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_parse_round_trip() {
+        for s in SchemeSpec::ALL {
+            assert_eq!(SchemeSpec::parse(s.name()), Some(s));
+        }
+        assert_eq!(SchemeSpec::parse("conv"), Some(SchemeSpec::Conventional));
+        assert_eq!(SchemeSpec::parse("peppa"), Some(SchemeSpec::PepPa));
+        assert_eq!(SchemeSpec::parse("pred"), Some(SchemeSpec::Predicate));
+        assert_eq!(SchemeSpec::parse("bogus"), None);
+    }
+
+    #[test]
+    fn predicate_family_is_marked() {
+        assert!(SchemeSpec::Predicate.is_predicate());
+        assert!(SchemeSpec::IdealPredicate.is_predicate());
+        assert!(!SchemeSpec::Conventional.is_predicate());
+        assert!(!SchemeSpec::PepPa.is_predicate());
+    }
+
+    #[test]
+    fn factory_builds_the_matching_set() {
+        for s in SchemeSpec::ALL {
+            let set = s.build(None, None);
+            let matches = matches!(
+                (s, &set),
+                (SchemeSpec::Conventional, PredictorSet::Conventional { .. })
+                    | (SchemeSpec::PepPa, PredictorSet::PepPa { .. })
+                    | (SchemeSpec::Predicate, PredictorSet::Predicate { .. })
+                    | (
+                        SchemeSpec::IdealConventional,
+                        PredictorSet::IdealConventional { .. }
+                    )
+                    | (
+                        SchemeSpec::IdealPredicate,
+                        PredictorSet::IdealPredicate { .. }
+                    )
+            );
+            assert!(matches, "{s:?} built the wrong predictor set");
+        }
+    }
+
+    #[test]
+    fn geometry_overrides_apply() {
+        let small = PerceptronConfig {
+            rows: 64,
+            ..PerceptronConfig::paper_148kb()
+        };
+        let set = SchemeSpec::Conventional.build(Some(small), None);
+        let PredictorSet::Conventional { l2, .. } = set else {
+            panic!("wrong set");
+        };
+        use crate::BranchPredictor;
+        assert!(
+            l2.size_bytes()
+                < PerceptronPredictor::new(PerceptronConfig::paper_148kb()).size_bytes()
+        );
+    }
+}

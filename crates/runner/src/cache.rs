@@ -5,13 +5,17 @@
 //! text format (the workspace bans serde):
 //!
 //! ```text
-//! ppsim-cache v1
+//! ppsim-cache v2
 //! job.bench=gzip
 //! job.ifconv=0
 //! ...                      # every line of Job::canon, prefixed "job."
 //! stat.cycles=123456
 //! stat.committed=500000
 //! ...                      # every SimStats counter, fixed order
+//! stat.stall.fetch_miss=100
+//! ...                      # every stall bucket, StallBucket::ALL order
+//! pc.17=5000,12
+//! ...                      # per-branch (slot, execs, mispredicts) rows
 //! static.insns=871
 //! static.cond_branches=42
 //! end
@@ -29,12 +33,15 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use ppsim_mem::CacheStats;
+use ppsim_obs::StallBucket;
 use ppsim_pipeline::SimStats;
 
 use crate::job::{Job, JobResult};
 
 /// Magic first line; bump the version to invalidate every entry.
-const HEADER: &str = "ppsim-cache v1";
+/// v2 added the stall-attribution buckets and the per-branch rows, so
+/// every v1 entry (which lacks them) reads as a miss.
+const HEADER: &str = "ppsim-cache v2";
 /// Last line; its absence marks a truncated entry.
 const FOOTER: &str = "end";
 
@@ -107,6 +114,11 @@ fn render_entry(job: &Job, result: &JobResult) -> String {
         s.push_str(&value.to_string());
         s.push('\n');
     }
+    // branch_pcs is sorted by slot in SimStats, so this section — like
+    // everything else in the entry — renders deterministically.
+    for &(slot, execs, events) in &result.stats.branch_pcs {
+        s.push_str(&format!("pc.{slot}={execs},{events}\n"));
+    }
     s.push_str(&format!("static.insns={}\n", result.static_insns));
     s.push_str(&format!(
         "static.cond_branches={}\n",
@@ -153,6 +165,14 @@ fn parse_entry(text: &str, job: &Job) -> Option<JobResult> {
             break;
         }
         let (key, value) = line.split_once('=')?;
+        if let Some(slot) = key.strip_prefix("pc.") {
+            let slot: u32 = slot.parse().ok()?;
+            let (execs, events) = value.split_once(',')?;
+            stats
+                .branch_pcs
+                .push((slot, execs.parse().ok()?, events.parse().ok()?));
+            continue;
+        }
         let value: u64 = value.parse().ok()?;
         if let Some(stat) = key.strip_prefix("stat.") {
             set_stat_field(&mut stats, stat, value)?;
@@ -173,6 +193,8 @@ fn parse_entry(text: &str, job: &Job) -> Option<JobResult> {
         static_cond_branches: static_cond_branches?,
         from_cache: true,
         wall_micros: 0,
+        compile_micros: 0,
+        sim_micros: 0,
     })
 }
 
@@ -198,6 +220,9 @@ fn stat_fields(s: &SimStats) -> Vec<(&'static str, u64)> {
         ("predication_flushes", s.predication_flushes),
         ("nullified", s.nullified),
     ];
+    for bucket in StallBucket::ALL {
+        out.push((stall_key(bucket), s.stall.get(bucket)));
+    }
     for (level, c) in [("l1i", &s.mem.l1i), ("l1d", &s.mem.l1d), ("l2", &s.mem.l2)] {
         out.push((cache_key(level, "accesses"), c.accesses));
         out.push((cache_key(level, "hits"), c.hits));
@@ -215,6 +240,18 @@ fn stat_fields(s: &SimStats) -> Vec<(&'static str, u64)> {
     out.push(("dtlb.hits", s.mem.dtlb.0));
     out.push(("dtlb.misses", s.mem.dtlb.1));
     out
+}
+
+/// Static `stall.<bucket>` keys (serialization wants `&'static str`).
+fn stall_key(bucket: StallBucket) -> &'static str {
+    match bucket {
+        StallBucket::FetchMiss => "stall.fetch_miss",
+        StallBucket::RenameStall => "stall.rename_stall",
+        StallBucket::IssueWait => "stall.issue_wait",
+        StallBucket::CommitBound => "stall.commit_bound",
+        StallBucket::FlushRecovery => "stall.flush_recovery",
+        StallBucket::PredicationFlush => "stall.predication_flush",
+    }
 }
 
 /// Static key strings for the three cache levels × seven counters.
@@ -269,6 +306,11 @@ fn set_stat_field(s: &mut SimStats, key: &str, v: u64) -> Option<()> {
     };
     if let Some((level, field)) = key.split_once('.') {
         return match level {
+            "stall" => {
+                let bucket = StallBucket::parse(field)?;
+                s.stall.set(bucket, v);
+                Some(())
+            }
             "l1i" => cache_field(&mut s.mem.l1i, field, v),
             "l1d" => cache_field(&mut s.mem.l1d, field, v),
             "l2" => cache_field(&mut s.mem.l2, field, v),
@@ -367,6 +409,10 @@ mod tests {
         r.stats.mem.l2.write_buffer_stall_cycles = 207;
         r.stats.mem.itlb = (301, 302);
         r.stats.mem.dtlb = (303, 304);
+        for (i, bucket) in StallBucket::ALL.into_iter().enumerate() {
+            r.stats.stall.set(bucket, 401 + i as u64);
+        }
+        r.stats.branch_pcs = vec![(7, 501, 502), (19, 503, 0)];
         r
     }
 
@@ -381,8 +427,14 @@ mod tests {
         let loaded = cache.load(&j).expect("warm cache must hit");
         assert!(loaded.from_cache);
         assert_eq!(stat_fields(&loaded.stats), stat_fields(&r.stats));
+        assert_eq!(loaded.stats.branch_pcs, r.stats.branch_pcs);
         assert_eq!(loaded.static_insns, r.static_insns);
         assert_eq!(loaded.static_cond_branches, r.static_cond_branches);
+        assert_eq!(
+            loaded.stats.metrics().to_json().to_string(),
+            r.stats.metrics().to_json().to_string(),
+            "a cache hit must replay the full metric block bit-identically"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -211,6 +211,11 @@ pub struct JobResult {
     pub from_cache: bool,
     /// Wall time spent producing the result (0 for cache hits).
     pub wall_micros: u64,
+    /// Wall time of the compile phase (0 for cache hits and when the
+    /// compile memo already held the binary).
+    pub compile_micros: u64,
+    /// Wall time of the simulate phase (0 for cache hits).
+    pub sim_micros: u64,
 }
 
 #[cfg(test)]

@@ -17,8 +17,11 @@
 pub mod cache;
 pub mod hash;
 pub mod job;
-pub mod json;
 pub mod pool;
+
+/// The hand-rolled JSON value (moved to `ppsim-obs`; re-exported so
+/// `ppsim_runner::json::Json` paths keep working).
+pub use ppsim_obs::json;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -26,11 +29,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ppsim_compiler::{compile, spec2000_suite, CompileOptions, Compiled, WorkloadSpec};
-use ppsim_pipeline::Simulator;
+use ppsim_pipeline::SimOptions;
 
 pub use cache::DiskCache;
 pub use job::{Job, JobResult};
-pub use json::Json;
+pub use ppsim_obs::Json;
 
 /// How a [`Runner`] executes grids.
 #[derive(Clone, Debug)]
@@ -99,8 +102,23 @@ pub struct Telemetry {
     pub cache_hits: u64,
     /// Wall time of simulated jobs, summed (µs).
     pub wall_micros_total: u64,
-    /// (label, wall µs) per simulated job, in grid order.
-    pub per_job: Vec<(String, u64)>,
+    /// Per-simulated-job timing phases, in grid order.
+    pub per_job: Vec<JobTiming>,
+}
+
+/// Wall-time phases of one simulated job: compilation (0 when the memo
+/// already held the binary), simulation, and everything else (cache
+/// store, bookkeeping) folded into the total.
+#[derive(Clone, Debug, Default)]
+pub struct JobTiming {
+    /// The job's [`Job::label`].
+    pub label: String,
+    /// End-to-end wall time (µs).
+    pub wall_micros: u64,
+    /// Time spent compiling the benchmark (µs).
+    pub compile_micros: u64,
+    /// Time spent inside `Simulator::run` (µs).
+    pub sim_micros: u64,
 }
 
 impl Telemetry {
@@ -112,7 +130,12 @@ impl Telemetry {
             } else {
                 self.jobs_run += 1;
                 self.wall_micros_total += r.wall_micros;
-                self.per_job.push((job.label(), r.wall_micros));
+                self.per_job.push(JobTiming {
+                    label: job.label(),
+                    wall_micros: r.wall_micros,
+                    compile_micros: r.compile_micros,
+                    sim_micros: r.sim_micros,
+                });
             }
         }
     }
@@ -129,10 +152,12 @@ impl Telemetry {
                 Json::Arr(
                     self.per_job
                         .iter()
-                        .map(|(label, us)| {
+                        .map(|t| {
                             Json::obj()
-                                .field("job", label.as_str())
-                                .field("wall_micros", *us)
+                                .field("job", t.label.as_str())
+                                .field("wall_micros", t.wall_micros)
+                                .field("compile_micros", t.compile_micros)
+                                .field("sim_micros", t.sim_micros)
                         })
                         .collect(),
                 ),
@@ -295,23 +320,32 @@ impl Runner {
     fn execute(&self, job: &Job) -> JobResult {
         let started = Instant::now();
         let compiled = self.compiled_for(job);
-        let mut sim = Simulator::new(&compiled.program, job.scheme, job.predication, job.core);
-        if job.shadow {
-            sim = sim.with_shadow();
-        }
+        let compile_micros = started.elapsed().as_micros() as u64;
+
+        let mut opts = SimOptions::new(job.scheme, job.predication)
+            .core(job.core)
+            .shadow(job.shadow);
         if let Some(p) = job.perceptron {
-            sim = sim.with_perceptron_config(p);
+            opts = opts.perceptron(p);
         }
         if let Some(p) = job.predicate {
-            sim = sim.with_predicate_config(p);
+            opts = opts.predicate(p);
         }
+        let mut sim = opts
+            .build(&compiled.program)
+            .expect("grid jobs carry only applicable overrides");
+
+        let sim_started = Instant::now();
         let run = sim.run(job.commits);
+        let sim_micros = sim_started.elapsed().as_micros() as u64;
         JobResult {
             stats: run.stats,
             static_insns: compiled.program.count_insns(|_| true) as u64,
             static_cond_branches: compiled.program.count_insns(|i| i.is_cond_branch()) as u64,
             from_cache: false,
             wall_micros: started.elapsed().as_micros() as u64,
+            compile_micros,
+            sim_micros,
         }
     }
 }
@@ -368,7 +402,11 @@ mod tests {
         assert_eq!(t.jobs_run, 1);
         assert_eq!(t.cache_hits, 0);
         assert_eq!(t.per_job.len(), 1);
-        assert_eq!(t.per_job[0].0, "gzip/conventional");
+        assert_eq!(t.per_job[0].label, "gzip/conventional");
+        assert!(
+            t.per_job[0].wall_micros >= t.per_job[0].sim_micros,
+            "phases nest inside the total"
+        );
     }
 
     #[test]

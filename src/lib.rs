@@ -12,13 +12,46 @@
 //! * [`mem`] — the cache/TLB/memory hierarchy of Table 1,
 //! * [`pipeline`] — the 8-stage out-of-order core,
 //! * [`runner`] — the parallel, cache-aware experiment execution engine,
+//! * [`obs`] — the observability layer: metric registry, stall
+//!   attribution, event tracing,
 //! * [`core`] — configuration, statistics and the experiment harness that
 //!   regenerates every table and figure of the paper.
+//!
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use ppsim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = ppsim::isa::Asm::new();
+//! a.halt();
+//! let program = a.assemble()?;
+//! let mut sim = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
+//!     .trace_events(64)
+//!     .build(&program)?;
+//! let result = sim.run(1_000);
+//! assert_eq!(result.stats.stall.total(), result.stats.cycles);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use ppsim_compiler as compiler;
 pub use ppsim_core as core;
 pub use ppsim_isa as isa;
 pub use ppsim_mem as mem;
+pub use ppsim_obs as obs;
 pub use ppsim_pipeline as pipeline;
 pub use ppsim_predictors as predictors;
 pub use ppsim_runner as runner;
+
+/// The names almost every ppsim program touches: simulator construction,
+/// scheme selection, statistics/metrics, stall attribution, and the
+/// experiment-session plumbing.
+pub mod prelude {
+    pub use ppsim_core::{setup, ExperimentConfig, Job, JobResult, Runner, RunnerOptions, Session};
+    pub use ppsim_obs::{EventRing, MetricSet, StallBreakdown, StallBucket, TraceEvent};
+    pub use ppsim_pipeline::{
+        CoreConfig, PredicationModel, SimOptions, SimOptionsError, SimStats, Simulator,
+    };
+    pub use ppsim_predictors::SchemeSpec;
+}

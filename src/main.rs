@@ -1,7 +1,7 @@
 //! `ppsim` — command-line front end for the simulator.
 //!
 //! ```text
-//! ppsim run <file.s> [--scheme S] [--commits N] [--trace N] [--tiny]
+//! ppsim run <file.s> [--scheme S] [--commits N] [--trace-events N] [--tiny]
 //! ppsim compile <benchmark> [--ifconv] [--listing]
 //! ppsim bench <benchmark> [--ifconv] [--commits N]
 //! ppsim suite [--jobs N] [--no-cache] [--cache-dir P] [--json P] [--commits N] [--only a,b]
@@ -20,26 +20,15 @@ use std::process::ExitCode;
 use ppsim::compiler::{compile, CompileOptions};
 use ppsim::core::{experiments, ExperimentConfig, Json, Runner, RunnerOptions, Table};
 use ppsim::isa::{parse_program, Program};
-use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind, Simulator};
+use ppsim::prelude::*;
 
 const SCHEMES: &str = "conventional|pep-pa|predicate|ideal-conventional|ideal-predicate";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite [--jobs N] [--no-cache] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim list"
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite [--jobs N] [--no-cache] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim list"
     );
     ExitCode::FAILURE
-}
-
-fn parse_scheme(name: &str) -> Option<SchemeKind> {
-    Some(match name {
-        "conventional" => SchemeKind::Conventional,
-        "pep-pa" | "peppa" => SchemeKind::PepPa,
-        "predicate" => SchemeKind::Predicate,
-        "ideal-conventional" => SchemeKind::IdealConventional,
-        "ideal-predicate" => SchemeKind::IdealPredicate,
-        _ => return None,
-    })
 }
 
 struct Flags {
@@ -60,20 +49,26 @@ impl Flags {
     }
 }
 
-fn simulate(program: &Program, scheme: SchemeKind, commits: u64, trace: usize, tiny: bool) {
+fn simulate(program: &Program, scheme: SchemeSpec, commits: u64, trace_events: usize, tiny: bool) {
     let core = if tiny {
         CoreConfig::tiny()
     } else {
         CoreConfig::paper()
     };
-    let mut sim = Simulator::new(program, scheme, PredicationModel::Selective, core);
-    if trace > 0 {
-        sim = sim.with_trace(trace);
-    }
+    let mut sim = SimOptions::new(scheme, PredicationModel::Selective)
+        .core(core)
+        .trace_events(trace_events)
+        .build(program)
+        .expect("no overrides supplied");
     let r = sim.run(commits);
     let s = &r.stats;
-    if let Some(t) = sim.trace() {
-        println!("{t}");
+    if let Some(ring) = sim.events() {
+        if ring.dropped() > 0 {
+            println!("... {} earlier events dropped ...", ring.dropped());
+        }
+        for e in ring.events() {
+            println!("{e}");
+        }
     }
     println!(
         "{}: {} committed in {} cycles (IPC {:.3}){}",
@@ -99,6 +94,15 @@ fn simulate(program: &Program, scheme: SchemeKind, commits: u64, trace: usize, t
         s.mem.l1d.miss_ratio() * 100.0,
         s.mem.l2.miss_ratio() * 100.0,
         s.mem.itlb.1
+    );
+    let total = s.stall.total().max(1) as f64;
+    println!(
+        "  stalls: {}",
+        StallBucket::ALL
+            .iter()
+            .map(|&b| format!("{} {:.1}%", b.name(), s.stall.get(b) as f64 / total * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 }
 
@@ -141,20 +145,22 @@ fn main() -> ExitCode {
                 }
             };
             let scheme = match flags.value_of("--scheme") {
-                None => SchemeKind::Predicate,
-                Some(s) => match parse_scheme(s) {
+                None => SchemeSpec::Predicate,
+                Some(s) => match SchemeSpec::parse(s) {
                     Some(k) => k,
                     None => {
-                        eprintln!("unknown scheme `{s}`");
+                        eprintln!("unknown scheme `{s}` (expected {SCHEMES})");
                         return ExitCode::FAILURE;
                     }
                 },
             };
-            let trace = flags
-                .value_of("--trace")
+            // `--trace` kept as an alias for one release.
+            let trace_events = flags
+                .value_of("--trace-events")
+                .or_else(|| flags.value_of("--trace"))
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0);
-            simulate(&program, scheme, commits, trace, flags.has("--tiny"));
+            simulate(&program, scheme, commits, trace_events, flags.has("--tiny"));
             ExitCode::SUCCESS
         }
         "compile" => {
@@ -201,9 +207,9 @@ fn main() -> ExitCode {
             };
             let compiled = compile(&spec, &opts).expect("suite benchmarks compile");
             for scheme in [
-                SchemeKind::PepPa,
-                SchemeKind::Conventional,
-                SchemeKind::Predicate,
+                SchemeSpec::PepPa,
+                SchemeSpec::Conventional,
+                SchemeSpec::Predicate,
             ] {
                 simulate(&compiled.program, scheme, commits, 0, false);
             }
@@ -238,10 +244,14 @@ fn main() -> ExitCode {
             let runner = Runner::new(opts);
             print!("{}", experiments::full_report(&runner, &cfg));
             if let Some(path) = rest_flags.value_of("--json") {
+                // Telemetry sits beside (not inside) the deterministic
+                // `data` object: stripping it yields byte-identical
+                // artifacts across cache states and worker counts.
                 let doc = Json::obj()
                     .field("experiment", "suite")
                     .field("commits", cfg.commits)
-                    .field("data", experiments::full_report_json(&runner, &cfg));
+                    .field("data", experiments::full_report_json(&runner, &cfg))
+                    .field("telemetry", runner.telemetry().to_json());
                 if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
                     eprintln!("suite: failed to write {path}: {e}");
                     return ExitCode::FAILURE;

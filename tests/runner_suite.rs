@@ -114,7 +114,7 @@ fn changing_an_input_axis_misses_the_cache() {
 }
 
 #[test]
-fn json_report_round_trips_and_carries_telemetry() {
+fn json_report_round_trips_and_carries_metrics() {
     let cfg = tiny_cfg();
     let r = runner(4, None);
     let doc = experiments::full_report_json(&r, &cfg);
@@ -144,7 +144,34 @@ fn json_report_round_trips_and_carries_telemetry() {
         assert!((0.0..=1.0).contains(&v));
     }
 
-    let telemetry = parsed.get("telemetry").expect("telemetry present");
+    // Each run carries its full metric block: counters, stall buckets,
+    // per-PC histogram.
+    let metrics = fig5_rows[0]
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .expect("metrics array");
+    assert_eq!(metrics.len(), 2, "one block per scheme column");
+    let counters = metrics[0].get("counters").expect("counters object");
+    let cycles = counters.get("cycles").and_then(Json::as_i64).unwrap();
+    assert!(cycles > 0);
+    let stall_sum: i64 = [
+        "stall.fetch_miss",
+        "stall.rename_stall",
+        "stall.issue_wait",
+        "stall.commit_bound",
+        "stall.flush_recovery",
+        "stall.predication_flush",
+    ]
+    .iter()
+    .map(|k| counters.get(k).and_then(Json::as_i64).expect(k))
+    .sum();
+    assert_eq!(stall_sum, cycles, "stall buckets partition the cycles");
+    assert!(metrics[0].get("per_pc").is_some(), "per-PC histograms");
+
+    // Telemetry deliberately lives OUTSIDE the deterministic report; the
+    // runner exposes it separately.
+    assert!(parsed.get("telemetry").is_none());
+    let telemetry = r.telemetry().to_json();
     let total = telemetry.get("jobs_total").and_then(Json::as_i64).unwrap();
     let run = telemetry.get("jobs_run").and_then(Json::as_i64).unwrap();
     let hits = telemetry.get("cache_hits").and_then(Json::as_i64).unwrap();
