@@ -1,0 +1,489 @@
+//! Seeded random predicated-program generation.
+//!
+//! [`generate`] emits small "torture" programs that concentrate on the
+//! paper's hard cases: nested hammocks (branchy or if-converted), and/or
+//! parallel-compare chains, compare pairs landing in the same fetch
+//! bundle, and loads/stores straddling page boundaries. Programs are
+//! built so the architectural emulator always halts: every randomly
+//! placed branch is forward, and the single back-edge is a counted loop
+//! with a bounded, unconditionally decremented trip register.
+//!
+//! Generation is fully deterministic in `(seed, iter, form)` — the same
+//! triple yields the same [`Program`] byte for byte, which is what lets
+//! the check harness cache verdicts and replay failures.
+
+use ppsim_compiler::rng::SmallRng;
+use ppsim_isa::{AluKind, Asm, CmpRel, CmpType, DataSegment, Fr, Gr, Operand, Pr, Program};
+
+/// Whether hammocks are emitted as branches or as predicated
+/// straight-line code — the if-conversion axis of the check grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Form {
+    /// Hammocks use a guarded forward branch over the then-block.
+    Branchy,
+    /// Hammocks are if-converted: both arms emitted, guarded by the
+    /// compare's two predicate targets.
+    IfConverted,
+}
+
+impl Form {
+    /// Both program forms, in grid order.
+    pub const ALL: [Form; 2] = [Form::Branchy, Form::IfConverted];
+
+    /// Short label for cache keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Form::Branchy => "branchy",
+            Form::IfConverted => "ifconv",
+        }
+    }
+}
+
+/// Base address of the generator's data buffer. Page-aligned so that
+/// `STRADDLE_BASE` accesses provably cross a page.
+const DATA_BASE: u64 = 0x0010_0000;
+/// A pointer 4 bytes below the next page boundary: any 8-byte access at
+/// offset 0 splits across two pages (the emulator is byte-sparse, so
+/// this exercises its multi-page read/write path).
+const STRADDLE_BASE: u64 = DATA_BASE + 0x1000 - 4;
+
+/// Loop counter (decremented once per iteration, never a random dst).
+fn r_count() -> Gr {
+    Gr::new(1)
+}
+/// Pointer to the aligned data buffer.
+fn r_buf() -> Gr {
+    Gr::new(2)
+}
+/// Pointer just below a page boundary.
+fn r_straddle() -> Gr {
+    Gr::new(3)
+}
+/// Loop-continue predicate (its complement lives in `p2`).
+fn p_loop() -> (Pr, Pr) {
+    (Pr::new(1), Pr::new(2))
+}
+
+/// First/last scratch integer register (inclusive).
+const GR_LO: u8 = 8;
+const GR_HI: u8 = 23;
+/// First/last scratch float register (inclusive).
+const FR_LO: u8 = 1;
+const FR_HI: u8 = 8;
+/// First/last scratch predicate register (inclusive).
+const PR_LO: u8 = 3;
+const PR_HI: u8 = 14;
+
+struct Gen {
+    rng: SmallRng,
+    form: Form,
+}
+
+impl Gen {
+    fn gr(&mut self) -> Gr {
+        Gr::new(self.rng.range_i64(GR_LO as i64, GR_HI as i64 + 1) as u8)
+    }
+
+    fn fr(&mut self) -> Fr {
+        Fr::new(self.rng.range_i64(FR_LO as i64, FR_HI as i64 + 1) as u8)
+    }
+
+    fn pr(&mut self) -> Pr {
+        Pr::new(self.rng.range_i64(PR_LO as i64, PR_HI as i64 + 1) as u8)
+    }
+
+    /// Two distinct scratch predicates (a compare may not write the same
+    /// non-`p0` register twice).
+    fn pr_pair(&mut self) -> (Pr, Pr) {
+        let pt = self.pr();
+        loop {
+            let pf = self.pr();
+            if pf != pt {
+                return (pt, pf);
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Operand {
+        if self.rng.gen_bool(0.5) {
+            Operand::Reg(self.gr())
+        } else {
+            Operand::Imm(self.rng.range_i64(-64, 64))
+        }
+    }
+
+    fn rel(&mut self) -> CmpRel {
+        const RELS: [CmpRel; 6] = [
+            CmpRel::Eq,
+            CmpRel::Ne,
+            CmpRel::Lt,
+            CmpRel::Le,
+            CmpRel::Gt,
+            CmpRel::Ge,
+        ];
+        RELS[self.rng.range_i64(0, 6) as usize]
+    }
+
+    fn alu_kind(&mut self) -> AluKind {
+        const KINDS: [AluKind; 8] = [
+            AluKind::Add,
+            AluKind::Sub,
+            AluKind::And,
+            AluKind::Or,
+            AluKind::Xor,
+            AluKind::Shl,
+            AluKind::Shr,
+            AluKind::Mul,
+        ];
+        KINDS[self.rng.range_i64(0, 8) as usize]
+    }
+
+    /// One random ALU/move/conversion op, optionally guarded.
+    fn scalar_op(&mut self, a: &mut Asm, guard: Option<Pr>) {
+        if let Some(qp) = guard {
+            a.pred(qp);
+        }
+        match self.rng.range_i64(0, 10) {
+            0 => {
+                let dst = self.gr();
+                let imm = self.rng.range_i64(-1000, 1000);
+                a.movi(dst, imm);
+            }
+            1 => {
+                let (dst, src) = (self.fr(), self.gr());
+                a.itof(dst, src);
+            }
+            2 => {
+                let (dst, src) = (self.gr(), self.fr());
+                a.ftoi(dst, src);
+            }
+            3 => {
+                let (dst, s1, s2) = (self.fr(), self.fr(), self.fr());
+                if self.rng.gen_bool(0.5) {
+                    a.fadd(dst, s1, s2);
+                } else {
+                    a.fmul(dst, s1, s2);
+                }
+            }
+            _ => {
+                let kind = self.alu_kind();
+                let (dst, src1) = (self.gr(), self.gr());
+                let src2 = self.operand();
+                a.alu(kind, dst, src1, src2);
+            }
+        }
+    }
+
+    /// A short run of straight-line scalar ops.
+    fn alu_block(&mut self, a: &mut Asm) {
+        for _ in 0..self.rng.range_i64(2, 6) {
+            self.scalar_op(a, None);
+        }
+    }
+
+    /// An and/or parallel-compare chain: an `unc` compare defines both
+    /// targets, then `and`/`or`/`none`-type compares conditionally narrow
+    /// them — the multi-writer predicate case of §3.3.
+    fn cmp_chain(&mut self, a: &mut Asm) {
+        let (pt, pf) = self.pr_pair();
+        let rel = self.rel();
+        let (s1, s2) = (self.gr(), self.operand());
+        a.cmp(CmpType::Unc, rel, pt, pf, s1, s2);
+        for _ in 0..self.rng.range_i64(1, 4) {
+            let ctype = match self.rng.range_i64(0, 3) {
+                0 => CmpType::And,
+                1 => CmpType::Or,
+                _ => CmpType::None,
+            };
+            let rel = self.rel();
+            let (s1, s2) = (self.gr(), self.operand());
+            // Re-targeting the same pair keeps the chain a genuine
+            // multi-writer; a fresh pair exercises independent slots.
+            let (ct, cf) = if self.rng.gen_bool(0.6) {
+                (pt, pf)
+            } else {
+                self.pr_pair()
+            };
+            if self.rng.gen_bool(0.25) {
+                let (f1, f2) = (self.fr(), self.fr());
+                a.fcmp(ctype, rel, ct, cf, f1, f2);
+            } else {
+                a.cmp(ctype, rel, ct, cf, s1, s2);
+            }
+        }
+        // A consumer right behind the chain: guarded op or short branch.
+        if self.rng.gen_bool(0.5) {
+            let qp = if self.rng.gen_bool(0.5) { pt } else { pf };
+            self.scalar_op(a, Some(qp));
+        } else {
+            let skip = a.new_label();
+            a.pred(pt).br(skip);
+            self.scalar_op(a, None);
+            a.bind(skip);
+        }
+    }
+
+    /// Two compares back to back — with `BUNDLE_SLOTS = 3` they usually
+    /// share a fetch bundle — followed immediately by consumers of both.
+    fn same_bundle_pair(&mut self, a: &mut Asm) {
+        let (pt1, pf1) = self.pr_pair();
+        let (pt2, pf2) = self.pr_pair();
+        let (s1, o1) = (self.gr(), self.operand());
+        let (s2, o2) = (self.gr(), self.operand());
+        a.cmp(CmpType::Unc, self.rel(), pt1, pf1, s1, o1);
+        a.cmp(CmpType::Unc, self.rel(), pt2, pf2, s2, o2);
+        self.scalar_op(a, Some(pt1));
+        let skip = a.new_label();
+        a.pred(pt2).br(skip);
+        self.scalar_op(a, Some(pf1));
+        a.bind(skip);
+    }
+
+    /// Loads and stores against the aligned buffer and the page-straddle
+    /// pointer, some guarded by possibly-false predicates.
+    fn mem_block(&mut self, a: &mut Asm) {
+        for _ in 0..self.rng.range_i64(1, 4) {
+            let base = if self.rng.gen_bool(0.4) {
+                r_straddle()
+            } else {
+                r_buf()
+            };
+            let offset = self.rng.range_i64(-64, 64);
+            let guard = if self.rng.gen_bool(0.3) {
+                Some(self.pr())
+            } else {
+                None
+            };
+            if let Some(qp) = guard {
+                a.pred(qp);
+            }
+            match self.rng.range_i64(0, 4) {
+                0 => {
+                    let dst = self.gr();
+                    a.ld(dst, base, offset);
+                }
+                1 => {
+                    let src = self.gr();
+                    a.st(src, base, offset);
+                }
+                2 => {
+                    let dst = self.fr();
+                    a.ldf(dst, base, offset);
+                }
+                _ => {
+                    let src = self.fr();
+                    a.stf(src, base, offset);
+                }
+            }
+        }
+    }
+
+    /// A two-armed hammock, optionally nested one level. In
+    /// [`Form::Branchy`] the then-block is jumped over on a false
+    /// condition; in [`Form::IfConverted`] both arms are emitted guarded
+    /// by the compare's two targets (nested compares become guarded `unc`
+    /// compares, which clear their targets when disqualified).
+    fn hammock(&mut self, a: &mut Asm, depth: u32) {
+        let (pt, pf) = self.pr_pair();
+        let rel = self.rel();
+        let (s1, s2) = (self.gr(), self.operand());
+        a.cmp(CmpType::Unc, rel, pt, pf, s1, s2);
+        match self.form {
+            Form::Branchy => {
+                let l_else = a.new_label();
+                let l_end = a.new_label();
+                a.pred(pf).br(l_else);
+                self.arm(a, None, depth);
+                a.br(l_end);
+                a.bind(l_else);
+                self.arm(a, None, depth);
+                a.bind(l_end);
+            }
+            Form::IfConverted => {
+                self.arm(a, Some(pt), depth);
+                self.arm(a, Some(pf), depth);
+            }
+        }
+    }
+
+    /// One hammock arm: a few scalar/memory ops, possibly a nested
+    /// hammock when `depth` allows.
+    fn arm(&mut self, a: &mut Asm, guard: Option<Pr>, depth: u32) {
+        for _ in 0..self.rng.range_i64(1, 4) {
+            self.scalar_op(a, guard);
+        }
+        if depth > 0 && self.rng.gen_bool(0.4) {
+            match guard {
+                // Branchy nesting: a fresh inner hammock.
+                None => self.hammock(a, depth - 1),
+                // If-converted nesting: a guarded unc compare computes
+                // the inner condition only on the live path, then both
+                // inner arms are guarded by its targets.
+                Some(qp) => {
+                    let (ipt, ipf) = self.pr_pair();
+                    let rel = self.rel();
+                    let (s1, s2) = (self.gr(), self.operand());
+                    a.pred(qp);
+                    a.cmp(CmpType::Unc, rel, ipt, ipf, s1, s2);
+                    for _ in 0..self.rng.range_i64(1, 3) {
+                        self.scalar_op(a, Some(ipt));
+                    }
+                    for _ in 0..self.rng.range_i64(1, 3) {
+                        self.scalar_op(a, Some(ipf));
+                    }
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, a: &mut Asm) {
+        match self.rng.range_i64(0, 5) {
+            0 => self.alu_block(a),
+            1 => self.cmp_chain(a),
+            2 => self.same_bundle_pair(a),
+            3 => self.mem_block(a),
+            _ => self.hammock(a, 1),
+        }
+    }
+}
+
+/// Folds `(seed, iter, form)` into one RNG seed (splitmix-style mixing
+/// so nearby iters land on unrelated streams).
+fn mix(seed: u64, iter: u64, form: Form) -> u64 {
+    let mut x = seed
+        ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ if form == Form::IfConverted {
+            0x5851_F42D_4C95_7F2D
+        } else {
+            0
+        };
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 31)
+}
+
+/// Generates the torture program for one `(seed, iter, form)` cell.
+///
+/// The result always passes [`Program::validate`] and always halts under
+/// the reference emulator within [`crate::oracle::MAX_REF_STEPS`] steps.
+pub fn generate(seed: u64, iter: u64, form: Form) -> Program {
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(mix(seed, iter, form)),
+        form,
+    };
+    let mut a = Asm::new();
+
+    // Initial state: pointers, random scratch values, and a data buffer
+    // that spans the page boundary the straddle pointer sits under.
+    a.init_gr(r_buf(), DATA_BASE as i64);
+    a.init_gr(r_straddle(), STRADDLE_BASE as i64);
+    for r in GR_LO..=GR_HI {
+        a.init_gr(Gr::new(r), g.rng.range_i64(-1_000_000, 1_000_000));
+    }
+    for r in FR_LO..=FR_HI {
+        a.init_fr(Fr::new(r), g.rng.range_f64(-1000.0, 1000.0));
+    }
+    let bytes: Vec<u8> = (0..192).map(|_| g.rng.next_u64() as u8).collect();
+    a.data(DataSegment {
+        addr: DATA_BASE,
+        bytes: bytes[..128].to_vec(),
+    });
+    a.data(DataSegment {
+        addr: STRADDLE_BASE - 32,
+        bytes: bytes[128..].to_vec(),
+    });
+
+    // Counted loop around the random body: the counter and its compare
+    // are unguarded, so the back-edge trip count is bounded by
+    // construction no matter what the body does.
+    let trips = g.rng.range_i64(2, 6);
+    let (p_loop, p_loop_not) = p_loop();
+    a.movi(r_count(), trips);
+    let top = a.new_label();
+    a.bind(top);
+    for _ in 0..g.rng.range_i64(2, 6) {
+        g.block(&mut a);
+    }
+    a.addi(r_count(), r_count(), -1);
+    a.cmp(
+        CmpType::Unc,
+        CmpRel::Gt,
+        p_loop,
+        p_loop_not,
+        r_count(),
+        0i64,
+    );
+    a.pred(p_loop).br(top);
+    a.halt();
+
+    a.assemble()
+        .expect("generated programs are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim_isa::Machine;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0xC0FFEE, 7, Form::Branchy);
+        let b = generate(0xC0FFEE, 7, Form::Branchy);
+        assert_eq!(a.listing(), b.listing());
+        let c = generate(0xC0FFEE, 8, Form::Branchy);
+        assert_ne!(a.listing(), c.listing());
+        let d = generate(0xC0FFEE, 7, Form::IfConverted);
+        assert_ne!(a.listing(), d.listing());
+    }
+
+    #[test]
+    fn programs_validate_and_halt() {
+        for iter in 0..50 {
+            for form in Form::ALL {
+                let p = generate(1, iter, form);
+                p.validate().unwrap();
+                let mut m = Machine::new(&p);
+                let out = m
+                    .run(crate::oracle::MAX_REF_STEPS)
+                    .unwrap_or_else(|e| panic!("iter {iter} {form:?}: emulator error {e}"));
+                assert_eq!(
+                    out.reason,
+                    ppsim_isa::StopReason::Halted,
+                    "iter {iter} {form:?} did not halt in {} steps",
+                    out.steps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn programs_exercise_the_hard_cases() {
+        let mut preds = 0u32;
+        let mut cmps = 0u32;
+        let mut branches = 0u32;
+        let mut mems = 0u32;
+        for iter in 0..20 {
+            for form in Form::ALL {
+                let p = generate(2, iter, form);
+                preds += p.count_insns(|i| i.is_predicated()) as u32;
+                cmps += p.count_insns(|i| i.is_cmp()) as u32;
+                branches += p.count_insns(|i| i.is_cond_branch()) as u32;
+                mems += p.count_insns(|i| i.is_mem()) as u32;
+            }
+        }
+        assert!(preds > 100, "predicated insns: {preds}");
+        assert!(cmps > 100, "compares: {cmps}");
+        assert!(branches > 20, "conditional branches: {branches}");
+        assert!(mems > 20, "memory ops: {mems}");
+    }
+
+    #[test]
+    fn listings_reparse_to_the_same_program() {
+        for iter in 0..10 {
+            for form in Form::ALL {
+                let p = generate(3, iter, form);
+                let reparsed = ppsim_isa::parse_program(&p.listing()).unwrap();
+                assert_eq!(p.listing(), reparsed.listing(), "iter {iter} {form:?}");
+            }
+        }
+    }
+}

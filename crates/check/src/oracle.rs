@@ -1,0 +1,524 @@
+//! The lockstep differential oracle.
+//!
+//! [`check_program`] runs one program through the architectural emulator
+//! (`ppsim_isa::Machine`) to establish ground truth, then through the
+//! timing pipeline under every scheme × predication-model cell, and
+//! diffs committed effects: dynamic instruction count, final PC, every
+//! architectural register file, and memory at every stored-to address.
+//! On top of the architectural diff it pins the cross-scheme invariants
+//! that must hold for *any* program:
+//!
+//! * stall-bucket conservation — every cycle charged to exactly one
+//!   bucket (`stall.total() == cycles`),
+//! * stage monotonicity — `fetched >= renamed >= committed`,
+//! * flush accounting — every flush-replayed instruction traces back to
+//!   a mispredict or predication flush
+//!   (`fetched - committed <= mispredicts + predication_flushes`),
+//! * early resolution is exact — a branch that consumed a computed
+//!   predicate at rename never flushes (§3.2),
+//! * the oracle-final ideal predictor never mispredicts.
+//!
+//! A simulator panic is caught and reported as a divergence rather than
+//! tearing down the whole fuzz run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ppsim_isa::{ExecInfo, Fr, Gr, Machine, Pr, Program};
+use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions, TestFault};
+
+/// Step budget for the reference emulator run. Generated programs halt
+/// within a few thousand steps; hitting this bound means the *generator*
+/// is broken, which is itself reported as a divergence.
+pub const MAX_REF_STEPS: u64 = 200_000;
+
+/// One point of the check grid: a scheme, a predication model, and
+/// whether the ideal-conventional predictor runs in oracle-final mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Branch-prediction organization.
+    pub scheme: SchemeSpec,
+    /// How if-converted code is handled.
+    pub predication: PredicationModel,
+    /// Oracle-exact final direction (ideal-conventional only).
+    pub oracle_final: bool,
+}
+
+impl Cell {
+    /// The full grid: every scheme × {cmov, selective}, plus the
+    /// oracle-final ideal-conventional cell (11 cells).
+    pub fn grid() -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for scheme in SchemeSpec::ALL {
+            for predication in [PredicationModel::Cmov, PredicationModel::Selective] {
+                cells.push(Cell {
+                    scheme,
+                    predication,
+                    oracle_final: false,
+                });
+            }
+        }
+        cells.push(Cell {
+            scheme: SchemeSpec::IdealConventional,
+            predication: PredicationModel::Selective,
+            oracle_final: true,
+        });
+        cells
+    }
+
+    /// Human-readable cell label (`predicate/selective`,
+    /// `ideal-conventional/selective/oracle`, ...).
+    pub fn label(&self) -> String {
+        let model = match self.predication {
+            PredicationModel::Cmov => "cmov",
+            PredicationModel::Selective => "selective",
+        };
+        if self.oracle_final {
+            format!("{}/{model}/oracle", self.scheme.name())
+        } else {
+            format!("{}/{model}", self.scheme.name())
+        }
+    }
+}
+
+/// What went wrong in one cell (or in the reference run).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DivergenceKind {
+    /// The reference emulator did not halt within [`MAX_REF_STEPS`].
+    RefDidNotHalt {
+        /// Steps executed before giving up.
+        steps: u64,
+    },
+    /// The reference emulator reported a malformed program.
+    RefError {
+        /// The emulator's error message.
+        message: String,
+    },
+    /// The timing simulator panicked.
+    SimPanicked {
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+    /// The simulator failed to commit the halt within the step budget.
+    SimDidNotHalt {
+        /// Instructions it did commit.
+        committed: u64,
+    },
+    /// Committed dynamic instruction counts disagree.
+    StepMismatch {
+        /// Simulator machine steps.
+        sim: u64,
+        /// Reference machine steps.
+        reference: u64,
+    },
+    /// A register differs between the two machines after the run.
+    RegisterMismatch {
+        /// `r5 = 3 vs 4`-style description of the first mismatch.
+        detail: String,
+    },
+    /// A stored-to memory word differs between the two machines.
+    MemoryMismatch {
+        /// Byte address of the mismatching word.
+        addr: u64,
+        /// Simulator value.
+        sim: u64,
+        /// Reference value.
+        reference: u64,
+    },
+    /// Stall buckets do not sum to the cycle count.
+    StallLeak {
+        /// Sum over all buckets.
+        total: u64,
+        /// The run's cycle count.
+        cycles: u64,
+    },
+    /// `fetched >= renamed >= committed` violated.
+    StageOrder {
+        /// Fetch-stage events.
+        fetched: u64,
+        /// Rename-stage events.
+        renamed: u64,
+        /// Commits.
+        committed: u64,
+    },
+    /// More flush-replayed instructions than flush causes.
+    FlushAccounting {
+        /// Fetch-stage events.
+        fetched: u64,
+        /// Commits.
+        committed: u64,
+        /// Branch mispredict flushes.
+        mispredicts: u64,
+        /// Predicate-speculation flushes.
+        predication_flushes: u64,
+    },
+    /// An early-resolved branch flushed (§3.2 forbids this).
+    EarlyResolveMispredict {
+        /// Offending branch count.
+        count: u64,
+    },
+    /// The oracle-final ideal predictor mispredicted.
+    OracleMispredict {
+        /// Mispredict count (must be zero).
+        mispredicts: u64,
+    },
+}
+
+impl std::fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergenceKind::RefDidNotHalt { steps } => {
+                write!(f, "reference emulator did not halt within {steps} steps")
+            }
+            DivergenceKind::RefError { message } => {
+                write!(f, "reference emulator error: {message}")
+            }
+            DivergenceKind::SimPanicked { message } => {
+                write!(f, "simulator panicked: {message}")
+            }
+            DivergenceKind::SimDidNotHalt { committed } => {
+                write!(f, "simulator stalled after committing {committed}")
+            }
+            DivergenceKind::StepMismatch { sim, reference } => {
+                write!(f, "executed {sim} dynamic insns, reference executed {reference}")
+            }
+            DivergenceKind::RegisterMismatch { detail } => {
+                write!(f, "final register state diverged: {detail}")
+            }
+            DivergenceKind::MemoryMismatch {
+                addr,
+                sim,
+                reference,
+            } => write!(
+                f,
+                "memory diverged at {addr:#x}: {sim:#x} vs reference {reference:#x}"
+            ),
+            DivergenceKind::StallLeak { total, cycles } => {
+                write!(f, "stall buckets sum to {total}, cycles = {cycles}")
+            }
+            DivergenceKind::StageOrder {
+                fetched,
+                renamed,
+                committed,
+            } => write!(
+                f,
+                "stage counters out of order: fetched {fetched}, renamed {renamed}, committed {committed}"
+            ),
+            DivergenceKind::FlushAccounting {
+                fetched,
+                committed,
+                mispredicts,
+                predication_flushes,
+            } => write!(
+                f,
+                "{} flush replays but only {} flush causes ({mispredicts} mispredicts + {predication_flushes} predication flushes)",
+                fetched - committed,
+                mispredicts + predication_flushes
+            ),
+            DivergenceKind::EarlyResolveMispredict { count } => {
+                write!(f, "{count} early-resolved branches flushed")
+            }
+            DivergenceKind::OracleMispredict { mispredicts } => {
+                write!(f, "oracle-final predictor mispredicted {mispredicts} branches")
+            }
+        }
+    }
+}
+
+/// A divergence pinned to the cell that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// [`Cell::label`] of the failing cell (`"reference"` when the
+    /// reference run itself failed).
+    pub cell: String,
+    /// What diverged.
+    pub kind: DivergenceKind,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.cell, self.kind)
+    }
+}
+
+/// Ground truth from the reference emulator: final machine state plus
+/// the set of addresses any store touched.
+struct Reference {
+    machine: Machine,
+    store_addrs: Vec<u64>,
+}
+
+fn reference_run(program: &Program) -> Result<Reference, Divergence> {
+    let mut machine = Machine::new(program);
+    let mut store_addrs = Vec::new();
+    let fail = |kind| {
+        Err(Divergence {
+            cell: "reference".to_string(),
+            kind,
+        })
+    };
+    for _ in 0..MAX_REF_STEPS {
+        match machine.step() {
+            Ok(Some(rec)) => {
+                if rec.insn.is_store() {
+                    if let ExecInfo::Mem { addr } = rec.info {
+                        store_addrs.push(addr);
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                return fail(DivergenceKind::RefError {
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    if !machine.is_halted() {
+        return fail(DivergenceKind::RefDidNotHalt {
+            steps: machine.steps(),
+        });
+    }
+    store_addrs.sort_unstable();
+    store_addrs.dedup();
+    Ok(Reference {
+        machine,
+        store_addrs,
+    })
+}
+
+/// Diffs every architectural register file between the two machines,
+/// returning a description of the first mismatch.
+fn diff_registers(sim: &Machine, reference: &Machine) -> Option<String> {
+    for i in 1..u8::MAX {
+        let Some(r) = Gr::try_new(i) else { break };
+        if sim.gr(r) != reference.gr(r) {
+            return Some(format!("{r} = {} vs {}", sim.gr(r), reference.gr(r)));
+        }
+    }
+    for i in 1..u8::MAX {
+        let Some(r) = Fr::try_new(i) else { break };
+        if sim.fr(r).to_bits() != reference.fr(r).to_bits() {
+            return Some(format!("{r} = {} vs {}", sim.fr(r), reference.fr(r)));
+        }
+    }
+    for i in 1..u8::MAX {
+        let Some(r) = Pr::try_new(i) else { break };
+        if sim.pr(r) != reference.pr(r) {
+            return Some(format!("{r} = {} vs {}", sim.pr(r), reference.pr(r)));
+        }
+    }
+    None
+}
+
+/// Runs one cell against the reference and returns its first divergence.
+fn check_cell(
+    program: &Program,
+    reference: &Reference,
+    cell: Cell,
+    fault: Option<TestFault>,
+) -> Result<(), Divergence> {
+    let fail = |kind| {
+        Err(Divergence {
+            cell: cell.label(),
+            kind,
+        })
+    };
+    let mut opts = SimOptions::new(cell.scheme, cell.predication);
+    if cell.oracle_final {
+        opts = opts.oracle_final(true);
+    }
+    if let Some(f) = fault {
+        opts = opts.test_fault(f);
+    }
+    let mut sim = match opts.build(program) {
+        Ok(s) => s,
+        Err(e) => {
+            return fail(DivergenceKind::SimPanicked {
+                message: format!("build failed: {e}"),
+            })
+        }
+    };
+
+    let budget = reference.machine.steps() + 8;
+    let run = match catch_unwind(AssertUnwindSafe(|| sim.run(budget))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return fail(DivergenceKind::SimPanicked { message });
+        }
+    };
+    let s = &run.stats;
+
+    // Architectural diff against the reference machine.
+    if !run.halted {
+        return fail(DivergenceKind::SimDidNotHalt {
+            committed: s.committed,
+        });
+    }
+    let machine = sim.machine();
+    if machine.steps() != reference.machine.steps() {
+        return fail(DivergenceKind::StepMismatch {
+            sim: machine.steps(),
+            reference: reference.machine.steps(),
+        });
+    }
+    if let Some(detail) = diff_registers(machine, &reference.machine) {
+        return fail(DivergenceKind::RegisterMismatch { detail });
+    }
+    for &addr in &reference.store_addrs {
+        let (got, want) = (
+            machine.mem().read_u64(addr),
+            reference.machine.mem().read_u64(addr),
+        );
+        if got != want {
+            return fail(DivergenceKind::MemoryMismatch {
+                addr,
+                sim: got,
+                reference: want,
+            });
+        }
+    }
+
+    // Cross-scheme timing invariants.
+    if s.stall.total() != s.cycles {
+        return fail(DivergenceKind::StallLeak {
+            total: s.stall.total(),
+            cycles: s.cycles,
+        });
+    }
+    if s.fetched < s.renamed || s.renamed < s.committed {
+        return fail(DivergenceKind::StageOrder {
+            fetched: s.fetched,
+            renamed: s.renamed,
+            committed: s.committed,
+        });
+    }
+    if s.fetched - s.committed > s.mispredicts + s.predication_flushes {
+        return fail(DivergenceKind::FlushAccounting {
+            fetched: s.fetched,
+            committed: s.committed,
+            mispredicts: s.mispredicts,
+            predication_flushes: s.predication_flushes,
+        });
+    }
+    if s.early_resolved_mispredicts != 0 {
+        return fail(DivergenceKind::EarlyResolveMispredict {
+            count: s.early_resolved_mispredicts,
+        });
+    }
+    if cell.oracle_final && s.mispredicts != 0 {
+        return fail(DivergenceKind::OracleMispredict {
+            mispredicts: s.mispredicts,
+        });
+    }
+    Ok(())
+}
+
+/// Checks `program` across the whole cell grid, returning the number of
+/// cells verified or the first divergence.
+///
+/// `fault` injects a deliberate predictor fault into every cell (inert
+/// where inapplicable) — the self-test proving the oracle has teeth.
+pub fn check_program(program: &Program, fault: Option<TestFault>) -> Result<u64, Divergence> {
+    let reference = reference_run(program)?;
+    let mut cells = 0;
+    for cell in Cell::grid() {
+        check_cell(program, &reference, cell, fault)?;
+        cells += 1;
+    }
+    Ok(cells)
+}
+
+/// Re-checks only `cell` (the shrinker's cheap predicate: one cell
+/// instead of eleven per candidate).
+pub fn check_single_cell(
+    program: &Program,
+    cell: Cell,
+    fault: Option<TestFault>,
+) -> Result<(), Divergence> {
+    let reference = reference_run(program)?;
+    check_cell(program, &reference, cell, fault)
+}
+
+/// Finds the grid cell whose [`Cell::label`] matches `label`.
+pub fn cell_by_label(label: &str) -> Option<Cell> {
+    Cell::grid().into_iter().find(|c| c.label() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Form};
+    use ppsim_isa::Asm;
+
+    #[test]
+    fn grid_covers_all_schemes_and_models() {
+        let grid = Cell::grid();
+        assert_eq!(grid.len(), 11);
+        for scheme in SchemeSpec::ALL {
+            assert!(grid.iter().any(|c| c.scheme == scheme));
+        }
+        assert_eq!(grid.iter().filter(|c| c.oracle_final).count(), 1);
+        for cell in &grid {
+            assert_eq!(cell_by_label(&cell.label()), Some(*cell));
+        }
+    }
+
+    #[test]
+    fn trivial_program_passes_everywhere() {
+        let mut a = Asm::new();
+        a.movi(ppsim_isa::Gr::new(4), 7);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(check_program(&p, None), Ok(11));
+    }
+
+    #[test]
+    fn generated_programs_pass_without_faults() {
+        for iter in 0..5 {
+            for form in Form::ALL {
+                let p = generate(0xBEEF, iter, form);
+                if let Err(d) = check_program(&p, None) {
+                    panic!("iter {iter} {form:?}: {d}\n{}", p.listing());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_oracle_fault_is_caught() {
+        // A program with at least one dynamic conditional branch.
+        let p = generate(0xBEEF, 0, Form::Branchy);
+        let d = check_program(&p, Some(TestFault::InvertOracle))
+            .expect_err("the inverted oracle must be detected");
+        assert!(
+            matches!(d.kind, DivergenceKind::OracleMispredict { .. }),
+            "{d}"
+        );
+        assert!(d.cell.ends_with("/oracle"), "{}", d.cell);
+    }
+
+    #[test]
+    fn injected_early_resolve_fault_is_caught() {
+        let mut found = false;
+        for iter in 0..10 {
+            let p = generate(0xBEEF, iter, Form::Branchy);
+            if let Err(d) = check_program(&p, Some(TestFault::InvertEarlyResolve)) {
+                assert!(
+                    matches!(d.kind, DivergenceKind::EarlyResolveMispredict { .. }),
+                    "{d}"
+                );
+                found = true;
+                break;
+            }
+        }
+        assert!(
+            found,
+            "no generated program exercised an early-resolved branch"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Greedy test-case minimization.
+//!
+//! [`shrink`] takes a failing program and a failure predicate and
+//! repeatedly tries to make the program smaller while preserving the
+//! failure: chunked instruction removal (delta-debugging style, chunk
+//! sizes halving from n/2 down to 1), nop substitution for instructions
+//! that survive removal, and finally dropping data segments and register
+//! initializers. Branch targets are remapped across every removal and
+//! each candidate must still pass [`Program::validate`], so the result
+//! is always a well-formed, reparseable program.
+
+use ppsim_isa::{Insn, Op, Program};
+
+/// Caps predicate evaluations so a pathological failure cannot stall the
+/// fuzz loop; the minimized program is still failing, just maybe not
+/// globally minimal.
+pub const DEFAULT_MAX_EVALS: usize = 2_000;
+
+/// Removes `insns[lo..hi]`, remapping branch targets: targets past the
+/// hole shift down, targets into the hole land on its lower edge.
+/// Returns `None` when the result is empty or fails validation.
+fn remove_range(program: &Program, lo: usize, hi: usize) -> Option<Program> {
+    let removed = (hi - lo) as u32;
+    let mut insns: Vec<Insn> = Vec::with_capacity(program.insns.len() - (hi - lo));
+    for (i, insn) in program.insns.iter().enumerate() {
+        if (lo..hi).contains(&i) {
+            continue;
+        }
+        let mut insn = *insn;
+        if let Op::Br { target } = &mut insn.op {
+            if *target >= hi as u32 {
+                *target -= removed;
+            } else if *target >= lo as u32 {
+                *target = lo as u32;
+            }
+        }
+        insns.push(insn);
+    }
+    if insns.is_empty() {
+        return None;
+    }
+    let candidate = Program {
+        insns,
+        data: program.data.clone(),
+        gr_init: program.gr_init.clone(),
+        fr_init: program.fr_init.clone(),
+    };
+    candidate.validate().ok().map(|_| candidate)
+}
+
+/// Budgeted wrapper around the caller's failure predicate.
+struct Budget<'a> {
+    fails: &'a mut dyn FnMut(&Program) -> bool,
+    evals_left: usize,
+}
+
+impl Budget<'_> {
+    fn still_fails(&mut self, candidate: &Program) -> bool {
+        if self.evals_left == 0 {
+            return false;
+        }
+        self.evals_left -= 1;
+        (self.fails)(candidate)
+    }
+}
+
+/// Minimizes `program` while `fails` keeps returning `true`.
+///
+/// `fails(program)` must be `true` on entry (the caller found the
+/// failure); the returned program also satisfies it unless the
+/// `max_evals` budget ran out mid-pass, in which case the best program
+/// seen so far is returned. The predicate should check for the *same*
+/// divergence that was originally observed, or the shrinker may slide
+/// onto a different bug.
+pub fn shrink(
+    program: &Program,
+    max_evals: usize,
+    mut fails: impl FnMut(&Program) -> bool,
+) -> Program {
+    let mut budget = Budget {
+        fails: &mut fails,
+        evals_left: max_evals,
+    };
+    let mut current = program.clone();
+
+    // Pass 1: chunked removal, halving the chunk until single
+    // instructions, restarting a size whenever a removal lands.
+    let mut chunk = (current.insns.len() / 2).max(1);
+    loop {
+        let mut lo = 0;
+        while lo < current.insns.len() {
+            let hi = (lo + chunk).min(current.insns.len());
+            match remove_range(&current, lo, hi) {
+                Some(cand) if budget.still_fails(&cand) => {
+                    current = cand; // retry the same offset at the new length
+                }
+                _ => lo += chunk,
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Pass 2: neutralize surviving instructions in place (keeps branch
+    // targets stable, strips operand complexity).
+    for i in 0..current.insns.len() {
+        if matches!(current.insns[i].op, Op::Nop | Op::Halt) {
+            continue;
+        }
+        let mut cand = current.clone();
+        cand.insns[i] = Insn::new(Op::Nop);
+        if cand.validate().is_ok() && budget.still_fails(&cand) {
+            current = cand;
+        }
+    }
+
+    // Pass 3: drop initial state that the failure does not depend on.
+    if !current.data.is_empty() {
+        let mut cand = current.clone();
+        cand.data.clear();
+        if budget.still_fails(&cand) {
+            current = cand;
+        }
+    }
+    if !current.gr_init.is_empty() {
+        let mut cand = current.clone();
+        cand.gr_init.clear();
+        if budget.still_fails(&cand) {
+            current = cand;
+        }
+    }
+    if !current.fr_init.is_empty() {
+        let mut cand = current.clone();
+        cand.fr_init.clear();
+        if budget.still_fails(&cand) {
+            current = cand;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim_isa::{AluKind, Asm, CmpRel, CmpType, Gr, Pr};
+
+    /// Builds a 30-instruction program with one `mul` buried inside.
+    fn haystack() -> Program {
+        let mut a = Asm::new();
+        a.init_gr(Gr::new(9), 3);
+        for i in 0..12 {
+            a.addi(Gr::new(8), Gr::new(8), i);
+        }
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Lt,
+            Pr::new(1),
+            Pr::new(2),
+            Gr::new(8),
+            100i64,
+        );
+        let end = a.new_label();
+        a.pred(Pr::new(2)).br(end);
+        a.alu(AluKind::Mul, Gr::new(10), Gr::new(9), Gr::new(9));
+        a.bind(end);
+        for _ in 0..12 {
+            a.nop();
+        }
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_the_interesting_instruction() {
+        let p = haystack();
+        let has_mul = |p: &Program| {
+            p.count_insns(|i| {
+                matches!(
+                    i.op,
+                    Op::Alu {
+                        kind: AluKind::Mul,
+                        ..
+                    }
+                )
+            }) > 0
+        };
+        assert!(has_mul(&p));
+        let small = shrink(&p, DEFAULT_MAX_EVALS, has_mul);
+        assert!(has_mul(&small));
+        small.validate().unwrap();
+        assert!(
+            small.insns.len() <= 2,
+            "expected mul(+halt) only, got:\n{}",
+            small.listing()
+        );
+        assert!(small.gr_init.is_empty() && small.data.is_empty());
+    }
+
+    #[test]
+    fn branch_targets_survive_removal() {
+        let p = haystack();
+        // Keep the branch: every candidate must still validate, so the
+        // target is remapped rather than dangling.
+        let has_branch = |p: &Program| p.count_insns(|i| i.is_branch()) > 0;
+        let small = shrink(&p, DEFAULT_MAX_EVALS, has_branch);
+        assert!(has_branch(&small));
+        small.validate().unwrap();
+        assert!(small.insns.len() <= 2, "{}", small.listing());
+    }
+
+    #[test]
+    fn exhausted_budget_returns_last_good() {
+        let p = haystack();
+        let small = shrink(&p, 3, |p: &Program| p.count_insns(|i| i.is_branch()) > 0);
+        // Only three candidate evaluations: still failing, maybe large.
+        assert!(small.count_insns(|i| i.is_branch()) > 0);
+        small.validate().unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Workspace-level checks that span crate boundaries.
+//!
+//! The unit tests inside `ppsim-predictors` pin `LocalHistoryTable::index_of`
+//! against a hand-rolled copy of the slot layout to stay dependency-free;
+//! this suite closes the loop with the real `ppsim_isa::Program::pc_of`, and
+//! exercises the whole check pipeline end to end (clean sweep, fault
+//! injection, repro reparsing).
+
+use ppsim_check::{run_check, CheckOptions};
+use ppsim_isa::{parse_program, Program};
+use ppsim_pipeline::TestFault;
+use ppsim_predictors::LocalHistoryTable;
+
+/// Cross-crate regression promised by the `index_of` doc comment: with the
+/// genuine 16-byte slot spacing of `Program::pc_of`, adjacent instruction
+/// slots must map to *distinct, consecutive* local-history entries for any
+/// table size.
+#[test]
+fn adjacent_program_slots_never_alias_in_the_local_history_table() {
+    for entries in [64usize, 256, 1024] {
+        let t = LocalHistoryTable::new(entries, 10);
+        for i in 0..2 * entries as u32 {
+            let a = t.index_of(Program::pc_of(i));
+            let b = t.index_of(Program::pc_of(i + 1));
+            assert_ne!(
+                a,
+                b,
+                "slots {i} and {} alias in a {entries}-entry table",
+                i + 1
+            );
+            assert_eq!(
+                b,
+                (a + 1) & (t.len() - 1),
+                "slots {i} and {} are not consecutive entries",
+                i + 1
+            );
+        }
+    }
+}
+
+/// A seeded sweep over generated programs finds no divergences between the
+/// timing model and the architectural emulator.
+#[test]
+fn seeded_sweep_is_clean() {
+    let opts = CheckOptions {
+        seed: 0xC0FFEE,
+        iters: 10,
+        use_cache: false,
+        ..CheckOptions::default()
+    };
+    let report = run_check(&opts);
+    assert!(
+        report.passed(),
+        "unexpected divergences:\n{}",
+        report.table()
+    );
+    assert_eq!(report.programs, 20);
+}
+
+/// A deliberately broken predictor is caught, and the minimized repro is a
+/// short, reparseable `.pisa` listing that still triggers the divergence.
+#[test]
+fn broken_predictor_is_caught_with_a_small_repro() {
+    let opts = CheckOptions {
+        seed: 0xC0FFEE,
+        iters: 3,
+        fault: Some(TestFault::InvertOracle),
+        use_cache: false,
+        ..CheckOptions::default()
+    };
+    let report = run_check(&opts);
+    assert!(!report.passed(), "the injected fault went unnoticed");
+    for f in &report.findings {
+        assert!(
+            f.repro_insns <= 20,
+            "repro for iter {} has {} instructions",
+            f.iter,
+            f.repro_insns
+        );
+        let reparsed = parse_program(&f.repro).expect("repro must reparse");
+        assert_eq!(reparsed.len(), f.repro_insns);
+    }
+}

@@ -87,6 +87,19 @@ pub fn pct(x: f64) -> String {
     format!("{:.2}", x * 100.0)
 }
 
+/// Formats a count with thousands separators (`1234567` → `1,234,567`).
+pub fn count(x: u64) -> String {
+    let digits = x.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
 /// Formats a float with three decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -122,5 +135,9 @@ mod tests {
     fn helpers_format() {
         assert_eq!(pct(0.5), "50.00");
         assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+        assert_eq!(count(1_234_567), "1,234,567");
     }
 }

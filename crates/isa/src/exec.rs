@@ -803,6 +803,86 @@ mod tests {
     }
 
     #[test]
+    fn u64_load_store_crossing_a_page_boundary() {
+        // Program-level (not raw SparseMem) page-straddling access: the
+        // store writes 8 bytes starting 4 bytes before a page boundary;
+        // the load reads them back across the same boundary, and byte
+        // reads confirm each half landed on its own page.
+        let boundary = 1u64 << PAGE_SHIFT;
+        let mut a = Asm::new();
+        a.init_gr(g(1), (boundary - 4) as i64);
+        a.movi(g(2), 0x0102_0304_0506_0708);
+        a.st(g(2), g(1), 0);
+        a.ld(g(3), g(1), 0);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(10).unwrap();
+        assert_eq!(m.gr(g(3)), 0x0102_0304_0506_0708);
+        assert_eq!(m.mem().page_count(), 2, "write touched both pages");
+        // Little-endian: low half below the boundary, high half above.
+        assert_eq!(m.mem().read_u8(boundary - 1), 0x05);
+        assert_eq!(m.mem().read_u8(boundary), 0x04);
+    }
+
+    #[test]
+    fn run_budget_exhaustion_mid_bundle_resumes_exactly() {
+        // Ten single-slot instructions; a budget of 4 stops mid-bundle
+        // (slot 4 of a 3-slot bundle machine) and a later `run` picks up
+        // at the very next slot with no skipped or repeated work.
+        let mut a = Asm::new();
+        for i in 0..9 {
+            a.addi(g(1), g(1), i + 1);
+        }
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(&prog);
+        let out = m.run(4).unwrap();
+        assert_eq!(out.reason, StopReason::BudgetExhausted);
+        assert_eq!(out.steps, 4);
+        assert_eq!(m.pc(), 4, "stopped between bundle boundaries");
+        assert_eq!(m.gr(g(1)), 1 + 2 + 3 + 4);
+        assert!(!m.is_halted());
+
+        let out = m.run(100).unwrap();
+        assert_eq!(out.reason, StopReason::Halted);
+        assert_eq!(out.steps, 6, "remaining five adds plus the halt");
+        assert_eq!(m.gr(g(1)), 45);
+        assert_eq!(m.steps(), 10);
+    }
+
+    #[test]
+    fn predicated_memory_ops_under_false_guard_touch_nothing() {
+        // p1 stays false: the guarded store must not write memory, the
+        // guarded load must not clobber its destination, and both must
+        // record ExecInfo::None (no Mem info) in the trace.
+        let mut a = Asm::new();
+        a.init_gr(g(1), 0x3000);
+        a.movi(g(2), 77);
+        a.movi(g(3), -1);
+        a.cmp(CmpType::Unc, CmpRel::Eq, p(1), p(2), g(2), Operand::imm(0));
+        a.pred(p(1));
+        a.st(g(2), g(1), 0);
+        a.pred(p(1));
+        a.ld(g(3), g(1), 8);
+        a.pred(p(1));
+        a.stf(f(1), g(1), 16);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(&prog);
+        let mut nullified_mem_infos = 0;
+        while let Some(rec) = m.step().unwrap() {
+            if !rec.qp && matches!(rec.info, ExecInfo::Mem { .. }) {
+                nullified_mem_infos += 1;
+            }
+        }
+        assert_eq!(nullified_mem_infos, 0, "false-guard ops record no Mem info");
+        assert_eq!(m.mem().read_u64(0x3000), 0, "store was nullified");
+        assert_eq!(m.gr(g(3)), -1, "load destination untouched");
+        assert_eq!(m.mem().page_count(), 0, "no page was materialized");
+    }
+
+    #[test]
     fn seq_numbers_are_dense() {
         let mut a = Asm::new();
         a.nop();

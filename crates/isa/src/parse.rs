@@ -19,7 +19,7 @@ use std::fmt;
 
 use crate::asm::Asm;
 use crate::insn::{AluKind, CmpRel, CmpType, FpuKind, Operand};
-use crate::program::Program;
+use crate::program::{DataSegment, Program};
 use crate::reg::{Fr, Gr, Pr};
 
 /// A parse failure with its 1-based line number.
@@ -99,6 +99,22 @@ fn parse_ctype(tok: &str, line: usize) -> Result<CmpType, ParseError> {
     })
 }
 
+/// `<lhs> = <rhs>` directive payload split.
+fn split_directive(rest: &str, line: usize) -> Result<(&str, &str), ParseError> {
+    rest.split_once('=')
+        .map(|(l, r)| (l.trim(), r.trim()))
+        .ok_or_else(|| err(line, "directive expects `<target> = <value>`"))
+}
+
+/// A decimal or `0x`-prefixed hexadecimal u64.
+fn parse_u64(tok: &str, line: usize) -> Result<u64, ParseError> {
+    match tok.strip_prefix("0x") {
+        Some(h) => u64::from_str_radix(h, 16),
+        None => tok.parse(),
+    }
+    .map_err(|_| err(line, format!("bad address `{tok}`")))
+}
+
 /// `[rB+off]` → (base, offset).
 fn parse_mem(tok: &str, line: usize) -> Result<(Gr, i64), ParseError> {
     let inner = tok
@@ -144,9 +160,49 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             continue;
         }
 
-        // Label?
+        // Directive? (`.greg`, `.freg`, `.data` — the listing's complete
+        // serialization of initial state.)
+        if let Some(rest) = text.strip_prefix(".greg") {
+            let (reg, value) = split_directive(rest, line)?;
+            let r = parse_gr(reg, line)?;
+            let v = value
+                .parse::<i64>()
+                .map_err(|_| err(line, format!("bad .greg value `{value}`")))?;
+            asm.init_gr(r, v);
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".freg") {
+            let (reg, value) = split_directive(rest, line)?;
+            let r = parse_fr(reg, line)?;
+            let bits = value
+                .strip_prefix("0x")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(|| err(line, format!("bad .freg bits `{value}` (want 0x…)")))?;
+            asm.init_fr(r, f64::from_bits(bits));
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".data") {
+            let (addr, hex) = split_directive(rest, line)?;
+            let addr = parse_u64(addr, line)?;
+            if hex.len() % 2 != 0 {
+                return Err(err(line, "odd number of hex digits in .data"));
+            }
+            let bytes: Option<Vec<u8>> = (0..hex.len() / 2)
+                .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).ok())
+                .collect();
+            let bytes =
+                bytes.ok_or_else(|| err(line, format!("bad hex bytes in .data `{hex}`")))?;
+            asm.data(DataSegment { addr, bytes });
+            continue;
+        }
+
+        // Label? Leading dots are stripped so a definition written
+        // `.L3:` (the disassembler's style) matches a `.L3` reference —
+        // branch references strip them too, and keying the label map on
+        // the dotted form used to make every listing with a branch fail
+        // to reparse with a bogus "label never bound" error.
         if let Some(name) = text.strip_suffix(':') {
-            let l = label_of(&mut asm, name);
+            let l = label_of(&mut asm, name.trim_start_matches('.'));
             asm.bind(l);
             continue;
         }
@@ -353,6 +409,94 @@ mod tests {
         m.run(100).unwrap();
         assert_eq!(m.gr(Gr::new(3)), 7);
         assert_eq!(m.gr(Gr::new(5)), 49);
+    }
+
+    #[test]
+    fn listings_with_branches_reparse() {
+        // Regression: the listing emits label definitions as `.L<slot>:`
+        // and references as `.L<slot>`; the parser used to key the label
+        // map on the dotted definition but the undotted reference, so
+        // any listing containing a branch failed to reparse.
+        let src = r"
+            movl r1 = 3
+        top:
+            add r2 = r2, r1
+            add r1 = r1, -1
+            cmp.unc.gt p1, p2 = r1, 0
+            (p1) br.cond .top
+            halt
+        ";
+        let prog = parse_program(src).unwrap();
+        let listing = prog.listing();
+        assert!(listing.contains(".L1:"), "{listing}");
+        let reparsed = parse_program(&listing).unwrap();
+        assert_eq!(prog.insns, reparsed.insns);
+        assert_eq!(listing, reparsed.listing(), "listing is a fixpoint");
+    }
+
+    #[test]
+    fn directives_round_trip_data_and_register_state() {
+        // A program whose behaviour depends on every directive kind:
+        // initial integer/float registers and a data segment.
+        let mut a = Asm::new();
+        a.data(DataSegment::from_words(0x10000, &[7, -9, 1 << 40]));
+        a.init_gr(Gr::new(2), 0x10000);
+        a.init_gr(Gr::new(3), -5);
+        a.init_fr(Fr::new(1), 2.5);
+        a.ld(Gr::new(4), Gr::new(2), 8);
+        a.add(Gr::new(5), Gr::new(4), Gr::new(3));
+        a.halt();
+        let prog = a.assemble().unwrap();
+
+        let listing = prog.listing();
+        assert!(listing.contains(".greg r2 = 65536"), "{listing}");
+        assert!(listing.contains(".greg r3 = -5"), "{listing}");
+        assert!(listing.contains(".freg f1 = 0x"), "{listing}");
+        assert!(listing.contains(".data 0x10000 = "), "{listing}");
+
+        let reparsed = parse_program(&listing).unwrap();
+        assert_eq!(prog.insns, reparsed.insns);
+        assert_eq!(prog.data, reparsed.data);
+        assert_eq!(prog.gr_init, reparsed.gr_init);
+        assert_eq!(prog.fr_init, reparsed.fr_init);
+
+        // And the reparsed program computes the same result.
+        let mut m = Machine::new(&reparsed);
+        m.run(10).unwrap();
+        assert_eq!(m.gr(Gr::new(4)), -9);
+        assert_eq!(m.gr(Gr::new(5)), -14);
+    }
+
+    #[test]
+    fn data_directive_chunks_long_segments() {
+        // 80 bytes → three .data lines (32 + 32 + 16) at advancing
+        // addresses, all reassembled into equivalent memory contents.
+        let words: Vec<i64> = (0..10).map(|i| i * 1_000_003).collect();
+        let mut a = Asm::new();
+        a.data(DataSegment::from_words(0x2000, &words));
+        a.init_gr(Gr::new(1), 0x2000);
+        a.ld(Gr::new(2), Gr::new(1), 72);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let listing = prog.listing();
+        assert_eq!(listing.matches(".data ").count(), 3, "{listing}");
+
+        let reparsed = parse_program(&listing).unwrap();
+        let mut m = Machine::new(&reparsed);
+        m.run(10).unwrap();
+        assert_eq!(m.gr(Gr::new(2)), 9 * 1_000_003);
+    }
+
+    #[test]
+    fn bad_directives_are_reported_with_lines() {
+        let e = parse_program(".greg r1 = zzz\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains(".greg"), "{e}");
+        let e = parse_program("halt\n.data 0x10 = abc").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("odd number"), "{e}");
+        let e = parse_program(".freg f1 = 1.5\nhalt").unwrap_err();
+        assert!(e.message.contains("0x"), "{e}");
     }
 
     #[test]

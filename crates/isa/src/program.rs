@@ -174,15 +174,43 @@ impl Program {
     }
 
     /// Renders the program as an assembly listing with slot labels.
+    ///
+    /// The listing is a *complete* serialization: initial register values
+    /// and data segments are emitted as `.greg`/`.freg`/`.data` directives
+    /// ahead of the code, so `crate::parse_program` reconstructs an
+    /// equivalent program — the format the differential-check shrinker
+    /// uses for its minimized repro dumps.
     pub fn listing(&self) -> String {
         use std::collections::BTreeSet;
+        let mut out = String::new();
+        for (i, &v) in self.gr_init.iter().enumerate() {
+            if v != 0 {
+                out.push_str(&format!(".greg r{i} = {v}\n"));
+            }
+        }
+        for (i, v) in self.fr_init.iter().enumerate() {
+            if v.to_bits() != 0 {
+                // Bit-exact (decimal text would lose NaN payloads and
+                // signed zeros).
+                out.push_str(&format!(".freg f{i} = 0x{:016x}\n", v.to_bits()));
+            }
+        }
+        for seg in &self.data {
+            for (k, chunk) in seg.bytes.chunks(32).enumerate() {
+                let addr = seg.addr + (k * 32) as u64;
+                out.push_str(&format!(".data 0x{addr:x} = "));
+                for b in chunk {
+                    out.push_str(&format!("{b:02x}"));
+                }
+                out.push('\n');
+            }
+        }
         let mut targets: BTreeSet<u32> = BTreeSet::new();
         for insn in &self.insns {
             if let Some(t) = insn.branch_target() {
                 targets.insert(t);
             }
         }
-        let mut out = String::new();
         for (i, insn) in self.insns.iter().enumerate() {
             if targets.contains(&(i as u32)) {
                 out.push_str(&format!(".L{i}:\n"));

@@ -35,11 +35,11 @@ use ppsim_mem::{Hierarchy, HierarchyConfig};
 use ppsim_obs::{EventKind, EventRing, StallBucket, TraceEvent};
 use ppsim_predictors::{
     BranchPredictor, Gshare, IdealPerceptron, IdealPredicatePredictor, PepPa, PerceptronConfig,
-    PerceptronPredictor, PredicateConfig, PredicatePredictor, Prediction, PredictorSet, SchemeSpec,
+    PerceptronPredictor, PredicatePredictor, Prediction, PredictorSet, SchemeSpec,
 };
 
 use crate::config::{CoreConfig, PredicationModel};
-use crate::options::SimOptions;
+use crate::options::{SimOptions, TestFault};
 use crate::resources::{Pool, UnitSet, WidthLimiter};
 use crate::stats::SimStats;
 
@@ -148,6 +148,10 @@ pub struct Simulator {
     predication: PredicationModel,
     predictors: Predictors,
     shadow: Option<PerceptronPredictor>,
+    // Check-harness knobs: oracle-exact ideal-conventional predictions,
+    // and a deliberate predictor fault to prove the oracle catches one.
+    oracle_final: bool,
+    fault: Option<TestFault>,
 
     // Bandwidth limiters.
     fetch: WidthLimiter,
@@ -227,6 +231,8 @@ impl Simulator {
             shadow: opts
                 .shadow
                 .then(|| PerceptronPredictor::new(PerceptronConfig::paper_148kb())),
+            oracle_final: opts.oracle_final,
+            fault: opts.fault,
             fetch: WidthLimiter::new(cfg.fetch_width),
             rename: WidthLimiter::new(cfg.rename_width),
             commit: WidthLimiter::new(cfg.commit_width),
@@ -276,45 +282,12 @@ impl Simulator {
         self.events.as_ref()
     }
 
-    /// Enables the bounded event trace.
-    #[deprecated(note = "use SimOptions::trace_events")]
-    pub fn with_trace(mut self, capacity: usize) -> Self {
-        self.events = (capacity > 0).then(|| EventRing::new(capacity));
-        self
-    }
-
-    /// The recorded event trace, if tracing was enabled.
-    #[deprecated(note = "use Simulator::events")]
-    pub fn trace(&self) -> Option<&EventRing> {
-        self.events.as_ref()
-    }
-
-    /// Enables the shadow conventional predictor used to attribute gains
-    /// between early resolution and correlation (Figure 6b).
-    #[deprecated(note = "use SimOptions::shadow")]
-    pub fn with_shadow(mut self) -> Self {
-        self.shadow = Some(PerceptronPredictor::new(PerceptronConfig::paper_148kb()));
-        self
-    }
-
-    /// Replaces the second-level conventional predictor's geometry
-    /// (sensitivity sweeps). Silently ignored on other schemes.
-    #[deprecated(note = "use SimOptions::perceptron, which rejects inapplicable overrides")]
-    pub fn with_perceptron_config(mut self, cfg: PerceptronConfig) -> Self {
-        if let Predictors::Conventional { l2, .. } = &mut self.predictors {
-            *l2 = PerceptronPredictor::new(cfg);
-        }
-        self
-    }
-
-    /// Replaces the predicate predictor's geometry (sensitivity sweeps).
-    /// Silently ignored on other schemes.
-    #[deprecated(note = "use SimOptions::predicate, which rejects inapplicable overrides")]
-    pub fn with_predicate_config(mut self, cfg: PredicateConfig) -> Self {
-        if let Predictors::Predicate { pp, .. } = &mut self.predictors {
-            *pp = PredicatePredictor::new(cfg);
-        }
-        self
+    /// The architectural machine state after the committed stream so far:
+    /// registers, predicates and memory exactly as the functional emulator
+    /// left them. The differential check oracle diffs this against an
+    /// independent reference `Machine` run.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
     }
 
     /// Statistics collected so far.
@@ -415,6 +388,7 @@ impl Simulator {
             }
             self.last_iline = iline;
         }
+        self.stats.fetched += 1;
 
         // Fetch-time prediction state for branches.
         let is_cond_branch = insn.is_cond_branch();
@@ -461,6 +435,7 @@ impl Simulator {
             self.rename.redirect(gate);
             r = self.rename.book(0);
         }
+        self.stats.renamed += 1;
 
         // ---- Compare: generate predictions into the PPRF ----
         if insn.is_cmp() {
@@ -547,7 +522,10 @@ impl Simulator {
                 ),
                 Predictors::Predicate { .. } | Predictors::IdealPredicate { .. } => {
                     if guard_known_at_rename {
-                        (guard.value, true, false)
+                        // Fault injection (check harness): corrupt the
+                        // computed guard an early-resolved branch consumes.
+                        let flip = self.fault == Some(TestFault::InvertEarlyResolve);
+                        (guard.value ^ flip, true, false)
                     } else if let Some((pv, _conf)) = guard.pred {
                         if guard.pred_avail <= r {
                             (pv, false, true)
@@ -569,7 +547,17 @@ impl Simulator {
                     }
                 }
                 Predictors::IdealConventional { p } => {
-                    (p.predict_and_train(pc, actual), false, false)
+                    let trained = p.predict_and_train(pc, actual);
+                    let dir = if self.oracle_final {
+                        // Oracle-exact mode (check harness): the final
+                        // direction *is* the outcome, so "zero mispredict
+                        // flushes" holds as a hard invariant — unless the
+                        // injected fault deliberately breaks it.
+                        actual ^ (self.fault == Some(TestFault::InvertOracle))
+                    } else {
+                        trained
+                    };
+                    (dir, false, false)
                 }
             };
             branch_final = Some(final_dir);
@@ -723,6 +711,13 @@ impl Simulator {
                 h.1 += 1;
                 branch_mispredicted = true;
                 self.stats.mispredicts += 1;
+                if branch_early_resolved {
+                    // §3.2: an early-resolved branch consumed the computed
+                    // predicate, so a mismatch is a pipeline bug (or an
+                    // injected check-harness fault). The oracle pins this
+                    // counter to zero.
+                    self.stats.early_resolved_mispredicts += 1;
+                }
                 if branch_used_pprf_pred {
                     // Detected when the producing compare executes: flush
                     // from this branch (the recorded ROB pointer).
@@ -810,6 +805,12 @@ impl Simulator {
             let r2 = f2 + self.cfg.front_stages;
             exec_done = (r2 + 1).max(ready) + lat;
             issue = issue.max(r2 + 1);
+            // The squashed consumer travels fetch and rename a second
+            // time; wrong-path instructions behind it are not modelled
+            // individually (stall-on-mispredict), so these counters track
+            // committed-path stage traffic only.
+            self.stats.fetched += 1;
+            self.stats.renamed += 1;
         }
 
         // ---- Writeback: scoreboard and PPRF updates ----
@@ -1267,6 +1268,67 @@ mod tests {
         let s = &r.stats;
         // Every mispredict must come from a non-early-resolved branch.
         assert!(s.mispredicts <= s.cond_branches - s.early_resolved);
+        assert_eq!(s.early_resolved_mispredicts, 0);
+    }
+
+    #[test]
+    fn stage_counters_are_monotone_and_count_replays() {
+        for scheme in SchemeSpec::ALL {
+            let prog = loop_with_branch(500, true, 30);
+            let mut s = Simulator::new(
+                &prog,
+                scheme,
+                PredicationModel::Selective,
+                CoreConfig::paper(),
+            );
+            let r = s.run(2_000_000);
+            let st = &r.stats;
+            assert!(st.fetched >= st.renamed, "{scheme:?}: {st:?}");
+            assert!(st.renamed >= st.committed, "{scheme:?}");
+            // Committed-path traffic: the excess over `committed` is
+            // exactly the flush-replayed consumers.
+            assert!(
+                st.fetched - st.committed <= st.mispredicts + st.predication_flushes,
+                "{scheme:?}: replays bounded by flush events"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_final_never_mispredicts() {
+        let prog = loop_with_branch(1000, true, 0);
+        let mut s = crate::SimOptions::new(SchemeSpec::IdealConventional, PredicationModel::Cmov)
+            .oracle_final(true)
+            .build(&prog)
+            .unwrap();
+        let r = s.run(2_000_000);
+        assert!(r.halted);
+        assert!(r.stats.cond_branches > 500);
+        assert_eq!(r.stats.mispredicts, 0, "oracle-exact mode cannot miss");
+    }
+
+    #[test]
+    fn injected_faults_trip_the_pinned_invariants() {
+        // InvertOracle: every executed branch now mispredicts.
+        let prog = loop_with_branch(200, true, 0);
+        let mut s = crate::SimOptions::new(SchemeSpec::IdealConventional, PredicationModel::Cmov)
+            .oracle_final(true)
+            .test_fault(TestFault::InvertOracle)
+            .build(&prog)
+            .unwrap();
+        let r = s.run(2_000_000);
+        assert_eq!(r.stats.mispredicts, r.stats.cond_branches);
+
+        // InvertEarlyResolve: early-resolved branches consume a corrupted
+        // guard, so the §3.2 zero-counter moves.
+        let prog = loop_with_branch(200, true, 120);
+        let mut s = crate::SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
+            .test_fault(TestFault::InvertEarlyResolve)
+            .build(&prog)
+            .unwrap();
+        let r = s.run(2_000_000);
+        assert!(r.stats.early_resolved > 0);
+        assert_eq!(r.stats.early_resolved_mispredicts, r.stats.early_resolved);
     }
 
     #[test]

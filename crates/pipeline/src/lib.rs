@@ -50,7 +50,7 @@ mod stats;
 
 pub use crate::core::{RunResult, Simulator};
 pub use config::{CoreConfig, Latencies, PredicationModel};
-pub use options::{SimOptions, SimOptionsError};
+pub use options::{SimOptions, SimOptionsError, TestFault};
 pub use ppsim_obs::{EventKind, EventRing, StallBreakdown, StallBucket, TraceEvent};
 pub use ppsim_predictors::SchemeSpec;
 /// Backwards-compatible alias for [`SchemeSpec`] (the enum moved to

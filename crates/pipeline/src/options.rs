@@ -38,6 +38,26 @@ pub struct SimOptions {
     pub(crate) trace_events: usize,
     pub(crate) perceptron: Option<PerceptronConfig>,
     pub(crate) predicate: Option<PredicateConfig>,
+    pub(crate) oracle_final: bool,
+    pub(crate) fault: Option<TestFault>,
+}
+
+/// A deliberate, test-only predictor fault.
+///
+/// The differential check harness (`ppsim-check`) injects one of these to
+/// prove its oracle actually catches a broken predictor: each variant
+/// violates exactly one invariant the oracle pins. Never set on
+/// measurement runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestFault {
+    /// Inverts the oracle-exact final direction under
+    /// [`SimOptions::oracle_final`], breaking the "oracle predictor ⇒
+    /// zero mispredict flushes" invariant. Inert on other schemes/modes.
+    InvertOracle,
+    /// Inverts the computed guard consumed by early-resolved branches
+    /// (predicate schemes), breaking the §3.2 "early-resolved branches
+    /// never mispredict" invariant. Inert on non-predicate schemes.
+    InvertEarlyResolve,
 }
 
 impl SimOptions {
@@ -52,6 +72,8 @@ impl SimOptions {
             trace_events: 0,
             perceptron: None,
             predicate: None,
+            oracle_final: false,
+            fault: None,
         }
     }
 
@@ -89,6 +111,24 @@ impl SimOptions {
         self
     }
 
+    /// Check-harness mode: the ideal-conventional scheme's final direction
+    /// prediction comes straight from the oracle outcome instead of the
+    /// perfect-history perceptron, making "zero mispredict flushes" an
+    /// exact invariant the differential oracle can pin. Only valid for
+    /// [`SchemeSpec::IdealConventional`]; rejected at `build()`.
+    pub fn oracle_final(mut self, on: bool) -> Self {
+        self.oracle_final = on;
+        self
+    }
+
+    /// Injects a deliberate predictor fault (see [`TestFault`]). Used by
+    /// the check harness to validate that the oracle detects a broken
+    /// predictor; never set on measurement runs.
+    pub fn test_fault(mut self, fault: TestFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Checks option consistency without building.
     pub fn validate(&self) -> Result<(), SimOptionsError> {
         if self.perceptron.is_some() && self.scheme != SchemeSpec::Conventional {
@@ -98,6 +138,11 @@ impl SimOptions {
         }
         if self.predicate.is_some() && self.scheme != SchemeSpec::Predicate {
             return Err(SimOptionsError::PredicateOverride {
+                scheme: self.scheme,
+            });
+        }
+        if self.oracle_final && self.scheme != SchemeSpec::IdealConventional {
+            return Err(SimOptionsError::OracleFinal {
                 scheme: self.scheme,
             });
         }
@@ -127,6 +172,12 @@ pub enum SimOptionsError {
         /// The offending scheme.
         scheme: SchemeSpec,
     },
+    /// Oracle-exact final prediction was requested for a scheme other than
+    /// the ideal-conventional one.
+    OracleFinal {
+        /// The offending scheme.
+        scheme: SchemeSpec,
+    },
 }
 
 impl fmt::Display for SimOptionsError {
@@ -140,6 +191,11 @@ impl fmt::Display for SimOptionsError {
             SimOptionsError::PredicateOverride { scheme } => write!(
                 f,
                 "predicate predictor override only applies to the predicate scheme, not `{}`",
+                scheme.name()
+            ),
+            SimOptionsError::OracleFinal { scheme } => write!(
+                f,
+                "oracle-exact final prediction only applies to the ideal-conventional scheme, not `{}`",
                 scheme.name()
             ),
         }
@@ -185,6 +241,23 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(matches!(err, SimOptionsError::PredicateOverride { .. }));
+    }
+
+    #[test]
+    fn oracle_final_is_ideal_conventional_only() {
+        let err = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
+            .oracle_final(true)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SimOptionsError::OracleFinal { .. }));
+        assert!(err.to_string().contains("ideal-conventional"), "{err}");
+        assert!(
+            SimOptions::new(SchemeSpec::IdealConventional, PredicationModel::Cmov)
+                .oracle_final(true)
+                .test_fault(TestFault::InvertOracle)
+                .build(&halt_program())
+                .is_ok()
+        );
     }
 
     #[test]

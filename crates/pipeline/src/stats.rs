@@ -11,6 +11,17 @@ pub struct SimStats {
     /// Committed instructions (including nullified ones, as in the paper's
     /// "100 million committed instructions").
     pub committed: u64,
+    /// Committed-path fetch events, counting flush-refetches of squashed
+    /// consumers twice (wrong-path fetch is not modelled). Invariant:
+    /// `fetched >= renamed >= committed`.
+    pub fetched: u64,
+    /// Committed-path rename events, counting flush-replays twice.
+    pub renamed: u64,
+    /// Early-resolved branches whose used direction disagreed with the
+    /// outcome. §3.2 makes early resolution always correct, so the
+    /// differential check oracle pins this at zero; it can only move on a
+    /// pipeline bug or an injected `TestFault`.
+    pub early_resolved_mispredicts: u64,
     /// Committed *conditional* branches (the prediction-rate denominator).
     pub cond_branches: u64,
     /// Mispredicted conditional branches (used prediction ≠ outcome).
@@ -104,12 +115,18 @@ impl SimStats {
         let mut m = MetricSet::new();
         m.counter("cycles", self.cycles);
         m.counter("committed", self.committed);
+        m.counter("fetched", self.fetched);
+        m.counter("renamed", self.renamed);
         m.counter("cond_branches", self.cond_branches);
         m.counter("mispredicts", self.mispredicts);
         m.counter("uncond_branches", self.uncond_branches);
         m.counter("compares", self.compares);
         m.counter("early_resolved", self.early_resolved);
         m.counter("early_resolved_saves", self.early_resolved_saves);
+        m.counter(
+            "early_resolved_mispredicts",
+            self.early_resolved_mispredicts,
+        );
         m.counter("shadow_mispredicts", self.shadow_mispredicts);
         m.counter("overrides", self.overrides);
         m.counter("predicate_predictions", self.predicate_predictions);

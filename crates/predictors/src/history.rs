@@ -57,9 +57,17 @@ impl GlobalHistory {
     /// compares fetched in between already consumed the wrong bit and keep
     /// their predictions, but the history itself is repaired so later
     /// predictions see the truth.
-    pub fn fix_recent_bit(&mut self, age: u32, value: bool) {
+    ///
+    /// Returns `true` if the bit was corrected, `false` if it had already
+    /// been shifted out of the window. Out-of-window ages are *legitimate*:
+    /// the pipeline computes `age = pushes_now − pushes_at_prediction`, and
+    /// a §3.3 corruption window longer than the history width means the
+    /// wrong bit is simply gone — callers must treat `false` as "nothing
+    /// left to repair", never as an error.
+    #[must_use = "false means the bit aged out and no repair happened"]
+    pub fn fix_recent_bit(&mut self, age: u32, value: bool) -> bool {
         if age >= self.width {
-            return; // the bit has already been shifted out
+            return false; // the bit has already been shifted out
         }
         let bit = 1u64 << age;
         if value {
@@ -67,14 +75,18 @@ impl GlobalHistory {
         } else {
             self.bits &= !bit;
         }
+        true
     }
 
-    /// The bit recorded `age` pushes ago (0 = most recent).
-    pub fn recent_bit(&self, age: u32) -> bool {
+    /// The bit recorded `age` pushes ago (0 = most recent), or `None` once
+    /// it has been shifted out of the window — mirroring
+    /// [`GlobalHistory::fix_recent_bit`], so a caller cannot mistake an
+    /// aged-out bit for a recorded `false`.
+    pub fn recent_bit(&self, age: u32) -> Option<bool> {
         if age >= self.width {
-            false
+            None
         } else {
-            (self.bits >> age) & 1 == 1
+            Some((self.bits >> age) & 1 == 1)
         }
     }
 
@@ -137,8 +149,17 @@ impl LocalHistoryTable {
     }
 
     /// Table index for an instruction address.
+    ///
+    /// Drops the low 4 bits before masking: instruction slots are exactly
+    /// 16 bytes apart (`Program::pc_of(i) = CODE_BASE + 16·i` in
+    /// `ppsim-isa`), so `pc >> 4` yields *consecutive* indices for
+    /// consecutive slots — compares in adjacent slots can never alias to
+    /// one local-history entry. Shifting by more would fold neighbouring
+    /// slots together; shifting by less would leave index bits constant
+    /// and waste half the table. Pinned by
+    /// `adjacent_slots_never_alias` below and by the cross-crate
+    /// regression in the workspace `checks` test suite.
     pub fn index_of(&self, pc: u64) -> usize {
-        // Drop the low 4 bits (slot spacing) before masking.
         ((pc >> 4) as usize) & self.index_mask
     }
 
@@ -222,22 +243,28 @@ mod tests {
         h.push(false); // age 1
         h.push(false); // age 0
         assert_eq!(h.value(), 0b100);
-        h.fix_recent_bit(2, false);
+        assert!(h.fix_recent_bit(2, false));
         assert_eq!(h.value(), 0b000);
-        h.fix_recent_bit(0, true);
+        assert!(h.fix_recent_bit(0, true));
         assert_eq!(h.value(), 0b001);
-        assert!(h.recent_bit(0));
-        assert!(!h.recent_bit(1));
+        assert_eq!(h.recent_bit(0), Some(true));
+        assert_eq!(h.recent_bit(1), Some(false));
     }
 
     #[test]
-    fn fix_recent_bit_out_of_window_is_noop() {
+    fn fix_recent_bit_out_of_window_reports_aged_out() {
+        // The pipeline's age (global pushes since prediction) legitimately
+        // exceeds the window when a §3.3 corruption window outlives the
+        // history; the repair must report it did nothing rather than
+        // silently "succeed".
         let mut h = GlobalHistory::new(4);
         h.push(true);
         let before = h.value();
-        h.fix_recent_bit(9, false);
+        assert!(!h.fix_recent_bit(9, false), "age 9 ≥ width 4 has aged out");
         assert_eq!(h.value(), before);
-        assert!(!h.recent_bit(9));
+        assert_eq!(h.recent_bit(9), None);
+        assert!(!h.fix_recent_bit(4, false), "age == width is the boundary");
+        assert!(h.fix_recent_bit(3, true), "age == width−1 is still inside");
     }
 
     #[test]
@@ -247,6 +274,26 @@ mod tests {
             h.push(true);
         }
         assert_eq!(h.value(), u64::MAX);
+    }
+
+    #[test]
+    fn width_64_window_boundary() {
+        // The widest legal history: bit 63 is the oldest in-window age;
+        // 64 is the first aged-out one. Exercises the `1 << 63` edge and
+        // the `age >= width` comparison at the u64 limit.
+        let mut h = GlobalHistory::new(64);
+        h.push(true); // will sit at age 63 after 63 more pushes
+        for _ in 0..63 {
+            h.push(false);
+        }
+        assert_eq!(h.recent_bit(63), Some(true));
+        assert_eq!(h.recent_bit(64), None);
+        assert!(h.fix_recent_bit(63, false));
+        assert_eq!(h.value(), 0, "top bit cleared in place");
+        assert!(h.fix_recent_bit(63, true));
+        assert_eq!(h.value(), 1u64 << 63);
+        assert!(!h.fix_recent_bit(64, false), "one past the window");
+        assert_eq!(h.value(), 1u64 << 63);
     }
 
     #[test]
@@ -270,6 +317,29 @@ mod tests {
         // Only the first push to A was undone conceptually; restore is raw.
         assert_eq!(t.read(pc_a), 0);
         assert_ne!(t.index_of(pc_a), t.index_of(pc_b));
+    }
+
+    #[test]
+    fn adjacent_slots_never_alias() {
+        // `pc_of(i) = CODE_BASE + 16·i` (ppsim-isa, mirrored here to keep
+        // this crate dependency-free): `index_of` must map adjacent slots
+        // to distinct entries for every table size, including the
+        // smallest, so back-to-back compares keep separate local
+        // histories.
+        const CODE_BASE: u64 = 0x4000_0000;
+        const SLOT_BYTES: u64 = 16;
+        let pc_of = |slot: u64| CODE_BASE + slot * SLOT_BYTES;
+        for entries in [2usize, 16, 256, 4096] {
+            let t = LocalHistoryTable::new(entries, 8);
+            for i in 0..512u64 {
+                assert_ne!(
+                    t.index_of(pc_of(i)),
+                    t.index_of(pc_of(i + 1)),
+                    "slots {i}/{} alias in a {entries}-entry table",
+                    i + 1
+                );
+            }
+        }
     }
 
     #[test]

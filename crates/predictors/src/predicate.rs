@@ -220,19 +220,26 @@ impl PredicatePredictor {
     /// This is the §3.3 recovery: the flush point is the *consumer*, so
     /// compares between producer and consumer survive with predictions made
     /// on corrupted history; only the history register itself is corrected.
-    pub fn fix_history_bit(&mut self, age: u32, actual: bool) {
-        self.ghr.fix_recent_bit(age, actual);
+    ///
+    /// Returns `false` when the bit has already been shifted out of the
+    /// global history (a corruption window longer than the history width)
+    /// — a legitimate no-repair outcome, mirroring
+    /// [`GlobalHistory::fix_recent_bit`].
+    pub fn fix_history_bit(&mut self, age: u32, actual: bool) -> bool {
+        self.ghr.fix_recent_bit(age, actual)
     }
 
     /// Repairs the *local* history of the producer compare analogously.
-    pub fn fix_local_history_bit(&mut self, lhr_idx: u32, age: u32, actual: bool) {
+    /// Returns `false` when the bit has aged out of the local window.
+    pub fn fix_local_history_bit(&mut self, lhr_idx: u32, age: u32, actual: bool) -> bool {
         if age >= self.lht.width() {
-            return;
+            return false;
         }
         let cur = self.lht.read_at(lhr_idx as usize);
         let bit = 1u32 << age;
         let fixed = if actual { cur | bit } else { cur & !bit };
         self.lht.restore(lhr_idx as usize, fixed);
+        true
     }
 
     /// Full §3.3 history repair for a detected compare misprediction:
@@ -245,12 +252,12 @@ impl PredicatePredictor {
         primary_actual: bool,
         ghr_age: u32,
     ) {
-        self.fix_history_bit(ghr_age, primary_actual);
+        let _ = self.fix_history_bit(ghr_age, primary_actual);
         let idx = prediction.tag.lhr_idx;
         if idx != u32::MAX && prediction.tag.alt > 0 {
             let pushes_since = self.lht_counts[idx as usize] - prediction.tag.alt;
             if pushes_since <= u64::from(u32::MAX) {
-                self.fix_local_history_bit(idx, pushes_since as u32, primary_actual);
+                let _ = self.fix_local_history_bit(idx, pushes_since as u32, primary_actual);
             }
         }
     }

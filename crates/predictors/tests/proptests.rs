@@ -163,9 +163,16 @@ fn history_fix_is_invertible() {
             h.push(*b);
         }
         let before = h.value();
-        let original = h.recent_bit(age);
-        h.fix_recent_bit(age, !original);
-        h.fix_recent_bit(age, original);
+        match h.recent_bit(age) {
+            Some(original) => {
+                assert!(h.fix_recent_bit(age, !original));
+                assert!(h.fix_recent_bit(age, original));
+            }
+            None => {
+                // Aged out: the fix must report so and leave bits alone.
+                assert!(!h.fix_recent_bit(age, true));
+            }
+        }
         assert_eq!(h.value(), before, "case {case}");
     }
 }

@@ -39,9 +39,11 @@ use ppsim_pipeline::SimStats;
 use crate::job::{Job, JobResult};
 
 /// Magic first line; bump the version to invalidate every entry.
-/// v2 added the stall-attribution buckets and the per-branch rows, so
-/// every v1 entry (which lacks them) reads as a miss.
-const HEADER: &str = "ppsim-cache v2";
+/// v2 added the stall-attribution buckets and the per-branch rows; v3
+/// added the committed-path stage counters (`fetched`, `renamed`) and
+/// `early_resolved_mispredicts`, so entries from older versions (which
+/// lack them) read as misses.
+const HEADER: &str = "ppsim-cache v3";
 /// Last line; its absence marks a truncated entry.
 const FOOTER: &str = "end";
 
@@ -205,12 +207,15 @@ fn stat_fields(s: &SimStats) -> Vec<(&'static str, u64)> {
     let mut out = vec![
         ("cycles", s.cycles),
         ("committed", s.committed),
+        ("fetched", s.fetched),
+        ("renamed", s.renamed),
         ("cond_branches", s.cond_branches),
         ("mispredicts", s.mispredicts),
         ("uncond_branches", s.uncond_branches),
         ("compares", s.compares),
         ("early_resolved", s.early_resolved),
         ("early_resolved_saves", s.early_resolved_saves),
+        ("early_resolved_mispredicts", s.early_resolved_mispredicts),
         ("shadow_mispredicts", s.shadow_mispredicts),
         ("overrides", s.overrides),
         ("predicate_predictions", s.predicate_predictions),
@@ -333,12 +338,15 @@ fn set_stat_field(s: &mut SimStats, key: &str, v: u64) -> Option<()> {
     match key {
         "cycles" => s.cycles = v,
         "committed" => s.committed = v,
+        "fetched" => s.fetched = v,
+        "renamed" => s.renamed = v,
         "cond_branches" => s.cond_branches = v,
         "mispredicts" => s.mispredicts = v,
         "uncond_branches" => s.uncond_branches = v,
         "compares" => s.compares = v,
         "early_resolved" => s.early_resolved = v,
         "early_resolved_saves" => s.early_resolved_saves = v,
+        "early_resolved_mispredicts" => s.early_resolved_mispredicts = v,
         "shadow_mispredicts" => s.shadow_mispredicts = v,
         "overrides" => s.overrides = v,
         "predicate_predictions" => s.predicate_predictions = v,

@@ -14,6 +14,8 @@
 //! * [`runner`] — the parallel, cache-aware experiment execution engine,
 //! * [`obs`] — the observability layer: metric registry, stall
 //!   attribution, event tracing,
+//! * [`check`] — the differential cosimulation oracle: fuzzes the timing
+//!   model against the architectural emulator and minimizes divergences,
 //! * [`core`] — configuration, statistics and the experiment harness that
 //!   regenerates every table and figure of the paper.
 //!
@@ -35,6 +37,7 @@
 //! # }
 //! ```
 
+pub use ppsim_check as check;
 pub use ppsim_compiler as compiler;
 pub use ppsim_core as core;
 pub use ppsim_isa as isa;

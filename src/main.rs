@@ -5,6 +5,7 @@
 //! ppsim compile <benchmark> [--ifconv] [--listing]
 //! ppsim bench <benchmark> [--ifconv] [--commits N]
 //! ppsim suite [--jobs N] [--no-cache] [--cache-dir P] [--json P] [--commits N] [--only a,b]
+//! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache]
 //! ppsim list
 //! ```
 //!
@@ -13,20 +14,25 @@
 //! the 22 synthetic benchmarks and prints its listing or statistics,
 //! `bench` simulates one benchmark under every prediction scheme, `suite`
 //! regenerates the paper's full evaluation through the parallel runner,
-//! and `list` prints the benchmark suite.
+//! `check` fuzzes the timing model against the architectural emulator
+//! (the differential cosimulation oracle), and `list` prints the
+//! benchmark suite.
 
 use std::process::ExitCode;
 
+use ppsim::check::{run_check, CheckOptions};
 use ppsim::compiler::{compile, CompileOptions};
 use ppsim::core::{experiments, ExperimentConfig, Json, Runner, RunnerOptions, Table};
 use ppsim::isa::{parse_program, Program};
+use ppsim::pipeline::TestFault;
 use ppsim::prelude::*;
 
 const SCHEMES: &str = "conventional|pep-pa|predicate|ideal-conventional|ideal-predicate";
+const FAULTS: &str = "invert-oracle|invert-early-resolve";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite [--jobs N] [--no-cache] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim list"
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite [--jobs N] [--no-cache] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH]\n  ppsim list"
     );
     ExitCode::FAILURE
 }
@@ -260,6 +266,77 @@ fn main() -> ExitCode {
             }
             eprintln!("suite: {}", runner.telemetry().summary());
             ExitCode::SUCCESS
+        }
+        "check" => {
+            // Differential cosimulation: fuzz the timing model against
+            // the architectural emulator across every scheme ×
+            // predication cell. Exit code 1 on any divergence.
+            let (ropts, rest) = match RunnerOptions::from_args(&flags.args) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("check: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rest_flags = Flags { args: rest };
+            let parse_u64 = |v: &str| -> Option<u64> {
+                match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(h) => u64::from_str_radix(h, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            };
+            let mut opts = CheckOptions {
+                jobs: ropts.jobs,
+                use_cache: ropts.cache,
+                cache_dir: ropts.cache_dir.map(|d| d.join("check")),
+                dump_dir: Some(std::path::PathBuf::from(
+                    rest_flags.value_of("--dump").unwrap_or("check-failures"),
+                )),
+                ..CheckOptions::default()
+            };
+            if let Some(v) = rest_flags.value_of("--seed") {
+                match parse_u64(v) {
+                    Some(s) => opts.seed = s,
+                    None => {
+                        eprintln!("check: bad --seed value `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(v) = rest_flags.value_of("--iters") {
+                match v.parse() {
+                    Ok(n) => opts.iters = n,
+                    Err(_) => {
+                        eprintln!("check: bad --iters value `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(v) = rest_flags.value_of("--fault") {
+                opts.fault = match v {
+                    "invert-oracle" => Some(TestFault::InvertOracle),
+                    "invert-early-resolve" => Some(TestFault::InvertEarlyResolve),
+                    other => {
+                        eprintln!("check: unknown --fault `{other}` (expected {FAULTS})");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            let report = run_check(&opts);
+            if !report.passed() {
+                print!("{}", report.table());
+                for f in &report.findings {
+                    if let Some(p) = &f.repro_path {
+                        eprintln!("check: repro written to {}", p.display());
+                    }
+                }
+            }
+            println!("check: {}", report.summary());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         "list" => {
             let mut t = Table::new(
