@@ -44,7 +44,9 @@ pub use shrink::shrink;
 
 /// Bump to invalidate every cached verdict (generator change, new grid
 /// cell, new invariant — anything that could turn a cached pass stale).
-const VERDICT_VERSION: &str = "ppsim-check v1";
+/// v2: grid cells replay the reference capture instead of running
+/// lockstep (one designated cell keeps the full architectural diff).
+const VERDICT_VERSION: &str = "ppsim-check v2";
 
 /// Configuration for one [`run_check`] sweep.
 #[derive(Clone, Debug)]

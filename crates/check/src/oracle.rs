@@ -1,12 +1,23 @@
-//! The lockstep differential oracle.
+//! The differential oracle.
 //!
 //! [`check_program`] runs one program through the architectural emulator
-//! (`ppsim_isa::Machine`) to establish ground truth, then through the
-//! timing pipeline under every scheme × predication-model cell, and
-//! diffs committed effects: dynamic instruction count, final PC, every
-//! architectural register file, and memory at every stored-to address.
-//! On top of the architectural diff it pins the cross-scheme invariants
-//! that must hold for *any* program:
+//! (`ppsim_isa::Machine`) to establish ground truth — recording the
+//! committed stream into a [`TraceBuffer`] along the way — then through
+//! the timing pipeline under every scheme × predication-model cell.
+//!
+//! One designated cell (the paper's headline predicate/selective point,
+//! see [`Cell::lockstep`]) still carries an inline `Machine` and diffs
+//! committed effects against the reference: dynamic instruction count,
+//! every architectural register file, and memory at every stored-to
+//! address. That cell guards the `Machine`-in-`Simulator` coupling
+//! itself. The remaining cells replay the shared capture — the
+//! architectural stream is then the reference stream *by construction*
+//! (which is exactly the property that makes capture-once/replay-many
+//! sound), so re-diffing it per cell would be redundant; they are
+//! checked against the trace's halt and step count instead.
+//!
+//! On top of the architectural diff every cell pins the cross-scheme
+//! invariants that must hold for *any* program:
 //!
 //! * stall-bucket conservation — every cycle charged to exactly one
 //!   bucket (`stall.total() == cycles`),
@@ -22,9 +33,10 @@
 //! tearing down the whole fuzz run.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-use ppsim_isa::{ExecInfo, Fr, Gr, Machine, Pr, Program};
-use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions, TestFault};
+use ppsim_isa::{ExecInfo, Fr, Gr, Machine, Pr, Program, TraceBuffer};
+use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions, SimStats, TestFault};
 
 /// Step budget for the reference emulator run. Generated programs halt
 /// within a few thousand steps; hitting this bound means the *generator*
@@ -63,6 +75,18 @@ impl Cell {
             oracle_final: true,
         });
         cells
+    }
+
+    /// Whether this cell runs lockstep with an inline `Machine` (full
+    /// architectural register/memory diff against the reference) instead
+    /// of replaying the shared capture. Exactly one grid cell — the
+    /// paper's headline predicate/selective point — keeps lockstep mode,
+    /// guarding the functional/timing coupling that replay cells take as
+    /// given.
+    pub fn lockstep(&self) -> bool {
+        self.scheme == SchemeSpec::Predicate
+            && self.predication == PredicationModel::Selective
+            && !self.oracle_final
     }
 
     /// Human-readable cell label (`predicate/selective`,
@@ -240,16 +264,19 @@ impl std::fmt::Display for Divergence {
     }
 }
 
-/// Ground truth from the reference emulator: final machine state plus
-/// the set of addresses any store touched.
+/// Ground truth from the reference emulator: final machine state, the
+/// set of addresses any store touched, and the committed stream as a
+/// capture every replay cell shares.
 struct Reference {
     machine: Machine,
     store_addrs: Vec<u64>,
+    trace: Arc<TraceBuffer>,
 }
 
 fn reference_run(program: &Program) -> Result<Reference, Divergence> {
     let mut machine = Machine::new(program);
     let mut store_addrs = Vec::new();
+    let mut trace = TraceBuffer::new(program);
     let fail = |kind| {
         Err(Divergence {
             cell: "reference".to_string(),
@@ -264,8 +291,12 @@ fn reference_run(program: &Program) -> Result<Reference, Divergence> {
                         store_addrs.push(addr);
                     }
                 }
+                trace.push(&rec);
             }
-            Ok(None) => break,
+            Ok(None) => {
+                trace.mark_halted();
+                break;
+            }
             Err(e) => {
                 return fail(DivergenceKind::RefError {
                     message: e.to_string(),
@@ -283,6 +314,7 @@ fn reference_run(program: &Program) -> Result<Reference, Divergence> {
     Ok(Reference {
         machine,
         store_addrs,
+        trace: Arc::new(trace),
     })
 }
 
@@ -310,6 +342,52 @@ fn diff_registers(sim: &Machine, reference: &Machine) -> Option<String> {
     None
 }
 
+/// The cross-scheme timing invariants every cell must satisfy,
+/// regardless of whether it ran lockstep or from the shared capture.
+fn timing_invariants(s: &SimStats, cell: Cell) -> Result<(), DivergenceKind> {
+    if s.stall.total() != s.cycles {
+        return Err(DivergenceKind::StallLeak {
+            total: s.stall.total(),
+            cycles: s.cycles,
+        });
+    }
+    if s.fetched < s.renamed || s.renamed < s.committed {
+        return Err(DivergenceKind::StageOrder {
+            fetched: s.fetched,
+            renamed: s.renamed,
+            committed: s.committed,
+        });
+    }
+    if s.fetched - s.committed > s.mispredicts + s.predication_flushes {
+        return Err(DivergenceKind::FlushAccounting {
+            fetched: s.fetched,
+            committed: s.committed,
+            mispredicts: s.mispredicts,
+            predication_flushes: s.predication_flushes,
+        });
+    }
+    if s.early_resolved_mispredicts != 0 {
+        return Err(DivergenceKind::EarlyResolveMispredict {
+            count: s.early_resolved_mispredicts,
+        });
+    }
+    if cell.oracle_final && s.mispredicts != 0 {
+        return Err(DivergenceKind::OracleMispredict {
+            mispredicts: s.mispredicts,
+        });
+    }
+    Ok(())
+}
+
+/// Unwraps a caught panic payload into a printable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// Runs one cell against the reference and returns its first divergence.
 fn check_cell(
     program: &Program,
@@ -330,92 +408,87 @@ fn check_cell(
     if let Some(f) = fault {
         opts = opts.test_fault(f);
     }
-    let mut sim = match opts.build(program) {
-        Ok(s) => s,
-        Err(e) => {
-            return fail(DivergenceKind::SimPanicked {
-                message: format!("build failed: {e}"),
-            })
-        }
-    };
-
     let budget = reference.machine.steps() + 8;
-    let run = match catch_unwind(AssertUnwindSafe(|| sim.run(budget))) {
-        Ok(r) => r,
-        Err(payload) => {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            return fail(DivergenceKind::SimPanicked { message });
-        }
-    };
-    let s = &run.stats;
 
-    // Architectural diff against the reference machine.
+    let (run, machine_steps) = if cell.lockstep() {
+        let mut sim = match opts.build(program) {
+            Ok(s) => s,
+            Err(e) => {
+                return fail(DivergenceKind::SimPanicked {
+                    message: format!("build failed: {e}"),
+                })
+            }
+        };
+        let run = match catch_unwind(AssertUnwindSafe(|| sim.run(budget))) {
+            Ok(r) => r,
+            Err(payload) => {
+                return fail(DivergenceKind::SimPanicked {
+                    message: panic_message(payload),
+                })
+            }
+        };
+
+        // Architectural diff against the reference machine — only this
+        // cell carries an inline machine whose state can drift. Halt and
+        // step-count mismatches are reported by the shared checks below,
+        // so only diff state when both already line up.
+        if run.halted && sim.machine().steps() == reference.machine.steps() {
+            let machine = sim.machine();
+            if let Some(detail) = diff_registers(machine, &reference.machine) {
+                return fail(DivergenceKind::RegisterMismatch { detail });
+            }
+            for &addr in &reference.store_addrs {
+                let (got, want) = (
+                    machine.mem().read_u64(addr),
+                    reference.machine.mem().read_u64(addr),
+                );
+                if got != want {
+                    return fail(DivergenceKind::MemoryMismatch {
+                        addr,
+                        sim: got,
+                        reference: want,
+                    });
+                }
+            }
+        }
+        let steps = sim.machine().steps();
+        (run, steps)
+    } else {
+        let mut sim = match opts.build_replay(Arc::clone(&reference.trace)) {
+            Ok(s) => s,
+            Err(e) => {
+                return fail(DivergenceKind::SimPanicked {
+                    message: format!("build failed: {e}"),
+                })
+            }
+        };
+        let run = match catch_unwind(AssertUnwindSafe(|| sim.run(budget))) {
+            Ok(r) => r,
+            Err(payload) => {
+                return fail(DivergenceKind::SimPanicked {
+                    message: panic_message(payload),
+                })
+            }
+        };
+        // A replay cell consumes the reference stream itself, so its
+        // commit count *is* its architectural step count.
+        let steps = run.stats.committed;
+        (run, steps)
+    };
+
+    let s = &run.stats;
     if !run.halted {
         return fail(DivergenceKind::SimDidNotHalt {
             committed: s.committed,
         });
     }
-    let machine = sim.machine();
-    if machine.steps() != reference.machine.steps() {
+    if machine_steps != reference.machine.steps() {
         return fail(DivergenceKind::StepMismatch {
-            sim: machine.steps(),
+            sim: machine_steps,
             reference: reference.machine.steps(),
         });
     }
-    if let Some(detail) = diff_registers(machine, &reference.machine) {
-        return fail(DivergenceKind::RegisterMismatch { detail });
-    }
-    for &addr in &reference.store_addrs {
-        let (got, want) = (
-            machine.mem().read_u64(addr),
-            reference.machine.mem().read_u64(addr),
-        );
-        if got != want {
-            return fail(DivergenceKind::MemoryMismatch {
-                addr,
-                sim: got,
-                reference: want,
-            });
-        }
-    }
-
-    // Cross-scheme timing invariants.
-    if s.stall.total() != s.cycles {
-        return fail(DivergenceKind::StallLeak {
-            total: s.stall.total(),
-            cycles: s.cycles,
-        });
-    }
-    if s.fetched < s.renamed || s.renamed < s.committed {
-        return fail(DivergenceKind::StageOrder {
-            fetched: s.fetched,
-            renamed: s.renamed,
-            committed: s.committed,
-        });
-    }
-    if s.fetched - s.committed > s.mispredicts + s.predication_flushes {
-        return fail(DivergenceKind::FlushAccounting {
-            fetched: s.fetched,
-            committed: s.committed,
-            mispredicts: s.mispredicts,
-            predication_flushes: s.predication_flushes,
-        });
-    }
-    if s.early_resolved_mispredicts != 0 {
-        return fail(DivergenceKind::EarlyResolveMispredict {
-            count: s.early_resolved_mispredicts,
-        });
-    }
-    if cell.oracle_final && s.mispredicts != 0 {
-        return fail(DivergenceKind::OracleMispredict {
-            mispredicts: s.mispredicts,
-        });
-    }
-    Ok(())
+    timing_invariants(s, cell).or_else(fail)
 }
 
 /// Checks `program` across the whole cell grid, returning the number of

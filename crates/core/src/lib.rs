@@ -35,6 +35,7 @@
 pub mod experiments;
 pub mod report;
 pub mod session;
+pub mod simbench;
 pub mod sweep;
 
 use ppsim_pipeline::CoreConfig;

@@ -1,0 +1,302 @@
+//! `ppsim bench` — wall-clock benchmark of the simulation engine itself.
+//!
+//! Unlike the experiments (which measure the *modelled* machine), this
+//! module measures the *simulator*: committed instructions per host
+//! second for every cell of a fig-6a-style grid, run twice — once
+//! through the inline functional machine and once through the
+//! capture-once/replay-many trace engine — plus the one-off capture
+//! cost. The result quantifies the trace engine's speedup and proves
+//! bit-identity of the statistics on the same grid that motivated it.
+//!
+//! Everything here is dependency-free and cache-free on purpose: no
+//! runner, no disk cache, no memoization — each timing is one honest
+//! `Instant` around one `Simulator::run`. Timings are host-dependent
+//! and excluded from the deterministic report surface; only the
+//! `identical` flags and committed counts are stable across machines.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ppsim_compiler::{compile, spec2000_suite, CompileOptions};
+use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions, SimStats, TraceBuffer};
+
+use crate::Json;
+
+/// The benchmarked grid: the paper's Figure-6a schemes on if-converted
+/// binaries, plus the selective-predication headline cell — the cells a
+/// default suite sweep spends its time in.
+pub const CELLS: [(SchemeSpec, PredicationModel); 4] = [
+    (SchemeSpec::PepPa, PredicationModel::Cmov),
+    (SchemeSpec::Conventional, PredicationModel::Cmov),
+    (SchemeSpec::Predicate, PredicationModel::Cmov),
+    (SchemeSpec::Predicate, PredicationModel::Selective),
+];
+
+/// Configuration for one [`run`].
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Committed instructions per cell.
+    pub commits: u64,
+    /// Restrict to benchmarks whose name appears here (empty = all).
+    pub only: Vec<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            commits: 500_000,
+            only: Vec::new(),
+        }
+    }
+}
+
+/// One (scheme, predication) cell timed both ways.
+#[derive(Clone, Debug)]
+pub struct CellBench {
+    /// Branch-prediction organization.
+    pub scheme: SchemeSpec,
+    /// Predication model.
+    pub predication: PredicationModel,
+    /// Instructions committed (equal on both paths when `identical`).
+    pub committed: u64,
+    /// Wall time of the inline-machine run.
+    pub inline_micros: u64,
+    /// Wall time of the trace-replay run (capture excluded; it is
+    /// amortized once per benchmark, see [`BenchRow::capture_micros`]).
+    pub replay_micros: u64,
+    /// Whether the two runs produced equal statistics.
+    pub identical: bool,
+}
+
+impl CellBench {
+    fn label(&self) -> String {
+        let model = match self.predication {
+            PredicationModel::Cmov => "cmov",
+            PredicationModel::Selective => "selective",
+        };
+        format!("{}/{model}", self.scheme.name())
+    }
+}
+
+/// One benchmark: its capture cost and the timed cells.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// One-off trace-capture wall time, shared by every cell.
+    pub capture_micros: u64,
+    /// Records in the capture.
+    pub records: u64,
+    /// Heap footprint of the capture in bytes.
+    pub trace_bytes: usize,
+    /// Per-cell timings.
+    pub cells: Vec<CellBench>,
+}
+
+/// The full benchmark outcome.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Committed-instruction budget per cell.
+    pub commits: u64,
+    /// Per-benchmark rows.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Instructions per host second, safe on sub-microsecond timings.
+fn insns_per_sec(committed: u64, micros: u64) -> f64 {
+    committed as f64 / (micros.max(1) as f64 / 1_000_000.0)
+}
+
+impl BenchReport {
+    /// Total inline-machine simulation time.
+    pub fn inline_micros(&self) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .map(|c| c.inline_micros)
+            .sum()
+    }
+
+    /// Total replay simulation time, *including* each benchmark's one-off
+    /// capture — the honest cost of the replay path.
+    pub fn replay_micros(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.capture_micros + r.cells.iter().map(|c| c.replay_micros).sum::<u64>())
+            .sum()
+    }
+
+    /// Aggregate throughput ratio of replay (capture amortized across the
+    /// grid) over the inline path. Committed counts are equal on both
+    /// paths, so this is simply inline time over replay time.
+    pub fn speedup(&self) -> f64 {
+        self.inline_micros() as f64 / self.replay_micros().max(1) as f64
+    }
+
+    /// Whether every cell produced bit-identical statistics on both paths.
+    pub fn reports_identical(&self) -> bool {
+        self.rows.iter().flat_map(|r| &r.cells).all(|c| c.identical)
+    }
+
+    /// The machine-readable artifact (`BENCH_sim.json`).
+    pub fn to_json(&self) -> Json {
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            let mut cells = Vec::new();
+            for c in &r.cells {
+                cells.push(
+                    Json::obj()
+                        .field("cell", c.label())
+                        .field("committed", c.committed)
+                        .field("inline_micros", c.inline_micros)
+                        .field("replay_micros", c.replay_micros)
+                        .field(
+                            "inline_insns_per_sec",
+                            insns_per_sec(c.committed, c.inline_micros),
+                        )
+                        .field(
+                            "replay_insns_per_sec",
+                            insns_per_sec(c.committed, c.replay_micros),
+                        )
+                        .field("identical", c.identical),
+                );
+            }
+            rows.push(
+                Json::obj()
+                    .field("name", r.benchmark.as_str())
+                    .field("capture_micros", r.capture_micros)
+                    .field("records", r.records)
+                    .field("trace_bytes", r.trace_bytes)
+                    .field("cells", cells),
+            );
+        }
+        Json::obj()
+            .field("experiment", "bench")
+            .field("commits", self.commits)
+            .field("benchmarks", rows)
+            .field(
+                "aggregate",
+                Json::obj()
+                    .field("inline_micros", self.inline_micros())
+                    .field("replay_micros", self.replay_micros())
+                    .field("speedup", self.speedup())
+                    .field("reports_identical", self.reports_identical()),
+            )
+    }
+
+    /// Human-readable summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} benchmarks x {} cells: inline {:.2}s, replay {:.2}s (capture incl.), speedup {:.2}x, reports {}",
+            self.rows.len(),
+            CELLS.len(),
+            self.inline_micros() as f64 / 1e6,
+            self.replay_micros() as f64 / 1e6,
+            self.speedup(),
+            if self.reports_identical() {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        )
+    }
+}
+
+fn run_inline(opts: SimOptions, program: &ppsim_isa::Program, commits: u64) -> (SimStats, u64) {
+    let mut sim = opts.build(program).expect("bench cells carry no overrides");
+    let started = Instant::now();
+    let run = sim.run(commits);
+    (run.stats, started.elapsed().as_micros() as u64)
+}
+
+fn run_replay(opts: SimOptions, trace: Arc<TraceBuffer>, commits: u64) -> (SimStats, u64) {
+    let mut sim = opts
+        .build_replay(trace)
+        .expect("bench cells carry no overrides");
+    let started = Instant::now();
+    let run = sim.run(commits);
+    (run.stats, started.elapsed().as_micros() as u64)
+}
+
+/// Times every selected benchmark across [`CELLS`], both ways.
+pub fn run(cfg: &BenchConfig) -> BenchReport {
+    let mut rows = Vec::new();
+    for spec in spec2000_suite() {
+        if !cfg.only.is_empty() && !cfg.only.iter().any(|n| n == spec.name) {
+            continue;
+        }
+        let compiled =
+            compile(&spec, &CompileOptions::with_ifconv()).expect("suite benchmarks compile");
+        let started = Instant::now();
+        let trace = Arc::new(
+            TraceBuffer::capture(&compiled.program, cfg.commits)
+                .unwrap_or_else(|e| panic!("functional machine died: {e}")),
+        );
+        let capture_micros = started.elapsed().as_micros() as u64;
+
+        let mut cells = Vec::new();
+        for (scheme, predication) in CELLS {
+            let opts = SimOptions::new(scheme, predication);
+            let (inline_stats, inline_micros) = run_inline(opts, &compiled.program, cfg.commits);
+            let (replay_stats, replay_micros) = run_replay(opts, Arc::clone(&trace), cfg.commits);
+            cells.push(CellBench {
+                scheme,
+                predication,
+                committed: inline_stats.committed,
+                inline_micros,
+                replay_micros,
+                identical: inline_stats == replay_stats,
+            });
+        }
+        rows.push(BenchRow {
+            benchmark: spec.name.to_string(),
+            capture_micros,
+            records: trace.len(),
+            trace_bytes: trace.bytes(),
+            cells,
+        });
+    }
+    BenchReport {
+        commits: cfg.commits,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_benchmark_produces_identical_cells_and_valid_json() {
+        let report = run(&BenchConfig {
+            commits: 3_000,
+            only: vec!["gzip".into()],
+        });
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].cells.len(), CELLS.len());
+        assert!(report.reports_identical(), "{}", report.summary());
+        assert!(report.rows[0].records > 0);
+        assert!(report.rows[0].trace_bytes > 0);
+        for c in &report.rows[0].cells {
+            assert!(c.committed >= 3_000, "{} under-committed", c.label());
+        }
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).expect("bench artifact parses");
+        assert_eq!(
+            parsed
+                .get("aggregate")
+                .and_then(|a| a.get("reports_identical")),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn only_filter_restricts_rows() {
+        let report = run(&BenchConfig {
+            commits: 1_000,
+            only: vec!["no-such-benchmark".into()],
+        });
+        assert!(report.rows.is_empty());
+        assert!(report.reports_identical(), "vacuously identical");
+    }
+}

@@ -52,6 +52,7 @@ mod insn;
 mod parse;
 mod program;
 mod reg;
+mod trace;
 
 pub use asm::{Asm, AsmError, Label};
 pub use exec::{ExecError, ExecInfo, ExecRecord, Machine, RunOutcome, SparseMem, StopReason};
@@ -59,6 +60,7 @@ pub use insn::{AluKind, CmpRel, CmpType, FpuKind, Insn, Op, Operand};
 pub use parse::{parse_program, ParseError};
 pub use program::{DataSegment, Program, ProgramError};
 pub use reg::{Fr, Gr, Pr};
+pub use trace::{InsnSource, TraceBuffer, TraceCursor};
 
 /// Byte distance between consecutive instruction slots when deriving
 /// synthetic instruction addresses (see [`Program::pc_of`]).

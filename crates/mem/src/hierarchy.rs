@@ -36,7 +36,7 @@ impl HierarchyConfig {
 }
 
 /// Aggregated statistics of every structure in the hierarchy.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 instruction cache counters.
     pub l1i: CacheStats,

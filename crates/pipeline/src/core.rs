@@ -28,9 +28,9 @@
 //!   keep their corrupted-history predictions (§3.3).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use ppsim_isa::{AluKind, ExecInfo, ExecRecord, FpuKind, Machine, Op, Program};
+use ppsim_isa::{AluKind, ExecInfo, ExecRecord, FpuKind, InsnSource, Machine, Op, Program};
 use ppsim_mem::{Hierarchy, HierarchyConfig};
 use ppsim_obs::{EventKind, EventRing, StallBucket, TraceEvent};
 use ppsim_predictors::{
@@ -39,6 +39,7 @@ use ppsim_predictors::{
 };
 
 use crate::config::{CoreConfig, PredicationModel};
+use crate::fxhash::FxMap;
 use crate::options::{SimOptions, TestFault};
 use crate::resources::{Pool, UnitSet, WidthLimiter};
 use crate::stats::SimStats;
@@ -139,9 +140,15 @@ impl Predictors {
     }
 }
 
-/// The simulator: functional machine + timing model + predictors.
-pub struct Simulator {
-    machine: Machine,
+/// The simulator: instruction source + timing model + predictors.
+///
+/// The source `S` feeds the committed-stream records the timing model
+/// replays: the default inline [`Machine`] (execution-driven mode, used
+/// by the differential oracle for lockstep architectural diffing) or a
+/// [`ppsim_isa::TraceCursor`] over a shared capture (trace-driven mode,
+/// the sweep fast path — see [`SimOptions::build_replay`]).
+pub struct Simulator<S: InsnSource = Machine> {
+    source: S,
     hierarchy: Hierarchy,
     cfg: CoreConfig,
     scheme: SchemeSpec,
@@ -179,8 +186,8 @@ pub struct Simulator {
     fr_done: [u64; 128],
     preds: [PredEntry; NUM_PR],
     // Store forwarding: 8-byte-aligned address → (data-ready cycle, commit
-    // cycle).
-    stores: HashMap<u64, (u64, u64)>,
+    // cycle). Queried per load and written per store — fast hasher.
+    stores: FxMap<u64, (u64, u64)>,
     // Global-history push counter (predicate schemes).
     ghr_pushes: u64,
     // Deferred history repairs: a mispredicted compare corrects the bit it
@@ -196,8 +203,11 @@ pub struct Simulator {
     // or override re-steer) charges the next fetched instruction to.
     pending_redirect: Option<StallBucket>,
     stats: SimStats,
-    branch_hist: HashMap<u32, (u64, u64)>,
+    branch_hist: FxMap<u32, (u64, u64)>,
     events: Option<EventRing>,
+    // Persistent staging buffer for per-instruction events, reused across
+    // `process` calls so the hot path never allocates.
+    ev_scratch: Vec<(u64, EventKind)>,
 }
 
 impl Simulator {
@@ -218,12 +228,29 @@ impl Simulator {
     /// Builds from pre-validated options ([`SimOptions::build`] is the
     /// public entry point).
     pub(crate) fn from_options(program: &Program, opts: SimOptions) -> Self {
+        Simulator::from_source(Machine::new(program), opts)
+    }
+
+    /// The architectural machine state after the committed stream so far:
+    /// registers, predicates and memory exactly as the functional emulator
+    /// left them. The differential check oracle diffs this against an
+    /// independent reference `Machine` run.
+    pub fn machine(&self) -> &Machine {
+        &self.source
+    }
+}
+
+impl<S: InsnSource> Simulator<S> {
+    /// Builds the timing model around an arbitrary instruction source
+    /// ([`SimOptions::build`]/[`SimOptions::build_replay`] are the public
+    /// entry points).
+    pub(crate) fn from_source(source: S, opts: SimOptions) -> Self {
         let cfg = opts.core;
         let predictors = Predictors::from_set(opts.scheme.build(opts.perceptron, opts.predicate));
         let mut preds = [PredEntry::constant(false); NUM_PR];
         preds[0] = PredEntry::constant(true);
         Simulator {
-            machine: Machine::new(program),
+            source,
             hierarchy: Hierarchy::new(HierarchyConfig::paper()),
             scheme: opts.scheme,
             predication: opts.predication,
@@ -252,15 +279,16 @@ impl Simulator {
             gr_done: [0; 128],
             fr_done: [0; 128],
             preds,
-            stores: HashMap::new(),
+            stores: FxMap::default(),
             ghr_pushes: 0,
             pending_repairs: Vec::new(),
             last_iline: u64::MAX,
             last_commit: 0,
             pending_redirect: None,
             stats: SimStats::default(),
-            branch_hist: HashMap::new(),
+            branch_hist: FxMap::default(),
             events: (opts.trace_events > 0).then(|| EventRing::new(opts.trace_events)),
+            ev_scratch: Vec::new(),
             cfg,
         }
     }
@@ -282,27 +310,20 @@ impl Simulator {
         self.events.as_ref()
     }
 
-    /// The architectural machine state after the committed stream so far:
-    /// registers, predicates and memory exactly as the functional emulator
-    /// left them. The differential check oracle diffs this against an
-    /// independent reference `Machine` run.
-    pub fn machine(&self) -> &Machine {
-        &self.machine
-    }
-
     /// Statistics collected so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
     }
 
-    /// Runs until the program halts or `max_commits` instructions commit.
+    /// Runs until the source's program halts, the source's captured
+    /// stream ends, or `max_commits` instructions commit.
     pub fn run(&mut self, max_commits: u64) -> RunResult {
         let mut halted = false;
         while self.stats.committed < max_commits {
-            match self.machine.step() {
+            match self.source.next_record() {
                 Ok(Some(rec)) => self.process(&rec),
                 Ok(None) => {
-                    halted = true;
+                    halted = self.source.ended_halted();
                     break;
                 }
                 Err(e) => panic!("functional machine died: {e}"),
@@ -368,8 +389,9 @@ impl Simulator {
         let tracing = self.events.is_some();
         // Event staging area: (cycle, kind) pairs flushed to the ring once
         // every timestamp is known (the ring cannot be borrowed while the
-        // predictors are).
-        let mut evs: Vec<(u64, EventKind)> = Vec::new();
+        // predictors are). The buffer persists across calls so the hot
+        // path never allocates.
+        let mut evs = std::mem::take(&mut self.ev_scratch);
 
         // The first instruction fetched after a redirect inherits its
         // cause for stall attribution.
@@ -950,7 +972,7 @@ impl Simulator {
                     commit: c,
                 },
             ));
-            for (cycle, kind) in evs {
+            for (cycle, kind) in evs.drain(..) {
                 ring.push(TraceEvent {
                     seq: rec.seq,
                     pc,
@@ -959,6 +981,8 @@ impl Simulator {
                 });
             }
         }
+        evs.clear();
+        self.ev_scratch = evs;
 
         // ---- Statistics ----
         self.stats.committed += 1;
@@ -1163,6 +1187,45 @@ mod tests {
         a.pred(p(3)).br(top);
         a.halt();
         a.assemble().unwrap()
+    }
+
+    #[test]
+    fn trace_replay_matches_inline_machine_exactly() {
+        use ppsim_isa::TraceBuffer;
+        use std::sync::Arc;
+
+        let program = loop_with_branch(400, true, 2);
+        let trace = Arc::new(TraceBuffer::capture(&program, 100_000).unwrap());
+        assert!(trace.halted());
+        for scheme in SchemeSpec::ALL {
+            for predication in [PredicationModel::Cmov, PredicationModel::Selective] {
+                let opts = SimOptions::new(scheme, predication).shadow(true);
+                let inline = opts.build(&program).unwrap().run(100_000);
+                let replay = opts.build_replay(Arc::clone(&trace)).unwrap().run(100_000);
+                assert_eq!(inline.halted, replay.halted, "{scheme:?}/{predication:?}");
+                assert_eq!(
+                    inline.stats, replay.stats,
+                    "replay must be stat-identical for {scheme:?}/{predication:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_respects_commit_budget() {
+        use ppsim_isa::TraceBuffer;
+        use std::sync::Arc;
+
+        let program = loop_with_branch(400, false, 0);
+        // Capture covers exactly the budget; replay stops there unhalted,
+        // just like the inline path would.
+        let trace = Arc::new(TraceBuffer::capture(&program, 500).unwrap());
+        let opts = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov);
+        let inline = opts.build(&program).unwrap().run(500);
+        let replay = opts.build_replay(Arc::clone(&trace)).unwrap().run(500);
+        assert!(!inline.halted);
+        assert!(!replay.halted);
+        assert_eq!(inline.stats, replay.stats);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! A fast, non-cryptographic hasher for the simulator's hot-path maps.
+//!
+//! The timing model keys several per-instruction maps by small integers
+//! (store addresses, branch slots, issue cycles). `std`'s default SipHash
+//! is DoS-resistant but costs more than the table lookup it guards; these
+//! keys come from a deterministic simulation, not an adversary, so the
+//! classic multiply-xor folding used by rustc ("FxHash") is safe and
+//! several times faster. Hand-rolled because the workspace is
+//! dependency-free by policy.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Knuth-style odd multiplier; spreads low-entropy integer keys across
+/// the high bits, which `HashMap` folds into the bucket index.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox "Fx" construction: rotate, xor, multiply per word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`] — drop-in for integer-keyed hot maps.
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_integer_keys() {
+        let mut m: FxMap<u64, u32> = FxMap::default();
+        for k in 0..1000u64 {
+            m.insert(k * 8, k as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * 8)), Some(&(k as u32)));
+        }
+    }
+
+    #[test]
+    fn sequential_keys_do_not_collide_catastrophically() {
+        // Aligned addresses differ only in low bits; the multiply must
+        // spread them so HashMap's high-bit folding sees distinct values.
+        let mut hashes: Vec<u64> = (0..4096u64)
+            .map(|k| {
+                let mut h = FxHasher::default();
+                h.write_u64(k * 8);
+                h.finish() >> 48
+            })
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert!(
+            hashes.len() > 2048,
+            "high bits look degenerate: {} distinct of 4096",
+            hashes.len()
+        );
+    }
+
+    #[test]
+    fn byte_slices_hash_like_words() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -44,6 +44,7 @@
 
 mod config;
 mod core;
+mod fxhash;
 mod options;
 mod resources;
 mod stats;
@@ -51,6 +52,10 @@ mod stats;
 pub use crate::core::{RunResult, Simulator};
 pub use config::{CoreConfig, Latencies, PredicationModel};
 pub use options::{SimOptions, SimOptionsError, TestFault};
+/// Re-exported trace-engine types: capture a program's dynamic stream
+/// once ([`TraceBuffer`]) and drive any number of timing cells from it
+/// ([`SimOptions::build_replay`]).
+pub use ppsim_isa::{InsnSource, TraceBuffer, TraceCursor};
 pub use ppsim_obs::{EventKind, EventRing, StallBreakdown, StallBucket, TraceEvent};
 pub use ppsim_predictors::SchemeSpec;
 /// Backwards-compatible alias for [`SchemeSpec`] (the enum moved to

@@ -6,8 +6,9 @@
 //! a loud [`SimOptionsError`] instead of a silently ignored call.
 
 use std::fmt;
+use std::sync::Arc;
 
-use ppsim_isa::Program;
+use ppsim_isa::{Program, TraceBuffer, TraceCursor};
 use ppsim_predictors::{PerceptronConfig, PredicateConfig, SchemeSpec};
 
 use crate::config::{CoreConfig, PredicationModel};
@@ -153,6 +154,27 @@ impl SimOptions {
     pub fn build(self, program: &Program) -> Result<Simulator, SimOptionsError> {
         self.validate()?;
         Ok(Simulator::from_options(program, self))
+    }
+
+    /// Validates the options and builds a simulator replaying a captured
+    /// trace instead of stepping an inline functional machine.
+    ///
+    /// The trace is shared zero-copy: every cell of a sweep clones the
+    /// same `Arc<TraceBuffer>`. The capture must cover at least as many
+    /// dynamic instructions as the run's commit budget, or the replay run
+    /// ends early with `halted == false` (see
+    /// [`TraceBuffer::capture`]).
+    ///
+    /// # Errors
+    ///
+    /// The same [`SimOptionsError`] consistency checks as
+    /// [`SimOptions::build`].
+    pub fn build_replay(
+        self,
+        trace: Arc<TraceBuffer>,
+    ) -> Result<Simulator<TraceCursor>, SimOptionsError> {
+        self.validate()?;
+        Ok(Simulator::from_source(TraceCursor::new(trace), self))
     }
 }
 

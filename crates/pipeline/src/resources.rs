@@ -5,15 +5,23 @@
 //! instruction acquire the resource" for bounded structures whose entries
 //! release at arbitrary (already-computed) times.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::VecDeque;
+
+use crate::fxhash::FxMap;
 
 /// A structure with `capacity` entries, each held from acquisition until a
 /// caller-supplied release cycle (ROB, issue queues, LSQ, physical register
 /// free lists).
+///
+/// Releases are kept as a sorted ring buffer rather than a binary heap:
+/// most pools release at the commit cycle, which is monotone, so the
+/// common case is an O(1) `push_back` / `pop_front` instead of a heap
+/// sift — and these pools are touched several times per simulated
+/// instruction.
 #[derive(Clone, Debug)]
 pub struct Pool {
-    releases: BinaryHeap<Reverse<u64>>,
+    /// Outstanding release cycles, sorted ascending.
+    releases: VecDeque<u64>,
     capacity: usize,
 }
 
@@ -26,7 +34,7 @@ impl Pool {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "pool must have capacity");
         Pool {
-            releases: BinaryHeap::with_capacity(capacity + 1),
+            releases: VecDeque::with_capacity(capacity + 1),
             capacity,
         }
     }
@@ -34,17 +42,18 @@ impl Pool {
     /// Earliest cycle ≥ `now` at which an entry can be acquired, without
     /// acquiring it.
     pub fn earliest(&mut self, now: u64) -> u64 {
-        while let Some(Reverse(r)) = self.releases.peek() {
-            if *r <= now && self.releases.len() >= self.capacity {
-                self.releases.pop();
-            } else {
-                break;
+        while self.releases.len() >= self.capacity {
+            match self.releases.front() {
+                Some(&r) if r <= now => {
+                    self.releases.pop_front();
+                }
+                _ => break,
             }
         }
         if self.releases.len() < self.capacity {
             now
         } else {
-            let Reverse(r) = *self.releases.peek().expect("full pool is non-empty");
+            let r = *self.releases.front().expect("full pool is non-empty");
             now.max(r)
         }
     }
@@ -54,9 +63,18 @@ impl Pool {
     pub fn acquire(&mut self, now: u64, release: u64) -> u64 {
         let at = self.earliest(now);
         if self.releases.len() >= self.capacity {
-            self.releases.pop();
+            self.releases.pop_front();
         }
-        self.releases.push(Reverse(release.max(at)));
+        let r = release.max(at);
+        match self.releases.back() {
+            // Out-of-order release (issue-queue slots on an early-issuing
+            // instruction): sorted insert, bounded by the queue capacity.
+            Some(&b) if b > r => {
+                let i = self.releases.partition_point(|&x| x <= r);
+                self.releases.insert(i, r);
+            }
+            _ => self.releases.push_back(r),
+        }
         at
     }
 
@@ -73,7 +91,11 @@ impl Pool {
 #[derive(Clone, Debug)]
 pub struct UnitSet {
     n: u32,
-    booked: BTreeMap<u64, u32>,
+    // Per-cycle start counts. The live window spans from the commit
+    // frontier to the furthest dependence-chain booking — O(100k) keys at
+    // full commit budgets — so lookups use the fast integer hasher rather
+    // than an ordered map.
+    booked: FxMap<u64, u32>,
     calls: u64,
 }
 
@@ -87,7 +109,7 @@ impl UnitSet {
         assert!(n > 0, "unit set must have units");
         UnitSet {
             n: n as u32,
-            booked: BTreeMap::new(),
+            booked: FxMap::default(),
             calls: 0,
         }
     }
@@ -106,7 +128,7 @@ impl UnitSet {
         self.calls += 1;
         if self.calls.is_multiple_of(4096) {
             let keep_from = c.saturating_sub(100_000);
-            self.booked = self.booked.split_off(&keep_from);
+            self.booked.retain(|&cycle, _| cycle >= keep_from);
         }
         c
     }

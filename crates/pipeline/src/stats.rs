@@ -4,7 +4,7 @@ use ppsim_mem::HierarchyStats;
 use ppsim_obs::{MetricSet, PcEntry, PcHistogram, StallBreakdown};
 
 /// Counters collected by one simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles (cycle of the last commit).
     pub cycles: u64,

@@ -18,6 +18,8 @@
 //! ...                      # per-branch (slot, execs, mispredicts) rows
 //! static.insns=871
 //! static.cond_branches=42
+//! time.wall_micros=8120
+//! ...                      # capture/compile/sim timing, telemetry-only
 //! end
 //! ```
 //!
@@ -41,9 +43,10 @@ use crate::job::{Job, JobResult};
 /// Magic first line; bump the version to invalidate every entry.
 /// v2 added the stall-attribution buckets and the per-branch rows; v3
 /// added the committed-path stage counters (`fetched`, `renamed`) and
-/// `early_resolved_mispredicts`, so entries from older versions (which
+/// `early_resolved_mispredicts`; v4 added the `time.*` telemetry lines
+/// (wall/compile/capture/sim), so entries from older versions (which
 /// lack them) read as misses.
-const HEADER: &str = "ppsim-cache v3";
+const HEADER: &str = "ppsim-cache v4";
 /// Last line; its absence marks a truncated entry.
 const FOOTER: &str = "end";
 
@@ -126,6 +129,14 @@ fn render_entry(job: &Job, result: &JobResult) -> String {
         "static.cond_branches={}\n",
         result.static_cond_branches
     ));
+    // Timing lines record what the original run cost. They are telemetry
+    // only: a hit still reports `from_cache` and the runner never counts
+    // replayed timings toward wall totals, so report bytes stay
+    // independent of cache state.
+    s.push_str(&format!("time.wall_micros={}\n", result.wall_micros));
+    s.push_str(&format!("time.compile_micros={}\n", result.compile_micros));
+    s.push_str(&format!("time.capture_micros={}\n", result.capture_micros));
+    s.push_str(&format!("time.sim_micros={}\n", result.sim_micros));
     s.push_str(FOOTER);
     s.push('\n');
     s
@@ -160,6 +171,7 @@ fn parse_entry(text: &str, job: &Job) -> Option<JobResult> {
     let mut stats = SimStats::default();
     let mut static_insns = None;
     let mut static_cond_branches = None;
+    let mut times = [0u64; 4];
     let mut saw_footer = false;
     for line in rest {
         if line == FOOTER {
@@ -182,6 +194,14 @@ fn parse_entry(text: &str, job: &Job) -> Option<JobResult> {
             static_insns = Some(value);
         } else if key == "static.cond_branches" {
             static_cond_branches = Some(value);
+        } else if let Some(phase) = key.strip_prefix("time.") {
+            match phase {
+                "wall_micros" => times[0] = value,
+                "compile_micros" => times[1] = value,
+                "capture_micros" => times[2] = value,
+                "sim_micros" => times[3] = value,
+                _ => return None,
+            }
         } else {
             return None;
         }
@@ -194,9 +214,11 @@ fn parse_entry(text: &str, job: &Job) -> Option<JobResult> {
         static_insns: static_insns?,
         static_cond_branches: static_cond_branches?,
         from_cache: true,
-        wall_micros: 0,
-        compile_micros: 0,
-        sim_micros: 0,
+        wall_micros: times[0],
+        compile_micros: times[1],
+        capture_micros: times[2],
+        sim_micros: times[3],
+        trace_memo_hit: false,
     })
 }
 
@@ -421,6 +443,10 @@ mod tests {
             r.stats.stall.set(bucket, 401 + i as u64);
         }
         r.stats.branch_pcs = vec![(7, 501, 502), (19, 503, 0)];
+        r.wall_micros = 601;
+        r.compile_micros = 602;
+        r.capture_micros = 603;
+        r.sim_micros = 604;
         r
     }
 
@@ -438,6 +464,17 @@ mod tests {
         assert_eq!(loaded.stats.branch_pcs, r.stats.branch_pcs);
         assert_eq!(loaded.static_insns, r.static_insns);
         assert_eq!(loaded.static_cond_branches, r.static_cond_branches);
+        assert_eq!(
+            (
+                loaded.wall_micros,
+                loaded.compile_micros,
+                loaded.capture_micros,
+                loaded.sim_micros
+            ),
+            (601, 602, 603, 604),
+            "v4 entries round-trip the phase timings"
+        );
+        assert!(!loaded.trace_memo_hit, "a disk hit is not a memo hit");
         assert_eq!(
             loaded.stats.metrics().to_json().to_string(),
             r.stats.metrics().to_json().to_string(),

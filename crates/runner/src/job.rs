@@ -214,8 +214,14 @@ pub struct JobResult {
     /// Wall time of the compile phase (0 for cache hits and when the
     /// compile memo already held the binary).
     pub compile_micros: u64,
+    /// Wall time of the trace-capture phase (0 for cache hits, for
+    /// trace-memo hits and on the inline-machine path).
+    pub capture_micros: u64,
     /// Wall time of the simulate phase (0 for cache hits).
     pub sim_micros: u64,
+    /// Whether a replay job's trace came from the in-process memo
+    /// (always `false` for cache hits and inline jobs).
+    pub trace_memo_hit: bool,
 }
 
 #[cfg(test)]

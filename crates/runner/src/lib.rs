@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ppsim_compiler::{compile, spec2000_suite, CompileOptions, Compiled, WorkloadSpec};
-use ppsim_pipeline::SimOptions;
+use ppsim_pipeline::{SimOptions, TraceBuffer};
 
 pub use cache::DiskCache;
 pub use job::{Job, JobResult};
@@ -44,6 +44,10 @@ pub struct RunnerOptions {
     pub cache: bool,
     /// Cache directory override (`None` = [`DiskCache::default_dir`]).
     pub cache_dir: Option<PathBuf>,
+    /// Drive simulations from a shared captured trace (capture the
+    /// functional stream once per binary, replay it per cell). Disable to
+    /// force the legacy inline-machine path (`--no-replay`).
+    pub replay: bool,
 }
 
 impl Default for RunnerOptions {
@@ -52,13 +56,15 @@ impl Default for RunnerOptions {
             jobs: 0,
             cache: true,
             cache_dir: None,
+            replay: true,
         }
     }
 }
 
 impl RunnerOptions {
-    /// Parses `--jobs N`, `--no-cache` and `--cache-dir P` from a raw
-    /// argument list, returning the options and the unconsumed arguments.
+    /// Parses `--jobs N`, `--no-cache`, `--cache-dir P` and `--no-replay`
+    /// from a raw argument list, returning the options and the unconsumed
+    /// arguments.
     pub fn from_args(args: &[String]) -> Result<(RunnerOptions, Vec<String>), String> {
         let mut opts = RunnerOptions::default();
         let mut rest = Vec::new();
@@ -74,6 +80,7 @@ impl RunnerOptions {
                     let v = it.next().ok_or("--cache-dir needs a value")?;
                     opts.cache_dir = Some(PathBuf::from(v));
                 }
+                "--no-replay" => opts.replay = false,
                 _ => rest.push(a.clone()),
             }
         }
@@ -102,13 +109,20 @@ pub struct Telemetry {
     pub cache_hits: u64,
     /// Wall time of simulated jobs, summed (µs).
     pub wall_micros_total: u64,
+    /// Fresh trace captures performed (one per (binary, budget) key).
+    pub captures: u64,
+    /// Replay jobs whose trace came from the in-process memo.
+    pub trace_memo_hits: u64,
+    /// Wall time spent capturing traces, summed (µs).
+    pub capture_micros_total: u64,
     /// Per-simulated-job timing phases, in grid order.
     pub per_job: Vec<JobTiming>,
 }
 
 /// Wall-time phases of one simulated job: compilation (0 when the memo
-/// already held the binary), simulation, and everything else (cache
-/// store, bookkeeping) folded into the total.
+/// already held the binary), trace capture (0 on a trace-memo hit or on
+/// the inline path), simulation, and everything else (cache store,
+/// bookkeeping) folded into the total.
 #[derive(Clone, Debug, Default)]
 pub struct JobTiming {
     /// The job's [`Job::label`].
@@ -117,6 +131,8 @@ pub struct JobTiming {
     pub wall_micros: u64,
     /// Time spent compiling the benchmark (µs).
     pub compile_micros: u64,
+    /// Time spent capturing the functional trace (µs).
+    pub capture_micros: u64,
     /// Time spent inside `Simulator::run` (µs).
     pub sim_micros: u64,
 }
@@ -130,13 +146,33 @@ impl Telemetry {
             } else {
                 self.jobs_run += 1;
                 self.wall_micros_total += r.wall_micros;
+                if r.capture_micros > 0 {
+                    self.captures += 1;
+                    self.capture_micros_total += r.capture_micros;
+                }
+                if r.trace_memo_hit {
+                    self.trace_memo_hits += 1;
+                }
                 self.per_job.push(JobTiming {
                     label: job.label(),
                     wall_micros: r.wall_micros,
                     compile_micros: r.compile_micros,
+                    capture_micros: r.capture_micros,
                     sim_micros: r.sim_micros,
                 });
             }
+        }
+    }
+
+    /// Fraction of replay jobs whose capture was shared from the memo
+    /// (`trace_memo_hits / (trace_memo_hits + captures)`; 0 when no
+    /// replay job ran).
+    pub fn trace_memo_hit_rate(&self) -> f64 {
+        let lookups = self.trace_memo_hits + self.captures;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.trace_memo_hits as f64 / lookups as f64
         }
     }
 
@@ -147,6 +183,10 @@ impl Telemetry {
             .field("jobs_run", self.jobs_run)
             .field("cache_hits", self.cache_hits)
             .field("wall_micros_total", self.wall_micros_total)
+            .field("captures", self.captures)
+            .field("trace_memo_hits", self.trace_memo_hits)
+            .field("trace_memo_hit_rate", self.trace_memo_hit_rate())
+            .field("capture_micros_total", self.capture_micros_total)
             .field(
                 "per_job",
                 Json::Arr(
@@ -157,6 +197,7 @@ impl Telemetry {
                                 .field("job", t.label.as_str())
                                 .field("wall_micros", t.wall_micros)
                                 .field("compile_micros", t.compile_micros)
+                                .field("capture_micros", t.capture_micros)
                                 .field("sim_micros", t.sim_micros)
                         })
                         .collect(),
@@ -197,6 +238,16 @@ impl CompileKey {
     }
 }
 
+/// Trace memo key: the binary identity plus the capture budget. Jobs
+/// with different commit budgets need different capture lengths, so the
+/// budget is part of the key (in practice a sweep uses one budget, so
+/// every cell of a benchmark shares one capture).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct TraceKey {
+    compile: CompileKey,
+    steps: u64,
+}
+
 /// The experiment execution engine.
 pub struct Runner {
     opts: RunnerOptions,
@@ -207,6 +258,9 @@ pub struct Runner {
     /// benchmarks compile concurrently while two needing the *same* one
     /// compile once.
     compiled: Mutex<HashMap<CompileKey, Arc<OnceLock<Arc<Compiled>>>>>,
+    /// Per-(binary, budget) captured-trace memo, same locking discipline
+    /// as `compiled`: capture once, replay from every cell.
+    traces: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<TraceBuffer>>>>>,
     telemetry: Mutex<Telemetry>,
 }
 
@@ -228,6 +282,7 @@ impl Runner {
             cache,
             suite: spec2000_suite(),
             compiled: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
             telemetry: Mutex::new(Telemetry::default()),
         }
     }
@@ -238,6 +293,7 @@ impl Runner {
             jobs: 1,
             cache: false,
             cache_dir: None,
+            ..RunnerOptions::default()
         })
     }
 
@@ -316,6 +372,34 @@ impl Runner {
         .clone()
     }
 
+    /// Returns the shared capture for a job's (binary, budget), capturing
+    /// it on first use. Yields `(trace, capture_micros, memo_hit)`:
+    /// `capture_micros` is nonzero only for the worker that performed the
+    /// capture.
+    fn trace_for(&self, job: &Job, compiled: &Compiled) -> (Arc<TraceBuffer>, u64, bool) {
+        let key = TraceKey {
+            compile: CompileKey::of(job),
+            steps: job.commits,
+        };
+        let cell = {
+            let mut map = self.traces.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut capture_micros = 0u64;
+        let mut fresh = false;
+        let trace = cell
+            .get_or_init(|| {
+                fresh = true;
+                let started = Instant::now();
+                let buf = TraceBuffer::capture(&compiled.program, job.commits)
+                    .unwrap_or_else(|e| panic!("functional machine died: {e}"));
+                capture_micros = started.elapsed().as_micros() as u64;
+                Arc::new(buf)
+            })
+            .clone();
+        (trace, capture_micros, !fresh)
+    }
+
     /// Compiles and simulates one job (a cache miss).
     fn execute(&self, job: &Job) -> JobResult {
         let started = Instant::now();
@@ -331,13 +415,29 @@ impl Runner {
         if let Some(p) = job.predicate {
             opts = opts.predicate(p);
         }
-        let mut sim = opts
-            .build(&compiled.program)
-            .expect("grid jobs carry only applicable overrides");
 
-        let sim_started = Instant::now();
-        let run = sim.run(job.commits);
-        let sim_micros = sim_started.elapsed().as_micros() as u64;
+        let (run, capture_micros, trace_memo_hit, sim_micros) = if self.opts.replay {
+            let (trace, capture_micros, memo_hit) = self.trace_for(job, &compiled);
+            let mut sim = opts
+                .build_replay(trace)
+                .expect("grid jobs carry only applicable overrides");
+            let sim_started = Instant::now();
+            let run = sim.run(job.commits);
+            (
+                run,
+                capture_micros,
+                memo_hit,
+                sim_started.elapsed().as_micros() as u64,
+            )
+        } else {
+            let mut sim = opts
+                .build(&compiled.program)
+                .expect("grid jobs carry only applicable overrides");
+            let sim_started = Instant::now();
+            let run = sim.run(job.commits);
+            (run, 0, false, sim_started.elapsed().as_micros() as u64)
+        };
+
         JobResult {
             stats: run.stats,
             static_insns: compiled.program.count_insns(|_| true) as u64,
@@ -345,7 +445,9 @@ impl Runner {
             from_cache: false,
             wall_micros: started.elapsed().as_micros() as u64,
             compile_micros,
+            capture_micros,
             sim_micros,
+            trace_memo_hit,
         }
     }
 }
@@ -410,6 +512,72 @@ mod tests {
     }
 
     #[test]
+    fn replay_matches_inline_bit_for_bit() {
+        let replay = Runner::serial_no_cache();
+        let inline = Runner::new(RunnerOptions {
+            jobs: 1,
+            cache: false,
+            replay: false,
+            ..RunnerOptions::default()
+        });
+        for scheme in [SchemeKind::Conventional, SchemeKind::Predicate] {
+            let j = tiny(scheme);
+            let a = replay.run_job(&j);
+            let b = inline.run_job(&j);
+            assert_eq!(
+                a.stats, b.stats,
+                "trace replay must be invisible to statistics ({scheme:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_memo_shares_one_capture_across_cells() {
+        let r = Runner::serial_no_cache();
+        let grid = vec![
+            tiny(SchemeKind::Conventional),
+            tiny(SchemeKind::Predicate),
+            tiny(SchemeKind::PepPa),
+        ];
+        let out = r.run_grid(&grid);
+        assert_eq!(
+            r.traces.lock().unwrap().len(),
+            1,
+            "one capture, three cells"
+        );
+        let t = r.telemetry();
+        assert_eq!(t.captures, 1);
+        assert_eq!(t.trace_memo_hits, 2);
+        assert!((t.trace_memo_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            out.iter().filter(|o| o.trace_memo_hit).count(),
+            2,
+            "exactly the two replaying cells report a memo hit"
+        );
+        assert_eq!(
+            out.iter().filter(|o| o.capture_micros > 0).count(),
+            1,
+            "only the capturing cell is charged capture time"
+        );
+    }
+
+    #[test]
+    fn distinct_budgets_capture_separately() {
+        let r = Runner::serial_no_cache();
+        let long = Job {
+            commits: 6_000,
+            ..tiny(SchemeKind::Conventional)
+        };
+        r.run_grid(&[tiny(SchemeKind::Conventional), long]);
+        assert_eq!(
+            r.traces.lock().unwrap().len(),
+            2,
+            "a longer budget needs its own (longer) capture"
+        );
+        assert_eq!(r.compiled.lock().unwrap().len(), 1, "but shares the binary");
+    }
+
+    #[test]
     fn options_parse_runner_flags() {
         let args: Vec<String> = [
             "--json",
@@ -417,6 +585,7 @@ mod tests {
             "--jobs",
             "4",
             "--no-cache",
+            "--no-replay",
             "--cache-dir",
             "/tmp/c",
         ]
@@ -426,6 +595,7 @@ mod tests {
         let (opts, rest) = RunnerOptions::from_args(&args).unwrap();
         assert_eq!(opts.jobs, 4);
         assert!(!opts.cache);
+        assert!(!opts.replay);
         assert_eq!(
             opts.cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/c"))

@@ -3,8 +3,8 @@
 //! ```text
 //! ppsim run <file.s> [--scheme S] [--commits N] [--trace-events N] [--tiny]
 //! ppsim compile <benchmark> [--ifconv] [--listing]
-//! ppsim bench <benchmark> [--ifconv] [--commits N]
-//! ppsim suite [--jobs N] [--no-cache] [--cache-dir P] [--json P] [--commits N] [--only a,b]
+//! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P]
+//! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir P] [--json P] [--commits N] [--only a,b]
 //! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache]
 //! ppsim list
 //! ```
@@ -12,17 +12,19 @@
 //! `run` executes a hand-written assembly file (the syntax printed by the
 //! disassembler; see `ppsim::isa::parse_program`), `compile` builds one of
 //! the 22 synthetic benchmarks and prints its listing or statistics,
-//! `bench` simulates one benchmark under every prediction scheme, `suite`
-//! regenerates the paper's full evaluation through the parallel runner,
-//! `check` fuzzes the timing model against the architectural emulator
-//! (the differential cosimulation oracle), and `list` prints the
-//! benchmark suite.
+//! `bench` measures the simulator's own throughput — every fig-6a cell
+//! timed through both the inline machine and the trace-replay engine,
+//! with the artifact written to `BENCH_sim.json` — `suite` regenerates
+//! the paper's full evaluation through the parallel runner, `check`
+//! fuzzes the timing model against the architectural emulator (the
+//! differential cosimulation oracle), and `list` prints the benchmark
+//! suite.
 
 use std::process::ExitCode;
 
 use ppsim::check::{run_check, CheckOptions};
 use ppsim::compiler::{compile, CompileOptions};
-use ppsim::core::{experiments, ExperimentConfig, Json, Runner, RunnerOptions, Table};
+use ppsim::core::{experiments, simbench, ExperimentConfig, Json, Runner, RunnerOptions, Table};
 use ppsim::isa::{parse_program, Program};
 use ppsim::pipeline::TestFault;
 use ppsim::prelude::*;
@@ -32,7 +34,7 @@ const FAULTS: &str = "invert-oracle|invert-early-resolve";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench <benchmark> [--ifconv] [--commits N]\n  ppsim suite [--jobs N] [--no-cache] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH]\n  ppsim list"
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH]\n  ppsim list"
     );
     ExitCode::FAILURE
 }
@@ -199,27 +201,38 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "bench" => {
-            let Some(name) = flags.args.first().filter(|a| !a.starts_with("--")) else {
-                return usage();
+            // Simulator-throughput benchmark: every fig-6a cell timed
+            // through the inline machine AND the trace-replay engine.
+            // Exit code 1 if any cell's statistics diverge between the
+            // two paths (the bit-identity guarantee the replay engine
+            // rests on).
+            let mut cfg = simbench::BenchConfig {
+                commits,
+                ..simbench::BenchConfig::default()
             };
-            let Some(spec) = find_benchmark(name) else {
-                eprintln!("unknown benchmark `{name}`");
-                return ExitCode::FAILURE;
-            };
-            let opts = if flags.has("--ifconv") {
-                CompileOptions::with_ifconv()
-            } else {
-                CompileOptions::no_ifconv()
-            };
-            let compiled = compile(&spec, &opts).expect("suite benchmarks compile");
-            for scheme in [
-                SchemeSpec::PepPa,
-                SchemeSpec::Conventional,
-                SchemeSpec::Predicate,
-            ] {
-                simulate(&compiled.program, scheme, commits, 0, false);
+            if let Some(name) = flags.args.first().filter(|a| !a.starts_with("--")) {
+                if find_benchmark(name).is_none() {
+                    eprintln!("unknown benchmark `{name}` (try `ppsim list`)");
+                    return ExitCode::FAILURE;
+                }
+                cfg.only = vec![name.clone()];
             }
-            ExitCode::SUCCESS
+            if let Some(v) = flags.value_of("--only") {
+                cfg.only = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            let report = simbench::run(&cfg);
+            let path = flags.value_of("--json").unwrap_or("BENCH_sim.json");
+            if let Err(e) = std::fs::write(path, format!("{}\n", report.to_json())) {
+                eprintln!("bench: failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench: wrote {path}");
+            println!("bench: {}", report.summary());
+            if report.reports_identical() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         "suite" => {
             // Full paper evaluation through the parallel, cache-aware

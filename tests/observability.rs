@@ -136,6 +136,7 @@ fn warm_cache_rerun_replays_metrics_byte_identically() {
             jobs: 4,
             cache: true,
             cache_dir: Some(d.clone()),
+            ..RunnerOptions::default()
         })
     };
 

@@ -36,6 +36,7 @@ fn runner(jobs: usize, cache_dir: Option<PathBuf>) -> Runner {
         jobs,
         cache: cache_dir.is_some(),
         cache_dir,
+        ..RunnerOptions::default()
     })
 }
 

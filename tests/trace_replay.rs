@@ -1,0 +1,116 @@
+//! End-to-end bit-identity of the trace-replay engine (the acceptance
+//! criterion of the capture-once/replay-many subsystem):
+//!
+//! 1. **Report identity** — a full suite sweep through trace replay (the
+//!    default) emits byte-identical `full_report_json` to the inline
+//!    `--no-replay` path.
+//! 2. **Cell identity** — every `SchemeKind` × `PredicationModel` cell
+//!    (with the shadow predictor attached) produces equal statistics on
+//!    both paths, on both compile modes.
+//! 3. **Telemetry** — the replay runner reports shared captures: far
+//!    fewer captures than jobs, with the memo hit rate accounting for
+//!    the rest.
+
+use ppsim::core::{experiments, ExperimentConfig, Job, Runner, RunnerOptions};
+use ppsim::pipeline::{CoreConfig, PredicationModel, SchemeKind};
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        commits: 20_000,
+        profile_steps: 50_000,
+        only: vec!["gzip".into(), "twolf".into()],
+        ..ExperimentConfig::default()
+    }
+}
+
+fn runner(replay: bool) -> Runner {
+    Runner::new(RunnerOptions {
+        jobs: 4,
+        cache: false,
+        replay,
+        ..RunnerOptions::default()
+    })
+}
+
+#[test]
+fn full_report_is_byte_identical_under_replay() {
+    let cfg = tiny_cfg();
+    let replayed = runner(true);
+    let inline = runner(false);
+    let a = experiments::full_report_json(&replayed, &cfg).to_string();
+    let b = experiments::full_report_json(&inline, &cfg).to_string();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "replay must never change report bytes");
+    assert!(
+        replayed.telemetry().captures > 0,
+        "the replay runner actually captured traces"
+    );
+    assert_eq!(
+        inline.telemetry().captures,
+        0,
+        "the inline runner never captures"
+    );
+}
+
+#[test]
+fn every_cell_matches_inline_statistics() {
+    for ifconv in [false, true] {
+        let jobs: Vec<Job> = SchemeKind::ALL
+            .into_iter()
+            .flat_map(|scheme| {
+                [PredicationModel::Cmov, PredicationModel::Selective]
+                    .into_iter()
+                    .map(move |predication| {
+                        let mut j = Job::new(
+                            "vpr",
+                            ifconv,
+                            scheme,
+                            predication,
+                            10_000,
+                            50_000,
+                            CoreConfig::paper(),
+                        );
+                        j.shadow = true;
+                        j
+                    })
+            })
+            .collect();
+        let a = runner(true).run_grid(&jobs);
+        let b = runner(false).run_grid(&jobs);
+        for ((ra, rb), job) in a.iter().zip(&b).zip(&jobs) {
+            assert_eq!(
+                ra.stats,
+                rb.stats,
+                "cell {} (ifconv={ifconv}) diverged under replay",
+                job.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_telemetry_reports_shared_captures() {
+    let cfg = tiny_cfg();
+    let r = runner(true);
+    experiments::full_report_json(&r, &cfg);
+    let t = r.telemetry();
+    // Two benchmarks, two compile modes, one commit budget → a handful of
+    // distinct captures serve the whole sweep.
+    assert!(t.captures > 0);
+    assert!(
+        t.captures < t.jobs_run,
+        "captures ({}) must be shared across the {} simulated jobs",
+        t.captures,
+        t.jobs_run
+    );
+    assert_eq!(
+        t.captures + t.trace_memo_hits,
+        t.jobs_run,
+        "every simulated job either captured or hit the trace memo"
+    );
+    assert!(t.trace_memo_hit_rate() > 0.5);
+    let json = t.to_json().to_string();
+    for key in ["captures", "trace_memo_hits", "trace_memo_hit_rate"] {
+        assert!(json.contains(key), "telemetry JSON missing {key}");
+    }
+}
