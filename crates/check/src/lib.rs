@@ -39,14 +39,16 @@ use ppsim_runner::hash::{fnv1a64, hex64};
 use ppsim_runner::{pool, DiskCache};
 
 pub use gen::{generate, Form};
-pub use oracle::{check_program, Cell, Divergence, DivergenceKind};
+pub use oracle::{check_program, check_sampled, Cell, Divergence, DivergenceKind};
 pub use shrink::shrink;
 
 /// Bump to invalidate every cached verdict (generator change, new grid
 /// cell, new invariant — anything that could turn a cached pass stale).
 /// v2: grid cells replay the reference capture instead of running
 /// lockstep (one designated cell keeps the full architectural diff).
-const VERDICT_VERSION: &str = "ppsim-check v2";
+/// v3: optional sampled-simulation invariants (identity + epsilon drift)
+/// join the sweep; the epsilon is part of the verdict key.
+const VERDICT_VERSION: &str = "ppsim-check v3";
 
 /// Configuration for one [`run_check`] sweep.
 #[derive(Clone, Debug)]
@@ -67,6 +69,10 @@ pub struct CheckOptions {
     pub dump_dir: Option<PathBuf>,
     /// Shrinker budget: failure-predicate evaluations per divergence.
     pub max_shrink_evals: usize,
+    /// Also run the sampled-simulation invariants, allowing the
+    /// multi-window aggregate misprediction rate to drift at most this
+    /// far from the full run (`None` = sampled checks off).
+    pub sample_epsilon: Option<f64>,
 }
 
 impl Default for CheckOptions {
@@ -80,6 +86,7 @@ impl Default for CheckOptions {
             cache_dir: None,
             dump_dir: None,
             max_shrink_evals: shrink::DEFAULT_MAX_EVALS,
+            sample_epsilon: None,
         }
     }
 }
@@ -166,10 +173,12 @@ enum TaskOut {
 /// Content-address of one task's passing verdict.
 fn verdict_key(opts: &CheckOptions, iter: u64, form: Form) -> String {
     let canon = format!(
-        "{VERDICT_VERSION}|seed={:#x}|iter={iter}|form={}|fault={:?}",
+        "{VERDICT_VERSION}|seed={:#x}|iter={iter}|form={}|fault={:?}|sample={}",
         opts.seed,
         form.name(),
-        opts.fault
+        opts.fault,
+        opts.sample_epsilon
+            .map_or("-".to_string(), |e| format!("{:016x}", e.to_bits()))
     );
     hex64(fnv1a64(canon.as_bytes()))
 }
@@ -181,6 +190,27 @@ static HOOK_LOCK: Mutex<()> = Mutex::new(());
 /// Minimizes a failing program, preserving the original divergence's
 /// cell and kind so the shrinker cannot slide onto a different bug.
 fn minimize(program: &Program, d: &Divergence, opts: &CheckOptions) -> (Program, String) {
+    // Sampled-invariant failures are reproduced through the sampled
+    // checker, not a grid cell.
+    if matches!(
+        d.kind,
+        DivergenceKind::SampleIdentity { .. } | DivergenceKind::SampleDrift { .. }
+    ) {
+        let eps = opts.sample_epsilon.unwrap_or(0.0);
+        let want_cell = d.cell.clone();
+        let want_kind = std::mem::discriminant(&d.kind);
+        let minimized = shrink(program, opts.max_shrink_evals, |p| {
+            matches!(
+                oracle::check_sampled(p, opts.fault, eps),
+                Err(e) if e.cell == want_cell && std::mem::discriminant(&e.kind) == want_kind
+            )
+        });
+        let message = oracle::check_sampled(&minimized, opts.fault, eps)
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| d.to_string());
+        return (minimized, message);
+    }
     let cell = oracle::cell_by_label(&d.cell).unwrap_or_else(|| oracle::Cell::grid()[0]);
     let want_cell = d.cell.clone();
     let want_kind = std::mem::discriminant(&d.kind);
@@ -209,7 +239,11 @@ fn run_task(opts: &CheckOptions, cache_dir: Option<&PathBuf>, k: usize) -> TaskO
     }
 
     let program = generate(opts.seed, iter, form);
-    match check_program(&program, opts.fault) {
+    let outcome = check_program(&program, opts.fault).and_then(|cells| match opts.sample_epsilon {
+        Some(eps) => oracle::check_sampled(&program, opts.fault, eps).map(|extra| cells + extra),
+        None => Ok(cells),
+    });
+    match outcome {
         Ok(cells) => {
             if let Some(p) = &verdict_path {
                 // A failed store just means a re-check next run.
@@ -340,6 +374,22 @@ mod tests {
         assert_eq!(second.cache_hits, 6, "all verdicts served from cache");
         assert_eq!(second.cells_checked, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_sweep_adds_checks_and_passes() {
+        let opts = CheckOptions {
+            sample_epsilon: Some(0.25),
+            ..no_cache(0xC0FFEE, 3)
+        };
+        let report = run_check(&opts);
+        assert!(report.passed(), "{:#?}", report.findings);
+        assert_eq!(report.programs, 6);
+        assert!(
+            report.cells_checked > 66,
+            "sampled checks must add cells beyond the 11-cell grid: {}",
+            report.cells_checked
+        );
     }
 
     #[test]

@@ -185,6 +185,22 @@ pub enum DivergenceKind {
         /// Mispredict count (must be zero).
         mispredicts: u64,
     },
+    /// A single sampled window covering the whole committed stream (no
+    /// skip, no warmup) did not reproduce the full run bit-for-bit.
+    SampleIdentity {
+        /// First differing headline counter, `name: sampled vs full`.
+        detail: String,
+    },
+    /// The multi-window sampled aggregate misprediction rate drifted
+    /// from the full run's beyond the allowed epsilon.
+    SampleDrift {
+        /// Full-run misprediction rate.
+        full: f64,
+        /// Window-aggregate misprediction rate.
+        sampled: f64,
+        /// The configured tolerance.
+        epsilon: f64,
+    },
 }
 
 impl std::fmt::Display for DivergenceKind {
@@ -244,6 +260,17 @@ impl std::fmt::Display for DivergenceKind {
             DivergenceKind::OracleMispredict { mispredicts } => {
                 write!(f, "oracle-final predictor mispredicted {mispredicts} branches")
             }
+            DivergenceKind::SampleIdentity { detail } => {
+                write!(f, "whole-stream sampled window diverged from the full run: {detail}")
+            }
+            DivergenceKind::SampleDrift {
+                full,
+                sampled,
+                epsilon,
+            } => write!(
+                f,
+                "sampled misprediction rate {sampled:.4} vs full {full:.4} exceeds epsilon {epsilon}"
+            ),
         }
     }
 }
@@ -506,6 +533,125 @@ pub fn check_program(program: &Program, fault: Option<TestFault>) -> Result<u64,
     Ok(cells)
 }
 
+/// The sampled-simulation invariants (`ppsim check --sample-epsilon`),
+/// run on the headline predicate/selective cell against the reference
+/// capture:
+///
+/// 1. **Identity** — one window covering the whole committed stream with
+///    no skip and no warmup must reproduce the full replay run's
+///    statistics bit-for-bit (the windowing machinery must add nothing
+///    and lose nothing).
+/// 2. **Drift** — tiling the stream into three warmed-up windows, the
+///    counter-summed aggregate misprediction rate must stay within
+///    `epsilon` of the full run's rate (skipped for programs too short
+///    to tile).
+///
+/// Returns the number of sampled checks performed (1 or 2).
+pub fn check_sampled(
+    program: &Program,
+    fault: Option<TestFault>,
+    epsilon: f64,
+) -> Result<u64, Divergence> {
+    let reference = reference_run(program)?;
+    let cell = Cell {
+        scheme: SchemeSpec::Predicate,
+        predication: PredicationModel::Selective,
+        oracle_final: false,
+    };
+    let label = format!("{}/sampled", cell.label());
+    let diverge = |kind| Divergence {
+        cell: label.clone(),
+        kind,
+    };
+    let mut opts = SimOptions::new(cell.scheme, cell.predication);
+    if let Some(f) = fault {
+        opts = opts.test_fault(f);
+    }
+    let steps = reference.machine.steps();
+    let budget = steps + 8;
+
+    let run_window = |start: u64, len: u64, warmup: u64, measure: u64| {
+        let mut sim = opts
+            .build_replay_window(Arc::clone(&reference.trace), start, len)
+            .map_err(|e| {
+                diverge(DivergenceKind::SimPanicked {
+                    message: format!("build failed: {e}"),
+                })
+            })?;
+        match catch_unwind(AssertUnwindSafe(|| sim.run_sample(warmup, measure))) {
+            Ok(r) => Ok(r.stats),
+            Err(payload) => Err(diverge(DivergenceKind::SimPanicked {
+                message: panic_message(payload),
+            })),
+        }
+    };
+
+    // Ground truth: the plain full replay of the capture.
+    let full = run_window(0, steps, 0, budget)?;
+    let mut sim = opts
+        .build_replay(Arc::clone(&reference.trace))
+        .map_err(|e| {
+            diverge(DivergenceKind::SimPanicked {
+                message: format!("build failed: {e}"),
+            })
+        })?;
+    let plain = match catch_unwind(AssertUnwindSafe(|| sim.run(budget))) {
+        Ok(r) => r.stats,
+        Err(payload) => {
+            return Err(diverge(DivergenceKind::SimPanicked {
+                message: panic_message(payload),
+            }))
+        }
+    };
+    if full != plain {
+        let detail = [
+            ("committed", full.committed, plain.committed),
+            ("cycles", full.cycles, plain.cycles),
+            ("fetched", full.fetched, plain.fetched),
+            ("cond_branches", full.cond_branches, plain.cond_branches),
+            ("mispredicts", full.mispredicts, plain.mispredicts),
+        ]
+        .iter()
+        .find(|(_, a, b)| a != b)
+        .map(|(name, a, b)| format!("{name}: {a} vs {b}"))
+        .unwrap_or_else(|| "non-headline counters differ".to_string());
+        return Err(diverge(DivergenceKind::SampleIdentity { detail }));
+    }
+    let mut checks = 1;
+
+    // Multi-window drift: three equal windows tiling the stream, the
+    // first quarter of each used as warmup.
+    if steps >= 48 {
+        let stride = steps / 3;
+        let warmup = stride / 4;
+        let measure = stride - warmup;
+        let mut aggregate = SimStats::default();
+        for i in 0..3u64 {
+            aggregate.merge(&run_window(i * stride, stride, warmup, measure)?);
+        }
+        // A windowed rate estimate is only meaningful when the measured
+        // phases saw a representative share of the stream's conditional
+        // branches. Tiny generated programs routinely park their handful
+        // of branches inside a warmup phase (where statistics are
+        // deliberately suppressed), making the comparison 0-vs-something
+        // by construction — skip those rather than cry divergence.
+        let representative =
+            plain.cond_branches >= 16 && aggregate.cond_branches * 2 >= plain.cond_branches;
+        if representative {
+            let (f, s) = (plain.misprediction_rate(), aggregate.misprediction_rate());
+            if (s - f).abs() > epsilon {
+                return Err(diverge(DivergenceKind::SampleDrift {
+                    full: f,
+                    sampled: s,
+                    epsilon,
+                }));
+            }
+            checks += 1;
+        }
+    }
+    Ok(checks)
+}
+
 /// Re-checks only `cell` (the shrinker's cheap predicate: one cell
 /// instead of eleven per candidate).
 pub fn check_single_cell(
@@ -560,6 +706,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sampled_invariants_hold_on_generated_programs() {
+        for iter in 0..5 {
+            for form in Form::ALL {
+                let p = generate(0xBEEF, iter, form);
+                if let Err(d) = check_sampled(&p, None, 0.25) {
+                    panic!("iter {iter} {form:?}: {d}\n{}", p.listing());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_drift_detector_has_teeth() {
+        // A negative epsilon turns any drift — even zero — into a
+        // violation on every program long enough to tile into windows.
+        let mut found = false;
+        for iter in 0..10 {
+            let p = generate(0xBEEF, iter, Form::Branchy);
+            match check_sampled(&p, None, -1.0) {
+                Err(d) => {
+                    assert!(matches!(d.kind, DivergenceKind::SampleDrift { .. }), "{d}");
+                    assert!(d.cell.ends_with("/sampled"), "{}", d.cell);
+                    found = true;
+                    break;
+                }
+                Ok(checks) => assert_eq!(checks, 1, "a tiled program must trip the detector"),
+            }
+        }
+        assert!(found, "no generated program was long enough to tile");
     }
 
     #[test]

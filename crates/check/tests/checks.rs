@@ -9,7 +9,7 @@
 use ppsim_check::{run_check, CheckOptions};
 use ppsim_isa::{parse_program, Program};
 use ppsim_pipeline::TestFault;
-use ppsim_predictors::LocalHistoryTable;
+use ppsim_predictors::{BranchPredictor, Gshare, GshareConfig, LocalHistoryTable};
 
 /// Cross-crate regression promised by the `index_of` doc comment: with the
 /// genuine 16-byte slot spacing of `Program::pc_of`, adjacent instruction
@@ -34,6 +34,35 @@ fn adjacent_program_slots_never_alias_in_the_local_history_table() {
                 "slots {i} and {} are not consecutive entries",
                 i + 1
             );
+        }
+    }
+}
+
+/// Same audit for gshare's `(pc >> 4) ^ ghr` index: the 4-bit shift equals
+/// the real 16-byte bundle-slot spacing of `Program::pc_of`, so under a
+/// fixed global history, consecutive instruction slots must read
+/// *distinct, consecutive* 2-bit counters. The counter index a prediction
+/// used is exposed through `Prediction::tag.row`; `undo` restores the GHR
+/// between probes so every slot is sampled under the same history.
+#[test]
+fn adjacent_program_slots_never_alias_in_gshare() {
+    for ghr_bits in [6u32, 10, 14] {
+        let mut g = Gshare::new(GshareConfig { ghr_bits });
+        let entries = 1u32 << ghr_bits;
+        let mut prev = None;
+        for i in 0..2 * entries {
+            let p = g.predict(Program::pc_of(i), 0);
+            g.undo(&p);
+            if let Some(prev) = prev {
+                assert_ne!(p.tag.row, prev, "slots {} and {i} alias", i - 1);
+                assert_eq!(
+                    p.tag.row,
+                    (prev + 1) & (entries - 1),
+                    "slots {} and {i} are not consecutive counters",
+                    i - 1
+                );
+            }
+            prev = Some(p.tag.row);
         }
     }
 }

@@ -23,8 +23,12 @@ pub struct BenchRow {
     pub name: &'static str,
     /// Integer or floating point.
     pub class: WorkloadClass,
-    /// Per-scheme statistics, in the experiment's scheme order.
+    /// Per-scheme statistics, in the experiment's scheme order. For
+    /// sampled runs these are the counter-summed window aggregates.
     pub runs: Vec<SimStats>,
+    /// Per-scheme, per-window statistics when the experiment ran sampled
+    /// (`samples[scheme][window]`); empty for full runs.
+    pub samples: Vec<Vec<SimStats>>,
 }
 
 /// Results of a multi-scheme comparison (Figures 5 and 6a).
@@ -108,6 +112,33 @@ impl Comparison {
         t
     }
 
+    /// Renders the per-window misprediction rates of a sampled run
+    /// (`None` when the comparison came from full runs).
+    pub fn sample_table(&self) -> Option<Table> {
+        if self.rows.iter().all(|r| r.samples.is_empty()) {
+            return None;
+        }
+        let mut headers = vec!["benchmark".to_string(), "window".to_string()];
+        headers.extend(self.schemes.iter().map(|s| format!("{s} misp%")));
+        let mut t = Table::new(
+            format!("{} — per-window samples", self.title),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for row in &self.rows {
+            let windows = row.samples.first().map_or(0, |col| col.len());
+            for w in 0..windows {
+                let mut cells = vec![row.name.to_string(), format!("w{w}")];
+                cells.extend(
+                    row.samples
+                        .iter()
+                        .map(|col| pct(col[w].misprediction_rate())),
+                );
+                t.row(cells);
+            }
+        }
+        Some(t)
+    }
+
     /// Renders the comparison as a JSON object (for `--json` artifacts).
     pub fn to_json(&self) -> Json {
         Json::obj()
@@ -127,7 +158,7 @@ impl Comparison {
                     self.rows
                         .iter()
                         .map(|r| {
-                            Json::obj()
+                            let mut obj = Json::obj()
                                 .field("benchmark", r.name)
                                 .field(
                                     "class",
@@ -154,7 +185,25 @@ impl Comparison {
                                     Json::Arr(
                                         r.runs.iter().map(|s| s.metrics().to_json()).collect(),
                                     ),
-                                )
+                                );
+                            if !r.samples.is_empty() {
+                                obj = obj.field(
+                                    "sample_rates",
+                                    Json::Arr(
+                                        r.samples
+                                            .iter()
+                                            .map(|col| {
+                                                Json::Arr(
+                                                    col.iter()
+                                                        .map(|s| Json::Num(s.misprediction_rate()))
+                                                        .collect(),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                );
+                            }
+                            obj
                         })
                         .collect(),
                 ),
@@ -214,14 +263,35 @@ fn scheme_grid(
             })
         })
         .collect();
-    let results = runner.run_grid(&jobs);
+    // Sampled runs return per-window results plus a counter-summed
+    // aggregate per cell; full runs have no windows.
+    let (results, samples): (Vec<_>, Vec<Vec<SimStats>>) = match cfg.sample {
+        Some(spec) => {
+            let sampled = runner.run_grid_sampled(&jobs, spec);
+            let samples = sampled
+                .iter()
+                .map(|s| s.samples.iter().map(|r| r.stats.clone()).collect())
+                .collect();
+            (sampled.into_iter().map(|s| s.aggregate).collect(), samples)
+        }
+        None => (runner.run_grid(&jobs), vec![Vec::new(); jobs.len()]),
+    };
     specs
         .iter()
-        .zip(results.chunks(schemes.len()))
-        .map(|(spec, chunk)| BenchRow {
+        .zip(
+            results
+                .chunks(schemes.len())
+                .zip(samples.chunks(schemes.len())),
+        )
+        .map(|(spec, (chunk, windows))| BenchRow {
             name: spec.name,
             class: spec.class,
             runs: chunk.iter().map(|r| r.stats.clone()).collect(),
+            samples: if cfg.sample.is_some() {
+                windows.to_vec()
+            } else {
+                Vec::new()
+            },
         })
         .collect()
 }
@@ -551,6 +621,20 @@ pub fn full_report(runner: &Runner, cfg: &ExperimentConfig) -> String {
     let mut out = String::new();
     out.push_str(&table1(cfg));
     out.push('\n');
+    if let Some(spec) = cfg.sample {
+        out.push_str(&format!(
+            "Sampled mode ({}): {} windows of {} measured commits behind {} warmup, \
+             stride {}, skip {} — timing model covers {} of {} commits per cell\n\n",
+            spec.canon(),
+            spec.count,
+            spec.measure,
+            spec.warmup,
+            spec.stride,
+            spec.skip,
+            spec.simulated(),
+            cfg.commits
+        ));
+    }
     let fig5 = fig5(runner, cfg, false);
     out.push_str(&fig5.table().to_string());
     out.push_str(&format!(
@@ -559,6 +643,9 @@ pub fn full_report(runner: &Runner, cfg: &ExperimentConfig) -> String {
     ));
     let fig6a = fig6a(runner, cfg);
     out.push_str(&fig6a.table().to_string());
+    if let Some(t) = fig6a.sample_table() {
+        out.push_str(&t.to_string());
+    }
     out.push_str(&format!(
         "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n\n",
         fig6a.accuracy_gain(1, 2)
@@ -590,9 +677,11 @@ pub fn full_report_json(runner: &Runner, cfg: &ExperimentConfig) -> Json {
     let fig6a = fig6a(runner, cfg);
     let fig6b = fig6b(runner, cfg);
     let ipc = ipc_ablation(runner, cfg);
-    Json::obj()
-        .field("commits", cfg.commits)
-        .field("fig5", fig5.to_json())
+    let mut j = Json::obj().field("commits", cfg.commits);
+    if let Some(spec) = cfg.sample {
+        j = j.field("sample", spec.canon().as_str());
+    }
+    j.field("fig5", fig5.to_json())
         .field("fig6a", fig6a.to_json())
         .field("fig6b", fig6b.to_json())
         .field("ipc_ablation", ipc.to_json())
@@ -673,6 +762,45 @@ mod tests {
     }
 
     #[test]
+    fn sampled_grid_reports_windows_and_aggregates() {
+        use ppsim_pipeline::SampleSpec;
+        let runner = Runner::serial_no_cache();
+        let spec = SampleSpec {
+            skip: 5_000,
+            warmup: 2_000,
+            measure: 8_000,
+            stride: 12_000,
+            count: 2,
+        };
+        let cfg = ExperimentConfig {
+            sample: Some(spec),
+            ..tiny_cfg()
+        };
+        let r = fig5(&runner, &cfg, false);
+        let row = &r.rows[0];
+        assert_eq!(row.samples.len(), 2, "one window column per scheme");
+        for (agg, col) in row.runs.iter().zip(&row.samples) {
+            assert_eq!(col.len(), 2, "one entry per window");
+            assert_eq!(agg.committed, col.iter().map(|s| s.committed).sum::<u64>());
+            assert_eq!(
+                agg.mispredicts,
+                col.iter().map(|s| s.mispredicts).sum::<u64>()
+            );
+        }
+        let t = r
+            .sample_table()
+            .expect("sampled run renders a window table");
+        let t = t.to_string();
+        assert!(t.contains("w0") && t.contains("w1"), "{t}");
+        let j = r.to_json().to_string();
+        assert!(j.contains("sample_rates"), "{j}");
+        // Full runs carry no per-window section.
+        let full = fig5(&runner, &tiny_cfg(), false);
+        assert!(full.sample_table().is_none());
+        assert!(!full.to_json().to_string().contains("sample_rates"));
+    }
+
+    #[test]
     fn comparison_math() {
         use ppsim_pipeline::SimStats;
         let mk = |m: u64| SimStats {
@@ -688,11 +816,13 @@ mod tests {
                     name: "x",
                     class: WorkloadClass::Int,
                     runs: vec![mk(10), mk(5)],
+                    samples: Vec::new(),
                 },
                 BenchRow {
                     name: "y",
                     class: WorkloadClass::Fp,
                     runs: vec![mk(20), mk(15)],
+                    samples: Vec::new(),
                 },
             ],
         };

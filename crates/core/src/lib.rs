@@ -40,8 +40,9 @@ pub mod sweep;
 
 use ppsim_pipeline::CoreConfig;
 
+pub use ppsim_pipeline::{SampleSpec, SampleSpecError};
 pub use ppsim_runner::{
-    DiskCache, Job, JobResult, JobTiming, Json, Runner, RunnerOptions, Telemetry,
+    DiskCache, Job, JobResult, JobTiming, Json, Runner, RunnerOptions, SampledResult, Telemetry,
 };
 pub use report::Table;
 pub use session::{setup, Session};
@@ -57,6 +58,9 @@ pub struct ExperimentConfig {
     pub core: CoreConfig,
     /// Restrict to benchmarks whose name appears here (empty = all 22).
     pub only: Vec<String>,
+    /// Pinpoint-style sampled simulation: replace each full `commits`-long
+    /// run with this schedule's measured windows (`None` = full runs).
+    pub sample: Option<SampleSpec>,
 }
 
 impl Default for ExperimentConfig {
@@ -66,13 +70,16 @@ impl Default for ExperimentConfig {
             profile_steps: 200_000,
             core: CoreConfig::paper(),
             only: Vec::new(),
+            sample: None,
         }
     }
 }
 
 impl ExperimentConfig {
-    /// Reads overrides from the environment: `PPSIM_COMMITS` (u64) and
-    /// `PPSIM_ONLY` (comma-separated benchmark names).
+    /// Reads overrides from the environment: `PPSIM_COMMITS` (u64),
+    /// `PPSIM_ONLY` (comma-separated benchmark names) and `PPSIM_SAMPLE`
+    /// (`skip:warmup:measure:stride:count`, or `default` for
+    /// [`SampleSpec::default_spec`]).
     pub fn from_env() -> Self {
         let mut cfg = ExperimentConfig::default();
         if let Ok(v) = std::env::var("PPSIM_COMMITS") {
@@ -82,6 +89,13 @@ impl ExperimentConfig {
         }
         if let Ok(v) = std::env::var("PPSIM_ONLY") {
             cfg.only = v.split(',').map(|s| s.trim().to_string()).collect();
+        }
+        if let Ok(v) = std::env::var("PPSIM_SAMPLE") {
+            cfg.sample = if v == "default" {
+                Some(SampleSpec::default_spec())
+            } else {
+                SampleSpec::parse(&v).ok()
+            };
         }
         cfg
     }

@@ -18,7 +18,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ppsim_compiler::{compile, spec2000_suite, CompileOptions};
-use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions, SimStats, TraceBuffer};
+use ppsim_isa::Machine;
+use ppsim_pipeline::{PredicationModel, SampleSpec, SchemeSpec, SimOptions, SimStats, TraceBuffer};
 
 use crate::Json;
 
@@ -262,6 +263,245 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     }
 }
 
+/// One cell timed as a full run and as a sampled run (`ppsim bench
+/// --sample`): how much accuracy the sampling schedule gives up and how
+/// much wall time it saves.
+#[derive(Clone, Debug)]
+pub struct SampleCellBench {
+    /// Branch-prediction organization.
+    pub scheme: SchemeSpec,
+    /// Predication model.
+    pub predication: PredicationModel,
+    /// Full-run misprediction rate (the ground truth).
+    pub full_rate: f64,
+    /// Window-aggregate misprediction rate (`Σ misp / Σ branches`).
+    pub sampled_rate: f64,
+    /// Instructions the full run committed.
+    pub full_committed: u64,
+    /// Instructions the sampled run measured (`count * measure`).
+    pub sampled_committed: u64,
+    /// Wall time of the full timing run.
+    pub full_micros: u64,
+    /// Wall time of the sampled timing runs (all windows; checkpoint
+    /// fast-forward excluded — it is amortized once per benchmark, see
+    /// [`SampleBenchRow::ff_micros`]).
+    pub sampled_micros: u64,
+}
+
+impl SampleCellBench {
+    fn label(&self) -> String {
+        let model = match self.predication {
+            PredicationModel::Cmov => "cmov",
+            PredicationModel::Selective => "selective",
+        };
+        format!("{}/{model}", self.scheme.name())
+    }
+
+    /// Absolute misprediction-rate error in percentage points.
+    pub fn error_pp(&self) -> f64 {
+        (self.sampled_rate - self.full_rate).abs() * 100.0
+    }
+}
+
+/// One benchmark of the sampled-vs-full comparison.
+#[derive(Clone, Debug)]
+pub struct SampleBenchRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// One-off cost of walking the functional machine to every window
+    /// start and snapshotting it, shared by every cell.
+    pub ff_micros: u64,
+    /// Per-cell timings and rates.
+    pub cells: Vec<SampleCellBench>,
+}
+
+/// The sampled-vs-full benchmark outcome.
+#[derive(Clone, Debug)]
+pub struct SampleBenchReport {
+    /// Committed-instruction budget of the full runs.
+    pub commits: u64,
+    /// The sampling schedule under test.
+    pub spec: SampleSpec,
+    /// Per-benchmark rows.
+    pub rows: Vec<SampleBenchRow>,
+}
+
+impl SampleBenchReport {
+    /// Total full-run simulation time.
+    pub fn full_micros(&self) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .map(|c| c.full_micros)
+            .sum()
+    }
+
+    /// Total sampled simulation time, *including* each benchmark's
+    /// one-off checkpoint fast-forward — the honest cost of sampling.
+    pub fn sampled_micros(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.ff_micros + r.cells.iter().map(|c| c.sampled_micros).sum::<u64>())
+            .sum()
+    }
+
+    /// Wall-clock speedup of the sampled sweep over the full sweep.
+    pub fn speedup(&self) -> f64 {
+        self.full_micros() as f64 / self.sampled_micros().max(1) as f64
+    }
+
+    /// Largest per-cell misprediction-rate error (percentage points).
+    pub fn max_error_pp(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .map(SampleCellBench::error_pp)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean per-cell misprediction-rate error (percentage points).
+    pub fn mean_error_pp(&self) -> f64 {
+        let cells: Vec<f64> = self
+            .rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .map(SampleCellBench::error_pp)
+            .collect();
+        if cells.is_empty() {
+            return 0.0;
+        }
+        cells.iter().sum::<f64>() / cells.len() as f64
+    }
+
+    /// The machine-readable artifact (`BENCH_sample.json`).
+    pub fn to_json(&self) -> Json {
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            let mut cells = Vec::new();
+            for c in &r.cells {
+                cells.push(
+                    Json::obj()
+                        .field("cell", c.label())
+                        .field("full_rate", c.full_rate)
+                        .field("sampled_rate", c.sampled_rate)
+                        .field("error_pp", c.error_pp())
+                        .field("full_committed", c.full_committed)
+                        .field("sampled_committed", c.sampled_committed)
+                        .field("full_micros", c.full_micros)
+                        .field("sampled_micros", c.sampled_micros),
+                );
+            }
+            rows.push(
+                Json::obj()
+                    .field("name", r.benchmark.as_str())
+                    .field("ff_micros", r.ff_micros)
+                    .field("cells", cells),
+            );
+        }
+        Json::obj()
+            .field("experiment", "bench-sample")
+            .field("commits", self.commits)
+            .field("sample", self.spec.canon().as_str())
+            .field("benchmarks", rows)
+            .field(
+                "aggregate",
+                Json::obj()
+                    .field("full_micros", self.full_micros())
+                    .field("sampled_micros", self.sampled_micros())
+                    .field("speedup", self.speedup())
+                    .field("max_error_pp", self.max_error_pp())
+                    .field("mean_error_pp", self.mean_error_pp()),
+            )
+    }
+
+    /// Human-readable summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} benchmarks x {} cells, sample {}: full {:.2}s, sampled {:.2}s (ff incl.), \
+             speedup {:.2}x, misprediction error mean {:.3}pp / max {:.3}pp",
+            self.rows.len(),
+            CELLS.len(),
+            self.spec.canon(),
+            self.full_micros() as f64 / 1e6,
+            self.sampled_micros() as f64 / 1e6,
+            self.speedup(),
+            self.mean_error_pp(),
+            self.max_error_pp()
+        )
+    }
+}
+
+/// Times every selected benchmark across [`CELLS`] as a full run and as
+/// a checkpoint-based sampled run, comparing rates and wall time.
+pub fn run_sampled(cfg: &BenchConfig, spec: SampleSpec) -> SampleBenchReport {
+    spec.validate()
+        .expect("bench sample spec is validated upstream");
+    let mut rows = Vec::new();
+    for bench in spec2000_suite() {
+        if !cfg.only.is_empty() && !cfg.only.iter().any(|n| n == bench.name) {
+            continue;
+        }
+        let compiled =
+            compile(&bench, &CompileOptions::with_ifconv()).expect("suite benchmarks compile");
+
+        // One functional walk past every window start, snapshotting the
+        // machine at each — the cost every cell of this benchmark shares.
+        let started = Instant::now();
+        let mut machine = Machine::new(&compiled.program);
+        let mut position = 0u64;
+        let mut checkpoints = Vec::with_capacity(spec.count as usize);
+        for i in 0..spec.count {
+            let start = spec.window_start(i);
+            machine
+                .run(start - position)
+                .unwrap_or_else(|e| panic!("functional machine died: {e}"));
+            position = start;
+            checkpoints.push(machine.checkpoint());
+        }
+        let ff_micros = started.elapsed().as_micros() as u64;
+
+        let mut cells = Vec::new();
+        for (scheme, predication) in CELLS {
+            let opts = SimOptions::new(scheme, predication);
+            let (full_stats, full_micros) = run_inline(opts, &compiled.program, cfg.commits);
+
+            let started = Instant::now();
+            let mut aggregate = SimStats::default();
+            for ckpt in &checkpoints {
+                let mut m = Machine::new(&compiled.program);
+                m.restore(ckpt);
+                let mut sim = opts
+                    .build_from_machine(m)
+                    .expect("bench cells carry no overrides");
+                let run = sim.run_sample(spec.warmup, spec.measure);
+                aggregate.merge(&run.stats);
+            }
+            let sampled_micros = started.elapsed().as_micros() as u64;
+
+            cells.push(SampleCellBench {
+                scheme,
+                predication,
+                full_rate: full_stats.misprediction_rate(),
+                sampled_rate: aggregate.misprediction_rate(),
+                full_committed: full_stats.committed,
+                sampled_committed: aggregate.committed,
+                full_micros,
+                sampled_micros,
+            });
+        }
+        rows.push(SampleBenchRow {
+            benchmark: bench.name.to_string(),
+            ff_micros,
+            cells,
+        });
+    }
+    SampleBenchReport {
+        commits: cfg.commits,
+        spec,
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +528,51 @@ mod tests {
                 .and_then(|a| a.get("reports_identical")),
             Some(&Json::Bool(true))
         );
+    }
+
+    #[test]
+    fn sampled_bench_compares_rates_and_counts_work() {
+        let spec = SampleSpec {
+            skip: 2_000,
+            warmup: 1_000,
+            measure: 3_000,
+            stride: 5_000,
+            count: 2,
+        };
+        let report = run_sampled(
+            &BenchConfig {
+                commits: 20_000,
+                only: vec!["gzip".into()],
+            },
+            spec,
+        );
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].cells.len(), CELLS.len());
+        for c in &report.rows[0].cells {
+            assert!(c.full_committed >= 20_000, "{} under-committed", c.label());
+            assert_eq!(
+                c.sampled_committed,
+                u64::from(spec.count) * spec.measure,
+                "{} measured the wrong window total",
+                c.label()
+            );
+            assert!(c.error_pp().is_finite());
+            assert!(
+                c.error_pp() < 50.0,
+                "{}: sampled rate wildly off ({} vs {})",
+                c.label(),
+                c.sampled_rate,
+                c.full_rate
+            );
+        }
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).expect("sample bench artifact parses");
+        assert_eq!(
+            parsed.get("sample"),
+            Some(&Json::Str(spec.canon())),
+            "{text}"
+        );
+        assert!(report.summary().contains("speedup"));
     }
 
     #[test]

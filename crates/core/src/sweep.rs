@@ -17,7 +17,7 @@
 
 use ppsim_pipeline::{PredicationModel, SchemeKind};
 use ppsim_predictors::{PerceptronConfig, PredicateConfig};
-use ppsim_runner::{Job, Json, Runner};
+use ppsim_runner::{Job, JobResult, Json, Runner};
 
 use crate::report::{pct, Table};
 use crate::ExperimentConfig;
@@ -88,6 +88,21 @@ fn names(cfg: &ExperimentConfig) -> Vec<&'static str> {
         .collect()
 }
 
+/// Runs a sweep grid, honouring `cfg.sample`: a sampled configuration
+/// folds each job's measured windows into one counter-summed aggregate
+/// (`SampledResult::aggregate`), so every sweep sees the same result
+/// shape — and the same averaging code — on both paths.
+fn run_jobs(runner: &Runner, cfg: &ExperimentConfig, jobs: &[Job]) -> Vec<JobResult> {
+    match cfg.sample {
+        Some(spec) => runner
+            .run_grid_sampled(jobs, spec)
+            .into_iter()
+            .map(|s| s.aggregate)
+            .collect(),
+        None => runner.run_grid(jobs),
+    }
+}
+
 fn base_job(cfg: &ExperimentConfig, bench: &str, ifconv: bool, scheme: SchemeKind) -> Job {
     Job::new(
         bench,
@@ -127,7 +142,7 @@ fn measure_pair(
             ]
         })
         .collect();
-    let results = runner.run_grid(&jobs);
+    let results = run_jobs(runner, cfg, &jobs);
     let n = names.len().max(1) as f64;
     let conv_sum: f64 = results
         .iter()
@@ -225,7 +240,7 @@ pub fn threshold_sweep(runner: &Runner, cfg: &ExperimentConfig) -> Vec<Threshold
                 })
             })
             .collect();
-        let results = runner.run_grid(&jobs);
+        let results = run_jobs(runner, cfg, &jobs);
         let n = names.len().max(1) as f64;
         // Both schemes share a binary; count statics once per benchmark.
         let branches: u64 = results
@@ -311,7 +326,7 @@ pub fn repair_ablation(runner: &Runner, cfg: &ExperimentConfig) -> Sweep {
                 })
             })
             .collect();
-        let results = runner.run_grid(&jobs);
+        let results = run_jobs(runner, cfg, &jobs);
         let n = names.len().max(1) as f64;
         let conv_sum: f64 = results
             .iter()
@@ -371,6 +386,38 @@ mod tests {
                 .unwrap()
                 .len(),
             5
+        );
+    }
+
+    #[test]
+    fn sampled_sweep_aggregates_windows() {
+        use ppsim_pipeline::SampleSpec;
+        let runner = Runner::serial_no_cache();
+        let cfg = ExperimentConfig {
+            sample: Some(SampleSpec {
+                skip: 2_000,
+                warmup: 1_000,
+                measure: 4_000,
+                stride: 10_000,
+                count: 2,
+            }),
+            ..tiny()
+        };
+        let s = repair_ablation(&runner, &cfg);
+        assert_eq!(s.points.len(), 2);
+        for p in &s.points {
+            assert!((0.0..=1.0).contains(&p.conventional), "{p:?}");
+            assert!((0.0..=1.0).contains(&p.predicate), "{p:?}");
+        }
+        // The sampled estimate tracks the full run loosely even on this
+        // tiny budget — same sign of the repair effect.
+        let full = repair_ablation(&runner, &tiny());
+        assert_eq!(
+            s.points[1].predicate > s.points[0].predicate,
+            full.points[1].predicate > full.points[0].predicate,
+            "sampled repair ablation flips the conclusion: sampled {:?} vs full {:?}",
+            s.points,
+            full.points
         );
     }
 

@@ -263,24 +263,55 @@ impl InsnSource for Machine {
     }
 }
 
-/// A sequential reader over a shared [`TraceBuffer`].
+/// A sequential reader over a shared [`TraceBuffer`], optionally bounded
+/// to a record window (sampled simulation replays `[start, start+len)`
+/// slices of one capture).
 ///
-/// Cheap to construct (an `Arc` clone plus two indices), so every timing
-/// cell in a sweep gets its own cursor over the same capture.
+/// Cheap to construct (an `Arc` clone plus three indices), so every
+/// timing cell in a sweep gets its own cursor over the same capture.
 #[derive(Clone, Debug)]
 pub struct TraceCursor {
     buf: Arc<TraceBuffer>,
     idx: usize,
     addr_idx: usize,
+    /// One past the last record this cursor yields.
+    end: usize,
 }
 
 impl TraceCursor {
-    /// A cursor positioned at the start of `buf`.
+    /// A cursor positioned at the start of `buf`, reading to its end.
     pub fn new(buf: Arc<TraceBuffer>) -> Self {
+        let end = buf.slots.len();
         TraceCursor {
             buf,
             idx: 0,
             addr_idx: 0,
+            end,
+        }
+    }
+
+    /// A cursor over the record window `[start, start + len)` of `buf`
+    /// (clamped to the capture's length).
+    ///
+    /// Positioning is O(start): the dense memory-address side array is
+    /// consumed sequentially, so a mid-stream cursor must know how many
+    /// `Mem` records precede its window — one pass over the flag bytes,
+    /// with no record reconstruction.
+    pub fn window(buf: Arc<TraceBuffer>, start: u64, len: u64) -> Self {
+        let total = buf.slots.len();
+        let start = usize::try_from(start).unwrap_or(usize::MAX).min(total);
+        let end = start
+            .saturating_add(usize::try_from(len).unwrap_or(usize::MAX))
+            .min(total);
+        let addr_idx = buf.flags[..start]
+            .iter()
+            .filter(|&&f| (f >> KIND_SHIFT) & KIND_MASK == KIND_MEM)
+            .count();
+        TraceCursor {
+            buf,
+            idx: start,
+            addr_idx,
+            end,
         }
     }
 
@@ -288,12 +319,17 @@ impl TraceCursor {
     pub fn trace(&self) -> &TraceBuffer {
         &self.buf
     }
+
+    /// Records remaining until the window (or capture) end.
+    pub fn remaining(&self) -> u64 {
+        (self.end - self.idx) as u64
+    }
 }
 
 impl InsnSource for TraceCursor {
     #[inline]
     fn next_record(&mut self) -> Result<Option<ExecRecord>, ExecError> {
-        if self.idx >= self.buf.slots.len() {
+        if self.idx >= self.end {
             return Ok(None);
         }
         let rec = self.buf.record_at(self.idx, &mut self.addr_idx);
@@ -302,6 +338,8 @@ impl InsnSource for TraceCursor {
     }
 
     fn ended_halted(&self) -> bool {
+        // A window that stops short of the capture's end is a budget
+        // exhaustion, not a halt, even on a halted capture.
         self.buf.halted && self.idx == self.buf.slots.len()
     }
 }
@@ -437,6 +475,48 @@ mod tests {
         );
         assert!(incremental.bytes() > 0);
         assert!(!incremental.is_empty());
+    }
+
+    #[test]
+    fn window_cursor_matches_the_corresponding_stream_slice() {
+        let prog = kitchen_sink();
+        let buf = Arc::new(TraceBuffer::capture(&prog, u64::MAX).unwrap());
+        let all: Vec<ExecRecord> = buf.iter().collect();
+        // Every (start, len) window must yield exactly the matching slice
+        // of the full stream — including windows starting after `Mem`
+        // records, which exercise the dense-address repositioning.
+        for start in 0..all.len() {
+            for len in [0usize, 1, 3, all.len()] {
+                let mut cur = TraceCursor::window(Arc::clone(&buf), start as u64, len as u64);
+                let want = &all[start..(start + len).min(all.len())];
+                assert_eq!(cur.remaining(), want.len() as u64);
+                let got: Vec<ExecRecord> =
+                    std::iter::from_fn(|| cur.next_record().unwrap()).collect();
+                assert_eq!(got, want, "window [{start}, {start}+{len})");
+            }
+        }
+    }
+
+    #[test]
+    fn window_halt_semantics() {
+        let prog = kitchen_sink();
+        let buf = Arc::new(TraceBuffer::capture(&prog, u64::MAX).unwrap());
+        let n = buf.len();
+
+        // A window ending before the capture's end is budget exhaustion.
+        let mut short = TraceCursor::window(Arc::clone(&buf), 0, n - 1);
+        while short.next_record().unwrap().is_some() {}
+        assert!(!short.ended_halted());
+
+        // A window reaching the end of a halted capture is a halt.
+        let mut tail = TraceCursor::window(Arc::clone(&buf), n - 2, 1000);
+        while tail.next_record().unwrap().is_some() {}
+        assert!(tail.ended_halted());
+
+        // Windows past the end are empty, and clamp instead of panicking.
+        let mut past = TraceCursor::window(Arc::clone(&buf), n + 50, 10);
+        assert_eq!(past.remaining(), 0);
+        assert!(past.next_record().unwrap().is_none());
     }
 
     #[test]

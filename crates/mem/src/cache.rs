@@ -101,6 +101,35 @@ impl CacheStats {
             1.0 - self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// Counter increments since `base` (an earlier snapshot of the same
+    /// monotonic counters). Sampled simulation uses this to report only
+    /// the measured window: warmup accesses train the cache but are
+    /// subtracted out here.
+    pub fn delta_since(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - base.accesses,
+            hits: self.hits - base.hits,
+            primary_misses: self.primary_misses - base.primary_misses,
+            secondary_misses: self.secondary_misses - base.secondary_misses,
+            mshr_stall_cycles: self.mshr_stall_cycles - base.mshr_stall_cycles,
+            writebacks: self.writebacks - base.writebacks,
+            write_buffer_stall_cycles: self.write_buffer_stall_cycles
+                - base.write_buffer_stall_cycles,
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (aggregating the measured
+    /// windows of a sampled run into one suite-level estimate).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.primary_misses += other.primary_misses;
+        self.secondary_misses += other.secondary_misses;
+        self.mshr_stall_cycles += other.mshr_stall_cycles;
+        self.writebacks += other.writebacks;
+        self.write_buffer_stall_cycles += other.write_buffer_stall_cycles;
+    }
 }
 
 #[derive(Clone, Copy, Debug)]

@@ -51,6 +51,30 @@ pub struct HierarchyStats {
 }
 
 impl HierarchyStats {
+    /// Counter increments since `base` (an earlier snapshot of the same
+    /// hierarchy). The warmup phase of a sampled run trains every cache
+    /// and TLB without reporting: the measured window's statistics are
+    /// the delta over the snapshot taken when measurement began.
+    pub fn delta_since(&self, base: &HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i.delta_since(&base.l1i),
+            l1d: self.l1d.delta_since(&base.l1d),
+            l2: self.l2.delta_since(&base.l2),
+            itlb: (self.itlb.0 - base.itlb.0, self.itlb.1 - base.itlb.1),
+            dtlb: (self.dtlb.0 - base.dtlb.0, self.dtlb.1 - base.dtlb.1),
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (aggregating sampled measured
+    /// windows; the inverse direction of [`HierarchyStats::delta_since`]).
+    pub fn accumulate(&mut self, other: &HierarchyStats) {
+        self.l1i.accumulate(&other.l1i);
+        self.l1d.accumulate(&other.l1d);
+        self.l2.accumulate(&other.l2);
+        self.itlb = (self.itlb.0 + other.itlb.0, self.itlb.1 + other.itlb.1);
+        self.dtlb = (self.dtlb.0 + other.dtlb.0, self.dtlb.1 + other.dtlb.1);
+    }
+
     /// Exports every counter onto a metric registry under stable names
     /// (`l1i.accesses`, `l2.miss_ratio`, `dtlb.misses`, ...). Intended to
     /// be absorbed into a simulation-wide [`MetricSet`] under a `mem.`
@@ -214,6 +238,21 @@ mod tests {
         let s = h.stats();
         assert_eq!(s.itlb.1, 1);
         assert_eq!(s.l1i.hits, 1);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_measured_window() {
+        let mut h = Hierarchy::new(HierarchyConfig::paper());
+        let t = h.data_access(0, 0x40000, false); // warmup: cold miss
+        let base = h.stats();
+        let _ = h.data_access(t, 0x40000, false); // measured: warm hit
+        let d = h.stats().delta_since(&base);
+        assert_eq!(d.l1d.accesses, 1);
+        assert_eq!(d.l1d.hits, 1, "warmup trained the cache");
+        assert_eq!(d.l1d.primary_misses, 0, "the cold miss is warmup's");
+        assert_eq!(d.dtlb, (1, 0));
+        // A zero base is the identity.
+        assert_eq!(h.stats().delta_since(&HierarchyStats::default()), h.stats());
     }
 
     #[test]

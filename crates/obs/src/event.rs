@@ -56,6 +56,12 @@ pub enum EventKind {
     PredicationFlush,
     /// Pipeline flush from a branch misprediction.
     BranchFlush,
+    /// A sampled run crossed from its warmup phase into the measured
+    /// window: statistics were rebased here, so events before this
+    /// marker trained predictors and caches but are excluded from the
+    /// reported counters. The marker is positional — `cycle` is the
+    /// rebase point (the last warmup commit); `seq` and `pc` are zero.
+    MeasurementBegin,
     /// An instruction retired; timestamps of each stage it passed.
     Retire {
         /// Fetch cycle.
@@ -83,6 +89,7 @@ impl EventKind {
             EventKind::UnguardAtRename { .. } => "unguard_at_rename",
             EventKind::PredicationFlush => "predication_flush",
             EventKind::BranchFlush => "branch_flush",
+            EventKind::MeasurementBegin => "measurement_begin",
             EventKind::Retire { .. } => "retire",
         }
     }
@@ -114,9 +121,10 @@ impl EventKind {
                 .field("issue", Json::Int(issue as i64))
                 .field("exec", Json::Int(exec as i64))
                 .field("commit", Json::Int(commit as i64)),
-            EventKind::PredictionUndone | EventKind::PredicationFlush | EventKind::BranchFlush => {
-                obj
-            }
+            EventKind::PredictionUndone
+            | EventKind::PredicationFlush
+            | EventKind::BranchFlush
+            | EventKind::MeasurementBegin => obj,
         }
     }
 }
@@ -325,6 +333,17 @@ mod tests {
         assert!(j.contains("\"commit\":5"), "{j}");
         let parsed = Json::parse(&j).unwrap();
         assert_eq!(parsed.get("recorded").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn measurement_marker_is_detail_free() {
+        let e = ev(0, EventKind::MeasurementBegin);
+        assert_eq!(e.kind.tag(), "measurement_begin");
+        let j = e.to_json().to_string();
+        assert!(j.contains("\"measurement_begin\""), "{j}");
+        // Positional marker: nothing beyond the common fields.
+        let parsed = Json::parse(&j).unwrap();
+        assert!(parsed.get("taken").is_none(), "{j}");
     }
 
     #[test]

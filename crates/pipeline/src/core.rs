@@ -31,7 +31,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ppsim_isa::{AluKind, ExecInfo, ExecRecord, FpuKind, InsnSource, Machine, Op, Program};
-use ppsim_mem::{Hierarchy, HierarchyConfig};
+use ppsim_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use ppsim_obs::{EventKind, EventRing, StallBucket, TraceEvent};
 use ppsim_predictors::{
     BranchPredictor, Gshare, IdealPerceptron, IdealPredicatePredictor, PepPa, PerceptronConfig,
@@ -199,6 +199,12 @@ pub struct Simulator<S: InsnSource = Machine> {
 
     last_iline: u64,
     last_commit: u64,
+    // Sampled-run measurement base: `begin_measurement` pins the commit
+    // frontier and a hierarchy-counter snapshot here, so a measured
+    // window reports cycles and memory statistics relative to where its
+    // warmup phase ended. Both stay zero on ordinary full runs.
+    cycle_base: u64,
+    mem_base: HierarchyStats,
     // Stall bucket the most recent front-end redirect (mispredict, flush
     // or override re-steer) charges the next fetched instruction to.
     pending_redirect: Option<StallBucket>,
@@ -284,6 +290,8 @@ impl<S: InsnSource> Simulator<S> {
             pending_repairs: Vec::new(),
             last_iline: u64::MAX,
             last_commit: 0,
+            cycle_base: 0,
+            mem_base: HierarchyStats::default(),
             pending_redirect: None,
             stats: SimStats::default(),
             branch_hist: FxMap::default(),
@@ -329,12 +337,44 @@ impl<S: InsnSource> Simulator<S> {
                 Err(e) => panic!("functional machine died: {e}"),
             }
         }
-        self.stats.mem = self.hierarchy.stats();
+        self.stats.mem = self.hierarchy.stats().delta_since(&self.mem_base);
         self.stats.branch_pcs = self.branch_histogram();
         RunResult {
             stats: self.stats.clone(),
             halted,
         }
+    }
+
+    /// Starts a measured window: everything simulated so far (the warmup
+    /// phase) trained the predictors, caches and TLBs but is dropped from
+    /// the reported statistics. Counters reset to zero; cycles and memory
+    /// statistics are reported relative to the current commit frontier and
+    /// hierarchy counters, so the pinned `stall.total() == cycles`
+    /// invariant holds *per measured window*.
+    pub fn begin_measurement(&mut self) {
+        self.cycle_base = self.last_commit;
+        self.mem_base = self.hierarchy.stats();
+        self.stats = SimStats::default();
+        self.branch_hist.clear();
+        if let Some(ring) = self.events.as_mut() {
+            ring.push(TraceEvent {
+                seq: 0,
+                pc: 0,
+                cycle: self.cycle_base,
+                kind: EventKind::MeasurementBegin,
+            });
+        }
+    }
+
+    /// Runs one sampled window: `warmup` committed instructions through
+    /// the full timing model with statistics suppressed, then `measure`
+    /// committed instructions that are reported. The source must already
+    /// be positioned at the window start (a restored
+    /// [`ppsim_isa::Checkpoint`] or a [`ppsim_isa::TraceCursor`] window).
+    pub fn run_sample(&mut self, warmup: u64, measure: u64) -> RunResult {
+        self.run(warmup);
+        self.begin_measurement();
+        self.run(measure)
     }
 
     fn latency_of(&self, rec: &ExecRecord) -> u64 {
@@ -986,7 +1026,7 @@ impl<S: InsnSource> Simulator<S> {
 
         // ---- Statistics ----
         self.stats.committed += 1;
-        self.stats.cycles = c;
+        self.stats.cycles = c - self.cycle_base;
         if insn.is_branch() {
             if is_cond_branch {
                 self.stats.cond_branches += 1;
@@ -1598,6 +1638,34 @@ mod tests {
     }
 
     #[test]
+    fn sampled_run_marks_the_measurement_boundary() {
+        let prog = loop_with_branch(2_000, false, 4);
+        let mut s = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Cmov)
+            .trace_events(4096)
+            .build(&prog)
+            .unwrap();
+        s.run_sample(500, 500);
+        let ring = s.events().unwrap();
+        let marker: Vec<_> = ring
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::MeasurementBegin))
+            .collect();
+        assert_eq!(marker.len(), 1, "exactly one warmup/measure boundary");
+        // Retires before the marker are warmup, after are measured; both
+        // phases must be present in the trace.
+        let boundary = marker[0].cycle;
+        let (warm, measured): (Vec<_>, Vec<_>) = ring
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::Retire { commit, .. } => Some(commit),
+                _ => None,
+            })
+            .partition(|c| *c <= boundary);
+        assert!(!warm.is_empty(), "warmup retires traced");
+        assert!(!measured.is_empty(), "measured retires traced");
+    }
+
+    #[test]
     fn stall_buckets_sum_to_cycles() {
         use ppsim_obs::StallBucket;
         for scheme in SchemeSpec::ALL {
@@ -1616,6 +1684,150 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn measured_window_keeps_the_stall_invariant() {
+        use ppsim_isa::TraceBuffer;
+        use std::sync::Arc;
+
+        let program = loop_with_branch(3000, true, 8);
+        let trace = Arc::new(TraceBuffer::capture(&program, 100_000).unwrap());
+        for scheme in SchemeSpec::ALL {
+            let opts = SimOptions::new(scheme, PredicationModel::Selective);
+            let mut s = opts
+                .build_replay_window(Arc::clone(&trace), 5_000, 4_000)
+                .unwrap();
+            let r = s.run_sample(1_000, 3_000);
+            assert_eq!(r.stats.committed, 3_000, "{scheme:?}");
+            assert_eq!(
+                r.stats.stall.total(),
+                r.stats.cycles,
+                "{scheme:?}: the invariant must hold per measured window"
+            );
+            assert!(r.stats.cycles > 0, "{scheme:?}");
+            assert!(
+                r.stats.cycles < 100_000,
+                "{scheme:?}: window cycles are relative to the warmup end"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_statistics_are_dropped_but_training_is_kept() {
+        // Measured window over a biased branch after a long warmup: the
+        // warmup's branches must not appear in the counters, and the
+        // predictor must arrive at the window already trained (near-zero
+        // misprediction on a branch that a cold 2-bit-style counter would
+        // initially miss).
+        use ppsim_isa::TraceBuffer;
+        use std::sync::Arc;
+
+        let program = loop_with_branch(4000, false, 0);
+        let trace = Arc::new(TraceBuffer::capture(&program, 200_000).unwrap());
+        let opts = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov);
+        let mut s = opts
+            .build_replay_window(Arc::clone(&trace), 0, 40_000)
+            .unwrap();
+        let r = s.run_sample(20_000, 20_000);
+        assert_eq!(r.stats.committed, 20_000);
+        let full = opts.build_replay(Arc::clone(&trace)).unwrap().run(200_000);
+        assert!(
+            r.stats.cond_branches < full.stats.cond_branches,
+            "window counts only its own branches"
+        );
+        assert!(
+            r.stats.misprediction_rate() < 0.02,
+            "warmup trained the predictor: rate={}",
+            r.stats.misprediction_rate()
+        );
+        // The warmup's cold-start cache misses are subtracted out.
+        assert!(r.stats.mem.l1d.accesses < full.stats.mem.l1d.accesses);
+    }
+
+    #[test]
+    fn checkpointed_inline_sample_matches_window_replay() {
+        // The two ways of reaching a sampled window — restoring a machine
+        // checkpoint taken after `start` functional steps, and seeking a
+        // trace cursor to record `start` — must produce identical
+        // statistics for the same warmup+measure schedule.
+        use ppsim_isa::{Machine, TraceBuffer};
+        use std::sync::Arc;
+
+        let program = loop_with_branch(3000, true, 4);
+        let (start, warmup, measure) = (7_000u64, 2_000u64, 5_000u64);
+        let trace = Arc::new(TraceBuffer::capture(&program, 100_000).unwrap());
+
+        // Functional fast-forward + checkpoint + restore.
+        let mut ff = Machine::new(&program);
+        ff.run(start).unwrap();
+        let ckpt = ff.checkpoint();
+
+        for scheme in [SchemeSpec::Conventional, SchemeSpec::Predicate] {
+            let opts = SimOptions::new(scheme, PredicationModel::Selective);
+
+            let mut restored = Machine::new(&program);
+            restored.restore(&ckpt);
+            let inline = opts
+                .build_from_machine(restored)
+                .unwrap()
+                .run_sample(warmup, measure);
+
+            let replay = opts
+                .build_replay_window(Arc::clone(&trace), start, warmup + measure)
+                .unwrap()
+                .run_sample(warmup, measure);
+
+            assert_eq!(inline.halted, replay.halted, "{scheme:?}");
+            assert_eq!(
+                inline.stats, replay.stats,
+                "{scheme:?}: checkpoint restore and cursor window must agree"
+            );
+            assert_eq!(inline.stats.committed, measure);
+        }
+    }
+
+    #[test]
+    fn sampled_aggregate_tracks_the_full_run() {
+        // Three windows over a strongly patterned branch stream: the
+        // merged estimate must land near the full run's misprediction
+        // rate (the `ppsim check` sampled invariant in miniature).
+        use ppsim_isa::TraceBuffer;
+        use std::sync::Arc;
+
+        let program = loop_with_branch(8000, true, 0);
+        let trace = Arc::new(TraceBuffer::capture(&program, 400_000).unwrap());
+        let opts = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov);
+        let full = opts.build_replay(Arc::clone(&trace)).unwrap().run(400_000);
+
+        let spec = crate::SampleSpec {
+            skip: 5_000,
+            warmup: 3_000,
+            measure: 8_000,
+            stride: 12_000,
+            count: 3,
+        };
+        let mut agg = SimStats::default();
+        for i in 0..spec.count {
+            let r = opts
+                .build_replay_window(
+                    Arc::clone(&trace),
+                    spec.window_start(i),
+                    spec.warmup + spec.measure,
+                )
+                .unwrap()
+                .run_sample(spec.warmup, spec.measure);
+            agg.merge(&r.stats);
+        }
+        assert_eq!(agg.committed, 3 * 8_000);
+        assert_eq!(agg.stall.total(), agg.cycles);
+        let err = (agg.misprediction_rate() - full.stats.misprediction_rate()).abs();
+        assert!(
+            err < 0.02,
+            "sampled {} vs full {} (err {err})",
+            agg.misprediction_rate(),
+            full.stats.misprediction_rate()
+        );
     }
 
     #[test]

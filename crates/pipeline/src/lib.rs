@@ -47,6 +47,7 @@ mod core;
 mod fxhash;
 mod options;
 mod resources;
+mod sample;
 mod stats;
 
 pub use crate::core::{RunResult, Simulator};
@@ -62,4 +63,5 @@ pub use ppsim_predictors::SchemeSpec;
 /// `ppsim-predictors` so every layer shares one scheme authority).
 pub use ppsim_predictors::SchemeSpec as SchemeKind;
 pub use resources::{Pool, UnitSet, WidthLimiter};
+pub use sample::{SampleSpec, SampleSpecError};
 pub use stats::SimStats;

@@ -8,7 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use ppsim_isa::{Program, TraceBuffer, TraceCursor};
+use ppsim_isa::{Machine, Program, TraceBuffer, TraceCursor};
 use ppsim_predictors::{PerceptronConfig, PredicateConfig, SchemeSpec};
 
 use crate::config::{CoreConfig, PredicationModel};
@@ -156,6 +156,16 @@ impl SimOptions {
         Ok(Simulator::from_options(program, self))
     }
 
+    /// Validates the options and builds a simulator around an existing
+    /// functional machine — typically one restored from a
+    /// [`ppsim_isa::Checkpoint`], so a sampled run starts its warmup at
+    /// the window position without replaying the skipped prefix through
+    /// the timing model.
+    pub fn build_from_machine(self, machine: Machine) -> Result<Simulator, SimOptionsError> {
+        self.validate()?;
+        Ok(Simulator::from_source(machine, self))
+    }
+
     /// Validates the options and builds a simulator replaying a captured
     /// trace instead of stepping an inline functional machine.
     ///
@@ -175,6 +185,25 @@ impl SimOptions {
     ) -> Result<Simulator<TraceCursor>, SimOptionsError> {
         self.validate()?;
         Ok(Simulator::from_source(TraceCursor::new(trace), self))
+    }
+
+    /// Validates the options and builds a simulator replaying the
+    /// `len`-record window of `trace` starting at record `start` — one
+    /// sampled window driven from a shared capture (see
+    /// [`ppsim_isa::TraceCursor::window`]). Windows past the capture's
+    /// end clamp to empty, mirroring a too-short capture under
+    /// [`SimOptions::build_replay`].
+    pub fn build_replay_window(
+        self,
+        trace: Arc<TraceBuffer>,
+        start: u64,
+        len: u64,
+    ) -> Result<Simulator<TraceCursor>, SimOptionsError> {
+        self.validate()?;
+        Ok(Simulator::from_source(
+            TraceCursor::window(trace, start, len),
+            self,
+        ))
     }
 }
 

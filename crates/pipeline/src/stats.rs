@@ -108,6 +108,48 @@ impl SimStats {
         }
     }
 
+    /// Folds another run's counters into `self` — the sampled-simulation
+    /// aggregate. Summing raw counters before deriving rates weights each
+    /// measured window by the work it did: aggregate misprediction rate is
+    /// `Σ mispredicts / Σ cond_branches`, aggregate IPC is
+    /// `Σ committed / Σ cycles`. Per-branch histograms merge by slot and
+    /// stay sorted; per-window `stall.total() == cycles` invariants sum
+    /// into the same invariant on the aggregate.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.fetched += other.fetched;
+        self.renamed += other.renamed;
+        self.early_resolved_mispredicts += other.early_resolved_mispredicts;
+        self.cond_branches += other.cond_branches;
+        self.mispredicts += other.mispredicts;
+        self.uncond_branches += other.uncond_branches;
+        self.compares += other.compares;
+        self.early_resolved += other.early_resolved;
+        self.early_resolved_saves += other.early_resolved_saves;
+        self.shadow_mispredicts += other.shadow_mispredicts;
+        self.overrides += other.overrides;
+        self.predicate_predictions += other.predicate_predictions;
+        self.predicate_mispredictions += other.predicate_mispredictions;
+        self.cancelled_at_rename += other.cancelled_at_rename;
+        self.unguarded_at_rename += other.unguarded_at_rename;
+        self.predication_flushes += other.predication_flushes;
+        self.nullified += other.nullified;
+        for (bucket, cycles) in other.stall.iter() {
+            self.stall.charge(bucket, cycles);
+        }
+        for &(slot, execs, miss) in &other.branch_pcs {
+            match self.branch_pcs.binary_search_by_key(&slot, |r| r.0) {
+                Ok(i) => {
+                    self.branch_pcs[i].1 += execs;
+                    self.branch_pcs[i].2 += miss;
+                }
+                Err(i) => self.branch_pcs.insert(i, (slot, execs, miss)),
+            }
+        }
+        self.mem.accumulate(&other.mem);
+    }
+
     /// Exports every counter, derived rate, stall bucket and the per-PC
     /// branch histogram onto one typed registry with stable names — the
     /// canonical metric block carried by reports and `--json` artifacts.
@@ -207,6 +249,38 @@ mod tests {
         assert_eq!(m.get("ipc").unwrap().value(), 2.5);
         assert_eq!(m.histogram_for("branch_sites").unwrap().len(), 2);
         assert_eq!(m.counter_value("mem.l1d.accesses"), Some(0));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_histograms_sorted() {
+        use ppsim_obs::StallBucket;
+        let mut a = SimStats {
+            cycles: 100,
+            committed: 250,
+            cond_branches: 50,
+            mispredicts: 5,
+            branch_pcs: vec![(2, 10, 1), (7, 4, 0)],
+            ..SimStats::default()
+        };
+        a.stall.charge(StallBucket::CommitBound, 100);
+        a.mem.l1d.accesses = 30;
+        let mut b = SimStats {
+            cycles: 40,
+            committed: 80,
+            cond_branches: 20,
+            mispredicts: 4,
+            branch_pcs: vec![(1, 3, 2), (7, 6, 1)],
+            ..SimStats::default()
+        };
+        b.stall.charge(StallBucket::IssueWait, 40);
+        b.mem.l1d.accesses = 10;
+        a.merge(&b);
+        assert_eq!(a.cycles, 140);
+        assert_eq!(a.committed, 330);
+        assert!((a.misprediction_rate() - 9.0 / 70.0).abs() < 1e-12);
+        assert_eq!(a.stall.total(), a.cycles, "invariant survives merging");
+        assert_eq!(a.branch_pcs, vec![(1, 3, 2), (2, 10, 1), (7, 10, 1)]);
+        assert_eq!(a.mem.l1d.accesses, 40);
     }
 
     #[test]

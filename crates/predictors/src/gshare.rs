@@ -18,9 +18,11 @@ impl GshareConfig {
         GshareConfig { ghr_bits: 14 }
     }
 
-    /// Counter-table budget in bytes (2-bit counters, bit-packed).
+    /// Counter-table budget in bytes (2-bit counters, bit-packed). A
+    /// partial trailing byte rounds *up* — hardware cannot allocate
+    /// fractional bytes — matching every other predictor's accounting.
     pub fn table_bytes(&self) -> usize {
-        (1usize << self.ghr_bits) * 2 / 8
+        ((1usize << self.ghr_bits) * 2).div_ceil(8)
     }
 }
 
@@ -51,6 +53,17 @@ impl Gshare {
         self.ghr.value()
     }
 
+    /// Counter-table index for a branch: `(pc >> 4) ^ ghr`, masked.
+    ///
+    /// The 4-bit shift is exactly the bundle-slot spacing — `Program::pc_of`
+    /// places slot `s` at `CODE_BASE + s * SLOT_BYTES` with
+    /// `SLOT_BYTES == 16` — so `pc >> 4` yields *consecutive* integers for
+    /// consecutive slots and adjacent branches under the same history never
+    /// alias onto one counter (audited for this PR; the cross-crate pin
+    /// against the real `Program::pc_of` lives in
+    /// `crates/check/tests/checks.rs`). Shifting by more would fold
+    /// neighboring slots together; shifting by less would leave dead
+    /// always-zero index bits.
     fn index(&self, pc: u64, ghr: u64) -> usize {
         (((pc >> 4) ^ ghr) as usize) & self.mask
     }
@@ -160,6 +173,24 @@ mod tests {
         let p = g.predict(0x4000, 0);
         g.recover(&p, true);
         assert_eq!(g.ghr_value(), (v0 << 1 | 1) & 0xff);
+    }
+
+    #[test]
+    fn adjacent_slots_never_alias() {
+        // 16-byte bundle slots: PCs of consecutive slots differ by exactly
+        // one unit after the `>> 4`, so under any fixed history a run of
+        // consecutive slot PCs must index pairwise-distinct counters.
+        let g = Gshare::new(GshareConfig { ghr_bits: 8 });
+        for ghr in [0u64, 0x3F, 0xFF] {
+            let idx: Vec<usize> = (0..32u64)
+                .map(|s| g.index(0x4000_0000 + s * 16, ghr))
+                .collect();
+            for (i, a) in idx.iter().enumerate() {
+                for (j, b) in idx.iter().enumerate().skip(i + 1) {
+                    assert_ne!(a, b, "slots {i} and {j} alias under ghr={ghr:#x}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -53,11 +53,26 @@ impl PepPaConfig {
         }
     }
 
-    /// Hardware budget in bytes.
+    /// Dual local-history table budget in bytes: two `lh_bits`-bit
+    /// histories per (power-of-two-rounded) entry, bit-packed, with a
+    /// partial trailing byte rounding up.
+    pub fn bht_bytes(&self) -> usize {
+        (self.bht_entries.next_power_of_two() * 2 * self.lh_bits as usize).div_ceil(8)
+    }
+
+    /// Pattern-history-table budget in bytes (2-bit counters, bit-packed,
+    /// rounded up to whole bytes).
+    pub fn pht_bytes(&self) -> usize {
+        ((1usize << self.pht_bits) * 2).div_ceil(8)
+    }
+
+    /// Hardware budget in bytes. Summed per *component* — each table
+    /// rounds to whole bytes on its own, exactly as
+    /// `sizing::peppa_budget` itemizes them — rather than pooling bits
+    /// across tables and flooring once, which under-counted odd
+    /// geometries by up to a byte per table.
     pub fn table_bytes(&self) -> usize {
-        let bht_bits = self.bht_entries.next_power_of_two() * 2 * self.lh_bits as usize;
-        let pht_bits = (1usize << self.pht_bits) * 2;
-        (bht_bits + pht_bits) / 8
+        self.bht_bytes() + self.pht_bytes()
     }
 }
 

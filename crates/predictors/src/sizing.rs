@@ -53,13 +53,16 @@ pub fn perceptron_budget(cfg: &PerceptronConfig) -> Budget {
     }
 }
 
-/// Budget of the PEP-PA baseline.
+/// Budget of the PEP-PA baseline. Components come straight from the
+/// config's own byte accounting so the report can never drift from
+/// [`PepPaConfig::table_bytes`].
 pub fn peppa_budget(cfg: &PepPaConfig) -> Budget {
-    let bht = (cfg.bht_entries.next_power_of_two() * 2 * cfg.lh_bits as usize) / 8;
-    let pht = (1usize << cfg.pht_bits) * 2 / 8;
     Budget {
         name: "PEP-PA",
-        components: vec![("dual local histories", bht), ("2-bit PHT", pht)],
+        components: vec![
+            ("dual local histories", cfg.bht_bytes()),
+            ("2-bit PHT", cfg.pht_bytes()),
+        ],
     }
 }
 
@@ -106,6 +109,10 @@ mod tests {
 
     #[test]
     fn paper_budgets_match_the_paper() {
+        // Table-1 totals, re-derived with per-component round-up
+        // accounting. Every paper geometry is byte-aligned (all bit
+        // counts divisible by 8), so unifying the old floor-`/8` paths
+        // onto `div_ceil(8)` leaves these exact totals unchanged.
         assert_eq!(
             gshare_budget(&GshareConfig::paper_4kb()).total_bytes(),
             4096
@@ -124,6 +131,31 @@ mod tests {
         );
         // Confidence adds ~1.4 KB — the paper's "minimal extra hardware".
         assert!(pp.components[2].1 < 2 * 1024);
+    }
+
+    #[test]
+    fn partial_bytes_round_up_per_component() {
+        // A 1-bit-GHR gshare holds 2 counters = 4 bits; the old floor
+        // arithmetic priced that at 0 bytes.
+        assert_eq!(GshareConfig { ghr_bits: 1 }.table_bytes(), 1);
+        // 2 BHT entries × 2 × 5 bits = 20 bits → 3 B, 2^3 × 2-bit PHT =
+        // 16 bits → 2 B. Pooling the 36 bits and flooring gave 4 B;
+        // per-component round-up gives 5.
+        let odd = PepPaConfig {
+            bht_entries: 2,
+            lh_bits: 5,
+            pht_bits: 3,
+        };
+        assert_eq!(odd.bht_bytes(), 3);
+        assert_eq!(odd.pht_bytes(), 2);
+        assert_eq!(odd.table_bytes(), 5);
+        // The sizing report and the config agree byte for byte, for any
+        // geometry — the report is built from the same accessors.
+        assert_eq!(peppa_budget(&odd).total_bytes(), odd.table_bytes());
+        assert_eq!(
+            peppa_budget(&PepPaConfig::tiny()).total_bytes(),
+            PepPaConfig::tiny().table_bytes()
+        );
     }
 
     #[test]

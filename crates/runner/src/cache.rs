@@ -44,9 +44,11 @@ use crate::job::{Job, JobResult};
 /// v2 added the stall-attribution buckets and the per-branch rows; v3
 /// added the committed-path stage counters (`fetched`, `renamed`) and
 /// `early_resolved_mispredicts`; v4 added the `time.*` telemetry lines
-/// (wall/compile/capture/sim), so entries from older versions (which
-/// lack them) read as misses.
-const HEADER: &str = "ppsim-cache v4";
+/// (wall/compile/capture/sim); v5 added the `sample=` axis to the
+/// canonical job encoding, so a sampled window and a full run can never
+/// alias. Entries from any other version — older or newer — read as
+/// misses (the exact-match header check below), never as wrong results.
+const HEADER: &str = "ppsim-cache v5";
 /// Last line; its absence marks a truncated entry.
 const FOOTER: &str = "end";
 
@@ -507,6 +509,32 @@ mod tests {
         text = text.replace("job.bench=gzip", "job.bench=vortex");
         fs::write(cache.dir().join(format!("{}.result", j.hash_hex())), text).unwrap();
         assert!(cache.load(&j).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_format_version_misses() {
+        // An entry written by any other format version — the v4 layout
+        // that predates the sample axis, an ancient v3, or a future v6 —
+        // must read as a miss, never be parsed with today's field
+        // semantics.
+        let dir = temp_dir("version");
+        let cache = DiskCache::open(&dir).unwrap();
+        let j = job();
+        let current = render_entry(&j, &result());
+        assert!(current.starts_with("ppsim-cache v5\n"), "{current}");
+        for stale in ["ppsim-cache v3", "ppsim-cache v4", "ppsim-cache v6"] {
+            let text = current.replacen(HEADER, stale, 1);
+            fs::write(cache.dir().join(format!("{}.result", j.hash_hex())), text).unwrap();
+            assert!(cache.load(&j).is_none(), "{stale} entry must miss");
+        }
+        // Restoring the real header makes the same bytes hit again.
+        fs::write(
+            cache.dir().join(format!("{}.result", j.hash_hex())),
+            current,
+        )
+        .unwrap();
+        assert!(cache.load(&j).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

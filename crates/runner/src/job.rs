@@ -10,10 +10,23 @@
 //! encodings are treated as distinct (the cache compares the full
 //! encoding, not just the hash).
 
-use ppsim_pipeline::{CoreConfig, PredicationModel, SchemeKind, SimStats};
+use ppsim_pipeline::{CoreConfig, PredicationModel, SampleSpec, SchemeKind, SimStats};
 use ppsim_predictors::{PerceptronConfig, PredicateConfig};
 
 use crate::hash::{fnv1a64, hex64};
+
+/// One window of a sampled run: the full schedule plus which of its
+/// windows this job simulates. A sampled grid cell expands into `count`
+/// of these (see `Runner::run_grid_sampled`); each is cached
+/// independently, so re-running with one more window only simulates the
+/// new window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleSlice {
+    /// The full sampling schedule.
+    pub spec: SampleSpec,
+    /// Which window (`0..spec.count`) this job runs.
+    pub index: u32,
+}
 
 /// One simulation cell: (benchmark, compile flags, scheme, predication
 /// model, machine, budget) plus optional predictor-geometry overrides.
@@ -44,6 +57,8 @@ pub struct Job {
     /// Predicate-predictor configuration override (`None` = paper 148 KB,
     /// 3-bit confidence).
     pub predicate: Option<PredicateConfig>,
+    /// Sampled-simulation window (`None` = a full run over `commits`).
+    pub sample: Option<SampleSlice>,
 }
 
 impl Job {
@@ -69,6 +84,7 @@ impl Job {
             core,
             perceptron: None,
             predicate: None,
+            sample: None,
         }
     }
 
@@ -158,6 +174,13 @@ impl Job {
                 )
             }),
         );
+        kv(
+            &mut s,
+            "sample",
+            &self.sample.as_ref().map_or("-".to_string(), |slice| {
+                format!("{}@{}", slice.spec.canon(), slice.index)
+            }),
+        );
         s
     }
 
@@ -187,11 +210,14 @@ impl Job {
     /// A short human-readable label for telemetry and progress output.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}{}{}",
+            "{}/{}{}{}{}",
             self.benchmark,
             self.scheme.name(),
             if self.ifconv { "/ifconv" } else { "" },
             if self.shadow { "/shadow" } else { "" },
+            self.sample
+                .as_ref()
+                .map_or(String::new(), |s| format!("/s{}", s.index)),
         )
     }
 }
@@ -252,6 +278,7 @@ mod tests {
             "rob:256",
             "repair:1",
             "perceptron=-",
+            "sample=-",
         ] {
             assert!(c.contains(key), "missing {key} in:\n{c}");
         }
@@ -317,10 +344,33 @@ mod tests {
                 predicate: Some(PredicateConfig::paper_148kb()),
                 ..b.clone()
             },
+            Job {
+                sample: Some(SampleSlice {
+                    spec: SampleSpec::default_spec(),
+                    index: 0,
+                }),
+                ..b.clone()
+            },
         ];
         for v in &variants {
             assert_ne!(v.hash(), h, "axis not hashed: {v:?}");
         }
+        // Different windows of the same schedule are distinct jobs.
+        let s0 = Job {
+            sample: Some(SampleSlice {
+                spec: SampleSpec::default_spec(),
+                index: 0,
+            }),
+            ..b.clone()
+        };
+        let s1 = Job {
+            sample: Some(SampleSlice {
+                spec: SampleSpec::default_spec(),
+                index: 1,
+            }),
+            ..b.clone()
+        };
+        assert_ne!(s0.hash(), s1.hash(), "window index not hashed");
     }
 
     #[test]
@@ -350,5 +400,13 @@ mod tests {
             ..base()
         };
         assert_eq!(j.label(), "gzip/predicate/ifconv/shadow");
+        let sampled = Job {
+            sample: Some(SampleSlice {
+                spec: SampleSpec::default_spec(),
+                index: 2,
+            }),
+            ..base()
+        };
+        assert_eq!(sampled.label(), "gzip/predicate/s2");
     }
 }

@@ -29,10 +29,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ppsim_compiler::{compile, spec2000_suite, CompileOptions, Compiled, WorkloadSpec};
-use ppsim_pipeline::{SimOptions, TraceBuffer};
+use ppsim_isa::{Checkpoint, Machine};
+use ppsim_pipeline::{RunResult, SampleSpec, SimOptions, TraceBuffer};
 
 pub use cache::DiskCache;
-pub use job::{Job, JobResult};
+pub use job::{Job, JobResult, SampleSlice};
 pub use ppsim_obs::Json;
 
 /// How a [`Runner`] executes grids.
@@ -241,11 +242,35 @@ impl CompileKey {
 /// Trace memo key: the binary identity plus the capture budget. Jobs
 /// with different commit budgets need different capture lengths, so the
 /// budget is part of the key (in practice a sweep uses one budget, so
-/// every cell of a benchmark shares one capture).
+/// every cell of a benchmark shares one capture; a sampled sweep's cells
+/// all share one capture spanning the last window's end).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct TraceKey {
     compile: CompileKey,
     steps: u64,
+}
+
+/// Machine-checkpoint memo key: the binary identity plus the functional
+/// fast-forward distance. Sampled jobs on the inline (no-replay) path
+/// restore from these instead of re-running the skipped prefix; windows
+/// of one schedule each get their own key, but every scheme×predication
+/// cell at the same window shares one checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CkptKey {
+    compile: CompileKey,
+    steps: u64,
+}
+
+/// One sampled grid cell after aggregation: the merged estimate plus the
+/// per-window results it was built from (reports show both).
+#[derive(Clone, Debug)]
+pub struct SampledResult {
+    /// Counter-summed aggregate of every window (see
+    /// `SimStats::merge`): rates derived from it are the sampled
+    /// estimates of the full run's rates.
+    pub aggregate: JobResult,
+    /// Per-window results, in window order.
+    pub samples: Vec<JobResult>,
 }
 
 /// The experiment execution engine.
@@ -261,6 +286,9 @@ pub struct Runner {
     /// Per-(binary, budget) captured-trace memo, same locking discipline
     /// as `compiled`: capture once, replay from every cell.
     traces: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<TraceBuffer>>>>>,
+    /// Per-(binary, fast-forward) machine-checkpoint memo for sampled
+    /// inline jobs: fast-forward once, restore per cell.
+    ckpts: Mutex<HashMap<CkptKey, Arc<OnceLock<Arc<Checkpoint>>>>>,
     telemetry: Mutex<Telemetry>,
 }
 
@@ -283,6 +311,7 @@ impl Runner {
             suite: spec2000_suite(),
             compiled: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
+            ckpts: Mutex::new(HashMap::new()),
             telemetry: Mutex::new(Telemetry::default()),
         }
     }
@@ -345,6 +374,58 @@ impl Runner {
         self.run_grid(std::slice::from_ref(job)).pop().unwrap()
     }
 
+    /// Runs a grid of cells in sampled mode: each cell expands into
+    /// `spec.count` window jobs (cached and scheduled independently, like
+    /// any other job), and the windows' counters are merged back into one
+    /// aggregate per cell. Results come back in grid order, so reports
+    /// built from them are as deterministic as full-run reports.
+    ///
+    /// Cells carrying their own `sample` slice are rejected — the
+    /// schedule is this call's to assign.
+    pub fn run_grid_sampled(&self, jobs: &[Job], spec: SampleSpec) -> Vec<SampledResult> {
+        assert!(
+            jobs.iter().all(|j| j.sample.is_none()),
+            "sampled grids are expanded here; cells must not pre-assign windows"
+        );
+        let expanded: Vec<Job> = jobs
+            .iter()
+            .flat_map(|j| {
+                (0..spec.count).map(move |index| Job {
+                    sample: Some(SampleSlice { spec, index }),
+                    ..j.clone()
+                })
+            })
+            .collect();
+        let results = self.run_grid(&expanded);
+        results
+            .chunks(spec.count as usize)
+            .map(|samples| {
+                let mut aggregate = samples[0].clone();
+                aggregate.stats = samples[0].stats.clone();
+                for s in &samples[1..] {
+                    aggregate.stats.merge(&s.stats);
+                    aggregate.from_cache &= s.from_cache;
+                    aggregate.wall_micros += s.wall_micros;
+                    aggregate.compile_micros += s.compile_micros;
+                    aggregate.capture_micros += s.capture_micros;
+                    aggregate.sim_micros += s.sim_micros;
+                    aggregate.trace_memo_hit |= s.trace_memo_hit;
+                }
+                SampledResult {
+                    aggregate,
+                    samples: samples.to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs a single cell in sampled mode (sampled grid of one).
+    pub fn run_job_sampled(&self, job: &Job, spec: SampleSpec) -> SampledResult {
+        self.run_grid_sampled(std::slice::from_ref(job), spec)
+            .pop()
+            .unwrap()
+    }
+
     /// Compiles (or returns the memoized binary for) a job's benchmark.
     fn compiled_for(&self, job: &Job) -> Arc<Compiled> {
         let key = CompileKey::of(job);
@@ -372,14 +453,20 @@ impl Runner {
         .clone()
     }
 
-    /// Returns the shared capture for a job's (binary, budget), capturing
-    /// it on first use. Yields `(trace, capture_micros, memo_hit)`:
-    /// `capture_micros` is nonzero only for the worker that performed the
-    /// capture.
-    fn trace_for(&self, job: &Job, compiled: &Compiled) -> (Arc<TraceBuffer>, u64, bool) {
+    /// Returns the shared capture of `steps` records for a job's binary,
+    /// capturing it on first use. Yields `(trace, capture_micros,
+    /// memo_hit)`: `capture_micros` is nonzero only for the worker that
+    /// performed the capture. Full runs capture `job.commits` records;
+    /// sampled runs capture the schedule's span once and window into it.
+    fn trace_for(
+        &self,
+        job: &Job,
+        compiled: &Compiled,
+        steps: u64,
+    ) -> (Arc<TraceBuffer>, u64, bool) {
         let key = TraceKey {
             compile: CompileKey::of(job),
-            steps: job.commits,
+            steps,
         };
         let cell = {
             let mut map = self.traces.lock().unwrap();
@@ -391,13 +478,47 @@ impl Runner {
             .get_or_init(|| {
                 fresh = true;
                 let started = Instant::now();
-                let buf = TraceBuffer::capture(&compiled.program, job.commits)
+                let buf = TraceBuffer::capture(&compiled.program, steps)
                     .unwrap_or_else(|e| panic!("functional machine died: {e}"));
                 capture_micros = started.elapsed().as_micros() as u64;
                 Arc::new(buf)
             })
             .clone();
         (trace, capture_micros, !fresh)
+    }
+
+    /// Returns the shared machine checkpoint `steps` committed
+    /// instructions into a job's binary, fast-forwarding the functional
+    /// emulator on first use. Yields `(checkpoint, ff_micros, memo_hit)`
+    /// with the same accounting convention as [`Runner::trace_for`].
+    fn checkpoint_for(
+        &self,
+        job: &Job,
+        compiled: &Compiled,
+        steps: u64,
+    ) -> (Arc<Checkpoint>, u64, bool) {
+        let key = CkptKey {
+            compile: CompileKey::of(job),
+            steps,
+        };
+        let cell = {
+            let mut map = self.ckpts.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut ff_micros = 0u64;
+        let mut fresh = false;
+        let ckpt = cell
+            .get_or_init(|| {
+                fresh = true;
+                let started = Instant::now();
+                let mut m = Machine::new(&compiled.program);
+                m.run(steps)
+                    .unwrap_or_else(|e| panic!("functional machine died: {e}"));
+                ff_micros = started.elapsed().as_micros() as u64;
+                Arc::new(m.checkpoint())
+            })
+            .clone();
+        (ckpt, ff_micros, !fresh)
     }
 
     /// Compiles and simulates one job (a cache miss).
@@ -416,27 +537,72 @@ impl Runner {
             opts = opts.predicate(p);
         }
 
-        let (run, capture_micros, trace_memo_hit, sim_micros) = if self.opts.replay {
-            let (trace, capture_micros, memo_hit) = self.trace_for(job, &compiled);
-            let mut sim = opts
-                .build_replay(trace)
-                .expect("grid jobs carry only applicable overrides");
-            let sim_started = Instant::now();
-            let run = sim.run(job.commits);
-            (
-                run,
-                capture_micros,
-                memo_hit,
-                sim_started.elapsed().as_micros() as u64,
-            )
-        } else {
-            let mut sim = opts
-                .build(&compiled.program)
-                .expect("grid jobs carry only applicable overrides");
-            let sim_started = Instant::now();
-            let run = sim.run(job.commits);
-            (run, 0, false, sim_started.elapsed().as_micros() as u64)
-        };
+        let (run, capture_micros, trace_memo_hit, sim_micros): (RunResult, u64, bool, u64) =
+            match (job.sample, self.opts.replay) {
+                (Some(slice), true) => {
+                    // One capture spans the whole schedule; each window
+                    // job seeks a cursor into it.
+                    let (trace, capture_micros, memo_hit) =
+                        self.trace_for(job, &compiled, slice.spec.span());
+                    let start = slice.spec.window_start(slice.index);
+                    let mut sim = opts
+                        .build_replay_window(trace, start, slice.spec.warmup + slice.spec.measure)
+                        .expect("grid jobs carry only applicable overrides");
+                    let sim_started = Instant::now();
+                    let run = sim.run_sample(slice.spec.warmup, slice.spec.measure);
+                    (
+                        run,
+                        capture_micros,
+                        memo_hit,
+                        sim_started.elapsed().as_micros() as u64,
+                    )
+                }
+                (Some(slice), false) => {
+                    // Restore the shared checkpoint at the window start
+                    // instead of re-running the skipped prefix. The
+                    // fast-forward cost is charged to the capture phase —
+                    // it plays the same "position the functional stream"
+                    // role.
+                    let start = slice.spec.window_start(slice.index);
+                    let (ckpt, ff_micros, memo_hit) = self.checkpoint_for(job, &compiled, start);
+                    let mut machine = Machine::new(&compiled.program);
+                    machine.restore(&ckpt);
+                    let mut sim = opts
+                        .build_from_machine(machine)
+                        .expect("grid jobs carry only applicable overrides");
+                    let sim_started = Instant::now();
+                    let run = sim.run_sample(slice.spec.warmup, slice.spec.measure);
+                    (
+                        run,
+                        ff_micros,
+                        memo_hit,
+                        sim_started.elapsed().as_micros() as u64,
+                    )
+                }
+                (None, true) => {
+                    let (trace, capture_micros, memo_hit) =
+                        self.trace_for(job, &compiled, job.commits);
+                    let mut sim = opts
+                        .build_replay(trace)
+                        .expect("grid jobs carry only applicable overrides");
+                    let sim_started = Instant::now();
+                    let run = sim.run(job.commits);
+                    (
+                        run,
+                        capture_micros,
+                        memo_hit,
+                        sim_started.elapsed().as_micros() as u64,
+                    )
+                }
+                (None, false) => {
+                    let mut sim = opts
+                        .build(&compiled.program)
+                        .expect("grid jobs carry only applicable overrides");
+                    let sim_started = Instant::now();
+                    let run = sim.run(job.commits);
+                    (run, 0, false, sim_started.elapsed().as_micros() as u64)
+                }
+            };
 
         JobResult {
             stats: run.stats,
@@ -575,6 +741,73 @@ mod tests {
             "a longer budget needs its own (longer) capture"
         );
         assert_eq!(r.compiled.lock().unwrap().len(), 1, "but shares the binary");
+    }
+
+    #[test]
+    fn sampled_grid_shares_one_capture_and_merges_windows() {
+        let spec = SampleSpec {
+            skip: 1_000,
+            warmup: 500,
+            measure: 1_000,
+            stride: 2_000,
+            count: 3,
+        };
+        let r = Runner::serial_no_cache();
+        let base = tiny(SchemeKind::Conventional);
+        let out = r.run_grid_sampled(std::slice::from_ref(&base), spec);
+        assert_eq!(out.len(), 1);
+        let cell = &out[0];
+        assert_eq!(cell.samples.len(), 3);
+        for s in &cell.samples {
+            assert_eq!(s.stats.committed, spec.measure, "one measured window");
+            assert_eq!(s.stats.stall.total(), s.stats.cycles);
+        }
+        assert_eq!(cell.aggregate.stats.committed, 3 * spec.measure);
+        assert_eq!(
+            cell.aggregate.stats.stall.total(),
+            cell.aggregate.stats.cycles,
+            "the invariant survives aggregation"
+        );
+        assert_eq!(
+            r.traces.lock().unwrap().len(),
+            1,
+            "three windows share one span capture"
+        );
+    }
+
+    #[test]
+    fn sampled_inline_matches_sampled_replay() {
+        let spec = SampleSpec {
+            skip: 1_500,
+            warmup: 400,
+            measure: 800,
+            stride: 1_500,
+            count: 2,
+        };
+        let replay = Runner::serial_no_cache();
+        let inline = Runner::new(RunnerOptions {
+            jobs: 1,
+            cache: false,
+            replay: false,
+            ..RunnerOptions::default()
+        });
+        for scheme in [SchemeKind::Conventional, SchemeKind::Predicate] {
+            let j = tiny(scheme);
+            let a = replay.run_job_sampled(&j, spec);
+            let b = inline.run_job_sampled(&j, spec);
+            assert_eq!(
+                a.aggregate.stats, b.aggregate.stats,
+                "checkpoint restore and trace window must agree ({scheme:?})"
+            );
+            for (x, y) in a.samples.iter().zip(&b.samples) {
+                assert_eq!(x.stats, y.stats, "{scheme:?}: per-window agreement");
+            }
+        }
+        assert_eq!(
+            inline.ckpts.lock().unwrap().len(),
+            2,
+            "one checkpoint per window start, shared across schemes"
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! ```text
 //! ppsim run <file.s> [--scheme S] [--commits N] [--trace-events N] [--tiny]
 //! ppsim compile <benchmark> [--ifconv] [--listing]
-//! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P]
-//! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir P] [--json P] [--commits N] [--only a,b]
-//! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache]
+//! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P] [--sample [SPEC]]
+//! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir P] [--json P] [--commits N] [--only a,b] [--sample [SPEC]]
+//! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache] [--sample-epsilon E]
 //! ppsim list
 //! ```
 //!
@@ -14,17 +14,24 @@
 //! the 22 synthetic benchmarks and prints its listing or statistics,
 //! `bench` measures the simulator's own throughput — every fig-6a cell
 //! timed through both the inline machine and the trace-replay engine,
-//! with the artifact written to `BENCH_sim.json` — `suite` regenerates
-//! the paper's full evaluation through the parallel runner, `check`
+//! with the artifact written to `BENCH_sim.json` (or, with `--sample`,
+//! every cell run full-length *and* through the Pinpoint-style sampled
+//! path, reporting misprediction error and wall-clock speedup) — `suite`
+//! regenerates the paper's full evaluation through the parallel runner
+//! (with `--sample`, through checkpointed sample windows), `check`
 //! fuzzes the timing model against the architectural emulator (the
-//! differential cosimulation oracle), and `list` prints the benchmark
-//! suite.
+//! differential cosimulation oracle; `--sample-epsilon` adds the
+//! sampled-simulation invariants), and `list` prints the benchmark
+//! suite. `SPEC` is `skip:warmup:measure:stride:count`; a bare
+//! `--sample` uses the default schedule.
 
 use std::process::ExitCode;
 
 use ppsim::check::{run_check, CheckOptions};
 use ppsim::compiler::{compile, CompileOptions};
-use ppsim::core::{experiments, simbench, ExperimentConfig, Json, Runner, RunnerOptions, Table};
+use ppsim::core::{
+    experiments, simbench, ExperimentConfig, Json, Runner, RunnerOptions, SampleSpec, Table,
+};
 use ppsim::isa::{parse_program, Program};
 use ppsim::pipeline::TestFault;
 use ppsim::prelude::*;
@@ -34,7 +41,8 @@ const FAULTS: &str = "invert-oracle|invert-early-resolve";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH]\n  ppsim list"
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {})",
+        SampleSpec::default_spec().canon()
     );
     ExitCode::FAILURE
 }
@@ -112,6 +120,18 @@ fn simulate(program: &Program, scheme: SchemeSpec, commits: u64, trace_events: u
             .collect::<Vec<_>>()
             .join(", ")
     );
+}
+
+/// Parses `--sample [SPEC]`: absent → `None`, bare or `default` → the
+/// default schedule, otherwise `skip:warmup:measure:stride:count`.
+fn sample_flag(flags: &Flags) -> Result<Option<SampleSpec>, String> {
+    if !flags.has("--sample") {
+        return Ok(None);
+    }
+    match flags.value_of("--sample").filter(|v| !v.starts_with("--")) {
+        None | Some("default") => Ok(Some(SampleSpec::default_spec())),
+        Some(v) => SampleSpec::parse(v).map(Some).map_err(|e| e.to_string()),
+    }
 }
 
 fn find_benchmark(name: &str) -> Option<ppsim::compiler::WorkloadSpec> {
@@ -220,6 +240,26 @@ fn main() -> ExitCode {
             if let Some(v) = flags.value_of("--only") {
                 cfg.only = v.split(',').map(|s| s.trim().to_string()).collect();
             }
+            match sample_flag(&flags) {
+                Err(e) => {
+                    eprintln!("bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(Some(spec)) => {
+                    // Sampled-vs-full comparison: how much accuracy the
+                    // schedule gives up and how much wall time it saves.
+                    let report = simbench::run_sampled(&cfg, spec);
+                    let path = flags.value_of("--json").unwrap_or("BENCH_sample.json");
+                    if let Err(e) = std::fs::write(path, format!("{}\n", report.to_json())) {
+                        eprintln!("bench: failed to write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("bench: wrote {path}");
+                    println!("bench: {}", report.summary());
+                    return ExitCode::SUCCESS;
+                }
+                Ok(None) => {}
+            }
             let report = simbench::run(&cfg);
             let path = flags.value_of("--json").unwrap_or("BENCH_sim.json");
             if let Err(e) = std::fs::write(path, format!("{}\n", report.to_json())) {
@@ -259,6 +299,14 @@ fn main() -> ExitCode {
             }
             if let Some(v) = rest_flags.value_of("--only") {
                 cfg.only = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            match sample_flag(&rest_flags) {
+                Err(e) => {
+                    eprintln!("suite: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(Some(spec)) => cfg.sample = Some(spec),
+                Ok(None) => {}
             }
             let runner = Runner::new(opts);
             print!("{}", experiments::full_report(&runner, &cfg));
@@ -334,6 +382,15 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
+            }
+            if let Some(v) = rest_flags.value_of("--sample-epsilon") {
+                match v.parse::<f64>() {
+                    Ok(e) if e.is_finite() && e >= 0.0 => opts.sample_epsilon = Some(e),
+                    _ => {
+                        eprintln!("check: bad --sample-epsilon value `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             let report = run_check(&opts);
             if !report.passed() {

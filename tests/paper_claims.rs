@@ -15,6 +15,7 @@ fn cfg(names: &[&str], commits: u64) -> ExperimentConfig {
         profile_steps: 100_000,
         core: CoreConfig::paper(),
         only: names.iter().map(|s| s.to_string()).collect(),
+        ..ExperimentConfig::default()
     }
 }
 
