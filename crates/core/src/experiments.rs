@@ -245,6 +245,81 @@ fn cell(
     )
 }
 
+/// Builds the canonical job for one cell of `cfg`'s experiment grid —
+/// exactly the [`Job`] the figure functions submit, so external callers
+/// (e.g. the serve daemon) share cache keys with batch runs.
+pub fn cell_job(
+    cfg: &ExperimentConfig,
+    bench: &str,
+    ifconv: bool,
+    scheme: SchemeKind,
+    predication: PredicationModel,
+) -> Job {
+    cell(cfg, bench, ifconv, scheme, predication)
+}
+
+/// The scheme columns of the Figure 6a grid: (scheme, predication,
+/// shadow) per column, in table order.
+pub const FIG6A_SCHEMES: [(SchemeKind, PredicationModel, bool); 3] = [
+    (SchemeKind::PepPa, PredicationModel::Cmov, false),
+    (SchemeKind::Conventional, PredicationModel::Cmov, false),
+    (SchemeKind::Predicate, PredicationModel::Selective, false),
+];
+
+/// The jobs of a (suite × schemes) grid in suite-major order.
+fn grid_jobs(
+    cfg: &ExperimentConfig,
+    ifconv: bool,
+    schemes: &[(SchemeKind, PredicationModel, bool)],
+) -> Vec<Job> {
+    suite(cfg)
+        .iter()
+        .flat_map(|spec| {
+            schemes.iter().map(|&(scheme, predication, shadow)| Job {
+                shadow,
+                ..cell(cfg, spec.name, ifconv, scheme, predication)
+            })
+        })
+        .collect()
+}
+
+/// Jobs for every cell of the Figure 6a grid, in grid order.
+pub fn fig6a_jobs(cfg: &ExperimentConfig) -> Vec<Job> {
+    grid_jobs(cfg, true, &FIG6A_SCHEMES)
+}
+
+/// Every job the consolidated report submits (Figure 5, Figure 6a,
+/// Figure 6b, the IPC ablation), deduplicated in first-use order.
+/// Prewarming these through a cached runner turns a subsequent
+/// [`full_report`] into a pure cache replay.
+pub fn full_report_jobs(cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = grid_jobs(
+        cfg,
+        false,
+        &[
+            (SchemeKind::Conventional, PredicationModel::Cmov, false),
+            (SchemeKind::Predicate, PredicationModel::Cmov, false),
+        ],
+    );
+    jobs.extend(grid_jobs(cfg, true, &FIG6A_SCHEMES));
+    jobs.extend(grid_jobs(
+        cfg,
+        true,
+        &[(SchemeKind::Predicate, PredicationModel::Selective, true)],
+    ));
+    jobs.extend(grid_jobs(
+        cfg,
+        true,
+        &[
+            (SchemeKind::Predicate, PredicationModel::Cmov, false),
+            (SchemeKind::Predicate, PredicationModel::Selective, false),
+        ],
+    ));
+    let mut seen = std::collections::HashSet::new();
+    jobs.retain(|j| seen.insert(j.canon()));
+    jobs
+}
+
 /// Runs a (suite × schemes) grid and returns per-benchmark stats rows in
 /// suite order. `schemes` gives (scheme, predication, shadow) per column.
 fn scheme_grid(
@@ -254,15 +329,7 @@ fn scheme_grid(
     schemes: &[(SchemeKind, PredicationModel, bool)],
 ) -> Vec<BenchRow> {
     let specs = suite(cfg);
-    let jobs: Vec<Job> = specs
-        .iter()
-        .flat_map(|spec| {
-            schemes.iter().map(|&(scheme, predication, shadow)| Job {
-                shadow,
-                ..cell(cfg, spec.name, ifconv, scheme, predication)
-            })
-        })
-        .collect();
+    let jobs: Vec<Job> = grid_jobs(cfg, ifconv, schemes);
     // Sampled runs return per-window results plus a counter-summed
     // aggregate per cell; full runs have no windows.
     let (results, samples): (Vec<_>, Vec<Vec<SimStats>>) = match cfg.sample {
@@ -334,16 +401,7 @@ pub fn fig5(runner: &Runner, cfg: &ExperimentConfig, ideal: bool) -> Comparison 
 /// 144 KB PEP-PA, the 148 KB conventional predictor and the 148 KB
 /// predicate predictor.
 pub fn fig6a(runner: &Runner, cfg: &ExperimentConfig) -> Comparison {
-    let rows = scheme_grid(
-        runner,
-        cfg,
-        true,
-        &[
-            (SchemeKind::PepPa, PredicationModel::Cmov, false),
-            (SchemeKind::Conventional, PredicationModel::Cmov, false),
-            (SchemeKind::Predicate, PredicationModel::Selective, false),
-        ],
-    );
+    let rows = scheme_grid(runner, cfg, true, &FIG6A_SCHEMES);
     Comparison {
         title: "Figure 6a: PEP-PA vs conventional vs predicate predictor, if-converted code"
             .to_string(),

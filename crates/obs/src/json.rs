@@ -54,6 +54,22 @@ impl Json {
         }
     }
 
+    /// Looks up a dotted path through nested objects and arrays:
+    /// `"data.stats.commits"` descends object fields; a numeric segment
+    /// like `"rows.0"` indexes into an array. Returns `None` as soon as
+    /// any segment fails to resolve.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = match cur {
+                Json::Obj(_) => cur.get(seg)?,
+                Json::Arr(items) => items.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
     /// The value as f64 if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -474,5 +490,19 @@ mod tests {
         let big = i64::MAX - 7;
         let text = Json::Int(big).to_string();
         assert_eq!(Json::parse(&text).unwrap().as_i64(), Some(big));
+    }
+
+    #[test]
+    fn get_path_descends_objects_and_arrays() {
+        let doc = Json::parse(r#"{"data":{"rows":[{"ipc":1.5},{"ipc":2.0}],"n":2}}"#).unwrap();
+        assert_eq!(doc.get_path("data.n").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            doc.get_path("data.rows.1.ipc").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert!(doc.get_path("data.rows.2.ipc").is_none());
+        assert!(doc.get_path("data.rows.x").is_none());
+        assert!(doc.get_path("missing").is_none());
+        assert!(doc.get_path("data.n.deeper").is_none());
     }
 }

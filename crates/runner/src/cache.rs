@@ -33,6 +33,9 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::SystemTime;
 
 use ppsim_mem::CacheStats;
 use ppsim_obs::StallBucket;
@@ -52,18 +55,50 @@ const HEADER: &str = "ppsim-cache v5";
 /// Last line; its absence marks a truncated entry.
 const FOOTER: &str = "end";
 
+/// On-disk cache usage, as reported by [`DiskCache::usage`] and the
+/// `ppsim cache stats` subcommand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheUsage {
+    /// Result entries currently stored.
+    pub entries: u64,
+    /// Bytes held by result entries (recency sidecars excluded).
+    pub bytes: u64,
+}
+
 /// A directory of cached job results.
+///
+/// Optionally size-capped: when a byte budget is set, every store sweeps
+/// the directory and evicts least-recently-used entries until the total
+/// fits. Recency is approximated with the filesystem: a store's own
+/// mtime marks creation, and every load hit drops a zero-byte
+/// `<hash>.touch` sidecar beside the entry (std has no way to bump an
+/// mtime directly), so an entry's recency is the newer of the two.
 #[derive(Clone, Debug)]
 pub struct DiskCache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
+    evictions: Arc<AtomicU64>,
 }
 
 impl DiskCache {
-    /// Opens (and creates if needed) a cache rooted at `dir`.
+    /// Opens (and creates if needed) an uncapped cache rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
+        DiskCache::open_capped(dir, None)
+    }
+
+    /// Opens a cache with an optional byte budget. `Some(0)` is treated
+    /// as "evict everything on every store" — legal, if eccentric.
+    pub fn open_capped(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<DiskCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(DiskCache { dir })
+        Ok(DiskCache {
+            dir,
+            max_bytes,
+            evictions: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// The default cache location: `$PPSIM_CACHE_DIR`, else
@@ -86,13 +121,19 @@ impl DiskCache {
     /// Loads the result for `job`, or `None` on any kind of miss
     /// (absent, truncated, stale canon, unparseable). Corrupt entries
     /// are treated as misses, not errors — the runner recomputes and
-    /// overwrites them.
+    /// overwrites them. A hit refreshes the entry's recency.
     pub fn load(&self, job: &Job) -> Option<JobResult> {
-        let text = fs::read_to_string(self.entry_path(job)).ok()?;
-        parse_entry(&text, job)
+        let path = self.entry_path(job);
+        let text = fs::read_to_string(&path).ok()?;
+        let result = parse_entry(&text, job)?;
+        // Refresh recency. A failed touch only degrades the eviction
+        // order, never correctness.
+        let _ = fs::write(path.with_extension("touch"), b"");
+        Some(result)
     }
 
-    /// Stores the result for `job` atomically (`.tmp` + rename).
+    /// Stores the result for `job` atomically (`.tmp` + rename), then
+    /// enforces the byte budget if one is set.
     pub fn store(&self, job: &Job, result: &JobResult) -> std::io::Result<()> {
         let path = self.entry_path(job);
         let tmp = path.with_extension("tmp");
@@ -101,7 +142,95 @@ impl DiskCache {
             f.write_all(render_entry(job, result).as_bytes())?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, &path)?;
+        if self.max_bytes.is_some() {
+            self.sweep();
+        }
+        Ok(())
+    }
+
+    /// Entries evicted by this handle (and its clones) since open.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Current cache usage (entry count and byte total).
+    pub fn usage(&self) -> CacheUsage {
+        let mut usage = CacheUsage::default();
+        for (_, len, _) in self.scan() {
+            usage.entries += 1;
+            usage.bytes += len;
+        }
+        usage
+    }
+
+    /// Removes every entry (results, recency sidecars, stray temp
+    /// files), returning how many result entries were deleted.
+    pub fn clear(&self) -> std::io::Result<u64> {
+        let mut removed = 0;
+        for dirent in fs::read_dir(&self.dir)? {
+            let path = dirent?.path();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("result") => {
+                    fs::remove_file(&path)?;
+                    removed += 1;
+                }
+                Some("touch" | "tmp") => {
+                    let _ = fs::remove_file(&path);
+                }
+                _ => {}
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Every result entry as `(path, bytes, recency)`, where recency is
+    /// the newer of the entry's own mtime and its touch-sidecar's.
+    fn scan(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let Ok(dirents) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut entries = Vec::new();
+        for dirent in dirents.flatten() {
+            let path = dirent.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("result") {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            let mut recency = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            if let Ok(touch) = fs::metadata(path.with_extension("touch")) {
+                if let Ok(t) = touch.modified() {
+                    recency = recency.max(t);
+                }
+            }
+            entries.push((path, meta.len(), recency));
+        }
+        entries
+    }
+
+    /// Evicts least-recently-used entries until the directory fits the
+    /// byte budget. Recency ties break on file name so concurrent
+    /// sweepers agree on the victim order.
+    fn sweep(&self) {
+        let Some(max) = self.max_bytes else { return };
+        let mut entries = self.scan();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= max {
+            return;
+        }
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        for (path, len, _) in entries {
+            if total <= max {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                let _ = fs::remove_file(path.with_extension("touch"));
+                total = total.saturating_sub(len);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -547,6 +676,82 @@ mod tests {
         let cut = &full[..full.len() - 20];
         fs::write(cache.dir().join(format!("{}.result", j.hash_hex())), cut).unwrap();
         assert!(cache.load(&j).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Distinct jobs for eviction tests (commits is the identity axis).
+    fn job_n(commits: u64) -> Job {
+        Job { commits, ..job() }
+    }
+
+    #[test]
+    fn usage_counts_entries_and_clear_empties() {
+        let dir = temp_dir("usage");
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.usage(), CacheUsage::default());
+        cache.store(&job_n(1), &result()).unwrap();
+        cache.store(&job_n(2), &result()).unwrap();
+        let u = cache.usage();
+        assert_eq!(u.entries, 2);
+        assert!(u.bytes > 0);
+        assert_eq!(cache.clear().unwrap(), 2);
+        assert_eq!(cache.usage(), CacheUsage::default());
+        assert!(cache.load(&job_n(1)).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capped_cache_evicts_oldest_first() {
+        let dir = temp_dir("evict");
+        // Budget for roughly two entries: measure one, cap at 2.5×.
+        let probe = DiskCache::open(&dir).unwrap();
+        probe.store(&job_n(0), &result()).unwrap();
+        let one = probe.usage().bytes;
+        probe.clear().unwrap();
+        let cache = DiskCache::open_capped(&dir, Some(one * 5 / 2)).unwrap();
+        for n in 1..=3 {
+            cache.store(&job_n(n), &result()).unwrap();
+            // Keep mtimes strictly ordered on coarse-grained filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(cache.evictions(), 1, "third store evicted one entry");
+        assert!(cache.load(&job_n(1)).is_none(), "oldest entry evicted");
+        assert!(cache.load(&job_n(2)).is_some());
+        assert!(cache.load(&job_n(3)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_refreshes_recency() {
+        let dir = temp_dir("lru");
+        let probe = DiskCache::open(&dir).unwrap();
+        probe.store(&job_n(0), &result()).unwrap();
+        let one = probe.usage().bytes;
+        probe.clear().unwrap();
+        let cache = DiskCache::open_capped(&dir, Some(one * 5 / 2)).unwrap();
+        cache.store(&job_n(1), &result()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        cache.store(&job_n(2), &result()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // Touch entry 1 so entry 2 becomes the LRU victim.
+        assert!(cache.load(&job_n(1)).is_some());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        cache.store(&job_n(3), &result()).unwrap();
+        assert!(cache.load(&job_n(1)).is_some(), "recently used survives");
+        assert!(cache.load(&job_n(2)).is_none(), "LRU entry evicted");
+        assert!(cache.load(&job_n(3)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncapped_cache_never_evicts() {
+        let dir = temp_dir("uncapped");
+        let cache = DiskCache::open(&dir).unwrap();
+        for n in 1..=8 {
+            cache.store(&job_n(n), &result()).unwrap();
+        }
+        assert_eq!(cache.usage().entries, 8);
+        assert_eq!(cache.evictions(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

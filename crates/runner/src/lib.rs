@@ -16,6 +16,7 @@
 
 pub mod cache;
 pub mod hash;
+pub mod inflight;
 pub mod job;
 pub mod pool;
 
@@ -32,9 +33,15 @@ use ppsim_compiler::{compile, spec2000_suite, CompileOptions, Compiled, Workload
 use ppsim_isa::{Checkpoint, Machine};
 use ppsim_pipeline::{RunResult, SampleSpec, SimOptions, TraceBuffer};
 
-pub use cache::DiskCache;
+pub use cache::{CacheUsage, DiskCache};
+pub use inflight::Inflight;
 pub use job::{Job, JobResult, SampleSlice};
 pub use ppsim_obs::Json;
+
+/// Upper bound on explicit worker counts. Worker threads each cost a
+/// stack and scheduler churn; anything beyond this is a typo, not a
+/// machine.
+pub const MAX_JOBS: usize = 1024;
 
 /// How a [`Runner`] executes grids.
 #[derive(Clone, Debug)]
@@ -49,6 +56,9 @@ pub struct RunnerOptions {
     /// functional stream once per binary, replay it per cell). Disable to
     /// force the legacy inline-machine path (`--no-replay`).
     pub replay: bool,
+    /// Byte budget for the on-disk cache (`None` = unbounded). When set,
+    /// every store evicts least-recently-used entries down to the cap.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for RunnerOptions {
@@ -58,14 +68,15 @@ impl Default for RunnerOptions {
             cache: true,
             cache_dir: None,
             replay: true,
+            cache_max_bytes: None,
         }
     }
 }
 
 impl RunnerOptions {
-    /// Parses `--jobs N`, `--no-cache`, `--cache-dir P` and `--no-replay`
-    /// from a raw argument list, returning the options and the unconsumed
-    /// arguments.
+    /// Parses `--jobs N`, `--no-cache`, `--cache-dir P`,
+    /// `--cache-max-bytes B` and `--no-replay` from a raw argument list,
+    /// returning the validated options and the unconsumed arguments.
     pub fn from_args(args: &[String]) -> Result<(RunnerOptions, Vec<String>), String> {
         let mut opts = RunnerOptions::default();
         let mut rest = Vec::new();
@@ -74,18 +85,56 @@ impl RunnerOptions {
             match a.as_str() {
                 "--jobs" | "-j" => {
                     let v = it.next().ok_or("--jobs needs a value")?;
-                    opts.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                    if n == 0 {
+                        return Err(
+                            "--jobs must be at least 1 (omit the flag for one worker per CPU)"
+                                .to_string(),
+                        );
+                    }
+                    opts.jobs = n;
                 }
                 "--no-cache" => opts.cache = false,
                 "--cache-dir" => {
                     let v = it.next().ok_or("--cache-dir needs a value")?;
                     opts.cache_dir = Some(PathBuf::from(v));
                 }
+                "--cache-max-bytes" => {
+                    let v = it.next().ok_or("--cache-max-bytes needs a value")?;
+                    let b: u64 = v
+                        .parse()
+                        .map_err(|_| format!("bad --cache-max-bytes value `{v}`"))?;
+                    opts.cache_max_bytes = Some(b);
+                }
                 "--no-replay" => opts.replay = false,
                 _ => rest.push(a.clone()),
             }
         }
+        opts.validate()?;
         Ok((opts, rest))
+    }
+
+    /// Rejects nonsensical combinations before they reach the pool: a
+    /// worker count beyond [`MAX_JOBS`], an empty cache-directory path,
+    /// or a byte budget on a disabled cache. `jobs == 0` remains the
+    /// *programmatic* "one worker per CPU" default — only the explicit
+    /// CLI flag refuses it (in [`RunnerOptions::from_args`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.jobs > MAX_JOBS {
+            return Err(format!(
+                "--jobs {} is beyond the supported maximum of {MAX_JOBS}",
+                self.jobs
+            ));
+        }
+        if let Some(dir) = &self.cache_dir {
+            if dir.as_os_str().is_empty() {
+                return Err("--cache-dir must not be empty".to_string());
+            }
+        }
+        if self.cache_max_bytes.is_some() && !self.cache {
+            return Err("--cache-max-bytes is meaningless with --no-cache".to_string());
+        }
+        Ok(())
     }
 
     fn effective_jobs(&self) -> usize {
@@ -116,7 +165,13 @@ pub struct Telemetry {
     pub trace_memo_hits: u64,
     /// Wall time spent capturing traces, summed (µs).
     pub capture_micros_total: u64,
-    /// Per-simulated-job timing phases, in grid order.
+    /// Entries dropped from the in-process memos (compile, trace,
+    /// checkpoint) by the size caps — relevant for long-lived runners
+    /// (`ppsim serve`), always 0 for one-shot grids.
+    pub memo_evictions: u64,
+    /// Per-simulated-job timing phases, in grid order. Capped at
+    /// [`Telemetry::MAX_PER_JOB`] entries (oldest dropped) so a
+    /// long-running daemon's telemetry stays bounded.
     pub per_job: Vec<JobTiming>,
 }
 
@@ -139,6 +194,9 @@ pub struct JobTiming {
 }
 
 impl Telemetry {
+    /// Upper bound on retained [`Telemetry::per_job`] rows.
+    pub const MAX_PER_JOB: usize = 1024;
+
     fn absorb(&mut self, jobs: &[Job], results: &[JobResult]) {
         self.jobs_total += jobs.len() as u64;
         for (job, r) in jobs.iter().zip(results) {
@@ -162,6 +220,10 @@ impl Telemetry {
                     sim_micros: r.sim_micros,
                 });
             }
+        }
+        if self.per_job.len() > Self::MAX_PER_JOB {
+            let excess = self.per_job.len() - Self::MAX_PER_JOB;
+            self.per_job.drain(..excess);
         }
     }
 
@@ -188,6 +250,7 @@ impl Telemetry {
             .field("trace_memo_hits", self.trace_memo_hits)
             .field("trace_memo_hit_rate", self.trace_memo_hit_rate())
             .field("capture_micros_total", self.capture_micros_total)
+            .field("memo_evictions", self.memo_evictions)
             .field(
                 "per_job",
                 Json::Arr(
@@ -301,7 +364,7 @@ impl Runner {
                 .cache_dir
                 .clone()
                 .unwrap_or_else(DiskCache::default_dir);
-            DiskCache::open(dir).ok()
+            DiskCache::open_capped(dir, opts.cache_max_bytes).ok()
         } else {
             None
         };
@@ -329,6 +392,19 @@ impl Runner {
     /// Cumulative telemetry since construction.
     pub fn telemetry(&self) -> Telemetry {
         self.telemetry.lock().unwrap().clone()
+    }
+
+    /// The on-disk result cache, when one is open.
+    pub fn cache(&self) -> Option<&DiskCache> {
+        self.cache.as_ref()
+    }
+
+    /// Probes the on-disk cache for `job` without simulating or touching
+    /// telemetry — the warm fast path of a serving front end: a hit can
+    /// be returned immediately, bypassing any scheduling or coalescing
+    /// machinery reserved for cold simulations.
+    pub fn probe(&self, job: &Job) -> Option<JobResult> {
+        self.cache.as_ref()?.load(job)
     }
 
     /// Runs a grid of jobs and returns results in grid order.
@@ -426,11 +502,32 @@ impl Runner {
             .unwrap()
     }
 
+    /// In-process memo size caps. A one-shot grid never reaches them;
+    /// they exist so a long-lived runner (`ppsim serve`) holds bounded
+    /// memory. Overflow flushes the whole memo — in-flight holders keep
+    /// their `Arc`s, future jobs re-derive — which is crude but cheap
+    /// and, crucially, invisible to results. Traces are the big entries
+    /// (~5 B per captured record), so their cap is the tightest.
+    const COMPILE_MEMO_CAP: usize = 256;
+    const TRACE_MEMO_CAP: usize = 32;
+    const CKPT_MEMO_CAP: usize = 256;
+
+    /// Flushes `map` when inserting a new `key` would exceed `cap`,
+    /// recording the eviction count in telemetry.
+    fn bound_memo<K: std::hash::Hash + Eq, V>(&self, map: &mut HashMap<K, V>, key: &K, cap: usize) {
+        if map.len() >= cap && !map.contains_key(key) {
+            let evicted = map.len() as u64;
+            map.clear();
+            self.telemetry.lock().unwrap().memo_evictions += evicted;
+        }
+    }
+
     /// Compiles (or returns the memoized binary for) a job's benchmark.
     fn compiled_for(&self, job: &Job) -> Arc<Compiled> {
         let key = CompileKey::of(job);
         let cell = {
             let mut map = self.compiled.lock().unwrap();
+            self.bound_memo(&mut map, &key, Self::COMPILE_MEMO_CAP);
             Arc::clone(map.entry(key).or_default())
         };
         cell.get_or_init(|| {
@@ -470,6 +567,7 @@ impl Runner {
         };
         let cell = {
             let mut map = self.traces.lock().unwrap();
+            self.bound_memo(&mut map, &key, Self::TRACE_MEMO_CAP);
             Arc::clone(map.entry(key).or_default())
         };
         let mut capture_micros = 0u64;
@@ -503,6 +601,7 @@ impl Runner {
         };
         let cell = {
             let mut map = self.ckpts.lock().unwrap();
+            self.bound_memo(&mut map, &key, Self::CKPT_MEMO_CAP);
             Arc::clone(map.entry(key).or_default())
         };
         let mut ff_micros = 0u64;
@@ -840,5 +939,97 @@ mod tests {
     fn bad_jobs_value_is_an_error() {
         let args = vec!["--jobs".to_string(), "many".to_string()];
         assert!(RunnerOptions::from_args(&args).is_err());
+    }
+
+    #[test]
+    fn zero_jobs_flag_is_an_error() {
+        let args = vec!["--jobs".to_string(), "0".to_string()];
+        let err = RunnerOptions::from_args(&args).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // The programmatic default (0 = one worker per CPU) stays legal.
+        assert!(RunnerOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn nonsensical_options_are_rejected() {
+        let absurd = RunnerOptions {
+            jobs: MAX_JOBS + 1,
+            ..RunnerOptions::default()
+        };
+        assert!(absurd.validate().is_err());
+        let empty_dir = RunnerOptions {
+            cache_dir: Some(PathBuf::new()),
+            ..RunnerOptions::default()
+        };
+        assert!(empty_dir.validate().is_err());
+        let capped_no_cache = RunnerOptions {
+            cache: false,
+            cache_max_bytes: Some(1 << 20),
+            ..RunnerOptions::default()
+        };
+        assert!(capped_no_cache.validate().is_err());
+        let args = vec!["--jobs".to_string(), (MAX_JOBS + 1).to_string()];
+        assert!(RunnerOptions::from_args(&args).is_err());
+    }
+
+    #[test]
+    fn cache_max_bytes_flag_parses() {
+        let args: Vec<String> = ["--cache-max-bytes", "1048576"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, rest) = RunnerOptions::from_args(&args).unwrap();
+        assert_eq!(opts.cache_max_bytes, Some(1 << 20));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn probe_misses_cold_and_hits_warm() {
+        let dir = std::env::temp_dir().join(format!("ppsim-probe-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = Runner::new(RunnerOptions {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+            ..RunnerOptions::default()
+        });
+        let job = tiny(SchemeKind::Conventional);
+        assert!(r.probe(&job).is_none(), "cold cache must miss");
+        let fresh = r.run_job(&job);
+        let hit = r.probe(&job).expect("warm cache must hit");
+        assert!(hit.from_cache);
+        assert_eq!(hit.stats, fresh.stats, "probe replays the stored stats");
+        // Probing never counts as a runner job.
+        assert_eq!(r.telemetry().jobs_total, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cacheless_runner_never_probes() {
+        let r = Runner::serial_no_cache();
+        assert!(r.cache().is_none());
+        assert!(r.probe(&tiny(SchemeKind::Conventional)).is_none());
+    }
+
+    #[test]
+    fn trace_memo_cap_flushes_and_counts() {
+        let r = Runner::serial_no_cache();
+        // Distinct commit budgets force distinct trace-memo keys.
+        let jobs: Vec<Job> = (0..=Runner::TRACE_MEMO_CAP as u64)
+            .map(|n| Job {
+                commits: 1_000 + n,
+                ..tiny(SchemeKind::Conventional)
+            })
+            .collect();
+        r.run_grid(&jobs);
+        let t = r.telemetry();
+        assert_eq!(
+            t.memo_evictions,
+            Runner::TRACE_MEMO_CAP as u64,
+            "overflow flushed the full memo once"
+        );
+        assert!(
+            r.traces.lock().unwrap().len() <= Runner::TRACE_MEMO_CAP,
+            "memo stays bounded"
+        );
     }
 }

@@ -1,0 +1,153 @@
+//! `ppsim submit` — the scriptable client.
+//!
+//! Reads request lines (from a file or stdin), sends them over one
+//! connection, and prints each request's deterministic `data` object as
+//! one line on stdout; progress and provenance go to stderr. `--raw
+//! PATH` prints a dotted-path extraction from the *whole result event*
+//! instead (so scripts can read `warm`, `coalesced`, or
+//! `data.stats.ipc` without a JSON parser). Exit is `Err` if any
+//! request errored.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ppsim_core::Json;
+
+/// Connection attempts before giving up (the daemon may still be
+/// binding when a scripted session starts).
+const CONNECT_RETRIES: u32 = 20;
+/// Delay between connection attempts.
+const CONNECT_BACKOFF: Duration = Duration::from_millis(300);
+
+/// Options for one `submit` session.
+#[derive(Clone, Debug)]
+pub struct SubmitOptions {
+    /// Server address.
+    pub addr: String,
+    /// Dotted path to extract from each result event (`None` = print
+    /// the `data` object).
+    pub raw: Option<String>,
+    /// Suppress progress chatter on stderr.
+    pub quiet: bool,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            addr: crate::DEFAULT_ADDR.to_string(),
+            raw: None,
+            quiet: false,
+        }
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for attempt in 0..CONNECT_RETRIES {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < CONNECT_RETRIES {
+            std::thread::sleep(CONNECT_BACKOFF);
+        }
+    }
+    Err(format!("cannot connect to {addr}: {last}"))
+}
+
+/// Sends each non-empty line of `requests` and writes one output line
+/// per request into `out`. Returns the number of requests served, or
+/// the first hard failure (connection loss, server error event).
+pub fn submit(opts: &SubmitOptions, requests: &str, out: &mut impl Write) -> Result<u64, String> {
+    let stream = connect(&opts.addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+
+    let mut hello = String::new();
+    reader
+        .read_line(&mut hello)
+        .map_err(|e| format!("reading hello: {e}"))?;
+    let hello = Json::parse(hello.trim()).map_err(|e| format!("bad hello: {e}"))?;
+    if hello.get_path("proto").and_then(Json::as_i64) != Some(crate::protocol::PROTO_VERSION as i64)
+    {
+        return Err(format!("unexpected server hello: {hello}"));
+    }
+
+    let mut served = 0u64;
+    for line in requests.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        writeln!(writer, "{line}").map_err(|e| format!("send failed: {e}"))?;
+        loop {
+            let mut event = String::new();
+            let n = reader
+                .read_line(&mut event)
+                .map_err(|e| format!("read failed: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection mid-request".to_string());
+            }
+            let event = Json::parse(event.trim()).map_err(|e| format!("bad event: {e}"))?;
+            match event.get_path("event").and_then(Json::as_str) {
+                Some("progress") => {
+                    if !opts.quiet {
+                        eprintln!(
+                            "submit: {} {}/{}",
+                            event
+                                .get_path("stage")
+                                .and_then(Json::as_str)
+                                .unwrap_or("?"),
+                            event.get_path("done").and_then(Json::as_i64).unwrap_or(0),
+                            event.get_path("total").and_then(Json::as_i64).unwrap_or(0),
+                        );
+                    }
+                }
+                Some("result") => {
+                    served += 1;
+                    if !opts.quiet {
+                        eprintln!(
+                            "submit: result op={} warm={} coalesced={}",
+                            event.get_path("op").and_then(Json::as_str).unwrap_or("?"),
+                            event
+                                .get_path("warm")
+                                .map(|w| w.to_string())
+                                .unwrap_or_default(),
+                            event
+                                .get_path("coalesced")
+                                .map(|w| w.to_string())
+                                .unwrap_or_default(),
+                        );
+                    }
+                    let rendered = match &opts.raw {
+                        Some(path) => match event.get_path(path) {
+                            Some(Json::Str(s)) => s.clone(),
+                            Some(v) => v.to_string(),
+                            None => return Err(format!("no `{path}` in result event: {event}")),
+                        },
+                        None => event
+                            .get_path("data")
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "null".to_string()),
+                    };
+                    // Keep raw string extractions byte-faithful: only
+                    // terminate the line if the value didn't already.
+                    if rendered.ends_with('\n') {
+                        write!(out, "{rendered}").map_err(|e| e.to_string())?;
+                    } else {
+                        writeln!(out, "{rendered}").map_err(|e| e.to_string())?;
+                    }
+                    break;
+                }
+                Some("error") => {
+                    return Err(format!(
+                        "server error: {}",
+                        event
+                            .get_path("message")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                    ))
+                }
+                _ => return Err(format!("unexpected event: {event}")),
+            }
+        }
+    }
+    Ok(served)
+}

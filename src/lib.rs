@@ -16,6 +16,8 @@
 //!   attribution, event tracing,
 //! * [`check`] — the differential cosimulation oracle: fuzzes the timing
 //!   model against the architectural emulator and minimizes divergences,
+//! * [`serve`] — the persistent experiment service: a daemon with shared
+//!   warm state, request dedup and streaming progress over NDJSON,
 //! * [`core`] — configuration, statistics and the experiment harness that
 //!   regenerates every table and figure of the paper.
 //!
@@ -46,6 +48,7 @@ pub use ppsim_obs as obs;
 pub use ppsim_pipeline as pipeline;
 pub use ppsim_predictors as predictors;
 pub use ppsim_runner as runner;
+pub use ppsim_serve as serve;
 
 /// The names almost every ppsim program touches: simulator construction,
 /// scheme selection, statistics/metrics, stall attribution, and the

@@ -6,6 +6,9 @@
 //! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P] [--sample [SPEC]]
 //! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir P] [--json P] [--commits N] [--only a,b] [--sample [SPEC]]
 //! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache] [--sample-epsilon E]
+//! ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir P] [--cache-max-bytes B]
+//! ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]
+//! ppsim cache stats|clear [--cache-dir P]
 //! ppsim list
 //! ```
 //!
@@ -21,27 +24,33 @@
 //! (with `--sample`, through checkpointed sample windows), `check`
 //! fuzzes the timing model against the architectural emulator (the
 //! differential cosimulation oracle; `--sample-epsilon` adds the
-//! sampled-simulation invariants), and `list` prints the benchmark
-//! suite. `SPEC` is `skip:warmup:measure:stride:count`; a bare
-//! `--sample` uses the default schedule.
+//! sampled-simulation invariants), `serve` runs the persistent
+//! experiment daemon (shared warm state, request dedup, streaming
+//! progress over NDJSON), `submit` is its scriptable client (reads
+//! request lines from a file or stdin), `cache` inspects or clears the
+//! on-disk result cache, and `list` prints the benchmark suite. `SPEC`
+//! is `skip:warmup:measure:stride:count`; a bare `--sample` uses the
+//! default schedule.
 
 use std::process::ExitCode;
 
 use ppsim::check::{run_check, CheckOptions};
 use ppsim::compiler::{compile, CompileOptions};
 use ppsim::core::{
-    experiments, simbench, ExperimentConfig, Json, Runner, RunnerOptions, SampleSpec, Table,
+    experiments, simbench, DiskCache, ExperimentConfig, Json, Runner, RunnerOptions, SampleSpec,
+    Table,
 };
 use ppsim::isa::{parse_program, Program};
 use ppsim::pipeline::TestFault;
 use ppsim::prelude::*;
+use ppsim::serve::{install_sigint_handler, submit, ServeOptions, Server, SubmitOptions};
 
 const SCHEMES: &str = "conventional|pep-pa|predicate|ideal-conventional|ideal-predicate";
 const FAULTS: &str = "invert-oracle|invert-early-resolve";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {})",
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E]\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {})",
         SampleSpec::default_spec().canon()
     );
     ExitCode::FAILURE
@@ -406,6 +415,141 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
+            }
+        }
+        "serve" => {
+            // The persistent experiment daemon: one warm runner for the
+            // process lifetime, NDJSON requests over TCP, graceful
+            // drain on SIGINT or a `shutdown` request.
+            let (ropts, rest) = match RunnerOptions::from_args(&flags.args) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rest_flags = Flags { args: rest };
+            let mut sopts = ServeOptions {
+                runner: ropts,
+                ..ServeOptions::default()
+            };
+            if let Some(a) = rest_flags.value_of("--addr") {
+                sopts.addr = a.to_string();
+            }
+            if let Some(v) = rest_flags.value_of("--max-clients") {
+                match v.parse::<usize>() {
+                    Ok(n) => sopts.max_clients = n,
+                    Err(_) => {
+                        eprintln!("serve: bad --max-clients value `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Err(e) = sopts.validate() {
+                eprintln!("serve: {e}");
+                return ExitCode::FAILURE;
+            }
+            let server = match Server::bind(&sopts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("serve: cannot bind {}: {e}", sopts.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            install_sigint_handler();
+            match server.local_addr() {
+                Ok(addr) => eprintln!(
+                    "serve: listening on {addr} (max {} clients)",
+                    sopts.max_clients
+                ),
+                Err(e) => eprintln!("serve: listening ({e})"),
+            }
+            let state = server.run();
+            eprintln!("serve: drained; {}", state.runner.telemetry().summary());
+            ExitCode::SUCCESS
+        }
+        "submit" => {
+            // Scriptable client: sends request lines from a file (or
+            // stdin with `-`), prints one deterministic `data` line per
+            // request on stdout; progress goes to stderr.
+            let source = flags
+                .args
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("-");
+            let requests = if source == "-" {
+                use std::io::Read as _;
+                let mut s = String::new();
+                if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                    eprintln!("submit: cannot read stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+                s
+            } else {
+                match std::fs::read_to_string(source) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("submit: cannot read {source}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let mut opts = SubmitOptions {
+                quiet: flags.has("--quiet"),
+                ..SubmitOptions::default()
+            };
+            if let Some(a) = flags.value_of("--addr") {
+                opts.addr = a.to_string();
+            }
+            if let Some(p) = flags.value_of("--raw") {
+                opts.raw = Some(p.to_string());
+            }
+            match submit(&opts, &requests, &mut std::io::stdout().lock()) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("submit: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "cache" => {
+            // Inspect or clear the on-disk result cache the runner (and
+            // the serve daemon) share.
+            let dir = flags
+                .value_of("--cache-dir")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(DiskCache::default_dir);
+            let cache = match DiskCache::open(&dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cache: cannot open {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match flags.args.first().map(String::as_str) {
+                Some("stats") => {
+                    let usage = cache.usage();
+                    println!(
+                        "{}",
+                        Json::obj()
+                            .field("dir", dir.display().to_string().as_str())
+                            .field("entries", usage.entries)
+                            .field("bytes", usage.bytes)
+                    );
+                    ExitCode::SUCCESS
+                }
+                Some("clear") => match cache.clear() {
+                    Ok(n) => {
+                        eprintln!("cache: removed {n} entries from {}", dir.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("cache: clear failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                _ => usage(),
             }
         }
         "list" => {
