@@ -1,6 +1,7 @@
 //! Diagnostic dump: per-benchmark detailed statistics for each scheme.
 
 use ppsim_compiler::{compile, CompileOptions};
+use ppsim_isa::Machine;
 use ppsim_pipeline::{PredicationModel, SchemeKind, SimOptions};
 
 fn main() {
@@ -31,7 +32,7 @@ fn main() {
             for model in [PredicationModel::Cmov, PredicationModel::Selective] {
                 let mut sim = SimOptions::new(SchemeKind::Predicate, model)
                     .core(cfg.core)
-                    .build(&compiled.program)
+                    .build_source(Machine::new(&compiled.program))
                     .unwrap();
                 let r = sim.run(cfg.commits);
                 let s = r.stats;
@@ -52,7 +53,7 @@ fn main() {
             let mut sim = SimOptions::new(scheme, PredicationModel::Cmov)
                 .core(cfg.core)
                 .shadow(true)
-                .build(&compiled.program)
+                .build_source(Machine::new(&compiled.program))
                 .unwrap();
             let r = sim.run(cfg.commits);
             let s = r.stats;

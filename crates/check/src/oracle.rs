@@ -36,7 +36,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use ppsim_isa::{ExecInfo, Fr, Gr, Machine, Pr, Program, TraceBuffer};
-use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions, SimStats, TestFault};
+use ppsim_pipeline::{
+    LaneSet, PredicationModel, SchemeSpec, SimOptions, SimStats, TestFault, TraceCursor,
+};
 
 /// Step budget for the reference emulator run. Generated programs halt
 /// within a few thousand steps; hitting this bound means the *generator*
@@ -201,6 +203,12 @@ pub enum DivergenceKind {
         /// The configured tolerance.
         epsilon: f64,
     },
+    /// A fused lane's statistics diverged from the same cell run solo —
+    /// cross-lane isolation broke.
+    FusedLaneMismatch {
+        /// First differing headline counter, `name: fused vs solo`.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DivergenceKind {
@@ -271,6 +279,9 @@ impl std::fmt::Display for DivergenceKind {
                 f,
                 "sampled misprediction rate {sampled:.4} vs full {full:.4} exceeds epsilon {epsilon}"
             ),
+            DivergenceKind::FusedLaneMismatch { detail } => {
+                write!(f, "fused lane diverged from its solo run: {detail}")
+            }
         }
     }
 }
@@ -406,6 +417,21 @@ fn timing_invariants(s: &SimStats, cell: Cell) -> Result<(), DivergenceKind> {
     Ok(())
 }
 
+/// `name: a vs b` for the first differing headline counter.
+fn first_counter_diff(a: &SimStats, b: &SimStats) -> String {
+    [
+        ("committed", a.committed, b.committed),
+        ("cycles", a.cycles, b.cycles),
+        ("fetched", a.fetched, b.fetched),
+        ("cond_branches", a.cond_branches, b.cond_branches),
+        ("mispredicts", a.mispredicts, b.mispredicts),
+    ]
+    .iter()
+    .find(|(_, x, y)| x != y)
+    .map(|(name, x, y)| format!("{name}: {x} vs {y}"))
+    .unwrap_or_else(|| "non-headline counters differ".to_string())
+}
+
 /// Unwraps a caught panic payload into a printable message.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
@@ -438,7 +464,7 @@ fn check_cell(
     let budget = reference.machine.steps() + 8;
 
     let (run, machine_steps) = if cell.lockstep() {
-        let mut sim = match opts.build(program) {
+        let mut sim = match opts.build_source(Machine::new(program)) {
             Ok(s) => s,
             Err(e) => {
                 return fail(DivergenceKind::SimPanicked {
@@ -481,7 +507,7 @@ fn check_cell(
         let steps = sim.machine().steps();
         (run, steps)
     } else {
-        let mut sim = match opts.build_replay(Arc::clone(&reference.trace)) {
+        let mut sim = match opts.build_source(TraceCursor::new(Arc::clone(&reference.trace))) {
             Ok(s) => s,
             Err(e) => {
                 return fail(DivergenceKind::SimPanicked {
@@ -533,6 +559,115 @@ pub fn check_program(program: &Program, fault: Option<TestFault>) -> Result<u64,
     Ok(cells)
 }
 
+/// The lanes of the fused-isolation check, in lane order: the paper's
+/// headline predicate cell leads (under [`TestFault::ShareGhr`] lane 0
+/// donates its history register to the others), followed by the two
+/// schemes whose fetch-time predictions hang directly off first-level
+/// gshare history — the lanes a real cross-lane leak would corrupt.
+pub const FUSED_LANES: [Cell; 3] = [
+    Cell {
+        scheme: SchemeSpec::Predicate,
+        predication: PredicationModel::Selective,
+        oracle_final: false,
+    },
+    Cell {
+        scheme: SchemeSpec::Conventional,
+        predication: PredicationModel::Cmov,
+        oracle_final: false,
+    },
+    Cell {
+        scheme: SchemeSpec::PepPa,
+        predication: PredicationModel::Cmov,
+        oracle_final: false,
+    },
+];
+
+/// The fused cross-lane isolation invariant: running [`FUSED_LANES`] as
+/// one [`LaneSet`] over the reference capture must produce, per lane,
+/// statistics bit-identical to the same cell replayed solo. This is the
+/// property that lets the runner fuse whole grids without touching
+/// reported numbers; [`TestFault::ShareGhr`] deliberately violates it
+/// (the teeth proving the diff would notice a real leak).
+///
+/// Returns the number of lanes verified.
+pub fn check_fused(program: &Program, fault: Option<TestFault>) -> Result<u64, Divergence> {
+    let reference = reference_run(program)?;
+    let budget = reference.machine.steps() + 8;
+    let opts: Vec<SimOptions> = FUSED_LANES
+        .iter()
+        .map(|cell| {
+            let mut o = SimOptions::new(cell.scheme, cell.predication);
+            if let Some(f) = fault {
+                o = o.test_fault(f);
+            }
+            o
+        })
+        .collect();
+    let fail = |cell: &Cell, kind| {
+        Err(Divergence {
+            cell: format!("{}/fused", cell.label()),
+            kind,
+        })
+    };
+
+    let mut set = match LaneSet::new(TraceCursor::new(Arc::clone(&reference.trace)), &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            return fail(
+                &FUSED_LANES[0],
+                DivergenceKind::SimPanicked {
+                    message: format!("build failed: {e}"),
+                },
+            )
+        }
+    };
+    let fused = match catch_unwind(AssertUnwindSafe(|| set.run(budget))) {
+        Ok(r) => r,
+        Err(payload) => {
+            return fail(
+                &FUSED_LANES[0],
+                DivergenceKind::SimPanicked {
+                    message: panic_message(payload),
+                },
+            )
+        }
+    };
+
+    for ((cell, o), lane) in FUSED_LANES.iter().zip(&opts).zip(&fused) {
+        let mut sim = match o.build_source(TraceCursor::new(Arc::clone(&reference.trace))) {
+            Ok(s) => s,
+            Err(e) => {
+                return fail(
+                    cell,
+                    DivergenceKind::SimPanicked {
+                        message: format!("build failed: {e}"),
+                    },
+                )
+            }
+        };
+        let solo = match catch_unwind(AssertUnwindSafe(|| sim.run(budget))) {
+            Ok(r) => r,
+            Err(payload) => {
+                return fail(
+                    cell,
+                    DivergenceKind::SimPanicked {
+                        message: panic_message(payload),
+                    },
+                )
+            }
+        };
+        if solo.stats != lane.stats {
+            return fail(
+                cell,
+                DivergenceKind::FusedLaneMismatch {
+                    detail: first_counter_diff(&lane.stats, &solo.stats),
+                },
+            );
+        }
+    }
+    Ok(FUSED_LANES.len() as u64)
+}
+
 /// The sampled-simulation invariants (`ppsim check --sample-epsilon`),
 /// run on the headline predicate/selective cell against the reference
 /// capture:
@@ -572,7 +707,11 @@ pub fn check_sampled(
 
     let run_window = |start: u64, len: u64, warmup: u64, measure: u64| {
         let mut sim = opts
-            .build_replay_window(Arc::clone(&reference.trace), start, len)
+            .build_source(TraceCursor::window(
+                Arc::clone(&reference.trace),
+                start,
+                len,
+            ))
             .map_err(|e| {
                 diverge(DivergenceKind::SimPanicked {
                     message: format!("build failed: {e}"),
@@ -589,7 +728,7 @@ pub fn check_sampled(
     // Ground truth: the plain full replay of the capture.
     let full = run_window(0, steps, 0, budget)?;
     let mut sim = opts
-        .build_replay(Arc::clone(&reference.trace))
+        .build_source(TraceCursor::new(Arc::clone(&reference.trace)))
         .map_err(|e| {
             diverge(DivergenceKind::SimPanicked {
                 message: format!("build failed: {e}"),
@@ -604,18 +743,9 @@ pub fn check_sampled(
         }
     };
     if full != plain {
-        let detail = [
-            ("committed", full.committed, plain.committed),
-            ("cycles", full.cycles, plain.cycles),
-            ("fetched", full.fetched, plain.fetched),
-            ("cond_branches", full.cond_branches, plain.cond_branches),
-            ("mispredicts", full.mispredicts, plain.mispredicts),
-        ]
-        .iter()
-        .find(|(_, a, b)| a != b)
-        .map(|(name, a, b)| format!("{name}: {a} vs {b}"))
-        .unwrap_or_else(|| "non-headline counters differ".to_string());
-        return Err(diverge(DivergenceKind::SampleIdentity { detail }));
+        return Err(diverge(DivergenceKind::SampleIdentity {
+            detail: first_counter_diff(&full, &plain),
+        }));
     }
     let mut checks = 1;
 
@@ -738,6 +868,43 @@ mod tests {
             }
         }
         assert!(found, "no generated program was long enough to tile");
+    }
+
+    #[test]
+    fn fused_lanes_match_solo_on_generated_programs() {
+        for iter in 0..5 {
+            for form in Form::ALL {
+                let p = generate(0xBEEF, iter, form);
+                match check_fused(&p, None) {
+                    Ok(lanes) => assert_eq!(lanes, FUSED_LANES.len() as u64),
+                    Err(d) => panic!("iter {iter} {form:?}: {d}\n{}", p.listing()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_ghr_fault_breaks_fused_isolation() {
+        // The teeth: a deliberately shared history register must make
+        // the fused-vs-solo diff fire on some generated program,
+        // otherwise the isolation check proves nothing.
+        let mut found = false;
+        for iter in 0..10 {
+            let p = generate(0xBEEF, iter, Form::Branchy);
+            if let Err(d) = check_fused(&p, Some(TestFault::ShareGhr)) {
+                assert!(
+                    matches!(d.kind, DivergenceKind::FusedLaneMismatch { .. }),
+                    "{d}"
+                );
+                assert!(d.cell.ends_with("/fused"), "{}", d.cell);
+                found = true;
+                break;
+            }
+        }
+        assert!(
+            found,
+            "no generated program exposed the shared-history leak"
+        );
     }
 
     #[test]

@@ -245,19 +245,6 @@ fn cell(
     )
 }
 
-/// Builds the canonical job for one cell of `cfg`'s experiment grid —
-/// exactly the [`Job`] the figure functions submit, so external callers
-/// (e.g. the serve daemon) share cache keys with batch runs.
-pub fn cell_job(
-    cfg: &ExperimentConfig,
-    bench: &str,
-    ifconv: bool,
-    scheme: SchemeKind,
-    predication: PredicationModel,
-) -> Job {
-    cell(cfg, bench, ifconv, scheme, predication)
-}
-
 /// The scheme columns of the Figure 6a grid: (scheme, predication,
 /// shadow) per column, in table order.
 pub const FIG6A_SCHEMES: [(SchemeKind, PredicationModel, bool); 3] = [
@@ -265,6 +252,95 @@ pub const FIG6A_SCHEMES: [(SchemeKind, PredicationModel, bool); 3] = [
     (SchemeKind::Conventional, PredicationModel::Cmov, false),
     (SchemeKind::Predicate, PredicationModel::Selective, false),
 ];
+
+/// The Figure 6b column: the predicate scheme with the conventional
+/// shadow predictor running alongside for the attribution counts.
+const FIG6B_SCHEMES: [(SchemeKind, PredicationModel, bool); 1] =
+    [(SchemeKind::Predicate, PredicationModel::Selective, true)];
+
+/// The IPC-ablation columns: the predicate scheme under both
+/// predication models.
+const IPC_SCHEMES: [(SchemeKind, PredicationModel, bool); 2] = [
+    (SchemeKind::Predicate, PredicationModel::Cmov, false),
+    (SchemeKind::Predicate, PredicationModel::Selective, false),
+];
+
+fn fig5_schemes(ideal: bool) -> [(SchemeKind, PredicationModel, bool); 2] {
+    let (sa, sb) = if ideal {
+        (SchemeKind::IdealConventional, SchemeKind::IdealPredicate)
+    } else {
+        (SchemeKind::Conventional, SchemeKind::Predicate)
+    };
+    [
+        (sa, PredicationModel::Cmov, false),
+        (sb, PredicationModel::Cmov, false),
+    ]
+}
+
+/// A named slice of the experiment space — the single vocabulary every
+/// consumer (CLI suite, serve daemon, benchmark harness) uses to name
+/// the cells it wants simulated.
+#[derive(Clone, Copy, Debug)]
+pub enum PlanSpec<'a> {
+    /// One explicit cell of `cfg`'s grid.
+    Cell {
+        /// Benchmark name.
+        bench: &'a str,
+        /// Simulate the if-converted binary.
+        ifconv: bool,
+        /// Prediction scheme.
+        scheme: SchemeKind,
+        /// Predication model.
+        predication: PredicationModel,
+    },
+    /// The Figure 5 columns (non-if-converted conventional vs
+    /// predicate); `ideal` selects the alias-free perfect-history
+    /// variants.
+    Fig5 {
+        /// Run the idealized variants instead.
+        ideal: bool,
+    },
+    /// The Figure 6a grid (if-converted code, three schemes).
+    Fig6a,
+    /// The Figure 6b shadow-attribution column.
+    Fig6b,
+    /// The predication-model IPC-ablation columns.
+    IpcAblation,
+    /// Every cell of the consolidated report (Figures 5, 6a, 6b and the
+    /// IPC ablation), deduplicated in first-use order.
+    FullReport,
+}
+
+/// Expands `spec` into its canonical [`Job`] list for `cfg` — the one
+/// grid builder behind every experiment. External callers (the serve
+/// daemon, the benchmark harness) build jobs through here and therefore
+/// share cache keys — and bytes — with batch runs. Multi-figure specs
+/// are deduplicated by canonical key, so cells shared between figures
+/// appear (and simulate) once; grids keep suite-major order, which the
+/// fused runner bundles into one decode pass per benchmark stream.
+pub fn plan(cfg: &ExperimentConfig, spec: PlanSpec) -> Vec<Job> {
+    match spec {
+        PlanSpec::Cell {
+            bench,
+            ifconv,
+            scheme,
+            predication,
+        } => vec![cell(cfg, bench, ifconv, scheme, predication)],
+        PlanSpec::Fig5 { ideal } => grid_jobs(cfg, false, &fig5_schemes(ideal)),
+        PlanSpec::Fig6a => grid_jobs(cfg, true, &FIG6A_SCHEMES),
+        PlanSpec::Fig6b => grid_jobs(cfg, true, &FIG6B_SCHEMES),
+        PlanSpec::IpcAblation => grid_jobs(cfg, true, &IPC_SCHEMES),
+        PlanSpec::FullReport => {
+            let mut jobs = plan(cfg, PlanSpec::Fig5 { ideal: false });
+            jobs.extend(plan(cfg, PlanSpec::Fig6a));
+            jobs.extend(plan(cfg, PlanSpec::Fig6b));
+            jobs.extend(plan(cfg, PlanSpec::IpcAblation));
+            let mut seen = std::collections::HashSet::new();
+            jobs.retain(|j| seen.insert(j.canon()));
+            jobs
+        }
+    }
+}
 
 /// The jobs of a (suite × schemes) grid in suite-major order.
 fn grid_jobs(
@@ -283,84 +359,137 @@ fn grid_jobs(
         .collect()
 }
 
-/// Jobs for every cell of the Figure 6a grid, in grid order.
-pub fn fig6a_jobs(cfg: &ExperimentConfig) -> Vec<Job> {
-    grid_jobs(cfg, true, &FIG6A_SCHEMES)
+/// Per-cell outcome held by [`PlanResults`].
+#[derive(Clone, Debug)]
+struct PlanCell {
+    /// Aggregate statistics (counter-summed over windows when sampled).
+    stats: SimStats,
+    /// Per-window statistics; empty for full runs.
+    windows: Vec<SimStats>,
 }
 
-/// Every job the consolidated report submits (Figure 5, Figure 6a,
-/// Figure 6b, the IPC ablation), deduplicated in first-use order.
-/// Prewarming these through a cached runner turns a subsequent
-/// [`full_report`] into a pure cache replay.
-pub fn full_report_jobs(cfg: &ExperimentConfig) -> Vec<Job> {
-    let mut jobs = grid_jobs(
-        cfg,
-        false,
-        &[
-            (SchemeKind::Conventional, PredicationModel::Cmov, false),
-            (SchemeKind::Predicate, PredicationModel::Cmov, false),
-        ],
-    );
-    jobs.extend(grid_jobs(cfg, true, &FIG6A_SCHEMES));
-    jobs.extend(grid_jobs(
-        cfg,
-        true,
-        &[(SchemeKind::Predicate, PredicationModel::Selective, true)],
-    ));
-    jobs.extend(grid_jobs(
-        cfg,
-        true,
-        &[
-            (SchemeKind::Predicate, PredicationModel::Cmov, false),
-            (SchemeKind::Predicate, PredicationModel::Selective, false),
-        ],
-    ));
-    let mut seen = std::collections::HashSet::new();
-    jobs.retain(|j| seen.insert(j.canon()));
-    jobs
+/// The executed results of a plan, indexed by canonical cell key.
+///
+/// Collected **once** per plan and shared by every figure that reads
+/// from it — figures that overlap (the full report's grids share
+/// cells) assemble from the same simulation instead of re-running it.
+#[derive(Clone, Debug, Default)]
+pub struct PlanResults {
+    cells: std::collections::HashMap<String, PlanCell>,
 }
 
-/// Runs a (suite × schemes) grid and returns per-benchmark stats rows in
-/// suite order. `schemes` gives (scheme, predication, shadow) per column.
-fn scheme_grid(
-    runner: &Runner,
-    cfg: &ExperimentConfig,
-    ifconv: bool,
-    schemes: &[(SchemeKind, PredicationModel, bool)],
-) -> Vec<BenchRow> {
-    let specs = suite(cfg);
-    let jobs: Vec<Job> = grid_jobs(cfg, ifconv, schemes);
-    // Sampled runs return per-window results plus a counter-summed
-    // aggregate per cell; full runs have no windows.
-    let (results, samples): (Vec<_>, Vec<Vec<SimStats>>) = match cfg.sample {
-        Some(spec) => {
-            let sampled = runner.run_grid_sampled(&jobs, spec);
-            let samples = sampled
-                .iter()
-                .map(|s| s.samples.iter().map(|r| r.stats.clone()).collect())
-                .collect();
-            (sampled.into_iter().map(|s| s.aggregate).collect(), samples)
+impl PlanResults {
+    /// Executes `jobs` through `runner` — deduplicated by canonical key,
+    /// sampled or full per `cfg.sample` — and indexes the outcomes.
+    pub fn collect(runner: &Runner, cfg: &ExperimentConfig, jobs: &[Job]) -> PlanResults {
+        let mut unique: Vec<Job> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for j in jobs {
+            if seen.insert(j.canon()) {
+                unique.push(j.clone());
+            }
         }
-        None => (runner.run_grid(&jobs), vec![Vec::new(); jobs.len()]),
-    };
-    specs
-        .iter()
-        .zip(
-            results
-                .chunks(schemes.len())
-                .zip(samples.chunks(schemes.len())),
-        )
-        .map(|(spec, (chunk, windows))| BenchRow {
-            name: spec.name,
-            class: spec.class,
-            runs: chunk.iter().map(|r| r.stats.clone()).collect(),
-            samples: if cfg.sample.is_some() {
-                windows.to_vec()
-            } else {
-                Vec::new()
-            },
-        })
-        .collect()
+        let mut cells = std::collections::HashMap::with_capacity(unique.len());
+        match cfg.sample {
+            Some(spec) => {
+                for (job, r) in unique.iter().zip(runner.run_grid_sampled(&unique, spec)) {
+                    cells.insert(
+                        job.canon(),
+                        PlanCell {
+                            stats: r.aggregate.stats,
+                            windows: r.samples.into_iter().map(|w| w.stats).collect(),
+                        },
+                    );
+                }
+            }
+            None => {
+                for (job, r) in unique.iter().zip(runner.run_grid(&unique)) {
+                    cells.insert(
+                        job.canon(),
+                        PlanCell {
+                            stats: r.stats,
+                            windows: Vec::new(),
+                        },
+                    );
+                }
+            }
+        }
+        PlanResults { cells }
+    }
+
+    /// Number of distinct cells executed.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells were executed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn cell(&self, job: &Job) -> &PlanCell {
+        self.cells
+            .get(&job.canon())
+            .unwrap_or_else(|| panic!("plan results missing cell {}", job.canon()))
+    }
+
+    /// Per-benchmark stat rows for a (suite × schemes) grid, read from
+    /// the collected results. Panics if the plan didn't cover the grid.
+    fn rows(
+        &self,
+        cfg: &ExperimentConfig,
+        ifconv: bool,
+        schemes: &[(SchemeKind, PredicationModel, bool)],
+    ) -> Vec<BenchRow> {
+        suite(cfg)
+            .iter()
+            .map(|spec| {
+                let jobs: Vec<Job> = schemes
+                    .iter()
+                    .map(|&(scheme, predication, shadow)| Job {
+                        shadow,
+                        ..cell(cfg, spec.name, ifconv, scheme, predication)
+                    })
+                    .collect();
+                BenchRow {
+                    name: spec.name,
+                    class: spec.class,
+                    runs: jobs.iter().map(|j| self.cell(j).stats.clone()).collect(),
+                    samples: if cfg.sample.is_some() {
+                        jobs.iter().map(|j| self.cell(j).windows.clone()).collect()
+                    } else {
+                        Vec::new()
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+impl PlanResults {
+    /// Assembles Figure 5 from collected results (see [`fig5`]).
+    pub fn fig5(&self, cfg: &ExperimentConfig, ideal: bool) -> Comparison {
+        let title = if ideal {
+            "Figure 5 (idealized): no alias conflicts, perfect history, non-if-converted code"
+        } else {
+            "Figure 5: 148KB conventional vs 148KB predicate predictor, non-if-converted code"
+        };
+        Comparison {
+            title: title.to_string(),
+            schemes: vec!["conventional".into(), "predicate".into()],
+            rows: self.rows(cfg, false, &fig5_schemes(ideal)),
+        }
+    }
+
+    /// Assembles Figure 6a from collected results (see [`fig6a`]).
+    pub fn fig6a(&self, cfg: &ExperimentConfig) -> Comparison {
+        Comparison {
+            title: "Figure 6a: PEP-PA vs conventional vs predicate predictor, if-converted code"
+                .to_string(),
+            schemes: vec!["pep-pa".into(), "conventional".into(), "predicate".into()],
+            rows: self.rows(cfg, true, &FIG6A_SCHEMES),
+        }
+    }
 }
 
 /// Figure 5: branch misprediction rates of the conventional predictor vs
@@ -368,46 +497,14 @@ fn scheme_grid(
 /// `ideal`, runs the alias-free perfect-history variants instead (the
 /// "results not shown in the graph" study of §4.2).
 pub fn fig5(runner: &Runner, cfg: &ExperimentConfig, ideal: bool) -> Comparison {
-    let (sa, sb, title) = if ideal {
-        (
-            SchemeKind::IdealConventional,
-            SchemeKind::IdealPredicate,
-            "Figure 5 (idealized): no alias conflicts, perfect history, non-if-converted code",
-        )
-    } else {
-        (
-            SchemeKind::Conventional,
-            SchemeKind::Predicate,
-            "Figure 5: 148KB conventional vs 148KB predicate predictor, non-if-converted code",
-        )
-    };
-    let rows = scheme_grid(
-        runner,
-        cfg,
-        false,
-        &[
-            (sa, PredicationModel::Cmov, false),
-            (sb, PredicationModel::Cmov, false),
-        ],
-    );
-    Comparison {
-        title: title.to_string(),
-        schemes: vec!["conventional".into(), "predicate".into()],
-        rows,
-    }
+    PlanResults::collect(runner, cfg, &plan(cfg, PlanSpec::Fig5 { ideal })).fig5(cfg, ideal)
 }
 
 /// Figure 6a: misprediction rates on **if-converted** binaries for the
 /// 144 KB PEP-PA, the 148 KB conventional predictor and the 148 KB
 /// predicate predictor.
 pub fn fig6a(runner: &Runner, cfg: &ExperimentConfig) -> Comparison {
-    let rows = scheme_grid(runner, cfg, true, &FIG6A_SCHEMES);
-    Comparison {
-        title: "Figure 6a: PEP-PA vs conventional vs predicate predictor, if-converted code"
-            .to_string(),
-        schemes: vec!["pep-pa".into(), "conventional".into(), "predicate".into()],
-        rows,
-    }
+    PlanResults::collect(runner, cfg, &plan(cfg, PlanSpec::Fig6a)).fig6a(cfg)
 }
 
 /// One row of the Figure 6b breakdown.
@@ -496,35 +593,38 @@ impl Breakdown {
     }
 }
 
+impl PlanResults {
+    /// Assembles the Figure 6b breakdown from collected results (see
+    /// [`fig6b`]).
+    pub fn fig6b(&self, cfg: &ExperimentConfig) -> Breakdown {
+        let rows = self
+            .rows(cfg, true, &FIG6B_SCHEMES)
+            .into_iter()
+            .map(|row| {
+                let s = &row.runs[0];
+                let n = s.cond_branches.max(1) as f64;
+                let shadow_rate = s.shadow_mispredicts as f64 / n;
+                let total = (shadow_rate - s.misprediction_rate()) * 100.0;
+                let early = (s.early_resolved_saves as f64 / n) * 100.0;
+                BreakdownRow {
+                    name: row.name,
+                    total,
+                    early,
+                    correlation: total - early,
+                }
+            })
+            .collect();
+        Breakdown { rows }
+    }
+}
+
 /// Figure 6b: splits the accuracy difference between the predicate scheme
 /// and a conventional predictor into the early-resolved and correlation
 /// contributions, following the paper's method: count the times the
 /// predicate was ready while the conventional predictor would have
 /// mispredicted; attribute the remaining difference to correlation.
 pub fn fig6b(runner: &Runner, cfg: &ExperimentConfig) -> Breakdown {
-    let rows = scheme_grid(
-        runner,
-        cfg,
-        true,
-        &[(SchemeKind::Predicate, PredicationModel::Selective, true)],
-    );
-    let rows = rows
-        .into_iter()
-        .map(|row| {
-            let s = &row.runs[0];
-            let n = s.cond_branches.max(1) as f64;
-            let shadow_rate = s.shadow_mispredicts as f64 / n;
-            let total = (shadow_rate - s.misprediction_rate()) * 100.0;
-            let early = (s.early_resolved_saves as f64 / n) * 100.0;
-            BreakdownRow {
-                name: row.name,
-                total,
-                early,
-                correlation: total - early,
-            }
-        })
-        .collect();
-    Breakdown { rows }
+    PlanResults::collect(runner, cfg, &plan(cfg, PlanSpec::Fig6b)).fig6b(cfg)
 }
 
 /// One row of the predication-model IPC ablation.
@@ -611,28 +711,28 @@ impl IpcAblation {
     }
 }
 
+impl PlanResults {
+    /// Assembles the IPC ablation from collected results (see
+    /// [`ipc_ablation`]).
+    pub fn ipc_ablation(&self, cfg: &ExperimentConfig) -> IpcAblation {
+        let rows = self
+            .rows(cfg, true, &IPC_SCHEMES)
+            .into_iter()
+            .map(|row| IpcRow {
+                name: row.name,
+                ipc_cmov: row.runs[0].ipc(),
+                ipc_selective: row.runs[1].ipc(),
+            })
+            .collect();
+        IpcAblation { rows }
+    }
+}
+
 /// §3.2/§5 ablation: IPC of the predicate scheme on if-converted binaries
 /// with cmov-style predication vs selective predicate prediction (the
 /// paper cites an 11% IPC gain for the selective scheme in \[16\]).
 pub fn ipc_ablation(runner: &Runner, cfg: &ExperimentConfig) -> IpcAblation {
-    let rows = scheme_grid(
-        runner,
-        cfg,
-        true,
-        &[
-            (SchemeKind::Predicate, PredicationModel::Cmov, false),
-            (SchemeKind::Predicate, PredicationModel::Selective, false),
-        ],
-    );
-    let rows = rows
-        .into_iter()
-        .map(|row| IpcRow {
-            name: row.name,
-            ipc_cmov: row.runs[0].ipc(),
-            ipc_selective: row.runs[1].ipc(),
-        })
-        .collect();
-    IpcAblation { rows }
+    PlanResults::collect(runner, cfg, &plan(cfg, PlanSpec::IpcAblation)).ipc_ablation(cfg)
 }
 
 /// Table 1: renders the simulated machine's parameters plus the predictor
@@ -671,78 +771,102 @@ pub fn table1(cfg: &ExperimentConfig) -> String {
     out
 }
 
-/// Runs every experiment and renders the consolidated report (the body of
-/// `ppsim suite` and the `all` binary; exposed for integration tests).
-/// The returned string is deterministic: byte-identical for any worker
-/// count and cache state.
-pub fn full_report(runner: &Runner, cfg: &ExperimentConfig) -> String {
-    let mut out = String::new();
-    out.push_str(&table1(cfg));
-    out.push('\n');
-    if let Some(spec) = cfg.sample {
-        out.push_str(&format!(
-            "Sampled mode ({}): {} windows of {} measured commits behind {} warmup, \
-             stride {}, skip {} — timing model covers {} of {} commits per cell\n\n",
-            spec.canon(),
-            spec.count,
-            spec.measure,
-            spec.warmup,
-            spec.stride,
-            spec.skip,
-            spec.simulated(),
-            cfg.commits
-        ));
-    }
-    let fig5 = fig5(runner, cfg, false);
-    out.push_str(&fig5.table().to_string());
-    out.push_str(&format!(
-        "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.86)\n\n",
-        fig5.accuracy_gain(0, 1)
-    ));
-    let fig6a = fig6a(runner, cfg);
-    out.push_str(&fig6a.table().to_string());
-    if let Some(t) = fig6a.sample_table() {
-        out.push_str(&t.to_string());
-    }
-    out.push_str(&format!(
-        "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n\n",
-        fig6a.accuracy_gain(1, 2)
-    ));
-    let fig6b = fig6b(runner, cfg);
-    out.push_str(&fig6b.table().to_string());
-    out.push_str(&format!(
-        "averages: early {:+.2}, correlation {:+.2} (paper: +0.5 / +1.0)\n\n",
-        fig6b.average_early(),
-        fig6b.average_correlation()
-    ));
-    let ipc = ipc_ablation(runner, cfg);
-    out.push_str(&ipc.table().to_string());
-    out.push_str(&format!(
-        "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)\n\n",
-        ipc.geomean_speedup()
-    ));
-    out.push_str(&fig6a.stall_table(2).to_string());
-    out
+/// Executes every cell of the consolidated report exactly once — the
+/// deduplicated [`PlanSpec::FullReport`] grid through one runner pass,
+/// where the fused runner bundles all same-stream cells into shared
+/// decode passes. Both report renderings ([`PlanResults::report_text`]
+/// and [`PlanResults::report_json`]) assemble from the returned results
+/// without re-running anything.
+pub fn full_results(runner: &Runner, cfg: &ExperimentConfig) -> PlanResults {
+    PlanResults::collect(runner, cfg, &plan(cfg, PlanSpec::FullReport))
 }
 
-/// The consolidated report as one JSON artifact: every figure's data with
-/// its full per-run metric blocks. Deterministic — byte-identical for any
-/// worker count and cache state. Execution telemetry (wall times, hit
-/// counts) deliberately lives *outside* this object; callers that want it
-/// attach [`Runner::telemetry`] as a sibling.
-pub fn full_report_json(runner: &Runner, cfg: &ExperimentConfig) -> Json {
-    let fig5 = fig5(runner, cfg, false);
-    let fig6a = fig6a(runner, cfg);
-    let fig6b = fig6b(runner, cfg);
-    let ipc = ipc_ablation(runner, cfg);
-    let mut j = Json::obj().field("commits", cfg.commits);
-    if let Some(spec) = cfg.sample {
-        j = j.field("sample", spec.canon().as_str());
+impl PlanResults {
+    /// Renders the consolidated text report (the body of `ppsim suite`)
+    /// from results collected over [`PlanSpec::FullReport`]. The output
+    /// is deterministic: byte-identical for any worker count, cache
+    /// state, and fused or per-cell execution.
+    pub fn report_text(&self, cfg: &ExperimentConfig) -> String {
+        let mut out = String::new();
+        out.push_str(&table1(cfg));
+        out.push('\n');
+        if let Some(spec) = cfg.sample {
+            out.push_str(&format!(
+                "Sampled mode ({}): {} windows of {} measured commits behind {} warmup, \
+                 stride {}, skip {} — timing model covers {} of {} commits per cell\n\n",
+                spec.canon(),
+                spec.count,
+                spec.measure,
+                spec.warmup,
+                spec.stride,
+                spec.skip,
+                spec.simulated(),
+                cfg.commits
+            ));
+        }
+        let fig5 = self.fig5(cfg, false);
+        out.push_str(&fig5.table().to_string());
+        out.push_str(&format!(
+            "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.86)\n\n",
+            fig5.accuracy_gain(0, 1)
+        ));
+        let fig6a = self.fig6a(cfg);
+        out.push_str(&fig6a.table().to_string());
+        if let Some(t) = fig6a.sample_table() {
+            out.push_str(&t.to_string());
+        }
+        out.push_str(&format!(
+            "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n\n",
+            fig6a.accuracy_gain(1, 2)
+        ));
+        let fig6b = self.fig6b(cfg);
+        out.push_str(&fig6b.table().to_string());
+        out.push_str(&format!(
+            "averages: early {:+.2}, correlation {:+.2} (paper: +0.5 / +1.0)\n\n",
+            fig6b.average_early(),
+            fig6b.average_correlation()
+        ));
+        let ipc = self.ipc_ablation(cfg);
+        out.push_str(&ipc.table().to_string());
+        out.push_str(&format!(
+            "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)\n\n",
+            ipc.geomean_speedup()
+        ));
+        out.push_str(&fig6a.stall_table(2).to_string());
+        out
     }
-    j.field("fig5", fig5.to_json())
-        .field("fig6a", fig6a.to_json())
-        .field("fig6b", fig6b.to_json())
-        .field("ipc_ablation", ipc.to_json())
+
+    /// Renders the consolidated report as one JSON artifact from results
+    /// collected over [`PlanSpec::FullReport`]: every figure's data with
+    /// its full per-run metric blocks. Deterministic — byte-identical
+    /// for any worker count and cache state. Execution telemetry (wall
+    /// times, hit counts) deliberately lives *outside* this object;
+    /// callers that want it attach [`Runner::telemetry`] as a sibling.
+    pub fn report_json(&self, cfg: &ExperimentConfig) -> Json {
+        let mut j = Json::obj().field("commits", cfg.commits);
+        if let Some(spec) = cfg.sample {
+            j = j.field("sample", spec.canon().as_str());
+        }
+        j.field("fig5", self.fig5(cfg, false).to_json())
+            .field("fig6a", self.fig6a(cfg).to_json())
+            .field("fig6b", self.fig6b(cfg).to_json())
+            .field("ipc_ablation", self.ipc_ablation(cfg).to_json())
+    }
+}
+
+/// Runs every experiment and renders the consolidated report (the body of
+/// `ppsim suite` and the `all` binary; exposed for integration tests).
+/// Collects the deduplicated grid once and assembles from shared results;
+/// callers that want both renderings should collect [`full_results`]
+/// themselves and render twice.
+pub fn full_report(runner: &Runner, cfg: &ExperimentConfig) -> String {
+    full_results(runner, cfg).report_text(cfg)
+}
+
+/// The consolidated report as one JSON artifact (see
+/// [`PlanResults::report_json`]).
+pub fn full_report_json(runner: &Runner, cfg: &ExperimentConfig) -> Json {
+    full_results(runner, cfg).report_json(cfg)
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@ use std::time::Instant;
 
 use ppsim_compiler::{compile, spec2000_suite, CompileOptions};
 use ppsim_isa::Machine;
-use ppsim_pipeline::{PredicationModel, SampleSpec, SchemeSpec, SimOptions, SimStats, TraceBuffer};
+use ppsim_pipeline::{
+    LaneSet, PredicationModel, SampleSpec, SchemeSpec, SimOptions, SimStats, TraceBuffer,
+    TraceCursor,
+};
 
 use crate::Json;
 
@@ -90,6 +93,11 @@ pub struct BenchRow {
     pub records: u64,
     /// Heap footprint of the capture in bytes.
     pub trace_bytes: usize,
+    /// Wall time of one fused [`LaneSet`] pass running every cell over a
+    /// single decode of the capture (capture excluded, as for replay).
+    pub fused_micros: u64,
+    /// Whether every fused lane's statistics matched its solo replay.
+    pub fused_identical: bool,
     /// Per-cell timings.
     pub cells: Vec<CellBench>,
 }
@@ -139,6 +147,26 @@ impl BenchReport {
         self.rows.iter().flat_map(|r| &r.cells).all(|c| c.identical)
     }
 
+    /// Total fused simulation time, *including* each benchmark's one-off
+    /// capture — directly comparable to [`BenchReport::replay_micros`],
+    /// which pays the same captures but decodes once per cell.
+    pub fn fused_micros(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.capture_micros + r.fused_micros)
+            .sum()
+    }
+
+    /// Wall-clock speedup of the fused grid pass over per-cell replay.
+    pub fn fused_speedup(&self) -> f64 {
+        self.replay_micros() as f64 / self.fused_micros().max(1) as f64
+    }
+
+    /// Whether every fused lane matched its solo replay bit for bit.
+    pub fn fused_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.fused_identical)
+    }
+
     /// The machine-readable artifact (`BENCH_sim.json`).
     pub fn to_json(&self) -> Json {
         let mut rows = Vec::new();
@@ -168,6 +196,8 @@ impl BenchReport {
                     .field("capture_micros", r.capture_micros)
                     .field("records", r.records)
                     .field("trace_bytes", r.trace_bytes)
+                    .field("fused_micros", r.fused_micros)
+                    .field("fused_identical", r.fused_identical)
                     .field("cells", cells),
             );
         }
@@ -183,18 +213,29 @@ impl BenchReport {
                     .field("speedup", self.speedup())
                     .field("reports_identical", self.reports_identical()),
             )
+            .field(
+                "fused",
+                Json::obj()
+                    .field("fused_micros", self.fused_micros())
+                    .field("per_cell_micros", self.replay_micros())
+                    .field("speedup", self.fused_speedup())
+                    .field("reports_identical", self.fused_identical()),
+            )
     }
 
     /// Human-readable summary for stderr.
     pub fn summary(&self) -> String {
         format!(
-            "{} benchmarks x {} cells: inline {:.2}s, replay {:.2}s (capture incl.), speedup {:.2}x, reports {}",
+            "{} benchmarks x {} cells: inline {:.2}s, replay {:.2}s (capture incl.), speedup {:.2}x, \
+             fused {:.2}s (speedup {:.2}x), reports {}",
             self.rows.len(),
             CELLS.len(),
             self.inline_micros() as f64 / 1e6,
             self.replay_micros() as f64 / 1e6,
             self.speedup(),
-            if self.reports_identical() {
+            self.fused_micros() as f64 / 1e6,
+            self.fused_speedup(),
+            if self.reports_identical() && self.fused_identical() {
                 "identical"
             } else {
                 "DIVERGED"
@@ -204,7 +245,9 @@ impl BenchReport {
 }
 
 fn run_inline(opts: SimOptions, program: &ppsim_isa::Program, commits: u64) -> (SimStats, u64) {
-    let mut sim = opts.build(program).expect("bench cells carry no overrides");
+    let mut sim = opts
+        .build_source(Machine::new(program))
+        .expect("bench cells carry no overrides");
     let started = Instant::now();
     let run = sim.run(commits);
     (run.stats, started.elapsed().as_micros() as u64)
@@ -212,7 +255,7 @@ fn run_inline(opts: SimOptions, program: &ppsim_isa::Program, commits: u64) -> (
 
 fn run_replay(opts: SimOptions, trace: Arc<TraceBuffer>, commits: u64) -> (SimStats, u64) {
     let mut sim = opts
-        .build_replay(trace)
+        .build_source(TraceCursor::new(trace))
         .expect("bench cells carry no overrides");
     let started = Instant::now();
     let run = sim.run(commits);
@@ -236,6 +279,7 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         let capture_micros = started.elapsed().as_micros() as u64;
 
         let mut cells = Vec::new();
+        let mut replay_stats_all = Vec::new();
         for (scheme, predication) in CELLS {
             let opts = SimOptions::new(scheme, predication);
             let (inline_stats, inline_micros) = run_inline(opts, &compiled.program, cfg.commits);
@@ -248,12 +292,32 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
                 replay_micros,
                 identical: inline_stats == replay_stats,
             });
+            replay_stats_all.push(replay_stats);
         }
+
+        // One fused pass running every cell as a lane over a single
+        // decode of the same capture.
+        let lane_opts: Vec<SimOptions> = CELLS
+            .iter()
+            .map(|&(scheme, predication)| SimOptions::new(scheme, predication))
+            .collect();
+        let started = Instant::now();
+        let fused_runs = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &lane_opts)
+            .expect("bench cells carry no overrides")
+            .run(cfg.commits);
+        let fused_micros = started.elapsed().as_micros() as u64;
+        let fused_identical = fused_runs
+            .iter()
+            .zip(&replay_stats_all)
+            .all(|(lane, solo)| lane.stats == *solo);
+
         rows.push(BenchRow {
             benchmark: spec.name.to_string(),
             capture_micros,
             records: trace.len(),
             trace_bytes: trace.bytes(),
+            fused_micros,
+            fused_identical,
             cells,
         });
     }
@@ -471,7 +535,7 @@ pub fn run_sampled(cfg: &BenchConfig, spec: SampleSpec) -> SampleBenchReport {
                 let mut m = Machine::new(&compiled.program);
                 m.restore(ckpt);
                 let mut sim = opts
-                    .build_from_machine(m)
+                    .build_source(m)
                     .expect("bench cells carry no overrides");
                 let run = sim.run_sample(spec.warmup, spec.measure);
                 aggregate.merge(&run.stats);
@@ -515,6 +579,11 @@ mod tests {
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.rows[0].cells.len(), CELLS.len());
         assert!(report.reports_identical(), "{}", report.summary());
+        assert!(
+            report.fused_identical(),
+            "fused lanes diverged from solo replay: {}",
+            report.summary()
+        );
         assert!(report.rows[0].records > 0);
         assert!(report.rows[0].trace_bytes > 0);
         for c in &report.rows[0].cells {
@@ -527,6 +596,15 @@ mod tests {
                 .get("aggregate")
                 .and_then(|a| a.get("reports_identical")),
             Some(&Json::Bool(true))
+        );
+        assert_eq!(
+            parsed.get("fused").and_then(|f| f.get("reports_identical")),
+            Some(&Json::Bool(true)),
+            "{text}"
+        );
+        assert!(
+            parsed.get("fused").and_then(|f| f.get("speedup")).is_some(),
+            "{text}"
         );
     }
 

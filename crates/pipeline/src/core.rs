@@ -146,7 +146,8 @@ impl Predictors {
 /// replays: the default inline [`Machine`] (execution-driven mode, used
 /// by the differential oracle for lockstep architectural diffing) or a
 /// [`ppsim_isa::TraceCursor`] over a shared capture (trace-driven mode,
-/// the sweep fast path — see [`SimOptions::build_replay`]).
+/// the sweep fast path). Both modes are built through
+/// [`SimOptions::build_source`].
 pub struct Simulator<S: InsnSource = Machine> {
     source: S,
     hierarchy: Hierarchy,
@@ -248,8 +249,7 @@ impl Simulator {
 
 impl<S: InsnSource> Simulator<S> {
     /// Builds the timing model around an arbitrary instruction source
-    /// ([`SimOptions::build`]/[`SimOptions::build_replay`] are the public
-    /// entry points).
+    /// ([`SimOptions::build_source`] is the public entry point).
     pub(crate) fn from_source(source: S, opts: SimOptions) -> Self {
         let cfg = opts.core;
         let predictors = Predictors::from_set(opts.scheme.build(opts.perceptron, opts.predicate));
@@ -337,11 +337,54 @@ impl<S: InsnSource> Simulator<S> {
                 Err(e) => panic!("functional machine died: {e}"),
             }
         }
+        self.finalize(halted)
+    }
+
+    /// Feeds one externally-decoded record through the timing model,
+    /// bypassing this simulator's own source — the fused-lane driver
+    /// ([`crate::LaneSet`]) decodes each record once and steps every lane
+    /// with it. Exactly one instruction commits per record, so lanes
+    /// driven in lockstep stay in lockstep.
+    pub(crate) fn step(&mut self, rec: &ExecRecord) {
+        self.process(rec);
+    }
+
+    /// Folds the end-of-run derived statistics (memory-hierarchy deltas
+    /// relative to the measurement base, the per-branch histogram) into
+    /// the result. `run` and the fused-lane driver share this so a fused
+    /// lane's report is structurally identical to a solo run's.
+    pub(crate) fn finalize(&mut self, halted: bool) -> RunResult {
         self.stats.mem = self.hierarchy.stats().delta_since(&self.mem_base);
         self.stats.branch_pcs = self.branch_histogram();
         RunResult {
             stats: self.stats.clone(),
             halted,
+        }
+    }
+
+    /// The first-level gshare's global-history register, `None` for
+    /// schemes without one. Fault-injection hook for the fused-lane
+    /// isolation check; never read on measurement runs.
+    #[doc(hidden)]
+    pub fn l1_ghr(&self) -> Option<u64> {
+        match &self.predictors {
+            Predictors::Conventional { l1, .. }
+            | Predictors::Predicate { l1, .. }
+            | Predictors::IdealPredicate { l1, .. } => Some(l1.ghr_value()),
+            Predictors::PepPa { .. } | Predictors::IdealConventional { .. } => None,
+        }
+    }
+
+    /// Overwrites the first-level gshare's global-history register (no-op
+    /// for schemes without one). Fault-injection hook for the fused-lane
+    /// isolation check; never called on measurement runs.
+    #[doc(hidden)]
+    pub fn set_l1_ghr(&mut self, value: u64) {
+        match &mut self.predictors {
+            Predictors::Conventional { l1, .. }
+            | Predictors::Predicate { l1, .. }
+            | Predictors::IdealPredicate { l1, .. } => l1.set_ghr_value(value),
+            Predictors::PepPa { .. } | Predictors::IdealConventional { .. } => {}
         }
     }
 
@@ -1159,7 +1202,7 @@ impl<S: InsnSource> Simulator<S> {
 mod tests {
     use super::*;
     use crate::config::{CoreConfig, PredicationModel};
-    use ppsim_isa::{Asm, CmpRel, CmpType, Gr, Operand, Pr};
+    use ppsim_isa::{Asm, CmpRel, CmpType, Gr, Operand, Pr, TraceCursor};
     use ppsim_predictors::SchemeSpec;
 
     fn g(i: u8) -> Gr {
@@ -1240,8 +1283,14 @@ mod tests {
         for scheme in SchemeSpec::ALL {
             for predication in [PredicationModel::Cmov, PredicationModel::Selective] {
                 let opts = SimOptions::new(scheme, predication).shadow(true);
-                let inline = opts.build(&program).unwrap().run(100_000);
-                let replay = opts.build_replay(Arc::clone(&trace)).unwrap().run(100_000);
+                let inline = opts
+                    .build_source(Machine::new(&program))
+                    .unwrap()
+                    .run(100_000);
+                let replay = opts
+                    .build_source(TraceCursor::new(Arc::clone(&trace)))
+                    .unwrap()
+                    .run(100_000);
                 assert_eq!(inline.halted, replay.halted, "{scheme:?}/{predication:?}");
                 assert_eq!(
                     inline.stats, replay.stats,
@@ -1261,8 +1310,11 @@ mod tests {
         // just like the inline path would.
         let trace = Arc::new(TraceBuffer::capture(&program, 500).unwrap());
         let opts = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov);
-        let inline = opts.build(&program).unwrap().run(500);
-        let replay = opts.build_replay(Arc::clone(&trace)).unwrap().run(500);
+        let inline = opts.build_source(Machine::new(&program)).unwrap().run(500);
+        let replay = opts
+            .build_source(TraceCursor::new(Arc::clone(&trace)))
+            .unwrap()
+            .run(500);
         assert!(!inline.halted);
         assert!(!replay.halted);
         assert_eq!(inline.stats, replay.stats);
@@ -1402,7 +1454,7 @@ mod tests {
         let prog = loop_with_branch(1000, true, 0);
         let mut s = crate::SimOptions::new(SchemeSpec::IdealConventional, PredicationModel::Cmov)
             .oracle_final(true)
-            .build(&prog)
+            .build_source(Machine::new(&prog))
             .unwrap();
         let r = s.run(2_000_000);
         assert!(r.halted);
@@ -1417,7 +1469,7 @@ mod tests {
         let mut s = crate::SimOptions::new(SchemeSpec::IdealConventional, PredicationModel::Cmov)
             .oracle_final(true)
             .test_fault(TestFault::InvertOracle)
-            .build(&prog)
+            .build_source(Machine::new(&prog))
             .unwrap();
         let r = s.run(2_000_000);
         assert_eq!(r.stats.mispredicts, r.stats.cond_branches);
@@ -1427,7 +1479,7 @@ mod tests {
         let prog = loop_with_branch(200, true, 120);
         let mut s = crate::SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
             .test_fault(TestFault::InvertEarlyResolve)
-            .build(&prog)
+            .build_source(Machine::new(&prog))
             .unwrap();
         let r = s.run(2_000_000);
         assert!(r.stats.early_resolved > 0);
@@ -1541,7 +1593,7 @@ mod tests {
         let prog = loop_with_branch(2000, true, 120);
         let mut s = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Cmov)
             .shadow(true)
-            .build(&prog)
+            .build_source(Machine::new(&prog))
             .unwrap();
         let r = s.run(2_000_000);
         assert!(r.stats.shadow_mispredicts > 0);
@@ -1601,7 +1653,7 @@ mod tests {
         let prog = loop_with_branch(50, false, 4);
         let mut s = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Cmov)
             .trace_events(64)
-            .build(&prog)
+            .build_source(Machine::new(&prog))
             .unwrap();
         s.run(100_000);
         let ring = s.events().unwrap();
@@ -1642,7 +1694,7 @@ mod tests {
         let prog = loop_with_branch(2_000, false, 4);
         let mut s = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Cmov)
             .trace_events(4096)
-            .build(&prog)
+            .build_source(Machine::new(&prog))
             .unwrap();
         s.run_sample(500, 500);
         let ring = s.events().unwrap();
@@ -1671,7 +1723,9 @@ mod tests {
         for scheme in SchemeSpec::ALL {
             for model in [PredicationModel::Cmov, PredicationModel::Selective] {
                 let prog = loop_with_branch(400, true, 8);
-                let mut s = SimOptions::new(scheme, model).build(&prog).unwrap();
+                let mut s = SimOptions::new(scheme, model)
+                    .build_source(Machine::new(&prog))
+                    .unwrap();
                 let r = s.run(1_000_000);
                 assert_eq!(
                     r.stats.stall.total(),
@@ -1696,7 +1750,7 @@ mod tests {
         for scheme in SchemeSpec::ALL {
             let opts = SimOptions::new(scheme, PredicationModel::Selective);
             let mut s = opts
-                .build_replay_window(Arc::clone(&trace), 5_000, 4_000)
+                .build_source(TraceCursor::window(Arc::clone(&trace), 5_000, 4_000))
                 .unwrap();
             let r = s.run_sample(1_000, 3_000);
             assert_eq!(r.stats.committed, 3_000, "{scheme:?}");
@@ -1727,11 +1781,14 @@ mod tests {
         let trace = Arc::new(TraceBuffer::capture(&program, 200_000).unwrap());
         let opts = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov);
         let mut s = opts
-            .build_replay_window(Arc::clone(&trace), 0, 40_000)
+            .build_source(TraceCursor::window(Arc::clone(&trace), 0, 40_000))
             .unwrap();
         let r = s.run_sample(20_000, 20_000);
         assert_eq!(r.stats.committed, 20_000);
-        let full = opts.build_replay(Arc::clone(&trace)).unwrap().run(200_000);
+        let full = opts
+            .build_source(TraceCursor::new(Arc::clone(&trace)))
+            .unwrap()
+            .run(200_000);
         assert!(
             r.stats.cond_branches < full.stats.cond_branches,
             "window counts only its own branches"
@@ -1769,12 +1826,16 @@ mod tests {
             let mut restored = Machine::new(&program);
             restored.restore(&ckpt);
             let inline = opts
-                .build_from_machine(restored)
+                .build_source(restored)
                 .unwrap()
                 .run_sample(warmup, measure);
 
             let replay = opts
-                .build_replay_window(Arc::clone(&trace), start, warmup + measure)
+                .build_source(TraceCursor::window(
+                    Arc::clone(&trace),
+                    start,
+                    warmup + measure,
+                ))
                 .unwrap()
                 .run_sample(warmup, measure);
 
@@ -1798,7 +1859,10 @@ mod tests {
         let program = loop_with_branch(8000, true, 0);
         let trace = Arc::new(TraceBuffer::capture(&program, 400_000).unwrap());
         let opts = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov);
-        let full = opts.build_replay(Arc::clone(&trace)).unwrap().run(400_000);
+        let full = opts
+            .build_source(TraceCursor::new(Arc::clone(&trace)))
+            .unwrap()
+            .run(400_000);
 
         let spec = crate::SampleSpec {
             skip: 5_000,
@@ -1810,11 +1874,11 @@ mod tests {
         let mut agg = SimStats::default();
         for i in 0..spec.count {
             let r = opts
-                .build_replay_window(
+                .build_source(TraceCursor::window(
                     Arc::clone(&trace),
                     spec.window_start(i),
                     spec.warmup + spec.measure,
-                )
+                ))
                 .unwrap()
                 .run_sample(spec.warmup, spec.measure);
             agg.merge(&r.stats);

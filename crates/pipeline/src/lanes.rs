@@ -1,0 +1,314 @@
+//! Fused lane-parallel execution: N independent timing lanes over one
+//! trace decode.
+//!
+//! Every cell of a scheme × predication sweep replays the *same*
+//! committed-path capture; the per-record trace decode and stream walk
+//! are pure overhead to repeat per cell. A [`LaneSet`] decodes each
+//! record once and steps every lane with it. Each lane is a complete
+//! [`Simulator`] — its own predictors, pipeline resources, memory
+//! hierarchy, stall ledger and [`crate::SimStats`] — so no timing state
+//! is shared between lanes and each lane's report is bit-identical to
+//! the solo run of the same cell (the acceptance gate the fused-vs-solo
+//! isolation tests pin).
+//!
+//! Lockstep is structural: the timing model commits exactly one
+//! instruction per processed record, so after `k` shared records every
+//! lane has committed `k` instructions and per-lane commit budgets
+//! reduce to one shared record budget.
+
+use ppsim_isa::{ExecError, ExecRecord, InsnSource, TraceCursor};
+
+use crate::core::{RunResult, Simulator};
+use crate::options::{SimOptions, SimOptionsError, TestFault};
+
+/// An instruction source that never yields a record. Fused lanes are
+/// driven externally — the [`LaneSet`] owns the one real cursor and
+/// pushes each decoded record into every lane — so the lane simulators
+/// themselves sit on an empty source.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSource;
+
+impl InsnSource for NullSource {
+    fn next_record(&mut self) -> Result<Option<ExecRecord>, ExecError> {
+        Ok(None)
+    }
+
+    fn ended_halted(&self) -> bool {
+        false
+    }
+}
+
+/// N independent timing lanes sharing one pass over a captured trace.
+pub struct LaneSet {
+    cursor: TraceCursor,
+    lanes: Vec<Simulator<NullSource>>,
+    /// Test-only fault: models one physically *shared* global-history
+    /// register serving every lane. Each lane reads the register as the
+    /// previous lane left it and writes its own update back, so a
+    /// branch outcome is shifted in once per lane instead of once —
+    /// exactly what naive cross-lane state sharing would do to gshare
+    /// history. Deliberately breaks isolation so the differential check
+    /// can prove it would notice.
+    ghr_leak: bool,
+    /// The shared register's current value while the fault is armed.
+    shared_ghr: Option<u64>,
+}
+
+impl LaneSet {
+    /// Builds one lane per options value, all fed from `cursor`.
+    ///
+    /// Each options value is validated exactly as in
+    /// [`SimOptions::build_source`]; the first inconsistent cell aborts
+    /// construction. Any cell carrying [`TestFault::ShareGhr`] arms the
+    /// deliberate cross-lane history leak (check-harness teeth).
+    pub fn new(cursor: TraceCursor, cells: &[SimOptions]) -> Result<Self, SimOptionsError> {
+        let lanes = cells
+            .iter()
+            .map(|opts| opts.build_source(NullSource))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LaneSet {
+            cursor,
+            lanes,
+            ghr_leak: cells.iter().any(|c| c.fault == Some(TestFault::ShareGhr)),
+            shared_ghr: None,
+        })
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the set has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Enables the deliberate cross-lane global-history leak (see the
+    /// `ghr_leak` field). Fault-injection hook for the isolation check;
+    /// never set on measurement runs.
+    #[doc(hidden)]
+    pub fn enable_ghr_leak(&mut self) {
+        self.ghr_leak = true;
+    }
+
+    /// Records decoded per chunk of [`LaneSet::advance`]. Lanes are
+    /// stepped a chunk at a time (not a record at a time) so each lane's
+    /// predictor tables and cache state stay hot for the whole chunk
+    /// instead of being evicted by its siblings on every record. Chunking
+    /// never changes results: every lane still sees the same records in
+    /// the same order, and cross-record state lives inside each lane.
+    const CHUNK: usize = 256;
+
+    /// Steps every lane through up to `budget` shared records. Returns
+    /// `Some(halted)` if the stream ended first, `None` if the budget
+    /// was exhausted.
+    fn advance(&mut self, budget: u64) -> Option<bool> {
+        let mut chunk = Vec::with_capacity(Self::CHUNK.min(budget as usize));
+        let mut n = 0;
+        while n < budget {
+            // Decode once into the chunk buffer ...
+            chunk.clear();
+            let want = Self::CHUNK.min((budget - n) as usize);
+            let mut ended = None;
+            while chunk.len() < want {
+                match self.cursor.next_record() {
+                    Ok(Some(rec)) => chunk.push(rec),
+                    Ok(None) => {
+                        ended = Some(self.cursor.ended_halted());
+                        break;
+                    }
+                    Err(e) => panic!("trace cursor died: {e}"),
+                }
+            }
+            // ... then run each lane through the whole chunk.
+            if self.ghr_leak {
+                // The armed fault interleaves lanes per record.
+                for rec in &chunk {
+                    self.step_shared_ghr(rec);
+                }
+            } else {
+                for lane in &mut self.lanes {
+                    for rec in &chunk {
+                        lane.step(rec);
+                    }
+                }
+            }
+            n += chunk.len() as u64;
+            if let Some(halted) = ended {
+                return Some(halted);
+            }
+        }
+        None
+    }
+
+    /// The armed fault: one shared history register, updated in lane
+    /// order (see the `ghr_leak` field).
+    #[cold]
+    fn step_shared_ghr(&mut self, rec: &ppsim_isa::ExecRecord) {
+        let mut shared = self.shared_ghr;
+        for lane in &mut self.lanes {
+            if let Some(v) = shared {
+                lane.set_l1_ghr(v);
+            }
+            lane.step(rec);
+            shared = lane.l1_ghr().or(shared);
+        }
+        self.shared_ghr = shared;
+    }
+
+    /// Runs all lanes until the trace ends or `max_commits` instructions
+    /// commit per lane; returns one [`RunResult`] per lane, in lane
+    /// order. Mirrors [`Simulator::run`] on every lane.
+    pub fn run(&mut self, max_commits: u64) -> Vec<RunResult> {
+        let halted = self.advance(max_commits).unwrap_or(false);
+        self.lanes
+            .iter_mut()
+            .map(|lane| lane.finalize(halted))
+            .collect()
+    }
+
+    /// Runs one sampled window on all lanes: `warmup` shared records
+    /// with statistics suppressed, then `measure` reported records.
+    /// Mirrors [`Simulator::run_sample`] on every lane; the cursor must
+    /// already be positioned at the window start.
+    pub fn run_sample(&mut self, warmup: u64, measure: u64) -> Vec<RunResult> {
+        self.advance(warmup);
+        for lane in &mut self.lanes {
+            lane.begin_measurement();
+        }
+        self.run(measure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use ppsim_isa::TraceBuffer;
+    use ppsim_predictors::SchemeSpec;
+
+    use super::*;
+    use crate::config::PredicationModel;
+
+    /// A small deterministic loop whose inner branch direction follows a
+    /// multiplicative-hash bit of the counter — history-correlated but
+    /// not trivially predictable, so predictor state actually matters.
+    fn program() -> ppsim_isa::Program {
+        use ppsim_isa::{AluKind, Asm, CmpRel, CmpType, Gr, Operand, Pr};
+        let (i, t, acc) = (Gr::new(1), Gr::new(2), Gr::new(3));
+        let mut a = Asm::new();
+        let top = a.new_label();
+        let skip = a.new_label();
+        a.bind(top);
+        a.addi(i, i, 1);
+        // t = (i * 2654435761) >> 13 & 1: a pseudo-random direction bit.
+        a.alu(AluKind::Mul, t, i, Operand::imm(2654435761));
+        a.alu(AluKind::Shr, t, t, Operand::imm(13));
+        a.alu(AluKind::And, t, t, Operand::imm(1));
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Eq,
+            Pr::new(1),
+            Pr::new(2),
+            t,
+            Operand::imm(0),
+        );
+        a.cmp(
+            CmpType::Unc,
+            CmpRel::Lt,
+            Pr::new(3),
+            Pr::new(4),
+            i,
+            Operand::imm(900),
+        );
+        // When the hash bit says skip, the two conditional branches
+        // commit back to back — the pattern that exposes history-update
+        // interleaving between lanes.
+        a.pred(Pr::new(1)).br(skip);
+        a.addi(acc, acc, 1);
+        a.bind(skip);
+        a.pred(Pr::new(3)).br(top);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    fn cells() -> Vec<SimOptions> {
+        vec![
+            SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov),
+            SimOptions::new(SchemeSpec::PepPa, PredicationModel::Cmov),
+            SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective),
+        ]
+    }
+
+    #[test]
+    fn fused_lanes_match_solo_replay_bit_for_bit() {
+        let program = program();
+        let trace = Arc::new(TraceBuffer::capture(&program, 10_000).unwrap());
+        let fused = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &cells())
+            .unwrap()
+            .run(10_000);
+        for (opts, fused) in cells().into_iter().zip(fused) {
+            let solo = opts
+                .build_source(TraceCursor::new(Arc::clone(&trace)))
+                .unwrap()
+                .run(10_000);
+            assert_eq!(solo.halted, fused.halted);
+            assert_eq!(solo.stats, fused.stats);
+        }
+    }
+
+    #[test]
+    fn fused_sampled_window_matches_solo_window() {
+        let program = program();
+        let trace = Arc::new(TraceBuffer::capture(&program, 10_000).unwrap());
+        let window = |t: &Arc<TraceBuffer>| TraceCursor::window(Arc::clone(t), 8, 40);
+        let fused = LaneSet::new(window(&trace), &cells())
+            .unwrap()
+            .run_sample(15, 20);
+        for (opts, fused) in cells().into_iter().zip(fused) {
+            let mut sim = opts.build_source(window(&trace)).unwrap();
+            let solo = sim.run_sample(15, 20);
+            assert_eq!(solo.stats, fused.stats);
+        }
+    }
+
+    #[test]
+    fn ghr_leak_teeth_breaks_lane_isolation() {
+        // The fault hook must actually perturb a lane, otherwise the
+        // isolation check it backs proves nothing.
+        let program = program();
+        let trace = Arc::new(TraceBuffer::capture(&program, 10_000).unwrap());
+        // Lane order chosen so lane 0 (predicate scheme: history carries
+        // compare-prediction bits) pollutes lane 1 (conventional: its
+        // gshare history feeds every fetch-time prediction).
+        let cells = vec![
+            SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective),
+            SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov),
+        ];
+        let mut leaky = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &cells).unwrap();
+        leaky.enable_ghr_leak();
+        let leaked = leaky.run(10_000);
+        let solo = cells[1]
+            .build_source(TraceCursor::new(Arc::clone(&trace)))
+            .unwrap()
+            .run(10_000);
+        assert_ne!(
+            solo.stats, leaked[1].stats,
+            "deliberate GHR leak must change the polluted lane's report"
+        );
+    }
+
+    #[test]
+    fn null_source_is_empty() {
+        let mut s = NullSource;
+        assert!(matches!(s.next_record(), Ok(None)));
+        assert!(!s.ended_halted());
+        // A simulator over the null source runs zero instructions.
+        let r = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov)
+            .build_source(NullSource)
+            .unwrap()
+            .run(100);
+        assert_eq!(r.stats.committed, 0);
+    }
+}

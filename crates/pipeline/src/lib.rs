@@ -33,7 +33,7 @@
 //! let program = a.assemble()?;
 //!
 //! let mut sim = SimOptions::new(SchemeKind::Predicate, PredicationModel::Selective)
-//!     .build(&program)?;
+//!     .build_source(ppsim_isa::Machine::new(&program))?;
 //! let result = sim.run(100_000);
 //! assert!(result.halted);
 //! assert!(result.stats.ipc() > 0.5);
@@ -45,6 +45,7 @@
 mod config;
 mod core;
 mod fxhash;
+mod lanes;
 mod options;
 mod resources;
 mod sample;
@@ -52,10 +53,12 @@ mod stats;
 
 pub use crate::core::{RunResult, Simulator};
 pub use config::{CoreConfig, Latencies, PredicationModel};
+pub use lanes::{LaneSet, NullSource};
 pub use options::{SimOptions, SimOptionsError, TestFault};
 /// Re-exported trace-engine types: capture a program's dynamic stream
-/// once ([`TraceBuffer`]) and drive any number of timing cells from it
-/// ([`SimOptions::build_replay`]).
+/// once ([`TraceBuffer`]) and drive any number of timing cells from it —
+/// one cursor per solo cell ([`SimOptions::build_source`]) or one shared
+/// pass for a whole fused lane bundle ([`LaneSet`]).
 pub use ppsim_isa::{InsnSource, TraceBuffer, TraceCursor};
 pub use ppsim_obs::{EventKind, EventRing, StallBreakdown, StallBucket, TraceEvent};
 pub use ppsim_predictors::SchemeSpec;

@@ -1,14 +1,17 @@
 //! Typed, validated simulator construction.
 //!
 //! [`SimOptions`] replaces the old `Simulator::with_*` method chain: every
-//! knob is set on the builder and checked once at [`SimOptions::build`], so
-//! an inapplicable override (a perceptron geometry on a PEP-PA job, say) is
-//! a loud [`SimOptionsError`] instead of a silently ignored call.
+//! knob is set on the builder and checked once at
+//! [`SimOptions::build_source`], so an inapplicable override (a perceptron
+//! geometry on a PEP-PA job, say) is a loud [`SimOptionsError`] instead of
+//! a silently ignored call. The source passed to `build_source` selects
+//! the execution mode — an inline [`Machine`] or a replaying
+//! [`ppsim_isa::TraceCursor`] — through one constructor, so every caller
+//! (CLI, serve, check, bench) shares a single build path.
 
 use std::fmt;
-use std::sync::Arc;
 
-use ppsim_isa::{Machine, Program, TraceBuffer, TraceCursor};
+use ppsim_isa::{InsnSource, Machine, Program};
 use ppsim_predictors::{PerceptronConfig, PredicateConfig, SchemeSpec};
 
 use crate::config::{CoreConfig, PredicationModel};
@@ -19,13 +22,13 @@ use crate::core::Simulator;
 ///
 /// ```
 /// use ppsim_pipeline::{PredicationModel, SchemeSpec, SimOptions};
-/// # use ppsim_isa::Asm;
+/// # use ppsim_isa::{Asm, Machine};
 /// # let mut a = Asm::new();
 /// # a.halt();
 /// # let program = a.assemble().unwrap();
 /// let mut sim = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
 ///     .trace_events(256)
-///     .build(&program)
+///     .build_source(Machine::new(&program))
 ///     .unwrap();
 /// let result = sim.run(10_000);
 /// assert!(result.halted);
@@ -59,6 +62,12 @@ pub enum TestFault {
     /// (predicate schemes), breaking the §3.2 "early-resolved branches
     /// never mispredict" invariant. Inert on non-predicate schemes.
     InvertEarlyResolve,
+    /// Makes every lane of a fused [`crate::LaneSet`] read and write one
+    /// physically *shared* first-level global-history register, updated
+    /// in lane order — each branch outcome is shifted in once per lane
+    /// instead of once — breaking the "fused lanes are bit-identical to
+    /// solo runs" invariant. Inert on solo (non-fused) simulators.
+    ShareGhr,
 }
 
 impl SimOptions {
@@ -150,60 +159,37 @@ impl SimOptions {
         Ok(())
     }
 
-    /// Validates the options and builds the simulator for `program`.
-    pub fn build(self, program: &Program) -> Result<Simulator, SimOptionsError> {
-        self.validate()?;
-        Ok(Simulator::from_options(program, self))
-    }
-
-    /// Validates the options and builds a simulator around an existing
-    /// functional machine — typically one restored from a
-    /// [`ppsim_isa::Checkpoint`], so a sampled run starts its warmup at
-    /// the window position without replaying the skipped prefix through
-    /// the timing model.
-    pub fn build_from_machine(self, machine: Machine) -> Result<Simulator, SimOptionsError> {
-        self.validate()?;
-        Ok(Simulator::from_source(machine, self))
-    }
-
-    /// Validates the options and builds a simulator replaying a captured
-    /// trace instead of stepping an inline functional machine.
+    /// Validates the options and builds the timing model around any
+    /// instruction source: an inline [`Machine`] (execution-driven mode —
+    /// fresh, or restored from a [`ppsim_isa::Checkpoint`] so a sampled
+    /// run starts at its window position), or a
+    /// [`ppsim_isa::TraceCursor`] replaying a shared capture (whole
+    /// stream via `TraceCursor::new`, one sampled window via
+    /// `TraceCursor::window`).
     ///
-    /// The trace is shared zero-copy: every cell of a sweep clones the
-    /// same `Arc<TraceBuffer>`. The capture must cover at least as many
-    /// dynamic instructions as the run's commit budget, or the replay run
-    /// ends early with `halted == false` (see
-    /// [`TraceBuffer::capture`]).
+    /// This is the single constructor behind every execution mode; the
+    /// source value *is* the mode. A capture shorter than the run's
+    /// commit budget ends the run early with `halted == false` (see
+    /// [`ppsim_isa::TraceBuffer::capture`]); trace windows past the
+    /// capture's end clamp to empty.
     ///
     /// # Errors
     ///
-    /// The same [`SimOptionsError`] consistency checks as
-    /// [`SimOptions::build`].
-    pub fn build_replay(
-        self,
-        trace: Arc<TraceBuffer>,
-    ) -> Result<Simulator<TraceCursor>, SimOptionsError> {
+    /// The [`SimOptionsError`] consistency checks of
+    /// [`SimOptions::validate`].
+    pub fn build_source<S: InsnSource>(self, source: S) -> Result<Simulator<S>, SimOptionsError> {
         self.validate()?;
-        Ok(Simulator::from_source(TraceCursor::new(trace), self))
+        Ok(Simulator::from_source(source, self))
     }
 
-    /// Validates the options and builds a simulator replaying the
-    /// `len`-record window of `trace` starting at record `start` — one
-    /// sampled window driven from a shared capture (see
-    /// [`ppsim_isa::TraceCursor::window`]). Windows past the capture's
-    /// end clamp to empty, mirroring a too-short capture under
-    /// [`SimOptions::build_replay`].
-    pub fn build_replay_window(
-        self,
-        trace: Arc<TraceBuffer>,
-        start: u64,
-        len: u64,
-    ) -> Result<Simulator<TraceCursor>, SimOptionsError> {
-        self.validate()?;
-        Ok(Simulator::from_source(
-            TraceCursor::window(trace, start, len),
-            self,
-        ))
+    /// Validates the options and builds the simulator for `program`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `build_source(Machine::new(program))`; every execution \
+                mode now goes through the one source-parameterized constructor"
+    )]
+    pub fn build(self, program: &Program) -> Result<Simulator, SimOptionsError> {
+        self.build_source(Machine::new(program))
     }
 }
 
@@ -269,9 +255,26 @@ mod tests {
     #[test]
     fn plain_options_build() {
         for scheme in SchemeSpec::ALL {
-            let sim = SimOptions::new(scheme, PredicationModel::Cmov).build(&halt_program());
+            let sim = SimOptions::new(scheme, PredicationModel::Cmov)
+                .build_source(Machine::new(&halt_program()));
             assert!(sim.is_ok(), "{scheme:?}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_shim_matches_build_source() {
+        let program = halt_program();
+        let a = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
+            .build(&program)
+            .unwrap()
+            .run(100);
+        let b = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
+            .build_source(Machine::new(&program))
+            .unwrap()
+            .run(100);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.halted, b.halted);
     }
 
     #[test]
@@ -284,7 +287,7 @@ mod tests {
         assert!(err.to_string().contains("pep-pa"), "{err}");
         assert!(SimOptions::new(SchemeSpec::PepPa, PredicationModel::Cmov)
             .perceptron(PerceptronConfig::paper_148kb())
-            .build(&halt_program())
+            .build_source(Machine::new(&halt_program()))
             .is_err());
 
         let err = SimOptions::new(SchemeSpec::Conventional, PredicationModel::Cmov)
@@ -306,7 +309,7 @@ mod tests {
             SimOptions::new(SchemeSpec::IdealConventional, PredicationModel::Cmov)
                 .oracle_final(true)
                 .test_fault(TestFault::InvertOracle)
-                .build(&halt_program())
+                .build_source(Machine::new(&halt_program()))
                 .is_ok()
         );
     }

@@ -4,24 +4,32 @@
 //! iterating cycle by cycle; these helpers answer "when can this
 //! instruction acquire the resource" for bounded structures whose entries
 //! release at arbitrary (already-computed) times.
-
-use std::collections::VecDeque;
-
-use crate::fxhash::FxMap;
+//!
+//! Both structures here sit on the per-record hot path (a simulated
+//! instruction touches the pools up to a dozen times and issues through a
+//! [`UnitSet`] exactly once), so they are flat rings over plain arrays:
+//! no hashing, no heap churn, branch-predictable scans. Their observable
+//! semantics are bit-exact with the reference `VecDeque`/hash-map
+//! formulations they replaced — the grid-fusion acceptance gate
+//! (byte-identical reports) depends on that.
 
 /// A structure with `capacity` entries, each held from acquisition until a
 /// caller-supplied release cycle (ROB, issue queues, LSQ, physical register
 /// free lists).
 ///
-/// Releases are kept as a sorted ring buffer rather than a binary heap:
-/// most pools release at the commit cycle, which is monotone, so the
-/// common case is an O(1) `push_back` / `pop_front` instead of a heap
-/// sift — and these pools are touched several times per simulated
-/// instruction.
+/// Releases are kept sorted ascending in a power-of-two ring: most pools
+/// release at the commit cycle, which is monotone, so the common case is
+/// an O(1) append / expire — and these pools are touched several times
+/// per simulated instruction. Out-of-order releases (issue-queue slots on
+/// an early-issuing instruction) take a bounded sorted-insert path.
 #[derive(Clone, Debug)]
 pub struct Pool {
-    /// Outstanding release cycles, sorted ascending.
-    releases: VecDeque<u64>,
+    /// Outstanding release cycles in ascending order, stored at ring
+    /// indices `(head + i) & mask` for `i < len`.
+    ring: Box<[u64]>,
+    head: usize,
+    len: usize,
+    mask: usize,
     capacity: usize,
 }
 
@@ -33,28 +41,45 @@ impl Pool {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "pool must have capacity");
+        let slots = capacity.next_power_of_two();
         Pool {
-            releases: VecDeque::with_capacity(capacity + 1),
+            ring: vec![0u64; slots].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            mask: slots - 1,
             capacity,
         }
     }
 
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        self.ring[(self.head + i) & self.mask]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: u64) {
+        let mask = self.mask;
+        self.ring[(self.head + i) & mask] = v;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
     /// Earliest cycle ≥ `now` at which an entry can be acquired, without
     /// acquiring it.
+    #[inline]
     pub fn earliest(&mut self, now: u64) -> u64 {
-        while self.releases.len() >= self.capacity {
-            match self.releases.front() {
-                Some(&r) if r <= now => {
-                    self.releases.pop_front();
-                }
-                _ => break,
-            }
+        while self.len >= self.capacity && self.ring[self.head] <= now {
+            self.pop_front();
         }
-        if self.releases.len() < self.capacity {
+        if self.len < self.capacity {
             now
         } else {
-            let r = *self.releases.front().expect("full pool is non-empty");
-            now.max(r)
+            now.max(self.ring[self.head])
         }
     }
 
@@ -62,19 +87,34 @@ impl Pool {
     /// Returns the acquisition cycle.
     pub fn acquire(&mut self, now: u64, release: u64) -> u64 {
         let at = self.earliest(now);
-        if self.releases.len() >= self.capacity {
-            self.releases.pop_front();
+        if self.len >= self.capacity {
+            self.pop_front();
         }
         let r = release.max(at);
-        match self.releases.back() {
-            // Out-of-order release (issue-queue slots on an early-issuing
-            // instruction): sorted insert, bounded by the queue capacity.
-            Some(&b) if b > r => {
-                let i = self.releases.partition_point(|&x| x <= r);
-                self.releases.insert(i, r);
+        if self.len > 0 && self.get(self.len - 1) > r {
+            // Out-of-order release: binary-search the first entry > r,
+            // shift the tail right one slot, insert. Bounded by capacity.
+            let mut lo = 0usize;
+            let mut hi = self.len;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.get(mid) <= r {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
             }
-            _ => self.releases.push_back(r),
+            let mut i = self.len;
+            while i > lo {
+                let v = self.get(i - 1);
+                self.set(i, v);
+                i -= 1;
+            }
+            self.set(lo, r);
+        } else {
+            self.set(self.len, r);
         }
+        self.len += 1;
         at
     }
 
@@ -84,19 +124,27 @@ impl Pool {
     }
 }
 
+/// Cycle span a [`UnitSet`] keeps start counts for. Bookings run at most
+/// a dependence chain's depth ahead of the issue frontier and queries
+/// never fall behind the oldest live booking by more than that, so the
+/// live span is far smaller than this window; the set panics loudly
+/// (rather than silently mis-counting) if a workload ever exceeds it.
+const UNIT_WINDOW: u64 = 1 << 15;
+
 /// A set of identical pipelined functional units: up to `n` operations
-/// can start per cycle, tracked as per-cycle occupancy so that an
-/// operation booked far in the future (a long dependence chain) does not
-/// block earlier, actually-free issue slots.
+/// can start per cycle, tracked as a flat ring of per-cycle start counts
+/// so that an operation booked far in the future (a long dependence
+/// chain) does not block earlier, actually-free issue slots.
 #[derive(Clone, Debug)]
 pub struct UnitSet {
-    n: u32,
-    // Per-cycle start counts. The live window spans from the commit
-    // frontier to the furthest dependence-chain booking — O(100k) keys at
-    // full commit budgets — so lookups use the fast integer hasher rather
-    // than an ordered map.
-    booked: FxMap<u64, u32>,
-    calls: u64,
+    n: u8,
+    /// Per-cycle start counts for cycles `[base, base + UNIT_WINDOW)`,
+    /// indexed by `cycle & (UNIT_WINDOW - 1)`. Slots outside the live
+    /// window are zero by invariant: advancing the window re-zeroes every
+    /// slot it vacates.
+    booked: Box<[u8]>,
+    /// Lowest cycle the window covers.
+    base: u64,
 }
 
 impl UnitSet {
@@ -104,33 +152,55 @@ impl UnitSet {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero or exceeds 255.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "unit set must have units");
+        assert!(n <= u8::MAX as usize, "unit count must fit a byte");
         UnitSet {
-            n: n as u32,
-            booked: FxMap::default(),
-            calls: 0,
+            n: n as u8,
+            booked: vec![0u8; UNIT_WINDOW as usize].into_boxed_slice(),
+            base: 0,
         }
+    }
+
+    /// Slides the window forward so cycle `c` is representable, zeroing
+    /// the slots the old window vacates. Each slot is cleared once per
+    /// window pass, so the cost amortizes to O(1) per cycle advanced.
+    #[cold]
+    fn advance(&mut self, c: u64) {
+        let new_base = c + 1 - UNIT_WINDOW;
+        if new_base - self.base >= UNIT_WINDOW {
+            self.booked.fill(0);
+        } else {
+            for cycle in self.base..new_base {
+                self.booked[(cycle & (UNIT_WINDOW - 1)) as usize] = 0;
+            }
+        }
+        self.base = new_base;
     }
 
     /// Issues an operation at the earliest cycle ≥ `ready` with a free
     /// issue slot; returns the actual issue cycle.
+    #[inline]
     pub fn issue(&mut self, ready: u64) -> u64 {
+        assert!(
+            ready >= self.base,
+            "unit-set query at cycle {ready} behind window base {}: \
+             live booking span exceeded UNIT_WINDOW",
+            self.base
+        );
         let mut c = ready;
-        while self.booked.get(&c).copied().unwrap_or(0) >= self.n {
+        loop {
+            if c >= self.base + UNIT_WINDOW {
+                self.advance(c);
+            }
+            let slot = (c & (UNIT_WINDOW - 1)) as usize;
+            if self.booked[slot] < self.n {
+                self.booked[slot] += 1;
+                return c;
+            }
             c += 1;
         }
-        *self.booked.entry(c).or_insert(0) += 1;
-        // Periodically drop bookings far in the past (instructions issue
-        // within the in-flight window, so old cycles can never be asked
-        // for again).
-        self.calls += 1;
-        if self.calls.is_multiple_of(4096) {
-            let keep_from = c.saturating_sub(100_000);
-            self.booked.retain(|&cycle, _| cycle >= keep_from);
-        }
-        c
     }
 }
 
@@ -213,6 +283,32 @@ mod tests {
     }
 
     #[test]
+    fn pool_sorted_insert_keeps_order() {
+        // Out-of-order releases (issue-queue pattern): the ring must stay
+        // sorted so `earliest` always sees the soonest release.
+        let mut p = Pool::new(3);
+        p.acquire(0, 90);
+        p.acquire(0, 30);
+        p.acquire(0, 60);
+        // Full; earliest release is 30.
+        assert_eq!(p.earliest(0), 30);
+        assert_eq!(p.acquire(0, 120), 30);
+        assert_eq!(p.earliest(31), 60);
+    }
+
+    #[test]
+    fn pool_ring_wraps_cleanly() {
+        // Far more acquisitions than capacity exercises ring wrap-around
+        // with a mix of monotone and out-of-order releases.
+        let mut p = Pool::new(3);
+        let mut now = 0;
+        for i in 0..1000u64 {
+            now = p.acquire(now, now + 5 + (i % 3));
+        }
+        assert!(p.earliest(now) >= now);
+    }
+
+    #[test]
     fn unit_set_allows_n_per_cycle() {
         let mut u = UnitSet::new(2);
         assert_eq!(u.issue(5), 5);
@@ -230,6 +326,29 @@ mod tests {
         }
         assert_eq!(u.issue(10), 10, "earlier free slot is usable");
         assert_eq!(u.issue(10), 11, "but only once for a single unit");
+    }
+
+    #[test]
+    fn unit_window_slides_and_forgets_stale_cycles() {
+        let mut u = UnitSet::new(1);
+        assert_eq!(u.issue(0), 0);
+        // Jump far past the window: the slide must zero vacated ring
+        // slots, not double-count cycle 0's old booking.
+        let far = UNIT_WINDOW * 3 + 7;
+        assert_eq!(u.issue(far), far);
+        assert_eq!(u.issue(far), far + 1, "unit busy at `far`");
+        // The cycle aliasing cycle 0's ring slot inside the new window is
+        // free again.
+        let aliased = (far + 1 - UNIT_WINDOW).next_multiple_of(UNIT_WINDOW);
+        assert_eq!(u.issue(aliased), aliased);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind window base")]
+    fn unit_query_behind_window_panics() {
+        let mut u = UnitSet::new(1);
+        u.issue(UNIT_WINDOW * 4);
+        u.issue(0);
     }
 
     #[test]

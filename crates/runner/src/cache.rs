@@ -49,9 +49,13 @@ use crate::job::{Job, JobResult};
 /// `early_resolved_mispredicts`; v4 added the `time.*` telemetry lines
 /// (wall/compile/capture/sim); v5 added the `sample=` axis to the
 /// canonical job encoding, so a sampled window and a full run can never
-/// alias. Entries from any other version — older or newer — read as
-/// misses (the exact-match header check below), never as wrong results.
-const HEADER: &str = "ppsim-cache v5";
+/// alias; v6 marks the fused-grid era — per-cell keys are unchanged, but
+/// the timing-telemetry lines a fused pass stores are per-lane shares,
+/// so entries written by pre-fusion binaries are retired wholesale
+/// rather than mixed into fused-era telemetry. Entries from any other
+/// version — older or newer — read as misses (the exact-match header
+/// check below), never as wrong results.
+const HEADER: &str = "ppsim-cache v6";
 /// Last line; its absence marks a truncated entry.
 const FOOTER: &str = "end";
 
@@ -643,16 +647,16 @@ mod tests {
 
     #[test]
     fn stale_format_version_misses() {
-        // An entry written by any other format version — the v4 layout
-        // that predates the sample axis, an ancient v3, or a future v6 —
+        // An entry written by any other format version — the v5 layout
+        // that predates grid fusion, an ancient v3, or a future v7 —
         // must read as a miss, never be parsed with today's field
         // semantics.
         let dir = temp_dir("version");
         let cache = DiskCache::open(&dir).unwrap();
         let j = job();
         let current = render_entry(&j, &result());
-        assert!(current.starts_with("ppsim-cache v5\n"), "{current}");
-        for stale in ["ppsim-cache v3", "ppsim-cache v4", "ppsim-cache v6"] {
+        assert!(current.starts_with("ppsim-cache v6\n"), "{current}");
+        for stale in ["ppsim-cache v3", "ppsim-cache v5", "ppsim-cache v7"] {
             let text = current.replacen(HEADER, stale, 1);
             fs::write(cache.dir().join(format!("{}.result", j.hash_hex())), text).unwrap();
             assert!(cache.load(&j).is_none(), "{stale} entry must miss");

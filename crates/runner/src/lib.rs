@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use ppsim_compiler::{compile, spec2000_suite, CompileOptions, Compiled, WorkloadSpec};
 use ppsim_isa::{Checkpoint, Machine};
-use ppsim_pipeline::{RunResult, SampleSpec, SimOptions, TraceBuffer};
+use ppsim_pipeline::{LaneSet, RunResult, SampleSpec, SimOptions, TraceBuffer, TraceCursor};
 
 pub use cache::{CacheUsage, DiskCache};
 pub use inflight::Inflight;
@@ -56,6 +56,13 @@ pub struct RunnerOptions {
     /// functional stream once per binary, replay it per cell). Disable to
     /// force the legacy inline-machine path (`--no-replay`).
     pub replay: bool,
+    /// Fuse cache-missing replay cells that share one stream (same
+    /// binary, commit budget and sample window) into a single
+    /// lane-parallel pass over the trace (`ppsim_pipeline::LaneSet`).
+    /// Disable to run every cell as its own job (`--no-fuse`). Results
+    /// and cache keys are identical either way; only wall time and
+    /// telemetry differ.
+    pub fuse: bool,
     /// Byte budget for the on-disk cache (`None` = unbounded). When set,
     /// every store evicts least-recently-used entries down to the cap.
     pub cache_max_bytes: Option<u64>,
@@ -68,6 +75,7 @@ impl Default for RunnerOptions {
             cache: true,
             cache_dir: None,
             replay: true,
+            fuse: true,
             cache_max_bytes: None,
         }
     }
@@ -75,8 +83,9 @@ impl Default for RunnerOptions {
 
 impl RunnerOptions {
     /// Parses `--jobs N`, `--no-cache`, `--cache-dir P`,
-    /// `--cache-max-bytes B` and `--no-replay` from a raw argument list,
-    /// returning the validated options and the unconsumed arguments.
+    /// `--cache-max-bytes B`, `--no-replay` and `--no-fuse` from a raw
+    /// argument list, returning the validated options and the unconsumed
+    /// arguments.
     pub fn from_args(args: &[String]) -> Result<(RunnerOptions, Vec<String>), String> {
         let mut opts = RunnerOptions::default();
         let mut rest = Vec::new();
@@ -107,6 +116,7 @@ impl RunnerOptions {
                     opts.cache_max_bytes = Some(b);
                 }
                 "--no-replay" => opts.replay = false,
+                "--no-fuse" => opts.fuse = false,
                 _ => rest.push(a.clone()),
             }
         }
@@ -169,6 +179,14 @@ pub struct Telemetry {
     /// checkpoint) by the size caps — relevant for long-lived runners
     /// (`ppsim serve`), always 0 for one-shot grids.
     pub memo_evictions: u64,
+    /// Fused lane-parallel trace passes executed (bundles of ≥ 2 cells
+    /// sharing one stream).
+    pub fused_passes: u64,
+    /// Cells executed inside fused passes (the lanes). `fused_lanes /
+    /// fused_passes` is the lanes-per-pass ratio; cells run solo (no
+    /// fusable sibling, `--no-fuse`, or the inline path) appear in
+    /// `jobs_run` but not here.
+    pub fused_lanes: u64,
     /// Per-simulated-job timing phases, in grid order. Capped at
     /// [`Telemetry::MAX_PER_JOB`] entries (oldest dropped) so a
     /// long-running daemon's telemetry stays bounded.
@@ -227,6 +245,15 @@ impl Telemetry {
         }
     }
 
+    /// Average lanes per fused pass (0 when no fused pass ran).
+    pub fn lanes_per_pass(&self) -> f64 {
+        if self.fused_passes == 0 {
+            0.0
+        } else {
+            self.fused_lanes as f64 / self.fused_passes as f64
+        }
+    }
+
     /// Fraction of replay jobs whose capture was shared from the memo
     /// (`trace_memo_hits / (trace_memo_hits + captures)`; 0 when no
     /// replay job ran).
@@ -251,6 +278,9 @@ impl Telemetry {
             .field("trace_memo_hit_rate", self.trace_memo_hit_rate())
             .field("capture_micros_total", self.capture_micros_total)
             .field("memo_evictions", self.memo_evictions)
+            .field("fused_passes", self.fused_passes)
+            .field("fused_lanes", self.fused_lanes)
+            .field("lanes_per_pass", self.lanes_per_pass())
             .field(
                 "per_job",
                 Json::Arr(
@@ -420,29 +450,74 @@ impl Runner {
             None => vec![None; jobs.len()],
         };
 
-        // 2. Fan the misses over the pool.
+        // 2. Bundle the misses: replay cells sharing one stream fuse into
+        //    a single lane-parallel pass, everything else is a bundle of
+        //    one. Bundles fan out over the pool.
         let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
-        let fresh = pool::run_indexed(miss_idx.len(), self.opts.effective_jobs(), |k| {
-            self.execute(&jobs[miss_idx[k]])
+        let bundles = self.bundle_misses(jobs, &miss_idx);
+        let fresh = pool::run_indexed(bundles.len(), self.opts.effective_jobs(), |k| {
+            let members: Vec<&Job> = bundles[k].iter().map(|&i| &jobs[i]).collect();
+            if members.len() == 1 {
+                vec![self.execute(members[0])]
+            } else {
+                self.execute_fused(&members)
+            }
         });
 
-        // 3. Store fresh results and fill their slots.
-        for (k, result) in fresh.into_iter().enumerate() {
-            let i = miss_idx[k];
-            if let Some(cache) = &self.cache {
-                // A failed store is not fatal — the result is still good,
-                // the next run just recomputes.
-                let _ = cache.store(&jobs[i], &result);
+        // 3. Store fresh results and fill their slots — each cell under
+        //    its own unchanged canonical key, fused or not.
+        let mut fused_passes = 0u64;
+        let mut fused_lanes = 0u64;
+        for (bundle, results) in bundles.iter().zip(fresh) {
+            if bundle.len() > 1 {
+                fused_passes += 1;
+                fused_lanes += bundle.len() as u64;
             }
-            slots[i] = Some(result);
+            for (&i, result) in bundle.iter().zip(results) {
+                if let Some(cache) = &self.cache {
+                    // A failed store is not fatal — the result is still
+                    // good, the next run just recomputes.
+                    let _ = cache.store(&jobs[i], &result);
+                }
+                slots[i] = Some(result);
+            }
         }
 
         let results: Vec<JobResult> = slots
             .into_iter()
             .map(|s| s.expect("every slot filled"))
             .collect();
-        self.telemetry.lock().unwrap().absorb(jobs, &results);
+        let mut telemetry = self.telemetry.lock().unwrap();
+        telemetry.absorb(jobs, &results);
+        telemetry.fused_passes += fused_passes;
+        telemetry.fused_lanes += fused_lanes;
+        drop(telemetry);
         results
+    }
+
+    /// Groups cache-miss indices into fused bundles. Cells fuse when the
+    /// fused path applies (trace replay on, fusion on) and they share the
+    /// stream identity — binary, commit budget and sample slice; each
+    /// group keeps grid order, and group order follows each stream's
+    /// first appearance, so scheduling stays deterministic.
+    fn bundle_misses(&self, jobs: &[Job], miss_idx: &[usize]) -> Vec<Vec<usize>> {
+        if !(self.opts.replay && self.opts.fuse) {
+            return miss_idx.iter().map(|&i| vec![i]).collect();
+        }
+        let mut order: Vec<(CompileKey, u64, Option<SampleSlice>)> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for &i in miss_idx {
+            let job = &jobs[i];
+            let key = (CompileKey::of(job), job.commits, job.sample);
+            match order.iter().position(|k| *k == key) {
+                Some(g) => groups[g].push(i),
+                None => {
+                    order.push(key);
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        groups
     }
 
     /// Runs a single job (grid of one).
@@ -620,12 +695,8 @@ impl Runner {
         (ckpt, ff_micros, !fresh)
     }
 
-    /// Compiles and simulates one job (a cache miss).
-    fn execute(&self, job: &Job) -> JobResult {
-        let started = Instant::now();
-        let compiled = self.compiled_for(job);
-        let compile_micros = started.elapsed().as_micros() as u64;
-
+    /// The simulator options a job's cell axes translate to.
+    fn sim_options_for(job: &Job) -> SimOptions {
         let mut opts = SimOptions::new(job.scheme, job.predication)
             .core(job.core)
             .shadow(job.shadow);
@@ -635,6 +706,87 @@ impl Runner {
         if let Some(p) = job.predicate {
             opts = opts.predicate(p);
         }
+        opts
+    }
+
+    /// Runs a bundle of replay cells sharing one stream as a single
+    /// fused lane-parallel pass ([`LaneSet`]): the trace is decoded
+    /// once, every lane keeps its own complete timing state, and each
+    /// lane's result is bit-identical to its solo run.
+    ///
+    /// Accounting: the capture phase (and the memo-miss flag) is charged
+    /// to the first lane, mirroring the solo path where only the
+    /// capturing cell pays it; the shared pass's simulation time is
+    /// split evenly across lanes, so grid-level `sim_micros` sums stay
+    /// meaningful.
+    fn execute_fused(&self, members: &[&Job]) -> Vec<JobResult> {
+        let started = Instant::now();
+        let lead = members[0];
+        let compiled = self.compiled_for(lead);
+        let compile_micros = started.elapsed().as_micros() as u64;
+        let cells: Vec<SimOptions> = members.iter().map(|j| Self::sim_options_for(j)).collect();
+
+        let (runs, capture_micros, trace_memo_hit, sim_micros) = match lead.sample {
+            Some(slice) => {
+                let (trace, capture_micros, memo_hit) =
+                    self.trace_for(lead, &compiled, slice.spec.span());
+                let start = slice.spec.window_start(slice.index);
+                let cursor =
+                    TraceCursor::window(trace, start, slice.spec.warmup + slice.spec.measure);
+                let mut lanes = LaneSet::new(cursor, &cells)
+                    .expect("grid jobs carry only applicable overrides");
+                let sim_started = Instant::now();
+                let runs = lanes.run_sample(slice.spec.warmup, slice.spec.measure);
+                (
+                    runs,
+                    capture_micros,
+                    memo_hit,
+                    sim_started.elapsed().as_micros() as u64,
+                )
+            }
+            None => {
+                let (trace, capture_micros, memo_hit) =
+                    self.trace_for(lead, &compiled, lead.commits);
+                let mut lanes = LaneSet::new(TraceCursor::new(trace), &cells)
+                    .expect("grid jobs carry only applicable overrides");
+                let sim_started = Instant::now();
+                let runs = lanes.run(lead.commits);
+                (
+                    runs,
+                    capture_micros,
+                    memo_hit,
+                    sim_started.elapsed().as_micros() as u64,
+                )
+            }
+        };
+
+        let wall_micros = started.elapsed().as_micros() as u64;
+        let static_insns = compiled.program.count_insns(|_| true) as u64;
+        let static_cond_branches = compiled.program.count_insns(|i| i.is_cond_branch()) as u64;
+        let n = members.len() as u64;
+        runs.into_iter()
+            .enumerate()
+            .map(|(lane, run)| JobResult {
+                stats: run.stats,
+                static_insns,
+                static_cond_branches,
+                from_cache: false,
+                wall_micros: wall_micros / n,
+                compile_micros: if lane == 0 { compile_micros } else { 0 },
+                capture_micros: if lane == 0 { capture_micros } else { 0 },
+                sim_micros: sim_micros / n,
+                trace_memo_hit: if lane == 0 { trace_memo_hit } else { true },
+            })
+            .collect()
+    }
+
+    /// Compiles and simulates one job (a cache miss).
+    fn execute(&self, job: &Job) -> JobResult {
+        let started = Instant::now();
+        let compiled = self.compiled_for(job);
+        let compile_micros = started.elapsed().as_micros() as u64;
+
+        let opts = Self::sim_options_for(job);
 
         let (run, capture_micros, trace_memo_hit, sim_micros): (RunResult, u64, bool, u64) =
             match (job.sample, self.opts.replay) {
@@ -645,7 +797,11 @@ impl Runner {
                         self.trace_for(job, &compiled, slice.spec.span());
                     let start = slice.spec.window_start(slice.index);
                     let mut sim = opts
-                        .build_replay_window(trace, start, slice.spec.warmup + slice.spec.measure)
+                        .build_source(TraceCursor::window(
+                            trace,
+                            start,
+                            slice.spec.warmup + slice.spec.measure,
+                        ))
                         .expect("grid jobs carry only applicable overrides");
                     let sim_started = Instant::now();
                     let run = sim.run_sample(slice.spec.warmup, slice.spec.measure);
@@ -667,7 +823,7 @@ impl Runner {
                     let mut machine = Machine::new(&compiled.program);
                     machine.restore(&ckpt);
                     let mut sim = opts
-                        .build_from_machine(machine)
+                        .build_source(machine)
                         .expect("grid jobs carry only applicable overrides");
                     let sim_started = Instant::now();
                     let run = sim.run_sample(slice.spec.warmup, slice.spec.measure);
@@ -682,7 +838,7 @@ impl Runner {
                     let (trace, capture_micros, memo_hit) =
                         self.trace_for(job, &compiled, job.commits);
                     let mut sim = opts
-                        .build_replay(trace)
+                        .build_source(TraceCursor::new(trace))
                         .expect("grid jobs carry only applicable overrides");
                     let sim_started = Instant::now();
                     let run = sim.run(job.commits);
@@ -695,7 +851,7 @@ impl Runner {
                 }
                 (None, false) => {
                     let mut sim = opts
-                        .build(&compiled.program)
+                        .build_source(Machine::new(&compiled.program))
                         .expect("grid jobs carry only applicable overrides");
                     let sim_started = Instant::now();
                     let run = sim.run(job.commits);
@@ -907,6 +1063,90 @@ mod tests {
             2,
             "one checkpoint per window start, shared across schemes"
         );
+    }
+
+    #[test]
+    fn fused_grid_matches_per_cell_bit_for_bit() {
+        let fused = Runner::serial_no_cache();
+        let solo = Runner::new(RunnerOptions {
+            jobs: 1,
+            cache: false,
+            fuse: false,
+            ..RunnerOptions::default()
+        });
+        let grid = vec![
+            tiny(SchemeKind::Conventional),
+            tiny(SchemeKind::PepPa),
+            tiny(SchemeKind::Predicate),
+        ];
+        let a = fused.run_grid(&grid);
+        let b = solo.run_grid(&grid);
+        for ((x, y), job) in a.iter().zip(&b).zip(&grid) {
+            assert_eq!(
+                x.stats,
+                y.stats,
+                "fusion must be invisible to statistics ({})",
+                job.label()
+            );
+        }
+        let tf = fused.telemetry();
+        assert_eq!(tf.fused_passes, 1, "three cells share one stream");
+        assert_eq!(tf.fused_lanes, 3);
+        assert!((tf.lanes_per_pass() - 3.0).abs() < 1e-12);
+        let ts = solo.telemetry();
+        assert_eq!(ts.fused_passes, 0, "--no-fuse runs cells solo");
+        assert_eq!(ts.fused_lanes, 0);
+    }
+
+    #[test]
+    fn fused_sampled_grid_matches_per_cell() {
+        let spec = SampleSpec {
+            skip: 1_000,
+            warmup: 500,
+            measure: 1_000,
+            stride: 2_000,
+            count: 2,
+        };
+        let fused = Runner::serial_no_cache();
+        let solo = Runner::new(RunnerOptions {
+            jobs: 1,
+            cache: false,
+            fuse: false,
+            ..RunnerOptions::default()
+        });
+        let grid = vec![tiny(SchemeKind::Conventional), tiny(SchemeKind::Predicate)];
+        let a = fused.run_grid_sampled(&grid, spec);
+        let b = solo.run_grid_sampled(&grid, spec);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.aggregate.stats, y.aggregate.stats);
+            for (xs, ys) in x.samples.iter().zip(&y.samples) {
+                assert_eq!(xs.stats, ys.stats, "per-window agreement");
+            }
+        }
+        // Two cells × two windows → one fused pass per window.
+        assert_eq!(fused.telemetry().fused_passes, 2);
+        assert_eq!(fused.telemetry().fused_lanes, 4);
+    }
+
+    #[test]
+    fn mixed_budgets_only_fuse_matching_streams() {
+        let r = Runner::serial_no_cache();
+        let long = Job {
+            commits: 6_000,
+            ..tiny(SchemeKind::Conventional)
+        };
+        let grid = vec![
+            tiny(SchemeKind::Conventional),
+            long,
+            tiny(SchemeKind::Predicate),
+        ];
+        r.run_grid(&grid);
+        let t = r.telemetry();
+        assert_eq!(
+            t.fused_passes, 1,
+            "only the two same-budget cells share a stream"
+        );
+        assert_eq!(t.fused_lanes, 2);
     }
 
     #[test]

@@ -69,15 +69,18 @@ impl CellRequest {
             profile_steps: self.profile_steps,
             ..ExperimentConfig::default()
         };
+        let mut jobs = experiments::plan(
+            &cfg,
+            experiments::PlanSpec::Cell {
+                bench: &self.bench,
+                ifconv: self.ifconv,
+                scheme: self.scheme,
+                predication: self.predication,
+            },
+        );
         Job {
             shadow: self.shadow,
-            ..experiments::cell_job(
-                &cfg,
-                &self.bench,
-                self.ifconv,
-                self.scheme,
-                self.predication,
-            )
+            ..jobs.remove(0)
         }
     }
 }
@@ -513,8 +516,16 @@ mod tests {
             commits: 40_000,
             ..ExperimentConfig::default()
         };
-        let batch =
-            experiments::cell_job(&cfg, "gcc", true, SchemeSpec::PepPa, PredicationModel::Cmov);
+        let batch = experiments::plan(
+            &cfg,
+            experiments::PlanSpec::Cell {
+                bench: "gcc",
+                ifconv: true,
+                scheme: SchemeSpec::PepPa,
+                predication: PredicationModel::Cmov,
+            },
+        )
+        .remove(0);
         assert_eq!(c.job().canon(), batch.canon(), "identical cache identity");
     }
 

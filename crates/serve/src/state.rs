@@ -349,8 +349,10 @@ impl ServerState {
     ) -> Result<(String, Provenance), String> {
         let cfg = req.config();
         self.run_grid_op(format!("fig6a|{}", req.canon()), move || {
-            self.prewarm(&cfg, &experiments::fig6a_jobs(&cfg), progress);
-            experiments::fig6a(&self.runner, &cfg).to_json().to_string()
+            let jobs = experiments::plan(&cfg, experiments::PlanSpec::Fig6a);
+            self.prewarm(&cfg, &jobs, progress);
+            let results = experiments::PlanResults::collect(&self.runner, &cfg, &jobs);
+            results.fig6a(&cfg).to_json().to_string()
         })
     }
 
@@ -365,13 +367,14 @@ impl ServerState {
     ) -> Result<(String, Provenance), String> {
         let cfg = req.config();
         self.run_grid_op(format!("report|{}", req.canon()), move || {
-            self.prewarm(&cfg, &experiments::full_report_jobs(&cfg), progress);
+            let jobs = experiments::plan(&cfg, experiments::PlanSpec::FullReport);
+            self.prewarm(&cfg, &jobs, progress);
+            // One collection serves both renderings — the text body and
+            // the JSON artifact assemble from the same simulations.
+            let results = experiments::PlanResults::collect(&self.runner, &cfg, &jobs);
             Json::obj()
-                .field(
-                    "text",
-                    experiments::full_report(&self.runner, &cfg).as_str(),
-                )
-                .field("json", experiments::full_report_json(&self.runner, &cfg))
+                .field("text", results.report_text(&cfg).as_str())
+                .field("json", results.report_json(&cfg))
                 .to_string()
         })
     }

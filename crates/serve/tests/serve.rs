@@ -145,13 +145,16 @@ fn cell_is_byte_identical_cold_warm_and_vs_batch() {
         commits: COMMITS,
         ..ExperimentConfig::default()
     };
-    let job = experiments::cell_job(
+    let job = experiments::plan(
         &cfg,
-        "gzip",
-        true,
-        SchemeSpec::PepPa,
-        PredicationModel::Cmov,
-    );
+        experiments::PlanSpec::Cell {
+            bench: "gzip",
+            ifconv: true,
+            scheme: SchemeSpec::PepPa,
+            predication: PredicationModel::Cmov,
+        },
+    )
+    .remove(0);
     let reference = batch.run_job(&job);
     let served = Json::parse(&cold[0]).unwrap();
     assert_eq!(

@@ -32,7 +32,7 @@
 //! let program = a.assemble()?;
 //! let mut sim = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
 //!     .trace_events(64)
-//!     .build(&program)?;
+//!     .build_source(ppsim::isa::Machine::new(&program))?;
 //! let result = sim.run(1_000);
 //! assert_eq!(result.stats.stall.total(), result.stats.cycles);
 //! # Ok(())

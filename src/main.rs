@@ -4,7 +4,7 @@
 //! ppsim run <file.s> [--scheme S] [--commits N] [--trace-events N] [--tiny]
 //! ppsim compile <benchmark> [--ifconv] [--listing]
 //! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P] [--sample [SPEC]]
-//! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir P] [--json P] [--commits N] [--only a,b] [--sample [SPEC]]
+//! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir P] [--json P] [--commits N] [--only a,b] [--sample [SPEC]]
 //! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache] [--sample-epsilon E]
 //! ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir P] [--cache-max-bytes B]
 //! ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]
@@ -46,11 +46,11 @@ use ppsim::prelude::*;
 use ppsim::serve::{install_sigint_handler, submit, ServeOptions, Server, SubmitOptions};
 
 const SCHEMES: &str = "conventional|pep-pa|predicate|ideal-conventional|ideal-predicate";
-const FAULTS: &str = "invert-oracle|invert-early-resolve";
+const FAULTS: &str = "invert-oracle|invert-early-resolve|share-ghr";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E]\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {})",
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E]\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {})",
         SampleSpec::default_spec().canon()
     );
     ExitCode::FAILURE
@@ -83,7 +83,7 @@ fn simulate(program: &Program, scheme: SchemeSpec, commits: u64, trace_events: u
     let mut sim = SimOptions::new(scheme, PredicationModel::Selective)
         .core(core)
         .trace_events(trace_events)
-        .build(program)
+        .build_source(ppsim::isa::Machine::new(program))
         .expect("no overrides supplied");
     let r = sim.run(commits);
     let s = &r.stats;
@@ -318,7 +318,10 @@ fn main() -> ExitCode {
                 Ok(None) => {}
             }
             let runner = Runner::new(opts);
-            print!("{}", experiments::full_report(&runner, &cfg));
+            // One deduplicated grid pass feeds both the text report and
+            // the --json artifact.
+            let results = experiments::full_results(&runner, &cfg);
+            print!("{}", results.report_text(&cfg));
             if let Some(path) = rest_flags.value_of("--json") {
                 // Telemetry sits beside (not inside) the deterministic
                 // `data` object: stripping it yields byte-identical
@@ -326,7 +329,7 @@ fn main() -> ExitCode {
                 let doc = Json::obj()
                     .field("experiment", "suite")
                     .field("commits", cfg.commits)
-                    .field("data", experiments::full_report_json(&runner, &cfg))
+                    .field("data", results.report_json(&cfg))
                     .field("telemetry", runner.telemetry().to_json());
                 if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
                     eprintln!("suite: failed to write {path}: {e}");
@@ -386,6 +389,7 @@ fn main() -> ExitCode {
                 opts.fault = match v {
                     "invert-oracle" => Some(TestFault::InvertOracle),
                     "invert-early-resolve" => Some(TestFault::InvertEarlyResolve),
+                    "share-ghr" => Some(TestFault::ShareGhr),
                     other => {
                         eprintln!("check: unknown --fault `{other}` (expected {FAULTS})");
                         return ExitCode::FAILURE;

@@ -13,6 +13,7 @@ use std::path::PathBuf;
 
 use ppsim::compiler::{compile, CompileOptions};
 use ppsim::core::{experiments, ExperimentConfig, Json, Runner, RunnerOptions};
+use ppsim::isa::Machine;
 use ppsim::prelude::*;
 
 fn compiled(ifconv: bool) -> ppsim::compiler::Compiled {
@@ -36,7 +37,7 @@ fn stall_buckets_partition_cycles_for_every_scheme_and_compile_mode() {
         for scheme in SchemeSpec::ALL {
             for predication in [PredicationModel::Cmov, PredicationModel::Selective] {
                 let mut sim = SimOptions::new(scheme, predication)
-                    .build(&compiled.program)
+                    .build_source(Machine::new(&compiled.program))
                     .unwrap();
                 let r = sim.run(25_000);
                 let s = &r.stats;
@@ -66,7 +67,7 @@ fn metric_block_round_trips_through_json() {
     let compiled = compiled(true);
     let mut sim = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
         .shadow(true)
-        .build(&compiled.program)
+        .build_source(Machine::new(&compiled.program))
         .unwrap();
     let r = sim.run(25_000);
     let doc = r.stats.metrics().to_json();
@@ -103,7 +104,7 @@ fn event_trace_is_bounded_and_exportable() {
     let compiled = compiled(true);
     let mut sim = SimOptions::new(SchemeSpec::Predicate, PredicationModel::Selective)
         .trace_events(64)
-        .build(&compiled.program)
+        .build_source(Machine::new(&compiled.program))
         .unwrap();
     sim.run(25_000);
     let ring = sim.events().expect("tracing enabled");

@@ -179,3 +179,49 @@ fn json_report_round_trips_and_carries_metrics() {
     assert!(total > 0);
     assert_eq!(run + hits, total);
 }
+
+#[test]
+fn fused_fig6a_grid_preserves_cross_lane_isolation() {
+    // The fused path's acceptance gate, end to end: the FULL Figure-6a
+    // grid (every benchmark × every scheme column) run as fused lanes
+    // must report per-cell statistics identical to dedicated per-cell
+    // jobs. Any cross-lane state leak — a shared predictor table, a
+    // polluted history register, a resource ledger carried between
+    // lanes — shows up as a SimStats diff on some cell.
+    let cfg = ExperimentConfig {
+        commits: 8_000,
+        profile_steps: 20_000,
+        ..ExperimentConfig::default()
+    };
+    let jobs = experiments::plan(&cfg, experiments::PlanSpec::Fig6a);
+    assert!(jobs.len() >= 60, "full grid: {} cells", jobs.len());
+
+    let fused = runner(4, None);
+    let solo = Runner::new(RunnerOptions {
+        jobs: 4,
+        fuse: false,
+        ..RunnerOptions::default()
+    });
+    let a = fused.run_grid(&jobs);
+    let b = solo.run_grid(&jobs);
+    for ((job, fa), fb) in jobs.iter().zip(&a).zip(&b) {
+        assert_eq!(
+            fa.stats,
+            fb.stats,
+            "cell {} diverged when fused",
+            job.canon()
+        );
+        assert_eq!(fa.static_insns, fb.static_insns, "{}", job.canon());
+    }
+
+    // And the fused runner genuinely fused: one multi-lane pass per
+    // benchmark stream, three lanes each, none on the solo runner.
+    let t = fused.telemetry();
+    assert_eq!(t.fused_lanes, jobs.len() as u64);
+    assert_eq!(
+        t.fused_passes,
+        t.fused_lanes / 3,
+        "three schemes per stream"
+    );
+    assert_eq!(solo.telemetry().fused_passes, 0);
+}
