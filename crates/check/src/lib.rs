@@ -27,6 +27,7 @@
 
 pub mod gen;
 pub mod oracle;
+pub mod replay;
 pub mod shrink;
 
 use std::path::PathBuf;
@@ -40,6 +41,7 @@ use ppsim_runner::{pool, DiskCache};
 
 pub use gen::{generate, Form};
 pub use oracle::{check_fused, check_program, check_sampled, Cell, Divergence, DivergenceKind};
+pub use replay::{parse_repro_header, replay_repro, ReplayOutcome, ReproHeader};
 pub use shrink::shrink;
 
 /// Bump to invalidate every cached verdict (generator change, new grid
@@ -185,9 +187,9 @@ fn verdict_key(opts: &CheckOptions, iter: u64, form: Form) -> String {
     hex64(fnv1a64(canon.as_bytes()))
 }
 
-/// Serializes panic-hook swapping across concurrent [`run_check`] calls
-/// (tests run in-process and in parallel).
-static HOOK_LOCK: Mutex<()> = Mutex::new(());
+/// Serializes panic-hook swapping across concurrent [`run_check`] (and
+/// [`replay_repro`]) calls — tests run in-process and in parallel.
+pub(crate) static HOOK_LOCK: Mutex<()> = Mutex::new(());
 
 /// Minimizes a failing program, preserving the original divergence's
 /// cell and kind so the shrinker cannot slide onto a different bug.

@@ -13,7 +13,7 @@ use ppsim_pipeline::{PredicationModel, SchemeKind, SimStats};
 use ppsim_predictors::sizing;
 use ppsim_runner::{Job, Json, Runner};
 
-use crate::report::{f3, pct, Table};
+use crate::report::{count, f3, pct, Table};
 use crate::ExperimentConfig;
 
 /// One benchmark's results across the schemes of an experiment.
@@ -84,6 +84,67 @@ impl Comparison {
         let mut avg = vec!["average".to_string(), "-".to_string()];
         avg.extend((0..self.schemes.len()).map(|i| pct(self.average_rate(i))));
         t.row(avg);
+        t
+    }
+
+    /// Average MPKI of scheme column `i`.
+    pub fn average_mpki(&self, i: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.runs[i].mpki()).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Renders the comparison as an MPKI table — mispredicts per
+    /// kilo-instruction, the cross-workload metric modern prediction
+    /// studies report. Unlike the rate table it also reflects each
+    /// workload's branch density.
+    pub fn mpki_table(&self) -> Table {
+        let mut headers = vec!["benchmark".to_string(), "class".to_string()];
+        headers.extend(self.schemes.iter().map(|s| format!("{s} MPKI")));
+        let mut t = Table::new(
+            format!("{} — MPKI", self.title),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for row in &self.rows {
+            let mut cells = vec![
+                row.name.to_string(),
+                match row.class {
+                    WorkloadClass::Int => "int".to_string(),
+                    WorkloadClass::Fp => "fp".to_string(),
+                },
+            ];
+            cells.extend(row.runs.iter().map(|s| f3(s.mpki())));
+            t.row(cells);
+        }
+        let mut avg = vec!["average".to_string(), "-".to_string()];
+        avg.extend((0..self.schemes.len()).map(|i| f3(self.average_mpki(i))));
+        t.row(avg);
+        t
+    }
+
+    /// Renders scheme column `col`'s top-`n` hardest-to-predict ("H2P")
+    /// static branches per benchmark: the sites contributing the most
+    /// mispredictions, with their execution counts and per-site rates.
+    pub fn h2p_table(&self, col: usize, n: usize) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Top-{n} mispredicting branches (H2P) — {} scheme",
+                self.schemes[col]
+            ),
+            &["benchmark", "site", "execs", "mispredicts", "site misp%"],
+        );
+        for row in &self.rows {
+            for (slot, execs, miss) in row.runs[col].top_mispredictors(n) {
+                t.row(vec![
+                    row.name.to_string(),
+                    format!("slot {slot}"),
+                    count(execs),
+                    count(miss),
+                    pct(miss as f64 / execs.max(1) as f64),
+                ]);
+            }
+        }
         t
     }
 
@@ -179,6 +240,10 @@ impl Comparison {
                                 .field(
                                     "ipc",
                                     Json::Arr(r.runs.iter().map(|s| Json::Num(s.ipc())).collect()),
+                                )
+                                .field(
+                                    "mpki",
+                                    Json::Arr(r.runs.iter().map(|s| Json::Num(s.mpki())).collect()),
                                 )
                                 .field(
                                     "metrics",
@@ -431,6 +496,14 @@ impl PlanResults {
         self.cells
             .get(&job.canon())
             .unwrap_or_else(|| panic!("plan results missing cell {}", job.canon()))
+    }
+
+    /// The collected aggregate statistics of one cell — the read-side of
+    /// [`PlanResults::collect`] for callers assembling custom reports
+    /// (e.g. [`crate::tracework::trace_report`]). Panics with the job's
+    /// canonical key if the plan didn't cover it.
+    pub fn stats_of(&self, job: &Job) -> &SimStats {
+        &self.cell(job).stats
     }
 
     /// Per-benchmark stat rows for a (suite × schemes) grid, read from
@@ -819,6 +892,8 @@ impl PlanResults {
             "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n\n",
             fig6a.accuracy_gain(1, 2)
         ));
+        out.push_str(&fig6a.mpki_table().to_string());
+        out.push_str(&fig6a.h2p_table(2, 5).to_string());
         let fig6b = self.fig6b(cfg);
         out.push_str(&fig6b.table().to_string());
         out.push_str(&format!(
@@ -909,6 +984,13 @@ mod tests {
         assert_eq!(r.rows[0].runs.len(), 3);
         let t = r.table().to_string();
         assert!(t.contains("pep-pa"), "{t}");
+        // The modern-metrics companions render from the same runs.
+        let m = r.mpki_table().to_string();
+        assert!(m.contains("MPKI") && m.contains("gzip"), "{m}");
+        let h = r.h2p_table(2, 5).to_string();
+        assert!(h.contains("H2P") && h.contains("slot "), "{h}");
+        let j = r.to_json().to_string();
+        assert!(j.contains("\"mpki\""), "{j}");
     }
 
     #[test]

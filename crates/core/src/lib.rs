@@ -37,15 +37,18 @@ pub mod report;
 pub mod session;
 pub mod simbench;
 pub mod sweep;
+pub mod tracework;
 
 use ppsim_pipeline::CoreConfig;
 
 pub use ppsim_pipeline::{SampleSpec, SampleSpecError};
 pub use ppsim_runner::{
     DiskCache, Job, JobResult, JobTiming, Json, Runner, RunnerOptions, SampledResult, Telemetry,
+    TraceId,
 };
 pub use report::Table;
 pub use session::{setup, Session};
+pub use tracework::{trace_report, TraceReport, TraceWorkload};
 
 /// Configuration shared by all experiments.
 #[derive(Clone, Debug)]

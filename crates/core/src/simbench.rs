@@ -327,6 +327,154 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     }
 }
 
+/// One cell of an imported-trace benchmark: replay-only, since no
+/// functional machine exists behind an external stream.
+#[derive(Clone, Debug)]
+pub struct TraceCellBench {
+    /// Branch-prediction organization.
+    pub scheme: SchemeSpec,
+    /// Predication model.
+    pub predication: PredicationModel,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Wall time of the solo replay run.
+    pub replay_micros: u64,
+}
+
+impl TraceCellBench {
+    fn label(&self) -> String {
+        let model = match self.predication {
+            PredicationModel::Cmov => "cmov",
+            PredicationModel::Selective => "selective",
+        };
+        format!("{}/{model}", self.scheme.name())
+    }
+}
+
+/// The outcome of `ppsim bench` over an imported trace: per-cell solo
+/// replay timings plus one fused [`LaneSet`] pass, with bit-identity of
+/// the fused lanes against their solo runs. The inline-machine column of
+/// the synthetic bench has no analogue here — identity of fused vs solo
+/// replay is the checkable invariant an external stream offers.
+#[derive(Clone, Debug)]
+pub struct TraceBenchReport {
+    /// Workload display name.
+    pub name: String,
+    /// Committed-instruction budget per cell.
+    pub commits: u64,
+    /// Records in the stream.
+    pub records: u64,
+    /// Heap footprint of the stream in bytes.
+    pub trace_bytes: usize,
+    /// Per-cell solo replay timings.
+    pub cells: Vec<TraceCellBench>,
+    /// Wall time of the fused pass running every cell over one decode.
+    pub fused_micros: u64,
+    /// Whether every fused lane's statistics matched its solo replay.
+    pub fused_identical: bool,
+}
+
+impl TraceBenchReport {
+    /// Total solo replay time.
+    pub fn replay_micros(&self) -> u64 {
+        self.cells.iter().map(|c| c.replay_micros).sum()
+    }
+
+    /// Wall-clock speedup of the fused pass over per-cell replay.
+    pub fn fused_speedup(&self) -> f64 {
+        self.replay_micros() as f64 / self.fused_micros.max(1) as f64
+    }
+
+    /// The machine-readable artifact (`BENCH_trace.json`).
+    pub fn to_json(&self) -> Json {
+        let mut cells = Vec::new();
+        for c in &self.cells {
+            cells.push(
+                Json::obj()
+                    .field("cell", c.label())
+                    .field("committed", c.committed)
+                    .field("replay_micros", c.replay_micros)
+                    .field(
+                        "replay_insns_per_sec",
+                        insns_per_sec(c.committed, c.replay_micros),
+                    ),
+            );
+        }
+        Json::obj()
+            .field("experiment", "bench-trace")
+            .field("workload", self.name.as_str())
+            .field("commits", self.commits)
+            .field("records", self.records)
+            .field("trace_bytes", self.trace_bytes)
+            .field("cells", cells)
+            .field(
+                "fused",
+                Json::obj()
+                    .field("fused_micros", self.fused_micros)
+                    .field("per_cell_micros", self.replay_micros())
+                    .field("speedup", self.fused_speedup())
+                    .field("reports_identical", self.fused_identical),
+            )
+    }
+
+    /// Human-readable summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "trace '{}' x {} cells: replay {:.2}s, fused {:.2}s (speedup {:.2}x), lanes {}",
+            self.name,
+            self.cells.len(),
+            self.replay_micros() as f64 / 1e6,
+            self.fused_micros as f64 / 1e6,
+            self.fused_speedup(),
+            if self.fused_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        )
+    }
+}
+
+/// Times an imported stream across [`CELLS`] solo and as one fused
+/// lane-parallel pass, proving bit-identity between the two paths.
+pub fn run_trace(name: &str, trace: Arc<TraceBuffer>, commits: u64) -> TraceBenchReport {
+    let mut cells = Vec::new();
+    let mut solo_stats = Vec::new();
+    for (scheme, predication) in CELLS {
+        let opts = SimOptions::new(scheme, predication);
+        let (stats, replay_micros) = run_replay(opts, Arc::clone(&trace), commits);
+        cells.push(TraceCellBench {
+            scheme,
+            predication,
+            committed: stats.committed,
+            replay_micros,
+        });
+        solo_stats.push(stats);
+    }
+    let lane_opts: Vec<SimOptions> = CELLS
+        .iter()
+        .map(|&(scheme, predication)| SimOptions::new(scheme, predication))
+        .collect();
+    let started = Instant::now();
+    let fused_runs = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &lane_opts)
+        .expect("bench cells carry no overrides")
+        .run(commits);
+    let fused_micros = started.elapsed().as_micros() as u64;
+    let fused_identical = fused_runs
+        .iter()
+        .zip(&solo_stats)
+        .all(|(lane, solo)| lane.stats == *solo);
+    TraceBenchReport {
+        name: name.to_string(),
+        commits,
+        records: trace.len(),
+        trace_bytes: trace.bytes(),
+        cells,
+        fused_micros,
+        fused_identical,
+    }
+}
+
 /// One cell timed as a full run and as a sampled run (`ppsim bench
 /// --sample`): how much accuracy the sampling schedule gives up and how
 /// much wall time it saves.
@@ -651,6 +799,33 @@ mod tests {
             "{text}"
         );
         assert!(report.summary().contains("speedup"));
+    }
+
+    #[test]
+    fn trace_bench_proves_fused_identity_on_an_imported_stream() {
+        let mut log = String::new();
+        for i in 0..300 {
+            log.push_str(&format!(
+                "0x1000 {}\n0x2000 {}\n",
+                u8::from(i % 3 != 0),
+                i % 2
+            ));
+        }
+        let (trace, _) = ppsim_isa::pptrace::import_cbp(&log).unwrap();
+        let report = run_trace("cbp-fixture", Arc::new(trace), 10_000);
+        assert_eq!(report.cells.len(), CELLS.len());
+        assert!(report.fused_identical, "{}", report.summary());
+        assert!(report.records > 0);
+        for c in &report.cells {
+            assert!(c.committed > 0, "{} committed nothing", c.label());
+        }
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).expect("trace bench artifact parses");
+        assert_eq!(
+            parsed.get("fused").and_then(|f| f.get("reports_identical")),
+            Some(&Json::Bool(true)),
+            "{text}"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod asm;
 mod exec;
 mod insn;
 mod parse;
+pub mod pptrace;
 mod program;
 mod reg;
 mod trace;
@@ -61,6 +62,7 @@ pub use exec::{
 };
 pub use insn::{AluKind, CmpRel, CmpType, FpuKind, Insn, Op, Operand};
 pub use parse::{parse_program, ParseError};
+pub use pptrace::{CbpSummary, TraceFileError, TraceMeta};
 pub use program::{DataSegment, Program, ProgramError};
 pub use reg::{Fr, Gr, Pr};
 pub use trace::{InsnSource, TraceBuffer, TraceCursor};

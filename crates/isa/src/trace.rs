@@ -36,12 +36,12 @@ use crate::program::Program;
 ///   bit 6/7 `pf_write` present/value
 /// * br: bit 3 taken
 const F_QP: u8 = 1;
-const KIND_SHIFT: u8 = 1;
-const KIND_MASK: u8 = 0b11;
+pub(crate) const KIND_SHIFT: u8 = 1;
+pub(crate) const KIND_MASK: u8 = 0b11;
 const KIND_NONE: u8 = 0;
 const KIND_CMP: u8 = 1;
-const KIND_BR: u8 = 2;
-const KIND_MEM: u8 = 3;
+pub(crate) const KIND_BR: u8 = 2;
+pub(crate) const KIND_MEM: u8 = 3;
 const F_CMP_COND: u8 = 1 << 3;
 const F_CMP_PT_SOME: u8 = 1 << 4;
 const F_CMP_PT_VAL: u8 = 1 << 5;
@@ -167,6 +167,48 @@ impl TraceBuffer {
     /// Whether the captured stream ended in a `halt`.
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// The static code image replayed records index into.
+    ///
+    /// For a captured benchmark this is the compiled program's
+    /// instruction list; for an imported branches-only trace it is the
+    /// synthesized compare-and-branch skeleton (see [`crate::pptrace`]).
+    pub fn code(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Decomposes the buffer into its raw columns (for the on-disk
+    /// codec in [`crate::pptrace`]).
+    pub(crate) fn parts(&self) -> (&[Insn], &[u32], &[u8], &[u64], bool) {
+        (
+            &self.insns,
+            &self.slots,
+            &self.flags,
+            &self.addrs,
+            self.halted,
+        )
+    }
+
+    /// Reassembles a buffer from raw columns. The caller (the
+    /// [`crate::pptrace`] decoder) is responsible for the invariants
+    /// `record_at` relies on: every slot indexes `insns`, branch-kind
+    /// flag bytes sit on `Op::Br` slots, and the number of mem-kind flag
+    /// bytes equals `addrs.len()`.
+    pub(crate) fn from_parts(
+        insns: Vec<Insn>,
+        slots: Vec<u32>,
+        flags: Vec<u8>,
+        addrs: Vec<u64>,
+        halted: bool,
+    ) -> TraceBuffer {
+        TraceBuffer {
+            insns,
+            slots,
+            flags,
+            addrs,
+            halted,
+        }
     }
 
     /// Approximate in-memory footprint in bytes (for diagnostics).
@@ -344,51 +386,60 @@ impl InsnSource for TraceCursor {
     }
 }
 
+/// A program exercising every [`ExecInfo`] variant: compares (both
+/// targets, one target, nullified), float compares, taken and
+/// not-taken branches, loads/stores (nullified and not), and halt.
+/// Shared by the trace and [`crate::pptrace`] codec tests.
 #[cfg(test)]
-mod tests {
-    use super::*;
+pub(crate) fn kitchen_sink_program() -> Program {
     use crate::asm::Asm;
     use crate::insn::{CmpRel, CmpType, Operand};
     use crate::program::DataSegment;
     use crate::reg::{Fr, Gr, Pr};
 
-    /// A program exercising every [`ExecInfo`] variant: compares (both
-    /// targets, one target, nullified), float compares, taken and
-    /// not-taken branches, loads/stores (nullified and not), and halt.
+    let mut a = Asm::new();
+    let skip = a.new_label();
+    a.data(DataSegment::from_words(0x2000, &[11, 22, 33]));
+    a.init_gr(Gr::new(1), 0x2000);
+    a.movi(Gr::new(2), 5);
+    a.cmp(
+        CmpType::Unc,
+        CmpRel::Eq,
+        Pr::new(1),
+        Pr::new(2),
+        Gr::new(2),
+        Operand::imm(5),
+    );
+    a.pred(Pr::new(2)).movi(Gr::new(3), 99); // nullified
+    a.pred(Pr::new(2)).ld(Gr::new(4), Gr::new(1), 0); // nullified load
+    a.pred(Pr::new(1)).br(skip); // taken
+    a.movi(Gr::new(5), 1); // skipped
+    a.bind(skip);
+    a.pred(Pr::new(2)).br(skip); // not taken
+    a.ld(Gr::new(6), Gr::new(1), 8);
+    a.st(Gr::new(6), Gr::new(1), 16);
+    a.init_fr(Fr::new(1), 2.5);
+    a.fcmp(
+        CmpType::And,
+        CmpRel::Gt,
+        Pr::new(3),
+        Pr::ZERO,
+        Fr::new(1),
+        Fr::new(0),
+    );
+    a.stf(Fr::new(1), Gr::new(1), 24);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Gr;
+
     fn kitchen_sink() -> Program {
-        let mut a = Asm::new();
-        let skip = a.new_label();
-        a.data(DataSegment::from_words(0x2000, &[11, 22, 33]));
-        a.init_gr(Gr::new(1), 0x2000);
-        a.movi(Gr::new(2), 5);
-        a.cmp(
-            CmpType::Unc,
-            CmpRel::Eq,
-            Pr::new(1),
-            Pr::new(2),
-            Gr::new(2),
-            Operand::imm(5),
-        );
-        a.pred(Pr::new(2)).movi(Gr::new(3), 99); // nullified
-        a.pred(Pr::new(2)).ld(Gr::new(4), Gr::new(1), 0); // nullified load
-        a.pred(Pr::new(1)).br(skip); // taken
-        a.movi(Gr::new(5), 1); // skipped
-        a.bind(skip);
-        a.pred(Pr::new(2)).br(skip); // not taken
-        a.ld(Gr::new(6), Gr::new(1), 8);
-        a.st(Gr::new(6), Gr::new(1), 16);
-        a.init_fr(Fr::new(1), 2.5);
-        a.fcmp(
-            CmpType::And,
-            CmpRel::Gt,
-            Pr::new(3),
-            Pr::ZERO,
-            Fr::new(1),
-            Fr::new(0),
-        );
-        a.stf(Fr::new(1), Gr::new(1), 24);
-        a.halt();
-        a.assemble().unwrap()
+        kitchen_sink_program()
     }
 
     #[test]

@@ -108,6 +108,35 @@ impl SimStats {
         }
     }
 
+    /// Mispredictions per kilo-instruction — the cross-workload metric
+    /// modern branch-prediction work reports ("Branch Prediction Is Not
+    /// a Solved Problem"). Unlike the misprediction *rate*, MPKI also
+    /// reflects how branch-dense the workload is.
+    pub fn mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 * 1000.0 / self.committed as f64
+        }
+    }
+
+    /// The `n` static branches contributing the most mispredictions
+    /// (hard-to-predict, "H2P", sites), as `(slot, execs, mispredicts)`
+    /// rows ordered by mispredictions descending, slot ascending on
+    /// ties — deterministic for report pinning. Branches with zero
+    /// mispredictions are omitted.
+    pub fn top_mispredictors(&self, n: usize) -> Vec<(u32, u64, u64)> {
+        let mut rows: Vec<(u32, u64, u64)> = self
+            .branch_pcs
+            .iter()
+            .copied()
+            .filter(|&(_, _, miss)| miss > 0)
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
     /// Folds another run's counters into `self` — the sampled-simulation
     /// aggregate. Summing raw counters before deriving rates weights each
     /// measured window by the work it did: aggregate misprediction rate is
@@ -179,6 +208,11 @@ impl SimStats {
         m.counter("nullified", self.nullified);
         m.ratio("ipc", self.committed, self.cycles);
         m.ratio("misprediction_rate", self.mispredicts, self.cond_branches);
+        m.ratio(
+            "mpki",
+            self.mispredicts.saturating_mul(1000),
+            self.committed,
+        );
         m.ratio(
             "early_resolved_rate",
             self.early_resolved,
@@ -290,5 +324,33 @@ mod tests {
         assert_eq!(s.misprediction_rate(), 0.0);
         assert_eq!(s.early_resolved_rate(), 0.0);
         assert_eq!(s.predicate_misprediction_rate(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert!(s.top_mispredictors(5).is_empty());
+    }
+
+    #[test]
+    fn mpki_counts_per_kilo_instruction() {
+        let s = SimStats {
+            committed: 250_000,
+            mispredicts: 1_250,
+            ..SimStats::default()
+        };
+        assert!((s.mpki() - 5.0).abs() < 1e-12);
+        let m = s.metrics();
+        assert_eq!(m.get("mpki").unwrap().value(), 5.0);
+    }
+
+    #[test]
+    fn top_mispredictors_orders_by_misses_then_slot() {
+        let s = SimStats {
+            branch_pcs: vec![(3, 100, 7), (5, 50, 0), (9, 40, 12), (11, 60, 7)],
+            ..SimStats::default()
+        };
+        // Zero-miss sites drop out; ties break toward the lower slot.
+        assert_eq!(
+            s.top_mispredictors(10),
+            vec![(9, 40, 12), (3, 100, 7), (11, 60, 7)]
+        );
+        assert_eq!(s.top_mispredictors(1), vec![(9, 40, 12)]);
     }
 }

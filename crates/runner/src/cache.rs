@@ -52,10 +52,14 @@ use crate::job::{Job, JobResult};
 /// alias; v6 marks the fused-grid era — per-cell keys are unchanged, but
 /// the timing-telemetry lines a fused pass stores are per-lane shares,
 /// so entries written by pre-fusion binaries are retired wholesale
-/// rather than mixed into fused-era telemetry. Entries from any other
+/// rather than mixed into fused-era telemetry; v7 added the always-
+/// emitted `trace=` axis (external trace ingestion) to the canonical
+/// job encoding — every canon string changed, so pre-trace entries
+/// would all miss on the canon comparison anyway, and the bump retires
+/// them instead of leaving dead files behind. Entries from any other
 /// version — older or newer — read as misses (the exact-match header
 /// check below), never as wrong results.
-const HEADER: &str = "ppsim-cache v6";
+const HEADER: &str = "ppsim-cache v7";
 /// Last line; its absence marks a truncated entry.
 const FOOTER: &str = "end";
 
@@ -647,16 +651,16 @@ mod tests {
 
     #[test]
     fn stale_format_version_misses() {
-        // An entry written by any other format version — the v5 layout
-        // that predates grid fusion, an ancient v3, or a future v7 —
+        // An entry written by any other format version — the v6 layout
+        // that predates the trace axis, an ancient v3, or a future v8 —
         // must read as a miss, never be parsed with today's field
         // semantics.
         let dir = temp_dir("version");
         let cache = DiskCache::open(&dir).unwrap();
         let j = job();
         let current = render_entry(&j, &result());
-        assert!(current.starts_with("ppsim-cache v6\n"), "{current}");
-        for stale in ["ppsim-cache v3", "ppsim-cache v5", "ppsim-cache v7"] {
+        assert!(current.starts_with("ppsim-cache v7\n"), "{current}");
+        for stale in ["ppsim-cache v3", "ppsim-cache v6", "ppsim-cache v8"] {
             let text = current.replacen(HEADER, stale, 1);
             fs::write(cache.dir().join(format!("{}.result", j.hash_hex())), text).unwrap();
             assert!(cache.load(&j).is_none(), "{stale} entry must miss");

@@ -28,6 +28,21 @@ pub struct SampleSlice {
     pub index: u32,
 }
 
+/// Identity of an externally supplied trace stream standing in for the
+/// compile → capture pipeline (see `Runner::register_trace`). The
+/// stream's *content hash* (`ppsim_isa::pptrace::content_hash`) is the
+/// workload identity — two imports of byte-identical streams share
+/// cache entries regardless of file name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// Content hash of the stream (instructions, records, addresses,
+    /// halt marker — not the file's name/note metadata).
+    pub content: u64,
+    /// Whether the stream is a degraded branches-only import
+    /// (`ppsim_isa::pptrace::import_cbp`).
+    pub branches_only: bool,
+}
+
 /// One simulation cell: (benchmark, compile flags, scheme, predication
 /// model, machine, budget) plus optional predictor-geometry overrides.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,6 +74,13 @@ pub struct Job {
     pub predicate: Option<PredicateConfig>,
     /// Sampled-simulation window (`None` = a full run over `commits`).
     pub sample: Option<SampleSlice>,
+    /// External trace stream driving this cell instead of compiling and
+    /// capturing `benchmark` (`None` = the normal compile path). When
+    /// set, `benchmark` is a display name only and the compile axes
+    /// (`ifconv`, `ifconv_threshold`, `profile_steps`) are inert; the
+    /// trace must be registered with the executing runner
+    /// (`Runner::register_trace`).
+    pub trace: Option<TraceId>,
 }
 
 impl Job {
@@ -85,6 +107,24 @@ impl Job {
             perceptron: None,
             predicate: None,
             sample: None,
+            trace: None,
+        }
+    }
+
+    /// A cell driven by a registered external trace: `name` is the
+    /// display label, `trace` the stream identity. Compile axes are
+    /// zeroed (they do not apply to imported streams).
+    pub fn traced(
+        name: impl Into<String>,
+        trace: TraceId,
+        scheme: SchemeKind,
+        predication: PredicationModel,
+        commits: u64,
+        core: CoreConfig,
+    ) -> Self {
+        Job {
+            trace: Some(trace),
+            ..Job::new(name, false, scheme, predication, commits, 0, core)
         }
     }
 
@@ -179,6 +219,17 @@ impl Job {
             "sample",
             &self.sample.as_ref().map_or("-".to_string(), |slice| {
                 format!("{}@{}", slice.spec.canon(), slice.index)
+            }),
+        );
+        kv(
+            &mut s,
+            "trace",
+            &self.trace.as_ref().map_or("-".to_string(), |t| {
+                format!(
+                    "{} bo:{}",
+                    hex64(t.content),
+                    if t.branches_only { "1" } else { "0" }
+                )
             }),
         );
         s
@@ -279,6 +330,7 @@ mod tests {
             "repair:1",
             "perceptron=-",
             "sample=-",
+            "trace=-",
         ] {
             assert!(c.contains(key), "missing {key} in:\n{c}");
         }
@@ -351,6 +403,13 @@ mod tests {
                 }),
                 ..b.clone()
             },
+            Job {
+                trace: Some(TraceId {
+                    content: 0xdead_beef,
+                    branches_only: false,
+                }),
+                ..b.clone()
+            },
         ];
         for v in &variants {
             assert_ne!(v.hash(), h, "axis not hashed: {v:?}");
@@ -371,6 +430,41 @@ mod tests {
             ..b.clone()
         };
         assert_ne!(s0.hash(), s1.hash(), "window index not hashed");
+        // Trace identity axes: content hash and branches-only flag.
+        let t = |content, branches_only| Job {
+            trace: Some(TraceId {
+                content,
+                branches_only,
+            }),
+            ..b.clone()
+        };
+        assert_ne!(t(1, false).hash(), t(2, false).hash(), "content not hashed");
+        assert_ne!(
+            t(1, false).hash(),
+            t(1, true).hash(),
+            "branches-only flag not hashed"
+        );
+    }
+
+    #[test]
+    fn traced_constructor_zeroes_compile_axes() {
+        let id = TraceId {
+            content: 7,
+            branches_only: true,
+        };
+        let j = Job::traced(
+            "cbp-import",
+            id,
+            SchemeKind::Conventional,
+            PredicationModel::Cmov,
+            10_000,
+            CoreConfig::paper(),
+        );
+        assert_eq!(j.trace, Some(id));
+        assert_eq!(j.benchmark, "cbp-import");
+        assert!(!j.ifconv);
+        assert_eq!(j.profile_steps, 0);
+        assert!(j.canon().contains("trace=0000000000000007 bo:1"));
     }
 
     #[test]

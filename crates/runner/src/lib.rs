@@ -35,7 +35,7 @@ use ppsim_pipeline::{LaneSet, RunResult, SampleSpec, SimOptions, TraceBuffer, Tr
 
 pub use cache::{CacheUsage, DiskCache};
 pub use inflight::Inflight;
-pub use job::{Job, JobResult, SampleSlice};
+pub use job::{Job, JobResult, SampleSlice, TraceId};
 pub use ppsim_obs::Json;
 
 /// Upper bound on explicit worker counts. Worker threads each cost a
@@ -382,6 +382,11 @@ pub struct Runner {
     /// Per-(binary, fast-forward) machine-checkpoint memo for sampled
     /// inline jobs: fast-forward once, restore per cell.
     ckpts: Mutex<HashMap<CkptKey, Arc<OnceLock<Arc<Checkpoint>>>>>,
+    /// Externally supplied trace streams, keyed by content hash (see
+    /// [`Runner::register_trace`]). Unlike the capture memo these are
+    /// provided, not derived, so they are never evicted: the runner
+    /// cannot recreate them.
+    ext_traces: Mutex<HashMap<u64, Arc<TraceBuffer>>>,
     telemetry: Mutex<Telemetry>,
 }
 
@@ -405,8 +410,38 @@ impl Runner {
             compiled: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
             ckpts: Mutex::new(HashMap::new()),
+            ext_traces: Mutex::new(HashMap::new()),
             telemetry: Mutex::new(Telemetry::default()),
         }
+    }
+
+    /// Registers an externally supplied trace stream (an imported
+    /// `.pptrace` file or CBP import) and returns the [`TraceId`] that
+    /// names it in [`Job::trace`]. The identity is the stream's content
+    /// hash, so registering the same stream twice is idempotent and two
+    /// renamed copies of one file share cache entries.
+    pub fn register_trace(&self, trace: Arc<TraceBuffer>, branches_only: bool) -> TraceId {
+        let content = ppsim_isa::pptrace::content_hash(&trace);
+        self.ext_traces.lock().unwrap().insert(content, trace);
+        TraceId {
+            content,
+            branches_only,
+        }
+    }
+
+    /// Looks up a registered external trace.
+    fn ext_trace(&self, id: TraceId) -> Arc<TraceBuffer> {
+        self.ext_traces
+            .lock()
+            .unwrap()
+            .get(&id.content)
+            .cloned()
+            .unwrap_or_else(|| {
+                panic!(
+                    "trace {:016x} was not registered with this runner",
+                    id.content
+                )
+            })
     }
 
     /// A serial, cache-less runner (unit tests; guaranteed hermetic).
@@ -504,11 +539,11 @@ impl Runner {
         if !(self.opts.replay && self.opts.fuse) {
             return miss_idx.iter().map(|&i| vec![i]).collect();
         }
-        let mut order: Vec<(CompileKey, u64, Option<SampleSlice>)> = Vec::new();
+        let mut order: Vec<(CompileKey, u64, Option<SampleSlice>, Option<TraceId>)> = Vec::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for &i in miss_idx {
             let job = &jobs[i];
-            let key = (CompileKey::of(job), job.commits, job.sample);
+            let key = (CompileKey::of(job), job.commits, job.sample, job.trace);
             match order.iter().position(|k| *k == key) {
                 Some(g) => groups[g].push(i),
                 None => {
@@ -720,8 +755,13 @@ impl Runner {
     /// split evenly across lanes, so grid-level `sim_micros` sums stay
     /// meaningful.
     fn execute_fused(&self, members: &[&Job]) -> Vec<JobResult> {
-        let started = Instant::now();
         let lead = members[0];
+        if let Some(id) = lead.trace {
+            // Bundles group by trace identity, so every member shares
+            // this registered stream.
+            return self.execute_fused_traced(members, id);
+        }
+        let started = Instant::now();
         let compiled = self.compiled_for(lead);
         let compile_micros = started.elapsed().as_micros() as u64;
         let cells: Vec<SimOptions> = members.iter().map(|j| Self::sim_options_for(j)).collect();
@@ -780,8 +820,113 @@ impl Runner {
             .collect()
     }
 
+    /// Static-code counters of an external trace's synthesized or
+    /// exported code image (the compile-path equivalents come from the
+    /// compiled binary).
+    fn trace_static_counts(trace: &TraceBuffer) -> (u64, u64) {
+        let insns = trace.code().len() as u64;
+        let cond = trace.code().iter().filter(|i| i.is_cond_branch()).count() as u64;
+        (insns, cond)
+    }
+
+    /// Runs a fused bundle of cells over one registered external trace.
+    /// Same accounting as [`Runner::execute_fused`], minus the compile
+    /// and capture phases (an imported stream has neither).
+    fn execute_fused_traced(&self, members: &[&Job], id: TraceId) -> Vec<JobResult> {
+        let started = Instant::now();
+        let lead = members[0];
+        let trace = self.ext_trace(id);
+        let cells: Vec<SimOptions> = members.iter().map(|j| Self::sim_options_for(j)).collect();
+        let (runs, sim_micros) = match lead.sample {
+            Some(slice) => {
+                let start = slice.spec.window_start(slice.index);
+                let cursor = TraceCursor::window(
+                    Arc::clone(&trace),
+                    start,
+                    slice.spec.warmup + slice.spec.measure,
+                );
+                let mut lanes = LaneSet::new(cursor, &cells)
+                    .expect("grid jobs carry only applicable overrides");
+                let sim_started = Instant::now();
+                let runs = lanes.run_sample(slice.spec.warmup, slice.spec.measure);
+                (runs, sim_started.elapsed().as_micros() as u64)
+            }
+            None => {
+                let mut lanes = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &cells)
+                    .expect("grid jobs carry only applicable overrides");
+                let sim_started = Instant::now();
+                let runs = lanes.run(lead.commits);
+                (runs, sim_started.elapsed().as_micros() as u64)
+            }
+        };
+        let wall_micros = started.elapsed().as_micros() as u64;
+        let (static_insns, static_cond_branches) = Self::trace_static_counts(&trace);
+        let n = members.len() as u64;
+        runs.into_iter()
+            .map(|run| JobResult {
+                stats: run.stats,
+                static_insns,
+                static_cond_branches,
+                from_cache: false,
+                wall_micros: wall_micros / n,
+                compile_micros: 0,
+                capture_micros: 0,
+                sim_micros: sim_micros / n,
+                trace_memo_hit: false,
+            })
+            .collect()
+    }
+
+    /// Simulates one cell over a registered external trace. Imported
+    /// streams are replay-only — `--no-replay` selects the inline
+    /// functional machine, and no such machine exists for an external
+    /// stream — so this path ignores [`RunnerOptions::replay`].
+    fn execute_traced(&self, job: &Job, id: TraceId) -> JobResult {
+        let started = Instant::now();
+        let trace = self.ext_trace(id);
+        let opts = Self::sim_options_for(job);
+        let (run, sim_micros) = match job.sample {
+            Some(slice) => {
+                let start = slice.spec.window_start(slice.index);
+                let mut sim = opts
+                    .build_source(TraceCursor::window(
+                        Arc::clone(&trace),
+                        start,
+                        slice.spec.warmup + slice.spec.measure,
+                    ))
+                    .expect("grid jobs carry only applicable overrides");
+                let sim_started = Instant::now();
+                let run = sim.run_sample(slice.spec.warmup, slice.spec.measure);
+                (run, sim_started.elapsed().as_micros() as u64)
+            }
+            None => {
+                let mut sim = opts
+                    .build_source(TraceCursor::new(Arc::clone(&trace)))
+                    .expect("grid jobs carry only applicable overrides");
+                let sim_started = Instant::now();
+                let run = sim.run(job.commits);
+                (run, sim_started.elapsed().as_micros() as u64)
+            }
+        };
+        let (static_insns, static_cond_branches) = Self::trace_static_counts(&trace);
+        JobResult {
+            stats: run.stats,
+            static_insns,
+            static_cond_branches,
+            from_cache: false,
+            wall_micros: started.elapsed().as_micros() as u64,
+            compile_micros: 0,
+            capture_micros: 0,
+            sim_micros,
+            trace_memo_hit: false,
+        }
+    }
+
     /// Compiles and simulates one job (a cache miss).
     fn execute(&self, job: &Job) -> JobResult {
+        if let Some(id) = job.trace {
+            return self.execute_traced(job, id);
+        }
         let started = Instant::now();
         let compiled = self.compiled_for(job);
         let compile_micros = started.elapsed().as_micros() as u64;
@@ -1248,6 +1393,177 @@ mod tests {
         let r = Runner::serial_no_cache();
         assert!(r.cache().is_none());
         assert!(r.probe(&tiny(SchemeKind::Conventional)).is_none());
+    }
+
+    /// Compiles `gzip` exactly as the runner does for [`tiny`] jobs and
+    /// captures `steps` records of its stream.
+    fn gzip_trace(steps: u64) -> Arc<TraceBuffer> {
+        let suite = spec2000_suite();
+        let spec = suite.iter().find(|s| s.name == "gzip").unwrap();
+        let mut opts = CompileOptions::no_ifconv();
+        opts.profile_steps = 20_000;
+        let compiled = compile(spec, &opts).unwrap();
+        Arc::new(TraceBuffer::capture(&compiled.program, steps).unwrap())
+    }
+
+    #[test]
+    fn registered_trace_replays_like_the_benchmark() {
+        let r = Runner::serial_no_cache();
+        let id = r.register_trace(gzip_trace(5_000), false);
+        for scheme in [SchemeKind::Conventional, SchemeKind::Predicate] {
+            let bench = tiny(scheme);
+            let traced = Job {
+                trace: Some(id),
+                ..bench.clone()
+            };
+            let a = r.run_job(&traced);
+            let b = r.run_job(&bench);
+            assert_eq!(
+                a.stats, b.stats,
+                "an exported/registered stream must be indistinguishable \
+                 from the in-process capture ({scheme:?})"
+            );
+            assert_eq!(a.static_insns, b.static_insns);
+            assert_eq!(a.static_cond_branches, b.static_cond_branches);
+        }
+    }
+
+    #[test]
+    fn registering_the_same_stream_twice_is_idempotent() {
+        let r = Runner::serial_no_cache();
+        let a = r.register_trace(gzip_trace(2_000), false);
+        let b = r.register_trace(gzip_trace(2_000), false);
+        assert_eq!(a, b, "content-addressed identity");
+        assert_eq!(r.ext_traces.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fused_trace_grid_matches_solo_trace_cells() {
+        let fused = Runner::serial_no_cache();
+        let solo = Runner::new(RunnerOptions {
+            jobs: 1,
+            cache: false,
+            fuse: false,
+            ..RunnerOptions::default()
+        });
+        let trace = gzip_trace(5_000);
+        let fid = fused.register_trace(Arc::clone(&trace), false);
+        let sid = solo.register_trace(trace, false);
+        assert_eq!(fid, sid);
+        let grid = |id| {
+            vec![
+                Job {
+                    trace: Some(id),
+                    ..tiny(SchemeKind::Conventional)
+                },
+                Job {
+                    trace: Some(id),
+                    ..tiny(SchemeKind::PepPa)
+                },
+                Job {
+                    trace: Some(id),
+                    ..tiny(SchemeKind::Predicate)
+                },
+            ]
+        };
+        let a = fused.run_grid(&grid(fid));
+        let b = solo.run_grid(&grid(sid));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.stats, y.stats,
+                "fusion is invisible over imported streams"
+            );
+        }
+        assert_eq!(fused.telemetry().fused_passes, 1);
+        assert_eq!(fused.telemetry().fused_lanes, 3);
+    }
+
+    #[test]
+    fn trace_and_benchmark_cells_never_fuse_together() {
+        let r = Runner::serial_no_cache();
+        let id = r.register_trace(gzip_trace(5_000), false);
+        let grid = vec![
+            tiny(SchemeKind::Conventional),
+            Job {
+                trace: Some(id),
+                ..tiny(SchemeKind::Predicate)
+            },
+            tiny(SchemeKind::Predicate),
+        ];
+        r.run_grid(&grid);
+        let t = r.telemetry();
+        assert_eq!(
+            t.fused_passes, 1,
+            "only the two benchmark cells share a stream"
+        );
+        assert_eq!(t.fused_lanes, 2);
+    }
+
+    #[test]
+    fn trace_cells_hit_the_disk_cache() {
+        let dir = std::env::temp_dir().join(format!("ppsim-trace-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunnerOptions {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+            ..RunnerOptions::default()
+        };
+        let cold = Runner::new(opts.clone());
+        let id = cold.register_trace(gzip_trace(2_000), false);
+        let job = Job {
+            trace: Some(id),
+            commits: 2_000,
+            ..tiny(SchemeKind::Predicate)
+        };
+        let fresh = cold.run_job(&job);
+        assert!(!fresh.from_cache);
+        // A new runner (same cache dir) serves the cell without needing
+        // the trace registered at all — the cache carries the stats.
+        let warm = Runner::new(opts);
+        let hit = warm.run_job(&job);
+        assert!(hit.from_cache, "trace cells are cached by content hash");
+        assert_eq!(hit.stats, fresh.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_trace_windows_match_sampled_benchmark() {
+        let spec = SampleSpec {
+            skip: 1_000,
+            warmup: 500,
+            measure: 1_000,
+            stride: 2_000,
+            count: 2,
+        };
+        let r = Runner::serial_no_cache();
+        // The benchmark path captures the schedule's span; hand the
+        // runner an identical external capture.
+        let id = r.register_trace(gzip_trace(spec.span()), false);
+        let bench = tiny(SchemeKind::Predicate);
+        let traced = Job {
+            trace: Some(id),
+            ..bench.clone()
+        };
+        let a = r.run_job_sampled(&traced, spec);
+        let b = r.run_job_sampled(&bench, spec);
+        assert_eq!(a.aggregate.stats, b.aggregate.stats);
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.stats, y.stats, "per-window agreement");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_trace_panics_with_a_clear_message() {
+        let r = Runner::serial_no_cache();
+        let job = Job {
+            trace: Some(TraceId {
+                content: 0x1234,
+                branches_only: false,
+            }),
+            ..tiny(SchemeKind::Conventional)
+        };
+        r.run_job(&job);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! ```text
 //! ppsim run <file.s> [--scheme S] [--commits N] [--trace-events N] [--tiny]
 //! ppsim compile <benchmark> [--ifconv] [--listing]
-//! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P] [--sample [SPEC]]
+//! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P] [--sample [SPEC]] [--trace FILE]
 //! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir P] [--json P] [--commits N] [--only a,b] [--sample [SPEC]]
-//! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache] [--sample-epsilon E]
+//! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache] [--sample-epsilon E] [--replay FILE.pisa]
+//! ppsim trace export <benchmark> <out.pptrace> [--commits N] [--ifconv] [--note S]
+//! ppsim trace import <file> [--commits N] [--top N] [--name S] [--json P] [--jobs N] [--no-cache] [--cache-dir P] [--no-fuse]
+//! ppsim trace info <file.pptrace>
 //! ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir P] [--cache-max-bytes B]
 //! ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]
 //! ppsim cache stats|clear [--cache-dir P]
@@ -19,28 +22,37 @@
 //! timed through both the inline machine and the trace-replay engine,
 //! with the artifact written to `BENCH_sim.json` (or, with `--sample`,
 //! every cell run full-length *and* through the Pinpoint-style sampled
-//! path, reporting misprediction error and wall-clock speedup) — `suite`
-//! regenerates the paper's full evaluation through the parallel runner
-//! (with `--sample`, through checkpointed sample windows), `check`
-//! fuzzes the timing model against the architectural emulator (the
-//! differential cosimulation oracle; `--sample-epsilon` adds the
-//! sampled-simulation invariants), `serve` runs the persistent
-//! experiment daemon (shared warm state, request dedup, streaming
-//! progress over NDJSON), `submit` is its scriptable client (reads
-//! request lines from a file or stdin), `cache` inspects or clears the
-//! on-disk result cache, and `list` prints the benchmark suite. `SPEC`
-//! is `skip:warmup:measure:stride:count`; a bare `--sample` uses the
-//! default schedule.
+//! path, reporting misprediction error and wall-clock speedup; with
+//! `--trace FILE`, solo-vs-fused identity over an imported stream) —
+//! `suite` regenerates the paper's full evaluation through the parallel
+//! runner (with `--sample`, through checkpointed sample windows),
+//! `check` fuzzes the timing model against the architectural emulator
+//! (the differential cosimulation oracle; `--sample-epsilon` adds the
+//! sampled-simulation invariants, `--replay` re-runs one dumped repro
+//! instead of fuzzing), `trace` moves workloads across the process
+//! boundary (`export` captures a benchmark to a versioned `.pptrace`
+//! file, `import` simulates a `.pptrace` or CBP-style `<ip> <taken>`
+//! branch log and reports MPKI and top-N hard-to-predict branches,
+//! `info` prints a file's header without decoding the body), `serve`
+//! runs the persistent experiment daemon (shared warm state, request
+//! dedup, streaming progress over NDJSON), `submit` is its scriptable
+//! client (reads request lines from a file or stdin), `cache` inspects
+//! or clears the on-disk result cache, and `list` prints the benchmark
+//! suite. `SPEC` is `skip:warmup:measure:stride:count`; a bare
+//! `--sample` uses the default schedule.
+//!
+//! Every subcommand rejects flags it does not understand, and
+//! `--help`/`-h` prints usage and exits 0 before any work happens.
 
 use std::process::ExitCode;
 
-use ppsim::check::{run_check, CheckOptions};
+use ppsim::check::{replay_repro, run_check, CheckOptions};
 use ppsim::compiler::{compile, CompileOptions};
 use ppsim::core::{
-    experiments, simbench, DiskCache, ExperimentConfig, Json, Runner, RunnerOptions, SampleSpec,
-    Table,
+    experiments, simbench, trace_report, DiskCache, ExperimentConfig, Json, Runner, RunnerOptions,
+    SampleSpec, Table, TraceWorkload,
 };
-use ppsim::isa::{parse_program, Program};
+use ppsim::isa::{parse_program, Program, TraceBuffer};
 use ppsim::pipeline::TestFault;
 use ppsim::prelude::*;
 use ppsim::serve::{install_sigint_handler, submit, ServeOptions, Server, SubmitOptions};
@@ -48,12 +60,88 @@ use ppsim::serve::{install_sigint_handler, submit, ServeOptions, Server, SubmitO
 const SCHEMES: &str = "conventional|pep-pa|predicate|ideal-conventional|ideal-predicate";
 const FAULTS: &str = "invert-oracle|invert-early-resolve|share-ghr";
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E]\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {})",
+fn usage_text() -> String {
+    format!(
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]] [--trace FILE]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E] [--replay FILE.pisa]\n  ppsim trace export <benchmark> <out.pptrace> [--commits N] [--ifconv] [--note S]\n  ppsim trace import <file> [--commits N] [--top N] [--name S] [--json PATH] [--jobs N] [--no-cache] [--cache-dir PATH] [--no-fuse]\n  ppsim trace info <file.pptrace>\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {}; trace import\n accepts .pptrace files and CBP-style `<ip> <taken>` branch logs)",
         SampleSpec::default_spec().canon()
-    );
+    )
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{}", usage_text());
     ExitCode::FAILURE
+}
+
+/// `--help` path: usage on **stdout**, exit 0, no work performed.
+fn help() -> ExitCode {
+    println!("{}", usage_text());
+    ExitCode::SUCCESS
+}
+
+/// How many arguments a flag consumes beyond itself.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Arity {
+    /// A bare switch.
+    Switch,
+    /// Requires a value.
+    Value,
+    /// Takes a value when the next argument isn't a flag (`--sample`).
+    OptionalValue,
+}
+
+/// The runner flags `RunnerOptions::from_args` consumes, for the
+/// whitelists of subcommands that delegate to it.
+const RUNNER_FLAGS: &[(&str, Arity)] = &[
+    ("--jobs", Arity::Value),
+    ("-j", Arity::Value),
+    ("--no-cache", Arity::Switch),
+    ("--cache-dir", Arity::Value),
+    ("--cache-max-bytes", Arity::Value),
+    ("--no-replay", Arity::Switch),
+    ("--no-fuse", Arity::Switch),
+];
+
+/// Strict argument validation: every flag must appear in `spec`, and at
+/// most `max_positionals` non-flag arguments are accepted. Runs before
+/// any subcommand does work, so a typo'd flag can never silently start
+/// a 200-program fuzz sweep.
+fn reject_unknown(
+    cmd: &str,
+    args: &[String],
+    spec: &[(&str, Arity)],
+    max_positionals: usize,
+) -> Result<(), String> {
+    let mut positionals = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with('-') && a != "-" {
+            match spec.iter().find(|(name, _)| *name == a) {
+                None => return Err(format!("unknown flag `{a}` (see `ppsim {cmd} --help`)")),
+                Some((_, Arity::Switch)) => {}
+                Some((_, Arity::Value)) => {
+                    if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                        return Err(format!("flag `{a}` needs a value"));
+                    }
+                    i += 1;
+                }
+                Some((_, Arity::OptionalValue)) => {
+                    if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            positionals += 1;
+            if positionals > max_positionals {
+                return Err(format!(
+                    "unexpected argument `{a}` (see `ppsim {cmd} --help`)"
+                ));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
 }
 
 struct Flags {
@@ -149,6 +237,225 @@ fn find_benchmark(name: &str) -> Option<ppsim::compiler::WorkloadSpec> {
         .find(|s| s.name == name)
 }
 
+/// Loads an external trace file, auto-detecting the format: files that
+/// open with the `.pptrace` magic decode through the versioned codec;
+/// anything else is treated as a CBP-style `<ip> <taken>` branch log.
+/// Returns the workload and the CBP import summary when applicable.
+fn load_trace_workload(
+    path: &str,
+    name_override: Option<&str>,
+) -> Result<(TraceWorkload, Option<ppsim::isa::CbpSummary>), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(&ppsim::isa::pptrace::MAGIC) {
+        let mut w =
+            TraceWorkload::from_pptrace_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(name) = name_override {
+            w.name = name.to_string();
+        }
+        return Ok((w, None));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| format!("{path}: neither a .pptrace file nor UTF-8 CBP text"))?;
+    let name = name_override.map(str::to_string).unwrap_or_else(|| {
+        std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "import".to_string())
+    });
+    let (w, summary) =
+        TraceWorkload::from_cbp_text(name, &text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((w, Some(summary)))
+}
+
+/// `ppsim trace export|import|info` — moving workloads across the
+/// process boundary through the versioned `.pptrace` format.
+fn trace_cmd(flags: &Flags, commits: u64) -> ExitCode {
+    let verb = flags
+        .args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str);
+    let rest = Flags {
+        args: flags.args.iter().skip(1).cloned().collect(),
+    };
+    match verb {
+        Some("export") => {
+            if let Err(e) = reject_unknown(
+                "trace",
+                &rest.args,
+                &[
+                    ("--commits", Arity::Value),
+                    ("--ifconv", Arity::Switch),
+                    ("--note", Arity::Value),
+                ],
+                2,
+            ) {
+                eprintln!("trace export: {e}");
+                return usage();
+            }
+            // Skip over flag values when collecting positionals: the two
+            // remaining non-flag tokens are <benchmark> <out.pptrace>.
+            let mut pos = Vec::new();
+            let mut i = 0;
+            while i < rest.args.len() {
+                let a = rest.args[i].as_str();
+                if a == "--commits" || a == "--note" {
+                    i += 2;
+                    continue;
+                }
+                if !a.starts_with("--") {
+                    pos.push(a);
+                }
+                i += 1;
+            }
+            let (Some(name), Some(out)) = (pos.first().copied(), pos.get(1).copied()) else {
+                eprintln!("trace export: expected <benchmark> <out.pptrace>");
+                return usage();
+            };
+            let Some(spec) = find_benchmark(name) else {
+                eprintln!("trace export: unknown benchmark `{name}` (try `ppsim list`)");
+                return ExitCode::FAILURE;
+            };
+            let opts = if rest.has("--ifconv") {
+                CompileOptions::with_ifconv()
+            } else {
+                CompileOptions::no_ifconv()
+            };
+            let compiled = compile(&spec, &opts).expect("suite benchmarks compile");
+            let buf = match TraceBuffer::capture(&compiled.program, commits) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("trace export: capture failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let note = rest.value_of("--note").unwrap_or("").to_string();
+            let w = TraceWorkload::from_capture(name, note, buf);
+            let bytes = w.export_bytes();
+            if let Err(e) = std::fs::write(out, &bytes) {
+                eprintln!("trace export: failed to write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "trace export: wrote {out} ({} records, {} bytes)",
+                w.records(),
+                bytes.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("import") => {
+            let (ropts, runner_rest) = match RunnerOptions::from_args(&rest.args) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("trace import: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rest = Flags { args: runner_rest };
+            if let Err(e) = reject_unknown(
+                "trace",
+                &rest.args,
+                &[
+                    ("--commits", Arity::Value),
+                    ("--top", Arity::Value),
+                    ("--name", Arity::Value),
+                    ("--json", Arity::Value),
+                ],
+                1,
+            ) {
+                eprintln!("trace import: {e}");
+                return usage();
+            }
+            let Some(path) = rest.args.first().filter(|a| !a.starts_with("--")) else {
+                eprintln!("trace import: expected a trace file");
+                return usage();
+            };
+            let (w, summary) = match load_trace_workload(path, rest.value_of("--name")) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("trace import: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(s) = &summary {
+                eprintln!(
+                    "trace import: CBP log — {} branches ({} taken) over {} static sites",
+                    s.branches, s.taken, s.static_branches
+                );
+            }
+            let top: usize = match rest.value_of("--top").map(str::parse) {
+                None => 10,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => {
+                    eprintln!("trace import: bad --top value");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = ExperimentConfig {
+                commits,
+                ..ExperimentConfig::default()
+            };
+            let runner = Runner::new(ropts);
+            let report = trace_report(&runner, &cfg, &w, top);
+            print!("{}", report.text());
+            if let Some(out) = rest.value_of("--json") {
+                let doc = Json::obj()
+                    .field("experiment", "trace-import")
+                    .field("data", report.to_json())
+                    .field("telemetry", runner.telemetry().to_json());
+                if let Err(e) = std::fs::write(out, format!("{doc}\n")) {
+                    eprintln!("trace import: failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("trace import: wrote {out}");
+            }
+            eprintln!("trace import: {}", runner.telemetry().summary());
+            ExitCode::SUCCESS
+        }
+        Some("info") => {
+            if let Err(e) = reject_unknown("trace", &rest.args, &[], 1) {
+                eprintln!("trace info: {e}");
+                return usage();
+            }
+            let Some(path) = rest.args.first() else {
+                eprintln!("trace info: expected a .pptrace file");
+                return usage();
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("trace info: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ppsim::isa::pptrace::peek_meta(&bytes) {
+                Ok(meta) => {
+                    println!(
+                        "{}",
+                        Json::obj()
+                            .field("name", meta.name.as_str())
+                            .field("note", meta.note.as_str())
+                            .field("halted", meta.halted)
+                            .field("branches_only", meta.branches_only)
+                            .field("records", meta.records)
+                            .field("static_insns", meta.static_insns)
+                            .field("addrs", meta.addrs)
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("trace info: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("trace: expected a verb: export | import | info");
+            usage()
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -157,6 +464,11 @@ fn main() -> ExitCode {
     let flags = Flags {
         args: args[1..].to_vec(),
     };
+    // `--help` anywhere wins before any parsing or work: `ppsim check
+    // --help` must never start a fuzz sweep.
+    if cmd == "--help" || cmd == "-h" || cmd == "help" || flags.has("--help") || flags.has("-h") {
+        return help();
+    }
     let commits: u64 = flags
         .value_of("--commits")
         .and_then(|v| v.parse().ok())
@@ -164,6 +476,21 @@ fn main() -> ExitCode {
 
     match cmd.as_str() {
         "run" => {
+            if let Err(e) = reject_unknown(
+                "run",
+                &flags.args,
+                &[
+                    ("--scheme", Arity::Value),
+                    ("--commits", Arity::Value),
+                    ("--trace-events", Arity::Value),
+                    ("--trace", Arity::Value),
+                    ("--tiny", Arity::Switch),
+                ],
+                1,
+            ) {
+                eprintln!("run: {e}");
+                return usage();
+            }
             let Some(path) = flags.args.first().filter(|a| !a.starts_with("--")) else {
                 return usage();
             };
@@ -201,6 +528,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "compile" => {
+            if let Err(e) = reject_unknown(
+                "compile",
+                &flags.args,
+                &[("--ifconv", Arity::Switch), ("--listing", Arity::Switch)],
+                1,
+            ) {
+                eprintln!("compile: {e}");
+                return usage();
+            }
             let Some(name) = flags.args.first().filter(|a| !a.starts_with("--")) else {
                 return usage();
             };
@@ -234,7 +570,45 @@ fn main() -> ExitCode {
             // through the inline machine AND the trace-replay engine.
             // Exit code 1 if any cell's statistics diverge between the
             // two paths (the bit-identity guarantee the replay engine
-            // rests on).
+            // rests on). With `--trace FILE`, times an imported stream
+            // solo-vs-fused instead (no inline machine exists there).
+            if let Err(e) = reject_unknown(
+                "bench",
+                &flags.args,
+                &[
+                    ("--only", Arity::Value),
+                    ("--commits", Arity::Value),
+                    ("--json", Arity::Value),
+                    ("--sample", Arity::OptionalValue),
+                    ("--trace", Arity::Value),
+                ],
+                1,
+            ) {
+                eprintln!("bench: {e}");
+                return usage();
+            }
+            if let Some(path) = flags.value_of("--trace") {
+                let (w, _) = match load_trace_workload(path, None) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("bench: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let report = simbench::run_trace(&w.name, w.buf.clone(), commits);
+                let out = flags.value_of("--json").unwrap_or("BENCH_trace.json");
+                if let Err(e) = std::fs::write(out, format!("{}\n", report.to_json())) {
+                    eprintln!("bench: failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("bench: wrote {out}");
+                println!("bench: {}", report.summary());
+                return if report.fused_identical {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
             let mut cfg = simbench::BenchConfig {
                 commits,
                 ..simbench::BenchConfig::default()
@@ -288,6 +662,17 @@ fn main() -> ExitCode {
             // runner. The stdout report is deterministic — identical for
             // any --jobs value and cache state; telemetry goes to stderr
             // and the optional --json artifact.
+            let mut spec: Vec<(&str, Arity)> = RUNNER_FLAGS.to_vec();
+            spec.extend([
+                ("--json", Arity::Value),
+                ("--commits", Arity::Value),
+                ("--only", Arity::Value),
+                ("--sample", Arity::OptionalValue),
+            ]);
+            if let Err(e) = reject_unknown("suite", &flags.args, &spec, 0) {
+                eprintln!("suite: {e}");
+                return usage();
+            }
             let (opts, rest) = match RunnerOptions::from_args(&flags.args) {
                 Ok(v) => v,
                 Err(e) => {
@@ -343,7 +728,22 @@ fn main() -> ExitCode {
         "check" => {
             // Differential cosimulation: fuzz the timing model against
             // the architectural emulator across every scheme ×
-            // predication cell. Exit code 1 on any divergence.
+            // predication cell. Exit code 1 on any divergence. With
+            // `--replay FILE.pisa`, re-runs one dumped repro through the
+            // oracle that recorded it instead of fuzzing.
+            let mut spec: Vec<(&str, Arity)> = RUNNER_FLAGS.to_vec();
+            spec.extend([
+                ("--seed", Arity::Value),
+                ("--iters", Arity::Value),
+                ("--fault", Arity::Value),
+                ("--dump", Arity::Value),
+                ("--sample-epsilon", Arity::Value),
+                ("--replay", Arity::Value),
+            ]);
+            if let Err(e) = reject_unknown("check", &flags.args, &spec, 0) {
+                eprintln!("check: {e}");
+                return usage();
+            }
             let (ropts, rest) = match RunnerOptions::from_args(&flags.args) {
                 Ok(v) => v,
                 Err(e) => {
@@ -358,6 +758,49 @@ fn main() -> ExitCode {
                     None => v.parse().ok(),
                 }
             };
+            let fault = match rest_flags.value_of("--fault") {
+                None => None,
+                Some("invert-oracle") => Some(TestFault::InvertOracle),
+                Some("invert-early-resolve") => Some(TestFault::InvertEarlyResolve),
+                Some("share-ghr") => Some(TestFault::ShareGhr),
+                Some(other) => {
+                    eprintln!("check: unknown --fault `{other}` (expected {FAULTS})");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(path) = rest_flags.value_of("--replay") {
+                let source = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("check: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let out = match replay_repro(&source, fault) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("check: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match &out.header {
+                    Some(h) => eprintln!(
+                        "check: replaying {path} (seed {:#x} iter {} form {} cell {})",
+                        h.seed, h.iter, h.form, h.cell
+                    ),
+                    None => eprintln!("check: replaying {path} (no repro header: full sweep)"),
+                }
+                return match out.divergence {
+                    None => {
+                        println!("check: repro passes ({} cell(s) verified)", out.checks);
+                        ExitCode::SUCCESS
+                    }
+                    Some(d) => {
+                        println!("check: repro still diverges: {d}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             let mut opts = CheckOptions {
                 jobs: ropts.jobs,
                 use_cache: ropts.cache,
@@ -365,6 +808,7 @@ fn main() -> ExitCode {
                 dump_dir: Some(std::path::PathBuf::from(
                     rest_flags.value_of("--dump").unwrap_or("check-failures"),
                 )),
+                fault,
                 ..CheckOptions::default()
             };
             if let Some(v) = rest_flags.value_of("--seed") {
@@ -384,17 +828,6 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
-            }
-            if let Some(v) = rest_flags.value_of("--fault") {
-                opts.fault = match v {
-                    "invert-oracle" => Some(TestFault::InvertOracle),
-                    "invert-early-resolve" => Some(TestFault::InvertEarlyResolve),
-                    "share-ghr" => Some(TestFault::ShareGhr),
-                    other => {
-                        eprintln!("check: unknown --fault `{other}` (expected {FAULTS})");
-                        return ExitCode::FAILURE;
-                    }
-                };
             }
             if let Some(v) = rest_flags.value_of("--sample-epsilon") {
                 match v.parse::<f64>() {
@@ -421,10 +854,17 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "trace" => trace_cmd(&flags, commits),
         "serve" => {
             // The persistent experiment daemon: one warm runner for the
             // process lifetime, NDJSON requests over TCP, graceful
             // drain on SIGINT or a `shutdown` request.
+            let mut spec: Vec<(&str, Arity)> = RUNNER_FLAGS.to_vec();
+            spec.extend([("--addr", Arity::Value), ("--max-clients", Arity::Value)]);
+            if let Err(e) = reject_unknown("serve", &flags.args, &spec, 0) {
+                eprintln!("serve: {e}");
+                return usage();
+            }
             let (ropts, rest) = match RunnerOptions::from_args(&flags.args) {
                 Ok(v) => v,
                 Err(e) => {
@@ -476,6 +916,19 @@ fn main() -> ExitCode {
             // Scriptable client: sends request lines from a file (or
             // stdin with `-`), prints one deterministic `data` line per
             // request on stdout; progress goes to stderr.
+            if let Err(e) = reject_unknown(
+                "submit",
+                &flags.args,
+                &[
+                    ("--addr", Arity::Value),
+                    ("--raw", Arity::Value),
+                    ("--quiet", Arity::Switch),
+                ],
+                1,
+            ) {
+                eprintln!("submit: {e}");
+                return usage();
+            }
             let source = flags
                 .args
                 .first()
@@ -520,6 +973,12 @@ fn main() -> ExitCode {
         "cache" => {
             // Inspect or clear the on-disk result cache the runner (and
             // the serve daemon) share.
+            if let Err(e) =
+                reject_unknown("cache", &flags.args, &[("--cache-dir", Arity::Value)], 1)
+            {
+                eprintln!("cache: {e}");
+                return usage();
+            }
             let dir = flags
                 .value_of("--cache-dir")
                 .map(std::path::PathBuf::from)
@@ -557,6 +1016,10 @@ fn main() -> ExitCode {
             }
         }
         "list" => {
+            if let Err(e) = reject_unknown("list", &flags.args, &[], 0) {
+                eprintln!("list: {e}");
+                return usage();
+            }
             let mut t = Table::new(
                 "The 22 synthetic SPEC2000-like benchmarks",
                 &["name", "class", "kernels", "array words"],
@@ -572,6 +1035,9 @@ fn main() -> ExitCode {
             println!("{t}");
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
     }
 }
