@@ -20,8 +20,8 @@ use std::time::Instant;
 use ppsim_compiler::{compile, spec2000_suite, CompileOptions};
 use ppsim_isa::Machine;
 use ppsim_pipeline::{
-    LaneSet, PredicationModel, SampleSpec, SchemeSpec, SimOptions, SimStats, TraceBuffer,
-    TraceCursor,
+    phases, LaneSet, PhaseReport, PredicationModel, SampleSpec, SchemeSpec, SimOptions, SimStats,
+    TraceBuffer, TraceCursor,
 };
 
 use crate::Json;
@@ -43,6 +43,13 @@ pub struct BenchConfig {
     pub commits: u64,
     /// Restrict to benchmarks whose name appears here (empty = all).
     pub only: Vec<String>,
+    /// Timed repetitions per measurement; the report carries the median
+    /// (lower median on even counts) and the minimum, so one noisy host
+    /// scheduling event cannot masquerade as a regression.
+    pub repeat: u32,
+    /// Also run one phase-profiled fused pass per benchmark and attach
+    /// the `process()` time attribution (see [`ppsim_pipeline::phases`]).
+    pub phases: bool,
 }
 
 impl Default for BenchConfig {
@@ -50,8 +57,32 @@ impl Default for BenchConfig {
         BenchConfig {
             commits: 500_000,
             only: Vec::new(),
+            repeat: 1,
+            phases: false,
         }
     }
+}
+
+/// Lower median of a timing sample: `sorted[(n-1)/2]`, deterministic on
+/// integer inputs.
+fn median(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[(samples.len() - 1) / 2]
+}
+
+/// The commit hash stamped into benchmark artifacts so a checked-in
+/// `BENCH_sim.json` records which code produced it; `"unknown"` outside a
+/// git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// One (scheme, predication) cell timed both ways.
@@ -63,12 +94,16 @@ pub struct CellBench {
     pub predication: PredicationModel,
     /// Instructions committed (equal on both paths when `identical`).
     pub committed: u64,
-    /// Wall time of the inline-machine run.
+    /// Median wall time of the inline-machine runs.
     pub inline_micros: u64,
-    /// Wall time of the trace-replay run (capture excluded; it is
-    /// amortized once per benchmark, see [`BenchRow::capture_micros`]).
+    /// Median wall time of the trace-replay runs (capture excluded; it
+    /// is amortized once per benchmark, see [`BenchRow::capture_micros`]).
     pub replay_micros: u64,
-    /// Whether the two runs produced equal statistics.
+    /// Fastest inline-machine repetition.
+    pub inline_min_micros: u64,
+    /// Fastest trace-replay repetition.
+    pub replay_min_micros: u64,
+    /// Whether every repetition of both paths produced equal statistics.
     pub identical: bool,
 }
 
@@ -93,13 +128,50 @@ pub struct BenchRow {
     pub records: u64,
     /// Heap footprint of the capture in bytes.
     pub trace_bytes: usize,
-    /// Wall time of one fused [`LaneSet`] pass running every cell over a
-    /// single decode of the capture (capture excluded, as for replay).
+    /// Median wall time of one fused [`LaneSet`] pass running every cell
+    /// over a single decode of the capture (capture excluded, as for
+    /// replay).
     pub fused_micros: u64,
-    /// Whether every fused lane's statistics matched its solo replay.
+    /// Fastest fused repetition.
+    pub fused_min_micros: u64,
+    /// Whether every fused lane's statistics matched its solo replay, on
+    /// every repetition.
     pub fused_identical: bool,
     /// Per-cell timings.
     pub cells: Vec<CellBench>,
+    /// Phase-profiled fused pass, when [`BenchConfig::phases`] is set.
+    pub phases: Option<PhasesBench>,
+}
+
+/// One phase-profiled fused pass: where `process()` time went, plus the
+/// proof that profiling did not perturb the simulated statistics.
+#[derive(Clone, Debug)]
+pub struct PhasesBench {
+    /// Accumulated per-section attribution, merged across all lanes.
+    pub report: PhaseReport,
+    /// Wall time of the whole profiled pass (decode + `process()`).
+    pub wall_nanos: u64,
+    /// Whether every profiled lane's statistics matched its unprofiled
+    /// solo replay bit for bit.
+    pub identical: bool,
+}
+
+impl PhasesBench {
+    fn merge(&mut self, other: &PhasesBench) {
+        self.report.merge(&other.report);
+        self.wall_nanos += other.wall_nanos;
+        self.identical &= other.identical;
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj().field("records", self.report.records);
+        for (name, nanos) in phases::NAMES.iter().zip(self.report.nanos) {
+            j = j.field(format!("{name}_nanos").as_str(), nanos);
+        }
+        j.field("process_nanos", self.report.total_nanos())
+            .field("wall_nanos", self.wall_nanos)
+            .field("reports_identical", self.identical)
+    }
 }
 
 /// The full benchmark outcome.
@@ -107,6 +179,8 @@ pub struct BenchRow {
 pub struct BenchReport {
     /// Committed-instruction budget per cell.
     pub commits: u64,
+    /// Timed repetitions behind every median/min pair.
+    pub repeat: u32,
     /// Per-benchmark rows.
     pub rows: Vec<BenchRow>,
 }
@@ -167,6 +241,19 @@ impl BenchReport {
         self.rows.iter().all(|r| r.fused_identical)
     }
 
+    /// Merged phase attribution across every benchmark's profiled pass,
+    /// `None` when the bench ran without [`BenchConfig::phases`].
+    pub fn phases(&self) -> Option<PhasesBench> {
+        let mut merged: Option<PhasesBench> = None;
+        for p in self.rows.iter().filter_map(|r| r.phases.as_ref()) {
+            match merged.as_mut() {
+                Some(m) => m.merge(p),
+                None => merged = Some(p.clone()),
+            }
+        }
+        merged
+    }
+
     /// The machine-readable artifact (`BENCH_sim.json`).
     pub fn to_json(&self) -> Json {
         let mut rows = Vec::new();
@@ -179,6 +266,8 @@ impl BenchReport {
                         .field("committed", c.committed)
                         .field("inline_micros", c.inline_micros)
                         .field("replay_micros", c.replay_micros)
+                        .field("inline_min_micros", c.inline_min_micros)
+                        .field("replay_min_micros", c.replay_min_micros)
                         .field(
                             "inline_insns_per_sec",
                             insns_per_sec(c.committed, c.inline_micros),
@@ -190,20 +279,28 @@ impl BenchReport {
                         .field("identical", c.identical),
                 );
             }
-            rows.push(
-                Json::obj()
-                    .field("name", r.benchmark.as_str())
-                    .field("capture_micros", r.capture_micros)
-                    .field("records", r.records)
-                    .field("trace_bytes", r.trace_bytes)
-                    .field("fused_micros", r.fused_micros)
-                    .field("fused_identical", r.fused_identical)
-                    .field("cells", cells),
-            );
+            let mut row = Json::obj()
+                .field("name", r.benchmark.as_str())
+                .field("capture_micros", r.capture_micros)
+                .field("records", r.records)
+                .field("trace_bytes", r.trace_bytes)
+                .field("fused_micros", r.fused_micros)
+                .field("fused_min_micros", r.fused_min_micros)
+                .field("fused_identical", r.fused_identical)
+                .field("cells", cells);
+            if let Some(p) = &r.phases {
+                row = row.field("phases", p.to_json());
+            }
+            rows.push(row);
         }
-        Json::obj()
+        let mut j = Json::obj()
             .field("experiment", "bench")
             .field("commits", self.commits)
+            .field("repeat", u64::from(self.repeat))
+            .field("commit", git_commit().as_str())
+            // `bench` deliberately times cells one at a time on one
+            // thread, so host timings are not fighting sibling workers.
+            .field("jobs", 1u64)
             .field("benchmarks", rows)
             .field(
                 "aggregate",
@@ -220,12 +317,16 @@ impl BenchReport {
                     .field("per_cell_micros", self.replay_micros())
                     .field("speedup", self.fused_speedup())
                     .field("reports_identical", self.fused_identical()),
-            )
+            );
+        if let Some(p) = self.phases() {
+            j = j.field("phases", p.to_json());
+        }
+        j
     }
 
     /// Human-readable summary for stderr.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} benchmarks x {} cells: inline {:.2}s, replay {:.2}s (capture incl.), speedup {:.2}x, \
              fused {:.2}s (speedup {:.2}x), reports {}",
             self.rows.len(),
@@ -240,7 +341,20 @@ impl BenchReport {
             } else {
                 "DIVERGED"
             }
-        )
+        );
+        if self.repeat > 1 {
+            s.push_str(&format!(" (median of {})", self.repeat));
+        }
+        if let Some(p) = self.phases() {
+            let total = p.report.total_nanos().max(1);
+            let pct: Vec<String> = phases::NAMES
+                .iter()
+                .zip(p.report.nanos)
+                .map(|(name, nanos)| format!("{name} {:.0}%", nanos as f64 * 100.0 / total as f64))
+                .collect();
+            s.push_str(&format!("; phases: {}", pct.join(", ")));
+        }
+        s
     }
 }
 
@@ -278,21 +392,43 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         );
         let capture_micros = started.elapsed().as_micros() as u64;
 
+        let repeat = cfg.repeat.max(1);
         let mut cells = Vec::new();
         let mut replay_stats_all = Vec::new();
         for (scheme, predication) in CELLS {
             let opts = SimOptions::new(scheme, predication);
-            let (inline_stats, inline_micros) = run_inline(opts, &compiled.program, cfg.commits);
-            let (replay_stats, replay_micros) = run_replay(opts, Arc::clone(&trace), cfg.commits);
+            let mut inline_times = Vec::with_capacity(repeat as usize);
+            let mut replay_times = Vec::with_capacity(repeat as usize);
+            let mut identical = true;
+            let mut committed = 0;
+            let mut last_replay_stats = None;
+            for _ in 0..repeat {
+                let (inline_stats, inline_micros) =
+                    run_inline(opts, &compiled.program, cfg.commits);
+                let (replay_stats, replay_micros) =
+                    run_replay(opts, Arc::clone(&trace), cfg.commits);
+                identical &= inline_stats == replay_stats;
+                // Repetitions must also agree with each other — the
+                // simulator is deterministic, so any drift is a bug.
+                if let Some(prev) = &last_replay_stats {
+                    identical &= *prev == replay_stats;
+                }
+                committed = inline_stats.committed;
+                last_replay_stats = Some(replay_stats);
+                inline_times.push(inline_micros);
+                replay_times.push(replay_micros);
+            }
             cells.push(CellBench {
                 scheme,
                 predication,
-                committed: inline_stats.committed,
-                inline_micros,
-                replay_micros,
-                identical: inline_stats == replay_stats,
+                committed,
+                inline_micros: median(&mut inline_times),
+                replay_micros: median(&mut replay_times),
+                inline_min_micros: inline_times[0],
+                replay_min_micros: replay_times[0],
+                identical,
             });
-            replay_stats_all.push(replay_stats);
+            replay_stats_all.push(last_replay_stats.expect("repeat >= 1"));
         }
 
         // One fused pass running every cell as a lane over a single
@@ -301,28 +437,68 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
             .iter()
             .map(|&(scheme, predication)| SimOptions::new(scheme, predication))
             .collect();
-        let started = Instant::now();
-        let fused_runs = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &lane_opts)
-            .expect("bench cells carry no overrides")
-            .run(cfg.commits);
-        let fused_micros = started.elapsed().as_micros() as u64;
-        let fused_identical = fused_runs
-            .iter()
-            .zip(&replay_stats_all)
-            .all(|(lane, solo)| lane.stats == *solo);
+        let mut fused_times = Vec::with_capacity(repeat as usize);
+        let mut fused_identical = true;
+        for _ in 0..repeat {
+            let started = Instant::now();
+            let fused_runs = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &lane_opts)
+                .expect("bench cells carry no overrides")
+                .run(cfg.commits);
+            fused_times.push(started.elapsed().as_micros() as u64);
+            fused_identical &= fused_runs
+                .iter()
+                .zip(&replay_stats_all)
+                .all(|(lane, solo)| lane.stats == *solo);
+        }
+
+        // Optional phase-profiled fused pass: same cells, profiling on.
+        // Identity against the unprofiled solo runs proves the profiler
+        // is observation-only.
+        let phases_bench = cfg.phases.then(|| {
+            let profiled_opts: Vec<SimOptions> = CELLS
+                .iter()
+                .map(|&(scheme, predication)| {
+                    SimOptions::new(scheme, predication).profile_phases(true)
+                })
+                .collect();
+            let started = Instant::now();
+            let mut set = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &profiled_opts)
+                .expect("bench cells carry no overrides");
+            let runs = set.run(cfg.commits);
+            let wall_nanos = started.elapsed().as_nanos() as u64;
+            let identical = runs
+                .iter()
+                .zip(&replay_stats_all)
+                .all(|(lane, solo)| lane.stats == *solo);
+            let mut report = PhaseReport {
+                nanos: [0; phases::COUNT],
+                records: 0,
+            };
+            for lane in set.phase_reports().into_iter().flatten() {
+                report.merge(&lane);
+            }
+            PhasesBench {
+                report,
+                wall_nanos,
+                identical,
+            }
+        });
 
         rows.push(BenchRow {
             benchmark: spec.name.to_string(),
             capture_micros,
             records: trace.len(),
             trace_bytes: trace.bytes(),
-            fused_micros,
+            fused_micros: median(&mut fused_times),
+            fused_min_micros: fused_times[0],
             fused_identical,
             cells,
+            phases: phases_bench,
         });
     }
     BenchReport {
         commits: cfg.commits,
+        repeat: cfg.repeat.max(1),
         rows,
     }
 }
@@ -723,6 +899,7 @@ mod tests {
         let report = run(&BenchConfig {
             commits: 3_000,
             only: vec!["gzip".into()],
+            ..BenchConfig::default()
         });
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.rows[0].cells.len(), CELLS.len());
@@ -769,6 +946,7 @@ mod tests {
             &BenchConfig {
                 commits: 20_000,
                 only: vec!["gzip".into()],
+                ..BenchConfig::default()
             },
             spec,
         );
@@ -833,8 +1011,78 @@ mod tests {
         let report = run(&BenchConfig {
             commits: 1_000,
             only: vec!["no-such-benchmark".into()],
+            ..BenchConfig::default()
         });
         assert!(report.rows.is_empty());
         assert!(report.reports_identical(), "vacuously identical");
+    }
+
+    #[test]
+    fn repeat_and_phases_stamp_the_artifact_and_stay_identical() {
+        let report = run(&BenchConfig {
+            commits: 3_000,
+            only: vec!["gzip".into()],
+            repeat: 3,
+            phases: true,
+        });
+        assert_eq!(report.repeat, 3);
+        assert!(report.reports_identical(), "{}", report.summary());
+        assert!(report.fused_identical(), "{}", report.summary());
+
+        let row = &report.rows[0];
+        let p = row.phases.as_ref().expect("phases requested");
+        assert!(
+            p.identical,
+            "profiled lanes diverged from unprofiled replay"
+        );
+        // Laps telescope: the bucket sum is exactly the measured
+        // process() time, and process() time fits inside the pass wall.
+        assert!(p.report.total_nanos() > 0);
+        assert!(
+            p.report.total_nanos() <= p.wall_nanos,
+            "process {} > wall {}",
+            p.report.total_nanos(),
+            p.wall_nanos
+        );
+        // One fused pass over CELLS lanes profiles each record once per
+        // lane.
+        assert_eq!(p.report.records, row.records * CELLS.len() as u64);
+        // Min never exceeds the median it was sampled with.
+        for c in &row.cells {
+            assert!(c.inline_min_micros <= c.inline_micros);
+            assert!(c.replay_min_micros <= c.replay_micros);
+        }
+        assert!(row.fused_min_micros <= row.fused_micros);
+
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).expect("bench artifact parses");
+        assert_eq!(
+            parsed.get("repeat").and_then(Json::as_i64),
+            Some(3),
+            "{text}"
+        );
+        assert!(parsed.get("commit").is_some(), "{text}");
+        assert_eq!(parsed.get("jobs").and_then(Json::as_i64), Some(1), "{text}");
+        let ph = parsed.get("phases").expect("aggregate phases block");
+        let total: f64 = phases::NAMES
+            .iter()
+            .map(|name| {
+                ph.get(&format!("{name}_nanos"))
+                    .and_then(Json::as_f64)
+                    .expect("phase bucket present")
+            })
+            .sum();
+        assert_eq!(
+            Some(total),
+            ph.get("process_nanos").and_then(Json::as_f64),
+            "phase buckets must sum to process_nanos exactly: {text}"
+        );
+        assert_eq!(
+            ph.get("reports_identical"),
+            Some(&Json::Bool(true)),
+            "{text}"
+        );
+        assert!(report.summary().contains("median of 3"));
+        assert!(report.summary().contains("phases:"));
     }
 }

@@ -383,6 +383,11 @@ impl Machine {
         self.halted
     }
 
+    /// The loaded code image, indexed by slot.
+    pub fn code(&self) -> &[Insn] {
+        &self.insns
+    }
+
     /// Reads an integer register.
     pub fn gr(&self, r: Gr) -> i64 {
         self.grs[r.index()]

@@ -293,6 +293,16 @@ pub trait InsnSource {
     /// because the program halted (as opposed to an exhausted capture
     /// budget).
     fn ended_halted(&self) -> bool;
+
+    /// The static code image behind this stream, indexed by slot, when
+    /// the source has one (`record.insn` always equals
+    /// `code()[record.slot]` for every record the source yields). The
+    /// timing model precomputes per-slot decode tables from it; sources
+    /// without a fixed image (the default) return an empty slice and fall
+    /// back to on-demand classification.
+    fn code(&self) -> &[Insn] {
+        &[]
+    }
 }
 
 impl InsnSource for Machine {
@@ -302,6 +312,10 @@ impl InsnSource for Machine {
 
     fn ended_halted(&self) -> bool {
         self.is_halted()
+    }
+
+    fn code(&self) -> &[Insn] {
+        self.code()
     }
 }
 
@@ -383,6 +397,10 @@ impl InsnSource for TraceCursor {
         // A window that stops short of the capture's end is a budget
         // exhaustion, not a halt, even on a halted capture.
         self.buf.halted && self.idx == self.buf.slots.len()
+    }
+
+    fn code(&self) -> &[Insn] {
+        self.buf.code()
     }
 }
 

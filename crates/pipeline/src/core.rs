@@ -29,8 +29,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
-use ppsim_isa::{AluKind, ExecInfo, ExecRecord, FpuKind, InsnSource, Machine, Op, Program};
+use ppsim_isa::{ExecInfo, ExecRecord, Insn, InsnSource, Machine, Program};
 use ppsim_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use ppsim_obs::{EventKind, EventRing, StallBucket, TraceEvent};
 use ppsim_predictors::{
@@ -39,8 +40,10 @@ use ppsim_predictors::{
 };
 
 use crate::config::{CoreConfig, PredicationModel};
+use crate::decode::{self, flag, DecodeTable};
 use crate::fxhash::FxMap;
 use crate::options::{SimOptions, TestFault};
+use crate::phases::{self, PhaseAcc, PhaseReport};
 use crate::resources::{Pool, UnitSet, WidthLimiter};
 use crate::stats::SimStats;
 
@@ -58,41 +61,119 @@ pub struct RunResult {
     pub halted: bool,
 }
 
-/// Rename-time view of one architectural predicate register.
-#[derive(Clone, Copy, Debug)]
-struct PredEntry {
-    /// Cycle the computed value becomes available (producer execute).
-    done: u64,
-    /// The computed value (oracle, from the trace).
-    value: bool,
-    /// Stored prediction, if the producer generated one: (value,
-    /// confident).
-    pred: Option<(bool, bool)>,
-    /// Cycle the prediction lands in the PPRF (producer rename).
-    pred_avail: u64,
-    /// Predictor tag for history repair (realistic predicate scheme).
-    tag: Option<ppsim_predictors::PredicatePrediction>,
-    /// Global-history push counter right after the producer's push.
-    push_index: u64,
-    /// Computed value of the *primary* target (the bit the producer pushed
-    /// into the global history); used for history repair.
-    primary_actual: bool,
-    /// Set once a wrong use of this prediction has flushed (only the first
-    /// consumer flushes).
-    flushed: bool,
+/// Rename-time view of the architectural predicate registers, stored as
+/// flat per-field arrays (SoA) sized by the architectural register
+/// count. The hot loop reads only the fields the current record needs —
+/// one `u64` load per field instead of copying a whole per-register
+/// struct — and the single-bit fields pack into one `u64` mask each.
+///
+/// Per register the file tracks: the cycle the computed value becomes
+/// available (`done`, producer execute), the computed value itself
+/// (oracle, from the trace), the stored prediction if the producer
+/// generated one (value + confidence, with `pred_avail` the cycle it
+/// lands in the PPRF at producer rename), the predictor tag for history
+/// repair (realistic predicate scheme), the global-history push counter
+/// right after the producer's push, the computed value of the *primary*
+/// target (the bit the producer pushed into the global history), and
+/// whether a wrong use of the prediction has already flushed (only the
+/// first consumer flushes).
+struct PredFile {
+    done: [u64; NUM_PR],
+    pred_avail: [u64; NUM_PR],
+    push_index: [u64; NUM_PR],
+    tag: [Option<ppsim_predictors::PredicatePrediction>; NUM_PR],
+    /// Computed values, one bit per register.
+    value: u64,
+    /// Whether a stored prediction exists, one bit per register.
+    pred_some: u64,
+    /// Stored predicted values.
+    pred_value: u64,
+    /// Stored prediction confidence bits.
+    pred_conf: u64,
+    /// Primary-target computed values (history repair).
+    primary_actual: u64,
+    /// First-consumer-flushed bits.
+    flushed: u64,
 }
 
-impl PredEntry {
-    fn constant(value: bool) -> Self {
-        PredEntry {
-            done: 0,
-            value,
-            pred: None,
-            pred_avail: 0,
-            tag: None,
-            push_index: 0,
-            primary_actual: value,
-            flushed: false,
+impl PredFile {
+    /// All registers constant-false except the hardwired constant-true
+    /// `p0`, no predictions stored.
+    fn new() -> Self {
+        PredFile {
+            done: [0; NUM_PR],
+            pred_avail: [0; NUM_PR],
+            push_index: [0; NUM_PR],
+            tag: [None; NUM_PR],
+            value: 1,
+            pred_some: 0,
+            pred_value: 0,
+            pred_conf: 0,
+            primary_actual: 1,
+            flushed: 0,
+        }
+    }
+
+    #[inline]
+    fn set_bit(mask: &mut u64, i: usize, v: bool) {
+        *mask = (*mask & !(1 << i)) | ((v as u64) << i);
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> bool {
+        self.value >> i & 1 != 0
+    }
+
+    #[inline]
+    fn set_value(&mut self, i: usize, v: bool) {
+        Self::set_bit(&mut self.value, i, v);
+    }
+
+    /// The stored prediction: `(value, confident)` when one exists.
+    #[inline]
+    fn pred(&self, i: usize) -> Option<(bool, bool)> {
+        (self.pred_some >> i & 1 != 0)
+            .then(|| (self.pred_value >> i & 1 != 0, self.pred_conf >> i & 1 != 0))
+    }
+
+    #[inline]
+    fn set_pred(&mut self, i: usize, value: bool, confident: bool) {
+        self.pred_some |= 1 << i;
+        Self::set_bit(&mut self.pred_value, i, value);
+        Self::set_bit(&mut self.pred_conf, i, confident);
+    }
+
+    #[inline]
+    fn flushed(&self, i: usize) -> bool {
+        self.flushed >> i & 1 != 0
+    }
+
+    #[inline]
+    fn set_flushed(&mut self, i: usize, v: bool) {
+        Self::set_bit(&mut self.flushed, i, v);
+    }
+
+    #[inline]
+    fn primary_actual(&self, i: usize) -> bool {
+        self.primary_actual >> i & 1 != 0
+    }
+
+    #[inline]
+    fn set_primary_actual(&mut self, i: usize, v: bool) {
+        Self::set_bit(&mut self.primary_actual, i, v);
+    }
+}
+
+/// One profiler lap: charges the time since the previous lap to `acc`
+/// and restarts the clock. Consecutive laps telescope, so the bucket sum
+/// equals the measured wall time of the enclosing region exactly.
+/// Monomorphized away (no timestamp read, no branch) when `ON` is false.
+#[inline(always)]
+fn lap<const ON: bool>(last: &mut Option<Instant>, acc: &mut u64) {
+    if ON {
+        let now = Instant::now();
+        if let Some(prev) = last.replace(now) {
+            *acc += now.duration_since(prev).as_nanos() as u64;
         }
     }
 }
@@ -181,11 +262,17 @@ pub struct Simulator<S: InsnSource = Machine> {
     mem_units: UnitSet,
     br_units: UnitSet,
 
+    // Static per-slot decode side-table (latency/IQ/unit classes,
+    // resource needs, guard and register indices) and the latency table
+    // its classes index — one load + bit tests per record instead of
+    // per-record `Op` matches.
+    decode: DecodeTable,
+    lat: [u64; decode::lat::COUNT],
     // Scoreboard: cycle each architectural register's latest value is
     // available (program-order processing makes this the rename-time view).
     gr_done: [u64; 128],
     fr_done: [u64; 128],
-    preds: [PredEntry; NUM_PR],
+    preds: PredFile,
     // Store forwarding: 8-byte-aligned address → (data-ready cycle, commit
     // cycle). Queried per load and written per store — fast hasher.
     stores: FxMap<u64, (u64, u64)>,
@@ -210,11 +297,20 @@ pub struct Simulator<S: InsnSource = Machine> {
     // or override re-steer) charges the next fetched instruction to.
     pending_redirect: Option<StallBucket>,
     stats: SimStats,
-    branch_hist: FxMap<u32, (u64, u64)>,
+    // Per-static-branch (executions, mispredictions), indexed by slot —
+    // a flat side-table like the decode table, with a spill map for the
+    // (never-exercised in practice) slots beyond the installed code
+    // image. One indexed add replaces a hash-map entry per branch.
+    branch_hist: Vec<(u64, u64)>,
+    branch_hist_spill: FxMap<u32, (u64, u64)>,
     events: Option<EventRing>,
     // Persistent staging buffer for per-instruction events, reused across
     // `process` calls so the hot path never allocates.
     ev_scratch: Vec<(u64, EventKind)>,
+    // Phase-profiler accumulator; present only on profiled runs (the
+    // record loop is monomorphized on its presence, so unprofiled runs
+    // carry zero instrumentation).
+    phases: Option<Box<PhaseAcc>>,
 }
 
 impl Simulator {
@@ -253,8 +349,8 @@ impl<S: InsnSource> Simulator<S> {
     pub(crate) fn from_source(source: S, opts: SimOptions) -> Self {
         let cfg = opts.core;
         let predictors = Predictors::from_set(opts.scheme.build(opts.perceptron, opts.predicate));
-        let mut preds = [PredEntry::constant(false); NUM_PR];
-        preds[0] = PredEntry::constant(true);
+        let decode = DecodeTable::new(source.code());
+        let code_slots = decode.len();
         Simulator {
             source,
             hierarchy: Hierarchy::new(HierarchyConfig::paper()),
@@ -282,9 +378,11 @@ impl<S: InsnSource> Simulator<S> {
             fp_units: UnitSet::new(cfg.fp_units),
             mem_units: UnitSet::new(cfg.mem_ports),
             br_units: UnitSet::new(cfg.branch_units),
+            decode,
+            lat: decode::lat_table(&cfg.latencies),
             gr_done: [0; 128],
             fr_done: [0; 128],
-            preds,
+            preds: PredFile::new(),
             stores: FxMap::default(),
             ghr_pushes: 0,
             pending_repairs: Vec::new(),
@@ -294,11 +392,28 @@ impl<S: InsnSource> Simulator<S> {
             mem_base: HierarchyStats::default(),
             pending_redirect: None,
             stats: SimStats::default(),
-            branch_hist: FxMap::default(),
+            branch_hist: vec![(0, 0); code_slots],
+            branch_hist_spill: FxMap::default(),
             events: (opts.trace_events > 0).then(|| EventRing::new(opts.trace_events)),
             ev_scratch: Vec::new(),
+            phases: opts.profile_phases.then(Box::default),
             cfg,
         }
+    }
+
+    /// Rebuilds the per-slot decode table from `code`. The fused-lane
+    /// driver ([`crate::LaneSet`]) builds its lanes on an empty
+    /// [`crate::NullSource`] and installs the shared capture's code
+    /// image here.
+    pub(crate) fn install_code(&mut self, code: &[Insn]) {
+        self.decode = DecodeTable::new(code);
+        self.branch_hist = vec![(0, 0); self.decode.len()];
+    }
+
+    /// The accumulated phase attribution, when this simulator was built
+    /// with [`SimOptions::profile_phases`].
+    pub fn phase_report(&self) -> Option<PhaseReport> {
+        self.phases.as_deref().copied().map(PhaseReport::from)
     }
 
     /// Per-static-branch rows `(slot, executions, mispredictions)`, sorted
@@ -307,8 +422,15 @@ impl<S: InsnSource> Simulator<S> {
         let mut rows: Vec<(u32, u64, u64)> = self
             .branch_hist
             .iter()
-            .map(|(&slot, &(execs, miss))| (slot, execs, miss))
+            .enumerate()
+            .filter(|&(_, &(execs, _))| execs > 0)
+            .map(|(slot, &(execs, miss))| (slot as u32, execs, miss))
             .collect();
+        rows.extend(
+            self.branch_hist_spill
+                .iter()
+                .map(|(&slot, &(execs, miss))| (slot, execs, miss)),
+        );
         rows.sort_unstable_by_key(|&(slot, _, _)| slot);
         rows
     }
@@ -398,7 +520,8 @@ impl<S: InsnSource> Simulator<S> {
         self.cycle_base = self.last_commit;
         self.mem_base = self.hierarchy.stats();
         self.stats = SimStats::default();
-        self.branch_hist.clear();
+        self.branch_hist.fill((0, 0));
+        self.branch_hist_spill.clear();
         if let Some(ring) = self.events.as_mut() {
             ring.push(TraceEvent {
                 seq: 0,
@@ -418,27 +541,6 @@ impl<S: InsnSource> Simulator<S> {
         self.run(warmup);
         self.begin_measurement();
         self.run(measure)
-    }
-
-    fn latency_of(&self, rec: &ExecRecord) -> u64 {
-        let l = &self.cfg.latencies;
-        match rec.insn.op {
-            Op::Alu {
-                kind: AluKind::Mul, ..
-            } => l.int_mul,
-            Op::Alu { .. } | Op::Movi { .. } | Op::Cmp { .. } => l.int_alu,
-            Op::Fpu {
-                kind: FpuKind::Fdiv,
-                ..
-            } => l.fp_div,
-            Op::Fpu {
-                kind: FpuKind::Fmul,
-                ..
-            } => l.fp_mul,
-            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => l.fp_alu,
-            Op::Br { .. } => l.branch,
-            _ => l.int_alu,
-        }
     }
 
     /// First-level (fetch-time) direction prediction for a conditional
@@ -466,15 +568,41 @@ impl<S: InsnSource> Simulator<S> {
         }
     }
 
+    /// Routes one record to the monomorphized record loop. The four
+    /// instantiations differ only in which instrumentation they carry:
+    /// the common (untraced, unprofiled) grid path compiles with zero
+    /// `if tracing` checks, no event-buffer take/put and no timestamp
+    /// reads.
     fn process(&mut self, rec: &ExecRecord) {
+        match (self.events.is_some(), self.phases.is_some()) {
+            (false, false) => self.process_rec::<false, false>(rec),
+            (true, false) => self.process_rec::<true, false>(rec),
+            (false, true) => self.process_rec::<false, true>(rec),
+            (true, true) => self.process_rec::<true, true>(rec),
+        }
+    }
+
+    fn process_rec<const TRACING: bool, const PROFILING: bool>(&mut self, rec: &ExecRecord) {
+        let mut last: Option<Instant> = if PROFILING {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut ph = [0u64; phases::COUNT];
         let pc = Program::pc_of(rec.slot);
-        let insn = rec.insn;
-        let tracing = self.events.is_some();
+        // One indexed load replaces the per-record `Op` matches: latency,
+        // IQ/unit class, resource needs and register indices are static
+        // per slot (see `crate::decode`).
+        let meta = self.decode.meta(rec.slot, &rec.insn);
         // Event staging area: (cycle, kind) pairs flushed to the ring once
         // every timestamp is known (the ring cannot be borrowed while the
         // predictors are). The buffer persists across calls so the hot
-        // path never allocates.
-        let mut evs = std::mem::take(&mut self.ev_scratch);
+        // path never allocates; untraced instantiations never touch it.
+        let mut evs = if TRACING {
+            std::mem::take(&mut self.ev_scratch)
+        } else {
+            Vec::new()
+        };
 
         // The first instruction fetched after a redirect inherits its
         // cause for stall attribution.
@@ -494,14 +622,16 @@ impl<S: InsnSource> Simulator<S> {
             self.last_iline = iline;
         }
         self.stats.fetched += 1;
+        lap::<PROFILING>(&mut last, &mut ph[phases::FETCH]);
 
         // Fetch-time prediction state for branches.
-        let is_cond_branch = insn.is_cond_branch();
+        let is_cond_branch = meta.is(flag::COND_BRANCH);
         let l1_pred = if is_cond_branch {
-            self.l1_predict(pc, insn.qp.index() as u8, f)
+            self.l1_predict(pc, meta.qp, f)
         } else {
             None
         };
+        lap::<PROFILING>(&mut last, &mut ph[phases::PREDICT]);
 
         // Predicate predictions are generated at compare fetch (realistic
         // scheme) or oracle-computed (ideal scheme); they are written to
@@ -513,26 +643,25 @@ impl<S: InsnSource> Simulator<S> {
         // Structural resources that gate rename.
         let mut gate = r;
         gate = gate.max(self.rob.earliest(r));
-        let iq = match insn.op {
-            Op::Br { .. } => &mut self.iq_br,
-            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => &mut self.iq_fp,
+        let iq = match meta.iq {
+            decode::iq::BR => &mut self.iq_br,
+            decode::iq::FP => &mut self.iq_fp,
             _ => &mut self.iq_int,
         };
         gate = gate.max(iq.earliest(r));
-        if insn.is_load() {
+        if meta.is(flag::LOAD) {
             gate = gate.max(self.lq.earliest(r));
         }
-        if insn.is_store() {
+        if meta.is(flag::STORE) {
             gate = gate.max(self.sq.earliest(r));
         }
-        if insn.gr_dst().is_some() {
+        if meta.gr_dst != decode::NO_REG {
             gate = gate.max(self.phys_int.earliest(r));
         }
-        if insn.fr_dst().is_some() {
+        if meta.fr_dst != decode::NO_REG {
             gate = gate.max(self.phys_fp.earliest(r));
         }
-        let pr_dsts = insn.pr_dsts();
-        for _ in pr_dsts.iter().flatten() {
+        for _ in 0..meta.pr_dst_count {
             gate = gate.max(self.phys_pred.earliest(r));
         }
         let rename_gated = gate > r;
@@ -541,9 +670,10 @@ impl<S: InsnSource> Simulator<S> {
             r = self.rename.book(0);
         }
         self.stats.renamed += 1;
+        lap::<PROFILING>(&mut last, &mut ph[phases::RENAME]);
 
         // ---- Compare: generate predictions into the PPRF ----
-        if insn.is_cmp() {
+        if meta.is(flag::CMP) {
             self.stats.compares += 1;
             // The paper's prediction is pipelined from fetch to rename
             // ("a multicycle prediction can be performed"); the history is
@@ -554,9 +684,15 @@ impl<S: InsnSource> Simulator<S> {
         }
 
         // ---- Consumer behaviour at rename ----
-        let guard_idx = insn.qp.index();
-        let guard = self.preds[guard_idx];
-        let guard_known_at_rename = guard.done <= r;
+        // Snapshot the guard register AFTER the compare block above: a
+        // compare whose qualifying predicate aliases its own target must
+        // observe its freshly installed prediction state.
+        let guard_idx = meta.qp as usize;
+        let guard_done = self.preds.done[guard_idx];
+        let guard_value = self.preds.value(guard_idx);
+        let guard_pred = self.preds.pred(guard_idx);
+        let guard_pred_avail = self.preds.pred_avail[guard_idx];
+        let guard_known_at_rename = guard_done <= r;
 
         // Selective predication decisions (non-branch predicated
         // instructions under the predicate scheme).
@@ -568,23 +704,23 @@ impl<S: InsnSource> Simulator<S> {
             Unguarded { wrong: bool },
         }
         let mut disposition = Disposition::Normal;
-        if insn.is_predicated() && !insn.is_branch() && !insn.is_cmp() {
+        if meta.flags & (flag::PREDICATED | flag::BRANCH | flag::CMP) == flag::PREDICATED {
             disposition = match self.predication {
                 PredicationModel::Cmov => Disposition::Cmov,
                 PredicationModel::Selective if !self.scheme.is_predicate() => Disposition::Cmov,
                 PredicationModel::Selective => {
                     if guard_known_at_rename {
-                        if guard.value {
+                        if guard_value {
                             Disposition::Unguarded { wrong: false }
                         } else {
                             Disposition::Cancelled { wrong: false }
                         }
                     } else {
-                        match guard.pred {
-                            Some((pv, true)) if guard.pred_avail <= r => {
+                        match guard_pred {
+                            Some((pv, true)) if guard_pred_avail <= r => {
                                 if pv {
                                     self.stats.unguarded_at_rename += 1;
-                                    if tracing {
+                                    if TRACING {
                                         evs.push((
                                             r,
                                             EventKind::UnguardAtRename { wrong: !rec.qp },
@@ -593,7 +729,7 @@ impl<S: InsnSource> Simulator<S> {
                                     Disposition::Unguarded { wrong: !rec.qp }
                                 } else {
                                     self.stats.cancelled_at_rename += 1;
-                                    if tracing {
+                                    if TRACING {
                                         evs.push((r, EventKind::CancelAtRename { wrong: rec.qp }));
                                     }
                                     Disposition::Cancelled { wrong: rec.qp }
@@ -630,9 +766,9 @@ impl<S: InsnSource> Simulator<S> {
                         // Fault injection (check harness): corrupt the
                         // computed guard an early-resolved branch consumes.
                         let flip = self.fault == Some(TestFault::InvertEarlyResolve);
-                        (guard.value ^ flip, true, false)
-                    } else if let Some((pv, _conf)) = guard.pred {
-                        if guard.pred_avail <= r {
+                        (guard_value ^ flip, true, false)
+                    } else if let Some((pv, _conf)) = guard_pred {
+                        if guard_pred_avail <= r {
                             (pv, false, true)
                         } else {
                             // Prediction not yet in the PPRF (back-to-back
@@ -671,7 +807,7 @@ impl<S: InsnSource> Simulator<S> {
             if early {
                 self.stats.early_resolved += 1;
             }
-            if tracing {
+            if TRACING {
                 if early {
                     evs.push((r, EventKind::EarlyResolve { taken: final_dir }));
                 } else {
@@ -688,7 +824,7 @@ impl<S: InsnSource> Simulator<S> {
             if let Some(l1p) = l1_pred.as_ref() {
                 if l1p.taken != final_dir {
                     self.stats.overrides += 1;
-                    if tracing {
+                    if TRACING {
                         evs.push((
                             r,
                             EventKind::PredictionOverridden {
@@ -711,56 +847,59 @@ impl<S: InsnSource> Simulator<S> {
             }
         }
 
+        lap::<PROFILING>(&mut last, &mut ph[phases::PREDICT]);
+
         // ---- Dependencies ----
         let mut ready = r + 1;
-        for src in insn.gr_srcs().iter().flatten() {
-            ready = ready.max(self.gr_done[src.index()]);
+        if meta.gr_src0 != decode::NO_REG {
+            ready = ready.max(self.gr_done[meta.gr_src0 as usize]);
         }
-        for src in insn.fr_srcs().iter().flatten() {
-            ready = ready.max(self.fr_done[src.index()]);
+        if meta.gr_src1 != decode::NO_REG {
+            ready = ready.max(self.gr_done[meta.gr_src1 as usize]);
+        }
+        if meta.fr_src0 != decode::NO_REG {
+            ready = ready.max(self.fr_done[meta.fr_src0 as usize]);
+        }
+        if meta.fr_src1 != decode::NO_REG {
+            ready = ready.max(self.fr_done[meta.fr_src1 as usize]);
         }
         // Guard as a data dependence: branches verify against the computed
         // predicate; compares read their qualifying predicate; cmov-style
         // predicated instructions read guard and old destination.
-        let needs_guard = insn.is_predicated()
-            && (insn.is_branch()
-                || insn.is_cmp()
+        let needs_guard = meta.is(flag::PREDICATED)
+            && (meta.flags & (flag::BRANCH | flag::CMP) != 0
                 || disposition == Disposition::Cmov
                 || disposition == Disposition::Normal);
         if needs_guard {
-            ready = ready.max(guard.done);
+            ready = ready.max(guard_done);
         }
         if disposition == Disposition::Cmov {
-            if let Some(d) = insn.gr_dst() {
-                ready = ready.max(self.gr_done[d.index()]);
+            if meta.gr_dst != decode::NO_REG {
+                ready = ready.max(self.gr_done[meta.gr_dst as usize]);
             }
-            if let Some(d) = insn.fr_dst() {
-                ready = ready.max(self.fr_done[d.index()]);
+            if meta.fr_dst != decode::NO_REG {
+                ready = ready.max(self.fr_done[meta.fr_dst as usize]);
             }
         }
 
         // ---- Issue & execute ----
         let cancelled = matches!(disposition, Disposition::Cancelled { .. });
-        let lat = self.latency_of(rec);
+        let lat = self.lat[meta.lat as usize];
         let mut exec_done;
         let mut issue = r; // for IQ release bookkeeping
         if cancelled {
             // Removed from the pipeline at rename: no IQ wait, no FU.
             exec_done = r + 1;
         } else {
-            let unit = match insn.op {
-                Op::Br { .. } => &mut self.br_units,
-                Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => {
-                    &mut self.fp_units
-                }
-                Op::Load { .. } | Op::Store { .. } | Op::Loadf { .. } | Op::Storef { .. } => {
-                    &mut self.mem_units
-                }
+            let unit = match meta.unit {
+                decode::unit::BR => &mut self.br_units,
+                decode::unit::FP => &mut self.fp_units,
+                decode::unit::MEM => &mut self.mem_units,
                 _ => &mut self.int_units,
             };
             issue = unit.issue(ready);
             exec_done = issue + lat;
-            if insn.is_load() && rec.qp {
+            if meta.is(flag::LOAD) && rec.qp {
                 if let ExecInfo::Mem { addr } = rec.info {
                     let a8 = addr & !7;
                     if let Some(&(data_ready, st_commit)) = self.stores.get(&a8) {
@@ -776,6 +915,7 @@ impl<S: InsnSource> Simulator<S> {
                 }
             }
         }
+        lap::<PROFILING>(&mut last, &mut ph[phases::EXEC]);
 
         // ---- Predicate-speculation verification (consumer flush) ----
         // A consumer that used a wrong stored prediction is flushed when
@@ -788,20 +928,20 @@ impl<S: InsnSource> Simulator<S> {
         let mut flush_bucket: Option<StallBucket> = None;
         match disposition {
             Disposition::Cancelled { wrong: true } | Disposition::Unguarded { wrong: true } => {
-                if !self.preds[guard_idx].flushed {
-                    self.preds[guard_idx].flushed = true;
+                if !self.preds.flushed(guard_idx) {
+                    self.preds.set_flushed(guard_idx, true);
                     self.stats.predication_flushes += 1;
-                    if tracing {
-                        evs.push((guard.done, EventKind::PredicationFlush));
+                    if TRACING {
+                        evs.push((guard_done, EventKind::PredicationFlush));
                     }
                     if self.cfg.history_repair {
                         self.repair_predicate_history(guard_idx);
-                        if tracing {
-                            evs.push((guard.done, EventKind::PredictionUndone));
+                        if TRACING {
+                            evs.push((guard_done, EventKind::PredictionUndone));
                         }
                     }
                 }
-                flush_refetch = Some(guard.done + penalty);
+                flush_refetch = Some(guard_done + penalty);
                 flush_bucket = Some(StallBucket::PredicationFlush);
             }
             _ => {}
@@ -810,7 +950,10 @@ impl<S: InsnSource> Simulator<S> {
         let mut branch_mispredicted = false;
         if let Some(final_dir) = branch_final {
             let actual = rec.qp;
-            let h = self.branch_hist.entry(rec.slot).or_insert((0, 0));
+            let h = match self.branch_hist.get_mut(rec.slot as usize) {
+                Some(h) => h,
+                None => self.branch_hist_spill.entry(rec.slot).or_insert((0, 0)),
+            };
             h.0 += 1;
             if final_dir != actual {
                 h.1 += 1;
@@ -826,26 +969,26 @@ impl<S: InsnSource> Simulator<S> {
                 if branch_used_pprf_pred {
                     // Detected when the producing compare executes: flush
                     // from this branch (the recorded ROB pointer).
-                    if !self.preds[guard_idx].flushed {
-                        self.preds[guard_idx].flushed = true;
+                    if !self.preds.flushed(guard_idx) {
+                        self.preds.set_flushed(guard_idx, true);
                         if self.cfg.history_repair {
                             self.repair_predicate_history(guard_idx);
-                            if tracing {
-                                evs.push((guard.done, EventKind::PredictionUndone));
+                            if TRACING {
+                                evs.push((guard_done, EventKind::PredictionUndone));
                             }
                         }
                     }
-                    flush_refetch = Some(guard.done + penalty);
+                    flush_refetch = Some(guard_done + penalty);
                     flush_bucket = Some(StallBucket::FlushRecovery);
-                    if tracing {
-                        evs.push((guard.done, EventKind::BranchFlush));
+                    if TRACING {
+                        evs.push((guard_done, EventKind::BranchFlush));
                     }
                 } else {
                     // Detected at branch execution.
                     self.fetch.redirect(exec_done + penalty);
                     self.fetch.break_group();
                     self.pending_redirect = Some(StallBucket::FlushRecovery);
-                    if tracing {
+                    if TRACING {
                         evs.push((exec_done, EventKind::BranchFlush));
                     }
                 }
@@ -920,18 +1063,18 @@ impl<S: InsnSource> Simulator<S> {
 
         // ---- Writeback: scoreboard and PPRF updates ----
         if rec.qp || matches!(disposition, Disposition::Cmov) {
-            if let Some(d) = insn.gr_dst() {
-                self.gr_done[d.index()] = exec_done;
+            if meta.gr_dst != decode::NO_REG {
+                self.gr_done[meta.gr_dst as usize] = exec_done;
             }
-            if let Some(d) = insn.fr_dst() {
-                self.fr_done[d.index()] = exec_done;
+            if meta.fr_dst != decode::NO_REG {
+                self.fr_done[meta.fr_dst as usize] = exec_done;
             }
         }
         if let ExecInfo::Cmp {
             pt_write, pf_write, ..
         } = rec.info
         {
-            let [pt, pf] = insn.pr_dsts();
+            let [pt, pf] = rec.insn.pr_dsts();
             // The primary target is the one whose predicted bit fed the
             // global history: pt when it names a real register, else pf.
             let primary_actual = if pt.is_some() {
@@ -944,36 +1087,36 @@ impl<S: InsnSource> Simulator<S> {
                 let (Some(target), Some(value)) = (target, write) else {
                     continue;
                 };
-                let e = &mut self.preds[target.index()];
-                e.done = exec_done;
-                e.value = value;
-                e.primary_actual = primary_actual;
-                e.flushed = false;
+                let i = target.index();
+                self.preds.done[i] = exec_done;
+                self.preds.set_value(i, value);
+                self.preds.set_primary_actual(i, primary_actual);
+                self.preds.set_flushed(i, false);
                 // pred/tag/pred_avail were installed by compare_predict.
                 if let Predictors::PepPa { events, .. } = &mut self.predictors {
-                    events.push(Reverse((exec_done, target.index() as u8, value)));
+                    events.push(Reverse((exec_done, i as u8, value)));
                 }
             }
             // Writeback-time history repair (realistic predicate scheme):
             // if the bit this compare pushed was wrong, schedule its
             // correction for the writeback cycle.
             if self.cfg.history_repair && matches!(self.predictors, Predictors::Predicate { .. }) {
-                let primary = pt.or(pf);
-                if let Some(primary) = primary {
-                    let e = &self.preds[primary.index()];
-                    if let (Some((pv, _)), Some(tag)) = (e.pred, e.tag.as_ref()) {
-                        if pv != e.primary_actual {
+                if let Some(primary) = pt.or(pf) {
+                    let i = primary.index();
+                    if let (Some((pv, _)), Some(tag)) = (self.preds.pred(i), self.preds.tag[i]) {
+                        if pv != self.preds.primary_actual(i) {
                             self.pending_repairs.push((
                                 exec_done,
-                                *tag,
-                                e.primary_actual,
-                                e.push_index,
+                                tag,
+                                self.preds.primary_actual(i),
+                                self.preds.push_index[i],
                             ));
                         }
                     }
                 }
             }
         }
+        lap::<PROFILING>(&mut last, &mut ph[phases::EXEC]);
 
         // ---- Commit (in order) ----
         let prev_commit = self.last_commit;
@@ -1011,7 +1154,7 @@ impl<S: InsnSource> Simulator<S> {
             };
             self.stats.stall.charge(bucket, delta);
         }
-        if insn.is_store() && rec.qp {
+        if meta.is(flag::STORE) && rec.qp {
             if let ExecInfo::Mem { addr } = rec.info {
                 self.hierarchy.data_access(c, addr, true);
                 self.stores.insert(addr & !7, (exec_done, c));
@@ -1020,31 +1163,31 @@ impl<S: InsnSource> Simulator<S> {
 
         // Register resource holds now that all timestamps are known.
         self.rob.acquire(r, c);
-        let iq = match insn.op {
-            Op::Br { .. } => &mut self.iq_br,
-            Op::Fpu { .. } | Op::Fcmp { .. } | Op::Itof { .. } | Op::Ftoi { .. } => &mut self.iq_fp,
+        let iq = match meta.iq {
+            decode::iq::BR => &mut self.iq_br,
+            decode::iq::FP => &mut self.iq_fp,
             _ => &mut self.iq_int,
         };
         if !cancelled {
             iq.acquire(r, issue + 1);
         }
-        if insn.is_load() {
+        if meta.is(flag::LOAD) {
             self.lq.acquire(r, c);
         }
-        if insn.is_store() {
+        if meta.is(flag::STORE) {
             self.sq.acquire(r, c);
         }
-        if insn.gr_dst().is_some() {
+        if meta.gr_dst != decode::NO_REG {
             self.phys_int.acquire(r, c);
         }
-        if insn.fr_dst().is_some() {
+        if meta.fr_dst != decode::NO_REG {
             self.phys_fp.acquire(r, c);
         }
-        for _ in pr_dsts.iter().flatten() {
+        for _ in 0..meta.pr_dst_count {
             self.phys_pred.acquire(r, c);
         }
 
-        if let Some(ring) = self.events.as_mut() {
+        if TRACING {
             evs.push((
                 c,
                 EventKind::Retire {
@@ -1055,34 +1198,46 @@ impl<S: InsnSource> Simulator<S> {
                     commit: c,
                 },
             ));
-            for (cycle, kind) in evs.drain(..) {
-                ring.push(TraceEvent {
-                    seq: rec.seq,
-                    pc,
-                    cycle,
-                    kind,
-                });
+            if let Some(ring) = self.events.as_mut() {
+                for (cycle, kind) in evs.drain(..) {
+                    ring.push(TraceEvent {
+                        seq: rec.seq,
+                        pc,
+                        cycle,
+                        kind,
+                    });
+                }
             }
+            evs.clear();
+            self.ev_scratch = evs;
         }
-        evs.clear();
-        self.ev_scratch = evs;
 
         // ---- Statistics ----
         self.stats.committed += 1;
         self.stats.cycles = c - self.cycle_base;
-        if insn.is_branch() {
+        if meta.is(flag::BRANCH) {
             if is_cond_branch {
                 self.stats.cond_branches += 1;
             } else {
                 self.stats.uncond_branches += 1;
             }
         }
-        if insn.is_predicated() && !rec.qp {
+        if meta.is(flag::PREDICATED) && !rec.qp {
             self.stats.nullified += 1;
         }
         let _ = branch_mispredicted;
         if rec.is_taken_branch() {
             self.fetch.break_group();
+        }
+
+        lap::<PROFILING>(&mut last, &mut ph[phases::COMMIT]);
+        if PROFILING {
+            if let Some(acc) = self.phases.as_deref_mut() {
+                for (a, d) in acc.nanos.iter_mut().zip(ph) {
+                    *a += d;
+                }
+                acc.records += 1;
+            }
         }
     }
 
@@ -1116,12 +1271,13 @@ impl<S: InsnSource> Simulator<S> {
                         continue;
                     };
                     self.stats.predicate_predictions += 1;
-                    let e = &mut self.preds[target.index()];
-                    e.pred = Some((prediction.value, prediction.confident));
-                    e.pred_avail = r;
-                    e.tag = Some(prediction);
-                    e.push_index = self.ghr_pushes;
-                    e.flushed = false;
+                    let i = target.index();
+                    self.preds
+                        .set_pred(i, prediction.value, prediction.confident);
+                    self.preds.pred_avail[i] = r;
+                    self.preds.tag[i] = Some(prediction);
+                    self.preds.push_index[i] = self.ghr_pushes;
+                    self.preds.set_flushed(i, false);
                     // Train with the computed value (processing order is
                     // program order = commit order).
                     if let Some(actual) = actual {
@@ -1144,12 +1300,12 @@ impl<S: InsnSource> Simulator<S> {
                     if actual.is_some() && prediction != actual.unwrap_or(false) {
                         self.stats.predicate_mispredictions += 1;
                     }
-                    let e = &mut self.preds[target.index()];
-                    e.pred = Some((prediction, true));
-                    e.pred_avail = r;
-                    e.tag = None;
-                    e.push_index = self.ghr_pushes;
-                    e.flushed = false;
+                    let i = target.index();
+                    self.preds.set_pred(i, prediction, true);
+                    self.preds.pred_avail[i] = r;
+                    self.preds.tag[i] = None;
+                    self.preds.push_index[i] = self.ghr_pushes;
+                    self.preds.set_flushed(i, false);
                 }
             }
             _ => {}
@@ -1188,11 +1344,13 @@ impl<S: InsnSource> Simulator<S> {
     /// value — which is the complement of the consumer-visible value when
     /// the consumer guards on the second target of an `unc` compare.
     fn repair_predicate_history(&mut self, guard_idx: usize) {
-        let entry = self.preds[guard_idx];
+        let tag = self.preds.tag[guard_idx];
+        let push_index = self.preds.push_index[guard_idx];
+        let primary_actual = self.preds.primary_actual(guard_idx);
         if let Predictors::Predicate { pp, .. } = &mut self.predictors {
-            if let Some(tag) = entry.tag.as_ref() {
-                let age = (self.ghr_pushes - entry.push_index) as u32;
-                pp.repair_history(tag, entry.primary_actual, age);
+            if let Some(tag) = tag.as_ref() {
+                let age = (self.ghr_pushes - push_index) as u32;
+                pp.repair_history(tag, primary_actual, age);
             }
         }
     }

@@ -62,10 +62,17 @@ impl LaneSet {
     /// construction. Any cell carrying [`TestFault::ShareGhr`] arms the
     /// deliberate cross-lane history leak (check-harness teeth).
     pub fn new(cursor: TraceCursor, cells: &[SimOptions]) -> Result<Self, SimOptionsError> {
-        let lanes = cells
+        let mut lanes = cells
             .iter()
             .map(|opts| opts.build_source(NullSource))
             .collect::<Result<Vec<_>, _>>()?;
+        // Lanes sit on an empty NullSource, so their construction-time
+        // decode tables are empty; install the shared capture's code image
+        // so the hot loop decodes from the static side-table, exactly as
+        // a solo replay of the same trace would.
+        for lane in &mut lanes {
+            lane.install_code(cursor.code());
+        }
         Ok(LaneSet {
             cursor,
             lanes,
@@ -166,6 +173,13 @@ impl LaneSet {
             .iter_mut()
             .map(|lane| lane.finalize(halted))
             .collect()
+    }
+
+    /// Per-lane `process()` phase attribution, in lane order (`None` for
+    /// lanes built without [`SimOptions::profile_phases`]). See
+    /// [`crate::PhaseReport`].
+    pub fn phase_reports(&self) -> Vec<Option<crate::PhaseReport>> {
+        self.lanes.iter().map(|l| l.phase_report()).collect()
     }
 
     /// Runs one sampled window on all lanes: `warmup` shared records

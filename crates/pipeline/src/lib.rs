@@ -44,9 +44,11 @@
 
 mod config;
 mod core;
+pub mod decode;
 mod fxhash;
 mod lanes;
 mod options;
+pub mod phases;
 mod resources;
 mod sample;
 mod stats;
@@ -55,6 +57,7 @@ pub use crate::core::{RunResult, Simulator};
 pub use config::{CoreConfig, Latencies, PredicationModel};
 pub use lanes::{LaneSet, NullSource};
 pub use options::{SimOptions, SimOptionsError, TestFault};
+pub use phases::PhaseReport;
 /// Re-exported trace-engine types: capture a program's dynamic stream
 /// once ([`TraceBuffer`]) and drive any number of timing cells from it —
 /// one cursor per solo cell ([`SimOptions::build_source`]) or one shared

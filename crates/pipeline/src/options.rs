@@ -44,6 +44,7 @@ pub struct SimOptions {
     pub(crate) predicate: Option<PredicateConfig>,
     pub(crate) oracle_final: bool,
     pub(crate) fault: Option<TestFault>,
+    pub(crate) profile_phases: bool,
 }
 
 /// A deliberate, test-only predictor fault.
@@ -84,6 +85,7 @@ impl SimOptions {
             predicate: None,
             oracle_final: false,
             fault: None,
+            profile_phases: false,
         }
     }
 
@@ -104,6 +106,16 @@ impl SimOptions {
     /// (`0` disables tracing; see [`ppsim_obs::EventRing`]).
     pub fn trace_events(mut self, capacity: usize) -> Self {
         self.trace_events = capacity;
+        self
+    }
+
+    /// Attributes `process()` wall time to pipeline sections (fetch,
+    /// rename, predict, execute, commit), read back with
+    /// [`Simulator::phase_report`]. The instrumentation is monomorphized
+    /// out when off, so simulated results are bit-identical either way;
+    /// only host-time measurement is affected.
+    pub fn profile_phases(mut self, on: bool) -> Self {
+        self.profile_phases = on;
         self
     }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! ppsim run <file.s> [--scheme S] [--commits N] [--trace-events N] [--tiny]
 //! ppsim compile <benchmark> [--ifconv] [--listing]
-//! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P] [--sample [SPEC]] [--trace FILE]
+//! ppsim bench [benchmark] [--only a,b] [--commits N] [--json P] [--repeat N] [--phases] [--sample [SPEC]] [--trace FILE]
 //! ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir P] [--json P] [--commits N] [--only a,b] [--sample [SPEC]]
 //! ppsim check [--seed S] [--iters N] [--fault F] [--dump DIR] [--jobs N] [--no-cache] [--sample-epsilon E] [--replay FILE.pisa]
 //! ppsim trace export <benchmark> <out.pptrace> [--commits N] [--ifconv] [--note S]
@@ -20,7 +20,10 @@
 //! the 22 synthetic benchmarks and prints its listing or statistics,
 //! `bench` measures the simulator's own throughput — every fig-6a cell
 //! timed through both the inline machine and the trace-replay engine,
-//! with the artifact written to `BENCH_sim.json` (or, with `--sample`,
+//! with the artifact written to `BENCH_sim.json`; `--repeat N` reports
+//! the median and minimum of N timed repetitions, and `--phases` adds a
+//! profiled pass attributing `process()` time to pipeline phases (or,
+//! with `--sample`,
 //! every cell run full-length *and* through the Pinpoint-style sampled
 //! path, reporting misprediction error and wall-clock speedup; with
 //! `--trace FILE`, solo-vs-fused identity over an imported stream) —
@@ -62,7 +65,7 @@ const FAULTS: &str = "invert-oracle|invert-early-resolve|share-ghr";
 
 fn usage_text() -> String {
     format!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--sample [SPEC]] [--trace FILE]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E] [--replay FILE.pisa]\n  ppsim trace export <benchmark> <out.pptrace> [--commits N] [--ifconv] [--note S]\n  ppsim trace import <file> [--commits N] [--top N] [--name S] [--json PATH] [--jobs N] [--no-cache] [--cache-dir PATH] [--no-fuse]\n  ppsim trace info <file.pptrace>\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {}; trace import\n accepts .pptrace files and CBP-style `<ip> <taken>` branch logs)",
+        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--repeat N] [--phases] [--sample [SPEC]] [--trace FILE]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E] [--replay FILE.pisa]\n  ppsim trace export <benchmark> <out.pptrace> [--commits N] [--ifconv] [--note S]\n  ppsim trace import <file> [--commits N] [--top N] [--name S] [--json PATH] [--jobs N] [--no-cache] [--cache-dir PATH] [--no-fuse]\n  ppsim trace info <file.pptrace>\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {}; trace import\n accepts .pptrace files and CBP-style `<ip> <taken>` branch logs)",
         SampleSpec::default_spec().canon()
     )
 }
@@ -581,11 +584,35 @@ fn main() -> ExitCode {
                     ("--json", Arity::Value),
                     ("--sample", Arity::OptionalValue),
                     ("--trace", Arity::Value),
+                    ("--repeat", Arity::Value),
+                    ("--phases", Arity::Switch),
                 ],
                 1,
             ) {
                 eprintln!("bench: {e}");
                 return usage();
+            }
+            // --repeat / --phases belong to the grid bench; the sampled
+            // and imported-trace variants time a different schedule, so
+            // silently ignoring the flags there would misreport.
+            let repeat = match flags.value_of("--repeat") {
+                None => 1u32,
+                Some(v) => match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("bench: --repeat expects an integer >= 1, got `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let phases = flags.has("--phases");
+            if (repeat > 1 || phases)
+                && (flags.value_of("--trace").is_some() || flags.has("--sample"))
+            {
+                eprintln!(
+                    "bench: --repeat/--phases apply to the grid bench only, not --sample/--trace"
+                );
+                return ExitCode::FAILURE;
             }
             if let Some(path) = flags.value_of("--trace") {
                 let (w, _) = match load_trace_workload(path, None) {
@@ -611,6 +638,8 @@ fn main() -> ExitCode {
             }
             let mut cfg = simbench::BenchConfig {
                 commits,
+                repeat,
+                phases,
                 ..simbench::BenchConfig::default()
             };
             if let Some(name) = flags.args.first().filter(|a| !a.starts_with("--")) {

@@ -225,3 +225,75 @@ fn fused_fig6a_grid_preserves_cross_lane_isolation() {
     );
     assert_eq!(solo.telemetry().fused_passes, 0);
 }
+
+#[test]
+fn fused_fig6a_identity_survives_tracing_and_phase_profiling() {
+    // Event tracing and phase profiling are monomorphized variants of
+    // the same record loop; both must be observation-only. This pins the
+    // fig-6a scheme columns, fused, in all four instantiations of the
+    // loop against the plain solo replay of each cell.
+    use std::sync::Arc;
+
+    use ppsim::compiler::{compile, spec2000_suite, CompileOptions};
+    use ppsim::core::experiments::FIG6A_SCHEMES;
+    use ppsim::pipeline::{LaneSet, SimOptions, TraceBuffer, TraceCursor};
+
+    const COMMITS: u64 = 8_000;
+    let spec = spec2000_suite()
+        .into_iter()
+        .find(|s| s.name == "gzip")
+        .expect("gzip is in the suite");
+    let compiled = compile(&spec, &CompileOptions::with_ifconv()).expect("gzip compiles");
+    let trace = Arc::new(TraceBuffer::capture(&compiled.program, COMMITS).expect("capture"));
+
+    let solo: Vec<_> = FIG6A_SCHEMES
+        .iter()
+        .map(|&(scheme, predication, _)| {
+            SimOptions::new(scheme, predication)
+                .build_source(TraceCursor::new(Arc::clone(&trace)))
+                .expect("fig-6a cells carry no overrides")
+                .run(COMMITS)
+                .stats
+        })
+        .collect();
+
+    // (event-ring capacity, phase profiling): the four monomorphized
+    // instantiations of the record loop.
+    for (events, phases) in [(0usize, false), (512, false), (0, true), (512, true)] {
+        let opts: Vec<SimOptions> = FIG6A_SCHEMES
+            .iter()
+            .map(|&(scheme, predication, _)| {
+                SimOptions::new(scheme, predication)
+                    .trace_events(events)
+                    .profile_phases(phases)
+            })
+            .collect();
+        let mut set = LaneSet::new(TraceCursor::new(Arc::clone(&trace)), &opts)
+            .expect("fig-6a cells carry no overrides");
+        let runs = set.run(COMMITS);
+        for ((run, solo), &(scheme, _, _)) in runs.iter().zip(&solo).zip(&FIG6A_SCHEMES) {
+            assert_eq!(
+                run.stats,
+                *solo,
+                "events={events} phases={phases}: {} lane diverged from plain solo replay",
+                scheme.name()
+            );
+        }
+        // Profiled lanes carry an attribution report; unprofiled lanes
+        // carry none — and only profiled lanes pay for one.
+        let reports = set.phase_reports();
+        for report in &reports {
+            assert_eq!(report.is_some(), phases, "events={events} phases={phases}");
+        }
+        if phases {
+            let records: u64 = reports.iter().flatten().map(|r| r.records).sum();
+            assert_eq!(
+                records,
+                trace.len() * FIG6A_SCHEMES.len() as u64,
+                "every lane profiles every record exactly once"
+            );
+            let total: u64 = reports.iter().flatten().map(|r| r.total_nanos()).sum();
+            assert!(total > 0, "profiled lanes must attribute time");
+        }
+    }
+}
