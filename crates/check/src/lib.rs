@@ -50,9 +50,11 @@ pub use shrink::shrink;
 /// lockstep (one designated cell keeps the full architectural diff).
 /// v3: optional sampled-simulation invariants (identity + epsilon drift)
 /// join the sweep; the epsilon is part of the verdict key.
-/// v4: the fused cross-lane isolation check joins the sweep (three
+/// v4: the fused cross-lane isolation check joins the sweep (fused
 /// lanes over one decode must match their solo replays bit for bit).
-const VERDICT_VERSION: &str = "ppsim-check v4";
+/// v5: the TAGE frontier (tage, tage-h2p, tage-predicate) joins the
+/// scheme grid and a TAGE lane joins the fused-isolation lane set.
+const VERDICT_VERSION: &str = "ppsim-check v5";
 
 /// Configuration for one [`run_check`] sweep.
 #[derive(Clone, Debug)]
@@ -311,9 +313,9 @@ fn run_task(opts: &CheckOptions, cache_dir: Option<&PathBuf>, k: usize) -> TaskO
 }
 
 /// Runs the full differential sweep: `2 × iters` generated programs
-/// (branchy and if-converted forms), each checked across the 11-cell
-/// scheme × predication grid plus the fused cross-lane isolation
-/// lanes, in parallel, with passing verdicts cached.
+/// (branchy and if-converted forms), each checked across the full
+/// scheme × predication grid ([`Cell::grid`]) plus the fused cross-lane
+/// isolation lanes, in parallel, with passing verdicts cached.
 pub fn run_check(opts: &CheckOptions) -> CheckReport {
     let cache_dir = if opts.use_cache {
         let dir = opts
@@ -376,8 +378,10 @@ mod tests {
         let report = run_check(&no_cache(0xC0FFEE, 5));
         assert!(report.passed(), "{:#?}", report.findings);
         assert_eq!(report.programs, 10);
-        // 11 grid cells + 3 fused lanes per program.
-        assert_eq!(report.cells_checked, 140);
+        // Full grid plus the fused lanes, per program — derived, so the
+        // sweep grows with the scheme registry.
+        let per_program = (Cell::grid().len() + oracle::FUSED_LANES.len()) as u64;
+        assert_eq!(report.cells_checked, 10 * per_program);
         assert_eq!(report.cache_hits, 0);
         assert!(report.summary().contains("no divergences"));
     }
@@ -412,9 +416,10 @@ mod tests {
         let report = run_check(&opts);
         assert!(report.passed(), "{:#?}", report.findings);
         assert_eq!(report.programs, 6);
+        let grid_only = 6 * (Cell::grid().len() + oracle::FUSED_LANES.len()) as u64;
         assert!(
-            report.cells_checked > 66,
-            "sampled checks must add cells beyond the 11-cell grid: {}",
+            report.cells_checked > grid_only,
+            "sampled checks must add cells beyond the {grid_only}-cell grid sweep: {}",
             report.cells_checked
         );
     }

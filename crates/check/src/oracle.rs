@@ -59,7 +59,9 @@ pub struct Cell {
 
 impl Cell {
     /// The full grid: every scheme × {cmov, selective}, plus the
-    /// oracle-final ideal-conventional cell (11 cells).
+    /// oracle-final ideal-conventional cell — that is,
+    /// `2 × SchemeSpec::ALL.len() + 1` cells, derived so a newly
+    /// registered scheme joins the grid automatically.
     pub fn grid() -> Vec<Cell> {
         let mut cells = Vec::new();
         for scheme in SchemeSpec::ALL {
@@ -563,8 +565,10 @@ pub fn check_program(program: &Program, fault: Option<TestFault>) -> Result<u64,
 /// headline predicate cell leads (under [`TestFault::ShareGhr`] lane 0
 /// donates its history register to the others), followed by the two
 /// schemes whose fetch-time predictions hang directly off first-level
-/// gshare history — the lanes a real cross-lane leak would corrupt.
-pub const FUSED_LANES: [Cell; 3] = [
+/// gshare history — the lanes a real cross-lane leak would corrupt —
+/// and a TAGE lane, whose geometric global history makes it the most
+/// history-state-heavy resident of a fused grid.
+pub const FUSED_LANES: [Cell; 4] = [
     Cell {
         scheme: SchemeSpec::Predicate,
         predication: PredicationModel::Selective,
@@ -577,6 +581,11 @@ pub const FUSED_LANES: [Cell; 3] = [
     },
     Cell {
         scheme: SchemeSpec::PepPa,
+        predication: PredicationModel::Cmov,
+        oracle_final: false,
+    },
+    Cell {
+        scheme: SchemeSpec::Tage,
         predication: PredicationModel::Cmov,
         oracle_final: false,
     },
@@ -783,7 +792,7 @@ pub fn check_sampled(
 }
 
 /// Re-checks only `cell` (the shrinker's cheap predicate: one cell
-/// instead of eleven per candidate).
+/// instead of the whole grid per candidate).
 pub fn check_single_cell(
     program: &Program,
     cell: Cell,
@@ -806,10 +815,21 @@ mod tests {
 
     #[test]
     fn grid_covers_all_schemes_and_models() {
+        // The teeth against grid rot: a scheme registered in
+        // `SchemeSpec::ALL` but missing from the check grid — in either
+        // predication model — fails here, so new schemes cannot dodge
+        // the differential oracle.
         let grid = Cell::grid();
-        assert_eq!(grid.len(), 11);
+        assert_eq!(grid.len(), 2 * SchemeSpec::ALL.len() + 1);
         for scheme in SchemeSpec::ALL {
-            assert!(grid.iter().any(|c| c.scheme == scheme));
+            for predication in [PredicationModel::Cmov, PredicationModel::Selective] {
+                assert!(
+                    grid.iter()
+                        .any(|c| c.scheme == scheme && c.predication == predication),
+                    "scheme {} missing from the {predication:?} grid column",
+                    scheme.name()
+                );
+            }
         }
         assert_eq!(grid.iter().filter(|c| c.oracle_final).count(), 1);
         for cell in &grid {
@@ -818,12 +838,24 @@ mod tests {
     }
 
     #[test]
+    fn fused_lanes_are_grid_cells_and_include_a_tage_lane() {
+        let grid = Cell::grid();
+        for lane in FUSED_LANES {
+            assert!(grid.contains(&lane), "{} not a grid cell", lane.label());
+        }
+        assert!(
+            FUSED_LANES.iter().any(|c| c.scheme == SchemeSpec::Tage),
+            "fused isolation must cover a TAGE lane"
+        );
+    }
+
+    #[test]
     fn trivial_program_passes_everywhere() {
         let mut a = Asm::new();
         a.movi(ppsim_isa::Gr::new(4), 7);
         a.halt();
         let p = a.assemble().unwrap();
-        assert_eq!(check_program(&p, None), Ok(11));
+        assert_eq!(check_program(&p, None), Ok(Cell::grid().len() as u64));
     }
 
     #[test]

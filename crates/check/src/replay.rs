@@ -272,7 +272,11 @@ mod tests {
                 "{name}: regressed — {}",
                 out.divergence.unwrap()
             );
-            assert_eq!(out.checks, 3, "{name}: all fused lanes verified");
+            assert_eq!(
+                out.checks,
+                crate::oracle::FUSED_LANES.len() as u64,
+                "{name}: all fused lanes verified"
+            );
         }
     }
 
@@ -309,7 +313,9 @@ mod tests {
         let src = "    movl r1 = 2\n.L1:\n    add r1 = r1, -1\n    cmp.unc.gt p1, p2 = r1, 0\n    (p1) br.cond .L1\n    halt\n";
         let out = replay_repro(src, None).unwrap();
         assert!(out.passed());
-        assert_eq!(out.checks, 14, "11 grid cells + 3 fused lanes");
+        let full_sweep =
+            (crate::oracle::Cell::grid().len() + crate::oracle::FUSED_LANES.len()) as u64;
+        assert_eq!(out.checks, full_sweep, "all grid cells + all fused lanes");
         // Re-injecting a fault must make the same source diverge again —
         // replay has the same teeth as the sweep.
         let out = replay_repro(src, Some(TestFault::InvertOracle)).unwrap();

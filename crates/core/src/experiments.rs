@@ -311,12 +311,34 @@ fn cell(
 }
 
 /// The scheme columns of the Figure 6a grid: (scheme, predication,
-/// shadow) per column, in table order.
-pub const FIG6A_SCHEMES: [(SchemeKind, PredicationModel, bool); 3] = [
+/// shadow) per column, in table order. The paper's three columns lead;
+/// the TAGE frontier columns follow — the branch-PC variants under the
+/// paper's cmov model (like the other branch-PC schemes), the
+/// predicate-predicting hybrid under selective predication (like the
+/// paper's predicate column it competes with).
+pub const FIG6A_SCHEMES: [(SchemeKind, PredicationModel, bool); 6] = [
     (SchemeKind::PepPa, PredicationModel::Cmov, false),
     (SchemeKind::Conventional, PredicationModel::Cmov, false),
     (SchemeKind::Predicate, PredicationModel::Selective, false),
+    (SchemeKind::Tage, PredicationModel::Cmov, false),
+    (SchemeKind::TageH2p, PredicationModel::Cmov, false),
+    (
+        SchemeKind::TagePredicate,
+        PredicationModel::Selective,
+        false,
+    ),
 ];
+
+/// Column index of `scheme` within [`FIG6A_SCHEMES`] — positional
+/// references into the Figure 6a grid (accuracy gains, H2P and stall
+/// columns) are derived through here, never hardcoded, so they survive
+/// column insertions.
+pub fn fig6a_col(scheme: SchemeKind) -> usize {
+    FIG6A_SCHEMES
+        .iter()
+        .position(|&(s, _, _)| s == scheme)
+        .unwrap_or_else(|| panic!("{} is not a Figure 6a column", scheme.name()))
+}
 
 /// The Figure 6b column: the predicate scheme with the conventional
 /// shadow predictor running alongside for the attribution counts.
@@ -557,9 +579,13 @@ impl PlanResults {
     /// Assembles Figure 6a from collected results (see [`fig6a`]).
     pub fn fig6a(&self, cfg: &ExperimentConfig) -> Comparison {
         Comparison {
-            title: "Figure 6a: PEP-PA vs conventional vs predicate predictor, if-converted code"
+            title: "Figure 6a: PEP-PA vs conventional vs predicate predictor \
+                    vs the TAGE frontier, if-converted code"
                 .to_string(),
-            schemes: vec!["pep-pa".into(), "conventional".into(), "predicate".into()],
+            schemes: FIG6A_SCHEMES
+                .iter()
+                .map(|(s, _, _)| s.name().to_string())
+                .collect(),
             rows: self.rows(cfg, true, &FIG6A_SCHEMES),
         }
     }
@@ -884,16 +910,27 @@ impl PlanResults {
             fig5.accuracy_gain(0, 1)
         ));
         let fig6a = self.fig6a(cfg);
+        let (conv, pred) = (
+            fig6a_col(SchemeKind::Conventional),
+            fig6a_col(SchemeKind::Predicate),
+        );
         out.push_str(&fig6a.table().to_string());
         if let Some(t) = fig6a.sample_table() {
             out.push_str(&t.to_string());
         }
         out.push_str(&format!(
-            "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n\n",
-            fig6a.accuracy_gain(1, 2)
+            "average accuracy gain (predicate over conventional): {:+.2} points (paper: +1.5 vs best)\n",
+            fig6a.accuracy_gain(conv, pred)
+        ));
+        out.push_str(&format!(
+            "average accuracy gain (tage over conventional): {:+.2} points; \
+             (tage-h2p over tage): {:+.2}; (tage-predicate over predicate): {:+.2}\n\n",
+            fig6a.accuracy_gain(conv, fig6a_col(SchemeKind::Tage)),
+            fig6a.accuracy_gain(fig6a_col(SchemeKind::Tage), fig6a_col(SchemeKind::TageH2p)),
+            fig6a.accuracy_gain(pred, fig6a_col(SchemeKind::TagePredicate)),
         ));
         out.push_str(&fig6a.mpki_table().to_string());
-        out.push_str(&fig6a.h2p_table(2, 5).to_string());
+        out.push_str(&fig6a.h2p_table(pred, 5).to_string());
         let fig6b = self.fig6b(cfg);
         out.push_str(&fig6b.table().to_string());
         out.push_str(&format!(
@@ -907,7 +944,7 @@ impl PlanResults {
             "geomean speedup of selective predication: {:.3} (ICS'06 reports ~1.11)\n\n",
             ipc.geomean_speedup()
         ));
-        out.push_str(&fig6a.stall_table(2).to_string());
+        out.push_str(&fig6a.stall_table(pred).to_string());
         out
     }
 
@@ -978,16 +1015,24 @@ mod tests {
     }
 
     #[test]
-    fn fig6a_runs_three_schemes() {
+    fn fig6a_runs_every_grid_scheme() {
         let runner = Runner::serial_no_cache();
         let r = fig6a(&runner, &tiny_cfg());
-        assert_eq!(r.rows[0].runs.len(), 3);
+        assert_eq!(r.rows[0].runs.len(), FIG6A_SCHEMES.len());
         let t = r.table().to_string();
-        assert!(t.contains("pep-pa"), "{t}");
+        for label in ["pep-pa", "tage", "tage-h2p", "tage-predicate"] {
+            assert!(t.contains(label), "missing {label} in:\n{t}");
+        }
+        // Positional references derive from the scheme, not a literal.
+        assert_eq!(fig6a_col(SchemeKind::PepPa), 0);
+        assert_eq!(
+            r.schemes[fig6a_col(SchemeKind::TageH2p)],
+            SchemeKind::TageH2p.name()
+        );
         // The modern-metrics companions render from the same runs.
         let m = r.mpki_table().to_string();
         assert!(m.contains("MPKI") && m.contains("gzip"), "{m}");
-        let h = r.h2p_table(2, 5).to_string();
+        let h = r.h2p_table(fig6a_col(SchemeKind::Predicate), 5).to_string();
         assert!(h.contains("H2P") && h.contains("slot "), "{h}");
         let j = r.to_json().to_string();
         assert!(j.contains("\"mpki\""), "{j}");

@@ -27,13 +27,15 @@ use ppsim_pipeline::{
 use crate::Json;
 
 /// The benchmarked grid: the paper's Figure-6a schemes on if-converted
-/// binaries, plus the selective-predication headline cell — the cells a
-/// default suite sweep spends its time in.
-pub const CELLS: [(SchemeSpec, PredicationModel); 4] = [
+/// binaries, plus the selective-predication headline cell and a TAGE
+/// lane (the frontier scheme with the heaviest per-prediction work) —
+/// the cells a default suite sweep spends its time in.
+pub const CELLS: [(SchemeSpec, PredicationModel); 5] = [
     (SchemeSpec::PepPa, PredicationModel::Cmov),
     (SchemeSpec::Conventional, PredicationModel::Cmov),
     (SchemeSpec::Predicate, PredicationModel::Cmov),
     (SchemeSpec::Predicate, PredicationModel::Selective),
+    (SchemeSpec::Tage, PredicationModel::Cmov),
 ];
 
 /// Configuration for one [`run`].

@@ -351,7 +351,10 @@ pub fn trace_report(
         branches_only: workload.branches_only,
         records: workload.records(),
         commits: cfg.commits,
-        schemes: vec!["pep-pa".into(), "conventional".into(), "predicate".into()],
+        schemes: FIG6A_SCHEMES
+            .iter()
+            .map(|(s, _, _)| s.name().to_string())
+            .collect(),
         runs,
         h2p,
         top_n,
@@ -394,7 +397,7 @@ mod tests {
         let j = r.to_json().to_string();
         let parsed = Json::parse(&j).expect("trace artifact parses");
         let rows = parsed.get("rows").unwrap().as_arr().unwrap();
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), FIG6A_SCHEMES.len());
         assert!(rows[0].get("mpki").is_some(), "{j}");
         // Determinism: a second pass renders byte-identical output.
         let again = trace_report(&runner, &cfg, &w, 8);

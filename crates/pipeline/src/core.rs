@@ -36,7 +36,8 @@ use ppsim_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use ppsim_obs::{EventKind, EventRing, StallBucket, TraceEvent};
 use ppsim_predictors::{
     BranchPredictor, Gshare, IdealPerceptron, IdealPredicatePredictor, PepPa, PerceptronConfig,
-    PerceptronPredictor, PredicatePredictor, Prediction, PredictorSet, SchemeSpec,
+    PerceptronPredictor, PredicatePredictor, Prediction, PredictorSet, SchemeSpec, Tage,
+    TagePredicatePredictor,
 };
 
 use crate::config::{CoreConfig, PredicationModel};
@@ -201,6 +202,17 @@ enum Predictors {
         l1: Gshare,
         pp: IdealPredicatePredictor,
     },
+    /// TAGE at fetch (optionally with the H2P side table); single-level,
+    /// like PEP-PA, but with no predicate-write feedback.
+    Tage {
+        t: Tage,
+    },
+    /// TAGE-indexed predicate predictor: gshare at fetch, the tagged
+    /// compare-PC PVT supplying predicate predictions.
+    TagePredicate {
+        l1: Gshare,
+        pp: TagePredicatePredictor,
+    },
 }
 
 impl Predictors {
@@ -217,6 +229,8 @@ impl Predictors {
             PredictorSet::Predicate { l1, pp } => Predictors::Predicate { l1, pp },
             PredictorSet::IdealConventional { p } => Predictors::IdealConventional { p },
             PredictorSet::IdealPredicate { l1, pp } => Predictors::IdealPredicate { l1, pp },
+            PredictorSet::Tage { t } => Predictors::Tage { t },
+            PredictorSet::TagePredicate { l1, pp } => Predictors::TagePredicate { l1, pp },
         }
     }
 }
@@ -492,8 +506,11 @@ impl<S: InsnSource> Simulator<S> {
         match &self.predictors {
             Predictors::Conventional { l1, .. }
             | Predictors::Predicate { l1, .. }
-            | Predictors::IdealPredicate { l1, .. } => Some(l1.ghr_value()),
-            Predictors::PepPa { .. } | Predictors::IdealConventional { .. } => None,
+            | Predictors::IdealPredicate { l1, .. }
+            | Predictors::TagePredicate { l1, .. } => Some(l1.ghr_value()),
+            Predictors::PepPa { .. }
+            | Predictors::IdealConventional { .. }
+            | Predictors::Tage { .. } => None,
         }
     }
 
@@ -505,8 +522,11 @@ impl<S: InsnSource> Simulator<S> {
         match &mut self.predictors {
             Predictors::Conventional { l1, .. }
             | Predictors::Predicate { l1, .. }
-            | Predictors::IdealPredicate { l1, .. } => l1.set_ghr_value(value),
-            Predictors::PepPa { .. } | Predictors::IdealConventional { .. } => {}
+            | Predictors::IdealPredicate { l1, .. }
+            | Predictors::TagePredicate { l1, .. } => l1.set_ghr_value(value),
+            Predictors::PepPa { .. }
+            | Predictors::IdealConventional { .. }
+            | Predictors::Tage { .. } => {}
         }
     }
 
@@ -550,7 +570,9 @@ impl<S: InsnSource> Simulator<S> {
         match &mut self.predictors {
             Predictors::Conventional { l1, .. }
             | Predictors::Predicate { l1, .. }
-            | Predictors::IdealPredicate { l1, .. } => Some(l1.predict(pc, guard)),
+            | Predictors::IdealPredicate { l1, .. }
+            | Predictors::TagePredicate { l1, .. } => Some(l1.predict(pc, guard)),
+            Predictors::Tage { t } => Some(t.predict(pc, guard)),
             Predictors::PepPa { p, events } => {
                 // Apply predicate-register writes that have executed by now
                 // (out of program order).
@@ -756,12 +778,14 @@ impl<S: InsnSource> Simulator<S> {
                     l2_tag = Some(p);
                     (d, false, false)
                 }
-                Predictors::PepPa { .. } => (
+                Predictors::PepPa { .. } | Predictors::Tage { .. } => (
                     l1_pred.as_ref().map(|p| p.taken).unwrap_or(false),
                     false,
                     false,
                 ),
-                Predictors::Predicate { .. } | Predictors::IdealPredicate { .. } => {
+                Predictors::Predicate { .. }
+                | Predictors::IdealPredicate { .. }
+                | Predictors::TagePredicate { .. } => {
                     if guard_known_at_rename {
                         // Fault injection (check harness): corrupt the
                         // computed guard an early-resolved branch consumes.
@@ -840,7 +864,8 @@ impl<S: InsnSource> Simulator<S> {
                     match &mut self.predictors {
                         Predictors::Conventional { l1, .. }
                         | Predictors::Predicate { l1, .. }
-                        | Predictors::IdealPredicate { l1, .. } => l1.recover(l1p, final_dir),
+                        | Predictors::IdealPredicate { l1, .. }
+                        | Predictors::TagePredicate { l1, .. } => l1.recover(l1p, final_dir),
                         _ => {}
                     }
                 }
@@ -997,8 +1022,10 @@ impl<S: InsnSource> Simulator<S> {
                     match &mut self.predictors {
                         Predictors::Conventional { l1, .. }
                         | Predictors::Predicate { l1, .. }
-                        | Predictors::IdealPredicate { l1, .. } => l1.recover(l1p, actual),
+                        | Predictors::IdealPredicate { l1, .. }
+                        | Predictors::TagePredicate { l1, .. } => l1.recover(l1p, actual),
                         Predictors::PepPa { p, .. } => p.recover(l1p, actual),
+                        Predictors::Tage { t } => t.recover(l1p, actual),
                         Predictors::IdealConventional { .. } => {}
                     }
                 }
@@ -1023,9 +1050,16 @@ impl<S: InsnSource> Simulator<S> {
                         p.train(l1p, actual);
                     }
                 }
-                Predictors::Predicate { l1, .. } | Predictors::IdealPredicate { l1, .. } => {
+                Predictors::Predicate { l1, .. }
+                | Predictors::IdealPredicate { l1, .. }
+                | Predictors::TagePredicate { l1, .. } => {
                     if let Some(l1p) = l1_pred.as_ref() {
                         l1.train(l1p, actual);
+                    }
+                }
+                Predictors::Tage { t } => {
+                    if let Some(l1p) = l1_pred.as_ref() {
+                        t.train(l1p, actual);
                     }
                 }
                 Predictors::IdealConventional { .. } => {}
@@ -1100,7 +1134,12 @@ impl<S: InsnSource> Simulator<S> {
             // Writeback-time history repair (realistic predicate scheme):
             // if the bit this compare pushed was wrong, schedule its
             // correction for the writeback cycle.
-            if self.cfg.history_repair && matches!(self.predictors, Predictors::Predicate { .. }) {
+            if self.cfg.history_repair
+                && matches!(
+                    self.predictors,
+                    Predictors::Predicate { .. } | Predictors::TagePredicate { .. }
+                )
+            {
                 if let Some(primary) = pt.or(pf) {
                     let i = primary.index();
                     if let (Some((pv, _)), Some(tag)) = (self.preds.pred(i), self.preds.tag[i]) {
@@ -1288,6 +1327,32 @@ impl<S: InsnSource> Simulator<S> {
                     }
                 }
             }
+            Predictors::TagePredicate { pp, .. } => {
+                let cp = pp.predict_compare(pc, need_pt, need_pf);
+                if cp.ghr_pushed {
+                    self.ghr_pushes += 1;
+                }
+                let pairs = [(pt, cp.pt, apt), (pf, cp.pf, apf)];
+                for (target, prediction, actual) in pairs {
+                    let (Some(target), Some(prediction)) = (target, prediction) else {
+                        continue;
+                    };
+                    self.stats.predicate_predictions += 1;
+                    let i = target.index();
+                    self.preds
+                        .set_pred(i, prediction.value, prediction.confident);
+                    self.preds.pred_avail[i] = r;
+                    self.preds.tag[i] = Some(prediction);
+                    self.preds.push_index[i] = self.ghr_pushes;
+                    self.preds.set_flushed(i, false);
+                    if let Some(actual) = actual {
+                        if prediction.value != actual {
+                            self.stats.predicate_mispredictions += 1;
+                        }
+                        pp.train(&prediction, actual);
+                    }
+                }
+            }
             Predictors::IdealPredicate { pp, .. } => {
                 let (ppt, ppf) = pp.predict_compare_and_train(pc, apt, apf);
                 self.ghr_pushes += 1;
@@ -1321,19 +1386,32 @@ impl<S: InsnSource> Simulator<S> {
             return;
         }
         let pushes = self.ghr_pushes;
-        if let Predictors::Predicate { pp, .. } = &mut self.predictors {
-            self.pending_repairs
-                .retain(|(cycle, tag, actual, push_index)| {
-                    if *cycle <= now {
-                        let age = (pushes - push_index) as u32;
-                        pp.repair_history(tag, *actual, age);
-                        false
-                    } else {
-                        true
-                    }
-                });
-        } else {
-            self.pending_repairs.clear();
+        match &mut self.predictors {
+            Predictors::Predicate { pp, .. } => {
+                self.pending_repairs
+                    .retain(|(cycle, tag, actual, push_index)| {
+                        if *cycle <= now {
+                            let age = (pushes - push_index) as u32;
+                            pp.repair_history(tag, *actual, age);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+            }
+            Predictors::TagePredicate { pp, .. } => {
+                self.pending_repairs
+                    .retain(|(cycle, tag, actual, push_index)| {
+                        if *cycle <= now {
+                            let age = (pushes - push_index) as u32;
+                            pp.repair_history(tag, *actual, age);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+            }
+            _ => self.pending_repairs.clear(),
         }
     }
 
@@ -1347,11 +1425,20 @@ impl<S: InsnSource> Simulator<S> {
         let tag = self.preds.tag[guard_idx];
         let push_index = self.preds.push_index[guard_idx];
         let primary_actual = self.preds.primary_actual(guard_idx);
-        if let Predictors::Predicate { pp, .. } = &mut self.predictors {
-            if let Some(tag) = tag.as_ref() {
-                let age = (self.ghr_pushes - push_index) as u32;
-                pp.repair_history(tag, primary_actual, age);
+        match &mut self.predictors {
+            Predictors::Predicate { pp, .. } => {
+                if let Some(tag) = tag.as_ref() {
+                    let age = (self.ghr_pushes - push_index) as u32;
+                    pp.repair_history(tag, primary_actual, age);
+                }
             }
+            Predictors::TagePredicate { pp, .. } => {
+                if let Some(tag) = tag.as_ref() {
+                    let age = (self.ghr_pushes - push_index) as u32;
+                    pp.repair_history(tag, primary_actual, age);
+                }
+            }
+            _ => {}
         }
     }
 }

@@ -120,14 +120,17 @@ impl SimOptions {
     }
 
     /// Overrides the second-level conventional predictor's geometry.
-    /// Only valid for [`SchemeSpec::Conventional`]; rejected at `build()`.
+    /// Only valid for schemes with
+    /// [`SchemeSpec::has_override_perceptron`]; rejected at `build()`.
     pub fn perceptron(mut self, cfg: PerceptronConfig) -> Self {
         self.perceptron = Some(cfg);
         self
     }
 
     /// Overrides the predicate predictor's geometry. Only valid for
-    /// [`SchemeSpec::Predicate`]; rejected at `build()`.
+    /// schemes with [`SchemeSpec::has_predicate_predictor`] (the
+    /// TAGE-indexed variant maps it onto its own geometry); rejected at
+    /// `build()`.
     pub fn predicate(mut self, cfg: PredicateConfig) -> Self {
         self.predicate = Some(cfg);
         self
@@ -152,18 +155,26 @@ impl SimOptions {
     }
 
     /// Checks option consistency without building.
+    ///
+    /// Overrides are gated on the scheme's *capability predicates*
+    /// ([`SchemeSpec::has_override_perceptron`],
+    /// [`SchemeSpec::has_predicate_predictor`],
+    /// [`SchemeSpec::supports_oracle_final`]) rather than scheme equality,
+    /// so a new scheme that grows a second-level or predicate predictor
+    /// gets its overrides accepted by declaring the capability — no
+    /// validation edit needed (and no silently wrong rejection).
     pub fn validate(&self) -> Result<(), SimOptionsError> {
-        if self.perceptron.is_some() && self.scheme != SchemeSpec::Conventional {
+        if self.perceptron.is_some() && !self.scheme.has_override_perceptron() {
             return Err(SimOptionsError::PerceptronOverride {
                 scheme: self.scheme,
             });
         }
-        if self.predicate.is_some() && self.scheme != SchemeSpec::Predicate {
+        if self.predicate.is_some() && !self.scheme.has_predicate_predictor() {
             return Err(SimOptionsError::PredicateOverride {
                 scheme: self.scheme,
             });
         }
-        if self.oracle_final && self.scheme != SchemeSpec::IdealConventional {
+        if self.oracle_final && !self.scheme.supports_oracle_final() {
             return Err(SimOptionsError::OracleFinal {
                 scheme: self.scheme,
             });
@@ -234,12 +245,14 @@ impl fmt::Display for SimOptionsError {
         match self {
             SimOptionsError::PerceptronOverride { scheme } => write!(
                 f,
-                "perceptron geometry override only applies to the conventional scheme, not `{}`",
+                "perceptron geometry override requires a scheme with a \
+                 second-level perceptron (conventional), not `{}`",
                 scheme.name()
             ),
             SimOptionsError::PredicateOverride { scheme } => write!(
                 f,
-                "predicate predictor override only applies to the predicate scheme, not `{}`",
+                "predicate predictor override requires a scheme with a \
+                 configurable predicate predictor (predicate, tage-predicate), not `{}`",
                 scheme.name()
             ),
             SimOptionsError::OracleFinal { scheme } => write!(
@@ -307,6 +320,23 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(matches!(err, SimOptionsError::PredicateOverride { .. }));
+
+        // The TAGE branch schemes have no second-level perceptron and no
+        // configurable predicate predictor: both overrides are rejected.
+        for scheme in [SchemeSpec::Tage, SchemeSpec::TageH2p] {
+            assert!(matches!(
+                SimOptions::new(scheme, PredicationModel::Cmov)
+                    .perceptron(PerceptronConfig::paper_148kb())
+                    .validate(),
+                Err(SimOptionsError::PerceptronOverride { .. })
+            ));
+            assert!(matches!(
+                SimOptions::new(scheme, PredicationModel::Cmov)
+                    .predicate(PredicateConfig::paper_148kb())
+                    .validate(),
+                Err(SimOptionsError::PredicateOverride { .. })
+            ));
+        }
     }
 
     #[test]
@@ -340,6 +370,16 @@ mod tests {
                 .shadow(true)
                 .trace_events(128)
                 .validate()
+                .is_ok()
+        );
+        // Capability-predicate regression (the old scheme-equality check
+        // wrongly rejected every new scheme): the TAGE-indexed predicate
+        // scheme accepts — and builds with — the predicate override.
+        let program = halt_program();
+        assert!(
+            SimOptions::new(SchemeSpec::TagePredicate, PredicationModel::Selective)
+                .predicate(PredicateConfig::paper_148kb())
+                .build_source(Machine::new(&program))
                 .is_ok()
         );
     }

@@ -16,7 +16,11 @@
 //!   perceptron vector table, with a confidence estimator for selective
 //!   predicate prediction,
 //! * idealized variants (no aliasing, perfect history) used for the
-//!   sensitivity analyses quoted in §4.2/§4.3.
+//!   sensitivity analyses quoted in §4.2/§4.3,
+//! * the TAGE frontier (ROADMAP item 4): [`Tage`] — a 144 KiB TAGE
+//!   predictor, optionally with a Bullseye-style H2P side table — and
+//!   [`TagePredicatePredictor`], the hybrid that applies TAGE indexing to
+//!   the compare-PC predicate value table.
 //!
 //! ## Speculative history discipline
 //!
@@ -49,6 +53,7 @@ mod perceptron;
 mod predicate;
 mod scheme;
 pub mod sizing;
+mod tage;
 
 pub use confidence::ConfidenceTable;
 pub use gshare::{Gshare, GshareConfig};
@@ -58,6 +63,10 @@ pub use peppa::{PepPa, PepPaConfig};
 pub use perceptron::{PerceptronConfig, PerceptronPredictor, PerceptronTable};
 pub use predicate::{CmpPrediction, PredicateConfig, PredicatePrediction, PredicatePredictor};
 pub use scheme::{PredictorSet, SchemeSpec};
+pub use tage::{
+    geometric_histories, Tage, TageConfig, TageH2pConfig, TagePredicateConfig,
+    TagePredicatePredictor,
+};
 
 /// A direction prediction together with the recovery/training tag.
 #[derive(Clone, Copy, Debug, PartialEq)]

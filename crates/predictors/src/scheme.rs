@@ -6,6 +6,7 @@
 //! the figure binaries and the CLI all consume this enum instead of
 //! re-spelling the scheme→predictor match arms.
 
+use crate::tage::{Tage, TageConfig, TageH2pConfig, TagePredicateConfig, TagePredicatePredictor};
 use crate::{
     Gshare, GshareConfig, IdealPerceptron, IdealPredicatePredictor, PepPa, PepPaConfig,
     PerceptronConfig, PerceptronPredictor, PredicateConfig, PredicatePredictor,
@@ -29,6 +30,18 @@ pub enum SchemeSpec {
     IdealConventional,
     /// Predicate predictor with unbounded tables and oracle history.
     IdealPredicate,
+    /// Single-level 144 KiB TAGE at fetch: the stronger conventional
+    /// baseline of ROADMAP item 4 (geometric tagged histories, no
+    /// perceptron override stage).
+    Tage,
+    /// TAGE plus a Bullseye-style H2P side table: per-static-branch
+    /// exec/mispredict tracking promotes hard-to-predict sites into a
+    /// dedicated per-site pattern predictor.
+    TageH2p,
+    /// The hybrid: 4 KB gshare at fetch plus the TAGE-indexed predicate
+    /// value table (compare-PC keyed, f1/f2 split, §3.3 repair) instead
+    /// of the paper's perceptron PVT.
+    TagePredicate,
 }
 
 /// The predictor structures a [`SchemeSpec`] instantiates.
@@ -50,22 +63,59 @@ pub enum PredictorSet {
         l1: Gshare,
         pp: IdealPredicatePredictor,
     },
+    /// Single-level TAGE at fetch (plain for [`SchemeSpec::Tage`], H2P
+    /// side table enabled for [`SchemeSpec::TageH2p`]).
+    Tage { t: Tage },
+    /// First-level gshare plus the TAGE-indexed predicate predictor.
+    TagePredicate {
+        l1: Gshare,
+        pp: TagePredicatePredictor,
+    },
 }
 
 impl SchemeSpec {
-    /// Every scheme, in the paper's presentation order.
-    pub const ALL: [SchemeSpec; 5] = [
+    /// Every scheme, in the paper's presentation order (paper schemes
+    /// first, the TAGE frontier appended).
+    pub const ALL: [SchemeSpec; 8] = [
         SchemeSpec::Conventional,
         SchemeSpec::PepPa,
         SchemeSpec::Predicate,
         SchemeSpec::IdealConventional,
         SchemeSpec::IdealPredicate,
+        SchemeSpec::Tage,
+        SchemeSpec::TageH2p,
+        SchemeSpec::TagePredicate,
     ];
 
     /// Whether this scheme predicts at compares (predicate-predictor
     /// family).
     pub fn is_predicate(self) -> bool {
-        matches!(self, SchemeSpec::Predicate | SchemeSpec::IdealPredicate)
+        matches!(
+            self,
+            SchemeSpec::Predicate | SchemeSpec::IdealPredicate | SchemeSpec::TagePredicate
+        )
+    }
+
+    /// Whether this scheme builds a second-level perceptron from a
+    /// [`PerceptronConfig`], i.e. accepts the perceptron geometry
+    /// override. Capability predicate — `SimOptions::validate` keys off
+    /// this instead of enumerating schemes by equality.
+    pub fn has_override_perceptron(self) -> bool {
+        matches!(self, SchemeSpec::Conventional)
+    }
+
+    /// Whether this scheme builds a realistic predicate predictor from a
+    /// [`PredicateConfig`], i.e. accepts the predicate geometry override.
+    /// (The idealized predicate scheme has a predicate predictor too, but
+    /// an unbounded one that takes no geometry.)
+    pub fn has_predicate_predictor(self) -> bool {
+        matches!(self, SchemeSpec::Predicate | SchemeSpec::TagePredicate)
+    }
+
+    /// Whether this scheme supports oracle-exact final prediction
+    /// (`--oracle-final`).
+    pub fn supports_oracle_final(self) -> bool {
+        matches!(self, SchemeSpec::IdealConventional)
     }
 
     /// Display name used in reports, job descriptions and the CLI.
@@ -76,12 +126,15 @@ impl SchemeSpec {
             SchemeSpec::Predicate => "predicate",
             SchemeSpec::IdealConventional => "ideal-conventional",
             SchemeSpec::IdealPredicate => "ideal-predicate",
+            SchemeSpec::Tage => "tage",
+            SchemeSpec::TageH2p => "tage-h2p",
+            SchemeSpec::TagePredicate => "tage-predicate",
         }
     }
 
     /// Parses a scheme name as spelled on the CLI. Accepts the canonical
     /// [`SchemeSpec::name`] plus the historical aliases (`conv`, `peppa`,
-    /// `pred`, `ideal-conv`, `ideal-pred`).
+    /// `pred`, `ideal-conv`, `ideal-pred`, `tageh2p`, `tage-pred`).
     pub fn parse(s: &str) -> Option<SchemeSpec> {
         match s {
             "conventional" | "conv" => Some(SchemeSpec::Conventional),
@@ -89,6 +142,9 @@ impl SchemeSpec {
             "predicate" | "pred" => Some(SchemeSpec::Predicate),
             "ideal-conventional" | "ideal-conv" => Some(SchemeSpec::IdealConventional),
             "ideal-predicate" | "ideal-pred" => Some(SchemeSpec::IdealPredicate),
+            "tage" => Some(SchemeSpec::Tage),
+            "tage-h2p" | "tageh2p" => Some(SchemeSpec::TageH2p),
+            "tage-predicate" | "tage-pred" => Some(SchemeSpec::TagePredicate),
             _ => None,
         }
     }
@@ -97,10 +153,13 @@ impl SchemeSpec {
     /// paper's Table-1 budgets, with optional geometry overrides for the
     /// sensitivity sweeps.
     ///
-    /// `perceptron` only applies to [`SchemeSpec::Conventional`] (its
-    /// second level) and `predicate` only to [`SchemeSpec::Predicate`];
-    /// callers that pass an inapplicable override should reject it before
-    /// building (see `SimOptions` in the pipeline crate).
+    /// `perceptron` applies to schemes with
+    /// [`SchemeSpec::has_override_perceptron`] and `predicate` to schemes
+    /// with [`SchemeSpec::has_predicate_predictor`] (the TAGE-indexed
+    /// variant maps the perceptron geometry onto its base table via
+    /// [`TagePredicateConfig::from_predicate`]); callers that pass an
+    /// inapplicable override should reject it before building (see
+    /// `SimOptions` in the pipeline crate).
     pub fn build(
         self,
         perceptron: Option<PerceptronConfig>,
@@ -127,6 +186,19 @@ impl SchemeSpec {
                 l1: Gshare::new(GshareConfig::paper_4kb()),
                 pp: IdealPredicatePredictor::new(PerceptronConfig::paper_148kb()),
             },
+            SchemeSpec::Tage => PredictorSet::Tage {
+                t: Tage::new(TageConfig::paper_144kb()),
+            },
+            SchemeSpec::TageH2p => PredictorSet::Tage {
+                t: Tage::with_h2p(TageConfig::paper_144kb(), TageH2pConfig::paper_default()),
+            },
+            SchemeSpec::TagePredicate => PredictorSet::TagePredicate {
+                l1: Gshare::new(GshareConfig::paper_4kb()),
+                pp: TagePredicatePredictor::new(predicate.map_or_else(
+                    TagePredicateConfig::paper_144kb,
+                    TagePredicateConfig::from_predicate,
+                )),
+            },
         }
     }
 }
@@ -134,6 +206,7 @@ impl SchemeSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BranchPredictor;
 
     #[test]
     fn names_and_parse_round_trip() {
@@ -143,6 +216,11 @@ mod tests {
         assert_eq!(SchemeSpec::parse("conv"), Some(SchemeSpec::Conventional));
         assert_eq!(SchemeSpec::parse("peppa"), Some(SchemeSpec::PepPa));
         assert_eq!(SchemeSpec::parse("pred"), Some(SchemeSpec::Predicate));
+        assert_eq!(SchemeSpec::parse("tageh2p"), Some(SchemeSpec::TageH2p));
+        assert_eq!(
+            SchemeSpec::parse("tage-pred"),
+            Some(SchemeSpec::TagePredicate)
+        );
         assert_eq!(SchemeSpec::parse("bogus"), None);
     }
 
@@ -150,8 +228,32 @@ mod tests {
     fn predicate_family_is_marked() {
         assert!(SchemeSpec::Predicate.is_predicate());
         assert!(SchemeSpec::IdealPredicate.is_predicate());
+        assert!(SchemeSpec::TagePredicate.is_predicate());
         assert!(!SchemeSpec::Conventional.is_predicate());
         assert!(!SchemeSpec::PepPa.is_predicate());
+        assert!(!SchemeSpec::Tage.is_predicate());
+        assert!(!SchemeSpec::TageH2p.is_predicate());
+    }
+
+    #[test]
+    fn capability_predicates_partition_the_schemes() {
+        for s in SchemeSpec::ALL {
+            assert_eq!(
+                s.has_override_perceptron(),
+                s == SchemeSpec::Conventional,
+                "{s:?}"
+            );
+            assert_eq!(
+                s.has_predicate_predictor(),
+                matches!(s, SchemeSpec::Predicate | SchemeSpec::TagePredicate),
+                "{s:?}"
+            );
+            assert_eq!(
+                s.supports_oracle_final(),
+                s == SchemeSpec::IdealConventional,
+                "{s:?}"
+            );
+        }
     }
 
     #[test]
@@ -171,13 +273,33 @@ mod tests {
                         SchemeSpec::IdealPredicate,
                         PredictorSet::IdealPredicate { .. }
                     )
+                    | (SchemeSpec::Tage, PredictorSet::Tage { .. })
+                    | (SchemeSpec::TageH2p, PredictorSet::Tage { .. })
+                    | (
+                        SchemeSpec::TagePredicate,
+                        PredictorSet::TagePredicate { .. }
+                    )
             );
             assert!(matches, "{s:?} built the wrong predictor set");
         }
+        // The two TAGE branch schemes share a set variant but differ in
+        // the H2P extension.
+        let PredictorSet::Tage { t } = SchemeSpec::Tage.build(None, None) else {
+            panic!("wrong set");
+        };
+        assert!(!t.has_h2p());
+        let PredictorSet::Tage { t } = SchemeSpec::TageH2p.build(None, None) else {
+            panic!("wrong set");
+        };
+        assert!(t.has_h2p());
     }
 
     #[test]
     fn geometry_overrides_apply() {
+        // The override must actually reach the built predictor — row
+        // count verified structurally, not just via a shrinking byte
+        // budget (a factory that ignored the override but built any
+        // smaller table would pass a size-only check).
         let small = PerceptronConfig {
             rows: 64,
             ..PerceptronConfig::paper_148kb()
@@ -186,10 +308,39 @@ mod tests {
         let PredictorSet::Conventional { l2, .. } = set else {
             panic!("wrong set");
         };
-        use crate::BranchPredictor;
+        assert_eq!(l2.table().rows(), 64, "configured rows reach the table");
         assert!(
             l2.size_bytes()
                 < PerceptronPredictor::new(PerceptronConfig::paper_148kb()).size_bytes()
+        );
+    }
+
+    #[test]
+    fn predicate_overrides_reach_both_predicate_schemes() {
+        let small = PredicateConfig {
+            perceptron: PerceptronConfig {
+                rows: 128,
+                ..PerceptronConfig::paper_148kb()
+            },
+            conf_bits: 2,
+        };
+        let set = SchemeSpec::Predicate.build(None, Some(small));
+        let PredictorSet::Predicate { pp, .. } = set else {
+            panic!("wrong set");
+        };
+        assert_eq!(pp.table().rows(), 128);
+        let set = SchemeSpec::TagePredicate.build(None, Some(small));
+        let PredictorSet::TagePredicate { pp, .. } = set else {
+            panic!("wrong set");
+        };
+        assert_eq!(
+            pp.base_rows(),
+            128,
+            "perceptron rows map onto the TAGE base PVT"
+        );
+        assert!(
+            pp.size_bytes()
+                < TagePredicatePredictor::new(TagePredicateConfig::paper_144kb()).size_bytes()
         );
     }
 }

@@ -9,6 +9,7 @@ use crate::gshare::GshareConfig;
 use crate::peppa::PepPaConfig;
 use crate::perceptron::PerceptronConfig;
 use crate::predicate::PredicateConfig;
+use crate::tage::{TageConfig, TageH2pConfig, TagePredicateConfig};
 
 /// Budget summary of one predictor structure.
 #[derive(Clone, Debug, PartialEq)]
@@ -85,6 +86,46 @@ pub fn predicate_budget(cfg: &PredicateConfig) -> Budget {
     }
 }
 
+/// Budget of the TAGE branch predictor (base bimodal + tagged tables).
+pub fn tage_budget(cfg: &TageConfig) -> Budget {
+    Budget {
+        name: "TAGE",
+        components: vec![
+            ("bimodal base (2-bit)", cfg.base_bytes()),
+            ("tagged tables", cfg.tagged_bytes()),
+        ],
+    }
+}
+
+/// Budget of the TAGE + H2P side-table variant.
+pub fn tage_h2p_budget(cfg: &TageConfig, h2p: &TageH2pConfig) -> Budget {
+    Budget {
+        name: "TAGE-H2P",
+        components: vec![
+            ("bimodal base (2-bit)", cfg.base_bytes()),
+            ("tagged tables", cfg.tagged_bytes()),
+            ("H2P exec/miss stats", h2p.stats_bytes()),
+            ("H2P side table", h2p.side_bytes()),
+        ],
+    }
+}
+
+/// Budget of the TAGE-indexed predicate predictor (base PVT + tagged
+/// tables + confidence).
+pub fn tage_predicate_budget(cfg: &TagePredicateConfig) -> Budget {
+    Budget {
+        name: "TAGE predicate predictor",
+        components: vec![
+            ("bimodal base PVT (2-bit)", cfg.base_bytes()),
+            ("tagged tables", cfg.tagged_bytes()),
+            (
+                "confidence counters",
+                (cfg.base_rows * cfg.conf_bits as usize).div_ceil(8),
+            ),
+        ],
+    }
+}
+
 /// Formats a budget table for all paper configurations.
 pub fn paper_report() -> String {
     let budgets = [
@@ -92,6 +133,9 @@ pub fn paper_report() -> String {
         perceptron_budget(&PerceptronConfig::paper_148kb()),
         peppa_budget(&PepPaConfig::paper_144kb()),
         predicate_budget(&PredicateConfig::paper_148kb()),
+        tage_budget(&TageConfig::paper_144kb()),
+        tage_h2p_budget(&TageConfig::paper_144kb(), &TageH2pConfig::paper_default()),
+        tage_predicate_budget(&TagePredicateConfig::paper_144kb()),
     ];
     let mut out = String::new();
     for b in &budgets {
@@ -134,6 +178,26 @@ mod tests {
     }
 
     #[test]
+    fn tage_budgets_are_pinned_in_the_table1_class() {
+        // The TAGE frontier sits in the same 140–156 KB class as the
+        // paper's second-level predictors, so accuracy comparisons are
+        // iso-budget. Totals are pinned exactly; the predictors'
+        // `size_bytes()` must agree (asserted in their own unit tests).
+        let t = tage_budget(&TageConfig::paper_144kb());
+        assert_eq!(t.total_bytes(), 147_456, "144 KiB exactly");
+        assert_eq!(t.components[0].1, 8192, "32 Ki × 2-bit base");
+        assert_eq!(t.components[1].1, 139_264, "8 × 8 Ki × 17-bit entries");
+
+        let h = tage_h2p_budget(&TageConfig::paper_144kb(), &TageH2pConfig::paper_default());
+        assert_eq!(h.total_bytes(), 155_392, "core + <8 KB of H2P state");
+
+        let p = tage_predicate_budget(&TagePredicateConfig::paper_144kb());
+        assert_eq!(p.total_bytes(), 144_384, "base + tagged + confidence");
+        let kb = p.total_kib();
+        assert!((140.0..156.0).contains(&kb), "Table-1 class, got {kb}");
+    }
+
+    #[test]
     fn partial_bytes_round_up_per_component() {
         // A 1-bit-GHR gshare holds 2 counters = 4 bits; the old floor
         // arithmetic priced that at 0 bytes.
@@ -169,7 +233,15 @@ mod tests {
     #[test]
     fn report_mentions_every_structure() {
         let r = paper_report();
-        for s in ["gshare", "perceptron", "PEP-PA", "predicate predictor"] {
+        for s in [
+            "gshare",
+            "perceptron",
+            "PEP-PA",
+            "predicate predictor",
+            "TAGE",
+            "TAGE-H2P",
+            "TAGE predicate predictor",
+        ] {
             assert!(r.contains(s), "missing {s} in:\n{r}");
         }
     }

@@ -1,0 +1,1406 @@
+//! TAGE-family predictors: the stronger-baseline frontier (ROADMAP item 4).
+//!
+//! The paper's evaluation pits compare-PC-indexed predicate prediction
+//! against gshare + perceptron baselines; this module asks whether the
+//! conclusion survives stronger base predictors:
+//!
+//! * [`Tage`] — a TAGE branch predictor (Seznec & Michaud): a bimodal base
+//!   table plus N partially-tagged tables indexed by geometrically growing
+//!   global-history lengths. The longest-history tag match *provides* the
+//!   prediction; the next match (or the base) is the *alternate*. Per-entry
+//!   useful counters arbitrate allocation and age periodically.
+//! * [`Tage`] with [`TageH2pConfig`] — a Bullseye-style variant ("Taming
+//!   Wild Branches"): per-static-branch exec/mispredict counters identify
+//!   hard-to-predict (H2P) sites online and promote them into a small
+//!   dedicated side table of per-site local-history pattern predictors.
+//!   Promotion and eviction are deterministic (threshold + score ratchet).
+//! * [`TagePredicatePredictor`] — the hybrid: TAGE indexing applied to the
+//!   *predicate* value table. It keeps everything the paper's predictor
+//!   does at the interface — keyed by the compare PC, two-hash f1/f2 target
+//!   split in the base table, one speculative global-history shift per
+//!   fetched compare, §3.3 checkpoint/repair, per-row resetting confidence
+//!   counters — and only replaces the perceptron dot-product with tagged
+//!   geometric-history tables.
+//!
+//! All structures follow the crate's speculative-history discipline: the
+//! global history shifts at prediction time with the predicted bit, tags
+//! snapshot the pre-update state, and `undo`/`recover`/`repair` restore it
+//! exactly. Byte budgets follow the sizing convention: per-component
+//! `div_ceil(8)` over modeled bit widths.
+
+use crate::confidence::ConfidenceTable;
+use crate::history::GlobalHistory;
+use crate::predicate::{CmpPrediction, PredicatePrediction};
+use crate::{BranchPredictor, Prediction, Tag};
+
+/// Geometry of the shared TAGE core (base + tagged tables).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TageConfig {
+    /// Entries in the bimodal base table (power of two, 2-bit counters).
+    pub base_entries: usize,
+    /// Number of tagged tables.
+    pub tables: usize,
+    /// Entries per tagged table (power of two).
+    pub table_entries: usize,
+    /// Partial-tag width per tagged entry (bits, ≥ 2).
+    pub tag_bits: u32,
+    /// Shortest tagged history length.
+    pub min_history: u32,
+    /// Longest tagged history length (≤ 64: one machine word of GHR).
+    pub max_history: u32,
+    /// Allocations between useful-counter agings (`u >>= 1` sweeps).
+    pub u_reset_period: u32,
+}
+
+impl TageConfig {
+    /// The Table-1-comparable configuration: 32 Ki-entry bimodal base
+    /// (8 KB) plus 8 × 8 Ki-entry tagged tables with 12-bit tags and
+    /// 4..64 geometric histories (17 bits/entry → 139 264 B), 144 KiB
+    /// total — the same budget class as the paper's 144–148 KB
+    /// second-level predictors.
+    pub fn paper_144kb() -> Self {
+        TageConfig {
+            base_entries: 1 << 15,
+            tables: 8,
+            table_entries: 1 << 13,
+            tag_bits: 12,
+            min_history: 4,
+            max_history: 64,
+            u_reset_period: 4096,
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        TageConfig {
+            base_entries: 64,
+            tables: 4,
+            table_entries: 16,
+            tag_bits: 8,
+            min_history: 2,
+            max_history: 16,
+            u_reset_period: 64,
+        }
+    }
+
+    /// Base-table bytes (2-bit counters).
+    pub fn base_bytes(&self) -> usize {
+        (self.base_entries * 2).div_ceil(8)
+    }
+
+    /// Tagged-table bytes (tag + 3-bit counter + 2-bit useful, per entry).
+    pub fn tagged_bytes(&self) -> usize {
+        let entry_bits = self.tag_bits as usize + 3 + 2;
+        self.tables * (self.table_entries * entry_bits).div_ceil(8)
+    }
+}
+
+/// The geometric history series L(i) = min·(max/min)^(i/(n-1)), computed
+/// in 16.16 fixed point (no floats: identical on every platform), rounded
+/// and forced strictly monotone with pinned endpoints.
+pub fn geometric_histories(min: u32, max: u32, n: usize) -> Vec<u32> {
+    assert!(n >= 1 && min >= 1 && max >= min && max <= 64);
+    if n == 1 {
+        return vec![max];
+    }
+    // Binary-search ratio r (16.16) with r^(n-1) ≈ max/min.
+    let target = (u128::from(max) << 16) / u128::from(min);
+    let pow = |r: u128, k: usize| -> u128 {
+        let mut acc = 1u128 << 16;
+        for _ in 0..k {
+            acc = (acc * r) >> 16;
+        }
+        acc
+    };
+    let (mut lo, mut hi) = (1u128 << 16, u128::from(max) << 16);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if pow(mid, n - 1) <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut len_fp = u128::from(min) << 16;
+    let mut prev = 0u32;
+    for i in 0..n {
+        let mut l = ((len_fp + (1 << 15)) >> 16) as u32;
+        if i == 0 {
+            l = min;
+        }
+        if i == n - 1 {
+            l = max;
+        }
+        l = l.max(prev + 1).min(64);
+        out.push(l);
+        prev = l;
+        len_fp = (len_fp * lo) >> 16;
+    }
+    out
+}
+
+/// XOR-folds the `len` newest history bits down to `bits` bits.
+fn fold(hist: u64, len: u32, bits: u32) -> u32 {
+    debug_assert!((1..=32).contains(&bits));
+    let masked = if len >= 64 {
+        hist
+    } else {
+        hist & ((1u64 << len) - 1)
+    };
+    let chunk = (1u64 << bits) - 1;
+    let mut acc = 0u64;
+    let mut h = masked;
+    while h != 0 {
+        acc ^= h & chunk;
+        h >>= bits;
+    }
+    acc as u32
+}
+
+/// One tagged entry: partial tag, 3-bit direction counter, 2-bit useful.
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedEntry {
+    tag: u16,
+    ctr: u8,
+    u: u8,
+}
+
+/// A tag hit: which table, which row, counter value at lookup.
+#[derive(Clone, Copy, Debug)]
+struct Hit {
+    table: usize,
+    idx: usize,
+    ctr: u8,
+}
+
+fn sat2(c: &mut u8, up: bool) {
+    *c = if up {
+        (*c + 1).min(3)
+    } else {
+        c.saturating_sub(1)
+    };
+}
+
+fn sat3(c: &mut u8, up: bool) {
+    *c = if up {
+        (*c + 1).min(7)
+    } else {
+        c.saturating_sub(1)
+    };
+}
+
+/// The tagged-table machinery shared by the branch predictor and the
+/// TAGE-indexed predicate value table. Keys are arbitrary 64-bit values
+/// (branch PC, or compare PC disambiguated per target).
+#[derive(Clone, Debug)]
+struct TaggedCore {
+    entries_mask: usize,
+    tag_bits: u32,
+    hists: Vec<u32>,
+    u_reset_period: u32,
+    tabs: Vec<Vec<TaggedEntry>>,
+    allocs: u32,
+}
+
+impl TaggedCore {
+    fn new(
+        tables: usize,
+        entries: usize,
+        tag_bits: u32,
+        min_h: u32,
+        max_h: u32,
+        period: u32,
+    ) -> Self {
+        assert!(entries.is_power_of_two() && tables >= 1 && tag_bits >= 2);
+        TaggedCore {
+            entries_mask: entries - 1,
+            tag_bits,
+            hists: geometric_histories(min_h, max_h, tables),
+            u_reset_period: period.max(1),
+            tabs: vec![
+                vec![
+                    TaggedEntry {
+                        tag: 0,
+                        ctr: 3,
+                        u: 0
+                    };
+                    entries
+                ];
+                tables
+            ],
+            allocs: 0,
+        }
+    }
+
+    fn key_hash(key: u64) -> u32 {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as u32
+    }
+
+    fn index(&self, table: usize, key: u64, hist: u64) -> usize {
+        let k = Self::key_hash(key);
+        let idx_bits = (self.entries_mask + 1).trailing_zeros().max(1);
+        let f = fold(hist, self.hists[table], idx_bits);
+        ((k ^ k.rotate_right(table as u32 + 1) ^ f) as usize) & self.entries_mask
+    }
+
+    fn tag_of(&self, table: usize, key: u64, hist: u64) -> u16 {
+        let k = Self::key_hash(key);
+        let t1 = fold(hist, self.hists[table], self.tag_bits);
+        let t2 = fold(hist, self.hists[table], self.tag_bits - 1) << 1;
+        ((k ^ (k >> self.tag_bits) ^ t1 ^ t2) & ((1 << self.tag_bits) - 1)) as u16
+    }
+
+    /// Longest-history tag match (provider) and the next one (alternate).
+    fn lookup(&self, key: u64, hist: u64) -> (Option<Hit>, Option<Hit>) {
+        let mut provider = None;
+        let mut alt = None;
+        for table in (0..self.tabs.len()).rev() {
+            let idx = self.index(table, key, hist);
+            let e = self.tabs[table][idx];
+            if e.tag == self.tag_of(table, key, hist) {
+                let hit = Hit {
+                    table,
+                    idx,
+                    ctr: e.ctr,
+                };
+                if provider.is_none() {
+                    provider = Some(hit);
+                } else {
+                    alt = Some(hit);
+                    break;
+                }
+            }
+        }
+        (provider, alt)
+    }
+
+    /// Commit-time update of the provider entry: direction counter, and —
+    /// when provider and alternate disagreed — the useful counter.
+    fn update_provider(&mut self, table: usize, idx: usize, taken: bool, own: bool, alt: bool) {
+        let e = &mut self.tabs[table][idx];
+        sat3(&mut e.ctr, taken);
+        if own != alt {
+            e.u = if own == taken {
+                (e.u + 1).min(3)
+            } else {
+                e.u.saturating_sub(1)
+            };
+        }
+    }
+
+    /// Allocates a fresh entry in some table longer than the provider's
+    /// after a misprediction: first zero-useful slot wins; if none, every
+    /// candidate's useful counter is decremented instead (classic TAGE).
+    /// Every allocation attempt ticks the aging clock.
+    fn allocate(&mut self, start: usize, key: u64, hist: u64, taken: bool) {
+        self.allocs += 1;
+        if self.allocs >= self.u_reset_period {
+            self.allocs = 0;
+            self.age();
+        }
+        for table in start..self.tabs.len() {
+            let idx = self.index(table, key, hist);
+            if self.tabs[table][idx].u == 0 {
+                self.tabs[table][idx] = TaggedEntry {
+                    tag: self.tag_of(table, key, hist),
+                    ctr: if taken { 4 } else { 3 },
+                    u: 0,
+                };
+                return;
+            }
+        }
+        for table in start..self.tabs.len() {
+            let idx = self.index(table, key, hist);
+            let e = &mut self.tabs[table][idx];
+            e.u = e.u.saturating_sub(1);
+        }
+    }
+
+    /// Gradual useful-counter aging: halve every counter.
+    fn age(&mut self) {
+        for t in &mut self.tabs {
+            for e in t.iter_mut() {
+                e.u >>= 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// H2P side table (Bullseye-style)
+// ---------------------------------------------------------------------------
+
+/// Geometry and policy of the H2P targeting machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TageH2pConfig {
+    /// Entries in the per-static-branch exec/mispredict stats table
+    /// (power of two, 16-bit tag + two 16-bit saturating counters).
+    pub stats_entries: usize,
+    /// Entries in the dedicated H2P side table (power of two).
+    pub side_entries: usize,
+    /// log2 of the per-site pattern counters (2-bit each).
+    pub pattern_bits: u32,
+    /// Per-site local-history width (bits, ≤ 32).
+    pub site_lh_bits: u32,
+    /// Side-table executions before its prediction is trusted.
+    pub warmup_execs: u16,
+    /// Executions a site needs before it can be promoted.
+    pub min_execs: u16,
+    /// Mispredicts a site needs before it can be promoted (keeps
+    /// cold-start misses of easy branches below the bar).
+    pub min_miss: u16,
+    /// Promotion threshold: mispredict percentage (`miss·100 ≥ execs·pct`).
+    pub promote_pct: u32,
+}
+
+impl TageH2pConfig {
+    /// Default H2P sizing: 1 Ki-site stats table plus 64 dedicated side
+    /// entries (16-bit local history, 64 pattern counters each) — under
+    /// 8 KB on top of the TAGE core.
+    pub fn paper_default() -> Self {
+        TageH2pConfig {
+            stats_entries: 1 << 10,
+            side_entries: 64,
+            pattern_bits: 6,
+            site_lh_bits: 16,
+            warmup_execs: 16,
+            min_execs: 64,
+            min_miss: 16,
+            promote_pct: 8,
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        TageH2pConfig {
+            stats_entries: 16,
+            side_entries: 4,
+            pattern_bits: 3,
+            site_lh_bits: 8,
+            warmup_execs: 4,
+            min_execs: 8,
+            min_miss: 4,
+            promote_pct: 8,
+        }
+    }
+
+    /// Stats-table bytes (16-bit tag + 16-bit execs + 16-bit miss).
+    pub fn stats_bytes(&self) -> usize {
+        (self.stats_entries * 48).div_ceil(8)
+    }
+
+    /// Side-table bytes (48-bit PC tag + local history + 2-bit patterns +
+    /// 16-bit score + 16-bit execs per entry).
+    pub fn side_bytes(&self) -> usize {
+        let entry_bits =
+            48 + self.site_lh_bits as usize + 2 * (1usize << self.pattern_bits) + 16 + 16;
+        (self.side_entries * entry_bits).div_ceil(8)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StatEntry {
+    tag: u16,
+    execs: u16,
+    miss: u16,
+}
+
+#[derive(Clone, Debug)]
+struct SideEntry {
+    /// Resident branch PC (`u64::MAX` = empty).
+    pc: u64,
+    /// Per-site local outcome history.
+    lh: u32,
+    /// 2-bit pattern counters indexed by the local history.
+    pattern: Vec<u8>,
+    /// Mispredict score at promotion time (eviction ratchet).
+    score: u16,
+    /// Executions since promotion (warmup gate).
+    execs: u16,
+}
+
+/// Online H2P identification + the dedicated side predictor.
+#[derive(Clone, Debug)]
+struct H2p {
+    cfg: TageH2pConfig,
+    stats: Vec<StatEntry>,
+    side: Vec<SideEntry>,
+}
+
+impl H2p {
+    fn new(cfg: TageH2pConfig) -> Self {
+        assert!(cfg.stats_entries.is_power_of_two() && cfg.side_entries.is_power_of_two());
+        assert!(cfg.site_lh_bits >= 1 && cfg.site_lh_bits <= 32);
+        H2p {
+            stats: vec![
+                StatEntry {
+                    tag: 0,
+                    execs: 0,
+                    miss: 0
+                };
+                cfg.stats_entries
+            ],
+            side: vec![
+                SideEntry {
+                    pc: u64::MAX,
+                    lh: 0,
+                    pattern: vec![1; 1 << cfg.pattern_bits],
+                    score: 0,
+                    execs: 0,
+                };
+                cfg.side_entries
+            ],
+            cfg,
+        }
+    }
+
+    fn hash(pc: u64) -> u64 {
+        (pc >> 4).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn stat_slot(&self, pc: u64) -> (usize, u16) {
+        let h = Self::hash(pc);
+        (
+            (h >> 16) as usize & (self.cfg.stats_entries - 1),
+            (h >> 48) as u16,
+        )
+    }
+
+    fn side_slot(&self, pc: u64) -> usize {
+        (Self::hash(pc) >> 20) as usize & (self.cfg.side_entries - 1)
+    }
+
+    fn lh_mask(&self) -> u32 {
+        if self.cfg.site_lh_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.cfg.site_lh_bits) - 1
+        }
+    }
+
+    /// Side-table prediction: `(slot, direction)` for a resident, warm
+    /// site; `None` otherwise.
+    fn side_predict(&self, pc: u64) -> Option<(u32, bool)> {
+        let s = self.side_slot(pc);
+        let e = &self.side[s];
+        if e.pc == pc && e.execs >= self.cfg.warmup_execs {
+            let i = (e.lh as usize) & (e.pattern.len() - 1);
+            Some((s as u32, e.pattern[i] >= 2))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `pc` currently owns a side-table entry (diagnostics).
+    fn side_resident(&self, pc: u64) -> bool {
+        self.side[self.side_slot(pc)].pc == pc
+    }
+
+    /// Commit-time update: side pattern/history for resident sites, then
+    /// the exec/mispredict stats and the deterministic promotion check.
+    fn train(&mut self, pc: u64, predicted: bool, taken: bool) {
+        let lh_mask = self.lh_mask();
+        let s = self.side_slot(pc);
+        if self.side[s].pc == pc {
+            let e = &mut self.side[s];
+            let i = (e.lh as usize) & (e.pattern.len() - 1);
+            sat2(&mut e.pattern[i], taken);
+            e.lh = ((e.lh << 1) | u32::from(taken)) & lh_mask;
+            e.execs = e.execs.saturating_add(1);
+        }
+
+        let (slot, tag) = self.stat_slot(pc);
+        let e = &mut self.stats[slot];
+        if e.tag != tag {
+            // Direct-mapped with replace-on-mismatch: deterministic.
+            *e = StatEntry {
+                tag,
+                execs: 0,
+                miss: 0,
+            };
+        }
+        e.execs = e.execs.saturating_add(1);
+        if predicted != taken {
+            e.miss = e.miss.saturating_add(1);
+        }
+        let (execs, miss) = (e.execs, e.miss);
+
+        if execs >= self.cfg.min_execs
+            && miss >= self.cfg.min_miss
+            && u32::from(miss) * 100 >= u32::from(execs) * self.cfg.promote_pct
+        {
+            let side = &mut self.side[s];
+            if side.pc == pc {
+                side.score = side.score.max(miss);
+            } else if side.pc == u64::MAX || miss > side.score {
+                // Promote; evict only a strictly lower-scoring occupant.
+                *side = SideEntry {
+                    pc,
+                    lh: 0,
+                    pattern: vec![1; 1 << self.cfg.pattern_bits],
+                    score: miss,
+                    execs: 0,
+                };
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.cfg.stats_bytes() + self.cfg.side_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The TAGE branch predictor
+// ---------------------------------------------------------------------------
+
+// Tag field packing for `Tage` predictions:
+//   ghr_before — full pre-prediction global history (≤ 64 bits).
+//   row        — provider row, or `u32::MAX` when the base provided.
+//   row2       — provider table + 1 (0 = base table provided).
+//   sum        — provider counter value at lookup.
+//   lhr_idx    — bits 0..16: base row; bits 16..24: H2P side slot + 1.
+//   lhr_before — flag bits below.
+//   alt        — branch PC (needed for allocation and H2P bookkeeping).
+const F_ALT_DIR: u32 = 1;
+const F_OWN_DIR: u32 = 1 << 1;
+const F_SIDE_USED: u32 = 1 << 2;
+const PC_MASK: u64 = (1 << 48) - 1;
+
+/// The TAGE branch predictor, optionally extended with the H2P side table.
+#[derive(Clone, Debug)]
+pub struct Tage {
+    cfg: TageConfig,
+    core: TaggedCore,
+    base: Vec<u8>,
+    ghr: GlobalHistory,
+    h2p: Option<H2p>,
+}
+
+impl Tage {
+    /// Builds the plain TAGE predictor.
+    pub fn new(cfg: TageConfig) -> Self {
+        assert!(cfg.base_entries.is_power_of_two() && cfg.base_entries <= 1 << 16);
+        assert!(cfg.max_history >= 1 && cfg.max_history <= 64);
+        Tage {
+            core: TaggedCore::new(
+                cfg.tables,
+                cfg.table_entries,
+                cfg.tag_bits,
+                cfg.min_history,
+                cfg.max_history,
+                cfg.u_reset_period,
+            ),
+            base: vec![1; cfg.base_entries],
+            ghr: GlobalHistory::new(cfg.max_history),
+            h2p: None,
+            cfg,
+        }
+    }
+
+    /// Builds TAGE with the Bullseye-style H2P side table enabled.
+    pub fn with_h2p(cfg: TageConfig, h2p: TageH2pConfig) -> Self {
+        let mut t = Tage::new(cfg);
+        t.h2p = Some(H2p::new(h2p));
+        t
+    }
+
+    /// Whether the H2P extension is enabled.
+    pub fn has_h2p(&self) -> bool {
+        self.h2p.is_some()
+    }
+
+    /// The geometric history lengths, shortest table first (diagnostics).
+    pub fn history_lengths(&self) -> &[u32] {
+        &self.core.hists
+    }
+
+    /// Whether `pc` currently owns an H2P side-table entry (diagnostics).
+    pub fn h2p_resident(&self, pc: u64) -> bool {
+        self.h2p.as_ref().is_some_and(|h| h.side_resident(pc))
+    }
+
+    fn base_row(&self, pc: u64) -> usize {
+        ((pc >> 4) as usize) & (self.cfg.base_entries - 1)
+    }
+}
+
+impl BranchPredictor for Tage {
+    fn predict(&mut self, pc: u64, _guard: u8) -> Prediction {
+        let hist = self.ghr.value();
+        let bidx = self.base_row(pc);
+        let base_dir = self.base[bidx] >= 2;
+        let (provider, alternate) = self.core.lookup(pc, hist);
+        let (own_dir, prov_ctr, prov_row, prov_tbl) = match provider {
+            Some(h) => (
+                h.ctr >= 4,
+                i32::from(h.ctr),
+                h.idx as u32,
+                h.table as u32 + 1,
+            ),
+            None => (base_dir, i32::from(self.base[bidx]), u32::MAX, 0),
+        };
+        let alt_dir = match alternate {
+            Some(h) => h.ctr >= 4,
+            None => base_dir,
+        };
+
+        let mut flags = 0u32;
+        if alt_dir {
+            flags |= F_ALT_DIR;
+        }
+        if own_dir {
+            flags |= F_OWN_DIR;
+        }
+        let mut final_dir = own_dir;
+        let mut slot_plus1 = 0u32;
+        if let Some(h2p) = &self.h2p {
+            if let Some((slot, dir)) = h2p.side_predict(pc) {
+                final_dir = dir;
+                flags |= F_SIDE_USED;
+                slot_plus1 = slot + 1;
+            }
+        }
+        self.ghr.push(final_dir);
+
+        Prediction {
+            taken: final_dir,
+            tag: Tag {
+                ghr_before: hist,
+                lhr_before: flags,
+                lhr_idx: (bidx as u32) | (slot_plus1 << 16),
+                row: prov_row,
+                row2: prov_tbl,
+                sum: prov_ctr,
+                alt: pc & PC_MASK,
+            },
+        }
+    }
+
+    fn train(&mut self, prediction: &Prediction, taken: bool) {
+        let t = &prediction.tag;
+        let pc = t.alt & PC_MASK;
+        let hist = t.ghr_before;
+        let bidx = (t.lhr_idx & 0xFFFF) as usize;
+        let own_dir = t.lhr_before & F_OWN_DIR != 0;
+        let alt_dir = t.lhr_before & F_ALT_DIR != 0;
+
+        sat2(&mut self.base[bidx], taken);
+        if t.row2 > 0 {
+            self.core.update_provider(
+                (t.row2 - 1) as usize,
+                t.row as usize,
+                taken,
+                own_dir,
+                alt_dir,
+            );
+        }
+        if own_dir != taken {
+            // Provider in table k = row2-1 → allocate in k+1.. (base: 0..).
+            let start = t.row2 as usize;
+            if start < self.core.tabs.len() {
+                self.core.allocate(start, pc, hist, taken);
+            }
+        }
+        if let Some(h2p) = self.h2p.as_mut() {
+            h2p.train(pc, prediction.taken, taken);
+        }
+    }
+
+    fn undo(&mut self, prediction: &Prediction) {
+        self.ghr.set(prediction.tag.ghr_before);
+    }
+
+    fn recover(&mut self, prediction: &Prediction, taken: bool) {
+        self.ghr.set(prediction.tag.ghr_before);
+        self.ghr.push(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        if self.h2p.is_some() {
+            "tage-h2p"
+        } else {
+            "tage"
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.cfg.base_bytes()
+            + self.cfg.tagged_bytes()
+            + self.h2p.as_ref().map_or(0, H2p::size_bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The TAGE-indexed predicate predictor
+// ---------------------------------------------------------------------------
+
+/// Configuration of the TAGE-indexed predicate value table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TagePredicateConfig {
+    /// Rows in the bimodal base PVT (power of two; the f1/f2 split
+    /// addresses the two halves, so ≥ 2).
+    pub base_rows: usize,
+    /// Number of tagged tables.
+    pub tables: usize,
+    /// Entries per tagged table (power of two).
+    pub table_entries: usize,
+    /// Partial-tag width (bits, ≥ 2).
+    pub tag_bits: u32,
+    /// Shortest tagged history length.
+    pub min_history: u32,
+    /// Longest tagged history length (≤ 64).
+    pub max_history: u32,
+    /// Width of the per-row confidence counters (bits).
+    pub conf_bits: u32,
+    /// Allocations between useful-counter agings.
+    pub u_reset_period: u32,
+}
+
+impl TagePredicateConfig {
+    /// The Table-1-comparable configuration: 8 Ki-row bimodal base
+    /// (2 048 B) + 8 × 8 Ki-entry tagged tables (139 264 B) + 3-bit
+    /// per-base-row confidence (3 072 B) = 144 384 B ≈ 141 KiB — the
+    /// same budget class as the paper's 148 KB predicate predictor.
+    pub fn paper_144kb() -> Self {
+        TagePredicateConfig {
+            base_rows: 1 << 13,
+            tables: 8,
+            table_entries: 1 << 13,
+            tag_bits: 12,
+            min_history: 4,
+            max_history: 64,
+            conf_bits: 3,
+            u_reset_period: 4096,
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        TagePredicateConfig {
+            base_rows: 64,
+            tables: 4,
+            table_entries: 16,
+            tag_bits: 8,
+            min_history: 2,
+            max_history: 16,
+            conf_bits: 3,
+            u_reset_period: 64,
+        }
+    }
+
+    /// Maps the paper predictor's override geometry onto the TAGE-indexed
+    /// variant, so `--pvt-rows`-style sweeps apply to both predicate
+    /// schemes: perceptron rows → base rows, global-history bits → longest
+    /// tagged history, confidence width carried over. Tagged capacity
+    /// scales with the base (a quarter of the rows per table, floor 16).
+    pub fn from_predicate(cfg: crate::PredicateConfig) -> Self {
+        let base_rows = cfg.perceptron.rows.next_power_of_two().max(16);
+        let max_history = cfg.perceptron.ghr_bits.clamp(8, 64);
+        TagePredicateConfig {
+            base_rows,
+            tables: 4,
+            table_entries: (base_rows / 4).max(16),
+            tag_bits: 8,
+            min_history: 2,
+            max_history,
+            conf_bits: cfg.conf_bits,
+            u_reset_period: 256,
+        }
+    }
+
+    /// Base-PVT bytes (2-bit counters).
+    pub fn base_bytes(&self) -> usize {
+        (self.base_rows * 2).div_ceil(8)
+    }
+
+    /// Tagged-table bytes.
+    pub fn tagged_bytes(&self) -> usize {
+        let entry_bits = self.tag_bits as usize + 3 + 2;
+        self.tables * (self.table_entries * entry_bits).div_ceil(8)
+    }
+}
+
+/// The TAGE-indexed predicate predictor.
+///
+/// Mirrors [`crate::PredicatePredictor`]'s interface exactly — same
+/// [`CmpPrediction`]/[`PredicatePrediction`] types, same f1/f2 base-row
+/// split, one speculative global-history shift per fetched compare, §3.3
+/// repair — so the pipeline plumbing is shared. The two targets of a
+/// compare are disambiguated in the tagged tables through the key
+/// `(pc << 1) | target`, the TAGE analogue of the paper's two hashes over
+/// one table.
+#[derive(Clone, Debug)]
+pub struct TagePredicatePredictor {
+    cfg: TagePredicateConfig,
+    core: TaggedCore,
+    base: Vec<u8>,
+    confidence: ConfidenceTable,
+    ghr: GlobalHistory,
+}
+
+impl TagePredicatePredictor {
+    /// Builds the predictor from a configuration.
+    pub fn new(cfg: TagePredicateConfig) -> Self {
+        assert!(cfg.base_rows.is_power_of_two() && cfg.base_rows >= 2);
+        assert!(cfg.max_history >= 1 && cfg.max_history <= 64);
+        TagePredicatePredictor {
+            core: TaggedCore::new(
+                cfg.tables,
+                cfg.table_entries,
+                cfg.tag_bits,
+                cfg.min_history,
+                cfg.max_history,
+                cfg.u_reset_period,
+            ),
+            base: vec![1; cfg.base_rows],
+            confidence: ConfidenceTable::new(cfg.base_rows, cfg.conf_bits),
+            ghr: GlobalHistory::new(cfg.max_history),
+            cfg,
+        }
+    }
+
+    /// Current global history value (diagnostics).
+    pub fn ghr_value(&self) -> u64 {
+        self.ghr.value()
+    }
+
+    /// Rows in the bimodal base PVT (geometry-override diagnostics).
+    pub fn base_rows(&self) -> usize {
+        self.cfg.base_rows
+    }
+
+    /// The f1 hash: base row of the first (true) target.
+    pub fn row_of(&self, pc: u64) -> usize {
+        (((pc >> 4).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize) & (self.cfg.base_rows - 1)
+    }
+
+    /// The f2 hash: base row of the second (false) target — the other
+    /// half of the table, exactly the paper's most-significant-bit flip.
+    pub fn row2_of(&self, pc: u64) -> usize {
+        (self.row_of(pc) + self.cfg.base_rows / 2) & (self.cfg.base_rows - 1)
+    }
+
+    fn predict_target(
+        &self,
+        pc: u64,
+        target_bit: bool,
+        base_row: usize,
+        hist: u64,
+    ) -> PredicatePrediction {
+        let key = (pc << 1) | u64::from(target_bit);
+        let base_dir = self.base[base_row] >= 2;
+        let (provider, alternate) = self.core.lookup(key, hist);
+        let (value, prov_ctr, prov_row, prov_tbl) = match provider {
+            Some(h) => (
+                h.ctr >= 4,
+                i32::from(h.ctr),
+                h.idx as u32,
+                h.table as u32 + 1,
+            ),
+            None => (base_dir, i32::from(self.base[base_row]), u32::MAX, 0),
+        };
+        let alt_dir = match alternate {
+            Some(h) => h.ctr >= 4,
+            None => base_dir,
+        };
+        let mut flags = 0u32;
+        if alt_dir {
+            flags |= F_ALT_DIR;
+        }
+        if value {
+            flags |= F_OWN_DIR;
+        }
+        PredicatePrediction {
+            value,
+            confident: self.confidence.is_confident(base_row),
+            tag: Tag {
+                ghr_before: hist,
+                lhr_before: flags,
+                lhr_idx: base_row as u32,
+                row: prov_row,
+                row2: prov_tbl,
+                sum: prov_ctr,
+                alt: key & ((PC_MASK << 1) | 1),
+            },
+        }
+    }
+
+    /// Generates predictions for a fetched compare at `pc`; same contract
+    /// as [`crate::PredicatePredictor::predict_compare`]: with both
+    /// targets real, `pt` uses the f1 base row and `pf` the f2 row; with
+    /// one, the single prediction uses f1. The global history shifts once,
+    /// with the primary predicted bit.
+    pub fn predict_compare(&mut self, pc: u64, need_pt: bool, need_pf: bool) -> CmpPrediction {
+        let hist = self.ghr.value();
+        let (pt, pf) = match (need_pt, need_pf) {
+            (true, true) => (
+                Some(self.predict_target(pc, false, self.row_of(pc), hist)),
+                Some(self.predict_target(pc, true, self.row2_of(pc), hist)),
+            ),
+            (true, false) => (
+                Some(self.predict_target(pc, false, self.row_of(pc), hist)),
+                None,
+            ),
+            (false, true) => (
+                None,
+                Some(self.predict_target(pc, false, self.row_of(pc), hist)),
+            ),
+            (false, false) => (None, None),
+        };
+        let pushed = if let Some(primary) = pt.as_ref().or(pf.as_ref()) {
+            self.ghr.push(primary.value);
+            true
+        } else {
+            false
+        };
+        CmpPrediction {
+            pt,
+            pf,
+            ghr_pushed: pushed,
+        }
+    }
+
+    /// Trains one prediction with the computed predicate value and updates
+    /// its confidence counter. Called when the compare's value commits.
+    pub fn train(&mut self, prediction: &PredicatePrediction, actual: bool) {
+        let t = &prediction.tag;
+        let key = t.alt;
+        let hist = t.ghr_before;
+        let base_row = t.lhr_idx as usize;
+        let own_dir = t.lhr_before & F_OWN_DIR != 0;
+        let alt_dir = t.lhr_before & F_ALT_DIR != 0;
+
+        sat2(&mut self.base[base_row], actual);
+        if t.row2 > 0 {
+            self.core.update_provider(
+                (t.row2 - 1) as usize,
+                t.row as usize,
+                actual,
+                own_dir,
+                alt_dir,
+            );
+        }
+        if own_dir != actual {
+            let start = t.row2 as usize;
+            if start < self.core.tabs.len() {
+                self.core.allocate(start, key, hist, actual);
+            }
+        }
+        self.confidence.record(base_row, prediction.value == actual);
+    }
+
+    /// Reverts the speculative history update of a squashed compare.
+    /// Must be applied youngest-first when unwinding several compares.
+    pub fn undo_compare(&mut self, prediction: &CmpPrediction) {
+        if !prediction.ghr_pushed {
+            return;
+        }
+        if let Some(primary) = prediction.primary() {
+            self.ghr.set(primary.tag.ghr_before);
+        }
+    }
+
+    /// Repairs the history bit a mispredicted compare inserted `age`
+    /// pushes ago; same contract as
+    /// [`crate::PredicatePredictor::fix_history_bit`].
+    pub fn fix_history_bit(&mut self, age: u32, actual: bool) -> bool {
+        self.ghr.fix_recent_bit(age, actual)
+    }
+
+    /// §3.3 history repair for a detected compare misprediction: corrects
+    /// the global-history bit (`ghr_age` pushes old) with the primary
+    /// target's computed value. The TAGE variant keeps no local history,
+    /// so there is no local bit to fix.
+    pub fn repair_history(
+        &mut self,
+        _prediction: &PredicatePrediction,
+        primary_actual: bool,
+        ghr_age: u32,
+    ) {
+        let _ = self.fix_history_bit(ghr_age, primary_actual);
+    }
+
+    /// Whether a base row's confidence counter is currently saturated.
+    pub fn is_confident_row(&self, row: u32) -> bool {
+        self.confidence.is_confident(row as usize)
+    }
+
+    /// Hardware budget in bytes (base PVT + tagged tables + confidence).
+    pub fn size_bytes(&self) -> usize {
+        self.cfg.base_bytes() + self.cfg.tagged_bytes() + self.confidence.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_histories_are_monotone_with_pinned_endpoints() {
+        let h = geometric_histories(4, 64, 8);
+        assert_eq!(h.len(), 8);
+        assert_eq!(h[0], 4);
+        assert_eq!(h[7], 64);
+        assert!(h.windows(2).all(|w| w[0] < w[1]), "{h:?}");
+        // The series must actually be geometric-ish, not linear: the last
+        // step is much larger than the first.
+        assert!(h[7] - h[6] > 3 * (h[1] - h[0]), "{h:?}");
+        assert_eq!(geometric_histories(2, 16, 4), vec![2, 4, 8, 16]);
+        assert_eq!(geometric_histories(5, 5, 1), vec![5]);
+    }
+
+    fn drive(p: &mut Tage, pc: u64, outcomes: &[bool]) -> f64 {
+        let mut wrong = 0usize;
+        for &o in outcomes {
+            let pred = p.predict(pc, 0);
+            if pred.taken != o {
+                wrong += 1;
+                p.recover(&pred, o);
+            }
+            p.train(&pred, o);
+        }
+        wrong as f64 / outcomes.len() as f64
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = Tage::new(TageConfig::tiny());
+        let rate = drive(&mut p, 0x4000, &[true].repeat(300));
+        assert!(rate < 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn learns_alternating_branch_via_tagged_tables() {
+        // An alternating branch defeats the bimodal base (it oscillates
+        // between weak states) but a 1-deep history distinguishes the
+        // phases: the tagged tables must take over as provider.
+        let mut p = Tage::new(TageConfig::tiny());
+        let rate = drive(&mut p, 0x4000, &[true, false].repeat(400));
+        assert!(rate < 0.1, "rate={rate}");
+        let pred = p.predict(0x4000, 0);
+        assert!(pred.tag.row2 > 0, "provider must be a tagged table");
+        p.undo(&pred);
+    }
+
+    #[test]
+    fn provider_and_altpred_selection() {
+        let mut p = Tage::new(TageConfig::tiny());
+        // Before any allocation the base provides (row2 == 0).
+        let first = p.predict(0x4000, 0);
+        assert_eq!(first.tag.row2, 0, "cold predictor: base provides");
+        p.undo(&first);
+        // After the alternating pattern is learned, a tagged entry
+        // provides and the packed flags carry both directions.
+        drive(&mut p, 0x4000, &[true, false].repeat(400));
+        let pred = p.predict(0x4000, 0);
+        assert!(pred.tag.row2 > 0, "tagged provider expected");
+        let own = pred.tag.lhr_before & F_OWN_DIR != 0;
+        assert_eq!(pred.taken, own, "prediction follows the provider");
+        p.undo(&pred);
+    }
+
+    #[test]
+    fn tag_match_vs_alias() {
+        // Two PCs that collide on a table-0 row must be separated by
+        // their partial tags: training one never installs a provider
+        // entry the other matches.
+        let p = Tage::new(TageConfig::tiny());
+        let hist = 0u64;
+        let a = 0x4000u64;
+        let idx_a = p.core.index(0, a, hist);
+        let tag_a = p.core.tag_of(0, a, hist);
+        let b = (0x4010..0x8000)
+            .step_by(16)
+            .find(|&b| p.core.index(0, b, hist) == idx_a && p.core.tag_of(0, b, hist) != tag_a)
+            .expect("some PC collides on the row with a different tag");
+        // Install A's entry directly (allocation path) and verify B
+        // misses while A hits.
+        let mut p = p;
+        p.core.allocate(0, a, hist, true);
+        let (prov_a, _) = p.core.lookup(a, hist);
+        let (prov_b, _) = p.core.lookup(b, hist);
+        assert!(matches!(prov_a, Some(h) if h.table == 0 && h.idx == idx_a));
+        assert!(
+            prov_b.is_none() || prov_b.unwrap().idx != idx_a || prov_b.unwrap().table != 0,
+            "aliasing PC must not tag-match A's entry"
+        );
+    }
+
+    #[test]
+    fn useful_counters_age_by_halving() {
+        let mut p = Tage::new(TageConfig::tiny());
+        p.core.tabs[0][0].u = 3;
+        p.core.tabs[1][1].u = 1;
+        p.core.age();
+        assert_eq!(p.core.tabs[0][0].u, 1);
+        assert_eq!(p.core.tabs[1][1].u, 0);
+        // End to end: u_reset_period allocations tick the aging clock.
+        p.core.tabs[0][0].u = 3;
+        for i in 0..TageConfig::tiny().u_reset_period {
+            p.core
+                .allocate(1, 0x9000 + u64::from(i) * 16, u64::from(i), i % 2 == 0);
+        }
+        assert!(p.core.tabs[0][0].u < 3, "periodic aging must have fired");
+    }
+
+    #[test]
+    fn useful_counter_protects_entries_from_allocation() {
+        let mut p = Tage::new(TageConfig::tiny());
+        let hist = 0x15u64;
+        let pc = 0x4000u64;
+        // Fill every candidate slot for (pc, hist) with u > 0.
+        for t in 0..p.core.tabs.len() {
+            let idx = p.core.index(t, pc, hist);
+            p.core.tabs[t][idx] = TaggedEntry {
+                tag: 0x7F,
+                ctr: 7,
+                u: 2,
+            };
+        }
+        p.core.allocate(0, pc, hist, true);
+        // No entry stole: all tags unchanged, every u decremented.
+        for t in 0..p.core.tabs.len() {
+            let idx = p.core.index(t, pc, hist);
+            assert_eq!(p.core.tabs[t][idx].tag, 0x7F, "protected entry survives");
+            assert_eq!(p.core.tabs[t][idx].u, 1, "useful counters decremented");
+        }
+        // A second allocation now finds u still > 0 ... and a third
+        // succeeds once the counters reach zero.
+        p.core.allocate(0, pc, hist, true);
+        p.core.allocate(0, pc, hist, true);
+        let hit = (0..p.core.tabs.len()).any(|t| {
+            let idx = p.core.index(t, pc, hist);
+            p.core.tabs[t][idx].tag == p.core.tag_of(t, pc, hist)
+        });
+        assert!(hit, "allocation lands once protection decays");
+    }
+
+    #[test]
+    fn undo_and_recover_restore_history_exactly() {
+        let mut p = Tage::new(TageConfig::tiny());
+        let g0 = p.ghr.value();
+        let a = p.predict(0x4000, 0);
+        let b = p.predict(0x4010, 0);
+        p.undo(&b);
+        p.undo(&a);
+        assert_eq!(p.ghr.value(), g0);
+        let c = p.predict(0x4000, 0);
+        p.recover(&c, !c.taken);
+        assert_eq!(p.ghr.value(), ((g0 << 1) | u64::from(!c.taken)) & 0xFFFF);
+    }
+
+    #[test]
+    fn h2p_promotion_is_deterministic_and_gated() {
+        let run = || {
+            let mut p = Tage::with_h2p(TageConfig::tiny(), TageH2pConfig::tiny());
+            let pc = 0x4000u64;
+            // A pseudo-random direction stream the tiny TAGE mispredicts
+            // often: the site must cross the promotion threshold.
+            let mut x = 99u32;
+            for _ in 0..200 {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                let o = (x >> 13) & 1 == 1;
+                let pred = p.predict(pc, 0);
+                if pred.taken != o {
+                    p.recover(&pred, o);
+                }
+                p.train(&pred, o);
+            }
+            assert!(p.h2p_resident(pc), "H2P site must be promoted");
+            p
+        };
+        let a = run();
+        let b = run();
+        // Determinism: identical state → identical next predictions.
+        let (mut a, mut b) = (a, b);
+        for pc in [0x4000u64, 0x4800, 0x5000] {
+            let pa = a.predict(pc, 0);
+            let pb = b.predict(pc, 0);
+            assert_eq!(pa, pb, "replays must agree at {pc:#x}");
+        }
+    }
+
+    #[test]
+    fn h2p_never_promotes_easy_branches() {
+        let mut p = Tage::with_h2p(TageConfig::tiny(), TageH2pConfig::tiny());
+        let pc = 0x4000u64;
+        for _ in 0..300 {
+            let pred = p.predict(pc, 0);
+            if pred.taken {
+                p.train(&pred, true);
+            } else {
+                p.recover(&pred, true);
+                p.train(&pred, true);
+            }
+        }
+        assert!(
+            !p.h2p_resident(pc),
+            "an always-taken branch stays below the mispredict threshold"
+        );
+    }
+
+    #[test]
+    fn h2p_eviction_prefers_higher_scores() {
+        let cfg = TageH2pConfig::tiny();
+        let mut h = H2p::new(cfg);
+        // Find two PCs sharing a side slot.
+        let a = 0x4000u64;
+        let slot = h.side_slot(a);
+        let b = (0x4010..0x40000)
+            .step_by(16)
+            .find(|&b| h.side_slot(b) == slot)
+            .expect("side slots collide eventually");
+        // A becomes resident with a modest score.
+        for i in 0..cfg.min_execs {
+            h.train(a, i % 2 == 0, i % 2 == 1); // 100% mispredict
+        }
+        assert!(h.side_resident(a));
+        let score_a = h.side[slot].score;
+        // B mispredicts more in absolute count → must evict A.
+        for i in 0..(cfg.min_execs * 4) {
+            h.train(b, i % 2 == 0, i % 2 == 1);
+        }
+        assert!(h.side_resident(b), "higher-scoring site evicts");
+        assert!(h.side[slot].score > score_a);
+        // A, returning with a *lower* score than B's ratchet, cannot
+        // evict B back (deterministic, no ping-pong).
+        h.stats = vec![
+            StatEntry {
+                tag: 0,
+                execs: 0,
+                miss: 0
+            };
+            cfg.stats_entries
+        ];
+        for i in 0..cfg.min_execs {
+            h.train(a, i % 2 == 0, i % 2 == 1);
+        }
+        assert!(h.side_resident(b), "lower score must not evict");
+    }
+
+    #[test]
+    fn names_and_sizes_are_pinned() {
+        let t = Tage::new(TageConfig::paper_144kb());
+        assert_eq!(t.name(), "tage");
+        assert_eq!(t.size_bytes(), 147_456, "144 KiB core");
+        let h = Tage::with_h2p(TageConfig::paper_144kb(), TageH2pConfig::paper_default());
+        assert_eq!(h.name(), "tage-h2p");
+        assert_eq!(h.size_bytes(), 155_392, "core + stats + side table");
+        let pp = TagePredicatePredictor::new(TagePredicateConfig::paper_144kb());
+        assert_eq!(pp.size_bytes(), 144_384, "base + tagged + confidence");
+    }
+
+    // --- TAGE-indexed predicate predictor -------------------------------
+
+    fn drive_pvt(p: &mut TagePredicatePredictor, pc: u64, outcomes: &[bool]) -> f64 {
+        let mut wrong = 0usize;
+        for &o in outcomes {
+            let cp = p.predict_compare(pc, true, false);
+            let pt = cp.pt.unwrap();
+            if pt.value != o {
+                wrong += 1;
+                p.fix_history_bit(0, o);
+            }
+            p.train(&pt, o);
+        }
+        wrong as f64 / outcomes.len() as f64
+    }
+
+    #[test]
+    fn predicate_variant_learns_biased_and_alternating() {
+        let mut p = TagePredicatePredictor::new(TagePredicateConfig::tiny());
+        assert!(drive_pvt(&mut p, 0x4000, &[true].repeat(300)) < 0.05);
+        let mut p = TagePredicatePredictor::new(TagePredicateConfig::tiny());
+        assert!(drive_pvt(&mut p, 0x4000, &[true, false].repeat(400)) < 0.1);
+    }
+
+    #[test]
+    fn predicate_two_targets_use_f1_and_f2_rows() {
+        let mut p = TagePredicatePredictor::new(TagePredicateConfig::tiny());
+        let cp = p.predict_compare(0x4000, true, true);
+        let (pt, pf) = (cp.pt.unwrap(), cp.pf.unwrap());
+        assert_ne!(pt.tag.lhr_idx, pf.tag.lhr_idx, "f1 and f2 base rows differ");
+        assert_eq!(pt.tag.lhr_idx as usize, p.row_of(0x4000));
+        assert_eq!(pf.tag.lhr_idx as usize, p.row2_of(0x4000));
+        assert!(cp.ghr_pushed);
+        // Single-target compares use f1.
+        let cp = p.predict_compare(0x4000, false, true);
+        assert_eq!(cp.pf.unwrap().tag.lhr_idx as usize, p.row_of(0x4000));
+        assert!(cp.pt.is_none());
+    }
+
+    #[test]
+    fn predicate_ghr_shifts_once_per_compare() {
+        let mut p = TagePredicatePredictor::new(TagePredicateConfig::tiny());
+        let g0 = p.ghr_value();
+        let cp = p.predict_compare(0x4000, true, true);
+        let expected = ((g0 << 1) | u64::from(cp.pt.unwrap().value)) & 0xFFFF;
+        assert_eq!(p.ghr_value(), expected);
+        // p0-only compares make no prediction and no shift.
+        let g1 = p.ghr_value();
+        let cp = p.predict_compare(0x4010, false, false);
+        assert!(cp.pt.is_none() && cp.pf.is_none() && !cp.ghr_pushed);
+        assert_eq!(p.ghr_value(), g1);
+        p.undo_compare(&cp);
+        assert_eq!(p.ghr_value(), g1);
+    }
+
+    #[test]
+    fn predicate_undo_and_repair_restore_history() {
+        let mut p = TagePredicatePredictor::new(TagePredicateConfig::tiny());
+        let g0 = p.ghr_value();
+        let a = p.predict_compare(0x4000, true, false);
+        let b = p.predict_compare(0x4010, true, true);
+        p.undo_compare(&b);
+        p.undo_compare(&a);
+        assert_eq!(p.ghr_value(), g0);
+        // Repair flips only the aged bit.
+        let a = p.predict_compare(0x4000, true, false);
+        let _b = p.predict_compare(0x4010, true, false);
+        let _c = p.predict_compare(0x4020, true, false);
+        let before = p.ghr_value();
+        let pt = a.pt.unwrap();
+        p.repair_history(&pt, !pt.value, 2);
+        assert_eq!(p.ghr_value() ^ before, 0b100, "only the age-2 bit changed");
+    }
+
+    #[test]
+    fn predicate_confidence_tracks_per_row_accuracy() {
+        let mut p = TagePredicatePredictor::new(TagePredicateConfig::tiny());
+        let mut last = None;
+        for _ in 0..64 {
+            let cp = p.predict_compare(0x4000, true, false);
+            let pt = cp.pt.unwrap();
+            if !pt.value {
+                p.fix_history_bit(0, true);
+            }
+            p.train(&pt, true);
+            last = Some(pt);
+        }
+        let row = last.unwrap().tag.lhr_idx;
+        assert!(p.is_confident_row(row), "steady predicate gains confidence");
+        let cp = p.predict_compare(0x4000, true, false);
+        let pt = cp.pt.unwrap();
+        assert!(pt.confident);
+        p.train(&pt, !pt.value);
+        assert!(!p.is_confident_row(row), "misprediction zeroes confidence");
+    }
+
+    #[test]
+    fn predicate_override_mapping_carries_geometry() {
+        let small = crate::PredicateConfig {
+            perceptron: crate::PerceptronConfig {
+                rows: 128,
+                ..crate::PerceptronConfig::tiny()
+            },
+            conf_bits: 2,
+        };
+        let cfg = TagePredicateConfig::from_predicate(small);
+        assert_eq!(cfg.base_rows, 128);
+        assert_eq!(cfg.conf_bits, 2);
+        let p = TagePredicatePredictor::new(cfg);
+        assert_eq!(p.base_rows(), 128);
+    }
+}

@@ -60,12 +60,22 @@ use ppsim::pipeline::TestFault;
 use ppsim::prelude::*;
 use ppsim::serve::{install_sigint_handler, submit, ServeOptions, Server, SubmitOptions};
 
-const SCHEMES: &str = "conventional|pep-pa|predicate|ideal-conventional|ideal-predicate";
 const FAULTS: &str = "invert-oracle|invert-early-resolve|share-ghr";
 
+/// `a|b|c` listing of every registered scheme, derived from
+/// [`SchemeSpec::ALL`] so the usage text can never lag the registry.
+fn schemes_help() -> String {
+    SchemeSpec::ALL
+        .iter()
+        .map(|s| s.name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
 fn usage_text() -> String {
+    let schemes = schemes_help();
     format!(
-        "usage:\n  ppsim run <file.s> [--scheme {SCHEMES}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--repeat N] [--phases] [--sample [SPEC]] [--trace FILE]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E] [--replay FILE.pisa]\n  ppsim trace export <benchmark> <out.pptrace> [--commits N] [--ifconv] [--note S]\n  ppsim trace import <file> [--commits N] [--top N] [--name S] [--json PATH] [--jobs N] [--no-cache] [--cache-dir PATH] [--no-fuse]\n  ppsim trace info <file.pptrace>\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {}; trace import\n accepts .pptrace files and CBP-style `<ip> <taken>` branch logs)",
+        "usage:\n  ppsim run <file.s> [--scheme {schemes}] [--commits N] [--trace-events N] [--tiny]\n  ppsim compile <benchmark> [--ifconv] [--listing]\n  ppsim bench [benchmark] [--only a,b] [--commits N] [--json PATH] [--repeat N] [--phases] [--sample [SPEC]] [--trace FILE]\n  ppsim suite [--jobs N] [--no-cache] [--no-replay] [--no-fuse] [--cache-dir PATH] [--json PATH] [--commits N] [--only a,b] [--sample [SPEC]]\n  ppsim check [--seed S] [--iters N] [--fault {FAULTS}] [--dump DIR] [--jobs N] [--no-cache] [--cache-dir PATH] [--sample-epsilon E] [--replay FILE.pisa]\n  ppsim trace export <benchmark> <out.pptrace> [--commits N] [--ifconv] [--note S]\n  ppsim trace import <file> [--commits N] [--top N] [--name S] [--json PATH] [--jobs N] [--no-cache] [--cache-dir PATH] [--no-fuse]\n  ppsim trace info <file.pptrace>\n  ppsim serve [--addr A] [--jobs N] [--max-clients N] [--cache-dir PATH] [--cache-max-bytes B]\n  ppsim submit [request.json|-] [--addr A] [--raw PATH] [--quiet]\n  ppsim cache stats|clear [--cache-dir PATH]\n  ppsim list\n(SPEC = skip:warmup:measure:stride:count; bare --sample = {}; trace import\n accepts .pptrace files and CBP-style `<ip> <taken>` branch logs)",
         SampleSpec::default_spec().canon()
     )
 }
@@ -516,7 +526,7 @@ fn main() -> ExitCode {
                 Some(s) => match SchemeSpec::parse(s) {
                     Some(k) => k,
                     None => {
-                        eprintln!("unknown scheme `{s}` (expected {SCHEMES})");
+                        eprintln!("unknown scheme `{s}` (expected {})", schemes_help());
                         return ExitCode::FAILURE;
                     }
                 },

@@ -215,13 +215,14 @@ fn fused_fig6a_grid_preserves_cross_lane_isolation() {
     }
 
     // And the fused runner genuinely fused: one multi-lane pass per
-    // benchmark stream, three lanes each, none on the solo runner.
+    // benchmark stream, one lane per scheme column, none on the solo
+    // runner.
     let t = fused.telemetry();
     assert_eq!(t.fused_lanes, jobs.len() as u64);
     assert_eq!(
         t.fused_passes,
-        t.fused_lanes / 3,
-        "three schemes per stream"
+        t.fused_lanes / experiments::FIG6A_SCHEMES.len() as u64,
+        "every scheme column fused into each stream's pass"
     );
     assert_eq!(solo.telemetry().fused_passes, 0);
 }
